@@ -1,0 +1,77 @@
+//! Cost of the Algorithm 1 building blocks: the ~250-counter correlation
+//! matrix (step 1), one per-machine lasso (step 3), and one stepwise
+//! elimination (step 4) — the three fits the selection pipeline repeats
+//! across machines and workloads.
+
+use chaos_core::dataset::pooled_dataset;
+use chaos_core::features::FeatureSpec;
+use chaos_counters::{collect_run, CounterCatalog, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stats::corr::correlation_matrix;
+use chaos_stats::lasso::{lambda_max, LassoConfig, LassoFit};
+use chaos_stats::stepwise::{backward_eliminate, StepwiseConfig};
+use chaos_stats::Matrix;
+use chaos_workloads::{SimConfig, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn traces() -> (Vec<RunTrace>, CounterCatalog) {
+    let cluster = Cluster::homogeneous(Platform::Core2, 3, 1);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let traces = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r))
+        .collect();
+    (traces, catalog)
+}
+
+fn candidate_matrix(traces: &[RunTrace], catalog: &CounterCatalog, rows: usize) -> (Matrix, Vec<f64>) {
+    let spec = FeatureSpec::new((0..catalog.len()).collect());
+    let ds = pooled_dataset(traces, &spec).unwrap().thinned(rows);
+    (ds.x, ds.y)
+}
+
+fn bench_correlation_matrix(c: &mut Criterion) {
+    let (traces, catalog) = traces();
+    let (x, _) = candidate_matrix(&traces, &catalog, 1_000);
+    let mut group = c.benchmark_group("selection_steps");
+    group.sample_size(10);
+    group.bench_function("step1_correlation_250x250", |b| {
+        b.iter(|| correlation_matrix(std::hint::black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_lasso(c: &mut Criterion) {
+    let (traces, catalog) = traces();
+    let (x, y) = candidate_matrix(&traces, &catalog, 1_000);
+    // Use the first 120 live-ish columns as the post-step-2 candidate set.
+    let cols: Vec<usize> = (0..120.min(x.cols())).collect();
+    let xs = x.select_cols(&cols);
+    let lmax = lambda_max(&xs, &y).unwrap();
+    let cfg = LassoConfig {
+        lambda: 0.02 * lmax,
+        ..LassoConfig::default()
+    };
+    let mut group = c.benchmark_group("selection_steps");
+    group.sample_size(10);
+    group.bench_function("step3_lasso_1000x120", |b| {
+        b.iter(|| LassoFit::fit(std::hint::black_box(&xs), &y, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_stepwise(c: &mut Criterion) {
+    let (traces, catalog) = traces();
+    let (x, y) = candidate_matrix(&traces, &catalog, 1_000);
+    let cols: Vec<usize> = (0..24.min(x.cols())).collect();
+    let xs = x.select_cols(&cols);
+    let cfg = StepwiseConfig::default();
+    let mut group = c.benchmark_group("selection_steps");
+    group.sample_size(10);
+    group.bench_function("step4_stepwise_1000x24", |b| {
+        b.iter(|| backward_eliminate(std::hint::black_box(&xs), &y, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlation_matrix, bench_lasso, bench_stepwise);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Fitting cost of the four modeling techniques (Section IV-B) on a
+//! realistic training-fold-sized dataset.
+//!
+//! The paper trains on sets roughly ten times smaller than the test data;
+//! these benches use a 1,500 × 8 design, the same shape the sweep
+//! harness feeds the estimators.
+
+use chaos_core::models::{FitOptions, FittedModel, ModelTechnique};
+use chaos_stats::Matrix;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn training_fold(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+    let det = |i: usize| ((i as f64 * 12.9898).sin() * 43758.5453).fract();
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let util = det(i * 7 + 1);
+        let freq = 1600.0 + 700.0 * (det(i * 13 + 2) * 3.0).floor().clamp(0.0, 2.0) / 2.0;
+        let mut row = vec![100.0 * util, freq];
+        for j in 2..p {
+            row.push(det(i * p + j) * 1e4);
+        }
+        let power = 135.0 + 40.0 * util * (freq / 2300.0).powi(2) + 5.0 * det(i * 31 + 3);
+        rows.push(row);
+        y.push(power);
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let (x, y) = training_fold(1_500, 8);
+    let opts = FitOptions::fast().with_freq_column(Some(1));
+    let mut group = c.benchmark_group("model_fit_1500x8");
+    group.sample_size(10);
+    for technique in ModelTechnique::ALL {
+        group.bench_function(technique.name(), |b| {
+            b.iter_batched(
+                || (x.clone(), y.clone()),
+                |(x, y)| FittedModel::fit(technique, &x, &y, &opts).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_scaling(c: &mut Criterion) {
+    // How fitting cost grows with the training-set size (the paper's
+    // "training and model building requires up to 2 hours" is dominated
+    // by collection, not fitting).
+    let opts = FitOptions::fast().with_freq_column(Some(1));
+    let mut group = c.benchmark_group("quadratic_fit_scaling");
+    group.sample_size(10);
+    for n in [500usize, 1_500, 3_000] {
+        let (x, y) = training_fold(n, 8);
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter_batched(
+                || (x.clone(), y.clone()),
+                |(x, y)| {
+                    FittedModel::fit(ModelTechnique::Quadratic, &x, &y, &opts).unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits, bench_fit_scaling);
+criterion_main!(benches);

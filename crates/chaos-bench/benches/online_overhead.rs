@@ -1,0 +1,85 @@
+//! The paper's overhead claim: "less than 1% CPU utilization on a
+//! mobile-class processor" for online power modeling.
+//!
+//! At a 1 Hz sampling rate, 1% of the budget is 10 ms per sample. These
+//! benches measure the two per-second costs of a deployed CHAOS agent —
+//! producing the counter readings and evaluating the model — which land
+//! orders of magnitude below that bound.
+
+use chaos_core::dataset::pooled_dataset;
+use chaos_core::features::FeatureSpec;
+use chaos_core::models::{FitOptions, FittedModel, ModelTechnique};
+use chaos_counters::{collect_run, CounterCatalog, CounterSynth};
+use chaos_sim::{Cluster, Platform, ResourceDemand};
+use chaos_workloads::{SimConfig, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn trained_model(technique: ModelTechnique) -> (FittedModel, FeatureSpec, CounterCatalog) {
+    let platform = Platform::Core2;
+    let cluster = Cluster::homogeneous(platform, 3, 1);
+    let catalog = CounterCatalog::for_platform(&platform.spec());
+    let train: Vec<_> = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r))
+        .collect();
+    let spec = FeatureSpec::general(&catalog);
+    let ds = pooled_dataset(&train, &spec).unwrap().thinned(1_000);
+    let opts = FitOptions::fast().with_freq_column(spec.freq_column(&catalog));
+    let model = FittedModel::fit(technique, &ds.x, &ds.y, &opts).unwrap();
+    (model, spec, catalog)
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_predict_per_sample");
+    for technique in ModelTechnique::ALL {
+        let (model, spec, _) = trained_model(technique);
+        let row: Vec<f64> = (0..spec.width()).map(|j| 10.0 * j as f64).collect();
+        group.bench_function(technique.name(), |b| {
+            b.iter(|| model.predict_row(std::hint::black_box(&row)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_collection(c: &mut Criterion) {
+    // One second of the agent's life: turn machine activity into the full
+    // ~250-counter reading (a real agent reads the OS; we synthesize).
+    let platform = Platform::Core2;
+    let spec = platform.spec();
+    let catalog = CounterCatalog::for_platform(&spec);
+    let machine = chaos_sim::Machine::nominal(platform, 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let state = machine.apply_demand(&ResourceDemand::cpu_only(1.5), &mut rng);
+    let mut synth = CounterSynth::new(&catalog, &spec, 7);
+    c.bench_function("counter_synthesis_250_per_second", |b| {
+        b.iter(|| synth.step(&catalog, std::hint::black_box(&state)))
+    });
+}
+
+fn bench_full_agent_second(c: &mut Criterion) {
+    // Counter production + feature extraction + prediction: everything a
+    // deployed agent does per second.
+    let (model, spec, catalog) = trained_model(ModelTechnique::Quadratic);
+    let platform = Platform::Core2;
+    let pspec = platform.spec();
+    let machine = chaos_sim::Machine::nominal(platform, 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let state = machine.apply_demand(&ResourceDemand::cpu_only(1.2), &mut rng);
+    let mut synth = CounterSynth::new(&catalog, &pspec, 3);
+    c.bench_function("full_agent_second", |b| {
+        b.iter(|| {
+            let row = synth.step(&catalog, &state);
+            let feats: Vec<f64> = spec.counters.iter().map(|&i| row[i]).collect();
+            model.predict_row(&feats).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_predict,
+    bench_counter_collection,
+    bench_full_agent_second
+);
+criterion_main!(benches);

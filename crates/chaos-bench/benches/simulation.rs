@@ -1,0 +1,71 @@
+//! Simulator throughput: how fast the substrate generates testbed data.
+//!
+//! The paper spends up to 2 hours collecting a cluster's training data on
+//! real hardware; the simulator regenerates an entire (cluster, workload,
+//! run) trace in milliseconds, which is what makes the >1200-model sweep
+//! cheap to reproduce.
+
+use chaos_counters::{collect_run, CounterCatalog};
+use chaos_sim::{Cluster, Machine, Platform, ResourceDemand};
+use chaos_workloads::{simulate, SimConfig, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_machine_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_tick");
+    for platform in [Platform::Atom, Platform::XeonSas] {
+        let m = Machine::nominal(platform, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let demand = ResourceDemand {
+            disk_read_bytes: 50e6,
+            net_rx_bytes: 20e6,
+            ..ResourceDemand::cpu_only(2.0)
+        };
+        group.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let state = m.apply_demand(std::hint::black_box(&demand), &mut rng);
+                m.true_power(&state)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_run(c: &mut Criterion) {
+    let cluster = Cluster::homogeneous(Platform::Core2, 5, 1);
+    let cfg = SimConfig::quick();
+    let mut group = c.benchmark_group("schedule_full_run");
+    group.sample_size(10);
+    for w in [Workload::Prime, Workload::Sort] {
+        group.bench_function(w.name(), |b| {
+            b.iter(|| simulate(&cluster, w, &cfg, std::hint::black_box(42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect_run(c: &mut Criterion) {
+    // The full pipeline the experiments use: schedule + governor + counter
+    // synthesis + metering for a 5-machine cluster run.
+    let cluster = Cluster::homogeneous(Platform::Core2, 5, 1);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let cfg = SimConfig::quick();
+    let mut group = c.benchmark_group("collect_full_run");
+    group.sample_size(10);
+    group.bench_function("wordcount_5_machines", |b| {
+        b.iter(|| {
+            collect_run(
+                &cluster,
+                &catalog,
+                Workload::WordCount,
+                &cfg,
+                std::hint::black_box(7),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine_tick, bench_schedule_run, bench_collect_run);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation: sensitivity of the step-1 correlation threshold.
+//!
+//! The paper prunes counter pairs above |0.95| and reports that "we
+//! performed a sensitivity analysis on this threshold value and found
+//! that reducing it below 0.95 provided diminishing returns." This
+//! ablation sweeps the threshold on the Core2 cluster and reports the
+//! funnel (survivors, final set size) and the resulting model accuracy.
+
+use chaos_bench::{format_table, pct, write_csv};
+use chaos_core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos_core::models::ModelTechnique;
+use chaos_core::selection::{select_features, SelectionConfig};
+use chaos_sim::Platform;
+use chaos_workloads::Workload;
+
+fn main() {
+    let cfg = ExperimentConfig::paper();
+    let exp = ClusterExperiment::collect(Platform::Core2, &cfg);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut dre_at = Vec::new();
+    for threshold in [0.80, 0.85, 0.90, 0.95, 0.99] {
+        let scfg = SelectionConfig {
+            corr_threshold: threshold,
+            ..cfg.selection
+        };
+        let selection =
+            select_features(exp.traces(), &exp.catalog, &scfg).expect("selection succeeds");
+        let outcome = exp
+            .evaluate(
+                Workload::Prime,
+                &selection.feature_spec(),
+                ModelTechnique::Quadratic,
+            )
+            .expect("evaluation succeeds");
+        rows.push(vec![
+            format!("{threshold:.2}"),
+            format!("{}", selection.survivors_step1),
+            format!("{}", selection.selected.len()),
+            pct(outcome.avg_dre()),
+        ]);
+        csv.push(vec![
+            format!("{threshold}"),
+            format!("{}", selection.survivors_step1),
+            format!("{}", selection.selected.len()),
+            format!("{:.4}", outcome.avg_dre()),
+        ]);
+        dre_at.push((threshold, outcome.avg_dre()));
+    }
+
+    println!("Ablation: step-1 correlation threshold (Core2, QC on Prime)\n");
+    println!(
+        "{}",
+        format_table(
+            &["|r| threshold", "step-1 survivors", "final features", "DRE"],
+            &rows
+        )
+    );
+    let path = write_csv(
+        "ablation_corr_threshold.csv",
+        &["threshold", "step1_survivors", "final_features", "dre"],
+        &csv,
+    );
+    println!("CSV written to {}", path.display());
+
+    // Shape check (the paper's finding): tightening below 0.95 does not
+    // meaningfully improve accuracy — every threshold lands in the same
+    // accuracy band.
+    let dre95 = dre_at
+        .iter()
+        .find(|(t, _)| (*t - 0.95).abs() < 1e-9)
+        .map(|(_, d)| *d)
+        .expect("0.95 entry exists");
+    for (t, d) in &dre_at {
+        assert!(
+            (d - dre95).abs() < 0.05,
+            "threshold {t} diverges: {d} vs {dre95} at 0.95"
+        );
+    }
+    println!("\ndiminishing returns confirmed: all thresholds within 5pp DRE of 0.95");
+}

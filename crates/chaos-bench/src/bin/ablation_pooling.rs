@@ -1,0 +1,120 @@
+//! Ablation: pooled vs per-machine vs mixed models (Section IV's design
+//! choice).
+//!
+//! The paper pools counters and power across the cluster's machines and
+//! reports that, per the recommended variance-comparison tests, "pooling
+//! is a suitable approach with no significant loss of accuracy" compared
+//! to hierarchical/mixed alternatives. This ablation measures all three
+//! strategies on the Opteron cluster at two altitudes:
+//!
+//! * **per-machine** error, where machine-specific intercepts genuinely
+//!   help (machines really do differ by up to ~10%), and
+//! * **cluster-level** error — what CHAOS actually predicts (Eq. 5) —
+//!   where the per-machine biases cancel in the sum and pooling loses
+//!   almost nothing, which is the paper's operating point.
+
+use chaos_bench::{format_table, pct, write_csv};
+use chaos_core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos_core::features::FeatureSpec;
+use chaos_core::models::ModelTechnique;
+use chaos_core::pooling::{
+    evaluate_pooling, evaluate_pooling_cluster, PoolingStrategy,
+};
+use chaos_sim::Platform;
+use chaos_workloads::Workload;
+
+fn main() {
+    let cfg = ExperimentConfig::paper();
+    let exp = ClusterExperiment::collect(Platform::Opteron, &cfg);
+    let spec = FeatureSpec::general(&exp.catalog);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut worst_cluster_gap: f64 = 0.0;
+    for workload in Workload::ALL {
+        for &strategy in &PoolingStrategy::ALL {
+            let machine_level = evaluate_pooling(
+                exp.traces_for(workload),
+                &exp.cluster,
+                &spec,
+                ModelTechnique::Linear,
+                strategy,
+                &cfg.eval,
+            )
+            .expect("machine-level evaluation succeeds");
+            let cluster_level = evaluate_pooling_cluster(
+                exp.traces_for(workload),
+                &exp.cluster,
+                &spec,
+                ModelTechnique::Linear,
+                strategy,
+                &cfg.eval,
+            )
+            .expect("cluster-level evaluation succeeds");
+            rows.push(vec![
+                workload.name().to_string(),
+                strategy.name().to_string(),
+                pct(machine_level.dre),
+                pct(cluster_level.dre),
+                format!("{:.2}", cluster_level.rmse),
+            ]);
+            csv.push(vec![
+                workload.name().to_string(),
+                strategy.name().to_string(),
+                format!("{:.4}", machine_level.dre),
+                format!("{:.4}", cluster_level.dre),
+                format!("{:.3}", cluster_level.rmse),
+            ]);
+        }
+        // Compare pooled vs per-machine at the cluster level.
+        let get = |s: PoolingStrategy| {
+            evaluate_pooling_cluster(
+                exp.traces_for(workload),
+                &exp.cluster,
+                &spec,
+                ModelTechnique::Linear,
+                s,
+                &cfg.eval,
+            )
+            .expect("evaluation succeeds")
+        };
+        let gap = get(PoolingStrategy::Pooled).dre - get(PoolingStrategy::PerMachine).dre;
+        worst_cluster_gap = worst_cluster_gap.max(gap);
+    }
+
+    println!("Ablation: pooling strategy (Opteron, linear on general features)\n");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Workload",
+                "Strategy",
+                "Machine DRE",
+                "Cluster DRE",
+                "Cluster rMSE (W)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "worst cluster-level DRE gap, pooled minus per-machine: {}",
+        pct(worst_cluster_gap)
+    );
+    println!(
+        "per-machine models win at machine granularity (machines differ by up to ~10%),\n\
+         but the biases cancel in the Eq. 5 sum: at cluster level — the paper's operating\n\
+         point — pooling loses almost nothing, matching the paper's variance-test finding."
+    );
+    let path = write_csv(
+        "ablation_pooling.csv",
+        &["workload", "strategy", "machine_dre", "cluster_dre", "cluster_rmse_w"],
+        &csv,
+    );
+    println!("CSV written to {}", path.display());
+
+    assert!(
+        worst_cluster_gap < 0.04,
+        "pooling should cost < 4pp DRE at cluster level, gap {}",
+        pct(worst_cluster_gap)
+    );
+}

@@ -1,0 +1,106 @@
+//! Figure 1: full-system cluster power for five runs of each workload on
+//! the 5-machine Core 2 Duo cluster.
+//!
+//! The paper's figure shows that each workload has a dramatically
+//! different power signature and different run times, with cluster power
+//! between roughly 120 W and 220 W. This binary regenerates the series
+//! (CSV, one column per run) and prints per-run summaries plus the
+//! cross-workload shape checks.
+
+use chaos_bench::{format_table, watts, write_csv};
+use chaos_counters::{collect_run, CounterCatalog};
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{SimConfig, Workload};
+
+fn main() {
+    let cluster = Cluster::homogeneous(Platform::Core2, 5, 2012);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let cfg = SimConfig::paper();
+
+    let mut rows = Vec::new();
+    let mut mean_power = std::collections::BTreeMap::new();
+    let mut peak_power = std::collections::BTreeMap::new();
+    let mut run_len = std::collections::BTreeMap::new();
+
+    for workload in Workload::ALL {
+        let mut series: Vec<Vec<f64>> = Vec::new();
+        for run in 0..5 {
+            let seed = 4000 + run;
+            let trace = collect_run(&cluster, &catalog, workload, &cfg, seed);
+            let p = trace.cluster_measured_power();
+            let mean = p.iter().sum::<f64>() / p.len() as f64;
+            let peak = p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = p.iter().copied().fold(f64::INFINITY, f64::min);
+            rows.push(vec![
+                workload.name().to_string(),
+                format!("{run}"),
+                format!("{}", p.len()),
+                watts(min),
+                watts(mean),
+                watts(peak),
+            ]);
+            mean_power
+                .entry(workload.name())
+                .or_insert_with(Vec::new)
+                .push(mean);
+            peak_power
+                .entry(workload.name())
+                .or_insert_with(Vec::new)
+                .push(peak);
+            run_len
+                .entry(workload.name())
+                .or_insert_with(Vec::new)
+                .push(p.len());
+            series.push(p);
+        }
+        // One CSV per workload: second, run0..run4 (runs padded w/ blanks).
+        let max_len = series.iter().map(Vec::len).max().unwrap_or(0);
+        let csv_rows: Vec<Vec<String>> = (0..max_len)
+            .map(|t| {
+                let mut r = vec![t.to_string()];
+                for s in &series {
+                    r.push(
+                        s.get(t)
+                            .map(|v| format!("{v:.1}"))
+                            .unwrap_or_default(),
+                    );
+                }
+                r
+            })
+            .collect();
+        write_csv(
+            &format!("fig1_{}.csv", workload.name()),
+            &["second", "run0", "run1", "run2", "run3", "run4"],
+            &csv_rows,
+        );
+    }
+
+    println!("Figure 1: Core2 cluster power, 5 runs x 4 workloads\n");
+    println!(
+        "{}",
+        format_table(
+            &["Workload", "Run", "Seconds", "Min", "Mean", "Peak"],
+            &rows
+        )
+    );
+
+    // Shape checks mirroring the paper's qualitative claims.
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let prime_peak = avg(&peak_power["prime"]);
+    let wc_mean = avg(&mean_power["wordcount"]);
+    let pr_len = avg(&run_len["pagerank"].iter().map(|&x| x as f64).collect::<Vec<_>>());
+    for w in ["sort", "prime", "wordcount"] {
+        let l = avg(&run_len[w].iter().map(|&x| x as f64).collect::<Vec<_>>());
+        assert!(pr_len > l, "pagerank should be the longest workload ({pr_len} vs {w} {l})");
+    }
+    assert!(prime_peak > wc_mean, "prime saturates the CPUs");
+    let global_peak = peak_power.values().flatten().copied().fold(0.0, f64::max);
+    let global_min = mean_power.values().flatten().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "cluster power envelope: ~{:.0} W to ~{:.0} W (paper: 120-220 W)",
+        global_min, global_peak
+    );
+    assert!(global_peak > 170.0 && global_peak < 245.0);
+    assert!(global_min > 100.0 && global_min < 180.0);
+    println!("CSV series written to results/fig1_<workload>.csv");
+}

@@ -1,0 +1,71 @@
+//! Figure 4: Opteron average DRE for Prime across every modeling
+//! technique × feature set — "more complex models are required".
+//!
+//! The paper's reading: for the CPU-bound Prime, a piecewise-linear model
+//! on CPU utilization alone already improves dramatically over the linear
+//! model, i.e. the modeling technique matters more than the feature set.
+
+use chaos_bench::{format_table, pct, write_csv};
+use chaos_core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos_core::models::ModelTechnique;
+use chaos_sim::Platform;
+use chaos_workloads::Workload;
+
+fn main() {
+    let cfg = ExperimentConfig::paper();
+    let exp = ClusterExperiment::collect(Platform::Opteron, &cfg);
+    let selection = exp.select_features().expect("selection succeeds");
+    let sets = exp.standard_feature_sets(&selection);
+    let cells = exp.sweep(Workload::Prime, &sets).expect("sweep succeeds");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for c in &cells {
+        rows.push(vec![
+            c.technique.name().to_string(),
+            c.feature_label.clone(),
+            c.label(),
+            pct(c.outcome.avg_dre()),
+            format!("{:.2}", c.outcome.avg_rmse()),
+        ]);
+        csv.push(vec![
+            c.technique.name().to_string(),
+            c.feature_label.clone(),
+            format!("{:.4}", c.outcome.avg_dre()),
+            format!("{:.3}", c.outcome.avg_rmse()),
+        ]);
+    }
+    println!("Figure 4: Opteron / Prime: DRE by technique x feature set\n");
+    println!(
+        "{}",
+        format_table(&["Technique", "Features", "Label", "DRE", "rMSE (W)"], &rows)
+    );
+    let path = write_csv("fig4_prime_sweep.csv", &["technique", "features", "dre", "rmse_w"], &csv);
+    println!("CSV written to {}", path.display());
+
+    // Shape checks: nonlinear techniques beat the linear model decisively
+    // on the CPU-bound workload, even with CPU utilization alone.
+    let dre = |t: ModelTechnique, f: &str| {
+        cells
+            .iter()
+            .find(|c| c.technique == t && c.feature_label == f)
+            .map(|c| c.outcome.avg_dre())
+    };
+    let lu = dre(ModelTechnique::Linear, "U").expect("LU cell");
+    let pu = dre(ModelTechnique::PiecewiseLinear, "U").expect("PU cell");
+    println!("\nlinear/CPU-only {} vs piecewise/CPU-only {}", pct(lu), pct(pu));
+    assert!(
+        pu < lu,
+        "piecewise on CPU-only should beat linear on CPU-only for Prime"
+    );
+    let best = chaos_core::sweep::best_cell(&cells).expect("cells nonempty");
+    assert!(
+        best.outcome.avg_dre() < 0.12,
+        "best Prime DRE {} exceeds the paper's 12% bound",
+        best.outcome.avg_dre()
+    );
+    assert!(
+        best.technique != ModelTechnique::Linear,
+        "the best Prime cell should use a nonlinear technique"
+    );
+}

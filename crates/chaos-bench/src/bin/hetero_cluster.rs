@@ -1,0 +1,98 @@
+//! Section V-B, "Heterogeneous clusters": compose per-platform machine
+//! models over a 10-machine Core2 + Opteron cluster and show the same
+//! worst-case ~12% DRE as the homogeneous clusters.
+//!
+//! The paper scales the data so each machine keeps the same work, applies
+//! the appropriate machine model per machine, and sums (Eq. 5).
+
+use chaos_bench::{format_table, pct, write_csv};
+use chaos_core::compose::ClusterPowerModel;
+use chaos_core::dataset::pooled_dataset;
+use chaos_core::features::FeatureSpec;
+use chaos_core::models::{FitOptions, FittedModel, ModelTechnique};
+use chaos_counters::{collect_run, collect_run_mixed, CounterCatalog, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{SimConfig, Workload};
+
+fn main() {
+    let cfg = SimConfig::paper();
+    let platforms = [Platform::Core2, Platform::Opteron];
+
+    // Train per-platform machine models on the *homogeneous* clusters, as
+    // the paper does, then deploy them on the mixed cluster.
+    let mut composed = ClusterPowerModel::new();
+    for platform in platforms {
+        let cluster = Cluster::homogeneous(platform, 5, 2012);
+        let catalog = CounterCatalog::for_platform(&platform.spec());
+        let mut train: Vec<RunTrace> = Vec::new();
+        for (wi, w) in Workload::ALL.iter().enumerate() {
+            for r in 0..2 {
+                train.push(collect_run(
+                    &cluster,
+                    &catalog,
+                    *w,
+                    &cfg,
+                    7_000 + (wi * 10 + r) as u64,
+                ));
+            }
+        }
+        let spec = FeatureSpec::general(&catalog);
+        let ds = pooled_dataset(&train, &spec)
+            .expect("pooled dataset")
+            .thinned(2_500);
+        let opts = FitOptions::paper().with_freq_column(spec.freq_column(&catalog));
+        let model = FittedModel::fit(ModelTechnique::Quadratic, &ds.x, &ds.y, &opts)
+            .expect("model fits");
+        composed.insert(platform, spec, model);
+    }
+
+    // The 10-machine heterogeneous cluster (work per machine scales with
+    // cluster size inside the generators).
+    let hetero = Cluster::heterogeneous(&[(Platform::Core2, 5), (Platform::Opteron, 5)], 77);
+    let hetero_range: f64 = hetero.max_power() - hetero.idle_power();
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut worst: f64 = 0.0;
+    for workload in Workload::ALL {
+        for run in 0..2 {
+            let trace = collect_run_mixed(&hetero, workload, &cfg, 8_000 + run);
+            let actual = trace.cluster_measured_power();
+            let pred = composed.predict_cluster(&trace).expect("prediction");
+            let rmse = chaos_stats::metrics::rmse(&pred, &actual).unwrap();
+            let dre = rmse / hetero_range;
+            worst = worst.max(dre);
+            rows.push(vec![
+                workload.name().to_string(),
+                run.to_string(),
+                format!("{:.1}", rmse),
+                pct(dre),
+            ]);
+            csv.push(vec![
+                workload.name().to_string(),
+                run.to_string(),
+                format!("{rmse:.2}"),
+                format!("{dre:.4}"),
+            ]);
+        }
+    }
+
+    println!("Heterogeneous 10-machine cluster (5x Core2 + 5x Opteron)\n");
+    println!(
+        "{}",
+        format_table(&["Workload", "Run", "Cluster rMSE (W)", "Cluster DRE"], &rows)
+    );
+    println!("worst-case DRE: {} (paper: <= 12%)", pct(worst));
+    let path = write_csv(
+        "hetero_cluster.csv",
+        &["workload", "run", "cluster_rmse_w", "cluster_dre"],
+        &csv,
+    );
+    println!("CSV written to {}", path.display());
+
+    assert!(
+        worst <= 0.12,
+        "heterogeneous worst-case DRE {} exceeds the paper's 12%",
+        pct(worst)
+    );
+}

@@ -1,0 +1,60 @@
+//! Table I: the six evaluation platforms and their wall-power ranges.
+//!
+//! Prints the simulated platforms next to the paper's specification and
+//! verifies that each calibrated machine's idle/max wall power lands on
+//! the paper's reported range.
+
+use chaos_bench::{format_table, watts, write_csv};
+use chaos_sim::{Machine, Platform};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for platform in Platform::ALL {
+        let spec = platform.spec();
+        let m = Machine::nominal(platform, 0);
+        let idle = m.true_power(&m.idle_state());
+        let max = m.true_power(&m.full_state());
+        let (paper_lo, paper_hi) = spec.power_range_w;
+        assert!(
+            (idle - paper_lo).abs() < 0.5 && (max - paper_hi).abs() < 0.5,
+            "{platform}: simulated range [{idle:.1}, {max:.1}] vs paper [{paper_lo}, {paper_hi}]"
+        );
+        rows.push(vec![
+            platform.name().to_string(),
+            format!("{:?}", spec.class),
+            format!("{}x{}-core", spec.sockets, spec.cores / spec.sockets),
+            format!("{:.2} GHz", spec.max_pstate().freq_mhz / 1000.0),
+            format!("{} GB", spec.memory_gb),
+            format!("{} disk(s)", spec.disks.len()),
+            if spec.has_dvfs() { "DVFS" } else { "fixed" }.to_string(),
+            watts(idle),
+            watts(max),
+            format!("{paper_lo}-{paper_hi} W"),
+        ]);
+        csv.push(vec![
+            platform.name().to_string(),
+            format!("{idle:.2}"),
+            format!("{max:.2}"),
+            format!("{paper_lo}"),
+            format!("{paper_hi}"),
+        ]);
+    }
+    println!("Table I: simulated platforms vs paper power ranges\n");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Platform", "Class", "CPU", "Freq", "Memory", "Disks", "DVFS", "Sim idle",
+                "Sim max", "Paper range"
+            ],
+            &rows
+        )
+    );
+    let path = write_csv(
+        "table1_platforms.csv",
+        &["platform", "sim_idle_w", "sim_max_w", "paper_idle_w", "paper_max_w"],
+        &csv,
+    );
+    println!("CSV written to {}", path.display());
+}

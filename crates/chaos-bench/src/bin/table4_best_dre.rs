@@ -1,0 +1,145 @@
+//! Table IV: best average DRE for each workload × cluster, labeled with
+//! the winning technique + feature set, plus the paper's model-count
+//! accounting (">1200 full-system power models per cluster").
+
+use chaos_bench::{format_table, pct, write_csv};
+use chaos_core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos_core::sweep::{best_cell, models_built};
+use chaos_sim::Platform;
+use chaos_workloads::Workload;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExperimentConfig::paper();
+    // best[(workload)][platform] = (dre, label)
+    let mut best: BTreeMap<&str, BTreeMap<&str, (f64, String)>> = BTreeMap::new();
+    let mut counts = Vec::new();
+    let mut all_cells_csv = Vec::new();
+
+    for platform in Platform::ALL {
+        let t0 = Instant::now();
+        let exp = ClusterExperiment::collect(platform, &cfg);
+        let selection = exp.select_features().expect("selection succeeds");
+        let mut sets = exp.standard_feature_sets(&selection);
+        // The paper "varied the number of model features, ranging from
+        // CPU utilization alone to the full cluster-specific and general
+        // feature sets": sweep ranked prefixes of the cluster set too.
+        // These subsets are what pushes the per-cluster model count past
+        // 1,200 and they trace the complexity-vs-accuracy curve.
+        let ranked: Vec<usize> = selection
+            .histogram
+            .iter()
+            .filter(|(j, _)| selection.selected.contains(j))
+            .map(|(j, _)| *j)
+            .collect();
+        for k in 1..ranked.len() {
+            sets.push((
+                format!("C{k}"),
+                chaos_core::features::FeatureSpec::new(ranked[..k].to_vec()),
+            ));
+        }
+        // Prefixes of the general set likewise (G1..G7).
+        let general = chaos_core::features::FeatureSpec::general(&exp.catalog);
+        for k in 1..general.counters.len() {
+            sets.push((
+                format!("G{k}"),
+                chaos_core::features::FeatureSpec::new(general.counters[..k].to_vec()),
+            ));
+        }
+        let mut platform_models = selection.models_built;
+        for workload in Workload::ALL {
+            let cells = exp.sweep(workload, &sets).expect("sweep succeeds");
+            platform_models += models_built(&cells);
+            for c in &cells {
+                all_cells_csv.push(vec![
+                    platform.name().to_string(),
+                    workload.name().to_string(),
+                    c.label(),
+                    format!("{:.4}", c.outcome.avg_dre()),
+                ]);
+            }
+            // Table IV reports the best of the paper's named combinations;
+            // the prefix subsets only feed the model count and the
+            // complexity-vs-accuracy CSV.
+            let named: Vec<_> = cells
+                .iter()
+                .filter(|c| matches!(c.feature_label.as_str(), "U" | "C" | "CP" | "G"))
+                .cloned()
+                .collect();
+            let b = best_cell(&named).expect("cells nonempty");
+            best.entry(workload.name())
+                .or_default()
+                .insert(platform.name(), (b.outcome.avg_dre(), b.label()));
+        }
+        // The paper's accounting also includes per-fold model refits during
+        // selection exploration across the 4 feature sets; our sweep counts
+        // every cross-validated fit.
+        counts.push(vec![
+            platform.name().to_string(),
+            format!("{platform_models}"),
+            format!("{:.0}s", t0.elapsed().as_secs_f64()),
+        ]);
+        eprintln!(
+            "[{platform}] done in {:.0}s ({platform_models} models)",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for workload in Workload::ALL {
+        let mut row = vec![workload.name().to_string()];
+        let mut crow = vec![workload.name().to_string()];
+        for platform in Platform::ALL {
+            let (dre, label) = &best[workload.name()][platform.name()];
+            row.push(format!("{}, {}", pct(*dre), label));
+            crow.push(format!("{dre:.4}"));
+            crow.push(label.clone());
+            assert!(
+                *dre < 0.12,
+                "{platform}/{workload}: best DRE {dre} exceeds the paper's 12% bound"
+            );
+        }
+        rows.push(row);
+        csv.push(crow);
+    }
+
+    println!("Table IV: best average DRE per workload and cluster\n");
+    println!(
+        "{}",
+        format_table(
+            &["Workload", "Atom", "Core2", "Athlon", "Opteron", "XeonSATA", "XeonSAS"],
+            &rows
+        )
+    );
+    println!("Models fitted per cluster (selection + sweep):\n");
+    println!("{}", format_table(&["Platform", "Models", "Time"], &counts));
+
+    let path = write_csv(
+        "table4_best_dre.csv",
+        &[
+            "workload", "atom_dre", "atom", "core2_dre", "core2", "athlon_dre", "athlon",
+            "opteron_dre", "opteron", "xeonsata_dre", "xeonsata", "xeonsas_dre", "xeonsas",
+        ],
+        &csv,
+    );
+    write_csv(
+        "table4_all_cells.csv",
+        &["platform", "workload", "label", "dre"],
+        &all_cells_csv,
+    );
+    println!("CSV written to {}", path.display());
+
+    // Shape check: nonlinear techniques and non-trivial feature sets
+    // dominate the winners' table.
+    let labels: Vec<&String> = best
+        .values()
+        .flat_map(|m| m.values().map(|(_, l)| l))
+        .collect();
+    let nonlinear = labels.iter().filter(|l| !l.starts_with('L')).count();
+    assert!(
+        nonlinear * 10 >= labels.len() * 7,
+        "nonlinear models should win most cells: {labels:?}"
+    );
+}

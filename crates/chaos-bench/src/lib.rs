@@ -1,0 +1,117 @@
+//! Shared plumbing for the experiment binaries that regenerate every
+//! table and figure of the CHAOS paper, plus the Criterion benches.
+//!
+//! Each binary prints a formatted table to stdout and writes a CSV copy
+//! under `results/` so EXPERIMENTS.md can reference stable artifacts.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment binaries drop their CSV artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join("results");
+    fs::create_dir_all(&dir).expect("can create results directory");
+    dir
+}
+
+/// Renders an aligned text table.
+pub fn format_table<S: Display>(headers: &[&str], rows: &[Vec<S>]) -> String {
+    let mut cells: Vec<Vec<String>> = vec![headers.iter().map(|h| h.to_string()).collect()];
+    cells.extend(
+        rows.iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect::<Vec<_>>()),
+    );
+    let cols = cells.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in &cells {
+        for (j, c) in row.iter().enumerate() {
+            widths[j] = widths[j].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in cells.iter().enumerate() {
+        for (j, c) in row.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[j]));
+        }
+        out.push('\n');
+        if i == 0 {
+            for (j, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if j + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes a CSV artifact into `results/`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (experiment binaries treat that
+/// as fatal).
+pub fn write_csv<S: Display>(name: &str, headers: &[&str], rows: &[Vec<S>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut body = headers.join(",");
+    body.push('\n');
+    for r in rows {
+        let line: Vec<String> = r.iter().map(|c| c.to_string()).collect();
+        body.push_str(&line.join(","));
+        body.push('\n');
+    }
+    fs::write(&path, body).expect("can write CSV artifact");
+    path
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats watts with one decimal.
+pub fn watts(x: f64) -> String {
+    format!("{x:.1} W")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["a", "long-header"],
+            &[vec!["x".to_string(), "y".to_string()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let p = write_csv(
+            "test_artifact.csv",
+            &["k", "v"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(body, "k,v\n1,2\n");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(watts(45.67), "45.7 W");
+    }
+}

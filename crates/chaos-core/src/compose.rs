@@ -1,0 +1,224 @@
+//! Cluster power-model composition (Eq. 5): cluster power is the sum of
+//! per-machine model predictions, with per-platform models in
+//! heterogeneous clusters.
+
+use crate::features::FeatureSpec;
+use crate::models::FittedModel;
+use chaos_counters::{MachineRunTrace, RunTrace};
+use chaos_sim::Platform;
+use chaos_stats::StatsError;
+use std::collections::BTreeMap;
+
+/// A composed cluster power model: one machine model per platform,
+/// applied to every machine of that platform and summed (Eq. 5).
+///
+/// For homogeneous clusters this holds a single entry; the paper's
+/// 10-machine heterogeneous experiment holds one model for Core2 and one
+/// for Opteron and achieves the same worst-case DRE as the homogeneous
+/// clusters "essentially for free".
+#[derive(Debug, Clone)]
+pub struct ClusterPowerModel {
+    per_platform: BTreeMap<String, (Platform, FeatureSpec, FittedModel)>,
+}
+
+impl ClusterPowerModel {
+    /// Creates an empty composition.
+    pub fn new() -> Self {
+        ClusterPowerModel {
+            per_platform: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a composition with a single platform's model.
+    pub fn homogeneous(platform: Platform, spec: FeatureSpec, model: FittedModel) -> Self {
+        let mut c = ClusterPowerModel::new();
+        c.insert(platform, spec, model);
+        c
+    }
+
+    /// Adds (or replaces) the model used for `platform`'s machines.
+    pub fn insert(&mut self, platform: Platform, spec: FeatureSpec, model: FittedModel) {
+        self.per_platform
+            .insert(platform.name().to_string(), (platform, spec, model));
+    }
+
+    /// Platforms with a registered model.
+    pub fn platforms(&self) -> Vec<Platform> {
+        self.per_platform.values().map(|(p, _, _)| *p).collect()
+    }
+
+    /// Predicts one machine's power series from its counter trace.
+    ///
+    /// With lagged features the first second has no predecessor; its
+    /// prediction reuses the second sample's, keeping the output aligned
+    /// with the trace.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] if no model is registered for
+    ///   the machine's platform.
+    /// * Prediction errors from the underlying model.
+    pub fn predict_machine(&self, m: &MachineRunTrace) -> Result<Vec<f64>, StatsError> {
+        let (_, spec, model) = self
+            .per_platform
+            .get(m.platform.name())
+            .ok_or_else(|| StatsError::InvalidParameter {
+                context: format!("no model registered for platform {}", m.platform),
+            })?;
+        let start = usize::from(!spec.lagged.is_empty());
+        let mut out = Vec::with_capacity(m.counters.len());
+        for t in start..m.counters.len() {
+            let mut row = Vec::with_capacity(spec.width());
+            for &c in &spec.counters {
+                row.push(m.counters[t][c]);
+            }
+            for &c in &spec.lagged {
+                row.push(m.counters[t - 1][c]);
+            }
+            out.push(model.predict_row(&row)?);
+        }
+        if start == 1 && !out.is_empty() {
+            out.insert(0, out[0]);
+        }
+        Ok(out)
+    }
+
+    /// Predicts the cluster power series: the per-second sum of all
+    /// machines' predictions (Eq. 5).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterPowerModel::predict_machine`].
+    pub fn predict_cluster(&self, run: &RunTrace) -> Result<Vec<f64>, StatsError> {
+        let n = run.seconds();
+        let mut total = vec![0.0; n];
+        for m in &run.machines {
+            let p = self.predict_machine(m)?;
+            for (o, v) in total.iter_mut().zip(&p) {
+                *o += v;
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl Default for ClusterPowerModel {
+    fn default() -> Self {
+        ClusterPowerModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::pooled_dataset;
+    use crate::models::{FitOptions, ModelTechnique};
+    use chaos_counters::{collect_run, collect_run_mixed, CounterCatalog};
+    use chaos_sim::{Cluster, Platform};
+    use chaos_workloads::{SimConfig, Workload};
+
+    fn fit_for(
+        platform: Platform,
+        traces: &[RunTrace],
+        catalog: &CounterCatalog,
+    ) -> (FeatureSpec, FittedModel) {
+        let spec = FeatureSpec::general(catalog);
+        let ds = pooled_dataset(traces, &spec).unwrap().thinned(1000);
+        let model = FittedModel::fit(ModelTechnique::Linear, &ds.x, &ds.y, &FitOptions::paper())
+            .unwrap();
+        let _ = platform;
+        (spec, model)
+    }
+
+    #[test]
+    fn cluster_prediction_sums_machine_predictions() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 3, 2);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3);
+        let (spec, model) = fit_for(Platform::Atom, &[run.clone()], &catalog);
+        let cm = ClusterPowerModel::homogeneous(Platform::Atom, spec, model);
+        let cluster_pred = cm.predict_cluster(&run).unwrap();
+        let manual: Vec<f64> = {
+            let per: Vec<Vec<f64>> = run
+                .machines
+                .iter()
+                .map(|m| cm.predict_machine(m).unwrap())
+                .collect();
+            (0..run.seconds())
+                .map(|t| per.iter().map(|p| p[t]).sum())
+                .collect()
+        };
+        assert_eq!(cluster_pred, manual);
+        assert_eq!(cluster_pred.len(), run.seconds());
+    }
+
+    #[test]
+    fn prediction_tracks_actual_power_roughly() {
+        let cluster = Cluster::homogeneous(Platform::Core2, 3, 4);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let train = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 10);
+        let test = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 11);
+        let (spec, model) = fit_for(Platform::Core2, &[train], &catalog);
+        let cm = ClusterPowerModel::homogeneous(Platform::Core2, spec, model);
+        let pred = cm.predict_cluster(&test).unwrap();
+        let actual = test.cluster_measured_power();
+        let rmse = chaos_stats::metrics::rmse(&pred, &actual).unwrap();
+        let range = cluster.max_power() - cluster.idle_power();
+        assert!(rmse / range < 0.25, "cluster rmse {rmse} over range {range}");
+    }
+
+    #[test]
+    fn heterogeneous_composition_uses_per_platform_models() {
+        let cluster =
+            Cluster::heterogeneous(&[(Platform::Core2, 2), (Platform::Opteron, 2)], 8);
+        let run = collect_run_mixed(&cluster, Workload::WordCount, &SimConfig::quick(), 21);
+
+        // Train each platform's model on its own machines' data.
+        let mut cm = ClusterPowerModel::new();
+        for platform in [Platform::Core2, Platform::Opteron] {
+            let catalog = CounterCatalog::for_platform(&platform.spec());
+            let sub = RunTrace {
+                workload: run.workload.clone(),
+                run_seed: run.run_seed,
+                machines: run
+                    .machines
+                    .iter()
+                    .filter(|m| m.platform == platform)
+                    .cloned()
+                    .collect(),
+            };
+            let (spec, model) = fit_for(platform, &[sub], &catalog);
+            cm.insert(platform, spec, model);
+        }
+        assert_eq!(cm.platforms().len(), 2);
+        let pred = cm.predict_cluster(&run).unwrap();
+        assert_eq!(pred.len(), run.seconds());
+        let actual = run.cluster_measured_power();
+        let rmse = chaos_stats::metrics::rmse(&pred, &actual).unwrap();
+        assert!(rmse < 40.0, "hetero rmse {rmse}");
+    }
+
+    #[test]
+    fn missing_platform_model_is_an_error() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 0);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1);
+        let cm = ClusterPowerModel::new();
+        assert!(cm.predict_cluster(&run).is_err());
+    }
+
+    #[test]
+    fn lagged_spec_keeps_output_aligned() {
+        let cluster = Cluster::homogeneous(Platform::Core2, 2, 3);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 7);
+        let spec = FeatureSpec::general(&catalog).with_lagged_freq(&catalog);
+        let ds = pooled_dataset(&[run.clone()], &spec).unwrap().thinned(800);
+        let model =
+            FittedModel::fit(ModelTechnique::Linear, &ds.x, &ds.y, &FitOptions::paper()).unwrap();
+        let cm = ClusterPowerModel::homogeneous(Platform::Core2, spec, model);
+        let pred = cm.predict_machine(&run.machines[0]).unwrap();
+        assert_eq!(pred.len(), run.seconds());
+        assert_eq!(pred[0], pred[1], "first second reuses second prediction");
+    }
+}

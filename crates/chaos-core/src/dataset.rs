@@ -1,0 +1,256 @@
+//! Building regression datasets from collected run traces.
+
+use crate::features::FeatureSpec;
+use chaos_counters::RunTrace;
+use chaos_stats::{Matrix, StatsError};
+
+/// A regression dataset: feature matrix, power targets, and the sample
+/// provenance needed for run-aware cross-validation and per-machine
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, one row per (machine, second) sample.
+    pub x: Matrix,
+    /// Metered power target for each row, in watts.
+    pub y: Vec<f64>,
+    /// For each row, which run (index into the trace list) it came from.
+    pub run_of: Vec<usize>,
+    /// For each row, which machine id it came from.
+    pub machine_of: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of runs represented.
+    pub fn n_runs(&self) -> usize {
+        self.run_of.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Row indices belonging to the given runs.
+    pub fn rows_in_runs(&self, runs: &[usize]) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| runs.contains(&self.run_of[i]))
+            .collect()
+    }
+
+    /// Row indices belonging to one machine.
+    pub fn rows_of_machine(&self, machine: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.machine_of[i] == machine)
+            .collect()
+    }
+
+    /// Extracts the sub-dataset at the given row indices.
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(rows),
+            y: rows.iter().map(|&i| self.y[i]).collect(),
+            run_of: rows.iter().map(|&i| self.run_of[i]).collect(),
+            machine_of: rows.iter().map(|&i| self.machine_of[i]).collect(),
+        }
+    }
+
+    /// Deterministically thins the dataset to at most `max_rows` samples
+    /// (evenly strided), used to cap the cost of expensive fits like MARS
+    /// without biasing toward any run phase.
+    pub fn thinned(&self, max_rows: usize) -> Dataset {
+        if self.len() <= max_rows || max_rows == 0 {
+            return self.clone();
+        }
+        let stride = self.len() as f64 / max_rows as f64;
+        let rows: Vec<usize> = (0..max_rows)
+            .map(|k| ((k as f64 * stride) as usize).min(self.len() - 1))
+            .collect();
+        self.subset(&rows)
+    }
+}
+
+/// Builds a pooled dataset over every machine in the given runs — the
+/// paper's pooling strategy for cluster-level model fitting ("we pool
+/// performance counters and power measurements from all the machines in
+/// the cluster").
+///
+/// Lagged columns drop each (machine, run)'s first second, keeping rows
+/// aligned with their previous-second values.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if no samples survive, or
+/// [`StatsError::InvalidParameter`] if a feature index exceeds a trace's
+/// counter width.
+pub fn pooled_dataset(traces: &[RunTrace], spec: &FeatureSpec) -> Result<Dataset, StatsError> {
+    dataset_filtered(traces, spec, None)
+}
+
+/// Builds a dataset for a single machine across runs — the per-machine
+/// models of Algorithm 1 steps 3–4.
+///
+/// # Errors
+///
+/// Same conditions as [`pooled_dataset`].
+pub fn machine_dataset(
+    traces: &[RunTrace],
+    spec: &FeatureSpec,
+    machine_id: usize,
+) -> Result<Dataset, StatsError> {
+    dataset_filtered(traces, spec, Some(machine_id))
+}
+
+fn dataset_filtered(
+    traces: &[RunTrace],
+    spec: &FeatureSpec,
+    machine_filter: Option<usize>,
+) -> Result<Dataset, StatsError> {
+    let width = spec.width();
+    let mut rows: Vec<f64> = Vec::new();
+    let mut y = Vec::new();
+    let mut run_of = Vec::new();
+    let mut machine_of = Vec::new();
+    let start_t = usize::from(!spec.lagged.is_empty());
+
+    for (run_idx, run) in traces.iter().enumerate() {
+        for m in &run.machines {
+            if machine_filter.is_some_and(|id| id != m.machine_id) {
+                continue;
+            }
+            for t in start_t..m.counters.len() {
+                let row_now = &m.counters[t];
+                for &c in &spec.counters {
+                    let v = row_now.get(c).copied().ok_or_else(|| {
+                        StatsError::InvalidParameter {
+                            context: format!("feature index {c} out of counter range"),
+                        }
+                    })?;
+                    rows.push(v);
+                }
+                for &c in &spec.lagged {
+                    let v = m.counters[t - 1].get(c).copied().ok_or_else(|| {
+                        StatsError::InvalidParameter {
+                            context: format!("lagged feature index {c} out of counter range"),
+                        }
+                    })?;
+                    rows.push(v);
+                }
+                y.push(m.measured_power_w[t]);
+                run_of.push(run_idx);
+                machine_of.push(m.machine_id);
+            }
+        }
+    }
+    if y.is_empty() {
+        return Err(StatsError::InsufficientData {
+            observations: 0,
+            required: 1,
+        });
+    }
+    let n = y.len();
+    Ok(Dataset {
+        x: Matrix::from_vec(n, width, rows)?,
+        y,
+        run_of,
+        machine_of,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_counters::{collect_run, CounterCatalog};
+    use chaos_sim::{Cluster, Platform};
+    use chaos_workloads::{SimConfig, Workload};
+
+    fn traces() -> (Vec<RunTrace>, CounterCatalog) {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 1);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let t = (0..2)
+            .map(|r| {
+                collect_run(
+                    &cluster,
+                    &catalog,
+                    Workload::WordCount,
+                    &SimConfig::quick(),
+                    100 + r,
+                )
+            })
+            .collect();
+        (t, catalog)
+    }
+
+    #[test]
+    fn pooled_dataset_covers_all_machines_and_runs() {
+        let (traces, catalog) = traces();
+        let spec = crate::features::FeatureSpec::cpu_only(&catalog);
+        let ds = pooled_dataset(&traces, &spec).unwrap();
+        let expected: usize = traces.iter().map(|r| r.seconds() * r.machines.len()).sum();
+        assert_eq!(ds.len(), expected);
+        assert_eq!(ds.x.cols(), 1);
+        assert_eq!(ds.n_runs(), 2);
+        assert!(ds.rows_of_machine(0).len() > 0);
+        assert!(ds.rows_of_machine(1).len() > 0);
+    }
+
+    #[test]
+    fn machine_dataset_filters() {
+        let (traces, catalog) = traces();
+        let spec = crate::features::FeatureSpec::general(&catalog);
+        let ds = machine_dataset(&traces, &spec, 1).unwrap();
+        assert!(ds.machine_of.iter().all(|&m| m == 1));
+        assert_eq!(ds.x.cols(), 8);
+    }
+
+    #[test]
+    fn lagged_columns_shift_by_one_second() {
+        let (traces, catalog) = traces();
+        let spec = crate::features::FeatureSpec::general(&catalog).with_lagged_freq(&catalog);
+        let ds = machine_dataset(&traces, &spec, 0).unwrap();
+        // One sample fewer per run than the unlagged dataset.
+        let plain = machine_dataset(&traces, &FeatureSpec::general(&catalog), 0).unwrap();
+        assert_eq!(ds.len(), plain.len() - traces.len());
+        // The lagged column equals the frequency counter one second back.
+        let freq_idx = catalog
+            .index_of("Processor Performance\\Processor Frequency (Processor_0)")
+            .unwrap();
+        let m = &traces[0].machines[0];
+        assert_eq!(ds.x.get(0, 8), m.counters[0][freq_idx]);
+        assert_eq!(ds.x.get(1, 8), m.counters[1][freq_idx]);
+    }
+
+    #[test]
+    fn subset_and_rows_in_runs() {
+        let (traces, catalog) = traces();
+        let spec = FeatureSpec::cpu_only(&catalog);
+        let ds = pooled_dataset(&traces, &spec).unwrap();
+        let rows = ds.rows_in_runs(&[1]);
+        let sub = ds.subset(&rows);
+        assert!(sub.run_of.iter().all(|&r| r == 1));
+        assert_eq!(sub.len(), rows.len());
+    }
+
+    #[test]
+    fn thinned_caps_length_and_preserves_order() {
+        let (traces, catalog) = traces();
+        let spec = FeatureSpec::cpu_only(&catalog);
+        let ds = pooled_dataset(&traces, &spec).unwrap();
+        let thin = ds.thinned(50);
+        assert_eq!(thin.len(), 50);
+        // No cap → unchanged.
+        let same = ds.thinned(ds.len() + 10);
+        assert_eq!(same.len(), ds.len());
+    }
+
+    #[test]
+    fn bad_feature_index_is_rejected() {
+        let (traces, _) = traces();
+        let spec = FeatureSpec::new(vec![9999]);
+        assert!(pooled_dataset(&traces, &spec).is_err());
+    }
+}

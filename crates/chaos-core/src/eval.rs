@@ -1,0 +1,291 @@
+//! Model evaluation with the paper's protocol: cross-validation over
+//! separate application runs, metrics averaged per machine.
+//!
+//! "All models are evaluated by using 5-fold cross validation with a
+//! training set about ten times smaller than the test data set. The
+//! training and test sets are taken from separate application runs."
+//! Each fold trains on one run and tests on every other run; DRE uses
+//! each machine's dynamic power range (Eq. 6) and Table III/IV report the
+//! average across machines and folds.
+
+use crate::dataset::{pooled_dataset, Dataset};
+use crate::features::FeatureSpec;
+use crate::models::{FitOptions, FittedModel, ModelTechnique};
+use chaos_counters::RunTrace;
+use chaos_sim::Cluster;
+use chaos_stats::{metrics, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Cap on pooled training rows per fold (controls MARS cost; the
+    /// paper's training sets are deliberately small).
+    pub max_train_rows: usize,
+    /// Model-fitting options.
+    pub fit: FitOptions,
+}
+
+impl EvalConfig {
+    /// Paper-shaped evaluation with fast fitting options for sweeps.
+    pub fn fast() -> Self {
+        EvalConfig {
+            max_train_rows: 1_500,
+            fit: FitOptions::fast(),
+        }
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            max_train_rows: 2_500,
+            fit: FitOptions::paper(),
+        }
+    }
+}
+
+/// Metrics for one cross-validation fold, averaged across machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FoldMetrics {
+    /// Which run was the training run.
+    pub train_run: usize,
+    /// Average per-machine Dynamic Range Error.
+    pub dre: f64,
+    /// Average per-machine root mean squared error, watts.
+    pub rmse: f64,
+    /// Average per-machine rMSE / mean power (Table III's "% Err").
+    pub percent_error: f64,
+    /// Average per-machine median relative error.
+    pub median_relative_error: f64,
+}
+
+/// Cross-validated evaluation of one (feature set, technique) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Technique evaluated.
+    pub technique: ModelTechnique,
+    /// Per-fold metrics.
+    pub folds: Vec<FoldMetrics>,
+    /// Number of model fits performed (one per fold).
+    pub models_built: usize,
+}
+
+impl EvalOutcome {
+    /// Mean DRE across folds — the number Table IV reports.
+    pub fn avg_dre(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.dre))
+    }
+
+    /// Mean rMSE across folds.
+    pub fn avg_rmse(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.rmse))
+    }
+
+    /// Mean percent error across folds.
+    pub fn avg_percent_error(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.percent_error))
+    }
+
+    /// Mean median relative error across folds.
+    pub fn avg_median_relative_error(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.median_relative_error))
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Evaluates one technique × feature set over a workload's runs using the
+/// paper's protocol (train on one run, test on the others, every run
+/// takes a turn as the training run).
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] if fewer than two runs are given.
+/// * Model-fitting errors propagate from the underlying estimators.
+pub fn evaluate(
+    traces: &[RunTrace],
+    cluster: &Cluster,
+    spec: &FeatureSpec,
+    technique: ModelTechnique,
+    config: &EvalConfig,
+) -> Result<EvalOutcome, StatsError> {
+    if traces.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            observations: traces.len(),
+            required: 2,
+        });
+    }
+    let catalog = chaos_counters::CounterCatalog::for_platform(
+        &cluster.machines()[0].spec().platform.spec(),
+    );
+    let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
+
+    let ds = pooled_dataset(traces, spec)?;
+    let mut folds = Vec::with_capacity(traces.len());
+    for train_run in 0..traces.len() {
+        let train_rows = ds.rows_in_runs(&[train_run]);
+        let test_rows: Vec<usize> = (0..ds.len())
+            .filter(|&i| ds.run_of[i] != train_run)
+            .collect();
+        let train = ds.subset(&train_rows).thinned(config.max_train_rows);
+        let model = FittedModel::fit(technique, &train.x, &train.y, &opts)?;
+        let test = ds.subset(&test_rows);
+        folds.push(fold_metrics(&model, &test, cluster, train_run)?);
+    }
+    Ok(EvalOutcome {
+        technique,
+        models_built: folds.len(),
+        folds,
+    })
+}
+
+/// Per-machine metrics on a test set, averaged across machines.
+fn fold_metrics(
+    model: &FittedModel,
+    test: &Dataset,
+    cluster: &Cluster,
+    train_run: usize,
+) -> Result<FoldMetrics, StatsError> {
+    let mut dre = Vec::new();
+    let mut rmse = Vec::new();
+    let mut pct = Vec::new();
+    let mut medrel = Vec::new();
+    for machine in cluster.machines() {
+        let rows = test.rows_of_machine(machine.id());
+        if rows.is_empty() {
+            continue;
+        }
+        let sub = test.subset(&rows);
+        let pred = model.predict(&sub.x)?;
+        dre.push(metrics::dynamic_range_error(
+            &pred,
+            &sub.y,
+            machine.max_power(),
+            machine.idle_power(),
+        )?);
+        rmse.push(metrics::rmse(&pred, &sub.y)?);
+        pct.push(metrics::percent_error(&pred, &sub.y)?);
+        medrel.push(metrics::median_relative_error(&pred, &sub.y)?);
+    }
+    if dre.is_empty() {
+        return Err(StatsError::InsufficientData {
+            observations: 0,
+            required: 1,
+        });
+    }
+    Ok(FoldMetrics {
+        train_run,
+        dre: mean(dre.into_iter()),
+        rmse: mean(rmse.into_iter()),
+        percent_error: mean(pct.into_iter()),
+        median_relative_error: mean(medrel.into_iter()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_counters::{collect_run, CounterCatalog};
+    use chaos_sim::Platform;
+    use chaos_workloads::{SimConfig, Workload};
+
+    fn setup() -> (Vec<RunTrace>, Cluster, CounterCatalog) {
+        let cluster = Cluster::homogeneous(Platform::Core2, 3, 9);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let traces: Vec<RunTrace> = (0..3)
+            .map(|r| {
+                collect_run(
+                    &cluster,
+                    &catalog,
+                    Workload::Prime,
+                    &SimConfig::quick(),
+                    40 + r,
+                )
+            })
+            .collect();
+        (traces, cluster, catalog)
+    }
+
+    #[test]
+    fn evaluate_produces_one_fold_per_run() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let out = evaluate(
+            &traces,
+            &cluster,
+            &spec,
+            ModelTechnique::Linear,
+            &EvalConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(out.folds.len(), 3);
+        assert_eq!(out.models_built, 3);
+        assert!(out.avg_dre() > 0.0 && out.avg_dre() < 1.0, "dre {}", out.avg_dre());
+        assert!(out.avg_rmse() > 0.0);
+        assert!(out.avg_percent_error() > 0.0);
+        assert!(out.avg_median_relative_error() >= 0.0);
+    }
+
+    #[test]
+    fn linear_model_on_general_features_is_reasonably_accurate() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let out = evaluate(
+            &traces,
+            &cluster,
+            &spec,
+            ModelTechnique::Linear,
+            &EvalConfig::fast(),
+        )
+        .unwrap();
+        // Even linear + general features should land well under 30% DRE
+        // on Prime (CPU-dominated, strong utilization signal).
+        assert!(out.avg_dre() < 0.30, "dre = {}", out.avg_dre());
+    }
+
+    #[test]
+    fn quadratic_not_worse_than_linear_on_prime() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let lin = evaluate(&traces, &cluster, &spec, ModelTechnique::Linear, &EvalConfig::fast())
+            .unwrap();
+        let quad = evaluate(
+            &traces,
+            &cluster,
+            &spec,
+            ModelTechnique::Quadratic,
+            &EvalConfig::fast(),
+        )
+        .unwrap();
+        // On this deliberately tiny dataset the quadratic model may give
+        // back some accuracy to variance, but it must stay in the same
+        // league; the full-size experiments assert the paper's ordering.
+        assert!(
+            quad.avg_dre() < lin.avg_dre() * 2.0 && quad.avg_dre() < 0.25,
+            "quadratic {} vs linear {}",
+            quad.avg_dre(),
+            lin.avg_dre()
+        );
+    }
+
+    #[test]
+    fn too_few_runs_rejected() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::cpu_only(&catalog);
+        assert!(evaluate(
+            &traces[..1],
+            &cluster,
+            &spec,
+            ModelTechnique::Linear,
+            &EvalConfig::fast()
+        )
+        .is_err());
+    }
+}

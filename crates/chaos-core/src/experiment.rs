@@ -1,0 +1,237 @@
+//! High-level experiment orchestration: collect → select → sweep for one
+//! cluster, with paper-shaped defaults.
+
+use crate::eval::{evaluate, EvalConfig, EvalOutcome};
+use crate::features::FeatureSpec;
+use crate::models::ModelTechnique;
+use crate::selection::{select_features, SelectionConfig, SelectionResult};
+use crate::sweep::{sweep_grid, SweepCell};
+use chaos_counters::{collect_run, CounterCatalog, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stats::StatsError;
+use chaos_workloads::{SimConfig, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Configuration of a full cluster experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Machines per cluster (the paper uses 5).
+    pub machines: usize,
+    /// Runs per workload (the paper uses 5; Figure 1 shows all of them).
+    pub runs_per_workload: usize,
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Scheduler configuration.
+    pub sim: SimConfig,
+    /// Seed for cluster construction (machine variation) and run seeds.
+    pub cluster_seed: u64,
+    /// Feature-selection tunables.
+    pub selection: SelectionConfig,
+    /// Evaluation tunables.
+    pub eval: EvalConfig,
+}
+
+impl ExperimentConfig {
+    /// Paper-shaped: 5 machines, 5 runs, all four workloads.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            machines: 5,
+            runs_per_workload: 5,
+            workloads: Workload::ALL.to_vec(),
+            sim: SimConfig::paper(),
+            cluster_seed: 2012,
+            selection: SelectionConfig::default(),
+            eval: EvalConfig::fast(),
+        }
+    }
+
+    /// Small and fast: 3 machines, 2 runs, two workloads. For tests and
+    /// doc examples.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            machines: 3,
+            runs_per_workload: 2,
+            workloads: vec![Workload::Prime, Workload::WordCount],
+            sim: SimConfig::quick(),
+            cluster_seed: 7,
+            selection: SelectionConfig::default(),
+            eval: EvalConfig::fast(),
+        }
+    }
+}
+
+/// Collected traces and metadata for one cluster, ready for selection,
+/// evaluation and sweeps.
+#[derive(Debug, Clone)]
+pub struct ClusterExperiment {
+    /// The cluster's platform.
+    pub platform: Platform,
+    /// The simulated cluster (source of dynamic ranges for DRE).
+    pub cluster: Cluster,
+    /// The platform's counter catalog.
+    pub catalog: CounterCatalog,
+    config: ExperimentConfig,
+    traces: Vec<RunTrace>,
+    ranges: BTreeMap<String, Range<usize>>,
+}
+
+impl ClusterExperiment {
+    /// Simulates and collects every (workload, run) trace for a platform.
+    pub fn collect(platform: Platform, config: &ExperimentConfig) -> Self {
+        let cluster = Cluster::homogeneous(platform, config.machines, config.cluster_seed);
+        let catalog = CounterCatalog::for_platform(&platform.spec());
+        let mut traces = Vec::new();
+        let mut ranges = BTreeMap::new();
+        for (wi, w) in config.workloads.iter().enumerate() {
+            let start = traces.len();
+            for run in 0..config.runs_per_workload {
+                let seed = config
+                    .cluster_seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add((wi * 101 + run) as u64);
+                traces.push(collect_run(&cluster, &catalog, *w, &config.sim, seed));
+            }
+            ranges.insert(w.name().to_string(), start..traces.len());
+        }
+        ClusterExperiment {
+            platform,
+            cluster,
+            catalog,
+            config: config.clone(),
+            traces,
+            ranges,
+        }
+    }
+
+    /// The configuration this experiment was collected with.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Every trace, grouped by workload in configuration order.
+    pub fn traces(&self) -> &[RunTrace] {
+        &self.traces
+    }
+
+    /// The traces of one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was not part of the experiment.
+    pub fn traces_for(&self, workload: Workload) -> &[RunTrace] {
+        let r = self
+            .ranges
+            .get(workload.name())
+            .unwrap_or_else(|| panic!("workload {workload} not collected"))
+            .clone();
+        &self.traces[r]
+    }
+
+    /// Runs Algorithm 1 over all collected workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates statistical errors from the selection pipeline.
+    pub fn select_features(&self) -> Result<SelectionResult, StatsError> {
+        select_features(&self.traces, &self.catalog, &self.config.selection)
+    }
+
+    /// The standard feature-set grid used in Figures 3–4 and Table IV:
+    /// CPU-only (U), cluster-specific (C), cluster + lagged MHz (CP), and
+    /// general (G).
+    pub fn standard_feature_sets(
+        &self,
+        selection: &SelectionResult,
+    ) -> Vec<(String, FeatureSpec)> {
+        let cluster_spec = selection.feature_spec();
+        vec![
+            ("U".to_string(), FeatureSpec::cpu_only(&self.catalog)),
+            ("C".to_string(), cluster_spec.clone()),
+            (
+                "CP".to_string(),
+                cluster_spec.with_lagged_freq(&self.catalog),
+            ),
+            ("G".to_string(), FeatureSpec::general(&self.catalog)),
+        ]
+    }
+
+    /// Cross-validated evaluation of one combination on one workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn evaluate(
+        &self,
+        workload: Workload,
+        spec: &FeatureSpec,
+        technique: ModelTechnique,
+    ) -> Result<EvalOutcome, StatsError> {
+        evaluate(
+            self.traces_for(workload),
+            &self.cluster,
+            spec,
+            technique,
+            &self.config.eval,
+        )
+    }
+
+    /// Full technique × feature-set sweep on one workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn sweep(
+        &self,
+        workload: Workload,
+        feature_sets: &[(String, FeatureSpec)],
+    ) -> Result<Vec<SweepCell>, StatsError> {
+        sweep_grid(
+            self.traces_for(workload),
+            &self.cluster,
+            feature_sets,
+            &ModelTechnique::ALL,
+            &self.config.eval,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_builds_grouped_traces() {
+        let cfg = ExperimentConfig::quick();
+        let exp = ClusterExperiment::collect(Platform::Atom, &cfg);
+        assert_eq!(exp.traces().len(), 4); // 2 workloads × 2 runs
+        assert_eq!(exp.traces_for(Workload::Prime).len(), 2);
+        assert_eq!(exp.traces_for(Workload::WordCount).len(), 2);
+        assert_eq!(exp.traces_for(Workload::Prime)[0].workload, "prime");
+        assert_eq!(exp.platform, Platform::Atom);
+        assert_eq!(exp.config().machines, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not collected")]
+    fn traces_for_unknown_workload_panics() {
+        let cfg = ExperimentConfig::quick();
+        let exp = ClusterExperiment::collect(Platform::Atom, &cfg);
+        exp.traces_for(Workload::Sort);
+    }
+
+    #[test]
+    fn end_to_end_select_and_evaluate() {
+        let cfg = ExperimentConfig::quick();
+        let exp = ClusterExperiment::collect(Platform::Core2, &cfg);
+        let selection = exp.select_features().unwrap();
+        assert!(!selection.selected.is_empty());
+        let sets = exp.standard_feature_sets(&selection);
+        assert_eq!(sets.len(), 4);
+        let out = exp
+            .evaluate(Workload::Prime, &sets[3].1, ModelTechnique::Linear)
+            .unwrap();
+        assert!(out.avg_dre() < 0.5, "dre {}", out.avg_dre());
+    }
+}

@@ -1,0 +1,166 @@
+//! Feature specifications: which counters feed a model.
+
+use chaos_counters::CounterCatalog;
+use serde::{Deserialize, Serialize};
+
+/// The general cross-platform feature set of Table II ("General" column):
+/// counters significant across all six clusters.
+pub const GENERAL_FEATURE_NAMES: [&str; 8] = [
+    "Processor\\% Processor Time (_Total)",
+    "Processor Performance\\Processor Frequency (Processor_0)",
+    "Memory\\Cache Faults/sec",
+    "Memory\\Pages/sec",
+    "Memory\\Pool Nonpaged Allocs",
+    "PhysicalDisk\\Disk Total Disk Bytes/sec (_Total)",
+    "Cache\\Pin Reads/sec",
+    "Job Object Details\\Total Page File Bytes Peak",
+];
+
+/// A set of model inputs: counter indices plus optional lagged copies
+/// (the paper's "MHz(t−1)" variant adds the previous second's frequency).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Indices into the counter catalog, used at time `t`.
+    pub counters: Vec<usize>,
+    /// Indices whose value at `t − 1` is appended as an extra feature.
+    pub lagged: Vec<usize>,
+}
+
+impl FeatureSpec {
+    /// A plain spec over current-second counters.
+    pub fn new(counters: Vec<usize>) -> Self {
+        FeatureSpec {
+            counters,
+            lagged: Vec::new(),
+        }
+    }
+
+    /// The CPU-utilization-only spec (the strawman feature set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog lacks the utilization counter (never for
+    /// catalogs built by [`CounterCatalog::for_platform`]).
+    pub fn cpu_only(catalog: &CounterCatalog) -> Self {
+        let idx = catalog
+            .index_of("Processor\\% Processor Time (_Total)")
+            .expect("catalog must expose processor utilization");
+        FeatureSpec::new(vec![idx])
+    }
+
+    /// The general cross-platform set (Table II's "General" column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog lacks one of the general counters.
+    pub fn general(catalog: &CounterCatalog) -> Self {
+        let counters = GENERAL_FEATURE_NAMES
+            .iter()
+            .map(|n| {
+                catalog
+                    .index_of(n)
+                    .unwrap_or_else(|| panic!("catalog missing general counter {n}"))
+            })
+            .collect();
+        FeatureSpec::new(counters)
+    }
+
+    /// Returns a copy with the previous-second frequency appended (the
+    /// paper's "+MHz(t−1)" variant, labeled QCP in Table IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog lacks the core-0 frequency counter.
+    pub fn with_lagged_freq(&self, catalog: &CounterCatalog) -> Self {
+        let f = catalog
+            .index_of("Processor Performance\\Processor Frequency (Processor_0)")
+            .expect("catalog must expose core-0 frequency");
+        let mut lagged = self.lagged.clone();
+        if !lagged.contains(&f) {
+            lagged.push(f);
+        }
+        FeatureSpec {
+            counters: self.counters.clone(),
+            lagged,
+        }
+    }
+
+    /// Total model-input width (current + lagged columns).
+    pub fn width(&self) -> usize {
+        self.counters.len() + self.lagged.len()
+    }
+
+    /// Human-readable names of all columns, lagged columns suffixed.
+    pub fn names(&self, catalog: &CounterCatalog) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .counters
+            .iter()
+            .map(|&i| catalog.def(i).name.clone())
+            .collect();
+        out.extend(
+            self.lagged
+                .iter()
+                .map(|&i| format!("{} (t-1)", catalog.def(i).name)),
+        );
+        out
+    }
+
+    /// Position of a processor-frequency counter within this spec's
+    /// *current* columns, if present — the switching model's indicator.
+    /// Any core's frequency qualifies (the paper uses one core's
+    /// frequency as a proxy for the whole system).
+    pub fn freq_column(&self, catalog: &CounterCatalog) -> Option<usize> {
+        self.counters.iter().position(|&c| {
+            let d = catalog.def(c);
+            d.category == chaos_counters::CounterCategory::ProcessorPerformance
+                && d.name.contains("Processor Frequency")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_sim::Platform;
+
+    fn catalog() -> CounterCatalog {
+        CounterCatalog::for_platform(&Platform::Opteron.spec())
+    }
+
+    #[test]
+    fn cpu_only_is_one_column() {
+        let c = catalog();
+        let s = FeatureSpec::cpu_only(&c);
+        assert_eq!(s.width(), 1);
+        assert_eq!(s.names(&c), vec!["Processor\\% Processor Time (_Total)"]);
+        assert!(s.freq_column(&c).is_none());
+    }
+
+    #[test]
+    fn general_set_has_eight_counters() {
+        let c = catalog();
+        let s = FeatureSpec::general(&c);
+        assert_eq!(s.width(), 8);
+        assert!(s.freq_column(&c).is_some());
+    }
+
+    #[test]
+    fn lagged_freq_appends_one_column() {
+        let c = catalog();
+        let s = FeatureSpec::general(&c).with_lagged_freq(&c);
+        assert_eq!(s.width(), 9);
+        let names = s.names(&c);
+        assert!(names.last().unwrap().ends_with("(t-1)"));
+        // Idempotent.
+        let s2 = s.with_lagged_freq(&c);
+        assert_eq!(s2.width(), 9);
+    }
+
+    #[test]
+    fn freq_column_position_is_correct() {
+        let c = catalog();
+        let s = FeatureSpec::general(&c);
+        let pos = s.freq_column(&c).unwrap();
+        assert!(s.names(&c)[pos].contains("Processor Frequency"));
+    }
+}

@@ -1,0 +1,59 @@
+//! The CHAOS framework: composable, highly accurate, OS-based power
+//! models (IISWC 2012), end to end.
+//!
+//! This crate ties the substrates together into the paper's pipeline:
+//!
+//! 1. **Collect** — drive a simulated cluster ([`chaos_sim`]) through
+//!    MapReduce-style workloads ([`chaos_workloads`]) and record OS
+//!    counters plus metered power at 1 Hz ([`chaos_counters`]).
+//! 2. **Select features** — [`selection`] implements the paper's
+//!    Algorithm 1: correlation pruning, co-dependence elimination, per-
+//!    machine L1 + stepwise regression, the cross-machine weighted-union
+//!    histogram, and the cluster-level stepwise refit.
+//! 3. **Fit models** — [`models`] implements the four techniques of
+//!    Section IV-B behind one [`models::FittedModel`] type: linear
+//!    (Eq. 1), piecewise linear (Eq. 2, MARS degree 1), quadratic (Eq. 3,
+//!    MARS degree 2), and the frequency-switching model (Eq. 4).
+//! 4. **Compose** — [`compose`] turns machine models into cluster models
+//!    by summation (Eq. 5), including per-platform models for
+//!    heterogeneous clusters.
+//! 5. **Evaluate** — [`eval`] runs the paper's protocol (5-fold
+//!    cross-validation over separate application runs, training set
+//!    several times smaller than test) and reports rMSE, % error, median
+//!    relative error, and the paper's Dynamic Range Error.
+//! 6. **Sweep** — [`sweep`] explores technique × feature-set grids (the
+//!    paper builds over 1200 models per cluster) to regenerate Figures 3
+//!    and 4 and Table IV.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use chaos_core::experiment::{ExperimentConfig, ClusterExperiment};
+//! use chaos_sim::Platform;
+//!
+//! # fn main() -> Result<(), chaos_stats::StatsError> {
+//! let cfg = ExperimentConfig::quick();
+//! let exp = ClusterExperiment::collect(Platform::Atom, &cfg);
+//! let selection = exp.select_features()?;
+//! println!("selected {} counters", selection.selected.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod dataset;
+pub mod eval;
+pub mod experiment;
+pub mod features;
+pub mod models;
+pub mod pooling;
+pub mod selection;
+pub mod sweep;
+
+pub use dataset::Dataset;
+pub use features::FeatureSpec;
+pub use models::{FittedModel, ModelTechnique};
+pub use selection::SelectionResult;

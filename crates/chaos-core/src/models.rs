@@ -1,0 +1,554 @@
+//! The four power-modeling techniques of Section IV-B (Eq. 1–4) behind a
+//! single fitted-model type.
+
+use chaos_mars::{MarsConfig, MarsModel};
+use chaos_stats::ols::OlsFit;
+use chaos_stats::{describe, Matrix, StatsError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's four modeling techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelTechnique {
+    /// Baseline linear regression (Eq. 1).
+    Linear,
+    /// Piecewise-linear hinge model fitted with MARS, degree 1 (Eq. 2).
+    PiecewiseLinear,
+    /// Quadratic model: MARS with degree-2 interactions (Eq. 3).
+    Quadratic,
+    /// Frequency-switching model: a separate linear model per frequency
+    /// region (Eq. 4).
+    Switching,
+}
+
+impl ModelTechnique {
+    /// All four techniques, in the paper's order.
+    pub const ALL: [ModelTechnique; 4] = [
+        ModelTechnique::Linear,
+        ModelTechnique::PiecewiseLinear,
+        ModelTechnique::Quadratic,
+        ModelTechnique::Switching,
+    ];
+
+    /// One-letter label used in Table IV ("L", "P", "Q", "S").
+    pub fn letter(self) -> &'static str {
+        match self {
+            ModelTechnique::Linear => "L",
+            ModelTechnique::PiecewiseLinear => "P",
+            ModelTechnique::Quadratic => "Q",
+            ModelTechnique::Switching => "S",
+        }
+    }
+
+    /// Full name for tables and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelTechnique::Linear => "linear",
+            ModelTechnique::PiecewiseLinear => "piecewise",
+            ModelTechnique::Quadratic => "quadratic",
+            ModelTechnique::Switching => "switching",
+        }
+    }
+
+    /// Whether the technique needs more than one feature (the paper notes
+    /// the quadratic and switching models "do not use the
+    /// CPU-utilization-only feature set because they require multiple
+    /// features").
+    pub fn requires_multiple_features(self) -> bool {
+        matches!(
+            self,
+            ModelTechnique::Quadratic | ModelTechnique::Switching
+        )
+    }
+}
+
+impl fmt::Display for ModelTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Options controlling a fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitOptions {
+    /// MARS configuration for the piecewise-linear technique.
+    pub piecewise: MarsConfig,
+    /// MARS configuration for the quadratic technique.
+    pub quadratic: MarsConfig,
+    /// Column index of the CPU frequency feature (required by the
+    /// switching technique).
+    pub freq_column: Option<usize>,
+    /// Number of frequency regions for the switching model.
+    pub switch_bins: usize,
+}
+
+impl FitOptions {
+    /// Paper-fidelity configuration.
+    pub fn paper() -> Self {
+        FitOptions {
+            piecewise: MarsConfig::piecewise_linear(),
+            quadratic: MarsConfig::quadratic(),
+            freq_column: None,
+            switch_bins: 4,
+        }
+    }
+
+    /// A cheaper configuration for large sweeps: fewer terms and knots.
+    pub fn fast() -> Self {
+        FitOptions {
+            piecewise: MarsConfig {
+                max_terms: 13,
+                max_knots_per_var: 8,
+                ..MarsConfig::piecewise_linear()
+            },
+            quadratic: MarsConfig {
+                max_terms: 15,
+                max_knots_per_var: 8,
+                // A stiffer GCV penalty guards against overfitting the
+                // small training folds the sweep uses.
+                penalty: 4.0,
+                ..MarsConfig::quadratic()
+            },
+            freq_column: None,
+            switch_bins: 4,
+        }
+    }
+
+    /// Returns a copy with the frequency column set.
+    pub fn with_freq_column(mut self, col: Option<usize>) -> Self {
+        self.freq_column = col;
+        self
+    }
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions::paper()
+    }
+}
+
+/// A frequency-switching model: linear sub-models over frequency regions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchingModel {
+    /// Region upper bounds (ascending); region `i` covers frequencies up
+    /// to `bounds[i]`, the last region is unbounded.
+    bounds: Vec<f64>,
+    submodels: Vec<OlsFit>,
+    freq_col: usize,
+}
+
+impl SwitchingModel {
+    fn fit(
+        x: &Matrix,
+        y: &[f64],
+        freq_col: usize,
+        bins: usize,
+    ) -> Result<Self, StatsError> {
+        if freq_col >= x.cols() {
+            return Err(StatsError::InvalidParameter {
+                context: format!("freq column {freq_col} out of range"),
+            });
+        }
+        if bins < 2 {
+            return Err(StatsError::InvalidParameter {
+                context: "switching model needs at least 2 bins".into(),
+            });
+        }
+        let freqs = x.col(freq_col);
+        // Region boundaries at interior quantiles of the frequency
+        // distribution; duplicates collapse regions automatically.
+        let mut bounds: Vec<f64> = (1..bins)
+            .map(|k| describe::quantile(&freqs, k as f64 / bins as f64))
+            .collect();
+        bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let n_regions = bounds.len() + 1;
+        let mut region_rows: Vec<Vec<usize>> = vec![Vec::new(); n_regions];
+        for (i, &f) in freqs.iter().enumerate() {
+            region_rows[region_of(&bounds, f)].push(i);
+        }
+
+        // Fit one linear model per region; regions too small to fit fall
+        // back to the global model.
+        let design_all = x.with_intercept();
+        let global = ols_with_rank_fallback(&design_all, y)?;
+        let min_rows = 3 * (x.cols() + 1);
+        let submodels: Vec<OlsFit> = region_rows
+            .iter()
+            .map(|rows| {
+                if rows.len() < min_rows {
+                    return global.clone();
+                }
+                let xs = x.select_rows(rows).with_intercept();
+                let ys: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
+                ols_with_rank_fallback(&xs, &ys).unwrap_or_else(|_| global.clone())
+            })
+            .collect();
+        Ok(SwitchingModel {
+            bounds,
+            submodels,
+            freq_col,
+        })
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
+        let region = region_of(&self.bounds, row[self.freq_col]);
+        let mut design = Vec::with_capacity(row.len() + 1);
+        design.push(1.0);
+        design.extend_from_slice(row);
+        self.submodels[region].predict_row(&design)
+    }
+
+    /// Number of frequency regions.
+    pub fn regions(&self) -> usize {
+        self.submodels.len()
+    }
+}
+
+fn region_of(bounds: &[f64], f: f64) -> usize {
+    bounds.iter().position(|&b| f <= b).unwrap_or(bounds.len())
+}
+
+/// OLS that tolerates collinear designs by dropping trailing columns and
+/// re-padding the dropped coefficients with zeros, so prediction width is
+/// preserved.
+fn ols_with_rank_fallback(design: &Matrix, y: &[f64]) -> Result<OlsFit, StatsError> {
+    match OlsFit::fit(design, y) {
+        Ok(f) => Ok(f),
+        Err(StatsError::Singular) | Err(StatsError::InsufficientData { .. }) => {
+            // Add a whisper of ridge jitter via duplicate-column removal:
+            // keep the widest prefix of columns that is full rank.
+            let mut keep = design.cols();
+            while keep > 1 {
+                keep -= 1;
+                let cols: Vec<usize> = (0..keep).collect();
+                let sub = design.select_cols(&cols);
+                if let Ok(fit) = OlsFit::fit(&sub, y) {
+                    return Ok(PaddedOls::pad(fit, design.cols()));
+                }
+            }
+            Err(StatsError::Singular)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Helper namespace for padding a truncated OLS fit back to full width.
+struct PaddedOls;
+
+impl PaddedOls {
+    fn pad(fit: OlsFit, width: usize) -> OlsFit {
+        // Re-fit has fewer coefficients; extend with zeros by fitting a
+        // tiny exact system is overkill — instead wrap via coefficients.
+        // OlsFit is opaque, so emulate padding with a shim design: build
+        // an exact OLS on a synthetic system whose solution equals the
+        // padded coefficient vector.
+        let coefs = fit.coefficients().to_vec();
+        let mut padded = coefs.clone();
+        padded.resize(width, 0.0);
+        // Synthetic exact system: identity design → coefficients equal y.
+        let mut rows = Vec::with_capacity(width + 1);
+        for i in 0..width {
+            let mut r = vec![0.0; width];
+            r[i] = 1.0;
+            rows.push(r);
+        }
+        rows.push(vec![0.0; width]);
+        let x = Matrix::from_rows(&rows).expect("synthetic design is well-formed");
+        let mut y = padded;
+        y.push(0.0);
+        OlsFit::fit(&x, &y).expect("synthetic system is full rank")
+    }
+}
+
+/// Which concrete estimator backs a fitted model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ModelImpl {
+    Linear(OlsFit),
+    Mars(MarsModel),
+    Switching(SwitchingModel),
+}
+
+/// A fitted machine power model: `watts = f(counter features)`.
+///
+/// # Example
+///
+/// ```
+/// use chaos_core::models::{FitOptions, FittedModel, ModelTechnique};
+/// use chaos_stats::Matrix;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+/// let x = Matrix::from_rows(&rows)?;
+/// let y: Vec<f64> = (0..100).map(|i| 20.0 + 0.3 * i as f64).collect();
+/// let m = FittedModel::fit(ModelTechnique::Linear, &x, &y, &FitOptions::paper())?;
+/// assert!((m.predict_row(&[50.0])? - 35.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedModel {
+    technique: ModelTechnique,
+    inner: ModelImpl,
+    width: usize,
+    clamp: (f64, f64),
+}
+
+impl FittedModel {
+    /// Fits a model of the given technique to `(x, y)`.
+    ///
+    /// `x` holds raw features without an intercept column.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
+    /// * [`StatsError::InvalidParameter`] if the switching technique is
+    ///   requested without `opts.freq_column`, or a technique requiring
+    ///   multiple features gets a single column.
+    /// * Any numerical error from the underlying estimator.
+    pub fn fit(
+        technique: ModelTechnique,
+        x: &Matrix,
+        y: &[f64],
+        opts: &FitOptions,
+    ) -> Result<Self, StatsError> {
+        if y.len() != x.rows() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("fit: y has {} entries, X has {} rows", y.len(), x.rows()),
+            });
+        }
+        if technique.requires_multiple_features() && x.cols() < 2 {
+            return Err(StatsError::InvalidParameter {
+                context: format!("{technique} requires multiple features"),
+            });
+        }
+        let inner = match technique {
+            ModelTechnique::Linear => {
+                ModelImpl::Linear(ols_with_rank_fallback(&x.with_intercept(), y)?)
+            }
+            ModelTechnique::PiecewiseLinear => {
+                ModelImpl::Mars(MarsModel::fit(x, y, &opts.piecewise)?)
+            }
+            ModelTechnique::Quadratic => ModelImpl::Mars(MarsModel::fit(x, y, &opts.quadratic)?),
+            ModelTechnique::Switching => {
+                let col = opts.freq_column.ok_or_else(|| StatsError::InvalidParameter {
+                    context: "switching model requires a frequency column".into(),
+                })?;
+                ModelImpl::Switching(SwitchingModel::fit(x, y, col, opts.switch_bins)?)
+            }
+        };
+        // Power is physically bounded; clamp predictions to the observed
+        // training envelope with margin. This defuses the hinge-model
+        // extrapolation hazard (a test point outside the training hull
+        // rides a steep hinge to absurd wattages) without affecting
+        // in-range behaviour.
+        let y_min = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let y_max = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let margin = 0.25 * (y_max - y_min).max(1.0);
+        Ok(FittedModel {
+            technique,
+            inner,
+            width: x.cols(),
+            clamp: (y_min - margin, y_max + margin),
+        })
+    }
+
+    /// The technique this model was fitted with.
+    pub fn technique(&self) -> ModelTechnique {
+        self.technique
+    }
+
+    /// Number of input features.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Rough parameter count (for complexity-vs-accuracy reporting).
+    pub fn n_parameters(&self) -> usize {
+        match &self.inner {
+            ModelImpl::Linear(f) => f.coefficients().len(),
+            ModelImpl::Mars(m) => m.n_terms(),
+            ModelImpl::Switching(s) => s.regions() * (self.width + 1),
+        }
+    }
+
+    /// Predicts power for one feature row, in watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `row.len()` differs
+    /// from the training width.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
+        if row.len() != self.width {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "predict: row has {} features, model expects {}",
+                    row.len(),
+                    self.width
+                ),
+            });
+        }
+        let raw = match &self.inner {
+            ModelImpl::Linear(f) => {
+                let mut design = Vec::with_capacity(row.len() + 1);
+                design.push(1.0);
+                design.extend_from_slice(row);
+                f.predict_row(&design)?
+            }
+            ModelImpl::Mars(m) => m.predict_row(row)?,
+            ModelImpl::Switching(s) => s.predict_row(row)?,
+        };
+        Ok(raw.clamp(self.clamp.0, self.clamp.1))
+    }
+
+    /// Predicts power for every row of a feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FittedModel::predict_row`].
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_noise(i: usize) -> f64 {
+        ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+    }
+
+    /// A two-feature dataset with a frequency-like feature (two levels)
+    /// and a utilization feature, where the slope differs per level —
+    /// the switching model's home turf.
+    fn switching_data(n: usize) -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let freq = if i % 2 == 0 { 1000.0 } else { 2000.0 };
+            let util = (i % 50) as f64 * 2.0;
+            let slope = if freq < 1500.0 { 0.1 } else { 0.4 };
+            let base = if freq < 1500.0 { 30.0 } else { 45.0 };
+            rows.push(vec![util, freq]);
+            y.push(base + slope * util + 0.2 * det_noise(i));
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn technique_metadata() {
+        assert_eq!(ModelTechnique::Quadratic.letter(), "Q");
+        assert_eq!(ModelTechnique::Linear.to_string(), "linear");
+        assert!(ModelTechnique::Switching.requires_multiple_features());
+        assert!(!ModelTechnique::Linear.requires_multiple_features());
+        assert_eq!(ModelTechnique::ALL.len(), 4);
+    }
+
+    #[test]
+    fn linear_fits_linear_data() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 10.0 + 2.0 * r[0] - r[1]).collect();
+        let m = FittedModel::fit(ModelTechnique::Linear, &x, &y, &FitOptions::paper()).unwrap();
+        assert!((m.predict_row(&[10.0, 3.0]).unwrap() - 27.0).abs() < 1e-6);
+        assert_eq!(m.n_parameters(), 3);
+    }
+
+    #[test]
+    fn switching_beats_linear_on_per_frequency_slopes() {
+        let (x, y) = switching_data(400);
+        let opts = FitOptions::paper().with_freq_column(Some(1));
+        let lin = FittedModel::fit(ModelTechnique::Linear, &x, &y, &opts).unwrap();
+        let sw = FittedModel::fit(ModelTechnique::Switching, &x, &y, &opts).unwrap();
+        let rss = |m: &FittedModel| {
+            m.predict(&x)
+                .unwrap()
+                .iter()
+                .zip(&y)
+                .map(|(p, a)| (p - a).powi(2))
+                .sum::<f64>()
+        };
+        assert!(rss(&sw) < 0.3 * rss(&lin), "sw={} lin={}", rss(&sw), rss(&lin));
+    }
+
+    #[test]
+    fn switching_requires_freq_column() {
+        let (x, y) = switching_data(100);
+        let err =
+            FittedModel::fit(ModelTechnique::Switching, &x, &y, &FitOptions::paper()).unwrap_err();
+        assert!(matches!(err, StatsError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn multi_feature_techniques_reject_single_column() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        for t in [ModelTechnique::Quadratic, ModelTechnique::Switching] {
+            assert!(FittedModel::fit(t, &x, &y, &FitOptions::paper()).is_err());
+        }
+    }
+
+    #[test]
+    fn piecewise_handles_hinge_data() {
+        let rows: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..120)
+            .map(|i| 20.0 + (i as f64 - 60.0).max(0.0) * 0.5)
+            .collect();
+        let m =
+            FittedModel::fit(ModelTechnique::PiecewiseLinear, &x, &y, &FitOptions::fast()).unwrap();
+        assert!((m.predict_row(&[30.0]).unwrap() - 20.0).abs() < 1.0);
+        assert!((m.predict_row(&[100.0]).unwrap() - 40.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn collinear_design_does_not_crash_linear() {
+        // Second column duplicates the first.
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..60).map(|i| 5.0 + i as f64).collect();
+        let m = FittedModel::fit(ModelTechnique::Linear, &x, &y, &FitOptions::paper()).unwrap();
+        let p = m.predict_row(&[30.0, 30.0]).unwrap();
+        assert!((p - 35.0).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn predict_row_rejects_wrong_width() {
+        let (x, y) = switching_data(100);
+        let m = FittedModel::fit(ModelTechnique::Linear, &x, &y, &FitOptions::paper()).unwrap();
+        assert!(m.predict_row(&[1.0]).is_err());
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.technique(), ModelTechnique::Linear);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let (x, y) = switching_data(200);
+        let opts = FitOptions::paper().with_freq_column(Some(1));
+        for technique in ModelTechnique::ALL {
+            let m = FittedModel::fit(technique, &x, &y, &opts).unwrap();
+            let json = serde_json::to_string(&m).unwrap();
+            let m2: FittedModel = serde_json::from_str(&json).unwrap();
+            for probe in [[10.0, 1000.0], [80.0, 2000.0], [55.0, 1000.0]] {
+                assert_eq!(
+                    m.predict_row(&probe).unwrap(),
+                    m2.predict_row(&probe).unwrap(),
+                    "{technique}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn switching_region_count_bounded_by_bins() {
+        let (x, y) = switching_data(300);
+        let opts = FitOptions {
+            switch_bins: 4,
+            ..FitOptions::paper().with_freq_column(Some(1))
+        };
+        let m = FittedModel::fit(ModelTechnique::Switching, &x, &y, &opts).unwrap();
+        assert!(m.n_parameters() >= 3);
+    }
+}

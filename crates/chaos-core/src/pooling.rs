@@ -1,0 +1,535 @@
+//! Pooling strategies: the paper's justification for pooled models.
+//!
+//! Section IV: "we incorporate variability by pooling information from
+//! individual machines in the cluster... An alternative approach is to
+//! build hierarchical Bayesian or mixed models. This alternative adds an
+//! extra level of complexity... Fortunately, according to the results of
+//! the recommended statistical tests, comparing the variances in the
+//! different models, pooling is a suitable approach with no significant
+//! loss of accuracy."
+//!
+//! This module implements the three candidate strategies and the variance
+//! comparison, so the claim can be checked rather than assumed:
+//!
+//! * [`PoolingStrategy::Pooled`] — one model over all machines' data
+//!   (what CHAOS ships).
+//! * [`PoolingStrategy::PerMachine`] — a separate model per machine,
+//!   each applied only to its own machine (gold standard, not deployable
+//!   to unseen machines).
+//! * [`PoolingStrategy::Mixed`] — shared slopes with per-machine
+//!   intercepts (a fixed-effects approximation of the mixed model),
+//!   capturing additive machine-to-machine offsets.
+
+use crate::dataset::{pooled_dataset, Dataset};
+use crate::eval::EvalConfig;
+use crate::features::FeatureSpec;
+use crate::models::{FittedModel, ModelTechnique};
+use chaos_counters::RunTrace;
+use chaos_sim::Cluster;
+use chaos_stats::{metrics, Matrix, StatsError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How machine-to-machine variation enters the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolingStrategy {
+    /// One model fitted on all machines' pooled samples.
+    Pooled,
+    /// One model per machine, fitted and evaluated on that machine only.
+    PerMachine,
+    /// Shared feature coefficients with per-machine intercept offsets.
+    Mixed,
+}
+
+impl PoolingStrategy {
+    /// All three strategies.
+    pub const ALL: [PoolingStrategy; 3] = [
+        PoolingStrategy::Pooled,
+        PoolingStrategy::PerMachine,
+        PoolingStrategy::Mixed,
+    ];
+
+    /// Stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolingStrategy::Pooled => "pooled",
+            PoolingStrategy::PerMachine => "per-machine",
+            PoolingStrategy::Mixed => "mixed",
+        }
+    }
+}
+
+/// Outcome of one pooling-strategy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolingOutcome {
+    /// Strategy evaluated.
+    pub strategy: PoolingStrategy,
+    /// Average per-machine DRE across folds.
+    pub dre: f64,
+    /// Average per-machine rMSE across folds, watts.
+    pub rmse: f64,
+    /// Pooled residual variance on the test data (the quantity the
+    /// paper's variance comparison inspects).
+    pub residual_variance: f64,
+}
+
+/// Evaluates one strategy with the paper's protocol (train on one run,
+/// test on the rest, every run takes a turn).
+///
+/// # Errors
+///
+/// Propagates dataset and fitting errors; requires at least two runs.
+pub fn evaluate_pooling(
+    traces: &[RunTrace],
+    cluster: &Cluster,
+    spec: &FeatureSpec,
+    technique: ModelTechnique,
+    strategy: PoolingStrategy,
+    config: &EvalConfig,
+) -> Result<PoolingOutcome, StatsError> {
+    if traces.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            observations: traces.len(),
+            required: 2,
+        });
+    }
+    let catalog = chaos_counters::CounterCatalog::for_platform(
+        &cluster.machines()[0].spec().platform.spec(),
+    );
+    let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
+    let ds = pooled_dataset(traces, spec)?;
+
+    let mut dre = Vec::new();
+    let mut rmse = Vec::new();
+    let mut sse = 0.0;
+    let mut n_test = 0usize;
+
+    for train_run in 0..traces.len() {
+        let train_rows = ds.rows_in_runs(&[train_run]);
+        let test_rows: Vec<usize> = (0..ds.len())
+            .filter(|&i| ds.run_of[i] != train_run)
+            .collect();
+        let train = ds.subset(&train_rows).thinned(config.max_train_rows);
+        let test = ds.subset(&test_rows);
+
+        match strategy {
+            PoolingStrategy::Pooled => {
+                let model = FittedModel::fit(technique, &train.x, &train.y, &opts)?;
+                for machine in cluster.machines() {
+                    let rows = test.rows_of_machine(machine.id());
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let sub = test.subset(&rows);
+                    let pred = model.predict(&sub.x)?;
+                    accumulate(
+                        &pred, &sub, machine, &mut dre, &mut rmse, &mut sse, &mut n_test,
+                    )?;
+                }
+            }
+            PoolingStrategy::PerMachine => {
+                for machine in cluster.machines() {
+                    let tr = train.subset(&train.rows_of_machine(machine.id()));
+                    let te = test.subset(&test.rows_of_machine(machine.id()));
+                    if tr.is_empty() || te.is_empty() {
+                        continue;
+                    }
+                    let model = FittedModel::fit(technique, &tr.x, &tr.y, &opts)?;
+                    let pred = model.predict(&te.x)?;
+                    accumulate(
+                        &pred, &te, machine, &mut dre, &mut rmse, &mut sse, &mut n_test,
+                    )?;
+                }
+            }
+            PoolingStrategy::Mixed => {
+                let mixed = MixedModel::fit(&train, technique, &opts, cluster.len())?;
+                for machine in cluster.machines() {
+                    let rows = test.rows_of_machine(machine.id());
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let sub = test.subset(&rows);
+                    let pred = mixed.predict(&sub, machine.id())?;
+                    accumulate(
+                        &pred, &sub, machine, &mut dre, &mut rmse, &mut sse, &mut n_test,
+                    )?;
+                }
+            }
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Ok(PoolingOutcome {
+        strategy,
+        dre: mean(&dre),
+        rmse: mean(&rmse),
+        residual_variance: sse / n_test.max(1) as f64,
+    })
+}
+
+fn accumulate(
+    pred: &[f64],
+    sub: &Dataset,
+    machine: &chaos_sim::Machine,
+    dre: &mut Vec<f64>,
+    rmse: &mut Vec<f64>,
+    sse: &mut f64,
+    n_test: &mut usize,
+) -> Result<(), StatsError> {
+    dre.push(metrics::dynamic_range_error(
+        pred,
+        &sub.y,
+        machine.max_power(),
+        machine.idle_power(),
+    )?);
+    rmse.push(metrics::rmse(pred, &sub.y)?);
+    *sse += pred
+        .iter()
+        .zip(&sub.y)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>();
+    *n_test += pred.len();
+    Ok(())
+}
+
+/// Shared-slope / per-machine-intercept model: a fixed-effects stand-in
+/// for the hierarchical mixed model the paper mentions.
+///
+/// Fits the base technique on machine-centered data (removing each
+/// machine's mean power and mean features), then adds the machine's own
+/// offset back at prediction time.
+#[derive(Debug, Clone)]
+pub struct MixedModel {
+    base: FittedModel,
+    /// Per-machine (feature means, power mean).
+    offsets: BTreeMap<usize, (Vec<f64>, f64)>,
+    /// Fallback offset for machines unseen in training: the average.
+    global: (Vec<f64>, f64),
+}
+
+impl MixedModel {
+    /// Fits the mixed model on a training dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors from the base technique.
+    pub fn fit(
+        train: &Dataset,
+        technique: ModelTechnique,
+        opts: &crate::models::FitOptions,
+        n_machines: usize,
+    ) -> Result<Self, StatsError> {
+        let p = train.x.cols();
+        let mut offsets = BTreeMap::new();
+        let mut centered_rows: Vec<f64> = Vec::with_capacity(train.len() * p);
+        let mut centered_y: Vec<f64> = Vec::with_capacity(train.len());
+
+        // Compute per-machine means.
+        for mid in 0..n_machines {
+            let rows = train.rows_of_machine(mid);
+            if rows.is_empty() {
+                continue;
+            }
+            let sub = train.subset(&rows);
+            let mut fmean = vec![0.0; p];
+            for i in 0..sub.len() {
+                for (j, fm) in fmean.iter_mut().enumerate() {
+                    *fm += sub.x.get(i, j);
+                }
+            }
+            for fm in &mut fmean {
+                *fm /= sub.len() as f64;
+            }
+            let ymean = sub.y.iter().sum::<f64>() / sub.len() as f64;
+            offsets.insert(mid, (fmean, ymean));
+        }
+        // Global fallback.
+        let mut gf = vec![0.0; p];
+        let mut gy = 0.0;
+        for (f, y) in offsets.values() {
+            for (a, b) in gf.iter_mut().zip(f) {
+                *a += b;
+            }
+            gy += y;
+        }
+        let k = offsets.len().max(1) as f64;
+        for a in &mut gf {
+            *a /= k;
+        }
+        gy /= k;
+
+        // Center each sample by its machine's means.
+        for i in 0..train.len() {
+            let (fm, ym) = offsets
+                .get(&train.machine_of[i])
+                .unwrap_or(&(gf.clone(), gy))
+                .clone();
+            for j in 0..p {
+                centered_rows.push(train.x.get(i, j) - fm[j]);
+            }
+            centered_y.push(train.y[i] - ym);
+        }
+        let xc = Matrix::from_vec(train.len(), p, centered_rows)?;
+        let base = FittedModel::fit(technique, &xc, &centered_y, opts)?;
+        Ok(MixedModel {
+            base,
+            offsets,
+            global: (gf, gy),
+        })
+    }
+
+    /// Predicts a test dataset belonging to one machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn predict(&self, test: &Dataset, machine_id: usize) -> Result<Vec<f64>, StatsError> {
+        let (fm, ym) = self.offsets.get(&machine_id).unwrap_or(&self.global);
+        let p = test.x.cols();
+        let mut out = Vec::with_capacity(test.len());
+        let mut row = vec![0.0; p];
+        for i in 0..test.len() {
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = test.x.get(i, j) - fm[j];
+            }
+            out.push(self.base.predict_row(&row)? + ym);
+        }
+        Ok(out)
+    }
+}
+
+/// The paper's variance comparison: the ratio of pooled to alternative
+/// residual variance. Ratios near 1 mean pooling loses nothing.
+pub fn variance_ratio(pooled: &PoolingOutcome, alternative: &PoolingOutcome) -> f64 {
+    pooled.residual_variance / alternative.residual_variance.max(f64::MIN_POSITIVE)
+}
+
+/// Cluster-level evaluation of a pooling strategy: per-machine
+/// predictions are summed per second (Eq. 5) before scoring, so constant
+/// per-machine biases partially cancel — the reason pooled models remain
+/// accurate for the cluster-power predictions CHAOS targets even when
+/// per-machine metrics favor machine-specific models.
+///
+/// Returned `dre`/`rmse` are cluster-level; `residual_variance` is the
+/// variance of the cluster-series error.
+///
+/// # Errors
+///
+/// Same conditions as [`evaluate_pooling`].
+pub fn evaluate_pooling_cluster(
+    traces: &[RunTrace],
+    cluster: &Cluster,
+    spec: &FeatureSpec,
+    technique: ModelTechnique,
+    strategy: PoolingStrategy,
+    config: &EvalConfig,
+) -> Result<PoolingOutcome, StatsError> {
+    if traces.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            observations: traces.len(),
+            required: 2,
+        });
+    }
+    let catalog = chaos_counters::CounterCatalog::for_platform(
+        &cluster.machines()[0].spec().platform.spec(),
+    );
+    let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
+    let ds = pooled_dataset(traces, spec)?;
+    let range: f64 = cluster.max_power() - cluster.idle_power();
+
+    let mut dre = Vec::new();
+    let mut rmse_all = Vec::new();
+    let mut sse = 0.0;
+    let mut n_test = 0usize;
+    for train_run in 0..traces.len() {
+        let train = ds
+            .subset(&ds.rows_in_runs(&[train_run]))
+            .thinned(config.max_train_rows);
+
+        // Fit per strategy.
+        let pooled_model;
+        let mut per_machine: BTreeMap<usize, FittedModel> = BTreeMap::new();
+        let mut mixed_model = None;
+        match strategy {
+            PoolingStrategy::Pooled => {
+                pooled_model = Some(FittedModel::fit(technique, &train.x, &train.y, &opts)?);
+            }
+            PoolingStrategy::PerMachine => {
+                pooled_model = None;
+                for machine in cluster.machines() {
+                    let tr = train.subset(&train.rows_of_machine(machine.id()));
+                    if tr.is_empty() {
+                        continue;
+                    }
+                    per_machine
+                        .insert(machine.id(), FittedModel::fit(technique, &tr.x, &tr.y, &opts)?);
+                }
+            }
+            PoolingStrategy::Mixed => {
+                pooled_model = None;
+                mixed_model = Some(MixedModel::fit(&train, technique, &opts, cluster.len())?);
+            }
+        }
+
+        for test_run in 0..traces.len() {
+            if test_run == train_run {
+                continue;
+            }
+            // Per-machine series, summed into the cluster series.
+            let mut cluster_pred: Vec<f64> = Vec::new();
+            let mut cluster_actual: Vec<f64> = Vec::new();
+            for machine in cluster.machines() {
+                let rows: Vec<usize> = (0..ds.len())
+                    .filter(|&i| {
+                        ds.run_of[i] == test_run && ds.machine_of[i] == machine.id()
+                    })
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let sub = ds.subset(&rows);
+                let pred = match strategy {
+                    PoolingStrategy::Pooled => {
+                        pooled_model.as_ref().expect("fitted").predict(&sub.x)?
+                    }
+                    PoolingStrategy::PerMachine => per_machine
+                        .get(&machine.id())
+                        .ok_or(StatsError::Singular)?
+                        .predict(&sub.x)?,
+                    PoolingStrategy::Mixed => mixed_model
+                        .as_ref()
+                        .expect("fitted")
+                        .predict(&sub, machine.id())?,
+                };
+                if cluster_pred.is_empty() {
+                    cluster_pred = vec![0.0; pred.len()];
+                    cluster_actual = vec![0.0; pred.len()];
+                }
+                for (t, (p, a)) in pred.iter().zip(&sub.y).enumerate() {
+                    cluster_pred[t] += p;
+                    cluster_actual[t] += a;
+                }
+            }
+            let r = metrics::rmse(&cluster_pred, &cluster_actual)?;
+            rmse_all.push(r);
+            dre.push(r / range);
+            sse += cluster_pred
+                .iter()
+                .zip(&cluster_actual)
+                .map(|(p, a)| (p - a).powi(2))
+                .sum::<f64>();
+            n_test += cluster_pred.len();
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Ok(PoolingOutcome {
+        strategy,
+        dre: mean(&dre),
+        rmse: mean(&rmse_all),
+        residual_variance: sse / n_test.max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_counters::{collect_run, CounterCatalog};
+    use chaos_sim::Platform;
+    use chaos_workloads::{SimConfig, Workload};
+
+    fn setup() -> (Vec<RunTrace>, Cluster, CounterCatalog) {
+        let cluster = Cluster::homogeneous(Platform::Core2, 3, 4);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let traces = (0..2)
+            .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r))
+            .collect();
+        (traces, cluster, catalog)
+    }
+
+    #[test]
+    fn all_strategies_produce_sane_outcomes() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        for strategy in PoolingStrategy::ALL {
+            let o = evaluate_pooling(
+                &traces,
+                &cluster,
+                &spec,
+                ModelTechnique::Linear,
+                strategy,
+                &EvalConfig::fast(),
+            )
+            .unwrap();
+            assert!(o.dre > 0.0 && o.dre < 0.5, "{}: dre {}", strategy.name(), o.dre);
+            assert!(o.residual_variance > 0.0);
+        }
+    }
+
+    #[test]
+    fn pooling_loses_little_versus_per_machine() {
+        // The paper's claim: pooling is suitable with no significant loss.
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let run = |s| {
+            evaluate_pooling(
+                &traces,
+                &cluster,
+                &spec,
+                ModelTechnique::Linear,
+                s,
+                &EvalConfig::fast(),
+            )
+            .unwrap()
+        };
+        let pooled = run(PoolingStrategy::Pooled);
+        let per = run(PoolingStrategy::PerMachine);
+        let ratio = variance_ratio(&pooled, &per);
+        assert!(
+            ratio < 2.5,
+            "pooled variance should be comparable: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn cluster_level_pooling_closes_the_gap() {
+        // Per-machine biases cancel in the cluster sum: the pooled model's
+        // cluster-level error must be far closer to the per-machine
+        // model's than its per-machine error is.
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let run = |s| {
+            evaluate_pooling_cluster(
+                &traces,
+                &cluster,
+                &spec,
+                ModelTechnique::Linear,
+                s,
+                &EvalConfig::fast(),
+            )
+            .unwrap()
+        };
+        let pooled = run(PoolingStrategy::Pooled);
+        let per = run(PoolingStrategy::PerMachine);
+        assert!(pooled.dre < 0.12, "cluster-level pooled DRE {}", pooled.dre);
+        assert!(
+            pooled.dre < per.dre + 0.05,
+            "pooled cluster DRE {} should be near per-machine {}",
+            pooled.dre,
+            per.dre
+        );
+    }
+
+    #[test]
+    fn mixed_model_handles_unseen_machine() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let ds = pooled_dataset(&traces, &spec).unwrap().thinned(600);
+        let opts = crate::models::FitOptions::fast();
+        let mixed = MixedModel::fit(&ds, ModelTechnique::Linear, &opts, cluster.len()).unwrap();
+        // Machine id 99 was never seen: the global offset applies.
+        let pred = mixed.predict(&ds.subset(&[0, 1, 2]), 99).unwrap();
+        assert_eq!(pred.len(), 3);
+        assert!(pred.iter().all(|v| v.is_finite()));
+    }
+}

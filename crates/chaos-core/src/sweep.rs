@@ -1,0 +1,174 @@
+//! Model-space sweeps: technique × feature-set grids, as in Figures 3–4
+//! and Table IV.
+
+use crate::eval::{evaluate, EvalConfig, EvalOutcome};
+use crate::features::FeatureSpec;
+use crate::models::ModelTechnique;
+use chaos_counters::RunTrace;
+use chaos_sim::Cluster;
+use chaos_stats::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Technique of the cell.
+    pub technique: ModelTechnique,
+    /// Feature-set label ("U" = CPU-only, "C" = cluster-specific,
+    /// "G" = general, "CP" = cluster + MHz(t−1)).
+    pub feature_label: String,
+    /// Cross-validated outcome.
+    pub outcome: EvalOutcome,
+}
+
+impl SweepCell {
+    /// Table IV-style label: technique letter + feature label, e.g. "QC".
+    pub fn label(&self) -> String {
+        format!("{}{}", self.technique.letter(), self.feature_label)
+    }
+}
+
+/// Runs the full technique × feature-set grid over one workload's runs.
+///
+/// Combinations the paper marks as meaningless are skipped: the quadratic
+/// and switching models require multiple features, and the switching
+/// model requires a frequency feature in the set.
+///
+/// # Errors
+///
+/// Propagates evaluation errors other than per-cell
+/// [`StatsError::InvalidParameter`] skips.
+pub fn sweep_grid(
+    traces: &[RunTrace],
+    cluster: &Cluster,
+    feature_sets: &[(String, FeatureSpec)],
+    techniques: &[ModelTechnique],
+    config: &EvalConfig,
+) -> Result<Vec<SweepCell>, StatsError> {
+    let catalog = chaos_counters::CounterCatalog::for_platform(
+        &cluster.machines()[0].spec().platform.spec(),
+    );
+    let mut cells = Vec::new();
+    for (label, spec) in feature_sets {
+        for &technique in techniques {
+            if technique.requires_multiple_features() && spec.width() < 2 {
+                continue;
+            }
+            if technique == ModelTechnique::Switching && spec.freq_column(&catalog).is_none() {
+                continue;
+            }
+            match evaluate(traces, cluster, spec, technique, config) {
+                Ok(outcome) => cells.push(SweepCell {
+                    technique,
+                    feature_label: label.clone(),
+                    outcome,
+                }),
+                // A singular fold (e.g. a degenerate feature subset on a
+                // short trace) invalidates the cell, not the sweep.
+                Err(StatsError::Singular) | Err(StatsError::InsufficientData { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// The best cell of a sweep by average DRE.
+pub fn best_cell(cells: &[SweepCell]) -> Option<&SweepCell> {
+    cells.iter().min_by(|a, b| {
+        a.outcome
+            .avg_dre()
+            .partial_cmp(&b.outcome.avg_dre())
+            .expect("DRE values are finite")
+    })
+}
+
+/// Total number of models fitted across a sweep (for the paper's ">1200
+/// models per cluster" accounting).
+pub fn models_built(cells: &[SweepCell]) -> usize {
+    cells.iter().map(|c| c.outcome.models_built).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_counters::{collect_run, CounterCatalog};
+    use chaos_sim::Platform;
+    use chaos_workloads::{SimConfig, Workload};
+
+    fn setup() -> (Vec<RunTrace>, Cluster, CounterCatalog) {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 1);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let traces = (0..2)
+            .map(|r| {
+                collect_run(
+                    &cluster,
+                    &catalog,
+                    Workload::WordCount,
+                    &SimConfig::quick(),
+                    70 + r,
+                )
+            })
+            .collect();
+        (traces, cluster, catalog)
+    }
+
+    #[test]
+    fn grid_skips_invalid_combinations() {
+        let (traces, cluster, catalog) = setup();
+        let sets = vec![
+            ("U".to_string(), FeatureSpec::cpu_only(&catalog)),
+            ("G".to_string(), FeatureSpec::general(&catalog)),
+        ];
+        let cells = sweep_grid(
+            &traces,
+            &cluster,
+            &sets,
+            &ModelTechnique::ALL,
+            &EvalConfig::fast(),
+        )
+        .unwrap();
+        // CPU-only admits linear + piecewise only; general admits all 4.
+        let u_cells: Vec<_> = cells.iter().filter(|c| c.feature_label == "U").collect();
+        let g_cells: Vec<_> = cells.iter().filter(|c| c.feature_label == "G").collect();
+        assert_eq!(u_cells.len(), 2, "{u_cells:?}");
+        assert_eq!(g_cells.len(), 4);
+        for c in u_cells {
+            assert!(!c.technique.requires_multiple_features());
+        }
+    }
+
+    #[test]
+    fn best_cell_minimizes_dre() {
+        let (traces, cluster, catalog) = setup();
+        let sets = vec![("G".to_string(), FeatureSpec::general(&catalog))];
+        let cells = sweep_grid(
+            &traces,
+            &cluster,
+            &sets,
+            &[ModelTechnique::Linear, ModelTechnique::PiecewiseLinear],
+            &EvalConfig::fast(),
+        )
+        .unwrap();
+        let best = best_cell(&cells).unwrap();
+        for c in &cells {
+            assert!(best.outcome.avg_dre() <= c.outcome.avg_dre());
+        }
+        assert!(models_built(&cells) >= cells.len());
+    }
+
+    #[test]
+    fn cell_labels_match_table_iv_convention() {
+        let (traces, cluster, catalog) = setup();
+        let sets = vec![("C".to_string(), FeatureSpec::general(&catalog))];
+        let cells = sweep_grid(
+            &traces,
+            &cluster,
+            &sets,
+            &[ModelTechnique::Quadratic],
+            &EvalConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(cells[0].label(), "QC");
+    }
+}

@@ -1,0 +1,581 @@
+//! The per-platform counter catalog: ~250 candidate counters in the
+//! paper's eight categories.
+
+use chaos_sim::PlatformSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counter categories, matching Table II's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterCategory {
+    /// Network interface counters.
+    Network,
+    /// Memory manager counters.
+    Memory,
+    /// Physical disk counters.
+    PhysicalDisk,
+    /// Per-process rollup counters (the `_Total` instance).
+    Process,
+    /// Processor counters.
+    Processor,
+    /// File-system cache counters.
+    FileSystemCache,
+    /// Job object details counters.
+    JobObjectDetails,
+    /// Processor performance (frequency) counters.
+    ProcessorPerformance,
+    /// System-wide counters (context switches, queue lengths, …).
+    System,
+}
+
+impl CounterCategory {
+    /// Short label used in figure output (Fig. 2's category legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            CounterCategory::Network => "Network",
+            CounterCategory::Memory => "Memory",
+            CounterCategory::PhysicalDisk => "PhysicalDisk",
+            CounterCategory::Process => "Process",
+            CounterCategory::Processor => "Processor",
+            CounterCategory::FileSystemCache => "FSCache",
+            CounterCategory::JobObjectDetails => "JOD",
+            CounterCategory::ProcessorPerformance => "ProcPerf",
+            CounterCategory::System => "System",
+        }
+    }
+}
+
+impl fmt::Display for CounterCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Semantic sources a signal counter can read from the hidden machine
+/// state. The synthesizer maps each to a value every second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names mirror the Windows counter names
+pub enum SignalSource {
+    CpuUtilPct,
+    CpuUserPct,
+    CpuPrivilegedPct,
+    CpuIdlePct,
+    CpuInterruptsPerSec,
+    CpuDpcPct,
+    CoreFreqMhz(usize),
+    CoreFreqPctMax(usize),
+    DiskBytesPerSec,
+    DiskReadBytesPerSec,
+    DiskWriteBytesPerSec,
+    DiskTimePct,
+    DiskIdlePct,
+    DiskReadsPerSec,
+    DiskWritesPerSec,
+    DiskQueueLength,
+    NetDatagramsPerSec,
+    NetBytesTotalPerSec,
+    NetBytesSentPerSec,
+    NetBytesRecvPerSec,
+    NetPacketsPerSec,
+    NetOutputQueueLength,
+    PagesPerSec,
+    PageFaultsPerSec,
+    CacheFaultsPerSec,
+    PageReadsPerSec,
+    PageWritesPerSec,
+    CommittedBytes,
+    PoolNonpagedAllocs,
+    AvailableBytes,
+    TransitionFaultsPerSec,
+    DemandZeroFaultsPerSec,
+    ProcTotalPageFaultsPerSec,
+    ProcIoDataBytesPerSec,
+    ProcThreadCount,
+    ProcHandleCount,
+    ProcWorkingSet,
+    FscDataMapPinsPerSec,
+    FscPinReadsPerSec,
+    FscPinReadHitsPct,
+    FscCopyReadsPerSec,
+    FscFastReadsNotPossiblePerSec,
+    FscLazyWriteFlushesPerSec,
+    FscDataMapsPerSec,
+    FscReadAheadsPerSec,
+    FscDirtyPages,
+    FscLazyWritePagesPerSec,
+    JodPageFileBytesPeak,
+    JodPageFileBytes,
+    JodVirtualBytes,
+    JodWorkingSetPeak,
+    SysContextSwitchesPerSec,
+    SysSystemCallsPerSec,
+    SysProcesses,
+    SysThreads,
+    SysProcessorQueueLength,
+}
+
+/// How a counter's value is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// A genuine observation of machine state, with multiplicative
+    /// observation noise (`noise_frac` of the reading).
+    Signal {
+        /// What the counter observes.
+        source: SignalSource,
+        /// Relative per-sample observation noise.
+        noise_frac: f64,
+    },
+    /// An alias of another counter: `gain · base + small noise`. With
+    /// small `noise_frac` its correlation with the base exceeds 0.95 —
+    /// the redundancy Algorithm 1 step 1 removes.
+    Correlated {
+        /// Index of the base counter in the catalog.
+        base: usize,
+        /// Multiplicative gain.
+        gain: f64,
+        /// Relative noise; small values keep |r| > 0.95.
+        noise_frac: f64,
+    },
+    /// Exactly the sum of two other counters (`a = b + c`) — the
+    /// co-dependence Algorithm 1 step 2 removes by definition inspection.
+    Sum {
+        /// First addend's catalog index.
+        a: usize,
+        /// Second addend's catalog index.
+        b: usize,
+    },
+    /// Carries no information about machine state: either i.i.d. noise or
+    /// a bounded random walk. The L1 regularization's prey.
+    Noise {
+        /// Value scale.
+        scale: f64,
+        /// Random walk (true) or i.i.d. (false).
+        walk: bool,
+    },
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterDef {
+    /// Windows-style counter path, e.g. `Memory\Pages/sec`.
+    pub name: String,
+    /// Category (Table II grouping).
+    pub category: CounterCategory,
+    /// Value generator.
+    pub kind: CounterKind,
+}
+
+/// A platform's counter catalog.
+///
+/// Core-count-dependent counters (per-core frequencies) make the catalog
+/// per-platform, exactly as on real hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterCatalog {
+    defs: Vec<CounterDef>,
+}
+
+impl CounterCatalog {
+    /// Builds the standard ~250-counter catalog for a platform.
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        let mut b = Builder::default();
+        use CounterCategory as C;
+        use SignalSource as S;
+
+        // --- Processor ------------------------------------------------
+        let cpu_util = b.signal("Processor\\% Processor Time (_Total)", C::Processor, S::CpuUtilPct, 0.01);
+        b.signal("Processor\\% User Time (_Total)", C::Processor, S::CpuUserPct, 0.05);
+        b.signal("Processor\\% Privileged Time (_Total)", C::Processor, S::CpuPrivilegedPct, 0.05);
+        b.signal("Processor\\% Idle Time (_Total)", C::Processor, S::CpuIdlePct, 0.02);
+        let interrupts = b.signal("Processor\\Interrupts/sec (_Total)", C::Processor, S::CpuInterruptsPerSec, 0.05);
+        b.signal("Processor\\% DPC Time (_Total)", C::Processor, S::CpuDpcPct, 0.06);
+        // Aliases (correlated > 0.95 with the base).
+        b.correlated("Processor\\% Processor Utility (_Total)", C::Processor, cpu_util, 1.02, 0.01);
+        b.correlated("Processor Information\\% Processor Time (_Total)", C::Processor, cpu_util, 1.0, 0.005);
+        b.correlated("Processor\\DPCs Queued/sec (_Total)", C::Processor, interrupts, 0.3, 0.03);
+
+        // --- Processor performance (per-core frequency) ----------------
+        for core in 0..spec.cores {
+            let f = b.signal(
+                format!("Processor Performance\\Processor Frequency (Processor_{core})"),
+                C::ProcessorPerformance,
+                S::CoreFreqMhz(core),
+                0.002,
+            );
+            if core == 0 {
+                b.correlated(
+                    "Processor Performance\\% of Maximum Frequency (Processor_0)",
+                    C::ProcessorPerformance,
+                    f,
+                    100.0 / spec.max_pstate().freq_mhz,
+                    0.005,
+                );
+            }
+        }
+
+        // --- Physical disk ---------------------------------------------
+        let disk_read = b.signal("PhysicalDisk\\Disk Read Bytes/sec (_Total)", C::PhysicalDisk, S::DiskReadBytesPerSec, 0.04);
+        let disk_write = b.signal("PhysicalDisk\\Disk Write Bytes/sec (_Total)", C::PhysicalDisk, S::DiskWriteBytesPerSec, 0.04);
+        b.sum("PhysicalDisk\\Disk Total Disk Bytes/sec (_Total)", C::PhysicalDisk, disk_read, disk_write);
+        let disk_time = b.signal("PhysicalDisk\\Disk Total Disk Time % (_Total)", C::PhysicalDisk, S::DiskTimePct, 0.03);
+        b.signal("PhysicalDisk\\% Idle Time (_Total)", C::PhysicalDisk, S::DiskIdlePct, 0.03);
+        let disk_reads = b.signal("PhysicalDisk\\Disk Reads/sec (_Total)", C::PhysicalDisk, S::DiskReadsPerSec, 0.05);
+        let disk_writes = b.signal("PhysicalDisk\\Disk Writes/sec (_Total)", C::PhysicalDisk, S::DiskWritesPerSec, 0.05);
+        b.sum("PhysicalDisk\\Disk Transfers/sec (_Total)", C::PhysicalDisk, disk_reads, disk_writes);
+        b.signal("PhysicalDisk\\Avg. Disk Queue Length (_Total)", C::PhysicalDisk, S::DiskQueueLength, 0.08);
+        b.correlated("PhysicalDisk\\% Disk Read Time (_Total)", C::PhysicalDisk, disk_time, 0.6, 0.04);
+        b.correlated("PhysicalDisk\\% Disk Write Time (_Total)", C::PhysicalDisk, disk_time, 0.45, 0.04);
+        b.correlated("LogicalDisk\\Disk Bytes/sec (_Total)", C::PhysicalDisk, disk_read, 1.8, 0.02);
+
+        // --- Network ----------------------------------------------------
+        let net_sent = b.signal("Network Interface\\Bytes Sent/sec", C::Network, S::NetBytesSentPerSec, 0.04);
+        let net_recv = b.signal("Network Interface\\Bytes Received/sec", C::Network, S::NetBytesRecvPerSec, 0.04);
+        b.sum("Network Interface\\Bytes Total/sec", C::Network, net_sent, net_recv);
+        let datagrams = b.signal("UDPv4\\Datagrams/sec", C::Network, S::NetDatagramsPerSec, 0.05);
+        let packets = b.signal("Network Interface\\Packets/sec", C::Network, S::NetPacketsPerSec, 0.04);
+        b.signal("Network Interface\\Output Queue Length", C::Network, S::NetOutputQueueLength, 0.10);
+        b.correlated("TCPv4\\Segments/sec", C::Network, packets, 0.85, 0.02);
+        b.correlated("IPv4\\Datagrams/sec", C::Network, datagrams, 1.05, 0.01);
+        b.correlated("Network Interface\\Packets Sent/sec", C::Network, net_sent, 0.0007, 0.02);
+        b.correlated("Network Interface\\Packets Received/sec", C::Network, net_recv, 0.0007, 0.02);
+
+        // --- Memory -----------------------------------------------------
+        b.signal("Memory\\Pages/sec", C::Memory, S::PagesPerSec, 0.05);
+        let page_faults = b.signal("Memory\\Page Faults/sec", C::Memory, S::PageFaultsPerSec, 0.05);
+        let cache_faults = b.signal("Memory\\Cache Faults/sec", C::Memory, S::CacheFaultsPerSec, 0.05);
+        let page_reads = b.signal("Memory\\Page Reads/sec", C::Memory, S::PageReadsPerSec, 0.06);
+        let page_writes = b.signal("Memory\\Page Writes/sec", C::Memory, S::PageWritesPerSec, 0.06);
+        b.signal("Memory\\Committed Bytes", C::Memory, S::CommittedBytes, 0.01);
+        b.signal("Memory\\Pool Nonpaged Allocs", C::Memory, S::PoolNonpagedAllocs, 0.03);
+        b.signal("Memory\\Available Bytes", C::Memory, S::AvailableBytes, 0.01);
+        b.signal("Memory\\Transition Faults/sec", C::Memory, S::TransitionFaultsPerSec, 0.06);
+        b.signal("Memory\\Demand Zero Faults/sec", C::Memory, S::DemandZeroFaultsPerSec, 0.06);
+        b.sum("Memory\\Pages Input+Output/sec", C::Memory, page_reads, page_writes);
+        b.correlated("Memory\\Pages Input/sec", C::Memory, page_reads, 3.8, 0.03);
+        b.correlated("Memory\\Pages Output/sec", C::Memory, page_writes, 3.8, 0.03);
+        b.correlated("Memory\\Cache Bytes", C::Memory, cache_faults, 2e4, 0.03);
+        b.correlated("Memory\\Pool Paged Allocs", C::Memory, page_faults, 0.15, 0.04);
+
+        // --- Process (_Total) --------------------------------------------
+        let proc_pf = b.signal("Process\\Total Page Faults/sec (_Total)", C::Process, S::ProcTotalPageFaultsPerSec, 0.05);
+        let proc_io = b.signal("Process\\Total IO Data Bytes/sec (_Total)", C::Process, S::ProcIoDataBytesPerSec, 0.04);
+        b.signal("Process\\Thread Count (_Total)", C::Process, S::ProcThreadCount, 0.08);
+        b.signal("Process\\Handle Count (_Total)", C::Process, S::ProcHandleCount, 0.10);
+        b.signal("Process\\Working Set (_Total)", C::Process, S::ProcWorkingSet, 0.01);
+        b.correlated("Process\\IO Other Bytes/sec (_Total)", C::Process, proc_io, 0.12, 0.05);
+        b.correlated("Process\\Private Bytes (_Total)", C::Process, proc_pf, 5e4, 0.04);
+
+        // --- File system cache -------------------------------------------
+        let pin_reads = b.signal("Cache\\Pin Reads/sec", C::FileSystemCache, S::FscPinReadsPerSec, 0.05);
+        let map_pins = b.signal("Cache\\Data Map Pins/sec", C::FileSystemCache, S::FscDataMapPinsPerSec, 0.05);
+        b.signal("Cache\\Pin Read Hits %", C::FileSystemCache, S::FscPinReadHitsPct, 0.02);
+        let copy_reads = b.signal("Cache\\Copy Reads/sec", C::FileSystemCache, S::FscCopyReadsPerSec, 0.05);
+        b.signal("Cache\\Fast Reads Not Possible/sec", C::FileSystemCache, S::FscFastReadsNotPossiblePerSec, 0.06);
+        let lazy_flush = b.signal("Cache\\Lazy Write Flushes/sec", C::FileSystemCache, S::FscLazyWriteFlushesPerSec, 0.06);
+        b.signal("Cache\\Data Maps/sec", C::FileSystemCache, S::FscDataMapsPerSec, 0.05);
+        b.signal("Cache\\Read Aheads/sec", C::FileSystemCache, S::FscReadAheadsPerSec, 0.06);
+        b.signal("Cache\\Dirty Pages", C::FileSystemCache, S::FscDirtyPages, 0.05);
+        b.signal("Cache\\Lazy Write Pages/sec", C::FileSystemCache, S::FscLazyWritePagesPerSec, 0.06);
+        b.correlated("Cache\\Copy Read Hits %", C::FileSystemCache, copy_reads, 0.002, 0.05);
+        b.correlated("Cache\\MDL Reads/sec", C::FileSystemCache, map_pins, 0.4, 0.04);
+        b.correlated("Cache\\Lazy Write Flushes (alias)/sec", C::FileSystemCache, lazy_flush, 1.0, 0.01);
+        b.correlated("Cache\\Sync Pin Reads/sec", C::FileSystemCache, pin_reads, 0.9, 0.02);
+
+        // --- Job object details ------------------------------------------
+        b.signal("Job Object Details\\Total Page File Bytes Peak", C::JobObjectDetails, S::JodPageFileBytesPeak, 0.005);
+        let jod_pf = b.signal("Job Object Details\\Total Page File Bytes", C::JobObjectDetails, S::JodPageFileBytes, 0.01);
+        b.signal("Job Object Details\\Total Virtual Bytes", C::JobObjectDetails, S::JodVirtualBytes, 0.01);
+        b.signal("Job Object Details\\Total Working Set Peak", C::JobObjectDetails, S::JodWorkingSetPeak, 0.005);
+        b.correlated("Job Object Details\\Total Pool Nonpaged Bytes", C::JobObjectDetails, jod_pf, 0.001, 0.03);
+
+        // --- System -------------------------------------------------------
+        let ctx = b.signal("System\\Context Switches/sec", C::System, S::SysContextSwitchesPerSec, 0.12);
+        b.signal("System\\System Calls/sec", C::System, S::SysSystemCallsPerSec, 0.05);
+        b.signal("System\\Processes", C::System, S::SysProcesses, 0.06);
+        b.signal("System\\Threads", C::System, S::SysThreads, 0.10);
+        b.signal("System\\Processor Queue Length", C::System, S::SysProcessorQueueLength, 0.10);
+        b.correlated("System\\File Control Operations/sec", C::System, ctx, 0.08, 0.05);
+
+        // --- Filler: the long tail of counters that carry nothing ---------
+        // Real Perfmon exposes thousands of counters that never move or
+        // move with no relation to power. They exercise the L1 step.
+        let noise_names: &[(&str, CounterCategory, f64, bool)] = &[
+            ("Memory\\System Code Total Bytes", C::Memory, 2e6, true),
+            ("Memory\\System Driver Total Bytes", C::Memory, 4e6, true),
+            ("Memory\\Free System Page Table Entries", C::Memory, 3e5, true),
+            ("Objects\\Events", C::System, 4e3, true),
+            ("Objects\\Mutexes", C::System, 1e3, true),
+            ("Objects\\Sections", C::System, 3e3, true),
+            ("Objects\\Semaphores", C::System, 2e3, true),
+            ("Server\\Sessions", C::System, 12.0, true),
+            ("Server\\Files Open", C::System, 30.0, true),
+            ("Print Queue\\Jobs", C::System, 0.5, false),
+            ("Telephony\\Lines", C::System, 1.0, false),
+            ("Paging File\\% Usage Peak", C::Memory, 4.0, true),
+            ("Browser\\Announcements Total/sec", C::Network, 2.0, false),
+            ("Redirector\\Bytes Total/sec", C::Network, 1e4, false),
+            ("NBT Connection\\Bytes Total/sec", C::Network, 5e3, false),
+            ("WMI Objects\\HiPerf Classes", C::System, 20.0, true),
+            ("Security System-Wide Statistics\\KDC AS Requests", C::System, 3.0, false),
+            ("Distributed Transaction Coordinator\\Active Transactions", C::System, 2.0, false),
+            ("Event Tracing for Windows\\Total Number of Active Sessions", C::System, 8.0, true),
+            ("Terminal Services\\Active Sessions", C::System, 1.0, true),
+        ];
+        for (name, cat, scale, walk) in noise_names {
+            b.noise(*name, *cat, *scale, *walk);
+        }
+        // Numbered filler to reach the paper's ~250 candidates.
+        let mut i = 0;
+        while b.defs.len() < 250 {
+            let cat = [
+                C::Memory,
+                C::Process,
+                C::System,
+                C::Network,
+                C::PhysicalDisk,
+                C::FileSystemCache,
+            ][i % 6];
+            b.noise(
+                format!("{}\\Vendor Extension Counter #{i}", cat.label()),
+                cat,
+                10.0 * (1 + i % 17) as f64,
+                i % 3 == 0,
+            );
+            i += 1;
+        }
+
+        CounterCatalog { defs: b.defs }
+    }
+
+    /// All counter definitions, index-aligned with synthesized rows.
+    pub fn defs(&self) -> &[CounterDef] {
+        &self.defs
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the catalog is empty (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn def(&self, idx: usize) -> &CounterDef {
+        &self.defs[idx]
+    }
+
+    /// Finds a counter index by exact name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.defs.iter().position(|d| d.name == name)
+    }
+
+    /// Indices of all counters in a category.
+    pub fn in_category(&self, category: CounterCategory) -> Vec<usize> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.category == category)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of counters that are *definitionally* sums of other
+    /// counters (`a = b + c`) — what Algorithm 1 step 2 removes by
+    /// inspecting counter definitions.
+    pub fn codependent_sums(&self) -> Vec<(usize, usize, usize)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| match d.kind {
+                CounterKind::Sum { a, b } => Some((i, a, b)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    defs: Vec<CounterDef>,
+}
+
+impl Builder {
+    fn push(&mut self, def: CounterDef) -> usize {
+        self.defs.push(def);
+        self.defs.len() - 1
+    }
+
+    fn signal(
+        &mut self,
+        name: impl Into<String>,
+        category: CounterCategory,
+        source: SignalSource,
+        noise_frac: f64,
+    ) -> usize {
+        self.push(CounterDef {
+            name: name.into(),
+            category,
+            kind: CounterKind::Signal { source, noise_frac },
+        })
+    }
+
+    fn correlated(
+        &mut self,
+        name: impl Into<String>,
+        category: CounterCategory,
+        base: usize,
+        gain: f64,
+        noise_frac: f64,
+    ) -> usize {
+        self.push(CounterDef {
+            name: name.into(),
+            category,
+            kind: CounterKind::Correlated {
+                base,
+                gain,
+                noise_frac,
+            },
+        })
+    }
+
+    fn sum(
+        &mut self,
+        name: impl Into<String>,
+        category: CounterCategory,
+        a: usize,
+        b: usize,
+    ) -> usize {
+        self.push(CounterDef {
+            name: name.into(),
+            category,
+            kind: CounterKind::Sum { a, b },
+        })
+    }
+
+    fn noise(
+        &mut self,
+        name: impl Into<String>,
+        category: CounterCategory,
+        scale: f64,
+        walk: bool,
+    ) -> usize {
+        self.push(CounterDef {
+            name: name.into(),
+            category,
+            kind: CounterKind::Noise { scale, walk },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_sim::Platform;
+
+    #[test]
+    fn catalog_has_about_250_counters() {
+        for p in Platform::ALL {
+            let c = CounterCatalog::for_platform(&p.spec());
+            assert!(c.len() >= 240 && c.len() <= 260, "{p}: {}", c.len());
+        }
+    }
+
+    #[test]
+    fn per_core_frequency_counters_match_core_count() {
+        let atom = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let xeon = CounterCatalog::for_platform(&Platform::XeonSas.spec());
+        let count = |c: &CounterCatalog| {
+            c.defs()
+                .iter()
+                .filter(|d| matches!(d.kind, CounterKind::Signal { source: SignalSource::CoreFreqMhz(_), .. }))
+                .count()
+        };
+        assert_eq!(count(&atom), 2);
+        assert_eq!(count(&xeon), 8);
+    }
+
+    #[test]
+    fn table_ii_counters_are_present() {
+        let c = CounterCatalog::for_platform(&Platform::Opteron.spec());
+        for name in [
+            "UDPv4\\Datagrams/sec",
+            "Memory\\Page Faults/sec",
+            "Memory\\Committed Bytes",
+            "Memory\\Cache Faults/sec",
+            "Memory\\Pages/sec",
+            "Memory\\Page Reads/sec",
+            "Memory\\Pool Nonpaged Allocs",
+            "PhysicalDisk\\Disk Total Disk Time % (_Total)",
+            "PhysicalDisk\\Disk Total Disk Bytes/sec (_Total)",
+            "Process\\Total Page Faults/sec (_Total)",
+            "Process\\Total IO Data Bytes/sec (_Total)",
+            "Processor\\% Processor Time (_Total)",
+            "Processor\\Interrupts/sec (_Total)",
+            "Processor\\% DPC Time (_Total)",
+            "Cache\\Data Map Pins/sec",
+            "Cache\\Pin Reads/sec",
+            "Cache\\Pin Read Hits %",
+            "Cache\\Copy Reads/sec",
+            "Cache\\Fast Reads Not Possible/sec",
+            "Cache\\Lazy Write Flushes/sec",
+            "Job Object Details\\Total Page File Bytes Peak",
+            "Processor Performance\\Processor Frequency (Processor_0)",
+        ] {
+            assert!(c.index_of(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let c = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let mut names: Vec<&str> = c.defs().iter().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate counter names");
+    }
+
+    #[test]
+    fn references_point_backwards() {
+        // Correlated/Sum kinds must reference already-defined counters so
+        // single-pass synthesis works.
+        let c = CounterCatalog::for_platform(&Platform::XeonSata.spec());
+        for (i, d) in c.defs().iter().enumerate() {
+            match d.kind {
+                CounterKind::Correlated { base, .. } => assert!(base < i, "{}", d.name),
+                CounterKind::Sum { a, b } => {
+                    assert!(a < i && b < i, "{}", d.name)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn codependent_sums_exist() {
+        let c = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let sums = c.codependent_sums();
+        assert!(sums.len() >= 3, "got {}", sums.len());
+        for (i, a, b) in sums {
+            assert_ne!(i, a);
+            assert_ne!(i, b);
+        }
+    }
+
+    #[test]
+    fn category_queries_work() {
+        let c = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let mem = c.in_category(CounterCategory::Memory);
+        assert!(mem.len() >= 10);
+        for i in mem {
+            assert_eq!(c.def(i).category, CounterCategory::Memory);
+        }
+        assert_eq!(CounterCategory::FileSystemCache.label(), "FSCache");
+    }
+}

@@ -1,0 +1,386 @@
+//! Trace collection: drive a cluster through a workload and record
+//! counters + power at 1 Hz, like Perfmon logging software counters and
+//! WattsUp readings side by side.
+
+use crate::catalog::CounterCatalog;
+use crate::synth::CounterSynth;
+use chaos_sim::{Cluster, Platform, PowerMeter};
+use chaos_workloads::{simulate, SimConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One machine's recording for one workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineRunTrace {
+    /// Machine id within the cluster.
+    pub machine_id: usize,
+    /// The machine's platform (needed to look up its counter catalog in
+    /// heterogeneous clusters).
+    pub platform: Platform,
+    /// `counters[t][c]` — counter `c` at second `t`.
+    pub counters: Vec<Vec<f64>>,
+    /// Metered wall power at each second (what models train against).
+    pub measured_power_w: Vec<f64>,
+    /// Ground-truth wall power (for diagnostics; never shown to models).
+    pub true_power_w: Vec<f64>,
+}
+
+impl MachineRunTrace {
+    /// Trace length in seconds.
+    pub fn seconds(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+/// A full cluster recording for one workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Workload name.
+    pub workload: String,
+    /// The seed that drove scheduling, governor jitter, and meters.
+    pub run_seed: u64,
+    /// Per-machine traces, in machine-id order.
+    pub machines: Vec<MachineRunTrace>,
+}
+
+impl RunTrace {
+    /// Trace length in seconds (equal across machines).
+    pub fn seconds(&self) -> usize {
+        self.machines.first().map_or(0, MachineRunTrace::seconds)
+    }
+
+    /// Cluster-level metered power: the sum of per-machine meters, second
+    /// by second (what Figure 1 plots).
+    pub fn cluster_measured_power(&self) -> Vec<f64> {
+        self.sum_series(|m| &m.measured_power_w)
+    }
+
+    /// Cluster-level ground-truth power.
+    pub fn cluster_true_power(&self) -> Vec<f64> {
+        self.sum_series(|m| &m.true_power_w)
+    }
+
+    fn sum_series<'a, F>(&'a self, f: F) -> Vec<f64>
+    where
+        F: Fn(&'a MachineRunTrace) -> &'a [f64],
+    {
+        let n = self.seconds();
+        let mut out = vec![0.0; n];
+        for m in &self.machines {
+            for (o, v) in out.iter_mut().zip(f(m)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Returns a copy sampled every `interval_s` seconds — what a slower
+    /// collector (e.g. the 10-minute intervals some prior work used)
+    /// would have recorded. Rate counters in Perfmon are averages over
+    /// the sampling interval, so values are window-averaged, not point
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s == 0`.
+    pub fn decimated(&self, interval_s: usize) -> RunTrace {
+        assert!(interval_s > 0, "interval must be positive");
+        if interval_s == 1 {
+            return self.clone();
+        }
+        let machines = self
+            .machines
+            .iter()
+            .map(|m| {
+                let n = m.seconds();
+                let mut counters = Vec::new();
+                let mut measured = Vec::new();
+                let mut truth = Vec::new();
+                let width = m.counters.first().map_or(0, Vec::len);
+                let mut start = 0;
+                while start < n {
+                    let end = (start + interval_s).min(n);
+                    let len = (end - start) as f64;
+                    let mut crow = vec![0.0; width];
+                    let mut pm = 0.0;
+                    let mut pt = 0.0;
+                    for t in start..end {
+                        for (j, c) in crow.iter_mut().enumerate() {
+                            *c += m.counters[t][j];
+                        }
+                        pm += m.measured_power_w[t];
+                        pt += m.true_power_w[t];
+                    }
+                    for c in &mut crow {
+                        *c /= len;
+                    }
+                    counters.push(crow);
+                    measured.push(pm / len);
+                    truth.push(pt / len);
+                    start = end;
+                }
+                MachineRunTrace {
+                    machine_id: m.machine_id,
+                    platform: m.platform,
+                    counters,
+                    measured_power_w: measured,
+                    true_power_w: truth,
+                }
+            })
+            .collect();
+        RunTrace {
+            workload: self.workload.clone(),
+            run_seed: self.run_seed,
+            machines,
+        }
+    }
+}
+
+/// Collects one run on a **homogeneous** cluster using the supplied
+/// catalog (which must match the cluster's platform).
+///
+/// # Panics
+///
+/// Panics if the cluster is heterogeneous or the catalog does not match
+/// the platform's catalog; use [`collect_run_mixed`] for mixed clusters.
+pub fn collect_run(
+    cluster: &Cluster,
+    catalog: &CounterCatalog,
+    job: impl Into<chaos_workloads::scheduler::JobSource>,
+    config: &SimConfig,
+    seed: u64,
+) -> RunTrace {
+    assert!(
+        cluster.is_homogeneous(),
+        "collect_run requires a homogeneous cluster; use collect_run_mixed"
+    );
+    let platform = cluster.machines()[0].spec().platform;
+    assert_eq!(
+        catalog.len(),
+        CounterCatalog::for_platform(&platform.spec()).len(),
+        "catalog does not match cluster platform"
+    );
+    collect_with(cluster, job, config, seed, |p| {
+        assert_eq!(p, platform);
+        catalog.clone()
+    })
+}
+
+/// Collects one run on any cluster, building each machine's catalog from
+/// its own platform (heterogeneous clusters get per-platform catalogs, as
+/// in the paper's 10-machine Core2+Opteron experiment).
+pub fn collect_run_mixed(
+    cluster: &Cluster,
+    job: impl Into<chaos_workloads::scheduler::JobSource>,
+    config: &SimConfig,
+    seed: u64,
+) -> RunTrace {
+    collect_with(cluster, job, config, seed, |p| {
+        CounterCatalog::for_platform(&p.spec())
+    })
+}
+
+fn collect_with(
+    cluster: &Cluster,
+    job: impl Into<chaos_workloads::scheduler::JobSource>,
+    config: &SimConfig,
+    seed: u64,
+    catalog_for: impl Fn(Platform) -> CounterCatalog,
+) -> RunTrace {
+    let demand_trace = simulate(cluster, job, config, seed);
+    let mut machines = Vec::with_capacity(cluster.len());
+
+    for (mi, machine) in cluster.machines().iter().enumerate() {
+        let platform = machine.spec().platform;
+        let catalog = catalog_for(platform);
+        // Two seed families: machine-stable properties (counter
+        // sensitivities, meter calibration) persist across runs; per-run
+        // noise streams are fresh each run. Conflating them would create
+        // spurious run-level correlations between counters and power.
+        let machine_seed = cluster
+            .seed()
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (mi as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        let run_seed = seed ^ (mi as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut synth =
+            CounterSynth::with_seeds(&catalog, machine.spec(), machine_seed, run_seed);
+        let mut gov_rng = ChaCha8Rng::seed_from_u64(run_seed.wrapping_add(1));
+        let mut meter_rng = ChaCha8Rng::seed_from_u64(run_seed.wrapping_add(2));
+        let meter = PowerMeter::sample(&mut ChaCha8Rng::seed_from_u64(
+            machine_seed.wrapping_add(3),
+        ));
+        // Hidden thermal drift: load-history-dependent power no counter
+        // observes — the irreducible error floor of counter-based models.
+        let mut thermal = chaos_sim::ThermalModel::new();
+        let mut thermal_rng = ChaCha8Rng::seed_from_u64(run_seed.wrapping_add(4));
+
+        let demands = demand_trace.machine(mi);
+        let mut counters = Vec::with_capacity(demands.len());
+        let mut measured = Vec::with_capacity(demands.len());
+        let mut truth = Vec::with_capacity(demands.len());
+        for d in demands {
+            let state = machine.apply_demand(d, &mut gov_rng);
+            let thermal_w = machine.dynamic_range()
+                * thermal.step(state.cpu_utilization(), &mut thermal_rng);
+            let p = machine.true_power(&state)
+                + thermal_w
+                + machine.variation().meter_offset_w;
+            counters.push(synth.step(&catalog, &state));
+            truth.push(p);
+            measured.push(meter.read(p, &mut meter_rng));
+        }
+        machines.push(MachineRunTrace {
+            machine_id: mi,
+            platform,
+            counters,
+            measured_power_w: measured,
+            true_power_w: truth,
+        });
+    }
+
+    RunTrace {
+        workload: demand_trace.workload.clone(),
+        run_seed: seed,
+        machines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_workloads::Workload;
+
+    #[test]
+    fn homogeneous_collection_shapes() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 3, 1);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 5);
+        assert_eq!(run.machines.len(), 3);
+        let secs = run.seconds();
+        assert!(secs > 30);
+        for m in &run.machines {
+            assert_eq!(m.seconds(), secs);
+            assert_eq!(m.counters[0].len(), catalog.len());
+            assert_eq!(m.measured_power_w.len(), secs);
+            assert_eq!(m.true_power_w.len(), secs);
+        }
+    }
+
+    #[test]
+    fn measured_power_tracks_truth_within_meter_class() {
+        let cluster = Cluster::homogeneous(Platform::Core2, 2, 2);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 9);
+        for m in &run.machines {
+            for (meas, truth) in m.measured_power_w.iter().zip(&m.true_power_w) {
+                let rel = (meas - truth).abs() / truth;
+                assert!(rel < 0.03, "relative meter error {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_power_is_sum_of_machines() {
+        let cluster = Cluster::homogeneous(Platform::Athlon, 3, 3);
+        let catalog = CounterCatalog::for_platform(&Platform::Athlon.spec());
+        let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 4);
+        let total = run.cluster_measured_power();
+        let t = run.seconds() / 2;
+        let manual: f64 = run.machines.iter().map(|m| m.measured_power_w[t]).sum();
+        assert!((total[t] - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_power_signatures_differ() {
+        // Figure 1's premise: Prime's cluster power profile differs
+        // dramatically from idle-heavy WordCount bookends. Compare mean
+        // power of Prime vs WordCount on the same cluster.
+        let cluster = Cluster::homogeneous(Platform::Core2, 5, 1);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let cfg = SimConfig::quick();
+        let prime = collect_run(&cluster, &catalog, Workload::Prime, &cfg, 11);
+        let wc = collect_run(&cluster, &catalog, Workload::WordCount, &cfg, 11);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mid_mean = |v: &[f64]| {
+            let (a, b) = (v.len() / 4, 3 * v.len() / 4);
+            mean(&v[a..b])
+        };
+        // Prime saturates the CPUs through its middle phase; WordCount is
+        // shorter and lighter — their mid-run power levels must differ.
+        let prime_mid = mid_mean(&prime.cluster_measured_power());
+        let wc_mid = mid_mean(&wc.cluster_measured_power());
+        assert!(
+            prime_mid > wc_mid,
+            "prime mid-run {prime_mid} should exceed wordcount {wc_mid}"
+        );
+        assert!(mean(&prime.cluster_measured_power()) > cluster.idle_power());
+    }
+
+    #[test]
+    fn mixed_collection_handles_heterogeneous_clusters() {
+        let cluster = Cluster::heterogeneous(&[(Platform::Core2, 2), (Platform::Opteron, 2)], 6);
+        let run = collect_run_mixed(&cluster, Workload::Sort, &SimConfig::quick(), 13);
+        assert_eq!(run.machines.len(), 4);
+        assert_eq!(run.machines[0].platform, Platform::Core2);
+        assert_eq!(run.machines[3].platform, Platform::Opteron);
+        // Each machine's rows match its own platform's catalog width, and
+        // the two platforms' catalogs differ in content (per-core
+        // frequency counters).
+        let cat_core2 = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let cat_opteron = CounterCatalog::for_platform(&Platform::Opteron.spec());
+        assert_eq!(run.machines[0].counters[0].len(), cat_core2.len());
+        assert_eq!(run.machines[3].counters[0].len(), cat_opteron.len());
+        assert_ne!(cat_core2.defs(), cat_opteron.defs());
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneous")]
+    fn collect_run_rejects_mixed_clusters() {
+        let cluster = Cluster::heterogeneous(&[(Platform::Core2, 1), (Platform::Atom, 1)], 0);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 0);
+    }
+
+    #[test]
+    fn decimation_averages_windows() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 5);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3);
+        let dec = run.decimated(5);
+        assert_eq!(dec.seconds(), run.seconds().div_ceil(5));
+        // The first decimated power sample is the mean of the first five.
+        let m = &run.machines[0];
+        let want: f64 = m.measured_power_w[..5].iter().sum::<f64>() / 5.0;
+        assert!((dec.machines[0].measured_power_w[0] - want).abs() < 1e-9);
+        // Counter width unchanged; energy roughly conserved.
+        assert_eq!(dec.machines[0].counters[0].len(), catalog.len());
+        let e_full: f64 = m.true_power_w.iter().sum();
+        let e_dec: f64 = dec.machines[0].true_power_w.iter().sum::<f64>() * 5.0;
+        assert!((e_full - e_dec).abs() / e_full < 0.05);
+        // interval 1 is the identity.
+        assert_eq!(run.decimated(1), run);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn decimation_rejects_zero() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 1, 5);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3);
+        run.decimated(0);
+    }
+
+    #[test]
+    fn different_run_seeds_give_different_traces() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 7);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let a = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1);
+        let b = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 2);
+        assert_ne!(a.machines[0].measured_power_w, b.machines[0].measured_power_w);
+        // Same seed reproduces exactly.
+        let c = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1);
+        assert_eq!(a, c);
+    }
+}

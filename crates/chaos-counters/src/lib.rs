@@ -1,0 +1,50 @@
+//! OS-level performance-counter emulation: the ETW / Perfmon substitute.
+//!
+//! CHAOS models power from *OS-level* performance counters only. On the
+//! paper's testbed those come from Windows Server 2008 R2, which exposes
+//! ~10,000 counters, of which the authors pre-select ~250 candidates in
+//! eight categories (processor, memory, physical disk, process, job
+//! object, file-system cache, network, processor performance) and log
+//! them at 1 Hz with Perfmon alongside the WattsUp power readings.
+//!
+//! This crate reproduces that observation layer over the simulator:
+//!
+//! * [`CounterCatalog`] — a per-platform catalog of ~250 counters: the
+//!   named counters of the paper's Table II plus realistic filler. The
+//!   filler is deliberately structured the way real counter populations
+//!   are, because Algorithm 1's early steps exist to cope with it:
+//!   *correlated aliases* (pairwise |r| > 0.95 — step 1's target),
+//!   *co-dependent sums* (`a = b + c` — step 2's target), and
+//!   *pure-noise counters* (the L1 regularization's target).
+//! * [`CounterSynth`] — a stateful per-machine synthesizer mapping hidden
+//!   [`chaos_sim::MachineState`] to counter readings with per-machine
+//!   sensitivity variation and per-sample observation noise.
+//! * [`collect_run`] — drives a cluster through a workload's demand trace
+//!   and returns per-machine counter matrices plus measured (metered) and
+//!   true power series — the exact data layout the modeling pipeline
+//!   consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_counters::{collect_run, CounterCatalog};
+//! use chaos_sim::{Cluster, Platform};
+//! use chaos_workloads::{SimConfig, Workload};
+//!
+//! let cluster = Cluster::homogeneous(Platform::Atom, 3, 1);
+//! let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+//! let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 42);
+//! assert_eq!(run.machines.len(), 3);
+//! assert_eq!(run.machines[0].counters[0].len(), catalog.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod collect;
+pub mod synth;
+
+pub use catalog::{CounterCatalog, CounterCategory, CounterDef, CounterKind, SignalSource};
+pub use collect::{collect_run, collect_run_mixed, MachineRunTrace, RunTrace};
+pub use synth::CounterSynth;

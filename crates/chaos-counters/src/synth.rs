@@ -1,0 +1,368 @@
+//! Stateful per-machine counter synthesis from hidden machine state.
+
+use crate::catalog::{CounterCatalog, CounterKind, SignalSource};
+use chaos_sim::{MachineState, PlatformSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Average bytes per disk transfer (drives ops/sec counters).
+const DISK_XFER_BYTES: f64 = 56e3;
+/// Average bytes per network packet.
+const NET_PKT_BYTES: f64 = 1460.0;
+
+/// Synthesizes one machine's counter readings, second by second.
+///
+/// Holds the per-machine sensitivity gains (machines report slightly
+/// different magnitudes for the same activity — part of what makes
+/// per-machine feature sets differ in Algorithm 1 step 5), random-walk
+/// states for the information-free counters, and running peaks for the
+/// `…Peak` counters.
+#[derive(Debug, Clone)]
+pub struct CounterSynth {
+    gains: Vec<f64>,
+    walk: Vec<f64>,
+    page_file_peak: f64,
+    working_set_peak: f64,
+    rng: ChaCha8Rng,
+    nic_bw: f64,
+    mem_bytes: f64,
+    cores: usize,
+    max_freq_mhz: f64,
+}
+
+impl CounterSynth {
+    /// Creates a synthesizer for one machine, deriving both the fixed
+    /// per-machine sensitivities and the per-sample noise stream from one
+    /// seed. For multi-run collections use [`CounterSynth::with_seeds`]
+    /// so the sensitivities stay fixed across runs.
+    pub fn new(catalog: &CounterCatalog, spec: &PlatformSpec, seed: u64) -> Self {
+        Self::with_seeds(catalog, spec, seed, seed)
+    }
+
+    /// Creates a synthesizer whose fixed sensitivities come from
+    /// `machine_seed` (a property of the physical machine — identical
+    /// across runs) while the observation-noise stream comes from
+    /// `noise_seed` (fresh per run).
+    pub fn with_seeds(
+        catalog: &CounterCatalog,
+        spec: &PlatformSpec,
+        machine_seed: u64,
+        noise_seed: u64,
+    ) -> Self {
+        let mut gain_rng = ChaCha8Rng::seed_from_u64(machine_seed);
+        let rng = ChaCha8Rng::seed_from_u64(noise_seed);
+        let gains: Vec<f64> = catalog
+            .defs()
+            .iter()
+            .map(|_| gain_rng.gen_range(0.85..1.15_f64))
+            .collect();
+        let walk = vec![0.0; catalog.len()];
+        CounterSynth {
+            gains,
+            walk,
+            page_file_peak: 0.0,
+            working_set_peak: 0.0,
+            rng,
+            nic_bw: spec.nic_max_bytes_per_sec,
+            mem_bytes: spec.memory_gb * 1e9,
+            cores: spec.cores,
+            max_freq_mhz: spec.max_pstate().freq_mhz,
+        }
+    }
+
+    /// Produces one second of counter readings for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog` is not the catalog this synthesizer was built
+    /// with (length mismatch).
+    pub fn step(&mut self, catalog: &CounterCatalog, state: &MachineState) -> Vec<f64> {
+        assert_eq!(
+            catalog.len(),
+            self.gains.len(),
+            "catalog does not match synthesizer"
+        );
+        let mut out = vec![0.0; catalog.len()];
+        for (i, def) in catalog.defs().iter().enumerate() {
+            let value = match def.kind {
+                CounterKind::Signal { source, noise_frac } => {
+                    let raw = self.signal_value(source, state);
+                    let noisy = raw * self.gains[i] * (1.0 + noise_frac * self.unit_noise())
+                        // A hair of additive noise keeps idle-constant
+                        // counters from becoming exactly constant columns.
+                        + noise_frac * 0.01 * self.unit_noise();
+                    // Peak counters are monotone *as observed*: the OS
+                    // reports the running maximum of the sampled value.
+                    match source {
+                        SignalSource::JodPageFileBytesPeak => {
+                            self.page_file_peak = self.page_file_peak.max(noisy);
+                            self.page_file_peak
+                        }
+                        SignalSource::JodWorkingSetPeak => {
+                            self.working_set_peak = self.working_set_peak.max(noisy);
+                            self.working_set_peak
+                        }
+                        _ => noisy,
+                    }
+                }
+                CounterKind::Correlated {
+                    base,
+                    gain,
+                    noise_frac,
+                } => {
+                    let b = out[base];
+                    b * gain * (1.0 + noise_frac * self.unit_noise())
+                        + noise_frac * 0.01 * self.unit_noise()
+                }
+                CounterKind::Sum { a, b } => out[a] + out[b],
+                CounterKind::Noise { scale, walk } => {
+                    if walk {
+                        let step: f64 = self.rng.gen_range(-0.02..0.02);
+                        self.walk[i] = (self.walk[i] + step).clamp(-1.0, 1.0);
+                        scale * (1.0 + 0.5 * self.walk[i])
+                    } else {
+                        scale * self.rng.gen_range(0.0..1.0)
+                    }
+                }
+            };
+            out[i] = value.max(0.0);
+        }
+        out
+    }
+
+    /// Uniform noise in `[-1, 1]`.
+    fn unit_noise(&mut self) -> f64 {
+        self.rng.gen_range(-1.0..1.0)
+    }
+
+    /// Maps a semantic source to its physical value for this second.
+    fn signal_value(&mut self, source: SignalSource, s: &MachineState) -> f64 {
+        use SignalSource::*;
+        let util = s.cpu_utilization();
+        let disk_util = s.disk_util_frac;
+        let net_frac = (s.net_total_bytes() / (2.0 * self.nic_bw)).min(1.0);
+        let disk_ops = s.disk_total_bytes() / DISK_XFER_BYTES;
+        let disk_read_ops = s.disk_read_bytes / DISK_XFER_BYTES;
+        let disk_write_ops = s.disk_write_bytes / DISK_XFER_BYTES;
+        let net_pkts = s.net_total_bytes() / NET_PKT_BYTES;
+        let tasks = s.runnable_tasks;
+        let priv_pct = (100.0 * (0.08 * util + 0.5 * disk_util + 0.35 * net_frac)).min(60.0);
+        let page_faults = 500.0 + 30_000.0 * s.mem_bandwidth_frac + 800.0 * tasks;
+        let pages = 4.0 + 900.0 * s.mem_bandwidth_frac + 0.25 * disk_ops;
+        let committed = s.mem_committed_frac * self.mem_bytes;
+        let working_set = 0.6 * committed;
+
+        match source {
+            CpuUtilPct => 100.0 * util,
+            CpuUserPct => (100.0 * util - 0.6 * priv_pct).max(0.0),
+            CpuPrivilegedPct => priv_pct.min(100.0 * util + 2.0),
+            CpuIdlePct => 100.0 * (1.0 - util),
+            CpuInterruptsPerSec => {
+                120.0 + 1.2 * disk_ops + 0.9 * net_pkts + 60.0 * util * self.cores as f64
+            }
+            CpuDpcPct => (0.5 + 22.0 * net_frac + 9.0 * disk_util).min(40.0),
+            CoreFreqMhz(core) => s.cores.get(core).map_or(0.0, |c| c.freq_mhz),
+            CoreFreqPctMax(core) => {
+                s.cores
+                    .get(core)
+                    .map_or(0.0, |c| 100.0 * c.freq_mhz / self.max_freq_mhz)
+            }
+            DiskBytesPerSec => s.disk_total_bytes(),
+            DiskReadBytesPerSec => s.disk_read_bytes,
+            DiskWriteBytesPerSec => s.disk_write_bytes,
+            DiskTimePct => 100.0 * disk_util,
+            DiskIdlePct => 100.0 * (1.0 - disk_util),
+            DiskReadsPerSec => disk_read_ops,
+            DiskWritesPerSec => disk_write_ops,
+            DiskQueueLength => 8.0 * disk_util * disk_util,
+            NetDatagramsPerSec => net_pkts * 0.45,
+            NetBytesTotalPerSec => s.net_total_bytes(),
+            NetBytesSentPerSec => s.net_tx_bytes,
+            NetBytesRecvPerSec => s.net_rx_bytes,
+            NetPacketsPerSec => net_pkts,
+            NetOutputQueueLength => 4.0 * (s.net_tx_bytes / self.nic_bw).powi(2),
+            PagesPerSec => pages,
+            PageFaultsPerSec => page_faults,
+            CacheFaultsPerSec => 300.0 + 25_000.0 * s.mem_bandwidth_frac + 2_000.0 * util,
+            PageReadsPerSec => 0.25 * pages + 0.05 * disk_read_ops,
+            PageWritesPerSec => 0.15 * pages + 0.03 * disk_write_ops,
+            CommittedBytes => committed,
+            PoolNonpagedAllocs => 8e4 + 2e4 * tasks + 5e-4 * s.net_total_bytes(),
+            AvailableBytes => (1.0 - s.mem_committed_frac) * self.mem_bytes,
+            TransitionFaultsPerSec => 0.4 * page_faults + 200.0 * util,
+            DemandZeroFaultsPerSec => 0.3 * page_faults + 500.0 * util,
+            ProcTotalPageFaultsPerSec => 0.9 * page_faults,
+            ProcIoDataBytesPerSec => s.disk_total_bytes() + s.net_total_bytes(),
+            ProcThreadCount => 120.0 + 15.0 * tasks,
+            ProcHandleCount => 3_000.0 + 40.0 * tasks,
+            ProcWorkingSet => working_set,
+            FscDataMapPinsPerSec => 10.0 + 0.5 * disk_ops + 0.02 * net_pkts,
+            FscPinReadsPerSec => 30.0 + 0.8 * disk_read_ops + 0.1 * disk_write_ops,
+            FscPinReadHitsPct => (98.0 - 25.0 * disk_util).clamp(40.0, 99.5),
+            FscCopyReadsPerSec => 50.0 + 1.1 * disk_read_ops,
+            FscFastReadsNotPossiblePerSec => 2.0 + 0.1 * disk_write_ops + 0.05 * disk_read_ops,
+            FscLazyWriteFlushesPerSec => 1.0 + 0.05 * disk_write_ops,
+            FscDataMapsPerSec => 15.0 + 0.4 * disk_ops,
+            FscReadAheadsPerSec => 0.3 * disk_read_ops,
+            FscDirtyPages => 100.0 + 2e-5 * s.disk_write_bytes,
+            FscLazyWritePagesPerSec => 0.8 * disk_write_ops,
+            JodPageFileBytesPeak => 0.8 * committed,
+            JodPageFileBytes => 0.8 * committed,
+            JodVirtualBytes => 2.5 * committed,
+            JodWorkingSetPeak => working_set,
+            SysContextSwitchesPerSec => {
+                500.0 + 1_500.0 * tasks + 0.5 * (1.2 * disk_ops + 0.9 * net_pkts)
+            }
+            SysSystemCallsPerSec => 2_000.0 + 30_000.0 * util + 2.0 * disk_ops + 1.5 * net_pkts,
+            SysProcesses => 45.0 + 0.5 * tasks,
+            SysThreads => 600.0 + 20.0 * tasks,
+            SysProcessorQueueLength => (tasks - self.cores as f64).max(0.0) * 0.8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_sim::{Machine, Platform, ResourceDemand};
+    use rand::SeedableRng;
+
+    fn setup(platform: Platform) -> (CounterCatalog, CounterSynth, Machine) {
+        let spec = platform.spec();
+        let catalog = CounterCatalog::for_platform(&spec);
+        let synth = CounterSynth::new(&catalog, &spec, 7);
+        let machine = Machine::nominal(platform, 0);
+        (catalog, synth, machine)
+    }
+
+    #[test]
+    fn step_produces_one_value_per_counter() {
+        let (catalog, mut synth, machine) = setup(Platform::Core2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let state = machine.apply_demand(&ResourceDemand::cpu_only(1.0), &mut rng);
+        let row = synth.step(&catalog, &state);
+        assert_eq!(row.len(), catalog.len());
+        assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn utilization_counter_tracks_state() {
+        let (catalog, mut synth, machine) = setup(Platform::Athlon);
+        let idx = catalog
+            .index_of("Processor\\% Processor Time (_Total)")
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let idle = machine.apply_demand(&ResourceDemand::idle(), &mut rng);
+        let busy = machine.apply_demand(&ResourceDemand::cpu_only(2.0), &mut rng);
+        let idle_v = synth.step(&catalog, &idle)[idx];
+        let busy_v = synth.step(&catalog, &busy)[idx];
+        assert!(idle_v < 10.0, "idle {idle_v}");
+        assert!(busy_v > 80.0, "busy {busy_v}");
+    }
+
+    #[test]
+    fn frequency_counter_reports_core0() {
+        let (catalog, mut synth, machine) = setup(Platform::Core2);
+        let idx = catalog
+            .index_of("Processor Performance\\Processor Frequency (Processor_0)")
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let busy = machine.apply_demand(&ResourceDemand::cpu_only(2.0), &mut rng);
+        let v = synth.step(&catalog, &busy)[idx];
+        // Gain is within ±15%, frequency 2260.
+        assert!((1800.0..2700.0).contains(&v), "freq counter {v}");
+    }
+
+    #[test]
+    fn sum_counters_are_exact_sums() {
+        let (catalog, mut synth, machine) = setup(Platform::XeonSas);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let d = ResourceDemand {
+            disk_read_bytes: 40e6,
+            disk_write_bytes: 30e6,
+            ..ResourceDemand::cpu_only(2.0)
+        };
+        let state = machine.apply_demand(&d, &mut rng);
+        let row = synth.step(&catalog, &state);
+        for (i, a, b) in catalog.codependent_sums() {
+            assert!(
+                (row[i] - (row[a] + row[b])).abs() < 1e-9,
+                "{}",
+                catalog.def(i).name
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_aliases_track_their_base() {
+        let (catalog, mut synth, machine) = setup(Platform::Opteron);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Gather 200 samples of varying load and check |r| > 0.95 for a
+        // known alias pair.
+        let base = catalog
+            .index_of("Processor\\% Processor Time (_Total)")
+            .unwrap();
+        let alias = catalog
+            .index_of("Processor\\% Processor Utility (_Total)")
+            .unwrap();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let cores = (i % 9) as f64;
+            let state = machine.apply_demand(&ResourceDemand::cpu_only(cores), &mut rng);
+            let row = synth.step(&catalog, &state);
+            xs.push(row[base]);
+            ys.push(row[alias]);
+        }
+        let r = chaos_stats::corr::pearson(&xs, &ys).unwrap();
+        assert!(r > 0.95, "alias correlation {r}");
+    }
+
+    #[test]
+    fn peak_counters_are_monotone() {
+        let (catalog, mut synth, machine) = setup(Platform::Core2);
+        let idx = catalog
+            .index_of("Job Object Details\\Total Page File Bytes Peak")
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let d = ResourceDemand {
+                mem_committed_frac: 0.1 + 0.01 * (i % 30) as f64,
+                ..ResourceDemand::cpu_only(1.0)
+            };
+            let state = machine.apply_demand(&d, &mut rng);
+            let v = synth.step(&catalog, &state)[idx];
+            assert!(v >= prev - 1e-6, "peak decreased at {i}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_trace() {
+        let spec = Platform::Atom.spec();
+        let catalog = CounterCatalog::for_platform(&spec);
+        let machine = Machine::nominal(Platform::Atom, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let state = machine.apply_demand(&ResourceDemand::cpu_only(1.5), &mut rng);
+        let mut s1 = CounterSynth::new(&catalog, &spec, 99);
+        let mut s2 = CounterSynth::new(&catalog, &spec, 99);
+        assert_eq!(s1.step(&catalog, &state), s2.step(&catalog, &state));
+        let mut s3 = CounterSynth::new(&catalog, &spec, 100);
+        assert_ne!(s1.step(&catalog, &state), s3.step(&catalog, &state));
+    }
+
+    #[test]
+    fn catalogs_differ_across_core_counts() {
+        // Catalogs pad to the same ~250 length, but their contents differ:
+        // the Xeon exposes eight per-core frequency counters, the Atom two.
+        let cat_a = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let cat_x = CounterCatalog::for_platform(&Platform::XeonSas.spec());
+        assert!(cat_a
+            .index_of("Processor Performance\\Processor Frequency (Processor_7)")
+            .is_none());
+        assert!(cat_x
+            .index_of("Processor Performance\\Processor Frequency (Processor_7)")
+            .is_some());
+    }
+}

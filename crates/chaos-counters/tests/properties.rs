@@ -1,0 +1,96 @@
+//! Property-based tests for counter synthesis and trace collection.
+
+use chaos_counters::{collect_run, CounterCatalog, CounterKind, CounterSynth};
+use chaos_sim::{Cluster, Machine, Platform, ResourceDemand};
+use chaos_workloads::{SimConfig, Workload};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_platform() -> impl Strategy<Value = Platform> {
+    prop_oneof![
+        Just(Platform::Atom),
+        Just(Platform::Core2),
+        Just(Platform::Opteron),
+        Just(Platform::XeonSas),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every synthesized counter value is finite and non-negative, and
+    /// the definitional sums hold exactly, for arbitrary demands.
+    #[test]
+    fn synthesis_invariants(
+        platform in any_platform(),
+        cpu in 0.0..8.0f64,
+        disk in 0.0..5e8f64,
+        net in 0.0..2e8f64,
+        seed in 0u64..200,
+    ) {
+        let spec = platform.spec();
+        let catalog = CounterCatalog::for_platform(&spec);
+        let machine = Machine::nominal(platform, 0);
+        let mut synth = CounterSynth::new(&catalog, &spec, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let demand = ResourceDemand {
+            cpu_cores: cpu,
+            disk_read_bytes: disk,
+            net_rx_bytes: net,
+            ..ResourceDemand::idle()
+        };
+        for _ in 0..5 {
+            let state = machine.apply_demand(&demand, &mut rng);
+            let row = synth.step(&catalog, &state);
+            for (i, v) in row.iter().enumerate() {
+                prop_assert!(v.is_finite() && *v >= 0.0, "{}: {v}", catalog.def(i).name);
+            }
+            for (s, a, b) in catalog.codependent_sums() {
+                prop_assert!((row[s] - (row[a] + row[b])).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Collection is reproducible: identical (cluster, workload, seed)
+    /// triples produce identical traces.
+    #[test]
+    fn collection_reproducible(seed in 0u64..20) {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 9);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let a = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), seed);
+        let b = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Measured power tracks ground truth within the meter's class for
+    /// every second of every machine.
+    #[test]
+    fn meter_tracks_truth(seed in 0u64..10) {
+        let cluster = Cluster::homogeneous(Platform::Core2, 2, 4);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), seed);
+        for m in &run.machines {
+            for (meas, truth) in m.measured_power_w.iter().zip(&m.true_power_w) {
+                prop_assert!((meas - truth).abs() <= truth * 0.016 + 0.45);
+            }
+        }
+    }
+
+    /// Catalog structure is stable: ~250 counters, all reference kinds
+    /// point backwards, names unique.
+    #[test]
+    fn catalog_structure(platform in any_platform()) {
+        let catalog = CounterCatalog::for_platform(&platform.spec());
+        prop_assert!(catalog.len() >= 240 && catalog.len() <= 260);
+        let mut names = std::collections::HashSet::new();
+        for (i, d) in catalog.defs().iter().enumerate() {
+            prop_assert!(names.insert(d.name.clone()), "dup {}", d.name);
+            match d.kind {
+                CounterKind::Correlated { base, .. } => prop_assert!(base < i),
+                CounterKind::Sum { a, b } => prop_assert!(a < i && b < i),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! MARS backward pruning pass: remove bases one at a time, keep the subset
+//! with the best Generalized Cross-Validation score.
+
+use crate::basis::BasisFunction;
+use crate::model::MarsConfig;
+use chaos_stats::{Matrix, StatsError};
+
+/// Output of the pruning pass: surviving bases and their OLS coefficients.
+pub(crate) struct PrunedModel {
+    pub basis: Vec<BasisFunction>,
+    pub coefficients: Vec<f64>,
+    pub gcv: f64,
+}
+
+/// Generalized Cross-Validation score.
+///
+/// `GCV(M) = (RSS / n) / (1 − C(M)/n)²` with effective parameter count
+/// `C(M) = m + penalty · (m − 1) / 2` (Friedman's d, default 3).
+pub(crate) fn gcv(rss: f64, n: usize, m: usize, penalty: f64) -> f64 {
+    let c = m as f64 + penalty * (m as f64 - 1.0) / 2.0;
+    let denom = 1.0 - c / n as f64;
+    if denom <= 0.0 {
+        return f64::INFINITY;
+    }
+    (rss / n as f64) / (denom * denom)
+}
+
+/// Runs the backward pass over the forward pass's basis set.
+///
+/// # Errors
+///
+/// Returns an error only if even the intercept-only model cannot be fitted
+/// (empty input), which the caller has already excluded.
+pub(crate) fn backward_pass(
+    x: &Matrix,
+    y: &[f64],
+    basis: Vec<BasisFunction>,
+    config: &MarsConfig,
+) -> Result<PrunedModel, StatsError> {
+    let n = x.rows();
+    let rows: Vec<&[f64]> = (0..n).map(|i| x.row(i)).collect();
+
+    // Pre-evaluate every basis column once.
+    let columns: Vec<Vec<f64>> = basis.iter().map(|b| b.eval_column(&rows)).collect();
+
+    // Active set starts as everything; we always keep index 0 (intercept).
+    let mut active: Vec<usize> = (0..basis.len()).collect();
+
+    // Floor RSS at a sliver of the total sum of squares so exact fits of
+    // different sizes compare equal and the tie-break prefers fewer terms.
+    let scale: f64 = y.iter().map(|v| v * v).sum();
+    let rss_floor = 1e-12 * scale.max(f64::MIN_POSITIVE);
+
+    // The forward pass orthogonalizes against a looser tolerance than the
+    // QR rank test, so a huge-magnitude basis set can still come out
+    // numerically rank-deficient here; drop trailing bases until the full
+    // fit succeeds.
+    let initial = loop {
+        match fit_rss(&columns, &active, y, n) {
+            Ok(f) => break f,
+            Err(StatsError::Singular) if active.len() > 1 => {
+                active.pop();
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let (mut best_active, mut best_rss) = (active.clone(), initial);
+    let mut best_gcv = gcv(best_rss.1.max(rss_floor), n, active.len(), config.penalty);
+    let mut best_coefs = best_rss.0.clone();
+
+    while active.len() > 1 {
+        // Try removing each non-intercept basis; keep the removal with the
+        // smallest RSS.
+        let mut round_best: Option<(usize, Vec<f64>, f64)> = None;
+        for pos in 1..active.len() {
+            let mut trial: Vec<usize> = active.clone();
+            trial.remove(pos);
+            if let Ok((coefs, rss)) = fit_rss(&columns, &trial, y, n) {
+                if round_best.as_ref().map_or(true, |(_, _, r)| rss < *r) {
+                    round_best = Some((pos, coefs, rss));
+                }
+            }
+        }
+        let Some((pos, coefs, rss)) = round_best else {
+            break;
+        };
+        active.remove(pos);
+        let g = gcv(rss.max(rss_floor), n, active.len(), config.penalty);
+        // `<=` prefers the smaller model on ties (e.g. exact fits where
+        // both subsets reach RSS ≈ 0).
+        if g <= best_gcv {
+            best_gcv = g;
+            best_active = active.clone();
+            best_coefs = coefs;
+            best_rss = (best_coefs.clone(), rss);
+        }
+    }
+    let _ = best_rss;
+
+    let pruned_basis: Vec<BasisFunction> =
+        best_active.iter().map(|&i| basis[i].clone()).collect();
+    Ok(PrunedModel {
+        basis: pruned_basis,
+        coefficients: best_coefs,
+        gcv: best_gcv,
+    })
+}
+
+/// Least-squares fit of `y` on the selected basis columns; returns the
+/// coefficients and the residual sum of squares.
+fn fit_rss(
+    columns: &[Vec<f64>],
+    active: &[usize],
+    y: &[f64],
+    n: usize,
+) -> Result<(Vec<f64>, f64), StatsError> {
+    let cols: Vec<Vec<f64>> = active.iter().map(|&i| columns[i].clone()).collect();
+    let design = Matrix::from_cols(&cols)?;
+    let coefs = match design.solve_least_squares(y) {
+        Ok(c) => c,
+        Err(StatsError::Singular) => {
+            // Collinear basis subset: score it as unusable.
+            return Err(StatsError::Singular);
+        }
+        Err(e) => return Err(e),
+    };
+    let fitted = design.matvec(&coefs)?;
+    let rss = y
+        .iter()
+        .zip(&fitted)
+        .map(|(a, f)| (a - f).powi(2))
+        .sum::<f64>()
+        .max(0.0);
+    let _ = n;
+    Ok((coefs, rss))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{Direction, HingeTerm};
+    use crate::model::MarsConfig;
+
+    #[test]
+    fn gcv_penalizes_model_size() {
+        // Same RSS, more terms → worse (larger) GCV.
+        let small = gcv(10.0, 100, 3, 3.0);
+        let large = gcv(10.0, 100, 10, 3.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn gcv_infinite_when_saturated() {
+        assert_eq!(gcv(1.0, 10, 10, 3.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn backward_prunes_useless_basis() {
+        // y depends on hinge at 2.0 only; add a junk hinge the forward pass
+        // might have kept.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..100)
+            .map(|i| {
+                let v = i as f64 / 10.0;
+                1.0 + 3.0 * (v - 2.0f64).max(0.0)
+            })
+            .collect();
+        let useful = BasisFunction::from_hinge(HingeTerm {
+            variable: 0,
+            knot: 2.0,
+            direction: Direction::Positive,
+        });
+        let junk = BasisFunction::from_hinge(HingeTerm {
+            variable: 0,
+            knot: 7.3,
+            direction: Direction::Negative,
+        });
+        let basis = vec![BasisFunction::intercept(), useful.clone(), junk];
+        let pruned = backward_pass(&x, &y, basis, &MarsConfig::piecewise_linear()).unwrap();
+        assert!(pruned.basis.contains(&useful));
+        assert_eq!(pruned.basis.len(), 2, "junk hinge should be pruned");
+        assert!(pruned.gcv.is_finite());
+    }
+
+    #[test]
+    fn backward_keeps_intercept_only_for_constant_y() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y = vec![2.5; 50];
+        let h = BasisFunction::from_hinge(HingeTerm {
+            variable: 0,
+            knot: 10.0,
+            direction: Direction::Positive,
+        });
+        let basis = vec![BasisFunction::intercept(), h];
+        let pruned = backward_pass(&x, &y, basis, &MarsConfig::piecewise_linear()).unwrap();
+        assert_eq!(pruned.basis.len(), 1);
+        assert!((pruned.coefficients[0] - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hinge terms and product basis functions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Orientation of a hinge function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// `B⁺(x, t) = max(x − t, 0)` — active above the knot.
+    Positive,
+    /// `B⁻(x, t) = max(t − x, 0)` — active below the knot.
+    Negative,
+}
+
+impl Direction {
+    /// The opposite orientation.
+    pub fn mirrored(self) -> Direction {
+        match self {
+            Direction::Positive => Direction::Negative,
+            Direction::Negative => Direction::Positive,
+        }
+    }
+}
+
+/// A single hinge factor `max(±(x_v − t), 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HingeTerm {
+    /// Index of the feature this hinge reads.
+    pub variable: usize,
+    /// Knot location `t`.
+    pub knot: f64,
+    /// Hinge orientation.
+    pub direction: Direction,
+}
+
+impl HingeTerm {
+    /// Evaluates the hinge at a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.variable >= row.len()`.
+    #[inline]
+    pub fn eval(&self, row: &[f64]) -> f64 {
+        let x = row[self.variable];
+        match self.direction {
+            Direction::Positive => (x - self.knot).max(0.0),
+            Direction::Negative => (self.knot - x).max(0.0),
+        }
+    }
+}
+
+impl fmt::Display for HingeTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.direction {
+            Direction::Positive => write!(f, "max(x{} - {:.4}, 0)", self.variable, self.knot),
+            Direction::Negative => write!(f, "max({:.4} - x{}, 0)", self.knot, self.variable),
+        }
+    }
+}
+
+/// A product of hinge terms; the empty product is the intercept basis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasisFunction {
+    factors: Vec<HingeTerm>,
+}
+
+impl BasisFunction {
+    /// The intercept basis (constant 1).
+    pub fn intercept() -> Self {
+        BasisFunction {
+            factors: Vec::new(),
+        }
+    }
+
+    /// A degree-1 basis from a single hinge.
+    pub fn from_hinge(term: HingeTerm) -> Self {
+        BasisFunction {
+            factors: vec![term],
+        }
+    }
+
+    /// Returns a new basis that is `self × term`.
+    pub fn with_factor(&self, term: HingeTerm) -> Self {
+        let mut factors = self.factors.clone();
+        factors.push(term);
+        BasisFunction { factors }
+    }
+
+    /// Interaction degree (number of hinge factors; 0 for the intercept).
+    pub fn degree(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The hinge factors.
+    pub fn factors(&self) -> &[HingeTerm] {
+        &self.factors
+    }
+
+    /// Whether the basis already uses feature `variable` (MARS never
+    /// multiplies two hinges on the same variable).
+    pub fn uses_variable(&self, variable: usize) -> bool {
+        self.factors.iter().any(|t| t.variable == variable)
+    }
+
+    /// Evaluates the basis at a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor references a feature index beyond `row.len()`.
+    #[inline]
+    pub fn eval(&self, row: &[f64]) -> f64 {
+        let mut v = 1.0;
+        for t in &self.factors {
+            v *= t.eval(row);
+            if v == 0.0 {
+                return 0.0;
+            }
+        }
+        v
+    }
+
+    /// Evaluates the basis over every row of a feature table, producing a
+    /// design-matrix column.
+    pub fn eval_column(&self, rows: &[&[f64]]) -> Vec<f64> {
+        rows.iter().map(|r| self.eval(r)).collect()
+    }
+}
+
+impl fmt::Display for BasisFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, t) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, " * ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hinge_positive_and_negative() {
+        let pos = HingeTerm {
+            variable: 0,
+            knot: 2.0,
+            direction: Direction::Positive,
+        };
+        assert_eq!(pos.eval(&[3.5]), 1.5);
+        assert_eq!(pos.eval(&[2.0]), 0.0);
+        assert_eq!(pos.eval(&[1.0]), 0.0);
+
+        let neg = HingeTerm {
+            direction: Direction::Negative,
+            ..pos
+        };
+        assert_eq!(neg.eval(&[1.0]), 1.0);
+        assert_eq!(neg.eval(&[2.0]), 0.0);
+        assert_eq!(neg.eval(&[3.5]), 0.0);
+    }
+
+    #[test]
+    fn mirrored_pair_sums_to_absolute_deviation() {
+        let pos = HingeTerm {
+            variable: 0,
+            knot: 1.5,
+            direction: Direction::Positive,
+        };
+        let neg = HingeTerm {
+            direction: pos.direction.mirrored(),
+            ..pos
+        };
+        for x in [-2.0, 0.0, 1.5, 3.0, 10.0] {
+            assert_eq!(pos.eval(&[x]) + neg.eval(&[x]), (x - 1.5).abs());
+        }
+    }
+
+    #[test]
+    fn intercept_is_one_everywhere() {
+        let b = BasisFunction::intercept();
+        assert_eq!(b.degree(), 0);
+        assert_eq!(b.eval(&[99.0, -3.0]), 1.0);
+    }
+
+    #[test]
+    fn product_basis_multiplies_factors() {
+        let b = BasisFunction::from_hinge(HingeTerm {
+            variable: 0,
+            knot: 1.0,
+            direction: Direction::Positive,
+        })
+        .with_factor(HingeTerm {
+            variable: 1,
+            knot: 2.0,
+            direction: Direction::Negative,
+        });
+        assert_eq!(b.degree(), 2);
+        // (3-1) * (2-0.5) = 3.0
+        assert_eq!(b.eval(&[3.0, 0.5]), 3.0);
+        // Second factor inactive → 0.
+        assert_eq!(b.eval(&[3.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn uses_variable_checks_factors() {
+        let b = BasisFunction::from_hinge(HingeTerm {
+            variable: 3,
+            knot: 0.0,
+            direction: Direction::Positive,
+        });
+        assert!(b.uses_variable(3));
+        assert!(!b.uses_variable(0));
+    }
+
+    #[test]
+    fn eval_column_matches_pointwise() {
+        let b = BasisFunction::from_hinge(HingeTerm {
+            variable: 0,
+            knot: 2.0,
+            direction: Direction::Positive,
+        });
+        let r1 = [1.0];
+        let r2 = [4.0];
+        let rows: Vec<&[f64]> = vec![&r1, &r2];
+        assert_eq!(b.eval_column(&rows), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let b = BasisFunction::intercept();
+        assert_eq!(b.to_string(), "1");
+        let h = BasisFunction::from_hinge(HingeTerm {
+            variable: 2,
+            knot: 0.5,
+            direction: Direction::Negative,
+        });
+        assert!(h.to_string().contains("x2"));
+    }
+}

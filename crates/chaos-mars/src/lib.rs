@@ -1,0 +1,56 @@
+//! Multivariate Adaptive Regression Splines (MARS) for the CHAOS
+//! piecewise-linear and quadratic power models.
+//!
+//! The CHAOS paper's two strongest model families (Eq. 2 and Eq. 3) are
+//! fitted "using an implementation of the Multivariate Adaptive Regression
+//! Splines (MARS) algorithm" (Friedman, 1991):
+//!
+//! * **Piecewise linear** (Eq. 2): sums of hinge functions
+//!   `B⁺(x, t) = max(x − t, 0)` and `B⁻(x, t) = max(t − x, 0)`, letting a
+//!   feature such as CPU utilization contribute differently in different
+//!   operating regions while remaining continuous.
+//! * **Quadratic** (Eq. 3): the same construction with products of *two*
+//!   hinge bases, capturing interactions (degree = 2).
+//!
+//! This crate implements the classic two-phase algorithm:
+//!
+//! 1. A **forward pass** greedily adds reflected hinge pairs (parent basis
+//!    × variable × knot) chosen to maximize the drop in residual sum of
+//!    squares, using Gram–Schmidt projections so each candidate costs
+//!    `O(n·m)` rather than a full refit.
+//! 2. A **backward pruning pass** removes bases one at a time and keeps
+//!    the subset with the best Generalized Cross-Validation (GCV) score.
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_mars::{MarsConfig, MarsModel};
+//! use chaos_stats::Matrix;
+//!
+//! # fn main() -> Result<(), chaos_stats::StatsError> {
+//! // A hinge-shaped function: flat to 5, then rising.
+//! let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+//! let x = Matrix::from_rows(&rows)?;
+//! let y: Vec<f64> = (0..100)
+//!     .map(|i| {
+//!         let v = i as f64 / 10.0;
+//!         2.0 + if v > 5.0 { 3.0 * (v - 5.0) } else { 0.0 }
+//!     })
+//!     .collect();
+//! let model = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear())?;
+//! let pred = model.predict_row(&[7.0])?;
+//! assert!((pred - 8.0).abs() < 0.3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backward;
+pub mod basis;
+mod forward;
+pub mod model;
+
+pub use basis::{BasisFunction, Direction, HingeTerm};
+pub use model::{MarsConfig, MarsModel};

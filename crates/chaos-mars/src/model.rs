@@ -1,0 +1,348 @@
+//! The public MARS model type and its configuration.
+
+use crate::backward::backward_pass;
+use crate::basis::BasisFunction;
+use crate::forward::forward_pass;
+use chaos_stats::{Matrix, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a MARS fit.
+///
+/// Use [`MarsConfig::piecewise_linear`] for the paper's Eq. 2 family
+/// (additive hinges) and [`MarsConfig::quadratic`] for Eq. 3 (degree-2
+/// interactions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarsConfig {
+    /// Maximum number of basis functions (including the intercept) the
+    /// forward pass may create.
+    pub max_terms: usize,
+    /// Maximum interaction degree: 1 = piecewise linear, 2 = quadratic.
+    pub max_degree: usize,
+    /// Maximum candidate knots per (parent, variable) pair, taken as
+    /// quantiles of the active samples.
+    pub max_knots_per_var: usize,
+    /// GCV penalty per extra basis (Friedman's `d`; 2–4 typical).
+    pub penalty: f64,
+    /// Forward pass stops when the best candidate pair reduces RSS by less
+    /// than this fraction of the initial (intercept-only) RSS.
+    pub min_rss_fraction: f64,
+}
+
+impl MarsConfig {
+    /// Configuration for the paper's piecewise-linear model (Eq. 2).
+    pub fn piecewise_linear() -> Self {
+        MarsConfig {
+            max_terms: 21,
+            max_degree: 1,
+            max_knots_per_var: 16,
+            penalty: 2.0,
+            min_rss_fraction: 1e-4,
+        }
+    }
+
+    /// Configuration for the paper's quadratic model (Eq. 3): the same
+    /// algorithm with degree-2 basis interactions.
+    pub fn quadratic() -> Self {
+        MarsConfig {
+            max_terms: 25,
+            max_degree: 2,
+            max_knots_per_var: 16,
+            penalty: 3.0,
+            min_rss_fraction: 1e-4,
+        }
+    }
+
+    fn validate(&self, n_rows: usize) -> Result<(), StatsError> {
+        if self.max_degree == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "mars: max_degree must be at least 1".into(),
+            });
+        }
+        if self.max_terms < 1 {
+            return Err(StatsError::InvalidParameter {
+                context: "mars: max_terms must be at least 1".into(),
+            });
+        }
+        if self.max_knots_per_var < 2 {
+            return Err(StatsError::InvalidParameter {
+                context: "mars: max_knots_per_var must be at least 2".into(),
+            });
+        }
+        if !(self.penalty >= 0.0) {
+            return Err(StatsError::InvalidParameter {
+                context: format!("mars: penalty must be non-negative, got {}", self.penalty),
+            });
+        }
+        if n_rows < 10 {
+            return Err(StatsError::InsufficientData {
+                observations: n_rows,
+                required: 10,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for MarsConfig {
+    fn default() -> Self {
+        MarsConfig::quadratic()
+    }
+}
+
+/// A fitted MARS model: `ŷ = Σᵢ aᵢ · Bᵢ(x)` over hinge-product bases.
+///
+/// # Example
+///
+/// ```
+/// use chaos_mars::{MarsConfig, MarsModel};
+/// use chaos_stats::Matrix;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// // y = |x − 3| is exactly two mirrored hinges.
+/// let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
+/// let x = Matrix::from_rows(&rows)?;
+/// let y: Vec<f64> = (0..60).map(|i| (i as f64 / 10.0 - 3.0).abs()).collect();
+/// let model = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear())?;
+/// assert!((model.predict_row(&[3.0])? - 0.0).abs() < 0.2);
+/// assert!((model.predict_row(&[5.0])? - 2.0).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarsModel {
+    basis: Vec<BasisFunction>,
+    coefficients: Vec<f64>,
+    gcv: f64,
+    n_features: usize,
+}
+
+impl MarsModel {
+    /// Fits a MARS model: forward hinge selection followed by GCV-driven
+    /// backward pruning.
+    ///
+    /// `x` holds raw features (no intercept column — the intercept basis is
+    /// implicit).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
+    /// * [`StatsError::InsufficientData`] if fewer than 10 samples.
+    /// * [`StatsError::InvalidParameter`] for a malformed configuration.
+    pub fn fit(x: &Matrix, y: &[f64], config: &MarsConfig) -> Result<Self, StatsError> {
+        if y.len() != x.rows() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("mars: y has {} entries, X has {} rows", y.len(), x.rows()),
+            });
+        }
+        config.validate(x.rows())?;
+        let forward = forward_pass(x, y, config);
+        let pruned = backward_pass(x, y, forward.basis, config)?;
+        Ok(MarsModel {
+            basis: pruned.basis,
+            coefficients: pruned.coefficients,
+            gcv: pruned.gcv,
+            n_features: x.cols(),
+        })
+    }
+
+    /// The surviving basis functions (index 0 is always the intercept).
+    pub fn basis(&self) -> &[BasisFunction] {
+        &self.basis
+    }
+
+    /// Coefficients aligned with [`MarsModel::basis`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The model's GCV score at the end of pruning.
+    pub fn gcv(&self) -> f64 {
+        self.gcv
+    }
+
+    /// Number of basis terms (including the intercept).
+    pub fn n_terms(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Number of input features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Predicts the response for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `row.len()` differs
+    /// from the training feature count.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
+        if row.len() != self.n_features {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "mars predict: row has {} features, model expects {}",
+                    row.len(),
+                    self.n_features
+                ),
+            });
+        }
+        Ok(self
+            .basis
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(b, c)| c * b.eval(row))
+            .sum())
+    }
+
+    /// Predicts the response for every row of a feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MarsModel::predict_row`].
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_noise(i: usize) -> f64 {
+        ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+    }
+
+    #[test]
+    fn fits_absolute_value() {
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 10.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..80).map(|i| (i as f64 / 10.0 - 4.0).abs() + 1.0).collect();
+        let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        for (probe, want) in [(0.0, 5.0), (4.0, 1.0), (7.9, 4.9)] {
+            let got = m.predict_row(&[probe]).unwrap();
+            assert!((got - want).abs() < 0.25, "f({probe}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn quadratic_captures_interaction() {
+        // y = x0 * x1 on a grid — needs degree 2.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let a = i as f64 / 2.0;
+                let b = j as f64 / 2.0;
+                rows.push(vec![a, b]);
+                y.push(a * b);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let lin = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        let quad = MarsModel::fit(&x, &y, &MarsConfig::quadratic()).unwrap();
+        let rss = |m: &MarsModel| {
+            m.predict(&x)
+                .unwrap()
+                .iter()
+                .zip(&y)
+                .map(|(p, a)| (p - a).powi(2))
+                .sum::<f64>()
+        };
+        assert!(
+            rss(&quad) < 0.5 * rss(&lin),
+            "quadratic {} vs linear {}",
+            rss(&quad),
+            rss(&lin)
+        );
+        // At least one surviving basis should be degree 2.
+        assert!(quad.basis().iter().any(|b| b.degree() == 2));
+    }
+
+    #[test]
+    fn piecewise_config_never_produces_interactions() {
+        let rows: Vec<Vec<f64>>= (0..100)
+            .map(|i| vec![det_noise(i) * 5.0, det_noise(i + 1000) * 5.0])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| r[0].max(0.0) * r[1].max(0.0)).collect();
+        let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        assert!(m.basis().iter().all(|b| b.degree() <= 1));
+    }
+
+    #[test]
+    fn prediction_is_continuous_at_knots() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..100)
+            .map(|i| {
+                let v = i as f64 / 10.0;
+                v.powi(2) * 0.3 + det_noise(i) * 0.05
+            })
+            .collect();
+        let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        for b in m.basis() {
+            for t in b.factors() {
+                let eps = 1e-7;
+                let lo = m.predict_row(&[t.knot - eps]).unwrap();
+                let hi = m.predict_row(&[t.knot + eps]).unwrap();
+                assert!((lo - hi).abs() < 1e-4, "discontinuity at {}", t.knot);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(MarsModel::fit(&x, &[1.0], &MarsConfig::default()).is_err());
+        assert!(MarsModel::fit(&x, &[1.0, 2.0], &MarsConfig::default()).is_err());
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let xg = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let bad = MarsConfig {
+            max_degree: 0,
+            ..MarsConfig::default()
+        };
+        assert!(MarsModel::fit(&xg, &y, &bad).is_err());
+        let bad2 = MarsConfig {
+            penalty: f64::NAN,
+            ..MarsConfig::default()
+        };
+        assert!(MarsModel::fit(&xg, &y, &bad2).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        assert!(m.predict_row(&[1.0]).is_err());
+        assert_eq!(m.n_features(), 2);
+    }
+
+    #[test]
+    fn intercept_only_for_constant_response() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y = vec![7.0; 30];
+        let m = MarsModel::fit(&x, &y, &MarsConfig::quadratic()).unwrap();
+        assert_eq!(m.n_terms(), 1);
+        assert!((m.predict_row(&[100.0]).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 6.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..60).map(|i| (i as f64 / 6.0 - 5.0).abs()).collect();
+        let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: MarsModel = serde_json::from_str(&json).unwrap();
+        for probe in [0.0, 2.5, 5.0, 9.9] {
+            assert_eq!(
+                m.predict_row(&[probe]).unwrap(),
+                m2.predict_row(&[probe]).unwrap()
+            );
+        }
+    }
+}

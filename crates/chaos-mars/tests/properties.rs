@@ -1,0 +1,105 @@
+//! Property-based tests for the MARS implementation.
+
+use chaos_mars::{MarsConfig, MarsModel};
+use chaos_stats::Matrix;
+use proptest::prelude::*;
+
+/// A 1-D piecewise-linear ground truth with a random knot and slopes.
+/// Knots stay interior — a knot at the data's edge leaves its hinge with
+/// too few active samples, and GCV legitimately prunes that detail away.
+fn hinge_truth() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (2.5..7.5f64, -3.0..3.0f64, -3.0..3.0f64, -5.0..5.0f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MARS prediction is continuous across every selected knot.
+    #[test]
+    fn prediction_continuous_at_knots((knot, s1, s2, c) in hinge_truth()) {
+        let rows: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 12.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                let v = r[0];
+                c + s1 * (v - knot).max(0.0) + s2 * (knot - v).max(0.0)
+            })
+            .collect();
+        let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        for b in m.basis() {
+            for t in b.factors() {
+                let eps = 1e-7;
+                let lo = m.predict_row(&[t.knot - eps]).unwrap();
+                let hi = m.predict_row(&[t.knot + eps]).unwrap();
+                prop_assert!((lo - hi).abs() < 1e-3, "jump at {}", t.knot);
+            }
+        }
+    }
+
+    /// On exact hinge data, MARS achieves near-zero training error.
+    #[test]
+    fn recovers_exact_hinge((knot, s1, s2, c) in hinge_truth()) {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| c + s1 * (r[0] - knot).max(0.0) + s2 * (knot - r[0]).max(0.0))
+            .collect();
+        let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
+        let span = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let preds = m.predict(&x).unwrap();
+        let worst = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, a)| (p - a).abs())
+            .fold(0.0, f64::max);
+        prop_assert!(
+            worst < 0.05 * span.max(1e-6) + 1e-6,
+            "worst {worst} over span {span}"
+        );
+    }
+
+    /// The pruned model never has more terms than the configured maximum,
+    /// and the intercept basis is always present.
+    #[test]
+    fn respects_structcaps(
+        seeds in proptest::collection::vec(-1.0..1.0f64, 60),
+        max_terms in 3usize..9,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, seeds[i] * 10.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 0.5 + r[1].max(0.0)).collect();
+        let cfg = MarsConfig {
+            max_terms,
+            ..MarsConfig::quadratic()
+        };
+        let m = MarsModel::fit(&x, &y, &cfg).unwrap();
+        prop_assert!(m.n_terms() <= max_terms);
+        prop_assert_eq!(m.basis()[0].degree(), 0, "intercept first");
+        for b in m.basis() {
+            prop_assert!(b.degree() <= cfg.max_degree);
+        }
+    }
+
+    /// Refitting the same data yields the identical model (determinism).
+    #[test]
+    fn fit_is_deterministic(noise in proptest::collection::vec(-0.5..0.5f64, 80)) {
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 8.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..80)
+            .map(|i| (i as f64 / 8.0 - 5.0).abs() + noise[i])
+            .collect();
+        let cfg = MarsConfig::piecewise_linear();
+        let a = MarsModel::fit(&x, &y, &cfg).unwrap();
+        let b = MarsModel::fit(&x, &y, &cfg).unwrap();
+        prop_assert_eq!(a.coefficients(), b.coefficients());
+        for probe in [0.0, 3.3, 7.7] {
+            prop_assert_eq!(
+                a.predict_row(&[probe]).unwrap(),
+                b.predict_row(&[probe]).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Homogeneous and heterogeneous clusters of simulated machines.
+
+use crate::machine::Machine;
+use crate::platform::Platform;
+use crate::state::MachineState;
+use crate::variation::MachineVariation;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A group of machines evaluated together, as in the paper's six
+/// homogeneous 5-machine clusters and the 10-machine heterogeneous
+/// Core2+Opteron cluster.
+///
+/// # Example
+///
+/// ```
+/// use chaos_sim::{Cluster, Platform};
+///
+/// let hetero = Cluster::heterogeneous(&[(Platform::Core2, 5), (Platform::Opteron, 5)], 7);
+/// assert_eq!(hetero.len(), 10);
+/// assert!(!hetero.is_homogeneous());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    machines: Vec<Machine>,
+    seed: u64,
+}
+
+impl Cluster {
+    /// Builds a homogeneous cluster of `n` machines of one platform, with
+    /// per-machine variation drawn deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn homogeneous(platform: Platform, n: usize, seed: u64) -> Self {
+        Cluster::heterogeneous(&[(platform, n)], seed)
+    }
+
+    /// Builds a heterogeneous cluster from `(platform, count)` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total machine count is zero.
+    pub fn heterogeneous(groups: &[(Platform, usize)], seed: u64) -> Self {
+        let total: usize = groups.iter().map(|(_, n)| n).sum();
+        assert!(total > 0, "cluster must contain at least one machine");
+        let mut machines = Vec::with_capacity(total);
+        let mut id = 0;
+        for &(platform, n) in groups {
+            for _ in 0..n {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let variation = MachineVariation::sample(&mut rng);
+                machines.push(Machine::new(platform.spec(), id, variation));
+                id += 1;
+            }
+        }
+        Cluster { machines, seed }
+    }
+
+    /// The machines, in id order.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the cluster has no machines (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The seed the cluster's variations were drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether every machine shares one platform.
+    pub fn is_homogeneous(&self) -> bool {
+        self.machines
+            .windows(2)
+            .all(|w| w[0].spec().platform == w[1].spec().platform)
+    }
+
+    /// Distinct platforms present, in first-appearance order.
+    pub fn platforms(&self) -> Vec<Platform> {
+        let mut out: Vec<Platform> = Vec::new();
+        for m in &self.machines {
+            if !out.contains(&m.spec().platform) {
+                out.push(m.spec().platform);
+            }
+        }
+        out
+    }
+
+    /// Ground-truth cluster power: the sum of every machine's power for
+    /// its own state (the paper's Eq. 5, applied to the truth rather than
+    /// a model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != self.len()`.
+    pub fn true_power(&self, states: &[MachineState]) -> f64 {
+        assert_eq!(
+            states.len(),
+            self.machines.len(),
+            "one state per machine required"
+        );
+        self.machines
+            .iter()
+            .zip(states)
+            .map(|(m, s)| m.true_power(s))
+            .sum()
+    }
+
+    /// Sum of the machines' calibrated idle powers.
+    pub fn idle_power(&self) -> f64 {
+        self.machines.iter().map(Machine::idle_power).sum()
+    }
+
+    /// Sum of the machines' calibrated maximum powers.
+    pub fn max_power(&self) -> f64 {
+        self.machines.iter().map(Machine::max_power).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ResourceDemand;
+    use rand::SeedableRng;
+
+    #[test]
+    fn homogeneous_cluster_has_varied_machines() {
+        let c = Cluster::homogeneous(Platform::Core2, 5, 42);
+        assert_eq!(c.len(), 5);
+        assert!(c.is_homogeneous());
+        assert_eq!(c.platforms(), vec![Platform::Core2]);
+        // Variation: no two machines have identical idle power.
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_ne!(
+                    c.machines()[i].idle_power(),
+                    c.machines()[j].idle_power(),
+                    "machines {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic_by_seed() {
+        let a = Cluster::homogeneous(Platform::Athlon, 3, 9);
+        let b = Cluster::homogeneous(Platform::Athlon, 3, 9);
+        for (ma, mb) in a.machines().iter().zip(b.machines()) {
+            assert_eq!(ma.idle_power(), mb.idle_power());
+        }
+        let c = Cluster::homogeneous(Platform::Athlon, 3, 10);
+        assert_ne!(
+            a.machines()[0].idle_power(),
+            c.machines()[0].idle_power()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_cluster_mixes_platforms() {
+        let c = Cluster::heterogeneous(&[(Platform::Core2, 5), (Platform::Opteron, 5)], 1);
+        assert_eq!(c.len(), 10);
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.platforms(), vec![Platform::Core2, Platform::Opteron]);
+        assert_eq!(c.machines()[9].id(), 9);
+    }
+
+    #[test]
+    fn cluster_power_is_sum_of_machine_powers() {
+        let c = Cluster::homogeneous(Platform::Atom, 4, 5);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let states: Vec<_> = c
+            .machines()
+            .iter()
+            .map(|m| m.apply_demand(&ResourceDemand::cpu_only(1.0), &mut rng))
+            .collect();
+        let total = c.true_power(&states);
+        let manual: f64 = c
+            .machines()
+            .iter()
+            .zip(&states)
+            .map(|(m, s)| m.true_power(s))
+            .sum();
+        assert_eq!(total, manual);
+        assert!(total > c.idle_power());
+        assert!(total < c.max_power());
+    }
+
+    #[test]
+    fn core2_cluster_range_matches_figure_1() {
+        // Figure 1: 5 Core 2 Duo machines, cluster power 120–220 W.
+        let c = Cluster::homogeneous(Platform::Core2, 5, 0);
+        assert!((110.0..135.0).contains(&c.idle_power()), "{}", c.idle_power());
+        assert!((210.0..245.0).contains(&c.max_power()), "{}", c.max_power());
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per machine")]
+    fn true_power_rejects_wrong_state_count() {
+        let c = Cluster::homogeneous(Platform::Atom, 2, 0);
+        c.true_power(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_cluster_rejected() {
+        Cluster::heterogeneous(&[], 0);
+    }
+}

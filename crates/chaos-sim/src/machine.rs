@@ -1,0 +1,490 @@
+//! One simulated machine: DVFS governor, calibrated ground-truth power.
+
+use crate::platform::{PState, PlatformSpec, Platform};
+use crate::power;
+use crate::state::{CoreState, MachineState, ResourceDemand};
+use crate::variation::MachineVariation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Utilization headroom the governor keeps before stepping frequency up
+/// (ondemand-style).
+const GOVERNOR_HEADROOM: f64 = 0.12;
+/// Below this per-core demand a core counts as idle.
+const IDLE_UTIL: f64 = 0.02;
+
+/// A calibrated machine instance within a cluster.
+///
+/// Construction computes an affine calibration `(a, b)` such that the raw
+/// component power model lands exactly on this machine's (variation-
+/// adjusted) Table I idle/max wall power. The nonlinear *shape* of the
+/// component model is preserved; only the end points are pinned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    id: usize,
+    spec: PlatformSpec,
+    variation: MachineVariation,
+    calib_scale: f64,
+    calib_offset: f64,
+    idle_power_w: f64,
+    max_power_w: f64,
+}
+
+impl Machine {
+    /// Builds a machine with the given per-machine variation.
+    pub fn new(spec: PlatformSpec, id: usize, variation: MachineVariation) -> Self {
+        let raw_idle = power::raw_wall_power(&spec, &Self::idle_state_for(&spec));
+        let raw_max = power::raw_wall_power(&spec, &Self::full_state_for(&spec));
+        let (nominal_idle, nominal_max) = spec.power_range_w;
+        let idle_power_w = nominal_idle * variation.idle_scale;
+        // Keep max strictly above idle even under adversarial variation.
+        let max_power_w = (nominal_max * variation.max_scale).max(idle_power_w * 1.05);
+        let calib_scale = (max_power_w - idle_power_w) / (raw_max - raw_idle);
+        let calib_offset = idle_power_w - calib_scale * raw_idle;
+        Machine {
+            id,
+            spec,
+            variation,
+            calib_scale,
+            calib_offset,
+            idle_power_w,
+            max_power_w,
+        }
+    }
+
+    /// Builds the nominal (no-variation) machine for a platform.
+    pub fn nominal(platform: Platform, id: usize) -> Self {
+        Machine::new(platform.spec(), id, MachineVariation::nominal())
+    }
+
+    /// Machine identifier within its cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The platform specification.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// This machine's sampled variation.
+    pub fn variation(&self) -> &MachineVariation {
+        &self.variation
+    }
+
+    /// Calibrated wall power when completely idle, in watts.
+    pub fn idle_power(&self) -> f64 {
+        self.idle_power_w
+    }
+
+    /// Calibrated wall power with every component saturated, in watts.
+    pub fn max_power(&self) -> f64 {
+        self.max_power_w
+    }
+
+    /// The machine's dynamic power range in watts.
+    pub fn dynamic_range(&self) -> f64 {
+        self.max_power_w - self.idle_power_w
+    }
+
+    /// Ground-truth wall power for a hidden state, in watts.
+    ///
+    /// Component biases shift how the total splits between CPU, disk, and
+    /// NIC before the affine calibration is applied, so two machines of
+    /// the same platform respond differently to the same workload.
+    pub fn true_power(&self, state: &MachineState) -> f64 {
+        let v = &self.variation;
+        let dc = power::cpu_power(&self.spec, state) * v.cpu_bias
+            + power::memory_power(&self.spec, state)
+            + power::disk_power(&self.spec, state) * v.disk_bias
+            + power::nic_power(&self.spec, state) * v.net_bias
+            + power::glue_power(&self.spec);
+        let eff = power::psu_efficiency(dc / power::psu_capacity(&self.spec));
+        let raw = dc / eff;
+        (self.calib_scale * raw + self.calib_offset).max(0.0)
+    }
+
+    /// Converts a workload's [`ResourceDemand`] to hidden hardware state:
+    /// the DVFS governor picks P-states, C1 parks fully idle servers, and
+    /// device activity is clamped to hardware limits. `rng` supplies the
+    /// small utilization jitter real systems exhibit.
+    pub fn apply_demand<R: Rng + ?Sized>(
+        &self,
+        demand: &ResourceDemand,
+        rng: &mut R,
+    ) -> MachineState {
+        let spec = &self.spec;
+        let n = spec.cores;
+        let fmax = spec.max_pstate().freq_mhz;
+
+        // Distribute total core demand over cores. Coordinated platforms
+        // spread work nearly evenly; the independent-DVFS future variant
+        // sees strongly skewed per-core load (exponential weights), which
+        // is what decorrelates its per-core frequencies.
+        let total = demand.cpu_cores.clamp(0.0, n as f64);
+        let mut shares: Vec<f64> = (0..n)
+            .map(|_| {
+                if spec.independent_dvfs {
+                    -rng.gen_range(1e-6..1.0_f64).ln()
+                } else {
+                    1.0 + rng.gen_range(-0.15..0.15_f64)
+                }
+            })
+            .collect();
+        let sum: f64 = shares.iter().sum();
+        for s in &mut shares {
+            *s = (*s / sum * total).min(1.0);
+        }
+        // Redistribute clamp overflow onto remaining cores.
+        let mut overflow = total - shares.iter().sum::<f64>();
+        let mut guard = 0;
+        while overflow > 1e-9 && guard < 8 {
+            let open: Vec<usize> = (0..n).filter(|&i| shares[i] < 1.0).collect();
+            if open.is_empty() {
+                break;
+            }
+            let add = overflow / open.len() as f64;
+            for i in open {
+                let inc = add.min(1.0 - shares[i]);
+                shares[i] += inc;
+            }
+            overflow = total - shares.iter().sum::<f64>();
+            guard += 1;
+        }
+
+        let all_idle = shares.iter().all(|&u| u < IDLE_UTIL)
+            && demand.disk_read_bytes + demand.disk_write_bytes < 1.0;
+        let park_all = spec.supports_c1 && all_idle;
+
+        // Chip-wide frequency for mobile/desktop parts: chosen by the
+        // busiest core.
+        let chip_pstate = self.pick_pstate(shares.iter().copied().fold(0.0, f64::max));
+
+        let cores: Vec<CoreState> = shares
+            .iter()
+            .map(|&u| {
+                if park_all {
+                    return CoreState {
+                        utilization: 0.0,
+                        freq_mhz: 0.0,
+                        voltage: spec.min_pstate().voltage,
+                        c1_residency: 0.97,
+                    };
+                }
+                let pstate = if spec.independent_dvfs {
+                    // Future-system variant: every core's governor follows
+                    // its own demand — frequencies decorrelate across
+                    // cores, as the paper's Discussion predicts.
+                    self.pick_pstate(u)
+                } else if spec.per_core_pstates {
+                    // Servers: cores usually follow the chip maximum, but
+                    // drift to their own best P-state some of the time —
+                    // the paper's 12–20% per-core divergence.
+                    let drift_prob = match spec.platform {
+                        Platform::Opteron => 0.12,
+                        _ => 0.20,
+                    };
+                    if spec.has_dvfs() && rng.gen_bool(drift_prob) {
+                        // Transient governor lag: the drifting core sits one
+                        // P-state below the chip's. Dips are small, so the
+                        // per-core frequency series stay highly correlated —
+                        // the paper's justification for using core 0 as a
+                        // proxy for the whole system.
+                        let chip_idx = spec
+                            .p_states
+                            .iter()
+                            .position(|p| p.freq_mhz >= chip_pstate.freq_mhz)
+                            .unwrap_or(spec.p_states.len() - 1);
+                        spec.p_states[chip_idx.saturating_sub(1)]
+                    } else {
+                        chip_pstate
+                    }
+                } else {
+                    chip_pstate
+                };
+                // Demand is expressed at fmax; at a lower frequency the
+                // same work occupies more of the second.
+                let scaled = (u * fmax / pstate.freq_mhz).min(1.0);
+                let jitter = 1.0 + rng.gen_range(-0.02..0.02_f64);
+                let utilization = (scaled * jitter).clamp(0.0, 1.0);
+                let c1 = if spec.supports_c1 && utilization < IDLE_UTIL {
+                    0.6
+                } else {
+                    0.0
+                };
+                CoreState {
+                    utilization,
+                    freq_mhz: pstate.freq_mhz,
+                    voltage: pstate.voltage,
+                    c1_residency: c1,
+                }
+            })
+            .collect();
+
+        let disk_bw = spec.total_disk_bandwidth();
+        let want_disk = demand.disk_read_bytes + demand.disk_write_bytes;
+        let disk_scale = if want_disk > disk_bw && want_disk > 0.0 {
+            disk_bw / want_disk
+        } else {
+            1.0
+        };
+        let disk_read_bytes = demand.disk_read_bytes * disk_scale;
+        let disk_write_bytes = demand.disk_write_bytes * disk_scale;
+        let disk_util_frac = if disk_bw > 0.0 {
+            ((disk_read_bytes + disk_write_bytes) / disk_bw).min(1.0)
+        } else {
+            0.0
+        };
+
+        let nic_bw = spec.nic_max_bytes_per_sec;
+        let net_rx_bytes = demand.net_rx_bytes.min(nic_bw);
+        let net_tx_bytes = demand.net_tx_bytes.min(nic_bw);
+
+        // Real memory traffic is bursty relative to CPU demand (prefetch,
+        // TLB pressure, allocator behavior): jitter decorrelates it from
+        // utilization enough that they remain distinct counters.
+        let mem_jitter = 1.0 + rng.gen_range(-0.12..0.12_f64);
+        MachineState {
+            cores,
+            mem_bandwidth_frac: (demand.mem_bandwidth_frac * mem_jitter).clamp(0.0, 1.0),
+            mem_committed_frac: demand.mem_committed_frac.clamp(0.0, 1.0),
+            disk_read_bytes,
+            disk_write_bytes,
+            disk_util_frac,
+            net_rx_bytes,
+            net_tx_bytes,
+            runnable_tasks: demand.runnable_tasks.max(0.0),
+        }
+    }
+
+    /// Ondemand-style P-state choice: the lowest frequency whose capacity
+    /// covers the demanded utilization plus headroom.
+    fn pick_pstate(&self, demand_at_fmax: f64) -> PState {
+        let fmax = self.spec.max_pstate().freq_mhz;
+        let need = (demand_at_fmax + GOVERNOR_HEADROOM).min(1.0);
+        for p in &self.spec.p_states {
+            if p.freq_mhz / fmax >= need {
+                return *p;
+            }
+        }
+        self.spec.max_pstate()
+    }
+
+    /// The hidden state of a fully idle second (used for calibration).
+    pub fn idle_state(&self) -> MachineState {
+        Self::idle_state_for(&self.spec)
+    }
+
+    /// The hidden state of a fully saturated second (used for calibration).
+    pub fn full_state(&self) -> MachineState {
+        Self::full_state_for(&self.spec)
+    }
+
+    fn idle_state_for(spec: &PlatformSpec) -> MachineState {
+        let p = spec.min_pstate();
+        MachineState {
+            cores: vec![
+                CoreState {
+                    utilization: 0.0,
+                    freq_mhz: if spec.supports_c1 { 0.0 } else { p.freq_mhz },
+                    voltage: p.voltage,
+                    c1_residency: if spec.supports_c1 { 0.97 } else { 0.0 },
+                };
+                spec.cores
+            ],
+            mem_bandwidth_frac: 0.0,
+            mem_committed_frac: 0.05,
+            disk_read_bytes: 0.0,
+            disk_write_bytes: 0.0,
+            disk_util_frac: 0.0,
+            net_rx_bytes: 0.0,
+            net_tx_bytes: 0.0,
+            runnable_tasks: 0.0,
+        }
+    }
+
+    fn full_state_for(spec: &PlatformSpec) -> MachineState {
+        let p = spec.max_pstate();
+        MachineState {
+            cores: vec![
+                CoreState {
+                    utilization: 1.0,
+                    freq_mhz: p.freq_mhz,
+                    voltage: p.voltage,
+                    c1_residency: 0.0,
+                };
+                spec.cores
+            ],
+            mem_bandwidth_frac: 1.0,
+            mem_committed_frac: 0.9,
+            disk_read_bytes: spec.total_disk_bandwidth() / 2.0,
+            disk_write_bytes: spec.total_disk_bandwidth() / 2.0,
+            disk_util_frac: 1.0,
+            net_rx_bytes: spec.nic_max_bytes_per_sec,
+            net_tx_bytes: spec.nic_max_bytes_per_sec,
+            runnable_tasks: 2.0 * spec.cores as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn calibration_hits_table_i_endpoints() {
+        for platform in Platform::ALL {
+            let m = Machine::nominal(platform, 0);
+            let (lo, hi) = platform.spec().power_range_w;
+            assert!((m.true_power(&m.idle_state()) - lo).abs() < 1e-6, "{platform}");
+            assert!((m.true_power(&m.full_state()) - hi).abs() < 1e-6, "{platform}");
+            assert!((m.idle_power() - lo).abs() < 1e-9);
+            assert!((m.max_power() - hi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_cpu_demand() {
+        let m = Machine::nominal(Platform::Athlon, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut prev = 0.0;
+        for cores in [0.0, 0.5, 1.0, 1.5, 2.0] {
+            let s = m.apply_demand(&ResourceDemand::cpu_only(cores), &mut rng);
+            let p = m.true_power(&s);
+            assert!(p > prev - 0.5, "cores={cores}: {p} vs {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn power_stays_within_calibrated_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for platform in Platform::ALL {
+            let m = Machine::nominal(platform, 0);
+            for i in 0..50 {
+                let d = ResourceDemand {
+                    cpu_cores: (i as f64 / 49.0) * m.spec().cores as f64,
+                    disk_read_bytes: rng.gen_range(0.0..m.spec().total_disk_bandwidth()),
+                    net_rx_bytes: rng.gen_range(0.0..m.spec().nic_max_bytes_per_sec),
+                    mem_bandwidth_frac: rng.gen_range(0.0..1.0),
+                    ..ResourceDemand::idle()
+                };
+                let s = m.apply_demand(&d, &mut rng);
+                let p = m.true_power(&s);
+                assert!(
+                    p >= m.idle_power() - 1.0 && p <= m.max_power() + 1.0,
+                    "{platform}: {p} outside [{}, {}]",
+                    m.idle_power(),
+                    m.max_power()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atom_frequency_never_changes() {
+        let m = Machine::nominal(Platform::Atom, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for cores in [0.1, 1.0, 2.0] {
+            let s = m.apply_demand(&ResourceDemand::cpu_only(cores), &mut rng);
+            for c in &s.cores {
+                assert_eq!(c.freq_mhz, 1600.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mobile_cores_share_frequency() {
+        let m = Machine::nominal(Platform::Core2, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..100 {
+            let d = ResourceDemand::cpu_only((i % 21) as f64 / 10.0);
+            let s = m.apply_demand(&d, &mut rng);
+            assert!(!s.has_frequency_divergence(), "tick {i}");
+        }
+    }
+
+    #[test]
+    fn servers_diverge_sometimes_but_not_always() {
+        let m = Machine::nominal(Platform::XeonSata, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut diverged = 0;
+        let ticks = 400;
+        for _ in 0..ticks {
+            // High (but not saturating) load keeps the chip above its
+            // lowest P-state so drift dips are observable.
+            let s = m.apply_demand(&ResourceDemand::cpu_only(6.5), &mut rng);
+            if s.has_frequency_divergence() {
+                diverged += 1;
+            }
+        }
+        let frac = diverged as f64 / ticks as f64;
+        assert!(frac > 0.05, "divergence fraction {frac}");
+        assert!(frac < 0.95, "divergence fraction {frac}");
+    }
+
+    #[test]
+    fn fully_idle_server_parks_in_c1() {
+        let m = Machine::nominal(Platform::Opteron, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = m.apply_demand(&ResourceDemand::idle(), &mut rng);
+        assert!(s.cores.iter().all(|c| c.freq_mhz == 0.0));
+        assert!(s.cores.iter().all(|c| c.c1_residency > 0.9));
+    }
+
+    #[test]
+    fn governor_scales_frequency_with_load() {
+        let m = Machine::nominal(Platform::Athlon, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let low = m.apply_demand(&ResourceDemand::cpu_only(0.2), &mut rng);
+        let high = m.apply_demand(&ResourceDemand::cpu_only(2.0), &mut rng);
+        assert!(low.core0_freq_mhz() < high.core0_freq_mhz());
+        assert_eq!(high.core0_freq_mhz(), 2800.0);
+    }
+
+    #[test]
+    fn disk_demand_clamped_to_bandwidth() {
+        let m = Machine::nominal(Platform::Core2, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let d = ResourceDemand {
+            disk_read_bytes: 1e12,
+            disk_write_bytes: 1e12,
+            ..ResourceDemand::idle()
+        };
+        let s = m.apply_demand(&d, &mut rng);
+        let bw = m.spec().total_disk_bandwidth();
+        assert!(s.disk_total_bytes() <= bw * 1.0001);
+        assert_eq!(s.disk_util_frac, 1.0);
+    }
+
+    #[test]
+    fn cpu_demand_beyond_capacity_is_clamped() {
+        let m = Machine::nominal(Platform::Core2, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let s = m.apply_demand(&ResourceDemand::cpu_only(64.0), &mut rng);
+        for c in &s.cores {
+            assert!(c.utilization <= 1.0);
+            assert!(c.utilization > 0.9);
+        }
+    }
+
+    #[test]
+    fn variation_changes_power_between_machines() {
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        let v1 = MachineVariation::sample(&mut rng);
+        let v2 = MachineVariation::sample(&mut rng);
+        let m1 = Machine::new(Platform::Opteron.spec(), 0, v1);
+        let m2 = Machine::new(Platform::Opteron.spec(), 1, v2);
+        assert_ne!(m1.idle_power(), m2.idle_power());
+        assert_ne!(m1.max_power(), m2.max_power());
+    }
+
+    #[test]
+    fn dynamic_range_positive_for_all_platforms() {
+        for p in Platform::ALL {
+            assert!(Machine::nominal(p, 0).dynamic_range() > 3.0, "{p}");
+        }
+    }
+}

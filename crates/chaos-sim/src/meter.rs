@@ -1,0 +1,125 @@
+//! The WattsUp?-class power meter model.
+//!
+//! The paper instruments every machine with a WattsUp? Pro meter sampling
+//! wall power once per second with a stated error of 1.5%, and verified
+//! calibration across meters. The simulated meter reproduces that error
+//! structure: a fixed per-meter calibration gain (drawn at construction),
+//! per-sample Gaussian-ish noise within the 1.5% class, and the device's
+//! 0.1 W display resolution.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Relative error class of the meter (1.5%).
+const ERROR_CLASS: f64 = 0.015;
+
+/// A per-machine wall-power meter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerMeter {
+    gain: f64,
+    offset_w: f64,
+}
+
+impl PowerMeter {
+    /// A perfectly calibrated meter (useful in tests).
+    pub fn ideal() -> Self {
+        PowerMeter {
+            gain: 1.0,
+            offset_w: 0.0,
+        }
+    }
+
+    /// Samples a meter with a calibration gain within ±0.5% and an offset
+    /// within ±0.3 W, the residual spread the paper saw after verifying
+    /// meter calibration.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        PowerMeter {
+            gain: rng.gen_range(0.995..1.005),
+            offset_w: rng.gen_range(-0.3..0.3),
+        }
+    }
+
+    /// Takes one 1 Hz reading of `true_watts`, applying calibration error,
+    /// per-sample noise, and the 0.1 W display resolution.
+    pub fn read<R: Rng + ?Sized>(&self, true_watts: f64, rng: &mut R) -> f64 {
+        // Sum of three uniforms approximates a truncated Gaussian with
+        // bounded support — the meter never exceeds its error class.
+        let u: f64 = (0..3).map(|_| rng.gen_range(-1.0..1.0_f64)).sum::<f64>() / 3.0;
+        let noisy = true_watts * (self.gain + ERROR_CLASS * 0.6 * u) + self.offset_w;
+        (noisy.max(0.0) * 10.0).round() / 10.0
+    }
+
+    /// The meter's fixed calibration gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The meter's fixed offset in watts.
+    pub fn offset_w(&self) -> f64 {
+        self.offset_w
+    }
+}
+
+impl Default for PowerMeter {
+    fn default() -> Self {
+        PowerMeter::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ideal_meter_is_nearly_exact() {
+        let m = PowerMeter::ideal();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut worst: f64 = 0.0;
+        for _ in 0..1000 {
+            let r = m.read(100.0, &mut rng);
+            worst = worst.max((r - 100.0).abs());
+        }
+        // Error class 1.5% of 100 W = 1.5 W; noise term uses 0.6 of that.
+        assert!(worst <= 1.0, "worst error {worst}");
+        assert!(worst > 0.05, "meter should not be noiseless");
+    }
+
+    #[test]
+    fn readings_have_tenth_watt_resolution() {
+        let m = PowerMeter::ideal();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let r = m.read(55.5, &mut rng);
+            assert!((r * 10.0 - (r * 10.0).round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn calibration_spread_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let m = PowerMeter::sample(&mut rng);
+            assert!((0.995..1.005).contains(&m.gain()));
+            assert!(m.offset_w().abs() <= 0.3);
+        }
+    }
+
+    #[test]
+    fn never_reads_negative() {
+        let m = PowerMeter::sample(&mut ChaCha8Rng::seed_from_u64(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(m.read(0.05, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_reading_tracks_truth() {
+        let m = PowerMeter::ideal();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mean: f64 = (0..2000).map(|_| m.read(200.0, &mut rng)).sum::<f64>() / 2000.0;
+        assert!((mean - 200.0).abs() < 0.5, "mean {mean}");
+    }
+}

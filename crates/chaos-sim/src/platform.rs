@@ -1,0 +1,425 @@
+//! The six platforms of the paper's Table I, as parametric specifications.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// System class, as in the first column of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemClass {
+    /// Embedded-class (Atom).
+    Embedded,
+    /// Mobile-class (Core 2 Duo).
+    Mobile,
+    /// Desktop-class (Athlon).
+    Desktop,
+    /// Server-class (Opteron / Xeon).
+    Server,
+}
+
+/// The six evaluation platforms of the paper (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Intel Atom N330, 2 cores @ 1.6 GHz, 8 W TDP, 22–26 W, 1 SSD. No DVFS.
+    Atom,
+    /// Intel Core 2 Duo, 2 cores @ 2.26 GHz, 25 W TDP, 25–46 W, 1 SSD.
+    Core2,
+    /// AMD Athlon, 2 cores @ 2.8 GHz, 65 W TDP, 54–104 W, 1 SSD.
+    Athlon,
+    /// AMD Opteron, dual-socket 4-core @ 2.0 GHz, 135–190 W, 2× 10K SATA.
+    Opteron,
+    /// Intel Xeon, dual-socket 4-core @ 2.33 GHz, 250–375 W, 4× 7.2K SATA.
+    XeonSata,
+    /// Intel Xeon, dual-socket 4-core @ 2.67 GHz, 260–380 W, 6× 15K SAS.
+    XeonSas,
+}
+
+impl Platform {
+    /// All six platforms, in Table I order.
+    pub const ALL: [Platform; 6] = [
+        Platform::Atom,
+        Platform::Core2,
+        Platform::Athlon,
+        Platform::Opteron,
+        Platform::XeonSata,
+        Platform::XeonSas,
+    ];
+
+    /// The platform's full specification.
+    pub fn spec(self) -> PlatformSpec {
+        PlatformSpec::builtin(self)
+    }
+
+    /// Short stable name used in tables and output files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Atom => "Atom",
+            Platform::Core2 => "Core2",
+            Platform::Athlon => "Athlon",
+            Platform::Opteron => "Opteron",
+            Platform::XeonSata => "XeonSATA",
+            Platform::XeonSas => "XeonSAS",
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A CPU performance state: operating frequency and core voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// Core frequency in MHz.
+    pub freq_mhz: f64,
+    /// Core voltage in volts.
+    pub voltage: f64,
+}
+
+/// Storage device classes used across the six platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskKind {
+    /// Micron solid-state disk (Atom/Core2/Athlon).
+    Ssd,
+    /// 10K RPM SATA (Opteron).
+    Sata10k,
+    /// 7.2K RPM SATA (Xeon SATA).
+    Sata7200,
+    /// 15K RPM SAS (Xeon SAS).
+    Sas15k,
+}
+
+/// Power and throughput parameters of one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Device class.
+    pub kind: DiskKind,
+    /// Idle (spindle / controller) power in watts.
+    pub idle_w: f64,
+    /// Additional power at 100% utilization in watts.
+    pub active_w: f64,
+    /// Sustained throughput in bytes per second.
+    pub max_bytes_per_sec: f64,
+}
+
+impl DiskKind {
+    /// The canonical spec for this device class.
+    pub fn spec(self) -> DiskSpec {
+        match self {
+            DiskKind::Ssd => DiskSpec {
+                kind: self,
+                idle_w: 0.6,
+                active_w: 2.2,
+                max_bytes_per_sec: 250e6,
+            },
+            DiskKind::Sata10k => DiskSpec {
+                kind: self,
+                idle_w: 5.5,
+                active_w: 4.5,
+                max_bytes_per_sec: 90e6,
+            },
+            DiskKind::Sata7200 => DiskSpec {
+                kind: self,
+                idle_w: 5.0,
+                active_w: 4.0,
+                max_bytes_per_sec: 75e6,
+            },
+            DiskKind::Sas15k => DiskSpec {
+                kind: self,
+                idle_w: 8.0,
+                active_w: 6.5,
+                max_bytes_per_sec: 130e6,
+            },
+        }
+    }
+}
+
+/// Full specification of one platform: everything the power model and the
+/// DVFS governor need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Which of the six platforms this is.
+    pub platform: Platform,
+    /// System class (Table I column 1).
+    pub class: SystemClass,
+    /// Total core count (both sockets for the servers).
+    pub cores: usize,
+    /// P-states in ascending frequency order. A single entry means no DVFS.
+    pub p_states: Vec<PState>,
+    /// Whether idle cores can enter the C1 sleep state (servers only).
+    pub supports_c1: bool,
+    /// Whether cores can occupy different P-states simultaneously
+    /// (servers); mobile/desktop parts share one chip-wide frequency.
+    pub per_core_pstates: bool,
+    /// Fully independent per-core DVFS: every core's governor follows its
+    /// own demand with no chip-wide coordination. None of the paper's
+    /// 2012 platforms do this; the paper's Discussion predicts such
+    /// "future systems... will have less-correlated core frequencies and
+    /// will require individual core frequencies as features". Off for all
+    /// builtin specs; enable via [`PlatformSpec::with_independent_dvfs`].
+    #[serde(default)]
+    pub independent_dvfs: bool,
+    /// Thermal design power of one socket, watts (Table I).
+    pub tdp_w: f64,
+    /// Number of CPU sockets.
+    pub sockets: usize,
+    /// Installed memory in GB.
+    pub memory_gb: f64,
+    /// Peak memory bandwidth in bytes/second (drives memory dynamic power).
+    pub mem_max_bytes_per_sec: f64,
+    /// Attached disks.
+    pub disks: Vec<DiskSpec>,
+    /// NIC line rate in bytes per second (1 GbE for every platform).
+    pub nic_max_bytes_per_sec: f64,
+    /// Paper-reported wall power range (idle, max) in watts, used to
+    /// calibrate the simulated machine (Table I "Power Range").
+    pub power_range_w: (f64, f64),
+}
+
+impl PlatformSpec {
+    /// Builds the canonical Table I specification for `platform`.
+    pub fn builtin(platform: Platform) -> PlatformSpec {
+        // Voltage ramps roughly linearly with frequency between Vmin/Vmax.
+        fn pstates(freqs_mhz: &[f64], vmin: f64, vmax: f64) -> Vec<PState> {
+            let fmin = freqs_mhz[0];
+            let fmax = *freqs_mhz.last().expect("at least one p-state");
+            freqs_mhz
+                .iter()
+                .map(|&f| PState {
+                    freq_mhz: f,
+                    voltage: if fmax > fmin {
+                        vmin + (vmax - vmin) * (f - fmin) / (fmax - fmin)
+                    } else {
+                        vmax
+                    },
+                })
+                .collect()
+        }
+        match platform {
+            Platform::Atom => PlatformSpec {
+                platform,
+                class: SystemClass::Embedded,
+                cores: 2,
+                p_states: pstates(&[1600.0], 1.0, 1.0),
+                supports_c1: false,
+                per_core_pstates: false,
+                independent_dvfs: false,
+                tdp_w: 8.0,
+                sockets: 1,
+                memory_gb: 4.0,
+                mem_max_bytes_per_sec: 6.4e9,
+                disks: vec![DiskKind::Ssd.spec()],
+                nic_max_bytes_per_sec: 125e6,
+                power_range_w: (22.0, 26.0),
+            },
+            Platform::Core2 => PlatformSpec {
+                platform,
+                class: SystemClass::Mobile,
+                cores: 2,
+                p_states: pstates(&[800.0, 1330.0, 1860.0, 2260.0], 0.85, 1.15),
+                supports_c1: false,
+                per_core_pstates: false,
+                independent_dvfs: false,
+                tdp_w: 25.0,
+                sockets: 1,
+                memory_gb: 4.0,
+                mem_max_bytes_per_sec: 8.5e9,
+                disks: vec![DiskKind::Ssd.spec()],
+                nic_max_bytes_per_sec: 125e6,
+                power_range_w: (25.0, 46.0),
+            },
+            Platform::Athlon => PlatformSpec {
+                platform,
+                class: SystemClass::Desktop,
+                cores: 2,
+                p_states: pstates(&[800.0, 1800.0, 2300.0, 2800.0], 0.9, 1.3),
+                supports_c1: false,
+                per_core_pstates: false,
+                independent_dvfs: false,
+                tdp_w: 65.0,
+                sockets: 1,
+                memory_gb: 8.0,
+                mem_max_bytes_per_sec: 6.4e9,
+                disks: vec![DiskKind::Ssd.spec()],
+                nic_max_bytes_per_sec: 125e6,
+                power_range_w: (54.0, 104.0),
+            },
+            Platform::Opteron => PlatformSpec {
+                platform,
+                class: SystemClass::Server,
+                cores: 8,
+                p_states: pstates(&[800.0, 1200.0, 1600.0, 2000.0], 0.95, 1.25),
+                supports_c1: true,
+                per_core_pstates: true,
+                independent_dvfs: false,
+                tdp_w: 50.0,
+                sockets: 2,
+                memory_gb: 32.0,
+                mem_max_bytes_per_sec: 12.8e9,
+                disks: vec![DiskKind::Sata10k.spec(); 2],
+                nic_max_bytes_per_sec: 125e6,
+                power_range_w: (135.0, 190.0),
+            },
+            Platform::XeonSata => PlatformSpec {
+                platform,
+                class: SystemClass::Server,
+                cores: 8,
+                p_states: pstates(&[1600.0, 2000.0, 2330.0], 1.0, 1.25),
+                supports_c1: true,
+                per_core_pstates: true,
+                independent_dvfs: false,
+                tdp_w: 80.0,
+                sockets: 2,
+                memory_gb: 16.0,
+                mem_max_bytes_per_sec: 10.6e9,
+                disks: vec![DiskKind::Sata7200.spec(); 4],
+                nic_max_bytes_per_sec: 125e6,
+                power_range_w: (250.0, 375.0),
+            },
+            Platform::XeonSas => PlatformSpec {
+                platform,
+                class: SystemClass::Server,
+                cores: 8,
+                p_states: pstates(&[1600.0, 2000.0, 2670.0], 1.0, 1.3),
+                supports_c1: true,
+                per_core_pstates: true,
+                independent_dvfs: false,
+                tdp_w: 80.0,
+                sockets: 2,
+                memory_gb: 16.0,
+                mem_max_bytes_per_sec: 10.6e9,
+                disks: vec![DiskKind::Sas15k.spec(); 6],
+                nic_max_bytes_per_sec: 125e6,
+                power_range_w: (260.0, 380.0),
+            },
+        }
+    }
+
+    /// Highest-frequency P-state.
+    pub fn max_pstate(&self) -> PState {
+        *self.p_states.last().expect("spec has at least one p-state")
+    }
+
+    /// Lowest-frequency P-state.
+    pub fn min_pstate(&self) -> PState {
+        self.p_states[0]
+    }
+
+    /// Whether this platform has more than one P-state (DVFS capable).
+    pub fn has_dvfs(&self) -> bool {
+        self.p_states.len() > 1
+    }
+
+    /// Returns a "future system" variant with fully independent per-core
+    /// DVFS (the paper's Discussion: less-correlated core frequencies
+    /// that demand individual per-core frequency features).
+    pub fn with_independent_dvfs(mut self) -> PlatformSpec {
+        self.per_core_pstates = true;
+        self.independent_dvfs = true;
+        self
+    }
+
+    /// Returns an energy-proportional variant: same peak power, idle at
+    /// the given fraction of peak. The paper's Conclusion: "as future
+    /// systems become more energy-proportional with larger dynamic power
+    /// ranges and less static power, accurately capturing the dynamic
+    /// range will be increasingly important."
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < idle_fraction < 1`.
+    pub fn energy_proportional(mut self, idle_fraction: f64) -> PlatformSpec {
+        assert!(
+            idle_fraction > 0.0 && idle_fraction < 1.0,
+            "idle fraction must be in (0, 1)"
+        );
+        let (_, max) = self.power_range_w;
+        self.power_range_w = (idle_fraction * max, max);
+        self
+    }
+
+    /// Aggregate disk throughput in bytes per second.
+    pub fn total_disk_bandwidth(&self) -> f64 {
+        self.disks.iter().map(|d| d.max_bytes_per_sec).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_platforms_have_valid_specs() {
+        for p in Platform::ALL {
+            let s = p.spec();
+            assert!(s.cores >= 2, "{p}");
+            assert!(!s.p_states.is_empty(), "{p}");
+            assert!(s.power_range_w.1 > s.power_range_w.0, "{p}");
+            assert!(!s.disks.is_empty(), "{p}");
+            // P-states ascend in frequency and voltage.
+            for w in s.p_states.windows(2) {
+                assert!(w[1].freq_mhz > w[0].freq_mhz, "{p}");
+                assert!(w[1].voltage >= w[0].voltage, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn atom_has_no_dvfs() {
+        let s = Platform::Atom.spec();
+        assert!(!s.has_dvfs());
+        assert!(!s.supports_c1);
+        assert_eq!(s.max_pstate().freq_mhz, 1600.0);
+    }
+
+    #[test]
+    fn servers_have_per_core_pstates_and_c1() {
+        for p in [Platform::Opteron, Platform::XeonSata, Platform::XeonSas] {
+            let s = p.spec();
+            assert!(s.supports_c1, "{p}");
+            assert!(s.per_core_pstates, "{p}");
+            assert_eq!(s.cores, 8, "{p}");
+            assert_eq!(s.sockets, 2, "{p}");
+        }
+    }
+
+    #[test]
+    fn mobile_and_desktop_share_chip_frequency() {
+        for p in [Platform::Core2, Platform::Athlon] {
+            let s = p.spec();
+            assert!(!s.per_core_pstates, "{p}");
+            assert!(s.has_dvfs(), "{p}");
+        }
+    }
+
+    #[test]
+    fn table_i_power_ranges() {
+        assert_eq!(Platform::Atom.spec().power_range_w, (22.0, 26.0));
+        assert_eq!(Platform::Core2.spec().power_range_w, (25.0, 46.0));
+        assert_eq!(Platform::Athlon.spec().power_range_w, (54.0, 104.0));
+        assert_eq!(Platform::Opteron.spec().power_range_w, (135.0, 190.0));
+        assert_eq!(Platform::XeonSata.spec().power_range_w, (250.0, 375.0));
+        assert_eq!(Platform::XeonSas.spec().power_range_w, (260.0, 380.0));
+    }
+
+    #[test]
+    fn disk_fleets_match_table_i() {
+        assert_eq!(Platform::Opteron.spec().disks.len(), 2);
+        assert_eq!(Platform::XeonSata.spec().disks.len(), 4);
+        assert_eq!(Platform::XeonSas.spec().disks.len(), 6);
+        assert_eq!(Platform::Core2.spec().disks[0].kind, DiskKind::Ssd);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Platform::XeonSas.to_string(), "XeonSAS");
+        assert_eq!(Platform::Atom.to_string(), "Atom");
+    }
+
+    #[test]
+    fn total_disk_bandwidth_sums() {
+        let s = Platform::XeonSas.spec();
+        assert_eq!(s.total_disk_bandwidth(), 6.0 * 130e6);
+    }
+}

@@ -1,0 +1,272 @@
+//! Component-level power model and power-supply efficiency curve.
+//!
+//! Computes the machine's *raw* DC power from hidden state, then converts
+//! to wall (AC) power through a nonlinear PSU efficiency curve. The raw
+//! numbers only need to be *shaped* correctly (which component dominates,
+//! how power bends with utilization and frequency); [`crate::Machine`]
+//! affinely calibrates the result onto the paper's Table I wall-power
+//! ranges.
+
+use crate::platform::{PlatformSpec, SystemClass};
+use crate::state::MachineState;
+
+/// Fraction of a core's power budget attributed to leakage at top voltage.
+const LEAKAGE_FRAC: f64 = 0.25;
+/// Fraction of socket TDP attributed to the uncore (caches, memory
+/// controller, interconnect), always on while the socket is out of C1.
+const UNCORE_FRAC: f64 = 0.15;
+
+/// CPU package power (all sockets) in watts for the given state.
+///
+/// Per-core dynamic power follows the classic `C·V²·f·u` law; leakage
+/// scales with `V²` and is gated by C1 residency. The uncore draws a fixed
+/// fraction of TDP whenever any core is awake.
+pub fn cpu_power(spec: &PlatformSpec, state: &MachineState) -> f64 {
+    let total_tdp = spec.tdp_w * spec.sockets as f64;
+    let per_core_budget = total_tdp * (1.0 - UNCORE_FRAC) / spec.cores as f64;
+    let vmax = spec.max_pstate().voltage;
+    let fmax = spec.max_pstate().freq_mhz;
+
+    let mut power = 0.0;
+    let mut any_awake = false;
+    for core in &state.cores {
+        if core.freq_mhz <= 0.0 {
+            // Fully parked in C1: only residual leakage.
+            power += per_core_budget * LEAKAGE_FRAC * 0.08;
+            continue;
+        }
+        any_awake = true;
+        let v_ratio = (core.voltage / vmax).powi(2);
+        let f_ratio = core.freq_mhz / fmax;
+        let leakage = per_core_budget * LEAKAGE_FRAC * v_ratio * (1.0 - 0.9 * core.c1_residency);
+        let dynamic = per_core_budget * (1.0 - LEAKAGE_FRAC) * v_ratio * f_ratio * core.utilization;
+        power += leakage + dynamic;
+    }
+    if any_awake {
+        power += total_tdp * UNCORE_FRAC;
+    } else {
+        power += total_tdp * UNCORE_FRAC * 0.3;
+    }
+    power
+}
+
+/// DRAM power in watts: a static term per GB plus a bandwidth-proportional
+/// dynamic term per socket's memory channels.
+pub fn memory_power(spec: &PlatformSpec, state: &MachineState) -> f64 {
+    let static_w = 0.35 * spec.memory_gb;
+    let dyn_max = 9.0 * spec.sockets as f64;
+    static_w + dyn_max * state.mem_bandwidth_frac
+}
+
+/// Aggregate disk power in watts: spindle/controller idle power plus an
+/// activity term driven by achieved throughput and seek-heavy utilization.
+pub fn disk_power(spec: &PlatformSpec, state: &MachineState) -> f64 {
+    let total_bw = spec.total_disk_bandwidth();
+    let throughput_frac = if total_bw > 0.0 {
+        (state.disk_total_bytes() / total_bw).min(1.0)
+    } else {
+        0.0
+    };
+    // Seek activity burns power even at modest throughput.
+    let activity = (0.6 * throughput_frac + 0.4 * state.disk_util_frac).min(1.0);
+    spec.disks
+        .iter()
+        .map(|d| d.idle_w + d.active_w * activity)
+        .sum()
+}
+
+/// NIC power in watts: PHY static power plus a traffic-proportional term.
+pub fn nic_power(spec: &PlatformSpec, state: &MachineState) -> f64 {
+    let util = (state.net_total_bytes() / spec.nic_max_bytes_per_sec).min(1.0);
+    0.5 + 3.2 * util
+}
+
+/// Motherboard "glue" (regulators, chipset, fans, BMC) static DC power.
+pub fn glue_power(spec: &PlatformSpec) -> f64 {
+    match spec.class {
+        SystemClass::Embedded => 6.0,
+        SystemClass::Mobile => 8.0,
+        SystemClass::Desktop => 18.0,
+        SystemClass::Server => 55.0,
+    }
+}
+
+/// PSU nameplate capacity in watts, by class.
+pub fn psu_capacity(spec: &PlatformSpec) -> f64 {
+    match spec.class {
+        SystemClass::Embedded => 60.0,
+        SystemClass::Mobile => 90.0,
+        SystemClass::Desktop => 250.0,
+        SystemClass::Server => 670.0,
+    }
+}
+
+/// PSU efficiency at a given load fraction: a downward parabola peaking
+/// near 55% load, clamped to a realistic 0.65–0.88 band. This is the main
+/// source of wall-power nonlinearity beyond DVFS.
+pub fn psu_efficiency(load_frac: f64) -> f64 {
+    let l = load_frac.clamp(0.0, 1.2);
+    (0.87 - 0.30 * (l - 0.55).powi(2)).clamp(0.65, 0.88)
+}
+
+/// Total DC power in watts for the given state (before the PSU).
+pub fn dc_power(spec: &PlatformSpec, state: &MachineState) -> f64 {
+    cpu_power(spec, state)
+        + memory_power(spec, state)
+        + disk_power(spec, state)
+        + nic_power(spec, state)
+        + glue_power(spec)
+}
+
+/// Raw (uncalibrated) wall power in watts: DC power divided by the PSU
+/// efficiency at the implied load.
+pub fn raw_wall_power(spec: &PlatformSpec, state: &MachineState) -> f64 {
+    let dc = dc_power(spec, state);
+    let eff = psu_efficiency(dc / psu_capacity(spec));
+    dc / eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::state::CoreState;
+
+    fn state_with_util(spec: &PlatformSpec, util: f64) -> MachineState {
+        let p = spec.max_pstate();
+        MachineState {
+            cores: vec![
+                CoreState {
+                    utilization: util,
+                    freq_mhz: p.freq_mhz,
+                    voltage: p.voltage,
+                    c1_residency: 0.0,
+                };
+                spec.cores
+            ],
+            mem_bandwidth_frac: util * 0.5,
+            mem_committed_frac: 0.3,
+            disk_read_bytes: 0.0,
+            disk_write_bytes: 0.0,
+            disk_util_frac: 0.0,
+            net_rx_bytes: 0.0,
+            net_tx_bytes: 0.0,
+            runnable_tasks: util * spec.cores as f64,
+        }
+    }
+
+    #[test]
+    fn cpu_power_monotone_in_utilization() {
+        for platform in Platform::ALL {
+            let spec = platform.spec();
+            let mut prev = -1.0;
+            for u in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let p = cpu_power(&spec, &state_with_util(&spec, u));
+                assert!(p > prev, "{platform} at {u}");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_power_lower_at_low_frequency() {
+        let spec = Platform::Core2.spec();
+        let mut low = state_with_util(&spec, 0.8);
+        let pmin = spec.min_pstate();
+        for c in &mut low.cores {
+            c.freq_mhz = pmin.freq_mhz;
+            c.voltage = pmin.voltage;
+        }
+        let high = state_with_util(&spec, 0.8);
+        assert!(cpu_power(&spec, &low) < cpu_power(&spec, &high));
+    }
+
+    #[test]
+    fn c1_park_saves_power() {
+        let spec = Platform::Opteron.spec();
+        let idle = state_with_util(&spec, 0.0);
+        let mut parked = idle.clone();
+        for c in &mut parked.cores {
+            c.freq_mhz = 0.0;
+            c.c1_residency = 1.0;
+        }
+        assert!(cpu_power(&spec, &parked) < cpu_power(&spec, &idle) * 0.7);
+    }
+
+    #[test]
+    fn disk_power_rises_with_traffic() {
+        let spec = Platform::XeonSas.spec();
+        let mut s = state_with_util(&spec, 0.2);
+        let idle_disk = disk_power(&spec, &s);
+        s.disk_read_bytes = spec.total_disk_bandwidth();
+        s.disk_util_frac = 1.0;
+        let busy_disk = disk_power(&spec, &s);
+        assert!(busy_disk > idle_disk + 10.0, "{idle_disk} -> {busy_disk}");
+    }
+
+    #[test]
+    fn ssd_disk_power_is_small() {
+        let spec = Platform::Core2.spec();
+        let mut s = state_with_util(&spec, 0.2);
+        s.disk_read_bytes = spec.total_disk_bandwidth();
+        s.disk_util_frac = 1.0;
+        assert!(disk_power(&spec, &s) < 3.5);
+    }
+
+    #[test]
+    fn nic_power_saturates() {
+        let spec = Platform::Atom.spec();
+        let mut s = state_with_util(&spec, 0.0);
+        s.net_rx_bytes = 10.0 * spec.nic_max_bytes_per_sec;
+        assert_eq!(nic_power(&spec, &s), 0.5 + 3.2);
+    }
+
+    #[test]
+    fn psu_efficiency_shape() {
+        assert!(psu_efficiency(0.05) < psu_efficiency(0.55));
+        assert!(psu_efficiency(1.0) < psu_efficiency(0.55));
+        for l in [0.0, 0.2, 0.5, 0.8, 1.0, 1.5] {
+            let e = psu_efficiency(l);
+            assert!((0.65..=0.88).contains(&e), "eff({l}) = {e}");
+        }
+    }
+
+    #[test]
+    fn wall_power_exceeds_dc_power() {
+        for platform in Platform::ALL {
+            let spec = platform.spec();
+            for u in [0.0, 0.5, 1.0] {
+                let s = state_with_util(&spec, u);
+                assert!(raw_wall_power(&spec, &s) > dc_power(&spec, &s), "{platform}");
+            }
+        }
+    }
+
+    #[test]
+    fn wall_power_is_nonlinear_in_utilization() {
+        // With DVFS in play (the governor drops frequency and voltage at
+        // half load), wall power at 50% demand must deviate clearly from
+        // the linear midpoint of idle and full power — otherwise a linear
+        // model would suffice and the paper's central claim would have no
+        // substrate.
+        use crate::machine::Machine;
+        use crate::state::ResourceDemand;
+        use rand::SeedableRng;
+        let m = Machine::nominal(Platform::Athlon, 0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let avg_power = |cores: f64, rng: &mut rand_chacha::ChaCha8Rng| {
+            (0..200)
+                .map(|_| m.true_power(&m.apply_demand(&ResourceDemand::cpu_only(cores), rng)))
+                .sum::<f64>()
+                / 200.0
+        };
+        let p0 = avg_power(0.0, &mut rng);
+        let p5 = avg_power(1.0, &mut rng);
+        let p1 = avg_power(2.0, &mut rng);
+        let linear_mid = (p0 + p1) / 2.0;
+        assert!(
+            (p5 - linear_mid).abs() > 2.0,
+            "p0={p0:.1} p5={p5:.1} p1={p1:.1}"
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Resource demands (what a workload asks for) and hidden machine state
+//! (what the hardware actually did in one one-second tick).
+
+use serde::{Deserialize, Serialize};
+
+/// What a workload demands from one machine over one second.
+///
+/// This is the interface between the workload generators and the machine
+/// simulator: workloads speak in resource quantities; the machine turns
+/// them into hardware state (frequencies, utilizations, device activity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceDemand {
+    /// Total CPU demand in cores (0.0 ..= machine core count). A value of
+    /// 3.5 means "3.5 cores' worth of work at maximum frequency".
+    pub cpu_cores: f64,
+    /// Bytes read from disk this second.
+    pub disk_read_bytes: f64,
+    /// Bytes written to disk this second.
+    pub disk_write_bytes: f64,
+    /// Bytes received from the network this second.
+    pub net_rx_bytes: f64,
+    /// Bytes sent to the network this second.
+    pub net_tx_bytes: f64,
+    /// Memory bandwidth demand as a fraction of peak (0..=1).
+    pub mem_bandwidth_frac: f64,
+    /// Fraction of physical memory committed (0..=1).
+    pub mem_committed_frac: f64,
+    /// Number of runnable tasks (drives process/job-object counters).
+    pub runnable_tasks: f64,
+}
+
+impl ResourceDemand {
+    /// A fully idle second.
+    pub fn idle() -> Self {
+        ResourceDemand {
+            cpu_cores: 0.0,
+            disk_read_bytes: 0.0,
+            disk_write_bytes: 0.0,
+            net_rx_bytes: 0.0,
+            net_tx_bytes: 0.0,
+            mem_bandwidth_frac: 0.0,
+            mem_committed_frac: 0.05,
+            runnable_tasks: 0.0,
+        }
+    }
+
+    /// A pure-CPU demand of `cores` cores (e.g. the Prime workload).
+    pub fn cpu_only(cores: f64) -> Self {
+        ResourceDemand {
+            cpu_cores: cores,
+            mem_bandwidth_frac: 0.1 * cores,
+            mem_committed_frac: 0.2,
+            runnable_tasks: cores.ceil(),
+            ..ResourceDemand::idle()
+        }
+    }
+
+    /// Component-wise sum of two demands (used when several tasks share a
+    /// machine).
+    pub fn combined(&self, other: &ResourceDemand) -> ResourceDemand {
+        ResourceDemand {
+            cpu_cores: self.cpu_cores + other.cpu_cores,
+            disk_read_bytes: self.disk_read_bytes + other.disk_read_bytes,
+            disk_write_bytes: self.disk_write_bytes + other.disk_write_bytes,
+            net_rx_bytes: self.net_rx_bytes + other.net_rx_bytes,
+            net_tx_bytes: self.net_tx_bytes + other.net_tx_bytes,
+            mem_bandwidth_frac: (self.mem_bandwidth_frac + other.mem_bandwidth_frac).min(1.0),
+            mem_committed_frac: (self.mem_committed_frac + other.mem_committed_frac).min(1.0),
+            runnable_tasks: self.runnable_tasks + other.runnable_tasks,
+        }
+    }
+
+    /// Scales every component by `factor` (used for partial-second task
+    /// starts and finishes).
+    pub fn scaled(&self, factor: f64) -> ResourceDemand {
+        ResourceDemand {
+            cpu_cores: self.cpu_cores * factor,
+            disk_read_bytes: self.disk_read_bytes * factor,
+            disk_write_bytes: self.disk_write_bytes * factor,
+            net_rx_bytes: self.net_rx_bytes * factor,
+            net_tx_bytes: self.net_tx_bytes * factor,
+            mem_bandwidth_frac: self.mem_bandwidth_frac * factor,
+            mem_committed_frac: self.mem_committed_frac,
+            runnable_tasks: self.runnable_tasks * factor,
+        }
+    }
+
+    /// True when every activity component is (near) zero.
+    pub fn is_idle(&self) -> bool {
+        self.cpu_cores < 1e-9
+            && self.disk_read_bytes + self.disk_write_bytes < 1.0
+            && self.net_rx_bytes + self.net_tx_bytes < 1.0
+    }
+}
+
+impl Default for ResourceDemand {
+    fn default() -> Self {
+        ResourceDemand::idle()
+    }
+}
+
+/// Hidden per-core hardware state for one second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreState {
+    /// Busy fraction at the operating frequency (0..=1).
+    pub utilization: f64,
+    /// Operating frequency in MHz (0 when parked in C1 the whole second).
+    pub freq_mhz: f64,
+    /// Core voltage at the operating point.
+    pub voltage: f64,
+    /// Fraction of the second spent in C1 sleep.
+    pub c1_residency: f64,
+}
+
+/// The machine's complete hidden state for one second — the ground truth
+/// the power model integrates and the counter synthesizer observes
+/// (noisily).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineState {
+    /// Per-core states.
+    pub cores: Vec<CoreState>,
+    /// Achieved memory bandwidth as a fraction of peak (0..=1).
+    pub mem_bandwidth_frac: f64,
+    /// Fraction of physical memory committed (0..=1).
+    pub mem_committed_frac: f64,
+    /// Bytes actually read from disk (after bandwidth clamping).
+    pub disk_read_bytes: f64,
+    /// Bytes actually written to disk.
+    pub disk_write_bytes: f64,
+    /// Aggregate disk busy fraction (0..=1).
+    pub disk_util_frac: f64,
+    /// Bytes received on the NIC.
+    pub net_rx_bytes: f64,
+    /// Bytes sent on the NIC.
+    pub net_tx_bytes: f64,
+    /// Runnable task count seen by the scheduler this second.
+    pub runnable_tasks: f64,
+}
+
+impl MachineState {
+    /// Mean utilization across all cores (the classic "% Processor Time").
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(|c| c.utilization).sum::<f64>() / self.cores.len() as f64
+    }
+
+    /// Frequency of core 0 in MHz — the paper uses one core's frequency as
+    /// a proxy for the whole system.
+    pub fn core0_freq_mhz(&self) -> f64 {
+        self.cores.first().map_or(0.0, |c| c.freq_mhz)
+    }
+
+    /// Whether at least two cores sit at different frequencies (the
+    /// "hidden frequency state" effect on servers).
+    pub fn has_frequency_divergence(&self) -> bool {
+        self.cores
+            .windows(2)
+            .any(|w| (w[0].freq_mhz - w[1].freq_mhz).abs() > 1.0)
+    }
+
+    /// Total disk traffic in bytes.
+    pub fn disk_total_bytes(&self) -> f64 {
+        self.disk_read_bytes + self.disk_write_bytes
+    }
+
+    /// Total network traffic in bytes.
+    pub fn net_total_bytes(&self) -> f64 {
+        self.net_rx_bytes + self.net_tx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_demand_is_idle() {
+        assert!(ResourceDemand::idle().is_idle());
+        assert!(!ResourceDemand::cpu_only(1.0).is_idle());
+    }
+
+    #[test]
+    fn combined_sums_and_clamps() {
+        let a = ResourceDemand {
+            cpu_cores: 1.0,
+            mem_bandwidth_frac: 0.7,
+            ..ResourceDemand::idle()
+        };
+        let b = ResourceDemand {
+            cpu_cores: 2.0,
+            mem_bandwidth_frac: 0.6,
+            disk_read_bytes: 100.0,
+            ..ResourceDemand::idle()
+        };
+        let c = a.combined(&b);
+        assert_eq!(c.cpu_cores, 3.0);
+        assert_eq!(c.mem_bandwidth_frac, 1.0, "clamped at 1");
+        assert_eq!(c.disk_read_bytes, 100.0);
+    }
+
+    #[test]
+    fn scaled_scales_rates_not_occupancy() {
+        let d = ResourceDemand {
+            cpu_cores: 2.0,
+            disk_read_bytes: 10.0,
+            mem_committed_frac: 0.5,
+            ..ResourceDemand::idle()
+        };
+        let h = d.scaled(0.5);
+        assert_eq!(h.cpu_cores, 1.0);
+        assert_eq!(h.disk_read_bytes, 5.0);
+        assert_eq!(h.mem_committed_frac, 0.5, "occupancy is not a rate");
+    }
+
+    #[test]
+    fn machine_state_aggregates() {
+        let s = MachineState {
+            cores: vec![
+                CoreState {
+                    utilization: 1.0,
+                    freq_mhz: 2000.0,
+                    voltage: 1.2,
+                    c1_residency: 0.0,
+                },
+                CoreState {
+                    utilization: 0.0,
+                    freq_mhz: 800.0,
+                    voltage: 0.9,
+                    c1_residency: 0.8,
+                },
+            ],
+            mem_bandwidth_frac: 0.5,
+            mem_committed_frac: 0.4,
+            disk_read_bytes: 10.0,
+            disk_write_bytes: 5.0,
+            disk_util_frac: 0.1,
+            net_rx_bytes: 3.0,
+            net_tx_bytes: 4.0,
+            runnable_tasks: 2.0,
+        };
+        assert_eq!(s.cpu_utilization(), 0.5);
+        assert_eq!(s.core0_freq_mhz(), 2000.0);
+        assert!(s.has_frequency_divergence());
+        assert_eq!(s.disk_total_bytes(), 15.0);
+        assert_eq!(s.net_total_bytes(), 7.0);
+    }
+
+    #[test]
+    fn empty_core_list_is_harmless() {
+        let s = MachineState {
+            cores: vec![],
+            mem_bandwidth_frac: 0.0,
+            mem_committed_frac: 0.0,
+            disk_read_bytes: 0.0,
+            disk_write_bytes: 0.0,
+            disk_util_frac: 0.0,
+            net_rx_bytes: 0.0,
+            net_tx_bytes: 0.0,
+            runnable_tasks: 0.0,
+        };
+        assert_eq!(s.cpu_utilization(), 0.0);
+        assert_eq!(s.core0_freq_mhz(), 0.0);
+        assert!(!s.has_frequency_divergence());
+    }
+}

@@ -1,0 +1,109 @@
+//! Hidden thermal drift: the component of wall power no OS counter can
+//! explain.
+//!
+//! Real machines draw more power when hot — leakage rises with silicon
+//! temperature and fans spin up — and temperature integrates the load
+//! *history*, not the instantaneous counters. This bounded
+//! Ornstein–Uhlenbeck-style process is what keeps the paper's best models
+//! at a few percent DRE instead of zero: an irreducible, slowly varying
+//! error floor.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of a machine's dynamic range that thermal state can swing.
+const SWING_FRAC: f64 = 0.15;
+/// Mean-reversion rate per second (time constant ≈ 1 / RATE seconds).
+const RATE: f64 = 0.02;
+/// Per-second random perturbation of the thermal level.
+const JITTER: f64 = 0.09;
+
+/// A machine's hidden thermal state, advanced once per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    level: f64,
+}
+
+impl ThermalModel {
+    /// A machine that has been idling: cool.
+    pub fn new() -> Self {
+        ThermalModel { level: 0.3 }
+    }
+
+    /// Advances one second toward the load-dependent equilibrium and
+    /// returns the extra wall power as a *fraction of the machine's
+    /// dynamic range*, centered so a machine at its cool baseline adds
+    /// nothing.
+    pub fn step<R: Rng + ?Sized>(&mut self, utilization: f64, rng: &mut R) -> f64 {
+        let target = 0.25 + 0.6 * utilization.clamp(0.0, 1.0);
+        self.level += RATE * (target - self.level) + rng.gen_range(-JITTER..JITTER);
+        self.level = self.level.clamp(0.0, 1.0);
+        SWING_FRAC * (self.level - 0.3)
+    }
+
+    /// Current thermal level in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn warms_up_under_load_and_cools_at_idle() {
+        let mut t = ThermalModel::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..600 {
+            t.step(1.0, &mut rng);
+        }
+        let hot = t.level();
+        assert!(hot > 0.6, "should warm up: {hot}");
+        for _ in 0..600 {
+            t.step(0.0, &mut rng);
+        }
+        assert!(t.level() < 0.45, "should cool down: {}", t.level());
+    }
+
+    #[test]
+    fn swing_is_bounded() {
+        let mut t = ThermalModel::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for i in 0..2000 {
+            let u = if i % 100 < 50 { 1.0 } else { 0.0 };
+            let extra = t.step(u, &mut rng);
+            assert!(extra.abs() <= SWING_FRAC, "swing {extra}");
+            assert!((0.0..=1.0).contains(&t.level()));
+        }
+    }
+
+    #[test]
+    fn drift_is_slow() {
+        // One second changes the level by at most RATE + JITTER.
+        let mut t = ThermalModel::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let before = t.level();
+        t.step(1.0, &mut rng);
+        assert!((t.level() - before).abs() < RATE + JITTER + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = ThermalModel::new();
+        let mut b = ThermalModel::new();
+        let mut ra = ChaCha8Rng::seed_from_u64(5);
+        let mut rb = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(a.step(0.7, &mut ra), b.step(0.7, &mut rb));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Machine-to-machine power variation.
+//!
+//! The paper (and its reference \[3\], Davis et al., EXERT 2011) reports
+//! that nominally identical machines differ in power by as much as 10% at
+//! idle and under load — the reason Algorithm 1 pools features and data
+//! across the whole cluster instead of modeling one representative
+//! machine. Every simulated machine draws a [`MachineVariation`] from a
+//! seeded RNG: scale factors on its idle/max calibration targets plus
+//! mild biases in how power splits across components.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-machine deviations from the platform's nominal power behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineVariation {
+    /// Multiplier on the platform's nominal idle wall power (≈0.95–1.05).
+    pub idle_scale: f64,
+    /// Multiplier on the platform's nominal maximum wall power.
+    pub max_scale: f64,
+    /// Bias on CPU component power (affects which counters matter most on
+    /// this machine).
+    pub cpu_bias: f64,
+    /// Bias on disk component power.
+    pub disk_bias: f64,
+    /// Bias on NIC component power.
+    pub net_bias: f64,
+    /// Extra measurement-chain offset in watts (meter calibration drift).
+    pub meter_offset_w: f64,
+}
+
+impl MachineVariation {
+    /// The nominal machine: no deviation at all.
+    pub fn nominal() -> Self {
+        MachineVariation {
+            idle_scale: 1.0,
+            max_scale: 1.0,
+            cpu_bias: 1.0,
+            disk_bias: 1.0,
+            net_bias: 1.0,
+            meter_offset_w: 0.0,
+        }
+    }
+
+    /// Samples a machine's variation. Scales stay within ±5% each, so two
+    /// machines can differ by up to ~10% — the paper's observed bound.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        MachineVariation {
+            idle_scale: rng.gen_range(0.95..1.05),
+            max_scale: rng.gen_range(0.95..1.05),
+            cpu_bias: rng.gen_range(0.92..1.08),
+            disk_bias: rng.gen_range(0.90..1.10),
+            net_bias: rng.gen_range(0.90..1.10),
+            meter_offset_w: rng.gen_range(-0.3..0.3),
+        }
+    }
+}
+
+impl Default for MachineVariation {
+    fn default() -> Self {
+        MachineVariation::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nominal_is_identity() {
+        let v = MachineVariation::nominal();
+        assert_eq!(v.idle_scale, 1.0);
+        assert_eq!(v.meter_offset_w, 0.0);
+        assert_eq!(MachineVariation::default(), v);
+    }
+
+    #[test]
+    fn sample_is_deterministic_by_seed() {
+        let a = MachineVariation::sample(&mut ChaCha8Rng::seed_from_u64(9));
+        let b = MachineVariation::sample(&mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = MachineVariation::sample(&mut ChaCha8Rng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_stays_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = MachineVariation::sample(&mut rng);
+            assert!((0.95..1.05).contains(&v.idle_scale));
+            assert!((0.95..1.05).contains(&v.max_scale));
+            assert!((0.92..1.08).contains(&v.cpu_bias));
+            assert!((0.90..1.10).contains(&v.disk_bias));
+            assert!((0.90..1.10).contains(&v.net_bias));
+            assert!(v.meter_offset_w.abs() <= 0.3);
+        }
+    }
+
+    #[test]
+    fn pairwise_variation_can_reach_near_ten_percent() {
+        // Two machines at opposite extremes differ by ~10% in idle target.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..500 {
+            let v = MachineVariation::sample(&mut rng);
+            lo = lo.min(v.idle_scale);
+            hi = hi.max(v.idle_scale);
+        }
+        assert!(hi / lo > 1.07, "spread {}", hi / lo);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the machine/cluster simulator.
+
+use chaos_sim::{Cluster, Machine, MachineVariation, Platform, PowerMeter, ResourceDemand};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_platform() -> impl Strategy<Value = Platform> {
+    prop_oneof![
+        Just(Platform::Atom),
+        Just(Platform::Core2),
+        Just(Platform::Athlon),
+        Just(Platform::Opteron),
+        Just(Platform::XeonSata),
+        Just(Platform::XeonSas),
+    ]
+}
+
+fn any_demand() -> impl Strategy<Value = ResourceDemand> {
+    (
+        0.0..8.0f64,
+        0.0..1e9f64,
+        0.0..1e9f64,
+        0.0..2e8f64,
+        0.0..2e8f64,
+        0.0..1.0f64,
+        0.0..1.0f64,
+        0.0..16.0f64,
+    )
+        .prop_map(
+            |(cpu, dr, dw, nr, nt, mb, mc, tasks)| ResourceDemand {
+                cpu_cores: cpu,
+                disk_read_bytes: dr,
+                disk_write_bytes: dw,
+                net_rx_bytes: nr,
+                net_tx_bytes: nt,
+                mem_bandwidth_frac: mb,
+                mem_committed_frac: mc,
+                runnable_tasks: tasks,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// True power always stays within the machine's calibrated envelope
+    /// (with a whisper of tolerance for clamped jitter).
+    #[test]
+    fn power_within_envelope(platform in any_platform(), demand in any_demand(), seed in 0u64..500) {
+        let m = Machine::nominal(platform, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let state = m.apply_demand(&demand, &mut rng);
+        let p = m.true_power(&state);
+        prop_assert!(p >= m.idle_power() - 1.0, "{platform}: {p} < idle {}", m.idle_power());
+        prop_assert!(p <= m.max_power() + 1.0, "{platform}: {p} > max {}", m.max_power());
+    }
+
+    /// State invariants hold for every demand: utilizations in [0, 1],
+    /// device traffic within hardware limits, non-negative everything.
+    #[test]
+    fn state_invariants(platform in any_platform(), demand in any_demand(), seed in 0u64..500) {
+        let m = Machine::nominal(platform, 1);
+        let spec = m.spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = m.apply_demand(&demand, &mut rng);
+        prop_assert_eq!(s.cores.len(), spec.cores);
+        for c in &s.cores {
+            prop_assert!((0.0..=1.0).contains(&c.utilization));
+            prop_assert!(c.freq_mhz >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&c.c1_residency));
+        }
+        prop_assert!(s.disk_total_bytes() <= spec.total_disk_bandwidth() * 1.0001);
+        prop_assert!(s.net_rx_bytes <= spec.nic_max_bytes_per_sec * 1.0001);
+        prop_assert!(s.net_tx_bytes <= spec.nic_max_bytes_per_sec * 1.0001);
+        prop_assert!((0.0..=1.0).contains(&s.mem_bandwidth_frac));
+        prop_assert!((0.0..=1.0).contains(&s.disk_util_frac));
+    }
+
+    /// Governor frequencies always come from the platform's P-state table
+    /// (or 0 for a parked core).
+    #[test]
+    fn frequencies_are_legal_pstates(platform in any_platform(), demand in any_demand(), seed in 0u64..200) {
+        let m = Machine::nominal(platform, 2);
+        let spec = m.spec().clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = m.apply_demand(&demand, &mut rng);
+        for c in &s.cores {
+            let legal = c.freq_mhz == 0.0
+                || spec.p_states.iter().any(|p| (p.freq_mhz - c.freq_mhz).abs() < 1e-9);
+            prop_assert!(legal, "illegal frequency {}", c.freq_mhz);
+        }
+    }
+
+    /// Cluster power is exactly the sum of member powers, for any size.
+    #[test]
+    fn cluster_power_is_additive(platform in any_platform(), n in 1usize..8, seed in 0u64..100) {
+        let cluster = Cluster::homogeneous(platform, n, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let states: Vec<_> = cluster
+            .machines()
+            .iter()
+            .map(|m| m.apply_demand(&ResourceDemand::cpu_only(1.0), &mut rng))
+            .collect();
+        let total = cluster.true_power(&states);
+        let sum: f64 = cluster
+            .machines()
+            .iter()
+            .zip(&states)
+            .map(|(m, s)| m.true_power(s))
+            .sum();
+        prop_assert!((total - sum).abs() < 1e-9);
+    }
+
+    /// Machine variation sampling keeps the max above the idle power.
+    #[test]
+    fn variation_preserves_range_order(platform in any_platform(), seed in 0u64..2000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let v = MachineVariation::sample(&mut rng);
+        let m = Machine::new(platform.spec(), 0, v);
+        prop_assert!(m.max_power() > m.idle_power());
+        prop_assert!(m.dynamic_range() > 0.0);
+    }
+
+    /// Meter readings stay within the 1.5% error class plus offset.
+    #[test]
+    fn meter_error_bounded(truth in 5.0..500.0f64, seed in 0u64..500) {
+        let mut srng = ChaCha8Rng::seed_from_u64(seed);
+        let meter = PowerMeter::sample(&mut srng);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..20 {
+            let r = meter.read(truth, &mut rng);
+            // gain 0.5% + noise 0.9% + offset 0.3 W + rounding 0.05 W.
+            let bound = truth * 0.015 + 0.36;
+            prop_assert!((r - truth).abs() <= bound, "reading {r} vs {truth}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Pearson correlation matrices and correlated-feature pruning.
+//!
+//! Algorithm 1, step 1: compute the features' pairwise correlation matrix
+//! across all workloads and reduce groups of features with pairwise
+//! correlation above `|0.95|`, because correlated counters artificially
+//! inflate regression coefficients. The paper reports this step removed
+//! about 80 of their 250 candidate counters.
+
+use crate::describe;
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// Pearson correlation between two equally long slices.
+///
+/// Returns `0.0` if either slice has zero variance (a constant counter is
+/// uncorrelated with everything for pruning purposes).
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] if the slices differ in length
+/// and [`StatsError::InsufficientData`] if they have fewer than two samples.
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    if a.len() != b.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: format!("pearson: {} vs {} samples", a.len(), b.len()),
+        });
+    }
+    if a.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            observations: a.len(),
+            required: 2,
+        });
+    }
+    let ma = describe::mean(a);
+    let mb = describe::mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Pairwise correlation matrix of the columns of `x`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `x` has fewer than two rows.
+pub fn correlation_matrix(x: &Matrix) -> Result<Matrix, StatsError> {
+    let p = x.cols();
+    if x.rows() < 2 {
+        return Err(StatsError::InsufficientData {
+            observations: x.rows(),
+            required: 2,
+        });
+    }
+    let cols: Vec<Vec<f64>> = (0..p).map(|j| x.col(j)).collect();
+    let mut c = Matrix::identity(p);
+    for i in 0..p {
+        for j in (i + 1)..p {
+            let r = pearson(&cols[i], &cols[j])?;
+            c.set(i, j, r);
+            c.set(j, i, r);
+        }
+    }
+    Ok(c)
+}
+
+/// Greedy correlated-group reduction (Algorithm 1, step 1).
+///
+/// Scans features in `priority` order (earlier = more preferred, e.g.
+/// ordered by correlation with the response or by domain knowledge) and
+/// keeps a feature only if its absolute correlation with every
+/// already-kept feature is at most `threshold`. Returns the kept indices
+/// in ascending order.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidParameter`] if `threshold` is outside `(0, 1]` or
+///   `priority` is not a permutation of the column indices.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::{Matrix, corr};
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// // Column 1 is an exact copy of column 0; column 2 is independent.
+/// let x = Matrix::from_cols(&[
+///     vec![1.0, 2.0, 3.0, 4.0],
+///     vec![1.0, 2.0, 3.0, 4.0],
+///     vec![4.0, 1.0, 3.0, 2.0],
+/// ])?;
+/// let c = corr::correlation_matrix(&x)?;
+/// let kept = corr::prune_correlated(&c, 0.95, &[0, 1, 2])?;
+/// assert_eq!(kept, vec![0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn prune_correlated(
+    corr: &Matrix,
+    threshold: f64,
+    priority: &[usize],
+) -> Result<Vec<usize>, StatsError> {
+    if !(0.0..=1.0).contains(&threshold) || threshold == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            context: format!("prune threshold must be in (0, 1], got {threshold}"),
+        });
+    }
+    let p = corr.cols();
+    if corr.rows() != p {
+        return Err(StatsError::DimensionMismatch {
+            context: format!("correlation matrix must be square, got {}x{p}", corr.rows()),
+        });
+    }
+    if priority.len() != p {
+        return Err(StatsError::InvalidParameter {
+            context: format!(
+                "priority has {} entries for {p} features",
+                priority.len()
+            ),
+        });
+    }
+    let mut seen = vec![false; p];
+    for &j in priority {
+        if j >= p || seen[j] {
+            return Err(StatsError::InvalidParameter {
+                context: "priority must be a permutation of the feature indices".into(),
+            });
+        }
+        seen[j] = true;
+    }
+
+    let mut kept: Vec<usize> = Vec::new();
+    for &j in priority {
+        let ok = kept
+            .iter()
+            .all(|&k| corr.get(j, k).abs() <= threshold);
+        if ok {
+            kept.push(j);
+        }
+    }
+    kept.sort_unstable();
+    Ok(kept)
+}
+
+/// Convenience: prune the columns of a raw data matrix directly, preferring
+/// lower column indices (the caller should order columns by preference).
+///
+/// # Errors
+///
+/// Propagates the error conditions of [`correlation_matrix`] and
+/// [`prune_correlated`].
+pub fn prune_correlated_columns(x: &Matrix, threshold: f64) -> Result<Vec<usize>, StatsError> {
+    let c = correlation_matrix(x)?;
+    let priority: Vec<usize> = (0..x.cols()).collect();
+    prune_correlated(&c, threshold, &priority)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [-1.0, -2.0, -3.0, -4.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        let a = [5.0, 5.0, 5.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_orthogonal() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&a, &b).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn correlation_matrix_is_symmetric_with_unit_diagonal() {
+        let x = Matrix::from_cols(&[
+            vec![1.0, 2.0, 3.0, 5.0],
+            vec![2.0, 1.0, 4.0, 3.0],
+            vec![1.0, 3.0, 2.0, 8.0],
+        ])
+        .unwrap();
+        let c = correlation_matrix(&x).unwrap();
+        for i in 0..3 {
+            assert_eq!(c.get(i, i), 1.0);
+            for j in 0..3 {
+                assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-15);
+                assert!(c.get(i, j).abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_removes_near_duplicates() {
+        // col1 = col0 + tiny jitter → |r| > 0.95; col2 independent.
+        let col0: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let col1: Vec<f64> = (0..50).map(|i| i as f64 + 0.01 * ((i * 7) % 3) as f64).collect();
+        let col2: Vec<f64> = (0..50)
+            .map(|i| ((i as f64 * 12.9898).sin() * 43758.5453).fract())
+            .collect();
+        let x = Matrix::from_cols(&[col0, col1, col2]).unwrap();
+        let kept = prune_correlated_columns(&x, 0.95).unwrap();
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn prune_respects_priority_order() {
+        let x = Matrix::from_cols(&[
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        ])
+        .unwrap();
+        let c = correlation_matrix(&x).unwrap();
+        // Preferring column 1 keeps column 1.
+        let kept = prune_correlated(&c, 0.95, &[1, 0]).unwrap();
+        assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
+    fn prune_keeps_all_when_below_threshold() {
+        let x = Matrix::from_cols(&[
+            vec![1.0, -1.0, 1.0, -1.0],
+            vec![1.0, 1.0, -1.0, -1.0],
+        ])
+        .unwrap();
+        let kept = prune_correlated_columns(&x, 0.95).unwrap();
+        assert_eq!(kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn prune_rejects_bad_inputs() {
+        let c = Matrix::identity(2);
+        assert!(prune_correlated(&c, 0.0, &[0, 1]).is_err());
+        assert!(prune_correlated(&c, 1.5, &[0, 1]).is_err());
+        assert!(prune_correlated(&c, 0.9, &[0]).is_err());
+        assert!(prune_correlated(&c, 0.9, &[0, 0]).is_err());
+        assert!(prune_correlated(&c, 0.9, &[0, 5]).is_err());
+    }
+}

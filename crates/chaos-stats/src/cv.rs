@@ -1,0 +1,294 @@
+//! Cross-validation splits.
+//!
+//! The paper evaluates every model with 5-fold cross-validation where "the
+//! training set \[is\] about ten times smaller than the test data set" and
+//! training and test sets come from *separate application runs*. Two split
+//! shapes support this:
+//!
+//! * [`KFold`] — classic k-fold over sample indices; with
+//!   [`KFold::inverted`] the single fold is the *training* set and the
+//!   remaining k−1 folds are the test set, which reproduces the paper's
+//!   small-train / large-test ratio.
+//! * [`RunSplit`] — leave-runs-out splitting over whole application runs,
+//!   so a model is always tested on runs it never saw.
+
+use crate::StatsError;
+
+/// One train/test partition of sample indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of the training samples.
+    pub train: Vec<usize>,
+    /// Indices of the test samples.
+    pub test: Vec<usize>,
+}
+
+/// K-fold splitter over `n` samples using contiguous blocks.
+///
+/// Contiguous (rather than shuffled) folds are deliberate: power traces are
+/// time series, and contiguous folds avoid leaking a sample's immediate
+/// temporal neighbors into the training set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KFold {
+    n: usize,
+    k: usize,
+    inverted: bool,
+}
+
+impl KFold {
+    /// Creates a standard k-fold splitter (train on k−1 folds, test on 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `k < 2` or `k > n`.
+    pub fn new(n: usize, k: usize) -> Result<Self, StatsError> {
+        if k < 2 || k > n {
+            return Err(StatsError::InvalidParameter {
+                context: format!("k-fold requires 2 <= k <= n, got k={k}, n={n}"),
+            });
+        }
+        Ok(KFold {
+            n,
+            k,
+            inverted: false,
+        })
+    }
+
+    /// Creates an inverted k-fold splitter: *train* on one fold and test on
+    /// the other k−1, giving the paper's ≈1:(k−1) train:test ratio.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KFold::new`].
+    pub fn inverted(n: usize, k: usize) -> Result<Self, StatsError> {
+        let mut f = KFold::new(n, k)?;
+        f.inverted = true;
+        f
+            .validate_min_fold()
+            .map(|_| f)
+    }
+
+    fn validate_min_fold(&self) -> Result<(), StatsError> {
+        if self.n / self.k == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: format!("inverted k-fold: folds of size 0 (n={}, k={})", self.n, self.k),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns the `i`-th split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn split(&self, i: usize) -> Split {
+        assert!(i < self.k, "fold index out of range");
+        let base = self.n / self.k;
+        let rem = self.n % self.k;
+        // Fold i covers [start, end): the first `rem` folds get one extra.
+        let start = i * base + i.min(rem);
+        let len = base + usize::from(i < rem);
+        let end = start + len;
+        let fold: Vec<usize> = (start..end).collect();
+        let rest: Vec<usize> = (0..start).chain(end..self.n).collect();
+        if self.inverted {
+            Split {
+                train: fold,
+                test: rest,
+            }
+        } else {
+            Split {
+                train: rest,
+                test: fold,
+            }
+        }
+    }
+
+    /// Iterates over all `k` splits.
+    pub fn iter(&self) -> impl Iterator<Item = Split> + '_ {
+        (0..self.k).map(move |i| self.split(i))
+    }
+}
+
+/// Leave-runs-out splitter over whole application runs.
+///
+/// `run_bounds` gives, for each run, the half-open sample range
+/// `[start, end)` it occupies in the concatenated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSplit {
+    run_bounds: Vec<(usize, usize)>,
+}
+
+impl RunSplit {
+    /// Creates a splitter from per-run sample ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if fewer than two runs are
+    /// supplied, or any range is empty or out of order.
+    pub fn new(run_bounds: Vec<(usize, usize)>) -> Result<Self, StatsError> {
+        if run_bounds.len() < 2 {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "run split requires at least 2 runs, got {}",
+                    run_bounds.len()
+                ),
+            });
+        }
+        let mut prev_end = 0;
+        for &(s, e) in &run_bounds {
+            if s >= e || s < prev_end {
+                return Err(StatsError::InvalidParameter {
+                    context: format!("invalid run range [{s}, {e})"),
+                });
+            }
+            prev_end = e;
+        }
+        Ok(RunSplit { run_bounds })
+    }
+
+    /// Number of runs.
+    pub fn runs(&self) -> usize {
+        self.run_bounds.len()
+    }
+
+    /// Split with runs `train_runs` as training data and every other run as
+    /// test data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `train_runs` is empty,
+    /// covers all runs, or contains an out-of-range index.
+    pub fn train_on_runs(&self, train_runs: &[usize]) -> Result<Split, StatsError> {
+        if train_runs.is_empty() || train_runs.len() >= self.run_bounds.len() {
+            return Err(StatsError::InvalidParameter {
+                context: "train_on_runs: need at least one train run and one test run".into(),
+            });
+        }
+        let mut is_train = vec![false; self.run_bounds.len()];
+        for &r in train_runs {
+            if r >= self.run_bounds.len() {
+                return Err(StatsError::InvalidParameter {
+                    context: format!("run index {r} out of range"),
+                });
+            }
+            is_train[r] = true;
+        }
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (r, &(s, e)) in self.run_bounds.iter().enumerate() {
+            let dst = if is_train[r] { &mut train } else { &mut test };
+            dst.extend(s..e);
+        }
+        Ok(Split { train, test })
+    }
+
+    /// Iterates leave-one-run-in splits: for each run r, train on r alone
+    /// and test on all others (the paper's small-train shape, per run).
+    pub fn iter_train_single(&self) -> impl Iterator<Item = Split> + '_ {
+        (0..self.run_bounds.len()).map(move |r| {
+            self.train_on_runs(&[r])
+                .expect("single-run split is always valid for >= 2 runs")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let kf = KFold::new(103, 5).unwrap();
+        let mut seen = vec![0usize; 103];
+        for split in kf.iter() {
+            for &i in &split.test {
+                seen[i] += 1;
+            }
+            assert_eq!(split.train.len() + split.test.len(), 103);
+            // Train and test are disjoint.
+            let mut all: Vec<usize> = split
+                .train
+                .iter()
+                .chain(split.test.iter())
+                .copied()
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 103);
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample tested once");
+    }
+
+    #[test]
+    fn kfold_standard_train_is_large() {
+        let kf = KFold::new(100, 5).unwrap();
+        let s = kf.split(0);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.test.len(), 20);
+    }
+
+    #[test]
+    fn kfold_inverted_matches_paper_ratio() {
+        // Inverted 5-fold: train on 1/5, test on 4/5 → test is 4x train,
+        // "about ten times smaller" in spirit (k can be raised for 10x).
+        let kf = KFold::inverted(100, 5).unwrap();
+        let s = kf.split(2);
+        assert_eq!(s.train.len(), 20);
+        assert_eq!(s.test.len(), 80);
+    }
+
+    #[test]
+    fn kfold_folds_are_contiguous() {
+        let kf = KFold::new(10, 3).unwrap();
+        let s = kf.split(1);
+        let t = &s.test;
+        for w in t.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn kfold_rejects_bad_k() {
+        assert!(KFold::new(10, 1).is_err());
+        assert!(KFold::new(3, 4).is_err());
+        assert!(KFold::inverted(10, 1).is_err());
+    }
+
+    #[test]
+    fn run_split_respects_run_boundaries() {
+        let rs = RunSplit::new(vec![(0, 10), (10, 25), (25, 30)]).unwrap();
+        let s = rs.train_on_runs(&[1]).unwrap();
+        assert_eq!(s.train, (10..25).collect::<Vec<_>>());
+        assert_eq!(
+            s.test,
+            (0..10).chain(25..30).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_split_iter_single() {
+        let rs = RunSplit::new(vec![(0, 5), (5, 9), (9, 14)]).unwrap();
+        let splits: Vec<Split> = rs.iter_train_single().collect();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].train.len(), 5);
+        assert_eq!(splits[0].test.len(), 9);
+    }
+
+    #[test]
+    fn run_split_rejects_invalid() {
+        assert!(RunSplit::new(vec![(0, 5)]).is_err());
+        assert!(RunSplit::new(vec![(0, 5), (4, 8)]).is_err());
+        assert!(RunSplit::new(vec![(0, 0), (0, 5)]).is_err());
+        let rs = RunSplit::new(vec![(0, 5), (5, 9)]).unwrap();
+        assert!(rs.train_on_runs(&[]).is_err());
+        assert!(rs.train_on_runs(&[0, 1]).is_err());
+        assert!(rs.train_on_runs(&[7]).is_err());
+    }
+}

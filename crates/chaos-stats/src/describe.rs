@@ -1,0 +1,139 @@
+//! Descriptive statistics: means, variances, quantiles.
+//!
+//! These helpers are used throughout the pipeline — for standardizing
+//! features before the lasso, for choosing MARS knot candidates from data
+//! quantiles, and for characterizing power traces (idle/max power for the
+//! DRE denominator).
+
+/// Arithmetic mean of `xs`. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (`n − 1` denominator).
+///
+/// Returns `0.0` for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Population (biased, `n` denominator) standard deviation.
+///
+/// Used when standardizing design-matrix columns, where the scale factor
+/// convention does not matter as long as it is applied consistently.
+pub fn std_dev_population(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Minimum of `xs`, ignoring NaNs. Returns `f64::INFINITY` for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().filter(|v| !v.is_nan()).fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of `xs`, ignoring NaNs. Returns `f64::NEG_INFINITY` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// The `q`-quantile of `xs` (`0 ≤ q ≤ 1`) using linear interpolation
+/// between order statistics (type-7, the R default).
+///
+/// Returns `f64::NAN` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is not within `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0, 1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (the 0.5 [`quantile`]).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_known() {
+        // Var of 2, 4, 4, 4, 5, 5, 7, 9 = 4.571428... (sample, n-1).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_population_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev_population(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let xs = [3.0, f64::NAN, -1.0, 7.5];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 7.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile q must be in")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
+}

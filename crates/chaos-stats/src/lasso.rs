@@ -1,0 +1,432 @@
+//! L1-regularized linear regression (the lasso) via cyclic coordinate
+//! descent.
+//!
+//! Algorithm 1, step 3 of the paper uses "linear regression fitting with L1
+//! regularization, which bounds the sum of the coefficients in order to
+//! eliminate irrelevant features in high-dimensional spaces". The lasso's
+//! soft-thresholding drives irrelevant coefficients exactly to zero, which
+//! is what the feature-selection pipeline consumes: the surviving support.
+//!
+//! Features are standardized (zero mean, unit variance) and the response is
+//! centered internally, so the penalty treats all counters symmetrically
+//! regardless of units (pages/sec vs bytes/sec); coefficients are returned
+//! on the original scale with an unpenalized intercept.
+
+use crate::describe;
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// Configuration for a lasso fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LassoConfig {
+    /// Regularization strength λ (on the standardized scale). Zero gives
+    /// ordinary least squares (up to numerical tolerance).
+    pub lambda: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the maximum coefficient change per sweep.
+    pub tol: f64,
+}
+
+impl Default for LassoConfig {
+    fn default() -> Self {
+        LassoConfig {
+            lambda: 0.1,
+            max_iter: 10_000,
+            tol: 1e-8,
+        }
+    }
+}
+
+/// A fitted lasso model.
+#[derive(Debug, Clone)]
+pub struct LassoFit {
+    intercept: f64,
+    coefficients: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+}
+
+impl LassoFit {
+    /// Fits the lasso by cyclic coordinate descent.
+    ///
+    /// `x` must *not* contain an intercept column; the intercept is handled
+    /// by centering and is never penalized.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
+    /// * [`StatsError::InsufficientData`] if `x` has fewer than two rows.
+    /// * [`StatsError::InvalidParameter`] if `lambda < 0` or `max_iter == 0`.
+    pub fn fit(x: &Matrix, y: &[f64], config: &LassoConfig) -> Result<Self, StatsError> {
+        let (n, p) = (x.rows(), x.cols());
+        if y.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("lasso: y has {} entries, X has {n} rows", y.len()),
+            });
+        }
+        if n < 2 {
+            return Err(StatsError::InsufficientData {
+                observations: n,
+                required: 2,
+            });
+        }
+        if config.lambda < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                context: format!("lasso: lambda must be non-negative, got {}", config.lambda),
+            });
+        }
+        if config.max_iter == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "lasso: max_iter must be positive".into(),
+            });
+        }
+
+        // Standardize columns; constant columns get scale 0 and are frozen
+        // at coefficient zero (they are indistinguishable from the
+        // intercept).
+        let mut means = vec![0.0; p];
+        let mut scales = vec![0.0; p];
+        let mut xs = Matrix::zeros(n, p);
+        for j in 0..p {
+            let col = x.col(j);
+            means[j] = describe::mean(&col);
+            scales[j] = describe::std_dev_population(&col);
+            if scales[j] > 0.0 {
+                for i in 0..n {
+                    xs.set(i, j, (col[i] - means[j]) / scales[j]);
+                }
+            }
+        }
+        let y_mean = describe::mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        // Coordinate descent. With standardized columns, each column's
+        // squared norm is n, so the update is a plain soft threshold.
+        let mut beta = vec![0.0; p];
+        let mut resid = yc.clone();
+        let lambda_n = config.lambda * n as f64;
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..config.max_iter {
+            iterations += 1;
+            let mut max_delta = 0.0_f64;
+            for j in 0..p {
+                if scales[j] == 0.0 {
+                    continue;
+                }
+                // rho = x_jᵀ(resid + x_j β_j) = x_jᵀ resid + n β_j.
+                let mut dot = 0.0;
+                for i in 0..n {
+                    dot += xs.get(i, j) * resid[i];
+                }
+                let rho = dot + n as f64 * beta[j];
+                let new_beta = soft_threshold(rho, lambda_n) / n as f64;
+                let delta = new_beta - beta[j];
+                if delta != 0.0 {
+                    for i in 0..n {
+                        resid[i] -= delta * xs.get(i, j);
+                    }
+                    beta[j] = new_beta;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < config.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Rescale back to the original units.
+        let mut coefficients = vec![0.0; p];
+        let mut intercept = y_mean;
+        for j in 0..p {
+            if scales[j] > 0.0 {
+                coefficients[j] = beta[j] / scales[j];
+                intercept -= coefficients[j] * means[j];
+            }
+        }
+        Ok(LassoFit {
+            intercept,
+            coefficients,
+            iterations,
+            converged,
+        })
+    }
+
+    /// The unpenalized intercept on the original data scale.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Coefficients on the original data scale (zeros for eliminated
+    /// features).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Indices of features with non-zero coefficients — the support that
+    /// feature selection consumes.
+    pub fn support(&self) -> Vec<usize> {
+        self.coefficients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0.0)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Number of coordinate-descent sweeps performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the fit met the convergence tolerance within `max_iter`.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Predicts the response for a feature row (without intercept column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] on length mismatch.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
+        if row.len() != self.coefficients.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "lasso predict: row has {} entries, model has {}",
+                    row.len(),
+                    self.coefficients.len()
+                ),
+            });
+        }
+        Ok(self.intercept
+            + row
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(a, b)| a * b)
+                .sum::<f64>())
+    }
+}
+
+/// Soft-thresholding operator `S(z, γ) = sign(z)·max(|z| − γ, 0)`.
+fn soft_threshold(z: f64, gamma: f64) -> f64 {
+    if z > gamma {
+        z - gamma
+    } else if z < -gamma {
+        z + gamma
+    } else {
+        0.0
+    }
+}
+
+/// The smallest λ (standardized scale) at which every coefficient is zero.
+///
+/// Useful for building a log-spaced λ path for support exploration.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] if `y.len() != x.rows()` and
+/// [`StatsError::InsufficientData`] for empty input.
+pub fn lambda_max(x: &Matrix, y: &[f64]) -> Result<f64, StatsError> {
+    let (n, p) = (x.rows(), x.cols());
+    if y.len() != n {
+        return Err(StatsError::DimensionMismatch {
+            context: format!("lambda_max: y has {} entries, X has {n} rows", y.len()),
+        });
+    }
+    if n == 0 {
+        return Err(StatsError::InsufficientData {
+            observations: 0,
+            required: 1,
+        });
+    }
+    let y_mean = describe::mean(y);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+    let mut best = 0.0_f64;
+    for j in 0..p {
+        let col = x.col(j);
+        let m = describe::mean(&col);
+        let s = describe::std_dev_population(&col);
+        if s == 0.0 {
+            continue;
+        }
+        let dot: f64 = col
+            .iter()
+            .zip(&yc)
+            .map(|(v, r)| (v - m) / s * r)
+            .sum();
+        best = best.max(dot.abs() / n as f64);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ols::OlsFit;
+
+    /// Deterministic pseudo-noise so tests don't need an RNG dependency.
+    fn det_noise(i: usize) -> f64 {
+        ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+    }
+
+    fn sparse_problem(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+        // y depends only on features 0 and 2.
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let feats: Vec<f64> = (0..p).map(|j| det_noise(i * p + j) * 4.0).collect();
+            y.push(10.0 + 3.0 * feats[0] - 2.0 * feats[2] + 0.05 * det_noise(i * 31 + 7));
+            rows.push(feats);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn recovers_sparse_support() {
+        let (x, y) = sparse_problem(200, 8);
+        let fit = LassoFit::fit(
+            &x,
+            &y,
+            &LassoConfig {
+                lambda: 0.3,
+                ..LassoConfig::default()
+            },
+        )
+        .unwrap();
+        let support = fit.support();
+        assert!(support.contains(&0), "support {support:?}");
+        assert!(support.contains(&2), "support {support:?}");
+        assert!(support.len() <= 4, "support too large: {support:?}");
+        assert!(fit.converged());
+    }
+
+    #[test]
+    fn zero_lambda_matches_ols() {
+        let (x, y) = sparse_problem(100, 4);
+        let lasso = LassoFit::fit(
+            &x,
+            &y,
+            &LassoConfig {
+                lambda: 0.0,
+                max_iter: 50_000,
+                tol: 1e-12,
+            },
+        )
+        .unwrap();
+        let ols = OlsFit::fit(&x.with_intercept(), &y).unwrap();
+        assert!((lasso.intercept() - ols.coefficients()[0]).abs() < 1e-4);
+        for j in 0..4 {
+            assert!(
+                (lasso.coefficients()[j] - ols.coefficients()[j + 1]).abs() < 1e-4,
+                "coefficient {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_lambda_zeroes_everything() {
+        let (x, y) = sparse_problem(100, 4);
+        let lmax = lambda_max(&x, &y).unwrap();
+        let fit = LassoFit::fit(
+            &x,
+            &y,
+            &LassoConfig {
+                lambda: lmax * 1.01,
+                ..LassoConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(fit.support().is_empty());
+        // Intercept falls back to the mean of y.
+        let y_mean = crate::describe::mean(&y);
+        assert!((fit.intercept() - y_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lambda_just_below_max_keeps_a_feature() {
+        let (x, y) = sparse_problem(100, 4);
+        let lmax = lambda_max(&x, &y).unwrap();
+        let fit = LassoFit::fit(
+            &x,
+            &y,
+            &LassoConfig {
+                lambda: lmax * 0.9,
+                ..LassoConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!fit.support().is_empty());
+    }
+
+    #[test]
+    fn shrinkage_is_monotone_in_lambda() {
+        let (x, y) = sparse_problem(150, 6);
+        let l1_norm = |lambda: f64| {
+            LassoFit::fit(
+                &x,
+                &y,
+                &LassoConfig {
+                    lambda,
+                    ..LassoConfig::default()
+                },
+            )
+            .unwrap()
+            .coefficients()
+            .iter()
+            .map(|c| c.abs())
+            .sum::<f64>()
+        };
+        let norms: Vec<f64> = [0.01, 0.1, 0.5, 1.5].iter().map(|&l| l1_norm(l)).collect();
+        for w in norms.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "norms not monotone: {norms:?}");
+        }
+    }
+
+    #[test]
+    fn constant_column_gets_zero_coefficient() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![7.0, det_noise(i) * 3.0])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..50).map(|i| 1.0 + 2.0 * det_noise(i) * 3.0).collect();
+        let fit = LassoFit::fit(&x, &y, &LassoConfig::default()).unwrap();
+        assert_eq!(fit.coefficients()[0], 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = [1.0, 2.0, 3.0];
+        assert!(LassoFit::fit(
+            &x,
+            &y,
+            &LassoConfig {
+                lambda: -1.0,
+                ..LassoConfig::default()
+            }
+        )
+        .is_err());
+        assert!(LassoFit::fit(
+            &x,
+            &y,
+            &LassoConfig {
+                max_iter: 0,
+                ..LassoConfig::default()
+            }
+        )
+        .is_err());
+        assert!(LassoFit::fit(&x, &[1.0], &LassoConfig::default()).is_err());
+    }
+
+    #[test]
+    fn predict_row_applies_intercept() {
+        let (x, y) = sparse_problem(100, 4);
+        let fit = LassoFit::fit(&x, &y, &LassoConfig::default()).unwrap();
+        let p = fit.predict_row(&[0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((p - fit.intercept()).abs() < 1e-12);
+        assert!(fit.predict_row(&[0.0]).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Statistical substrate for the CHAOS power-modeling framework.
+//!
+//! The CHAOS paper (IISWC 2012) fits regression models of full-system power
+//! against OS-level performance counters. This crate provides every
+//! statistical primitive that pipeline needs, implemented from scratch:
+//!
+//! * [`Matrix`] — a dense, row-major matrix with the linear algebra used by
+//!   the regression code (products, transpose, Householder QR).
+//! * [`ols`] — ordinary least squares with coefficient covariance, standard
+//!   errors and Wald significance tests (Algorithm 1, step 4).
+//! * [`lasso`] — L1-regularized linear regression via coordinate descent
+//!   (Algorithm 1, step 3).
+//! * [`stepwise`] — backward stepwise elimination driven by Wald p-values
+//!   (Algorithm 1, steps 4 and 6).
+//! * [`corr`] — Pearson correlation matrices and correlated-feature pruning
+//!   (Algorithm 1, step 1).
+//! * [`cv`] — k-fold cross-validation splits, including the paper's
+//!   "training set about ten times smaller than the test set" shape.
+//! * [`metrics`] — model-quality metrics, most importantly the paper's
+//!   *Dynamic Range Error* (Eq. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_stats::{Matrix, ols::OlsFit};
+//!
+//! # fn main() -> Result<(), chaos_stats::StatsError> {
+//! // y = 1 + 2x, exactly.
+//! let x = Matrix::from_rows(&[
+//!     vec![1.0, 0.0],
+//!     vec![1.0, 1.0],
+//!     vec![1.0, 2.0],
+//!     vec![1.0, 3.0],
+//! ])?;
+//! let y = [1.0, 3.0, 5.0, 7.0];
+//! let fit = OlsFit::fit(&x, &y)?;
+//! assert!((fit.coefficients()[0] - 1.0).abs() < 1e-9);
+//! assert!((fit.coefficients()[1] - 2.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corr;
+pub mod cv;
+pub mod describe;
+pub mod dist;
+pub mod lasso;
+pub mod matrix;
+pub mod metrics;
+pub mod ols;
+pub mod stepwise;
+
+pub use matrix::Matrix;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Matrix or vector dimensions do not agree.
+    DimensionMismatch {
+        /// Human-readable description of the two shapes in conflict.
+        context: String,
+    },
+    /// A matrix was numerically singular (or so ill-conditioned that a
+    /// factorization failed).
+    Singular,
+    /// There are not enough observations for the requested operation
+    /// (for example, fewer rows than columns in a least-squares problem).
+    InsufficientData {
+        /// Number of observations supplied.
+        observations: usize,
+        /// Minimum number of observations required.
+        required: usize,
+    },
+    /// A parameter was outside its valid domain (for example, a fold count
+    /// of zero or a negative regularization strength).
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        context: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            StatsError::Singular => write!(f, "matrix is singular or severely ill-conditioned"),
+            StatsError::InsufficientData {
+                observations,
+                required,
+            } => write!(
+                f,
+                "insufficient data: {observations} observations, need at least {required}"
+            ),
+            StatsError::InvalidParameter { context } => {
+                write!(f, "invalid parameter: {context}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            StatsError::DimensionMismatch {
+                context: "3x2 vs 4".into(),
+            },
+            StatsError::Singular,
+            StatsError::InsufficientData {
+                observations: 2,
+                required: 3,
+            },
+            StatsError::InvalidParameter {
+                context: "k = 0".into(),
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

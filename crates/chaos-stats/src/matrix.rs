@@ -1,0 +1,729 @@
+//! Dense, row-major matrices and the linear algebra used by the regression
+//! code: products, transpose, and Householder QR least squares.
+//!
+//! The matrices in CHAOS are design matrices: a few thousand rows (one per
+//! one-second sample) by a few dozen columns (one per selected counter), so
+//! a straightforward dense implementation is both adequate and predictable.
+
+use crate::StatsError;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::Matrix;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = a.transpose();
+/// assert_eq!(b.get(0, 1), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the rows have unequal
+    /// lengths, and [`StatsError::InvalidParameter`] if `rows` is empty or
+    /// the first row is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, StatsError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "from_rows: no rows supplied".into(),
+            });
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "from_rows: rows are empty".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(StatsError::DimensionMismatch {
+                    context: format!("row {i} has {} entries, expected {ncols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from column slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the columns have unequal
+    /// lengths, and [`StatsError::InvalidParameter`] if `cols` is empty or
+    /// the first column is empty.
+    pub fn from_cols(cols: &[Vec<f64>]) -> Result<Self, StatsError> {
+        let ncols = cols.len();
+        if ncols == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "from_cols: no columns supplied".into(),
+            });
+        }
+        let nrows = cols[0].len();
+        if nrows == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "from_cols: columns are empty".into(),
+            });
+        }
+        let mut m = Matrix::zeros(nrows, ncols);
+        for (j, c) in cols.iter().enumerate() {
+            if c.len() != nrows {
+                return Err(StatsError::DimensionMismatch {
+                    context: format!("column {j} has {} entries, expected {nrows}", c.len()),
+                });
+            }
+            for (i, &v) in c.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, StatsError> {
+        if data.len() != rows * cols {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "from_vec: buffer of {} entries cannot fill {rows}x{cols}",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Returns the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns a new matrix that is the transpose of `self`.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, StatsError> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "matmul: {}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if v.len() != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "matvec: {}x{} * vector of {}",
+                    self.rows,
+                    self.cols,
+                    v.len()
+                ),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// Returns the Gram matrix `selfᵀ * self`, exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let p = self.cols;
+        let mut g = Matrix::zeros(p, p);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for a in 0..p {
+                let ra = r[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..p {
+                    g.data[a * p + b] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..p {
+            for b in 0..a {
+                g.data[a * p + b] = g.data[b * p + a];
+            }
+        }
+        g
+    }
+
+    /// Returns a new matrix keeping only the given columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `keep` is out of bounds.
+    pub fn select_cols(&self, keep: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, keep.len());
+        for i in 0..self.rows {
+            for (nj, &j) in keep.iter().enumerate() {
+                out.set(i, nj, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix keeping only the given rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `keep` is out of bounds.
+    pub fn select_rows(&self, keep: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(keep.len(), self.cols);
+        for (ni, &i) in keep.iter().enumerate() {
+            out.data[ni * self.cols..(ni + 1) * self.cols].copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Returns a new matrix with a column of ones prepended (the intercept
+    /// column used by the regression routines).
+    pub fn with_intercept(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            out.set(i, 0, 1.0);
+            for j in 0..self.cols {
+                out.set(i, j + 1, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Solves the least-squares problem `min ||self·x − y||₂` using
+    /// Householder QR with column checks for rank deficiency.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `y.len() != self.rows()`.
+    /// * [`StatsError::InsufficientData`] if there are fewer rows than columns.
+    /// * [`StatsError::Singular`] if the design matrix is rank-deficient.
+    pub fn solve_least_squares(&self, y: &[f64]) -> Result<Vec<f64>, StatsError> {
+        let qr = QrFactorization::compute(self)?;
+        qr.solve(y)
+    }
+
+    /// Computes `(selfᵀ self)⁻¹` via the R factor of a QR factorization.
+    ///
+    /// This is the unscaled coefficient covariance used for Wald tests.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::solve_least_squares`].
+    pub fn xtx_inverse(&self) -> Result<Matrix, StatsError> {
+        let qr = QrFactorization::compute(self)?;
+        qr.xtx_inverse()
+    }
+}
+
+/// Householder QR factorization of a tall matrix, retained in compact form.
+///
+/// Used to solve least-squares problems and to compute `(XᵀX)⁻¹` for
+/// coefficient covariance without forming the normal equations (which would
+/// square the condition number).
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    /// Compact QR: upper triangle holds R, lower part holds the Householder
+    /// vectors (without the implicit leading 1).
+    qr: Matrix,
+    /// Scaling factors of the Householder reflections.
+    tau: Vec<f64>,
+}
+
+impl QrFactorization {
+    /// Relative tolerance under which a diagonal entry of R is considered
+    /// zero (rank deficiency).
+    const RANK_TOL: f64 = 1e-10;
+
+    /// Computes the factorization of `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InsufficientData`] if `a` has fewer rows than columns.
+    /// * [`StatsError::Singular`] if `a` is rank-deficient.
+    pub fn compute(a: &Matrix) -> Result<Self, StatsError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(StatsError::InsufficientData {
+                observations: m,
+                required: n,
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+
+        // Scale reference for the rank test.
+        let max_norm = (0..n)
+            .map(|j| (0..m).map(|i| qr.get(i, j).powi(2)).sum::<f64>().sqrt())
+            .fold(0.0_f64, f64::max);
+        if max_norm == 0.0 {
+            return Err(StatsError::Singular);
+        }
+
+        for k in 0..n {
+            // Householder vector for column k, rows k..m.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr.get(i, k).powi(2);
+            }
+            norm = norm.sqrt();
+            if norm <= Self::RANK_TOL * max_norm {
+                return Err(StatsError::Singular);
+            }
+            let alpha = if qr.get(k, k) >= 0.0 { -norm } else { norm };
+            let akk = qr.get(k, k);
+            let v0 = akk - alpha;
+            // Normalize so v[k] = 1 implicitly; store v[k+1..] / v0.
+            for i in (k + 1)..m {
+                let v = qr.get(i, k) / v0;
+                qr.set(i, k, v);
+            }
+            tau[k] = -v0 / alpha; // tau = 2 / (vᵀv) with v[k] = 1 normalization
+            qr.set(k, k, alpha);
+
+            // Apply the reflection to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr.get(k, j);
+                for i in (k + 1)..m {
+                    s += qr.get(i, k) * qr.get(i, j);
+                }
+                s *= tau[k];
+                let new_kj = qr.get(k, j) - s;
+                qr.set(k, j, new_kj);
+                for i in (k + 1)..m {
+                    let v = qr.get(i, j) - s * qr.get(i, k);
+                    qr.set(i, j, v);
+                }
+            }
+        }
+        Ok(QrFactorization { qr, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Applies `Qᵀ` to `y` and back-substitutes through R to solve the
+    /// least-squares problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `y.len()` does not match
+    /// the factored matrix's row count.
+    pub fn solve(&self, y: &[f64]) -> Result<Vec<f64>, StatsError> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if y.len() != m {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("solve: y has {} entries, expected {m}", y.len()),
+            });
+        }
+        let mut w = y.to_vec();
+        // w := Qᵀ y, applying reflections in order.
+        for k in 0..n {
+            let mut s = w[k];
+            for i in (k + 1)..m {
+                s += self.qr.get(i, k) * w[i];
+            }
+            s *= self.tau[k];
+            w[k] -= s;
+            for i in (k + 1)..m {
+                w[i] -= s * self.qr.get(i, k);
+            }
+        }
+        // Back substitution through R.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = w[k];
+            for j in (k + 1)..n {
+                s -= self.qr.get(k, j) * x[j];
+            }
+            x[k] = s / self.qr.get(k, k);
+        }
+        Ok(x)
+    }
+
+    /// Computes `(XᵀX)⁻¹ = R⁻¹ R⁻ᵀ` from the R factor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a successfully computed factorization; the signature
+    /// is fallible for parity with future pivoted implementations.
+    pub fn xtx_inverse(&self) -> Result<Matrix, StatsError> {
+        let n = self.qr.cols();
+        // Invert R (upper triangular) by back substitution per column.
+        let mut rinv = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Solve R x = e_j.
+            let mut x = vec![0.0; n];
+            for k in (0..=j).rev() {
+                let mut s = if k == j { 1.0 } else { 0.0 };
+                for l in (k + 1)..=j {
+                    s -= self.qr.get(k, l) * x[l];
+                }
+                x[k] = s / self.qr.get(k, k);
+            }
+            for k in 0..n {
+                rinv.set(k, j, x[k]);
+            }
+        }
+        // (XᵀX)⁻¹ = R⁻¹ R⁻ᵀ.
+        let rinv_t = rinv.transpose();
+        rinv.matmul(&rinv_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, StatsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn from_cols_matches_from_rows_transposed() {
+        let a = Matrix::from_cols(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![3.0, 4.0, -1.0],
+            vec![0.0, 1.0, 2.0],
+            vec![2.0, 2.0, 2.0],
+        ])
+        .unwrap();
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(g.get(i, j), g2.get(i, j), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn select_cols_and_rows() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let c = a.select_cols(&[2, 0]);
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+        let r = a.select_rows(&[1]);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn with_intercept_prepends_ones() {
+        let a = Matrix::from_rows(&[vec![2.0], vec![3.0]]).unwrap();
+        let b = a.with_intercept();
+        assert_eq!(b.row(0), &[1.0, 2.0]);
+        assert_eq!(b.row(1), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn qr_solves_exact_system() {
+        // y = 1 + 2a + 3b at four points → exactly recoverable.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let y = [1.0, 3.0, 4.0, 6.0];
+        let beta = x.solve_least_squares(&y).unwrap();
+        assert_close(beta[0], 1.0, 1e-10);
+        assert_close(beta[1], 2.0, 1e-10);
+        assert_close(beta[2], 3.0, 1e-10);
+    }
+
+    #[test]
+    fn qr_least_squares_minimizes_residual() {
+        // Overdetermined inconsistent system: residual must be orthogonal to
+        // the column space (normal equations hold).
+        let x = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+        ])
+        .unwrap();
+        let y = [1.0, 2.0, 2.0, 5.0];
+        let beta = x.solve_least_squares(&y).unwrap();
+        let pred = x.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&pred).map(|(a, b)| a - b).collect();
+        for j in 0..2 {
+            let dot: f64 = (0..4).map(|i| x.get(i, j) * resid[i]).sum();
+            assert_close(dot, 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        // Second column is 2× the first.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        assert_eq!(
+            x.solve_least_squares(&[1.0, 2.0, 3.0]).unwrap_err(),
+            StatsError::Singular
+        );
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrix() {
+        let x = Matrix::zeros(2, 3);
+        assert!(matches!(
+            QrFactorization::compute(&x).unwrap_err(),
+            StatsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn qr_rejects_zero_matrix() {
+        let x = Matrix::zeros(3, 2);
+        assert_eq!(
+            QrFactorization::compute(&x).unwrap_err(),
+            StatsError::Singular
+        );
+    }
+
+    #[test]
+    fn xtx_inverse_matches_identity_product() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.5, 0.2],
+            vec![1.0, 1.5, -0.3],
+            vec![1.0, 2.5, 0.9],
+            vec![1.0, 3.1, 1.4],
+            vec![1.0, 4.7, -2.0],
+        ])
+        .unwrap();
+        let inv = x.xtx_inverse().unwrap();
+        let xtx = x.gram();
+        let prod = xtx.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert_close(prod.get(i, j), expected, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length_rhs() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let qr = QrFactorization::compute(&x).unwrap();
+        assert!(qr.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Model-quality metrics, including the paper's Dynamic Range Error.
+//!
+//! The CHAOS paper argues (Section V-A, Table III) that absolute metrics
+//! like rMSE or percent-of-total-power error flatter models on platforms
+//! with large static power, and defines
+//!
+//! ```text
+//! DRE = sqrt(MSE) / (P_max − P_idle)        (Eq. 6)
+//! ```
+//!
+//! as a platform-independent measure of how well a model explains the
+//! *dynamic* power range. This module implements MSE, rMSE, DRE, mean and
+//! median relative error, and R².
+
+use crate::describe;
+use crate::StatsError;
+
+/// Mean squared error between `predicted` and `actual`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] if the slices differ in length
+/// and [`StatsError::InsufficientData`] if they are empty.
+pub fn mse(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
+    check_pair(predicted, actual)?;
+    Ok(predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64)
+}
+
+/// Root mean squared error (`sqrt` of [`mse`]).
+///
+/// # Errors
+///
+/// Same conditions as [`mse`].
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
+    Ok(mse(predicted, actual)?.sqrt())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// Same conditions as [`mse`].
+pub fn mean_abs_error(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
+    check_pair(predicted, actual)?;
+    Ok(predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64)
+}
+
+/// Median absolute relative error, as a fraction of the actual value —
+/// the "median relative error" several prior papers report and which the
+/// CHAOS abstract quotes as 0.5–2.5%.
+///
+/// # Errors
+///
+/// Same conditions as [`mse`].
+pub fn median_relative_error(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
+    check_pair(predicted, actual)?;
+    let rel: Vec<f64> = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(_, a)| **a != 0.0)
+        .map(|(p, a)| ((p - a) / a).abs())
+        .collect();
+    if rel.is_empty() {
+        return Err(StatsError::InsufficientData {
+            observations: 0,
+            required: 1,
+        });
+    }
+    Ok(describe::median(&rel))
+}
+
+/// Percent error as used in Table III: `rMSE / mean(actual)`.
+///
+/// # Errors
+///
+/// Same conditions as [`mse`], plus [`StatsError::InvalidParameter`] if
+/// the mean of `actual` is zero.
+pub fn percent_error(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
+    let r = rmse(predicted, actual)?;
+    let m = describe::mean(actual);
+    if m == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            context: "percent_error: mean of actual values is zero".into(),
+        });
+    }
+    Ok(r / m)
+}
+
+/// Coefficient of determination R².
+///
+/// # Errors
+///
+/// Same conditions as [`mse`]. Returns `0.0` when `actual` has no variance.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
+    check_pair(predicted, actual)?;
+    let mean_a = describe::mean(actual);
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean_a).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return Ok(0.0);
+    }
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p).powi(2))
+        .sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// The paper's Dynamic Range Error (Eq. 6): `rMSE / (power_max − power_idle)`.
+///
+/// `power_max` and `power_idle` characterize the *platform*, not the trace
+/// being scored: the denominator is the machine's dynamic power range.
+///
+/// # Errors
+///
+/// Same conditions as [`mse`], plus [`StatsError::InvalidParameter`] if
+/// `power_max <= power_idle`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// let predicted = [25.5, 26.0, 24.9];
+/// let actual = [25.0, 26.5, 25.1];
+/// // A 22–26 W platform (the paper's Atom) has a 4 W dynamic range, so
+/// // even sub-watt errors produce double-digit DRE.
+/// let dre = chaos_stats::metrics::dynamic_range_error(&predicted, &actual, 26.0, 22.0)?;
+/// assert!(dre > 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dynamic_range_error(
+    predicted: &[f64],
+    actual: &[f64],
+    power_max: f64,
+    power_idle: f64,
+) -> Result<f64, StatsError> {
+    let range = power_max - power_idle;
+    if range <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            context: format!("dynamic range must be positive, got {range}"),
+        });
+    }
+    Ok(rmse(predicted, actual)? / range)
+}
+
+/// A bundle of every metric the paper reports for one model evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalMetrics {
+    /// Root mean squared error in watts.
+    pub rmse: f64,
+    /// `rMSE / mean(actual)` — the "% Err" column of Table III.
+    pub percent_error: f64,
+    /// Median absolute relative error.
+    pub median_relative_error: f64,
+    /// Dynamic Range Error (Eq. 6).
+    pub dre: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl EvalMetrics {
+    /// Computes all metrics for one (predicted, actual) pair against a
+    /// platform dynamic range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error conditions of the individual metric functions.
+    pub fn compute(
+        predicted: &[f64],
+        actual: &[f64],
+        power_max: f64,
+        power_idle: f64,
+    ) -> Result<Self, StatsError> {
+        Ok(EvalMetrics {
+            rmse: rmse(predicted, actual)?,
+            percent_error: percent_error(predicted, actual)?,
+            median_relative_error: median_relative_error(predicted, actual)?,
+            dre: dynamic_range_error(predicted, actual, power_max, power_idle)?,
+            r_squared: r_squared(predicted, actual)?,
+        })
+    }
+}
+
+fn check_pair(predicted: &[f64], actual: &[f64]) -> Result<(), StatsError> {
+    if predicted.len() != actual.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: format!(
+                "metrics: predicted has {} entries, actual has {}",
+                predicted.len(),
+                actual.len()
+            ),
+        });
+    }
+    if predicted.is_empty() {
+        return Err(StatsError::InsufficientData {
+            observations: 0,
+            required: 1,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_rmse_known() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [2.0, 2.0, 5.0];
+        assert!((mse(&p, &a).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&p, &a).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let a = [10.0, 20.0, 30.0];
+        assert_eq!(mse(&a, &a).unwrap(), 0.0);
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+        assert_eq!(mean_abs_error(&a, &a).unwrap(), 0.0);
+        assert_eq!(median_relative_error(&a, &a).unwrap(), 0.0);
+        assert_eq!(r_squared(&a, &a).unwrap(), 1.0);
+        assert_eq!(dynamic_range_error(&a, &a, 40.0, 5.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn dre_reflects_dynamic_range_not_total_power() {
+        // Same absolute error, small vs large dynamic range: the paper's
+        // Atom-vs-Core2 argument (Table III).
+        let p = [100.5, 101.0];
+        let a = [100.0, 100.0];
+        let small_range = dynamic_range_error(&p, &a, 104.0, 100.0).unwrap();
+        let large_range = dynamic_range_error(&p, &a, 140.0, 100.0).unwrap();
+        assert!(small_range > 5.0 * large_range);
+    }
+
+    #[test]
+    fn dre_rejects_degenerate_range() {
+        assert!(dynamic_range_error(&[1.0], &[1.0], 5.0, 5.0).is_err());
+        assert!(dynamic_range_error(&[1.0], &[1.0], 4.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn percent_error_matches_table_iii_definition() {
+        let p = [9.0, 11.0];
+        let a = [10.0, 10.0];
+        // rMSE = 1.0, mean = 10.0 → 10%.
+        assert!((percent_error(&p, &a).unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_error_zero_mean_rejected() {
+        assert!(percent_error(&[1.0, -1.0], &[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn median_relative_error_ignores_zero_actuals() {
+        let p = [1.0, 5.0, 11.0];
+        let a = [0.0, 5.0, 10.0];
+        // Only the 2nd and 3rd points count: |0|, |0.1| → median 0.05.
+        assert!((median_relative_error(&p, &a).unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_zero_variance_actual() {
+        assert_eq!(r_squared(&[1.0, 2.0], &[5.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn r_squared_mean_prediction_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!((r_squared(&p, &a).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_metrics_bundle() {
+        let a = [10.0, 12.0, 14.0, 16.0];
+        let p = [10.5, 11.5, 14.5, 15.5];
+        let m = EvalMetrics::compute(&p, &a, 20.0, 10.0).unwrap();
+        assert!((m.rmse - 0.5).abs() < 1e-12);
+        assert!((m.dre - 0.05).abs() < 1e-12);
+        assert!(m.r_squared > 0.9);
+    }
+}

@@ -1,0 +1,274 @@
+//! Ordinary least squares with coefficient covariance and Wald tests.
+//!
+//! This is the workhorse of both the baseline linear power model (Eq. 1)
+//! and the stepwise elimination in Algorithm 1: each elimination round
+//! refits OLS and inspects the Wald z-statistics of the coefficients.
+
+use crate::dist;
+use crate::matrix::{Matrix, QrFactorization};
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// A fitted ordinary-least-squares model.
+///
+/// The design matrix is taken as-is; callers that want an intercept should
+/// include a column of ones (see [`Matrix::with_intercept`]).
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::{Matrix, ols::OlsFit};
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// let x = Matrix::from_rows(&[
+///     vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0],
+/// ])?.with_intercept();
+/// let y = [5.1, 6.9, 9.2, 10.8, 13.1];
+/// let fit = OlsFit::fit(&x, &y)?;
+/// let pred = fit.predict_row(&[1.0, 2.5])?;
+/// assert!((pred - 10.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OlsFit {
+    coefficients: Vec<f64>,
+    std_errors: Vec<f64>,
+    residual_variance: f64,
+    n: usize,
+    r_squared: f64,
+}
+
+impl OlsFit {
+    /// Fits `y ≈ X·β` by least squares.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
+    /// * [`StatsError::InsufficientData`] if there are not strictly more
+    ///   rows than columns (residual variance would be undefined).
+    /// * [`StatsError::Singular`] if the design matrix is rank-deficient.
+    pub fn fit(x: &Matrix, y: &[f64]) -> Result<Self, StatsError> {
+        let (n, p) = (x.rows(), x.cols());
+        if y.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("ols: y has {} entries, X has {n} rows", y.len()),
+            });
+        }
+        if n <= p {
+            return Err(StatsError::InsufficientData {
+                observations: n,
+                required: p + 1,
+            });
+        }
+        let qr = QrFactorization::compute(x)?;
+        let coefficients = qr.solve(y)?;
+        let fitted = x.matvec(&coefficients)?;
+        let rss: f64 = y
+            .iter()
+            .zip(&fitted)
+            .map(|(a, f)| (a - f).powi(2))
+            .sum();
+        let residual_variance = rss / (n - p) as f64;
+        let xtx_inv = qr.xtx_inverse()?;
+        let std_errors: Vec<f64> = (0..p)
+            .map(|j| (residual_variance * xtx_inv.get(j, j)).max(0.0).sqrt())
+            .collect();
+        let mean_y: f64 = y.iter().sum::<f64>() / n as f64;
+        let tss: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+        Ok(OlsFit {
+            coefficients,
+            std_errors,
+            residual_variance,
+            n,
+            r_squared,
+        })
+    }
+
+    /// Fitted coefficients, in design-matrix column order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Standard errors of the coefficients.
+    pub fn std_errors(&self) -> &[f64] {
+        &self.std_errors
+    }
+
+    /// Estimated residual variance `σ̂² = RSS / (n − p)`.
+    pub fn residual_variance(&self) -> f64 {
+        self.residual_variance
+    }
+
+    /// Number of observations used in the fit.
+    pub fn n_observations(&self) -> usize {
+        self.n
+    }
+
+    /// In-sample coefficient of determination.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Wald z-statistic for coefficient `j`: `β̂ⱼ / se(β̂ⱼ)`.
+    ///
+    /// Returns `f64::INFINITY` when the standard error is zero but the
+    /// coefficient is not (an exact fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn wald_z(&self, j: usize) -> f64 {
+        let se = self.std_errors[j];
+        let b = self.coefficients[j];
+        if se == 0.0 {
+            if b == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            b / se
+        }
+    }
+
+    /// Two-sided Wald p-value for coefficient `j` under the normal
+    /// approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn p_value(&self, j: usize) -> f64 {
+        dist::wald_p_value(self.wald_z(j))
+    }
+
+    /// Predicts the response for one design-matrix row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `row.len()` differs from
+    /// the number of coefficients.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
+        if row.len() != self.coefficients.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "predict: row has {} entries, model has {} coefficients",
+                    row.len(),
+                    self.coefficients.len()
+                ),
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Predicts the response for every row of a design matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the column count differs
+    /// from the number of coefficients.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
+        x.matvec(&self.coefficients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_line(n: usize) -> (Matrix, Vec<f64>) {
+        // y = 3 + 2x + deterministic "noise" from a fixed pattern.
+        let noise = [0.05, -0.1, 0.08, -0.02, 0.0, 0.07, -0.06, 0.01];
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![1.0, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 3.0 + 2.0 * i as f64 + noise[i % noise.len()])
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_known_coefficients() {
+        let (x, y) = noisy_line(40);
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        assert!((fit.coefficients()[0] - 3.0).abs() < 0.1);
+        assert!((fit.coefficients()[1] - 2.0).abs() < 0.01);
+        assert!(fit.r_squared() > 0.999);
+    }
+
+    #[test]
+    fn significant_slope_has_tiny_p_value() {
+        let (x, y) = noisy_line(40);
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        assert!(fit.p_value(1) < 1e-10);
+    }
+
+    #[test]
+    fn irrelevant_feature_has_large_p_value() {
+        // Add a pseudo-random column uncorrelated with the response noise.
+        let n = 60;
+        let hash = |i: usize| ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![1.0, i as f64, hash(i * 31 + 5)])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 3.0 + 2.0 * i as f64 + 0.4 * hash(i * 7 + 1))
+            .collect();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        assert!(fit.p_value(1) < 1e-10, "true feature must stay significant");
+        assert!(
+            fit.p_value(2) > 0.05,
+            "noise feature p = {}",
+            fit.p_value(2)
+        );
+    }
+
+    #[test]
+    fn exact_fit_has_zero_residual_variance() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let y = [1.0, 2.0, 3.0];
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        assert!(fit.residual_variance() < 1e-20);
+        assert_eq!(fit.n_observations(), 3);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            OlsFit::fit(&x, &[1.0, 2.0]).unwrap_err(),
+            StatsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_y() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        assert!(OlsFit::fit(&x, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn predict_matches_manual_dot_product() {
+        let (x, y) = noisy_line(20);
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        let preds = fit.predict(&x).unwrap();
+        let manual = fit.predict_row(x.row(5)).unwrap();
+        assert!((preds[5] - manual).abs() < 1e-12);
+        assert!(fit.predict_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn std_errors_shrink_with_more_data() {
+        let (x1, y1) = noisy_line(16);
+        let (x2, y2) = noisy_line(160);
+        let f1 = OlsFit::fit(&x1, &y1).unwrap();
+        let f2 = OlsFit::fit(&x2, &y2).unwrap();
+        assert!(f2.std_errors()[1] < f1.std_errors()[1]);
+    }
+}

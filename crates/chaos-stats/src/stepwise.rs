@@ -1,0 +1,254 @@
+//! Backward stepwise regression driven by Wald significance tests.
+//!
+//! Algorithm 1, step 4 (and again step 6 at the cluster level): iteratively
+//! eliminate the feature whose Wald test shows the lowest confidence that
+//! its coefficient differs from zero, refit, and repeat until every
+//! remaining feature is significant.
+
+use crate::matrix::Matrix;
+use crate::ols::OlsFit;
+use crate::StatsError;
+
+/// Configuration for backward stepwise elimination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepwiseConfig {
+    /// Features with a Wald p-value above this threshold are candidates for
+    /// elimination. The conventional 0.05 is the default.
+    pub alpha: f64,
+    /// Never eliminate below this many features (not counting the
+    /// intercept). The paper's models always retain at least CPU
+    /// utilization, so pipelines typically set this to 1.
+    pub min_features: usize,
+}
+
+impl Default for StepwiseConfig {
+    fn default() -> Self {
+        StepwiseConfig {
+            alpha: 0.05,
+            min_features: 1,
+        }
+    }
+}
+
+/// Result of a backward stepwise elimination.
+#[derive(Debug, Clone)]
+pub struct StepwiseResult {
+    /// Indices (into the original feature matrix) of the retained features,
+    /// in their original order.
+    pub selected: Vec<usize>,
+    /// The final OLS fit over `[intercept | selected features]`.
+    pub fit: OlsFit,
+    /// Number of elimination rounds performed.
+    pub rounds: usize,
+}
+
+/// Runs backward stepwise elimination on feature matrix `x` (no intercept
+/// column; one is added internally) against response `y`.
+///
+/// At each round the least-significant feature (highest Wald p-value above
+/// `alpha`) is removed and the model refit, until all remaining features
+/// are significant or `min_features` is reached. If the initial design is
+/// singular (e.g. duplicate counters survived correlation pruning), columns
+/// are greedily dropped until a full-rank design is found.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidParameter`] if `alpha` is outside `(0, 1)` or
+///   `x` has no columns.
+/// * [`StatsError::InsufficientData`] if there are not enough rows to fit
+///   even the minimal model.
+/// * [`StatsError::Singular`] if no full-rank subset of columns exists.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::{Matrix, stepwise::{backward_eliminate, StepwiseConfig}};
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// // Feature 0 drives y; feature 1 is noise.
+/// let rows: Vec<Vec<f64>> = (0..100).map(|i| {
+///     let t = i as f64;
+///     vec![t, ((t * 12.9898).sin() * 43758.5453).fract()]
+/// }).collect();
+/// let x = Matrix::from_rows(&rows)?;
+/// let y: Vec<f64> = (0..100).map(|i| {
+///     2.0 * i as f64 + ((i as f64 * 7.77).sin() * 1031.7).fract()
+/// }).collect();
+/// let result = backward_eliminate(&x, &y, &StepwiseConfig::default())?;
+/// assert_eq!(result.selected, vec![0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn backward_eliminate(
+    x: &Matrix,
+    y: &[f64],
+    config: &StepwiseConfig,
+) -> Result<StepwiseResult, StatsError> {
+    if !(0.0..1.0).contains(&config.alpha) || config.alpha == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            context: format!("stepwise: alpha must be in (0, 1), got {}", config.alpha),
+        });
+    }
+    if x.cols() == 0 {
+        return Err(StatsError::InvalidParameter {
+            context: "stepwise: feature matrix has no columns".into(),
+        });
+    }
+
+    let mut selected: Vec<usize> = (0..x.cols()).collect();
+    let mut rounds = 0;
+
+    let mut fit = fit_full_rank(x, y, &mut selected)?;
+    loop {
+        // Coefficient j+1 corresponds to selected[j] (slot 0 is intercept).
+        let mut worst: Option<(usize, f64)> = None;
+        for (j, _) in selected.iter().enumerate() {
+            let p = fit.p_value(j + 1);
+            if p > config.alpha {
+                match worst {
+                    Some((_, wp)) if wp >= p => {}
+                    _ => worst = Some((j, p)),
+                }
+            }
+        }
+        match worst {
+            Some((j, _)) if selected.len() > config.min_features => {
+                selected.remove(j);
+                rounds += 1;
+                fit = fit_full_rank(x, y, &mut selected)?;
+            }
+            _ => break,
+        }
+    }
+
+    Ok(StepwiseResult {
+        selected,
+        fit,
+        rounds,
+    })
+}
+
+/// Fits OLS over `[1 | x[:, selected]]`, greedily dropping columns (from the
+/// back) that make the design singular. Mutates `selected` to the surviving
+/// set.
+fn fit_full_rank(x: &Matrix, y: &[f64], selected: &mut Vec<usize>) -> Result<OlsFit, StatsError> {
+    loop {
+        if selected.is_empty() {
+            return Err(StatsError::Singular);
+        }
+        let design = x.select_cols(selected).with_intercept();
+        match OlsFit::fit(&design, y) {
+            Ok(fit) => return Ok(fit),
+            Err(StatsError::Singular) => {
+                // Drop the last column and retry: collinear counters are
+                // interchangeable, so which one survives is immaterial.
+                selected.pop();
+            }
+            Err(StatsError::InsufficientData { .. }) if selected.len() > 1 => {
+                selected.pop();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_noise(i: usize) -> f64 {
+        ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+    }
+
+    /// Build a problem where features `signal` drive y and the rest are noise.
+    fn problem(n: usize, p: usize, signal: &[usize]) -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let feats: Vec<f64> = (0..p).map(|j| det_noise(i * p + j) * 5.0).collect();
+            let mut v = 4.0 + 0.02 * det_noise(i * 131 + 17);
+            for (k, &s) in signal.iter().enumerate() {
+                v += (k as f64 + 1.5) * feats[s];
+            }
+            y.push(v);
+            rows.push(feats);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn eliminates_noise_keeps_signal() {
+        let (x, y) = problem(300, 10, &[1, 4, 7]);
+        let result = backward_eliminate(&x, &y, &StepwiseConfig::default()).unwrap();
+        assert_eq!(result.selected, vec![1, 4, 7]);
+        assert!(result.rounds >= 1);
+    }
+
+    #[test]
+    fn keeps_everything_when_all_significant() {
+        let (x, y) = problem(300, 3, &[0, 1, 2]);
+        let result = backward_eliminate(&x, &y, &StepwiseConfig::default()).unwrap();
+        assert_eq!(result.selected, vec![0, 1, 2]);
+        assert_eq!(result.rounds, 0);
+    }
+
+    #[test]
+    fn respects_min_features() {
+        // Pure-noise response: everything is insignificant, but we must
+        // retain at least `min_features`.
+        let (x, _) = problem(200, 5, &[]);
+        let y: Vec<f64> = (0..200).map(|i| 3.0 + det_noise(i * 997 + 13)).collect();
+        let result = backward_eliminate(
+            &x,
+            &y,
+            &StepwiseConfig {
+                alpha: 0.05,
+                min_features: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(result.selected.len(), 2);
+    }
+
+    #[test]
+    fn handles_duplicate_columns() {
+        // Columns 0 and 1 identical: the initial fit is singular and one of
+        // them must be dropped rather than erroring out.
+        let n = 100;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let v = det_noise(i) * 3.0;
+                vec![v, v, det_noise(i * 7 + 3)]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * det_noise(i) * 3.0 + 0.01 * det_noise(i * 13 + 5))
+            .collect();
+        let result = backward_eliminate(&x, &y, &StepwiseConfig::default()).unwrap();
+        assert!(result.selected.contains(&0) || result.selected.contains(&1));
+        assert!(!(result.selected.contains(&0) && result.selected.contains(&1)));
+    }
+
+    #[test]
+    fn rejects_invalid_alpha() {
+        let (x, y) = problem(50, 2, &[0]);
+        for alpha in [0.0, 1.0, -0.5, 1.5] {
+            let cfg = StepwiseConfig {
+                alpha,
+                min_features: 1,
+            };
+            assert!(backward_eliminate(&x, &y, &cfg).is_err(), "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn final_fit_predicts_well() {
+        let (x, y) = problem(300, 8, &[2, 5]);
+        let result = backward_eliminate(&x, &y, &StepwiseConfig::default()).unwrap();
+        let design = x.select_cols(&result.selected).with_intercept();
+        let preds = result.fit.predict(&design).unwrap();
+        let r2 = crate::metrics::r_squared(&preds, &y).unwrap();
+        assert!(r2 > 0.99, "r2 = {r2}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the statistical substrate.
+
+use chaos_stats::lasso::{LassoConfig, LassoFit};
+use chaos_stats::ols::OlsFit;
+use chaos_stats::{corr, describe, metrics, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned regression problem with n rows, p columns
+/// (p < n), bounded entries.
+fn regression_problem() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (4usize..8, 30usize..60).prop_flat_map(|(p, n)| {
+        (
+            proptest::collection::vec(-10.0..10.0f64, n * p),
+            proptest::collection::vec(-100.0..100.0f64, n),
+        )
+            .prop_map(move |(data, y)| {
+                let mut m = Matrix::zeros(n, p + 1);
+                for i in 0..n {
+                    m.set(i, 0, 1.0);
+                    for j in 0..p {
+                        // Add a diagonal-ish nudge so the matrix is almost
+                        // surely full rank.
+                        let v = data[i * p + j] + if i % (p + 1) == j { 0.37 } else { 0.0 };
+                        m.set(i, j + 1, v);
+                    }
+                }
+                (m, y)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QR least squares satisfies the normal equations: Xᵀ(y − Xβ) ≈ 0.
+    #[test]
+    fn qr_satisfies_normal_equations((x, y) in regression_problem()) {
+        if let Ok(beta) = x.solve_least_squares(&y) {
+            let fitted = x.matvec(&beta).unwrap();
+            let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+            let scale = y.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            for j in 0..x.cols() {
+                let dot: f64 = (0..x.rows()).map(|i| x.get(i, j) * resid[i]).sum();
+                prop_assert!(
+                    dot.abs() < 1e-6 * scale * x.rows() as f64,
+                    "normal equation violated at column {j}: {dot}"
+                );
+            }
+        }
+    }
+
+    /// OLS residuals never exceed the residuals of the zero model.
+    #[test]
+    fn ols_beats_mean_predictor((x, y) in regression_problem()) {
+        if let Ok(fit) = OlsFit::fit(&x, &y) {
+            let fitted = fit.predict(&x).unwrap();
+            let rss: f64 = y.iter().zip(&fitted).map(|(a, b)| (a - b).powi(2)).sum();
+            let mean = describe::mean(&y);
+            let tss: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+            prop_assert!(rss <= tss * (1.0 + 1e-9), "rss {rss} > tss {tss}");
+            prop_assert!(fit.r_squared() >= -1e-9);
+        }
+    }
+
+    /// The lasso with huge λ always produces the empty support, and its
+    /// L1 norm decreases monotonically in λ.
+    #[test]
+    fn lasso_l1_norm_monotone((x, y) in regression_problem()) {
+        // Strip the intercept column; the lasso adds its own.
+        let cols: Vec<usize> = (1..x.cols()).collect();
+        let xf = x.select_cols(&cols);
+        let norm_at = |lambda: f64| -> Option<f64> {
+            LassoFit::fit(&xf, &y, &LassoConfig { lambda, ..LassoConfig::default() })
+                .ok()
+                .map(|f| f.coefficients().iter().map(|c| c.abs()).sum())
+        };
+        if let (Some(lo), Some(mid), Some(hi)) = (norm_at(0.01), norm_at(1.0), norm_at(100.0)) {
+            prop_assert!(mid <= lo + 1e-6, "{mid} > {lo}");
+            prop_assert!(hi <= mid + 1e-6, "{hi} > {mid}");
+        }
+    }
+
+    /// Pearson correlation is symmetric, bounded, and scale-invariant.
+    #[test]
+    fn pearson_properties(
+        a in proptest::collection::vec(-50.0..50.0f64, 10..40),
+        scale in 0.1..10.0f64,
+        shift in -5.0..5.0f64,
+    ) {
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v * ((i % 3) as f64 - 1.0)).collect();
+        let r1 = corr::pearson(&a, &b).unwrap();
+        let r2 = corr::pearson(&b, &a).unwrap();
+        prop_assert!((r1 - r2).abs() < 1e-12);
+        prop_assert!(r1.abs() <= 1.0 + 1e-12);
+        // Affine transformation with positive scale preserves r.
+        let a2: Vec<f64> = a.iter().map(|v| v * scale + shift).collect();
+        let r3 = corr::pearson(&a2, &b).unwrap();
+        prop_assert!((r1 - r3).abs() < 1e-8, "{r1} vs {r3}");
+    }
+
+    /// DRE scales inversely with the dynamic range and is invariant to a
+    /// common shift of both series.
+    #[test]
+    fn dre_properties(
+        base in proptest::collection::vec(10.0..100.0f64, 5..50),
+        err in proptest::collection::vec(-5.0..5.0f64, 5..50),
+        shift in -50.0..50.0f64,
+    ) {
+        let n = base.len().min(err.len());
+        let actual: Vec<f64> = base[..n].to_vec();
+        let pred: Vec<f64> = (0..n).map(|i| actual[i] + err[i]).collect();
+        let d1 = metrics::dynamic_range_error(&pred, &actual, 120.0, 20.0).unwrap();
+        let d2 = metrics::dynamic_range_error(&pred, &actual, 220.0, 20.0).unwrap();
+        prop_assert!((d1 - 2.0 * d2).abs() < 1e-9, "halving range doubles DRE");
+        let shifted_a: Vec<f64> = actual.iter().map(|v| v + shift).collect();
+        let shifted_p: Vec<f64> = pred.iter().map(|v| v + shift).collect();
+        let d3 = metrics::dynamic_range_error(&shifted_p, &shifted_a, 120.0, 20.0).unwrap();
+        prop_assert!((d1 - d3).abs() < 1e-9, "common shift changes DRE");
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(xs in proptest::collection::vec(-1e3..1e3f64, 1..60)) {
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = describe::quantile(&xs, q);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert!((describe::quantile(&xs, 0.0) - describe::min(&xs)).abs() < 1e-12);
+        prop_assert!((describe::quantile(&xs, 1.0) - describe::max(&xs)).abs() < 1e-12);
+    }
+
+    /// Matrix transpose distributes over products: (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_of_product(
+        a in proptest::collection::vec(-9.0..9.0f64, 12),
+        b in proptest::collection::vec(-9.0..9.0f64, 12),
+    ) {
+        let ma = Matrix::from_vec(3, 4, a).unwrap();
+        let mb = Matrix::from_vec(4, 3, b).unwrap();
+        let left = ma.matmul(&mb).unwrap().transpose();
+        let right = mb.transpose().matmul(&ma.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((left.get(i, j) - right.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The paper's four MapReduce-style workloads, as job generators.
+//!
+//! Each generator reproduces the characterization in Section III-A:
+//!
+//! | Workload  | Paper characterization                                      |
+//! |-----------|-------------------------------------------------------------|
+//! | Sort      | 4 GB/machine, 100-byte records; high disk & network         |
+//! | PageRank  | ClueWeb09-scale ranking; network-heavy, 800+ tasks, longest |
+//! | Prime     | ~1 M primality checks per partition; CPU-bound, little net  |
+//! | WordCount | 500 MB text per partition; little network or disk           |
+
+use crate::job::{Job, Stage};
+use crate::task::{TaskPhase, TaskProfile, TaskTemplate};
+use chaos_sim::ResourceDemand;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four evaluation workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Distributed sort: disk- and network-heavy.
+    Sort,
+    /// Iterative PageRank: network-heavy, 800+ tasks, longest runtime.
+    PageRank,
+    /// Primality testing: CPU-bound, negligible I/O.
+    Prime,
+    /// Word counting: CPU-moderate, little disk or network.
+    WordCount,
+}
+
+impl Workload {
+    /// All four workloads, in the paper's order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Sort,
+        Workload::PageRank,
+        Workload::Prime,
+        Workload::WordCount,
+    ];
+
+    /// Stable lowercase name for file paths and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Sort => "sort",
+            Workload::PageRank => "pagerank",
+            Workload::Prime => "prime",
+            Workload::WordCount => "wordcount",
+        }
+    }
+
+    /// Builds the job for a cluster of `cluster_size` machines. Task
+    /// counts scale with the cluster so per-machine work stays constant,
+    /// matching the paper's heterogeneous-cluster methodology ("we scaled
+    /// up the test data sets to maintain constant amounts of data and work
+    /// per machine").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_size == 0`.
+    pub fn job(self, cluster_size: usize) -> Job {
+        assert!(cluster_size > 0, "cluster_size must be positive");
+        let n = cluster_size;
+        match self {
+            Workload::Sort => sort_job(n),
+            Workload::PageRank => pagerank_job(n),
+            Workload::Prime => prime_job(n),
+            Workload::WordCount => wordcount_job(n),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn demand(
+    cpu: f64,
+    disk_read: f64,
+    disk_write: f64,
+    net_rx: f64,
+    net_tx: f64,
+    mem_bw: f64,
+) -> ResourceDemand {
+    ResourceDemand {
+        cpu_cores: cpu,
+        disk_read_bytes: disk_read,
+        disk_write_bytes: disk_write,
+        net_rx_bytes: net_rx,
+        net_tx_bytes: net_tx,
+        mem_bandwidth_frac: mem_bw,
+        mem_committed_frac: 0.12,
+        runnable_tasks: 1.0,
+    }
+}
+
+/// Sort: read partitions from disk, range-shuffle over the network, merge
+/// back to disk. 4 GB per machine at 100-byte records.
+fn sort_job(n: usize) -> Job {
+    // Map: read + partition. CPU modest, disk-read heavy.
+    let map = TaskTemplate::new(
+        TaskProfile::new(vec![
+            TaskPhase {
+                fraction: 0.7,
+                demand: demand(0.55, 45e6, 2e6, 0.0, 0.0, 0.30),
+            },
+            TaskPhase {
+                fraction: 0.3,
+                demand: demand(0.40, 20e6, 12e6, 3e6, 3e6, 0.20),
+            },
+        ]),
+        45.0,
+    );
+    // Shuffle: all-to-all exchange.
+    let shuffle = TaskTemplate::new(
+        TaskProfile::constant(demand(0.35, 4e6, 15e6, 32e6, 32e6, 0.18)),
+        40.0,
+    );
+    // Merge: sorted runs back to disk.
+    let merge = TaskTemplate::new(
+        TaskProfile::new(vec![
+            TaskPhase {
+                fraction: 0.5,
+                demand: demand(0.55, 25e6, 40e6, 0.0, 0.0, 0.30),
+            },
+            TaskPhase {
+                fraction: 0.5,
+                demand: demand(0.45, 10e6, 55e6, 0.0, 0.0, 0.22),
+            },
+        ]),
+        50.0,
+    );
+    Job::new(
+        "sort",
+        vec![
+            Stage::new("map", vec![map; 4 * n]),
+            Stage::new("shuffle", vec![shuffle; 4 * n]),
+            Stage::new("merge", vec![merge; 2 * n]),
+        ],
+    )
+}
+
+/// PageRank: iterative rank propagation over a web graph; each iteration
+/// is a compute stage plus a network-heavy exchange stage. Over 800 tasks
+/// on a 5-machine cluster; the longest workload with the most power
+/// variation.
+fn pagerank_job(n: usize) -> Job {
+    let compute = TaskTemplate::new(
+        TaskProfile::new(vec![
+            TaskPhase {
+                fraction: 0.25,
+                demand: demand(0.50, 8e6, 0.0, 10e6, 2e6, 0.30),
+            },
+            TaskPhase {
+                fraction: 0.75,
+                demand: demand(0.85, 1e6, 0.0, 6e6, 6e6, 0.40),
+            },
+        ]),
+        10.0,
+    );
+    let exchange = TaskTemplate::new(
+        TaskProfile::constant(demand(0.30, 0.0, 3e6, 30e6, 30e6, 0.15)),
+        7.0,
+    );
+    let iterations = 10;
+    let mut stages = Vec::with_capacity(2 * iterations);
+    for i in 0..iterations {
+        stages.push(Stage::new(
+            format!("rank-{i}"),
+            vec![compute.clone(); 11 * n],
+        ));
+        stages.push(Stage::new(
+            format!("exchange-{i}"),
+            vec![exchange.clone(); 6 * n],
+        ));
+    }
+    Job::new("pagerank", stages)
+}
+
+/// Prime: primality checks over ~1 M numbers per partition. Pure CPU with
+/// a short result-emission tail.
+fn prime_job(n: usize) -> Job {
+    let check = TaskTemplate::new(
+        TaskProfile::new(vec![
+            TaskPhase {
+                fraction: 0.95,
+                demand: demand(0.97, 0.0, 0.0, 0.0, 0.0, 0.12),
+            },
+            TaskPhase {
+                fraction: 0.05,
+                demand: demand(0.30, 0.0, 2e6, 0.5e6, 0.5e6, 0.05),
+            },
+        ]),
+        55.0,
+    );
+    Job::new("prime", vec![Stage::new("check", vec![check; 6 * n])])
+}
+
+/// WordCount: stream 500 MB of text per partition and tally words. Light
+/// disk, nearly no network.
+fn wordcount_job(n: usize) -> Job {
+    let map = TaskTemplate::new(
+        TaskProfile::constant(demand(0.80, 14e6, 0.5e6, 0.0, 0.0, 0.35)),
+        35.0,
+    );
+    let reduce = TaskTemplate::new(
+        TaskProfile::constant(demand(0.50, 1e6, 4e6, 2e6, 2e6, 0.15)),
+        20.0,
+    );
+    Job::new(
+        "wordcount",
+        vec![
+            Stage::new("map", vec![map; 4 * n]),
+            Stage::new("reduce", vec![reduce; n]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Workload::Sort.name(), "sort");
+        assert_eq!(Workload::PageRank.to_string(), "pagerank");
+        assert_eq!(Workload::ALL.len(), 4);
+    }
+
+    #[test]
+    fn pagerank_has_over_800_tasks_on_5_machines() {
+        let job = Workload::PageRank.job(5);
+        assert!(job.total_tasks() > 800, "tasks = {}", job.total_tasks());
+    }
+
+    #[test]
+    fn pagerank_has_most_serial_work() {
+        for w in [Workload::Sort, Workload::Prime, Workload::WordCount] {
+            assert!(
+                Workload::PageRank.job(5).serial_work_s() > w.job(5).serial_work_s(),
+                "{w}"
+            );
+        }
+    }
+
+    #[test]
+    fn prime_is_cpu_dominated() {
+        let job = Workload::Prime.job(5);
+        for stage in &job.stages {
+            for task in &stage.tasks {
+                let main = &task.profile.phases()[0].demand;
+                assert!(main.cpu_cores > 0.9);
+                assert!(main.net_rx_bytes + main.net_tx_bytes < 1e6);
+                assert!(main.disk_read_bytes + main.disk_write_bytes < 1e6);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_is_io_dominated() {
+        let job = Workload::Sort.job(5);
+        let mut disk_bytes = 0.0;
+        let mut net_bytes = 0.0;
+        for stage in &job.stages {
+            for task in &stage.tasks {
+                for phase in task.profile.phases() {
+                    let d = &phase.demand;
+                    let secs = task.duration_s * phase.fraction;
+                    disk_bytes += (d.disk_read_bytes + d.disk_write_bytes) * secs;
+                    net_bytes += (d.net_rx_bytes + d.net_tx_bytes) * secs;
+                }
+            }
+        }
+        assert!(disk_bytes > 50e9, "sort should move tens of GB on disk");
+        assert!(net_bytes > 10e9, "sort should shuffle GBs over the net");
+    }
+
+    #[test]
+    fn wordcount_has_little_network() {
+        let job = Workload::WordCount.job(5);
+        let map = &job.stages[0].tasks[0];
+        let d = &map.profile.phases()[0].demand;
+        assert_eq!(d.net_rx_bytes + d.net_tx_bytes, 0.0);
+        assert!(d.cpu_cores > 0.5);
+    }
+
+    #[test]
+    fn tasks_scale_with_cluster_size() {
+        for w in Workload::ALL {
+            let t5 = w.job(5).total_tasks();
+            let t10 = w.job(10).total_tasks();
+            assert_eq!(t10, 2 * t5, "{w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cluster_rejected() {
+        Workload::Sort.job(0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Jobs and stages: the Dryad-style dataflow skeleton.
+
+use crate::task::TaskTemplate;
+use serde::{Deserialize, Serialize};
+
+/// A stage is a set of tasks separated from the next stage by a barrier:
+/// every task of stage *k* must finish before stage *k+1* may start (the
+/// shuffle boundary of a MapReduce round).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Human-readable stage label ("map", "shuffle", "reduce", …).
+    pub name: String,
+    /// Tasks of the stage, in submission order.
+    pub tasks: Vec<TaskTemplate>,
+}
+
+impl Stage {
+    /// Creates a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn new(name: impl Into<String>, tasks: Vec<TaskTemplate>) -> Self {
+        assert!(!tasks.is_empty(), "stage needs at least one task");
+        Stage {
+            name: name.into(),
+            tasks,
+        }
+    }
+
+    /// Number of tasks in the stage.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// A job is an ordered list of stages (a linear DAG, which covers the four
+/// paper workloads; Dryad generality beyond that is not needed here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Workload name, for labeling traces.
+    pub name: String,
+    /// Stages in barrier order.
+    pub stages: Vec<Stage>,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "job needs at least one stage");
+        Job {
+            name: name.into(),
+            stages,
+        }
+    }
+
+    /// Total task count across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(Stage::task_count).sum()
+    }
+
+    /// Sum of nominal task durations (serial work, seconds) — an upper
+    /// bound proxy for job length used in tests.
+    pub fn serial_work_s(&self) -> f64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.tasks)
+            .map(|t| t.duration_s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskProfile;
+    use chaos_sim::ResourceDemand;
+
+    fn template(d: f64) -> TaskTemplate {
+        TaskTemplate::new(TaskProfile::constant(ResourceDemand::cpu_only(1.0)), d)
+    }
+
+    #[test]
+    fn job_counts_tasks() {
+        let job = Job::new(
+            "test",
+            vec![
+                Stage::new("map", vec![template(10.0), template(12.0)]),
+                Stage::new("reduce", vec![template(5.0)]),
+            ],
+        );
+        assert_eq!(job.total_tasks(), 3);
+        assert_eq!(job.serial_work_s(), 27.0);
+        assert_eq!(job.stages[0].task_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_stage_rejected() {
+        Stage::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_job_rejected() {
+        Job::new("empty", vec![]);
+    }
+}

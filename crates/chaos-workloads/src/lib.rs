@@ -1,0 +1,49 @@
+//! MapReduce-style workload generation: the Dryad/DryadLINQ substitute.
+//!
+//! The CHAOS paper drives its clusters with four distributed
+//! MapReduce-style workloads on Dryad — Sort, PageRank, Prime, and
+//! WordCount — whose "power signatures differ greatly due to differing
+//! application characteristics" (Figure 1). The models never see the
+//! applications themselves, only the per-second resource activity they
+//! induce on each machine, so this crate reproduces exactly that:
+//!
+//! * [`Job`]s are DAGs of stages with barrier dependencies; each stage
+//!   holds tasks with phase-structured resource profiles ([`TaskProfile`]).
+//! * A slot-based [`scheduler`] places tasks nondeterministically (seeded)
+//!   across machines — the paper notes "different machines may operate on
+//!   different data partitions depending on the non-deterministic task
+//!   scheduler", which is why CHAOS trains and tests on separate runs.
+//! * The four [`Workload`] generators match the paper's characterization:
+//!   **Sort** (4 GB/machine, disk- and network-heavy), **PageRank**
+//!   (800+ tasks, network-heavy, longest run, most power variation),
+//!   **Prime** (CPU-bound, little traffic), **WordCount** (CPU-moderate,
+//!   little disk or network traffic).
+//!
+//! The output is a [`DemandTrace`]: one [`chaos_sim::ResourceDemand`] per
+//! machine per second, ready to feed through the machine simulator and
+//! counter synthesizer.
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_sim::{Cluster, Platform};
+//! use chaos_workloads::{simulate, SimConfig, Workload};
+//!
+//! let cluster = Cluster::homogeneous(Platform::Core2, 5, 1);
+//! let trace = simulate(&cluster, Workload::Prime, &SimConfig::quick(), 99);
+//! assert_eq!(trace.machines(), 5);
+//! assert!(trace.seconds() > 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod job;
+pub mod scheduler;
+pub mod task;
+
+pub use generators::Workload;
+pub use job::{Job, Stage};
+pub use scheduler::{simulate, DemandTrace, SimConfig};
+pub use task::{TaskPhase, TaskProfile, TaskTemplate};

@@ -1,0 +1,411 @@
+//! Slot-based, nondeterministic task scheduler and the 1 Hz demand trace
+//! it produces.
+//!
+//! Mirrors the behaviour the paper attributes to Dryad's scheduler: task
+//! placement differs run to run ("even for the same data set, different
+//! machines may operate on different data partitions depending on the
+//! non-deterministic task scheduler"), task durations vary, and a stage
+//! cannot start until the previous stage's barrier clears.
+
+use crate::job::Job;
+use chaos_sim::{Cluster, ResourceDemand};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Scheduler and trace-shape configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Task slots per machine, as a multiple of core count (Dryad default
+    /// is ~1 vertex per core).
+    pub slots_per_core: f64,
+    /// Idle seconds recorded before the job starts.
+    pub lead_in_s: usize,
+    /// Idle seconds recorded after the job completes.
+    pub lead_out_s: usize,
+    /// Std-dev of task duration jitter as a fraction of nominal duration.
+    pub duration_jitter: f64,
+    /// Probability that a task is a straggler (runs ~2× nominal).
+    pub straggler_prob: f64,
+    /// Fraction of placements that ignore load and pick a random machine.
+    pub random_placement_prob: f64,
+    /// Hard cap on simulated seconds (safety against runaway jobs).
+    pub max_seconds: usize,
+}
+
+impl SimConfig {
+    /// Paper-shaped default: modest idle bookends, 15% duration jitter,
+    /// occasional stragglers.
+    pub fn paper() -> Self {
+        SimConfig {
+            slots_per_core: 1.0,
+            lead_in_s: 15,
+            lead_out_s: 15,
+            duration_jitter: 0.15,
+            straggler_prob: 0.04,
+            random_placement_prob: 0.15,
+            max_seconds: 100_000,
+        }
+    }
+
+    /// Shorter bookends for fast tests.
+    pub fn quick() -> Self {
+        SimConfig {
+            lead_in_s: 5,
+            lead_out_s: 5,
+            ..SimConfig::paper()
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper()
+    }
+}
+
+/// A 1 Hz per-machine resource-demand trace for one job run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandTrace {
+    /// Workload name the trace came from.
+    pub workload: String,
+    /// `per_machine[m][t]` is machine `m`'s demand in second `t`.
+    per_machine: Vec<Vec<ResourceDemand>>,
+}
+
+impl DemandTrace {
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.per_machine.len()
+    }
+
+    /// Trace length in seconds (equal for every machine).
+    pub fn seconds(&self) -> usize {
+        self.per_machine.first().map_or(0, Vec::len)
+    }
+
+    /// The demand series for machine `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn machine(&self, m: usize) -> &[ResourceDemand] {
+        &self.per_machine[m]
+    }
+
+    /// Iterates over `(machine_index, demands)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[ResourceDemand])> {
+        self.per_machine.iter().enumerate().map(|(i, v)| (i, v.as_slice()))
+    }
+}
+
+/// A task in flight on some machine.
+struct RunningTask {
+    template_idx: (usize, usize),
+    elapsed_s: f64,
+    duration_s: f64,
+}
+
+/// Simulates one run of `job` on `cluster`, returning the per-machine
+/// 1 Hz demand trace. `seed` controls placement, duration jitter, and
+/// stragglers: two runs with different seeds partition work differently,
+/// exactly the property the paper's train/test split relies on.
+///
+/// # Panics
+///
+/// Panics if the cluster is empty (checked at cluster construction) or the
+/// job exceeds `config.max_seconds`.
+pub fn simulate(cluster: &Cluster, job: impl Into<JobSource>, config: &SimConfig, seed: u64) -> DemandTrace {
+    let job = job.into().build(cluster.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n_machines = cluster.len();
+    let slots: Vec<usize> = cluster
+        .machines()
+        .iter()
+        .map(|m| ((m.spec().cores as f64 * config.slots_per_core).round() as usize).max(1))
+        .collect();
+
+    let mut trace: Vec<Vec<ResourceDemand>> = vec![Vec::new(); n_machines];
+    let mut running: Vec<Vec<RunningTask>> = (0..n_machines).map(|_| Vec::new()).collect();
+
+    // Idle lead-in.
+    for _ in 0..config.lead_in_s {
+        for m in trace.iter_mut() {
+            m.push(background_demand(&mut rng));
+        }
+    }
+
+    for (stage_idx, stage) in job.stages.iter().enumerate() {
+        // Pending queue for this stage, shuffled for placement variety.
+        let mut pending: Vec<usize> = (0..stage.tasks.len()).collect();
+        pending.shuffle(&mut rng);
+        let mut pending = std::collections::VecDeque::from(pending);
+
+        loop {
+            // Fill free slots.
+            while let Some(&task_idx) = pending.front() {
+                let Some(machine) = pick_machine(&running, &slots, config, &mut rng) else {
+                    break;
+                };
+                pending.pop_front();
+                let t = &stage.tasks[task_idx];
+                let jitter = 1.0 + config.duration_jitter * gauss(&mut rng);
+                let straggle = if rng.gen_bool(config.straggler_prob) {
+                    2.0
+                } else {
+                    1.0
+                };
+                running[machine].push(RunningTask {
+                    template_idx: (stage_idx, task_idx),
+                    elapsed_s: 0.0,
+                    duration_s: (t.duration_s * jitter.max(0.3) * straggle).max(1.0),
+                });
+            }
+
+            let any_running = running.iter().any(|r| !r.is_empty());
+            if !any_running && pending.is_empty() {
+                break; // barrier cleared
+            }
+
+            // Record this second's demand and advance tasks.
+            for (mi, tasks) in running.iter_mut().enumerate() {
+                let mut demand = background_demand(&mut rng);
+                for t in tasks.iter() {
+                    let progress = t.elapsed_s / t.duration_s;
+                    let (si, ti) = t.template_idx;
+                    let d = job.stages[si].tasks[ti].profile.demand_at(progress);
+                    // Partial seconds at the end of a task scale its rates.
+                    let remaining = (t.duration_s - t.elapsed_s).min(1.0);
+                    demand = demand.combined(&d.scaled(remaining));
+                }
+                trace[mi].push(demand);
+                for t in tasks.iter_mut() {
+                    t.elapsed_s += 1.0;
+                }
+                tasks.retain(|t| t.elapsed_s < t.duration_s);
+            }
+
+            assert!(
+                trace[0].len() <= config.max_seconds,
+                "job '{}' exceeded max_seconds = {}",
+                job.name,
+                config.max_seconds
+            );
+        }
+    }
+
+    // Idle lead-out.
+    for _ in 0..config.lead_out_s {
+        for m in trace.iter_mut() {
+            m.push(background_demand(&mut rng));
+        }
+    }
+
+    DemandTrace {
+        workload: job.name.clone(),
+        per_machine: trace,
+    }
+}
+
+/// Something that can produce a [`Job`] for a cluster of a given size:
+/// either a prebuilt job or a [`crate::Workload`] generator.
+pub enum JobSource {
+    /// An explicit job.
+    Job(Job),
+    /// A named workload generator.
+    Workload(crate::Workload),
+}
+
+impl JobSource {
+    fn build(self, cluster_size: usize) -> Job {
+        match self {
+            JobSource::Job(j) => j,
+            JobSource::Workload(w) => w.job(cluster_size),
+        }
+    }
+}
+
+impl From<Job> for JobSource {
+    fn from(j: Job) -> Self {
+        JobSource::Job(j)
+    }
+}
+
+impl From<crate::Workload> for JobSource {
+    fn from(w: crate::Workload) -> Self {
+        JobSource::Workload(w)
+    }
+}
+
+/// Background OS activity: a trickle of CPU and occasional cache flush.
+fn background_demand<R: Rng + ?Sized>(rng: &mut R) -> ResourceDemand {
+    ResourceDemand {
+        cpu_cores: rng.gen_range(0.005..0.04),
+        disk_write_bytes: if rng.gen_bool(0.08) {
+            rng.gen_range(50e3..500e3)
+        } else {
+            0.0
+        },
+        mem_committed_frac: 0.08,
+        runnable_tasks: 0.0,
+        ..ResourceDemand::idle()
+    }
+}
+
+/// Chooses the machine for the next task: usually the least-loaded (by
+/// free slots), sometimes uniformly random — Dryad-ish nondeterminism.
+/// Returns `None` when every slot is busy.
+fn pick_machine<R: Rng + ?Sized>(
+    running: &[Vec<RunningTask>],
+    slots: &[usize],
+    config: &SimConfig,
+    rng: &mut R,
+) -> Option<usize> {
+    let free: Vec<usize> = (0..running.len())
+        .filter(|&m| running[m].len() < slots[m])
+        .collect();
+    if free.is_empty() {
+        return None;
+    }
+    if rng.gen_bool(config.random_placement_prob) {
+        return free.as_slice().choose(rng).copied();
+    }
+    free.iter()
+        .copied()
+        .min_by_key(|&m| (running[m].len() * 1000) / slots[m].max(1))
+}
+
+/// Approximate standard normal from the sum of uniforms.
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (0..6).map(|_| rng.gen_range(-1.0..1.0_f64)).sum::<f64>() / 2.0_f64.sqrt() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Stage;
+    use crate::task::{TaskProfile, TaskTemplate};
+    use chaos_sim::Platform;
+
+    fn tiny_job(tasks: usize, dur: f64) -> Job {
+        let t = TaskTemplate::new(TaskProfile::constant(ResourceDemand::cpu_only(1.0)), dur);
+        Job::new("tiny", vec![Stage::new("only", vec![t; tasks])])
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(Platform::Core2, 4, 3)
+    }
+
+    #[test]
+    fn trace_has_equal_length_rows_and_bookends() {
+        let cfg = SimConfig::quick();
+        let trace = simulate(&cluster(), tiny_job(8, 20.0), &cfg, 1);
+        assert_eq!(trace.machines(), 4);
+        let len = trace.seconds();
+        for (_, row) in trace.iter() {
+            assert_eq!(row.len(), len);
+        }
+        assert!(len >= cfg.lead_in_s + cfg.lead_out_s + 20);
+        // Lead-in is idle-ish.
+        assert!(trace.machine(0)[0].cpu_cores < 0.05);
+    }
+
+    #[test]
+    fn different_seeds_place_differently() {
+        let cfg = SimConfig::quick();
+        let a = simulate(&cluster(), tiny_job(6, 30.0), &cfg, 1);
+        let b = simulate(&cluster(), tiny_job(6, 30.0), &cfg, 2);
+        // Busy-second signatures should differ for at least one machine.
+        let busy = |t: &DemandTrace, m: usize| {
+            t.machine(m).iter().filter(|d| d.cpu_cores > 0.5).count()
+        };
+        let diff = (0..4).any(|m| busy(&a, m) != busy(&b, m));
+        assert!(diff, "seeds produced identical placements");
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let cfg = SimConfig::quick();
+        let a = simulate(&cluster(), tiny_job(6, 25.0), &cfg, 7);
+        let b = simulate(&cluster(), tiny_job(6, 25.0), &cfg, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slots_bound_parallelism() {
+        // 4 machines × 2 cores = 8 slots; 16 one-core tasks of 30 s must
+        // take at least ~60 s of busy time.
+        let cfg = SimConfig {
+            duration_jitter: 0.0,
+            straggler_prob: 0.0,
+            ..SimConfig::quick()
+        };
+        let trace = simulate(&cluster(), tiny_job(16, 30.0), &cfg, 5);
+        let busy_len = trace.seconds() - cfg.lead_in_s - cfg.lead_out_s;
+        assert!(busy_len >= 58, "busy_len = {busy_len}");
+        // And no machine ever demands more than its slots.
+        for (_, row) in trace.iter() {
+            for d in row {
+                assert!(d.cpu_cores <= 2.1, "demand {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stages_respect_barriers() {
+        // Stage 1: pure CPU; stage 2: pure network. A second with both
+        // high CPU and high net would indicate a barrier violation.
+        let cpu = TaskTemplate::new(TaskProfile::constant(ResourceDemand::cpu_only(1.0)), 20.0);
+        let net = TaskTemplate::new(
+            TaskProfile::constant(ResourceDemand {
+                net_rx_bytes: 50e6,
+                ..ResourceDemand::idle()
+            }),
+            20.0,
+        );
+        let job = Job::new(
+            "barrier",
+            vec![Stage::new("cpu", vec![cpu; 4]), Stage::new("net", vec![net; 4])],
+        );
+        let cfg = SimConfig {
+            straggler_prob: 0.0,
+            ..SimConfig::quick()
+        };
+        let trace = simulate(&cluster(), job, &cfg, 11);
+        for (_, row) in trace.iter() {
+            for d in row {
+                assert!(
+                    !(d.cpu_cores > 0.5 && d.net_rx_bytes > 1e6),
+                    "cpu and net stages overlapped: {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stragglers_extend_runtime() {
+        let base = SimConfig {
+            duration_jitter: 0.0,
+            straggler_prob: 0.0,
+            ..SimConfig::quick()
+        };
+        let with_stragglers = SimConfig {
+            straggler_prob: 1.0,
+            ..base
+        };
+        let a = simulate(&cluster(), tiny_job(8, 20.0), &base, 3);
+        let b = simulate(&cluster(), tiny_job(8, 20.0), &with_stragglers, 3);
+        assert!(b.seconds() > a.seconds());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded max_seconds")]
+    fn runaway_jobs_are_capped() {
+        let cfg = SimConfig {
+            max_seconds: 10,
+            ..SimConfig::quick()
+        };
+        simulate(&cluster(), tiny_job(4, 100.0), &cfg, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Task templates and phase-structured resource profiles.
+
+use chaos_sim::ResourceDemand;
+use serde::{Deserialize, Serialize};
+
+/// One phase of a task's life: a fraction of its duration with a constant
+/// per-second resource demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskPhase {
+    /// Fraction of the task duration this phase occupies (phases must sum
+    /// to 1).
+    pub fraction: f64,
+    /// Resource demand per second while in this phase.
+    pub demand: ResourceDemand,
+}
+
+/// A task's resource behaviour over its lifetime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    phases: Vec<TaskPhase>,
+}
+
+impl TaskProfile {
+    /// Builds a profile from phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or the fractions do not sum to ≈1.
+    pub fn new(phases: Vec<TaskPhase>) -> Self {
+        assert!(!phases.is_empty(), "profile needs at least one phase");
+        let total: f64 = phases.iter().map(|p| p.fraction).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "phase fractions sum to {total}, expected 1"
+        );
+        TaskProfile { phases }
+    }
+
+    /// A single-phase profile with constant demand.
+    pub fn constant(demand: ResourceDemand) -> Self {
+        TaskProfile {
+            phases: vec![TaskPhase {
+                fraction: 1.0,
+                demand,
+            }],
+        }
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[TaskPhase] {
+        &self.phases
+    }
+
+    /// Demand at a progress point `p ∈ [0, 1)` through the task.
+    pub fn demand_at(&self, progress: f64) -> ResourceDemand {
+        let p = progress.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for phase in &self.phases {
+            acc += phase.fraction;
+            if p < acc {
+                return phase.demand;
+            }
+        }
+        self.phases.last().expect("non-empty phases").demand
+    }
+}
+
+/// A schedulable task: profile plus nominal duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTemplate {
+    /// The task's resource profile.
+    pub profile: TaskProfile,
+    /// Nominal duration in seconds (the scheduler adds run-to-run jitter
+    /// and stragglers).
+    pub duration_s: f64,
+}
+
+impl TaskTemplate {
+    /// Creates a template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not positive.
+    pub fn new(profile: TaskProfile, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "duration must be positive");
+        TaskTemplate {
+            profile,
+            duration_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(cpu: f64) -> ResourceDemand {
+        ResourceDemand::cpu_only(cpu)
+    }
+
+    #[test]
+    fn constant_profile_is_uniform() {
+        let p = TaskProfile::constant(demand(0.9));
+        assert_eq!(p.demand_at(0.0).cpu_cores, 0.9);
+        assert_eq!(p.demand_at(0.5).cpu_cores, 0.9);
+        assert_eq!(p.demand_at(1.0).cpu_cores, 0.9);
+    }
+
+    #[test]
+    fn phased_profile_switches_at_boundaries() {
+        let p = TaskProfile::new(vec![
+            TaskPhase {
+                fraction: 0.25,
+                demand: demand(0.2),
+            },
+            TaskPhase {
+                fraction: 0.75,
+                demand: demand(1.0),
+            },
+        ]);
+        assert_eq!(p.demand_at(0.1).cpu_cores, 0.2);
+        assert_eq!(p.demand_at(0.3).cpu_cores, 1.0);
+        assert_eq!(p.demand_at(0.99).cpu_cores, 1.0);
+    }
+
+    #[test]
+    fn demand_clamps_out_of_range_progress() {
+        let p = TaskProfile::constant(demand(0.5));
+        assert_eq!(p.demand_at(-1.0).cpu_cores, 0.5);
+        assert_eq!(p.demand_at(2.0).cpu_cores, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn bad_fractions_rejected() {
+        TaskProfile::new(vec![TaskPhase {
+            fraction: 0.5,
+            demand: demand(1.0),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_profile_rejected() {
+        TaskProfile::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_rejected() {
+        TaskTemplate::new(TaskProfile::constant(demand(1.0)), 0.0);
+    }
+}

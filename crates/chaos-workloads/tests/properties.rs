@@ -1,0 +1,79 @@
+//! Property-based tests for the workload scheduler.
+
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{simulate, SimConfig, Workload};
+use proptest::prelude::*;
+
+fn any_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::Sort),
+        Just(Workload::Prime),
+        Just(Workload::WordCount),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Demand traces are rectangular, bounded by machine capacity, and
+    /// bookended with idle.
+    #[test]
+    fn trace_shape_invariants(w in any_workload(), seed in 0u64..50, n in 2usize..5) {
+        let cluster = Cluster::homogeneous(Platform::Core2, n, 3);
+        let cfg = SimConfig::quick();
+        let trace = simulate(&cluster, w, &cfg, seed);
+        prop_assert_eq!(trace.machines(), n);
+        let len = trace.seconds();
+        prop_assert!(len >= cfg.lead_in_s + cfg.lead_out_s);
+        let slots = cluster.machines()[0].spec().cores as f64;
+        for (_, row) in trace.iter() {
+            prop_assert_eq!(row.len(), len);
+            for d in row {
+                prop_assert!(d.cpu_cores >= 0.0);
+                // Slot cap + background trickle.
+                prop_assert!(d.cpu_cores <= slots + 0.1, "cpu {}", d.cpu_cores);
+                prop_assert!(d.disk_read_bytes >= 0.0 && d.net_rx_bytes >= 0.0);
+            }
+        }
+        // Lead-in seconds are idle-ish on every machine.
+        for (_, row) in trace.iter() {
+            for d in &row[..cfg.lead_in_s.min(row.len())] {
+                prop_assert!(d.cpu_cores < 0.1);
+            }
+        }
+    }
+
+    /// Reproducibility: the same seed yields the same trace; different
+    /// seeds yield different schedules for multi-task jobs.
+    #[test]
+    fn determinism_by_seed(w in any_workload(), seed in 0u64..50) {
+        let cluster = Cluster::homogeneous(Platform::Atom, 3, 1);
+        let cfg = SimConfig::quick();
+        let a = simulate(&cluster, w, &cfg, seed);
+        let b = simulate(&cluster, w, &cfg, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// All serial work is eventually scheduled: total busy core-seconds
+    /// across the cluster approximate the job's serial work.
+    #[test]
+    fn work_conservation(seed in 0u64..30) {
+        let cluster = Cluster::homogeneous(Platform::Core2, 4, 2);
+        let cfg = SimConfig {
+            duration_jitter: 0.0,
+            straggler_prob: 0.0,
+            ..SimConfig::quick()
+        };
+        let job = Workload::Prime.job(cluster.len());
+        let serial = job.serial_work_s();
+        let trace = simulate(&cluster, job, &cfg, seed);
+        let busy: f64 = trace
+            .iter()
+            .flat_map(|(_, row)| row.iter().map(|d| d.cpu_cores))
+            .sum();
+        // Prime tasks demand ~0.97 cores for 95% of their life and ~0.30
+        // for the tail; allow a generous envelope around that.
+        prop_assert!(busy > 0.5 * serial, "busy {busy} vs serial {serial}");
+        prop_assert!(busy < 1.5 * serial, "busy {busy} vs serial {serial}");
+    }
+}

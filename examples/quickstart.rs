@@ -1,0 +1,69 @@
+//! Quickstart: build a CHAOS power model for one cluster, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Simulates a 5-machine Core 2 Duo cluster running the Prime workload,
+//! runs Algorithm 1 feature selection, fits the paper's quadratic model,
+//! and reports cross-validated accuracy in the paper's metrics.
+
+use chaos_core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos_core::models::ModelTechnique;
+use chaos_sim::Platform;
+use chaos_workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate the cluster and collect counters + power at 1 Hz.
+    //    `quick()` keeps the example fast; `paper()` reproduces the
+    //    full-scale evaluation.
+    let mut config = ExperimentConfig::quick();
+    config.machines = 5;
+    config.workloads = vec![Workload::Prime];
+    config.runs_per_workload = 3;
+    println!("collecting traces for a 5-machine Core2 cluster...");
+    let experiment = ClusterExperiment::collect(Platform::Core2, &config);
+    println!(
+        "  {} runs, {} seconds total",
+        experiment.traces().len(),
+        experiment
+            .traces()
+            .iter()
+            .map(|t| t.seconds())
+            .sum::<usize>()
+    );
+
+    // 2. Algorithm 1: reduce ~250 candidate counters to a cluster set.
+    let selection = experiment.select_features()?;
+    println!(
+        "\nselected {} of {} counters (threshold {:.0}):",
+        selection.selected.len(),
+        experiment.catalog.len(),
+        selection.threshold
+    );
+    for &j in &selection.selected {
+        println!("  - {}", experiment.catalog.def(j).name);
+    }
+
+    // 3. Fit and evaluate the paper's strongest model family: quadratic
+    //    (MARS degree 2) on the cluster feature set, cross-validated over
+    //    separate application runs.
+    let spec = selection.feature_spec();
+    let outcome = experiment.evaluate(Workload::Prime, &spec, ModelTechnique::Quadratic)?;
+    println!("\nquadratic model, {}-fold run-level cross-validation:", outcome.folds.len());
+    println!("  DRE                   {:.1}%", 100.0 * outcome.avg_dre());
+    println!("  rMSE                  {:.2} W", outcome.avg_rmse());
+    println!("  % error               {:.1}%", 100.0 * outcome.avg_percent_error());
+    println!(
+        "  median relative error {:.1}%",
+        100.0 * outcome.avg_median_relative_error()
+    );
+
+    // 4. Compare against the baseline the paper starts from.
+    let linear = experiment.evaluate(Workload::Prime, &spec, ModelTechnique::Linear)?;
+    println!(
+        "\nlinear baseline DRE: {:.1}%  (paper: nonlinear models win once DVFS is in play)",
+        100.0 * linear.avg_dre()
+    );
+    Ok(())
+}

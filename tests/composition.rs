@@ -1,0 +1,96 @@
+//! Cluster-model composition tests (Eq. 5), including the heterogeneous
+//! cluster of Section V-B, at integration scale.
+
+use chaos::core::compose::ClusterPowerModel;
+use chaos::core::dataset::pooled_dataset;
+use chaos::core::features::FeatureSpec;
+use chaos::core::models::{FitOptions, FittedModel, ModelTechnique};
+use chaos::counters::{collect_run, collect_run_mixed, CounterCatalog, RunTrace};
+use chaos::sim::{Cluster, Platform};
+use chaos::workloads::{SimConfig, Workload};
+
+fn train_platform_model(
+    platform: Platform,
+    workloads: &[Workload],
+    seed: u64,
+) -> (FeatureSpec, FittedModel) {
+    let cluster = Cluster::homogeneous(platform, 3, seed);
+    let catalog = CounterCatalog::for_platform(&platform.spec());
+    let mut train: Vec<RunTrace> = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        for r in 0..2 {
+            train.push(collect_run(
+                &cluster,
+                &catalog,
+                *w,
+                &SimConfig::quick(),
+                seed * 100 + (wi * 10 + r) as u64,
+            ));
+        }
+    }
+    let spec = FeatureSpec::general(&catalog);
+    let ds = pooled_dataset(&train, &spec).unwrap().thinned(2_000);
+    let opts = FitOptions::fast().with_freq_column(spec.freq_column(&catalog));
+    let model = FittedModel::fit(ModelTechnique::Quadratic, &ds.x, &ds.y, &opts).unwrap();
+    (spec, model)
+}
+
+#[test]
+fn heterogeneous_cluster_stays_within_paper_bound() {
+    let workloads = [Workload::Prime, Workload::WordCount];
+    let mut composed = ClusterPowerModel::new();
+    for platform in [Platform::Core2, Platform::Opteron] {
+        let (spec, model) = train_platform_model(platform, &workloads, 11);
+        composed.insert(platform, spec, model);
+    }
+
+    let hetero = Cluster::heterogeneous(&[(Platform::Core2, 3), (Platform::Opteron, 3)], 55);
+    let range = hetero.max_power() - hetero.idle_power();
+    for (i, w) in workloads.iter().enumerate() {
+        let run = collect_run_mixed(&hetero, *w, &SimConfig::quick(), 900 + i as u64);
+        let actual = run.cluster_measured_power();
+        let pred = composed.predict_cluster(&run).unwrap();
+        let rmse = chaos::stats::metrics::rmse(&pred, &actual).unwrap();
+        let dre = rmse / range;
+        assert!(dre <= 0.12, "{w}: heterogeneous DRE {dre} over paper bound");
+    }
+}
+
+#[test]
+fn composition_is_exactly_additive() {
+    let (spec, model) = train_platform_model(Platform::Atom, &[Workload::Prime], 3);
+    let composed = ClusterPowerModel::homogeneous(Platform::Atom, spec, model);
+    let cluster = Cluster::homogeneous(Platform::Atom, 4, 8);
+    let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+    let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 77);
+
+    let total = composed.predict_cluster(&run).unwrap();
+    let mut manual = vec![0.0; run.seconds()];
+    for m in &run.machines {
+        for (o, v) in manual.iter_mut().zip(composed.predict_machine(m).unwrap()) {
+            *o += v;
+        }
+    }
+    for (a, b) in total.iter().zip(&manual) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn model_trained_on_one_cluster_transfers_to_unseen_machines() {
+    // Pooling across machines is what makes the "abstract machine" model
+    // deployable on machines outside the training set.
+    let (spec, model) =
+        train_platform_model(Platform::Core2, &[Workload::Prime, Workload::WordCount], 21);
+    let composed = ClusterPowerModel::homogeneous(Platform::Core2, spec, model);
+
+    // A different cluster seed → different machine variations and meters.
+    let unseen = Cluster::homogeneous(Platform::Core2, 4, 9999);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let run = collect_run(&unseen, &catalog, Workload::Prime, &SimConfig::quick(), 31);
+    let pred = composed.predict_cluster(&run).unwrap();
+    let actual = run.cluster_measured_power();
+    let rmse = chaos::stats::metrics::rmse(&pred, &actual).unwrap();
+    let dre = rmse / (unseen.max_power() - unseen.idle_power());
+    assert!(dre < 0.15, "transfer DRE {dre}");
+}

@@ -1,0 +1,104 @@
+//! End-to-end pipeline tests: simulate → collect → select → fit →
+//! evaluate, across platforms, through the umbrella `chaos` crate.
+
+use chaos::core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos::core::features::FeatureSpec;
+use chaos::core::models::ModelTechnique;
+use chaos::sim::Platform;
+use chaos::workloads::Workload;
+
+fn quick_experiment(platform: Platform) -> ClusterExperiment {
+    ClusterExperiment::collect(platform, &ExperimentConfig::quick())
+}
+
+#[test]
+fn full_pipeline_on_a_dvfs_platform() {
+    let exp = quick_experiment(Platform::Core2);
+    let selection = exp.select_features().expect("selection succeeds");
+    assert!(
+        (2..=30).contains(&selection.selected.len()),
+        "selected {} features",
+        selection.selected.len()
+    );
+    let spec = selection.feature_spec();
+    let outcome = exp
+        .evaluate(Workload::Prime, &spec, ModelTechnique::Quadratic)
+        .expect("evaluation succeeds");
+    assert!(
+        outcome.avg_dre() < 0.15,
+        "quadratic DRE {} too high even at quick scale",
+        outcome.avg_dre()
+    );
+    assert!(outcome.avg_rmse() > 0.0);
+}
+
+#[test]
+fn full_pipeline_on_the_non_dvfs_atom() {
+    let exp = quick_experiment(Platform::Atom);
+    let selection = exp.select_features().expect("selection succeeds");
+    // The Atom has a fixed frequency: the frequency counters are
+    // constants and must never be selected.
+    for &j in &selection.selected {
+        let name = &exp.catalog.def(j).name;
+        assert!(
+            !name.contains("Processor Frequency"),
+            "fixed-frequency counter selected on Atom: {name}"
+        );
+    }
+    let outcome = exp
+        .evaluate(
+            Workload::WordCount,
+            &selection.feature_spec(),
+            ModelTechnique::Linear,
+        )
+        .expect("evaluation succeeds");
+    assert!(outcome.avg_dre() < 0.20, "Atom DRE {}", outcome.avg_dre());
+}
+
+#[test]
+fn general_feature_set_works_across_platforms() {
+    // The general set must exist in every catalog and support every
+    // technique on every platform.
+    for platform in [Platform::Core2, Platform::Opteron] {
+        let exp = quick_experiment(platform);
+        let spec = FeatureSpec::general(&exp.catalog);
+        assert_eq!(spec.width(), 8);
+        let outcome = exp
+            .evaluate(Workload::Prime, &spec, ModelTechnique::Switching)
+            .expect("switching on general set");
+        assert!(
+            outcome.avg_dre() < 0.2,
+            "{platform}: general-set DRE {}",
+            outcome.avg_dre()
+        );
+    }
+}
+
+#[test]
+fn dre_is_stricter_than_percent_error_on_small_ranges() {
+    // Table III's argument, end to end: on the Atom, DRE is several times
+    // the rMSE/mean-power metric because the dynamic range is tiny.
+    let exp = quick_experiment(Platform::Atom);
+    let spec = FeatureSpec::general(&exp.catalog);
+    let outcome = exp
+        .evaluate(Workload::Prime, &spec, ModelTechnique::Linear)
+        .expect("evaluation succeeds");
+    assert!(
+        outcome.avg_dre() > 2.0 * outcome.avg_percent_error(),
+        "DRE {} should dwarf %err {} on the Atom",
+        outcome.avg_dre(),
+        outcome.avg_percent_error()
+    );
+}
+
+#[test]
+fn selection_is_deterministic() {
+    let a = quick_experiment(Platform::Atom)
+        .select_features()
+        .expect("selection succeeds");
+    let b = quick_experiment(Platform::Atom)
+        .select_features()
+        .expect("selection succeeds");
+    assert_eq!(a.selected, b.selected);
+    assert_eq!(a.threshold, b.threshold);
+}

@@ -1,0 +1,98 @@
+//! Integration-scale checks of the paper's qualitative claims — the
+//! full-scale versions live in the experiment binaries
+//! (`cargo run -p chaos-bench --bin ...`).
+
+use chaos::core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos::core::models::ModelTechnique;
+use chaos::core::sweep::best_cell;
+use chaos::sim::{Machine, Platform};
+use chaos::workloads::Workload;
+
+#[test]
+fn simulated_platforms_hit_table_i_power_ranges() {
+    for platform in Platform::ALL {
+        let m = Machine::nominal(platform, 0);
+        let (lo, hi) = platform.spec().power_range_w;
+        assert!((m.idle_power() - lo).abs() < 1e-6, "{platform} idle");
+        assert!((m.max_power() - hi).abs() < 1e-6, "{platform} max");
+    }
+}
+
+#[test]
+fn best_models_beat_the_twelve_percent_bound_at_quick_scale() {
+    let cfg = ExperimentConfig::quick();
+    let exp = ClusterExperiment::collect(Platform::Core2, &cfg);
+    let selection = exp.select_features().expect("selection succeeds");
+    let sets = exp.standard_feature_sets(&selection);
+    for workload in [Workload::Prime, Workload::WordCount] {
+        let cells = exp.sweep(workload, &sets).expect("sweep succeeds");
+        let best = best_cell(&cells).expect("cells nonempty");
+        assert!(
+            best.outcome.avg_dre() < 0.12,
+            "{workload}: best DRE {}",
+            best.outcome.avg_dre()
+        );
+    }
+}
+
+#[test]
+fn feature_sets_beat_cpu_only_for_io_workloads() {
+    // Figure 3's direction at integration scale: richer feature sets beat
+    // the CPU-only strawman for a non-trivial workload, fixed technique.
+    let mut cfg = ExperimentConfig::quick();
+    cfg.workloads = vec![Workload::Sort, Workload::Prime];
+    let exp = ClusterExperiment::collect(Platform::Opteron, &cfg);
+    let selection = exp.select_features().expect("selection succeeds");
+    let sets = exp.standard_feature_sets(&selection);
+    let cells = exp.sweep(Workload::Sort, &sets).expect("sweep succeeds");
+    let dre = |t: ModelTechnique, f: &str| {
+        cells
+            .iter()
+            .find(|c| c.technique == t && c.feature_label == f)
+            .map(|c| c.outcome.avg_dre())
+    };
+    let (Some(lu), Some(lc)) = (
+        dre(ModelTechnique::Linear, "U"),
+        dre(ModelTechnique::Linear, "C"),
+    ) else {
+        panic!("expected LU and LC cells");
+    };
+    assert!(
+        lc < lu,
+        "cluster features ({lc}) should beat CPU-only ({lu}) on Sort"
+    );
+}
+
+#[test]
+fn sweep_grid_skips_single_feature_quadratic_and_switching() {
+    let cfg = ExperimentConfig::quick();
+    let exp = ClusterExperiment::collect(Platform::Atom, &cfg);
+    let selection = exp.select_features().expect("selection succeeds");
+    let sets = exp.standard_feature_sets(&selection);
+    let cells = exp.sweep(Workload::Prime, &sets).expect("sweep succeeds");
+    for c in &cells {
+        if c.feature_label == "U" {
+            assert!(
+                !c.technique.requires_multiple_features(),
+                "{} must not run on CPU-only features",
+                c.technique
+            );
+        }
+    }
+}
+
+#[test]
+fn model_count_accounting_reaches_paper_scale() {
+    // ">1200 models per cluster" at paper scale; at quick scale the same
+    // accounting must still count every lasso, stepwise round, and CV fit.
+    let cfg = ExperimentConfig::quick();
+    let exp = ClusterExperiment::collect(Platform::Core2, &cfg);
+    let selection = exp.select_features().expect("selection succeeds");
+    let sets = exp.standard_feature_sets(&selection);
+    let mut models = selection.models_built;
+    for workload in [Workload::Prime, Workload::WordCount] {
+        let cells = exp.sweep(workload, &sets).expect("sweep succeeds");
+        models += chaos::core::sweep::models_built(&cells);
+    }
+    assert!(models > 50, "counted only {models} models at quick scale");
+}
