@@ -18,12 +18,16 @@ fn traces() -> (Vec<RunTrace>, CounterCatalog) {
     let cluster = Cluster::homogeneous(Platform::Core2, 3, 1);
     let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
     let traces = (0..2)
-        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r))
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r).unwrap())
         .collect();
     (traces, catalog)
 }
 
-fn candidate_matrix(traces: &[RunTrace], catalog: &CounterCatalog, rows: usize) -> (Matrix, Vec<f64>) {
+fn candidate_matrix(
+    traces: &[RunTrace],
+    catalog: &CounterCatalog,
+    rows: usize,
+) -> (Matrix, Vec<f64>) {
     let spec = FeatureSpec::new((0..catalog.len()).collect());
     let ds = pooled_dataset(traces, &spec).unwrap().thinned(rows);
     (ds.x, ds.y)
@@ -73,5 +77,10 @@ fn bench_stepwise(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_correlation_matrix, bench_lasso, bench_stepwise);
+criterion_group!(
+    benches,
+    bench_correlation_matrix,
+    bench_lasso,
+    bench_stepwise
+);
 criterion_main!(benches);

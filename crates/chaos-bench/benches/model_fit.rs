@@ -56,9 +56,7 @@ fn bench_fit_scaling(c: &mut Criterion) {
         group.bench_function(format!("n={n}"), |b| {
             b.iter_batched(
                 || (x.clone(), y.clone()),
-                |(x, y)| {
-                    FittedModel::fit(ModelTechnique::Quadratic, &x, &y, &opts).unwrap()
-                },
+                |(x, y)| FittedModel::fit(ModelTechnique::Quadratic, &x, &y, &opts).unwrap(),
                 BatchSize::LargeInput,
             )
         });

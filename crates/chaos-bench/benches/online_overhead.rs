@@ -21,7 +21,7 @@ fn trained_model(technique: ModelTechnique) -> (FittedModel, FeatureSpec, Counte
     let cluster = Cluster::homogeneous(platform, 3, 1);
     let catalog = CounterCatalog::for_platform(&platform.spec());
     let train: Vec<_> = (0..2)
-        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r))
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r).unwrap())
         .collect();
     let spec = FeatureSpec::general(&catalog);
     let ds = pooled_dataset(&train, &spec).unwrap().thinned(1_000);

@@ -62,10 +62,16 @@ fn bench_collect_run(c: &mut Criterion) {
                 &cfg,
                 std::hint::black_box(7),
             )
+            .unwrap()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_machine_tick, bench_schedule_run, bench_collect_run);
+criterion_group!(
+    benches,
+    bench_machine_tick,
+    bench_schedule_run,
+    bench_collect_run
+);
 criterion_main!(benches);

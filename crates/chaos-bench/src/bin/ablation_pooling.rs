@@ -17,9 +17,7 @@ use chaos_bench::{format_table, pct, write_csv};
 use chaos_core::experiment::{ClusterExperiment, ExperimentConfig};
 use chaos_core::features::FeatureSpec;
 use chaos_core::models::ModelTechnique;
-use chaos_core::pooling::{
-    evaluate_pooling, evaluate_pooling_cluster, PoolingStrategy,
-};
+use chaos_core::pooling::{evaluate_pooling, evaluate_pooling_cluster, PoolingStrategy};
 use chaos_sim::Platform;
 use chaos_workloads::Workload;
 
@@ -107,7 +105,13 @@ fn main() {
     );
     let path = write_csv(
         "ablation_pooling.csv",
-        &["workload", "strategy", "machine_dre", "cluster_dre", "cluster_rmse_w"],
+        &[
+            "workload",
+            "strategy",
+            "machine_dre",
+            "cluster_dre",
+            "cluster_rmse_w",
+        ],
         &csv,
     );
     println!("CSV written to {}", path.display());

@@ -25,7 +25,7 @@ fn main() {
 
     // 3 runs of the longest, most variable workload.
     let runs: Vec<RunTrace> = (0..3)
-        .map(|r| collect_run(&cluster, &catalog, Workload::PageRank, &sim, 600 + r))
+        .map(|r| collect_run(&cluster, &catalog, Workload::PageRank, &sim, 600 + r).unwrap())
         .collect();
     let spec = FeatureSpec::general(&catalog);
     let eval_cfg = EvalConfig::fast();
@@ -43,7 +43,10 @@ fn main() {
     let mut csv = Vec::new();
     let mut dre_by_interval = Vec::new();
     for interval in [1usize, 5, 30, 120] {
-        let dec: Vec<RunTrace> = runs.iter().map(|r| r.decimated(interval)).collect();
+        let dec: Vec<RunTrace> = runs
+            .iter()
+            .map(|r| r.decimated(interval).expect("non-zero interval"))
+            .collect();
         // Train on run 0, test on runs 1–2 (decimated traces are short,
         // so a single split keeps the test set meaningful).
         let train = pooled_dataset(&dec[..1], &spec)
@@ -54,13 +57,9 @@ fn main() {
             .expect("model fits");
         let pred = model.predict(&test.x).expect("prediction");
         let machine = &cluster.machines()[0];
-        let dre = metrics::dynamic_range_error(
-            &pred,
-            &test.y,
-            machine.max_power(),
-            machine.idle_power(),
-        )
-        .expect("dre");
+        let dre =
+            metrics::dynamic_range_error(&pred, &test.y, machine.max_power(), machine.idle_power())
+                .expect("dre");
 
         let retained = {
             let all: Vec<f64> = dec

@@ -26,7 +26,8 @@ fn main() {
         let mut series: Vec<Vec<f64>> = Vec::new();
         for run in 0..5 {
             let seed = 4000 + run;
-            let trace = collect_run(&cluster, &catalog, workload, &cfg, seed);
+            let trace =
+                collect_run(&cluster, &catalog, workload, &cfg, seed).expect("collection succeeds");
             let p = trace.cluster_measured_power();
             let mean = p.iter().sum::<f64>() / p.len() as f64;
             let peak = p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -59,11 +60,7 @@ fn main() {
             .map(|t| {
                 let mut r = vec![t.to_string()];
                 for s in &series {
-                    r.push(
-                        s.get(t)
-                            .map(|v| format!("{v:.1}"))
-                            .unwrap_or_default(),
-                    );
+                    r.push(s.get(t).map(|v| format!("{v:.1}")).unwrap_or_default());
                 }
                 r
             })
@@ -88,14 +85,24 @@ fn main() {
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let prime_peak = avg(&peak_power["prime"]);
     let wc_mean = avg(&mean_power["wordcount"]);
-    let pr_len = avg(&run_len["pagerank"].iter().map(|&x| x as f64).collect::<Vec<_>>());
+    let pr_len = avg(&run_len["pagerank"]
+        .iter()
+        .map(|&x| x as f64)
+        .collect::<Vec<_>>());
     for w in ["sort", "prime", "wordcount"] {
         let l = avg(&run_len[w].iter().map(|&x| x as f64).collect::<Vec<_>>());
-        assert!(pr_len > l, "pagerank should be the longest workload ({pr_len} vs {w} {l})");
+        assert!(
+            pr_len > l,
+            "pagerank should be the longest workload ({pr_len} vs {w} {l})"
+        );
     }
     assert!(prime_peak > wc_mean, "prime saturates the CPUs");
     let global_peak = peak_power.values().flatten().copied().fold(0.0, f64::max);
-    let global_min = mean_power.values().flatten().copied().fold(f64::INFINITY, f64::min);
+    let global_min = mean_power
+        .values()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     println!(
         "cluster power envelope: ~{:.0} W to ~{:.0} W (paper: 120-220 W)",
         global_min, global_peak

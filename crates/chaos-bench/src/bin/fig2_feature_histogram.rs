@@ -17,11 +17,7 @@ fn main() {
         "Figure 2: Opteron feature significance (threshold = {:.0})\n",
         selection.threshold
     );
-    let max_w = selection
-        .histogram
-        .first()
-        .map(|(_, w)| *w)
-        .unwrap_or(1.0);
+    let max_w = selection.histogram.first().map(|(_, w)| *w).unwrap_or(1.0);
     let mut csv = Vec::new();
     for (j, w) in selection.histogram.iter().take(30) {
         let def = exp.catalog.def(*j);

@@ -65,7 +65,10 @@ fn print_sweep(title: &str, cells: &[SweepCell]) {
     println!("{title}: DRE by technique x feature set\n");
     println!(
         "{}",
-        format_table(&["Technique", "Features", "Label", "DRE", "rMSE (W)"], &rows)
+        format_table(
+            &["Technique", "Features", "Label", "DRE", "rMSE (W)"],
+            &rows
+        )
     );
 }
 

@@ -38,9 +38,16 @@ fn main() {
     println!("Figure 4: Opteron / Prime: DRE by technique x feature set\n");
     println!(
         "{}",
-        format_table(&["Technique", "Features", "Label", "DRE", "rMSE (W)"], &rows)
+        format_table(
+            &["Technique", "Features", "Label", "DRE", "rMSE (W)"],
+            &rows
+        )
     );
-    let path = write_csv("fig4_prime_sweep.csv", &["technique", "features", "dre", "rmse_w"], &csv);
+    let path = write_csv(
+        "fig4_prime_sweep.csv",
+        &["technique", "features", "dre", "rmse_w"],
+        &csv,
+    );
     println!("CSV written to {}", path.display());
 
     // Shape checks: nonlinear techniques beat the linear model decisively
@@ -53,7 +60,11 @@ fn main() {
     };
     let lu = dre(ModelTechnique::Linear, "U").expect("LU cell");
     let pu = dre(ModelTechnique::PiecewiseLinear, "U").expect("PU cell");
-    println!("\nlinear/CPU-only {} vs piecewise/CPU-only {}", pct(lu), pct(pu));
+    println!(
+        "\nlinear/CPU-only {} vs piecewise/CPU-only {}",
+        pct(lu),
+        pct(pu)
+    );
     assert!(
         pu < lu,
         "piecewise on CPU-only should beat linear on CPU-only for Prime"

@@ -39,9 +39,9 @@ fn main() {
     // Train on two runs, test on a third — separate runs, as always.
     // PageRank is the workload with the most power variation.
     let train: Vec<RunTrace> = (0..2)
-        .map(|r| collect_run(&cluster, &catalog, Workload::PageRank, &cfg, 900 + r))
+        .map(|r| collect_run(&cluster, &catalog, Workload::PageRank, &cfg, 900 + r).unwrap())
         .collect();
-    let test = collect_run(&cluster, &catalog, Workload::PageRank, &cfg, 950);
+    let test = collect_run(&cluster, &catalog, Workload::PageRank, &cfg, 950).unwrap();
     let actual = test.cluster_measured_power();
     let idle = cluster.idle_power();
 
@@ -81,7 +81,7 @@ fn main() {
             .map(|&u| cluster.len() as f64 * lin.predict_row(&[u]).expect("predict"))
             .collect();
         let cov = top_decile_coverage(&pred, &actual, idle);
-        if worst.as_ref().map_or(true, |(_, _, c)| cov < *c) {
+        if worst.as_ref().is_none_or(|(_, _, c)| cov < *c) {
             worst = Some((mid, pred, cov));
         }
     }
@@ -100,7 +100,12 @@ fn main() {
         .collect();
     let path = write_csv(
         "fig5_prediction_trace.csv",
-        &["second", "actual_w", "chaos_quadratic_w", "strawman_linear_w"],
+        &[
+            "second",
+            "actual_w",
+            "chaos_quadratic_w",
+            "strawman_linear_w",
+        ],
         &csv,
     );
 
@@ -139,5 +144,8 @@ fn main() {
         pct(chaos_coverage),
         pct(strawman_coverage)
     );
-    assert!(rmse_chaos < rmse_straw, "CHAOS should beat the strawman on rMSE");
+    assert!(
+        rmse_chaos < rmse_straw,
+        "CHAOS should beat the strawman on rMSE"
+    );
 }

@@ -29,11 +29,16 @@ use rand_chacha::ChaCha8Rng;
 
 /// Collects runs on a custom spec (the stock collector only knows the six
 /// builtin platforms).
-fn collect_custom(spec: &PlatformSpec, n_machines: usize, workload: Workload, seed: u64) -> RunTrace {
+fn collect_custom(
+    spec: &PlatformSpec,
+    n_machines: usize,
+    workload: Workload,
+    seed: u64,
+) -> RunTrace {
     let catalog = CounterCatalog::for_platform(spec);
     let machines: Vec<Machine> = (0..n_machines)
         .map(|id| {
-            let mut rng = ChaCha8Rng::seed_from_u64(977 ^ (id as u64 + 1) * 0x9E37_79B9);
+            let mut rng = ChaCha8Rng::seed_from_u64(977 ^ ((id as u64 + 1) * 0x9E37_79B9));
             Machine::new(spec.clone(), id, MachineVariation::sample(&mut rng))
         })
         .collect();
@@ -69,6 +74,7 @@ fn collect_custom(spec: &PlatformSpec, n_machines: usize, workload: Workload, se
             counters,
             measured_power_w: measured,
             true_power_w: truth,
+            validity: chaos_counters::ValidityMask::default(),
         });
     }
     RunTrace {
@@ -102,7 +108,9 @@ fn eval_spec(
 ) -> (f64, f64) {
     let cfg = EvalConfig::fast();
     let opts = cfg.fit.with_freq_column(spec.freq_column(catalog));
-    let tr = pooled_dataset(train, spec).expect("train").thinned(cfg.max_train_rows);
+    let tr = pooled_dataset(train, spec)
+        .expect("train")
+        .thinned(cfg.max_train_rows);
     let te = pooled_dataset(test, spec).expect("test");
     let model =
         FittedModel::fit(ModelTechnique::Quadratic, &tr.x, &tr.y, &opts).expect("fit succeeds");
@@ -179,7 +187,11 @@ fn main() {
         "future_percore_dvfs.csv",
         &["quantity", "stock", "future"],
         &[
-            vec!["freq_corr".into(), format!("{r_stock:.4}"), format!("{r_future:.4}")],
+            vec![
+                "freq_corr".into(),
+                format!("{r_stock:.4}"),
+                format!("{r_future:.4}"),
+            ],
             vec!["dre_core0".into(), "".into(), format!("{dre_core0:.4}")],
             vec!["dre_allcores".into(), "".into(), format!("{dre_all:.4}")],
         ],
@@ -232,7 +244,10 @@ fn main() {
     ];
     println!(
         "{}",
-        format_table(&["Quantity", "2012 Opteron", "Proportional variant"], &rows2)
+        format_table(
+            &["Quantity", "2012 Opteron", "Proportional variant"],
+            &rows2
+        )
     );
     write_csv(
         "future_energy_proportional.csv",
@@ -243,8 +258,16 @@ fn main() {
                 format!("{:.1}", range.1 - range.0),
                 format!("{:.1}", prop_range.1 - prop_range.0),
             ],
-            vec!["pct_err".into(), format!("{pct_stock:.4}"), format!("{pct_prop:.4}")],
-            vec!["dre".into(), format!("{dre_stock:.4}"), format!("{dre_prop:.4}")],
+            vec![
+                "pct_err".into(),
+                format!("{pct_stock:.4}"),
+                format!("{pct_prop:.4}"),
+            ],
+            vec![
+                "dre".into(),
+                format!("{dre_stock:.4}"),
+                format!("{dre_prop:.4}"),
+            ],
         ],
     );
 

@@ -27,13 +27,10 @@ fn main() {
         let mut train: Vec<RunTrace> = Vec::new();
         for (wi, w) in Workload::ALL.iter().enumerate() {
             for r in 0..2 {
-                train.push(collect_run(
-                    &cluster,
-                    &catalog,
-                    *w,
-                    &cfg,
-                    7_000 + (wi * 10 + r) as u64,
-                ));
+                train.push(
+                    collect_run(&cluster, &catalog, *w, &cfg, 7_000 + (wi * 10 + r) as u64)
+                        .expect("collection succeeds"),
+                );
             }
         }
         let spec = FeatureSpec::general(&catalog);
@@ -41,8 +38,8 @@ fn main() {
             .expect("pooled dataset")
             .thinned(2_500);
         let opts = FitOptions::paper().with_freq_column(spec.freq_column(&catalog));
-        let model = FittedModel::fit(ModelTechnique::Quadratic, &ds.x, &ds.y, &opts)
-            .expect("model fits");
+        let model =
+            FittedModel::fit(ModelTechnique::Quadratic, &ds.x, &ds.y, &opts).expect("model fits");
         composed.insert(platform, spec, model);
     }
 
@@ -80,7 +77,10 @@ fn main() {
     println!("Heterogeneous 10-machine cluster (5x Core2 + 5x Opteron)\n");
     println!(
         "{}",
-        format_table(&["Workload", "Run", "Cluster rMSE (W)", "Cluster DRE"], &rows)
+        format_table(
+            &["Workload", "Run", "Cluster rMSE (W)", "Cluster DRE"],
+            &rows
+        )
     );
     println!("worst-case DRE: {} (paper: <= 12%)", pct(worst));
     let path = write_csv(

@@ -45,15 +45,29 @@ fn main() {
         "{}",
         format_table(
             &[
-                "Platform", "Class", "CPU", "Freq", "Memory", "Disks", "DVFS", "Sim idle",
-                "Sim max", "Paper range"
+                "Platform",
+                "Class",
+                "CPU",
+                "Freq",
+                "Memory",
+                "Disks",
+                "DVFS",
+                "Sim idle",
+                "Sim max",
+                "Paper range"
             ],
             &rows
         )
     );
     let path = write_csv(
         "table1_platforms.csv",
-        &["platform", "sim_idle_w", "sim_max_w", "paper_idle_w", "paper_max_w"],
+        &[
+            "platform",
+            "sim_idle_w",
+            "sim_max_w",
+            "paper_idle_w",
+            "paper_max_w",
+        ],
         &csv,
     );
     println!("CSV written to {}", path.display());

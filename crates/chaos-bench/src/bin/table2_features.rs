@@ -47,7 +47,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Platform", "after step1", "after step2", "final", "threshold", "models", "time"],
+            &[
+                "Platform",
+                "after step1",
+                "after step2",
+                "final",
+                "threshold",
+                "models",
+                "time"
+            ],
             &stats_rows
         )
     );
@@ -72,17 +80,21 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &[
-                "Counter", "Atom", "Core2", "Athlon", "Opteron", "XeonSATA", "XeonSAS",
-                "General"
-            ],
+            &["Counter", "Atom", "Core2", "Athlon", "Opteron", "XeonSATA", "XeonSAS", "General"],
             &rows
         )
     );
     let path = write_csv(
         "table2_features.csv",
         &[
-            "counter", "atom", "core2", "athlon", "opteron", "xeon_sata", "xeon_sas", "general",
+            "counter",
+            "atom",
+            "core2",
+            "athlon",
+            "opteron",
+            "xeon_sata",
+            "xeon_sas",
+            "general",
         ],
         &csv,
     );
@@ -96,5 +108,8 @@ fn main() {
             (name.contains("Processor Time") || name.contains("Idle Time")) && !marks.is_empty()
         })
         .count();
-    assert!(util_rows >= 1, "no processor-utilization counter selected anywhere");
+    assert!(
+        util_rows >= 1,
+        "no processor-utilization counter selected anywhere"
+    );
 }

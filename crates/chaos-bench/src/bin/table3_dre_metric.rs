@@ -24,9 +24,7 @@ fn main() {
         let selection = exp.select_features().expect("selection succeeds");
         let sets = exp.standard_feature_sets(&selection);
         for workload in Workload::ALL {
-            let cells = exp
-                .sweep(workload, &sets)
-                .expect("sweep succeeds");
+            let cells = exp.sweep(workload, &sets).expect("sweep succeeds");
             let best = best_cell(&cells).expect("at least one valid cell");
             let o = &best.outcome;
             rows.push(vec![
@@ -63,16 +61,21 @@ fn main() {
     );
     let path = write_csv(
         "table3_dre_metric.csv",
-        &["platform", "workload", "best_model", "rmse_w", "pct_err", "dre"],
+        &[
+            "platform",
+            "workload",
+            "best_model",
+            "rmse_w",
+            "pct_err",
+            "dre",
+        ],
         &csv,
     );
     println!("CSV written to {}", path.display());
 
     // Shape check: on the Atom, DRE is several times the percent error —
     // the paper shows 2.4% rMSE/power becoming 30.8% DRE.
-    println!(
-        "\nAtom worst-case DRE / %Err ratio: {atom_worst_ratio:.1}x (paper: up to ~13x)"
-    );
+    println!("\nAtom worst-case DRE / %Err ratio: {atom_worst_ratio:.1}x (paper: up to ~13x)");
     assert!(
         atom_worst_ratio > 3.0,
         "DRE should be a much stricter metric on the small-range Atom"

@@ -119,8 +119,19 @@ fn main() {
     let path = write_csv(
         "table4_best_dre.csv",
         &[
-            "workload", "atom_dre", "atom", "core2_dre", "core2", "athlon_dre", "athlon",
-            "opteron_dre", "opteron", "xeonsata_dre", "xeonsata", "xeonsas_dre", "xeonsas",
+            "workload",
+            "atom_dre",
+            "atom",
+            "core2_dre",
+            "core2",
+            "athlon_dre",
+            "athlon",
+            "opteron_dre",
+            "opteron",
+            "xeonsata_dre",
+            "xeonsata",
+            "xeonsas_dre",
+            "xeonsas",
         ],
         &csv,
     );

@@ -59,12 +59,11 @@ impl ClusterPowerModel {
     ///   the machine's platform.
     /// * Prediction errors from the underlying model.
     pub fn predict_machine(&self, m: &MachineRunTrace) -> Result<Vec<f64>, StatsError> {
-        let (_, spec, model) = self
-            .per_platform
-            .get(m.platform.name())
-            .ok_or_else(|| StatsError::InvalidParameter {
+        let (_, spec, model) = self.per_platform.get(m.platform.name()).ok_or_else(|| {
+            StatsError::InvalidParameter {
                 context: format!("no model registered for platform {}", m.platform),
-            })?;
+            }
+        })?;
         let start = usize::from(!spec.lagged.is_empty());
         let mut out = Vec::with_capacity(m.counters.len());
         for t in start..m.counters.len() {
@@ -124,8 +123,8 @@ mod tests {
     ) -> (FeatureSpec, FittedModel) {
         let spec = FeatureSpec::general(catalog);
         let ds = pooled_dataset(traces, &spec).unwrap().thinned(1000);
-        let model = FittedModel::fit(ModelTechnique::Linear, &ds.x, &ds.y, &FitOptions::paper())
-            .unwrap();
+        let model =
+            FittedModel::fit(ModelTechnique::Linear, &ds.x, &ds.y, &FitOptions::paper()).unwrap();
         let _ = platform;
         (spec, model)
     }
@@ -134,8 +133,8 @@ mod tests {
     fn cluster_prediction_sums_machine_predictions() {
         let cluster = Cluster::homogeneous(Platform::Atom, 3, 2);
         let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3);
-        let (spec, model) = fit_for(Platform::Atom, &[run.clone()], &catalog);
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3).unwrap();
+        let (spec, model) = fit_for(Platform::Atom, std::slice::from_ref(&run), &catalog);
         let cm = ClusterPowerModel::homogeneous(Platform::Atom, spec, model);
         let cluster_pred = cm.predict_cluster(&run).unwrap();
         let manual: Vec<f64> = {
@@ -156,21 +155,25 @@ mod tests {
     fn prediction_tracks_actual_power_roughly() {
         let cluster = Cluster::homogeneous(Platform::Core2, 3, 4);
         let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
-        let train = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 10);
-        let test = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 11);
+        let train =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 10).unwrap();
+        let test =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 11).unwrap();
         let (spec, model) = fit_for(Platform::Core2, &[train], &catalog);
         let cm = ClusterPowerModel::homogeneous(Platform::Core2, spec, model);
         let pred = cm.predict_cluster(&test).unwrap();
         let actual = test.cluster_measured_power();
         let rmse = chaos_stats::metrics::rmse(&pred, &actual).unwrap();
         let range = cluster.max_power() - cluster.idle_power();
-        assert!(rmse / range < 0.25, "cluster rmse {rmse} over range {range}");
+        assert!(
+            rmse / range < 0.25,
+            "cluster rmse {rmse} over range {range}"
+        );
     }
 
     #[test]
     fn heterogeneous_composition_uses_per_platform_models() {
-        let cluster =
-            Cluster::heterogeneous(&[(Platform::Core2, 2), (Platform::Opteron, 2)], 8);
+        let cluster = Cluster::heterogeneous(&[(Platform::Core2, 2), (Platform::Opteron, 2)], 8);
         let run = collect_run_mixed(&cluster, Workload::WordCount, &SimConfig::quick(), 21);
 
         // Train each platform's model on its own machines' data.
@@ -202,7 +205,7 @@ mod tests {
     fn missing_platform_model_is_an_error() {
         let cluster = Cluster::homogeneous(Platform::Atom, 2, 0);
         let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1);
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1).unwrap();
         let cm = ClusterPowerModel::new();
         assert!(cm.predict_cluster(&run).is_err());
     }
@@ -211,9 +214,11 @@ mod tests {
     fn lagged_spec_keeps_output_aligned() {
         let cluster = Cluster::homogeneous(Platform::Core2, 2, 3);
         let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
-        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 7);
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 7).unwrap();
         let spec = FeatureSpec::general(&catalog).with_lagged_freq(&catalog);
-        let ds = pooled_dataset(&[run.clone()], &spec).unwrap().thinned(800);
+        let ds = pooled_dataset(std::slice::from_ref(&run), &spec)
+            .unwrap()
+            .thinned(800);
         let model =
             FittedModel::fit(ModelTechnique::Linear, &ds.x, &ds.y, &FitOptions::paper()).unwrap();
         let cm = ClusterPowerModel::homogeneous(Platform::Core2, spec, model);

@@ -88,7 +88,25 @@ impl Dataset {
 /// [`StatsError::InvalidParameter`] if a feature index exceeds a trace's
 /// counter width.
 pub fn pooled_dataset(traces: &[RunTrace], spec: &FeatureSpec) -> Result<Dataset, StatsError> {
-    dataset_filtered(traces, spec, None)
+    dataset_filtered(traces, spec, None, false)
+}
+
+/// Builds a pooled dataset keeping only samples a fault-aware pipeline
+/// may trust: the machine must be alive, the meter reading valid and
+/// finite, and every selected feature (current and lagged) valid and
+/// finite per the trace's [`chaos_counters::ValidityMask`]. On clean
+/// traces this is identical to [`pooled_dataset`]; on faulted traces it
+/// is how the robust pipeline refits on surviving data.
+///
+/// # Errors
+///
+/// Same conditions as [`pooled_dataset`] — including
+/// [`StatsError::InsufficientData`] when faults leave no usable samples.
+pub fn pooled_dataset_valid(
+    traces: &[RunTrace],
+    spec: &FeatureSpec,
+) -> Result<Dataset, StatsError> {
+    dataset_filtered(traces, spec, None, true)
 }
 
 /// Builds a dataset for a single machine across runs — the per-machine
@@ -102,13 +120,14 @@ pub fn machine_dataset(
     spec: &FeatureSpec,
     machine_id: usize,
 ) -> Result<Dataset, StatsError> {
-    dataset_filtered(traces, spec, Some(machine_id))
+    dataset_filtered(traces, spec, Some(machine_id), false)
 }
 
 fn dataset_filtered(
     traces: &[RunTrace],
     spec: &FeatureSpec,
     machine_filter: Option<usize>,
+    require_valid: bool,
 ) -> Result<Dataset, StatsError> {
     let width = spec.width();
     let mut rows: Vec<f64> = Vec::new();
@@ -123,13 +142,18 @@ fn dataset_filtered(
                 continue;
             }
             for t in start_t..m.counters.len() {
+                if require_valid && !sample_usable(m, spec, t) {
+                    continue;
+                }
                 let row_now = &m.counters[t];
                 for &c in &spec.counters {
-                    let v = row_now.get(c).copied().ok_or_else(|| {
-                        StatsError::InvalidParameter {
-                            context: format!("feature index {c} out of counter range"),
-                        }
-                    })?;
+                    let v =
+                        row_now
+                            .get(c)
+                            .copied()
+                            .ok_or_else(|| StatsError::InvalidParameter {
+                                context: format!("feature index {c} out of counter range"),
+                            })?;
                     rows.push(v);
                 }
                 for &c in &spec.lagged {
@@ -161,6 +185,21 @@ fn dataset_filtered(
     })
 }
 
+/// Whether sample `t` of machine trace `m` is fully trustworthy for the
+/// features in `spec`: machine alive, meter valid and finite, every
+/// selected feature (and its lagged previous-second value) valid and
+/// finite.
+fn sample_usable(m: &chaos_counters::MachineRunTrace, spec: &FeatureSpec, t: usize) -> bool {
+    if !m.alive_at(t) || !m.meter_ok(t) || !m.measured_power_w[t].is_finite() {
+        return false;
+    }
+    let feature_ok = |tt: usize, c: usize| {
+        m.counter_ok(tt, c) && m.counters[tt].get(c).is_some_and(|v| v.is_finite())
+    };
+    spec.counters.iter().all(|&c| feature_ok(t, c))
+        && spec.lagged.iter().all(|&c| t > 0 && feature_ok(t - 1, c))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +219,7 @@ mod tests {
                     &SimConfig::quick(),
                     100 + r,
                 )
+                .unwrap()
             })
             .collect();
         (t, catalog)
@@ -194,8 +234,8 @@ mod tests {
         assert_eq!(ds.len(), expected);
         assert_eq!(ds.x.cols(), 1);
         assert_eq!(ds.n_runs(), 2);
-        assert!(ds.rows_of_machine(0).len() > 0);
-        assert!(ds.rows_of_machine(1).len() > 0);
+        assert!(!ds.rows_of_machine(0).is_empty());
+        assert!(!ds.rows_of_machine(1).is_empty());
     }
 
     #[test]
@@ -252,5 +292,39 @@ mod tests {
         let (traces, _) = traces();
         let spec = FeatureSpec::new(vec![9999]);
         assert!(pooled_dataset(&traces, &spec).is_err());
+    }
+
+    #[test]
+    fn valid_dataset_equals_pooled_on_clean_traces() {
+        let (traces, catalog) = traces();
+        let spec = FeatureSpec::general(&catalog);
+        let a = pooled_dataset(&traces, &spec).unwrap();
+        let b = pooled_dataset_valid(&traces, &spec).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn valid_dataset_drops_faulted_samples() {
+        use chaos_counters::FaultPlan;
+        let (traces, catalog) = traces();
+        let spec = FeatureSpec::general(&catalog);
+        let clean = pooled_dataset_valid(&traces, &spec).unwrap();
+        let plan = FaultPlan::new(31)
+            .with_counter_dropout(0.05)
+            .with_meter_outages(0.02, 5)
+            .with_crashes(0.5);
+        let faulted: Vec<RunTrace> = traces.iter().map(|t| plan.apply(t)).collect();
+        let ds = pooled_dataset_valid(&faulted, &spec).unwrap();
+        assert!(ds.len() < clean.len(), "{} < {}", ds.len(), clean.len());
+        assert!(!ds.is_empty());
+        // Every surviving row is fully finite.
+        for i in 0..ds.len() {
+            assert!(ds.x.row(i).iter().all(|v| v.is_finite()));
+            assert!(ds.y[i].is_finite());
+        }
+        // The naive pooled dataset, by contrast, keeps the NaNs.
+        let naive = pooled_dataset(&faulted, &spec).unwrap();
+        assert!(naive.y.iter().any(|v| !v.is_finite()));
     }
 }

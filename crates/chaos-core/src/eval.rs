@@ -11,7 +11,8 @@
 use crate::dataset::{pooled_dataset, Dataset};
 use crate::features::FeatureSpec;
 use crate::models::{FitOptions, FittedModel, ModelTechnique};
-use chaos_counters::RunTrace;
+use crate::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_counters::{FaultPlan, RunTrace};
 use chaos_sim::Cluster;
 use chaos_stats::{metrics, StatsError};
 use serde::{Deserialize, Serialize};
@@ -122,9 +123,8 @@ pub fn evaluate(
             required: 2,
         });
     }
-    let catalog = chaos_counters::CounterCatalog::for_platform(
-        &cluster.machines()[0].spec().platform.spec(),
-    );
+    let catalog =
+        chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
 
     let ds = pooled_dataset(traces, spec)?;
@@ -189,6 +189,165 @@ fn fold_metrics(
     })
 }
 
+/// Outcome of evaluating the pipeline against one fault plan: the
+/// robust chain's accuracy and coverage versus two bare baselines.
+///
+/// All accuracy numbers score predictions made from *faulted* counters
+/// against the *clean* measured power — the estimator only ever sees the
+/// corrupted stream, the scorer keeps the ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultedOutcome {
+    /// Counter-dropout rate of the plan (the sweep's x-axis).
+    pub fault_rate: f64,
+    /// Cluster-level DRE of the robust fallback chain.
+    pub robust_dre: f64,
+    /// Cluster-level rMSE of the robust chain, watts.
+    pub robust_rmse: f64,
+    /// Fraction of (machine, second) samples the chain answered above
+    /// the constant floor.
+    pub coverage: f64,
+    /// Fraction of samples where the bare model returned an error
+    /// (typed NaN rejection) instead of a wattage.
+    pub bare_failure_fraction: f64,
+    /// DRE of the naive recovery strategy — zero-filling invalid
+    /// features and feeding the bare model anyway.
+    pub naive_dre: f64,
+}
+
+/// Evaluates the robust chain and the bare baselines under one fault
+/// plan: train on clean runs, inject `plan` into the test runs, score
+/// against clean measured power.
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] if `train` or `test` is empty.
+/// * Fitting and metric errors propagate.
+pub fn evaluate_faulted(
+    train: &[RunTrace],
+    test: &[RunTrace],
+    cluster: &Cluster,
+    spec: &FeatureSpec,
+    plan: &FaultPlan,
+    config: &RobustConfig,
+) -> Result<FaultedOutcome, StatsError> {
+    if train.is_empty() || test.is_empty() {
+        return Err(StatsError::InsufficientData {
+            observations: train.len().min(test.len()),
+            required: 1,
+        });
+    }
+    let catalog =
+        chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
+    let cfg = RobustConfig {
+        fit: config.fit.with_freq_column(spec.freq_column(&catalog)),
+        ..*config
+    };
+    let idle_per_machine = cluster.idle_power() / cluster.machines().len() as f64;
+    let mut robust = RobustEstimator::fit(
+        train,
+        spec,
+        strawman_position(spec, &catalog),
+        idle_per_machine,
+        cfg,
+    )?;
+    // The bare baseline: same technique, same training data, no chain.
+    let train_ds = pooled_dataset(train, spec)?.thinned(cfg.max_train_rows);
+    let bare = FittedModel::fit(cfg.technique, &train_ds.x, &train_ds.y, &cfg.fit)?;
+
+    let faulted: Vec<RunTrace> = test.iter().map(|t| plan.apply(t)).collect();
+
+    // Robust chain, scored at cluster level against clean power.
+    let mut pred = Vec::new();
+    let mut actual = Vec::new();
+    let mut covered = 0usize;
+    let mut answered = 0usize;
+    for (f, clean) in faulted.iter().zip(test) {
+        let ce = robust.estimate_cluster(f);
+        actual.extend_from_slice(&clean.cluster_measured_power()[..ce.power_w.len()]);
+        pred.extend_from_slice(&ce.power_w);
+        let total: usize = ce.tier_counts.values().sum();
+        let floored = ce
+            .tier_counts
+            .get(&crate::robust::EstimateTier::Constant)
+            .copied()
+            .unwrap_or(0);
+        answered += total;
+        covered += total - floored;
+    }
+    let robust_rmse = metrics::rmse(&pred, &actual)?;
+    let robust_dre =
+        metrics::dynamic_range_error(&pred, &actual, cluster.max_power(), cluster.idle_power())?;
+    let coverage = if answered == 0 {
+        0.0
+    } else {
+        covered as f64 / answered as f64
+    };
+
+    // Bare baselines, per sample: the typed-error failure fraction, and
+    // the naive zero-fill recovery everyone reaches for first.
+    let clean_ds = pooled_dataset(test, spec)?;
+    let faulted_ds = pooled_dataset(&faulted, spec)?;
+    let mut failures = 0usize;
+    let mut naive_pred = Vec::with_capacity(faulted_ds.len());
+    let mut naive_actual = Vec::with_capacity(faulted_ds.len());
+    let mut zero_filled = Vec::new();
+    for i in 0..faulted_ds.len() {
+        let row = faulted_ds.x.row(i);
+        if bare.predict_row(row).is_err() {
+            failures += 1;
+        }
+        if clean_ds.y[i].is_finite() {
+            zero_filled.clear();
+            zero_filled.extend(row.iter().map(|v| if v.is_finite() { *v } else { 0.0 }));
+            if let Ok(p) = bare.predict_row(&zero_filled) {
+                naive_pred.push(p);
+                naive_actual.push(clean_ds.y[i]);
+            }
+        }
+    }
+    let machine_range =
+        (cluster.max_power() - cluster.idle_power()) / cluster.machines().len() as f64;
+    let naive_dre = if naive_pred.is_empty() {
+        f64::NAN
+    } else {
+        metrics::rmse(&naive_pred, &naive_actual)? / machine_range
+    };
+    Ok(FaultedOutcome {
+        fault_rate: plan.counter_dropout,
+        robust_dre,
+        robust_rmse,
+        coverage,
+        bare_failure_fraction: failures as f64 / faulted_ds.len().max(1) as f64,
+        naive_dre,
+    })
+}
+
+/// Sweeps counter-dropout rates, evaluating the robust chain and the
+/// bare baselines at each rate — the degradation curve of the
+/// `ablation_faults` experiment. `base` supplies any additional fault
+/// processes (outages, crashes) held constant across the sweep.
+///
+/// # Errors
+///
+/// Same conditions as [`evaluate_faulted`].
+pub fn fault_sweep(
+    train: &[RunTrace],
+    test: &[RunTrace],
+    cluster: &Cluster,
+    spec: &FeatureSpec,
+    base: &FaultPlan,
+    rates: &[f64],
+    config: &RobustConfig,
+) -> Result<Vec<FaultedOutcome>, StatsError> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let plan = base.clone().with_counter_dropout(rate);
+            evaluate_faulted(train, test, cluster, spec, &plan, config)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +367,7 @@ mod tests {
                     &SimConfig::quick(),
                     40 + r,
                 )
+                .unwrap()
             })
             .collect();
         (traces, cluster, catalog)
@@ -227,7 +387,11 @@ mod tests {
         .unwrap();
         assert_eq!(out.folds.len(), 3);
         assert_eq!(out.models_built, 3);
-        assert!(out.avg_dre() > 0.0 && out.avg_dre() < 1.0, "dre {}", out.avg_dre());
+        assert!(
+            out.avg_dre() > 0.0 && out.avg_dre() < 1.0,
+            "dre {}",
+            out.avg_dre()
+        );
         assert!(out.avg_rmse() > 0.0);
         assert!(out.avg_percent_error() > 0.0);
         assert!(out.avg_median_relative_error() >= 0.0);
@@ -254,8 +418,14 @@ mod tests {
     fn quadratic_not_worse_than_linear_on_prime() {
         let (traces, cluster, catalog) = setup();
         let spec = FeatureSpec::general(&catalog);
-        let lin = evaluate(&traces, &cluster, &spec, ModelTechnique::Linear, &EvalConfig::fast())
-            .unwrap();
+        let lin = evaluate(
+            &traces,
+            &cluster,
+            &spec,
+            ModelTechnique::Linear,
+            &EvalConfig::fast(),
+        )
+        .unwrap();
         let quad = evaluate(
             &traces,
             &cluster,
@@ -273,6 +443,73 @@ mod tests {
             quad.avg_dre(),
             lin.avg_dre()
         );
+    }
+
+    #[test]
+    fn faulted_evaluation_degrades_gracefully() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let cfg = RobustConfig::fast();
+        let clean = evaluate_faulted(
+            &traces[..2],
+            &traces[2..],
+            &cluster,
+            &spec,
+            &FaultPlan::new(1),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(clean.fault_rate, 0.0);
+        assert!(clean.robust_dre < 0.2, "clean dre {}", clean.robust_dre);
+        assert!(clean.coverage > 0.999);
+        assert_eq!(clean.bare_failure_fraction, 0.0);
+
+        let faulted = evaluate_faulted(
+            &traces[..2],
+            &traces[2..],
+            &cluster,
+            &spec,
+            &FaultPlan::new(1).with_counter_dropout(0.2),
+            &cfg,
+        )
+        .unwrap();
+        // The bare model errors on most rows at 20% per-sample dropout
+        // over 8 features (1 - 0.8^8 ≈ 0.83); the robust chain still
+        // answers with bounded error.
+        assert!(
+            faulted.bare_failure_fraction > 0.5,
+            "bare failures {}",
+            faulted.bare_failure_fraction
+        );
+        assert!(faulted.robust_dre.is_finite());
+        assert!(
+            faulted.robust_dre < 0.4,
+            "faulted dre {}",
+            faulted.robust_dre
+        );
+        assert!(faulted.robust_dre >= clean.robust_dre * 0.5);
+    }
+
+    #[test]
+    fn fault_sweep_covers_every_rate() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let out = fault_sweep(
+            &traces[..2],
+            &traces[2..],
+            &cluster,
+            &spec,
+            &FaultPlan::new(3),
+            &[0.0, 0.1],
+            &RobustConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].fault_rate, 0.0);
+        assert_eq!(out[1].fault_rate, 0.1);
+        // Coverage is non-increasing in fault rate (allowing small
+        // sampling wiggle).
+        assert!(out[1].coverage <= out[0].coverage + 0.01);
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl ClusterExperiment {
                     .cluster_seed
                     .wrapping_mul(1_000_003)
                     .wrapping_add((wi * 101 + run) as u64);
-                traces.push(collect_run(&cluster, &catalog, *w, &config.sim, seed));
+                traces.push(
+                    collect_run(&cluster, &catalog, *w, &config.sim, seed)
+                        .expect("homogeneous cluster with its own catalog collects"),
+                );
             }
             ranges.insert(w.name().to_string(), start..traces.len());
         }
@@ -141,10 +144,7 @@ impl ClusterExperiment {
     /// The standard feature-set grid used in Figures 3–4 and Table IV:
     /// CPU-only (U), cluster-specific (C), cluster + lagged MHz (CP), and
     /// general (G).
-    pub fn standard_feature_sets(
-        &self,
-        selection: &SelectionResult,
-    ) -> Vec<(String, FeatureSpec)> {
+    pub fn standard_feature_sets(&self, selection: &SelectionResult) -> Vec<(String, FeatureSpec)> {
         let cluster_spec = selection.feature_spec();
         vec![
             ("U".to_string(), FeatureSpec::cpu_only(&self.catalog)),

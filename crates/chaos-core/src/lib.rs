@@ -50,10 +50,12 @@ pub mod experiment;
 pub mod features;
 pub mod models;
 pub mod pooling;
+pub mod robust;
 pub mod selection;
 pub mod sweep;
 
 pub use dataset::Dataset;
 pub use features::FeatureSpec;
 pub use models::{FittedModel, ModelTechnique};
+pub use robust::{EstimateTier, ImputePolicy, RobustConfig, RobustEstimator};
 pub use selection::SelectionResult;

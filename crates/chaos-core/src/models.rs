@@ -55,10 +55,7 @@ impl ModelTechnique {
     /// CPU-utilization-only feature set because they require multiple
     /// features").
     pub fn requires_multiple_features(self) -> bool {
-        matches!(
-            self,
-            ModelTechnique::Quadratic | ModelTechnique::Switching
-        )
+        matches!(self, ModelTechnique::Quadratic | ModelTechnique::Switching)
     }
 }
 
@@ -138,12 +135,7 @@ pub struct SwitchingModel {
 }
 
 impl SwitchingModel {
-    fn fit(
-        x: &Matrix,
-        y: &[f64],
-        freq_col: usize,
-        bins: usize,
-    ) -> Result<Self, StatsError> {
+    fn fit(x: &Matrix, y: &[f64], freq_col: usize, bins: usize) -> Result<Self, StatsError> {
         if freq_col >= x.cols() {
             return Err(StatsError::InvalidParameter {
                 context: format!("freq column {freq_col} out of range"),
@@ -331,9 +323,11 @@ impl FittedModel {
             }
             ModelTechnique::Quadratic => ModelImpl::Mars(MarsModel::fit(x, y, &opts.quadratic)?),
             ModelTechnique::Switching => {
-                let col = opts.freq_column.ok_or_else(|| StatsError::InvalidParameter {
-                    context: "switching model requires a frequency column".into(),
-                })?;
+                let col = opts
+                    .freq_column
+                    .ok_or_else(|| StatsError::InvalidParameter {
+                        context: "switching model requires a frequency column".into(),
+                    })?;
                 ModelImpl::Switching(SwitchingModel::fit(x, y, col, opts.switch_bins)?)
             }
         };
@@ -377,7 +371,10 @@ impl FittedModel {
     /// # Errors
     ///
     /// Returns [`StatsError::DimensionMismatch`] if `row.len()` differs
-    /// from the training width.
+    /// from the training width, and [`StatsError::NonFinite`] if any
+    /// feature is NaN or infinite — a faulted counter sample must be
+    /// rejected (or imputed by a fault-aware caller), never silently
+    /// folded into a wattage.
     pub fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
         if row.len() != self.width {
             return Err(StatsError::DimensionMismatch {
@@ -386,6 +383,11 @@ impl FittedModel {
                     row.len(),
                     self.width
                 ),
+            });
+        }
+        if let Some(c) = row.iter().position(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite {
+                context: format!("predict: feature {c} is {}", row[c]),
             });
         }
         let raw = match &self.inner {
@@ -447,7 +449,9 @@ mod tests {
 
     #[test]
     fn linear_fits_linear_data() {
-        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let y: Vec<f64> = rows.iter().map(|r| 10.0 + 2.0 * r[0] - r[1]).collect();
         let m = FittedModel::fit(ModelTechnique::Linear, &x, &y, &FitOptions::paper()).unwrap();
@@ -469,7 +473,12 @@ mod tests {
                 .map(|(p, a)| (p - a).powi(2))
                 .sum::<f64>()
         };
-        assert!(rss(&sw) < 0.3 * rss(&lin), "sw={} lin={}", rss(&sw), rss(&lin));
+        assert!(
+            rss(&sw) < 0.3 * rss(&lin),
+            "sw={} lin={}",
+            rss(&sw),
+            rss(&lin)
+        );
     }
 
     #[test]
@@ -521,6 +530,26 @@ mod tests {
         assert!(m.predict_row(&[1.0]).is_err());
         assert_eq!(m.width(), 2);
         assert_eq!(m.technique(), ModelTechnique::Linear);
+    }
+
+    #[test]
+    fn predict_row_rejects_non_finite_input() {
+        let (x, y) = switching_data(100);
+        for t in [
+            ModelTechnique::Linear,
+            ModelTechnique::Quadratic,
+            ModelTechnique::Switching,
+        ] {
+            let m = FittedModel::fit(t, &x, &y, &FitOptions::fast()).unwrap();
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                match m.predict_row(&[1000.0, bad]) {
+                    Err(StatsError::NonFinite { context }) => {
+                        assert!(context.contains("feature 1"), "{context}");
+                    }
+                    other => panic!("expected NonFinite, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -93,9 +93,8 @@ pub fn evaluate_pooling(
             required: 2,
         });
     }
-    let catalog = chaos_counters::CounterCatalog::for_platform(
-        &cluster.machines()[0].spec().platform.spec(),
-    );
+    let catalog =
+        chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
     let ds = pooled_dataset(traces, spec)?;
 
@@ -123,7 +122,13 @@ pub fn evaluate_pooling(
                     let sub = test.subset(&rows);
                     let pred = model.predict(&sub.x)?;
                     accumulate(
-                        &pred, &sub, machine, &mut dre, &mut rmse, &mut sse, &mut n_test,
+                        &pred,
+                        &sub,
+                        machine,
+                        &mut dre,
+                        &mut rmse,
+                        &mut sse,
+                        &mut n_test,
                     )?;
                 }
             }
@@ -137,7 +142,13 @@ pub fn evaluate_pooling(
                     let model = FittedModel::fit(technique, &tr.x, &tr.y, &opts)?;
                     let pred = model.predict(&te.x)?;
                     accumulate(
-                        &pred, &te, machine, &mut dre, &mut rmse, &mut sse, &mut n_test,
+                        &pred,
+                        &te,
+                        machine,
+                        &mut dre,
+                        &mut rmse,
+                        &mut sse,
+                        &mut n_test,
                     )?;
                 }
             }
@@ -151,7 +162,13 @@ pub fn evaluate_pooling(
                     let sub = test.subset(&rows);
                     let pred = mixed.predict(&sub, machine.id())?;
                     accumulate(
-                        &pred, &sub, machine, &mut dre, &mut rmse, &mut sse, &mut n_test,
+                        &pred,
+                        &sub,
+                        machine,
+                        &mut dre,
+                        &mut rmse,
+                        &mut sse,
+                        &mut n_test,
                     )?;
                 }
             }
@@ -264,8 +281,8 @@ impl MixedModel {
                 .get(&train.machine_of[i])
                 .unwrap_or(&(gf.clone(), gy))
                 .clone();
-            for j in 0..p {
-                centered_rows.push(train.x.get(i, j) - fm[j]);
+            for (j, f) in fm.iter().enumerate() {
+                centered_rows.push(train.x.get(i, j) - f);
             }
             centered_y.push(train.y[i] - ym);
         }
@@ -330,9 +347,8 @@ pub fn evaluate_pooling_cluster(
             required: 2,
         });
     }
-    let catalog = chaos_counters::CounterCatalog::for_platform(
-        &cluster.machines()[0].spec().platform.spec(),
-    );
+    let catalog =
+        chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
     let ds = pooled_dataset(traces, spec)?;
     let range: f64 = cluster.max_power() - cluster.idle_power();
@@ -361,8 +377,10 @@ pub fn evaluate_pooling_cluster(
                     if tr.is_empty() {
                         continue;
                     }
-                    per_machine
-                        .insert(machine.id(), FittedModel::fit(technique, &tr.x, &tr.y, &opts)?);
+                    per_machine.insert(
+                        machine.id(),
+                        FittedModel::fit(technique, &tr.x, &tr.y, &opts)?,
+                    );
                 }
             }
             PoolingStrategy::Mixed => {
@@ -380,9 +398,7 @@ pub fn evaluate_pooling_cluster(
             let mut cluster_actual: Vec<f64> = Vec::new();
             for machine in cluster.machines() {
                 let rows: Vec<usize> = (0..ds.len())
-                    .filter(|&i| {
-                        ds.run_of[i] == test_run && ds.machine_of[i] == machine.id()
-                    })
+                    .filter(|&i| ds.run_of[i] == test_run && ds.machine_of[i] == machine.id())
                     .collect();
                 if rows.is_empty() {
                     continue;
@@ -442,7 +458,9 @@ mod tests {
         let cluster = Cluster::homogeneous(Platform::Core2, 3, 4);
         let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
         let traces = (0..2)
-            .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r))
+            .map(|r| {
+                collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), r).unwrap()
+            })
             .collect();
         (traces, cluster, catalog)
     }
@@ -461,7 +479,12 @@ mod tests {
                 &EvalConfig::fast(),
             )
             .unwrap();
-            assert!(o.dre > 0.0 && o.dre < 0.5, "{}: dre {}", strategy.name(), o.dre);
+            assert!(
+                o.dre > 0.0 && o.dre < 0.5,
+                "{}: dre {}",
+                strategy.name(),
+                o.dre
+            );
             assert!(o.residual_variance > 0.0);
         }
     }

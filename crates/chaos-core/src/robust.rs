@@ -1,0 +1,653 @@
+//! Gracefully degrading power estimation over faulted counter streams.
+//!
+//! A deployed CHAOS agent cannot assume the clean traces the models were
+//! trained on: counters drop out, meters disconnect, machines die (see
+//! [`chaos_counters::faults`]). The naive pipeline either panics, emits
+//! NaN, or — worse — silently folds garbage into a wattage. The
+//! [`RobustEstimator`] instead walks a fallback chain, answering every
+//! second with the most capable model the surviving data supports and
+//! recording *which* tier answered so consumers can weight their trust:
+//!
+//! 1. **Full** — the trained model (typically quadratic MARS, Eq. 3) on
+//!    the complete feature row, with short gaps bridged by an imputation
+//!    policy ([`ImputePolicy`]).
+//! 2. **Reduced** — a linear model refit on the columns that survive,
+//!    using the retained training data. Refits are cached per
+//!    surviving-column mask, so a stuck counter costs one refit, not one
+//!    per second.
+//! 3. **Strawman** — the paper's CPU-utilization-only linear baseline
+//!    (Section IV-A), usable as long as the single utilization counter
+//!    is alive.
+//! 4. **Constant** — the machine's idle power. The floor: always
+//!    answers, even for a crashed reporter.
+//!
+//! The *coverage* of an estimate — the fraction of seconds answered
+//! above the Constant floor — decays with fault rate much faster than
+//! accuracy does, which is exactly the property the fault-sweep
+//! ablation (`ablation_faults`) measures.
+
+use crate::dataset::{pooled_dataset_valid, Dataset};
+use crate::features::FeatureSpec;
+use crate::models::{FitOptions, FittedModel, ModelTechnique};
+use chaos_counters::{MachineRunTrace, RunTrace};
+use chaos_stats::{Matrix, StatsError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the estimator bridges short gaps in individual features before
+/// falling back to a reduced model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImputePolicy {
+    /// Never impute: any invalid feature immediately demotes the sample.
+    None,
+    /// Repeat the last valid value, for at most `max_run` consecutive
+    /// seconds per feature.
+    CarryForward {
+        /// Longest gap (in seconds) the imputer will bridge.
+        max_run: usize,
+    },
+    /// Use the median of the last `window` valid values, for at most
+    /// `max_run` consecutive seconds per feature. More robust than
+    /// carry-forward when the last reading before the gap was itself a
+    /// glitch.
+    RollingMedian {
+        /// Number of recent valid values the median is taken over.
+        window: usize,
+        /// Longest gap (in seconds) the imputer will bridge.
+        max_run: usize,
+    },
+}
+
+impl ImputePolicy {
+    fn max_run(&self) -> usize {
+        match *self {
+            ImputePolicy::None => 0,
+            ImputePolicy::CarryForward { max_run } => max_run,
+            ImputePolicy::RollingMedian { max_run, .. } => max_run,
+        }
+    }
+}
+
+/// Which tier of the fallback chain produced an estimate. Ordered from
+/// most to least capable; `Ord` follows that ranking (Full < Constant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EstimateTier {
+    /// The fully trained model on a complete (possibly imputed) row.
+    Full,
+    /// A linear refit on the surviving feature columns.
+    Reduced,
+    /// The CPU-utilization-only linear strawman.
+    Strawman,
+    /// The idle-power constant — the always-available floor.
+    Constant,
+}
+
+impl EstimateTier {
+    /// Short label for tables and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimateTier::Full => "full",
+            EstimateTier::Reduced => "reduced",
+            EstimateTier::Strawman => "strawman",
+            EstimateTier::Constant => "constant",
+        }
+    }
+}
+
+/// One second's estimate for one machine: the wattage, which tier
+/// produced it, and how many features had to be imputed to get it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleEstimate {
+    /// Estimated power, in watts. Always finite.
+    pub power_w: f64,
+    /// The tier of the fallback chain that answered.
+    pub tier: EstimateTier,
+    /// Number of features bridged by the imputation policy this second.
+    pub imputed: usize,
+}
+
+/// Configuration for a [`RobustEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustConfig {
+    /// Technique for the full (tier-1) model.
+    pub technique: ModelTechnique,
+    /// Fit options for the full model.
+    pub fit: FitOptions,
+    /// Gap-bridging policy applied before tier demotion.
+    pub impute: ImputePolicy,
+    /// Minimum surviving columns for a reduced (tier-2) refit; below
+    /// this the chain skips straight to the strawman.
+    pub reduced_min_features: usize,
+    /// Row cap for the retained training set (reduced-tier refits are
+    /// linear, so a few thousand rows are plenty).
+    pub max_train_rows: usize,
+}
+
+impl RobustConfig {
+    /// Paper-fidelity full model (quadratic MARS) with carry-forward
+    /// imputation over gaps of up to 3 s.
+    pub fn paper() -> Self {
+        RobustConfig {
+            technique: ModelTechnique::Quadratic,
+            fit: FitOptions::paper(),
+            impute: ImputePolicy::CarryForward { max_run: 3 },
+            reduced_min_features: 2,
+            max_train_rows: 4_000,
+        }
+    }
+
+    /// Cheaper configuration for sweeps and tests.
+    pub fn fast() -> Self {
+        RobustConfig {
+            technique: ModelTechnique::Quadratic,
+            fit: FitOptions::fast(),
+            impute: ImputePolicy::CarryForward { max_run: 3 },
+            reduced_min_features: 2,
+            max_train_rows: 1_500,
+        }
+    }
+
+    /// Returns a copy with a different imputation policy.
+    pub fn with_impute(mut self, policy: ImputePolicy) -> Self {
+        self.impute = policy;
+        self
+    }
+}
+
+/// Per-feature streaming state for the imputation policy. One instance
+/// per machine stream; feed it seconds in order.
+#[derive(Debug, Clone)]
+pub struct ImputerState {
+    last_valid: Vec<Vec<f64>>,
+    gap_run: Vec<usize>,
+    window: usize,
+}
+
+impl ImputerState {
+    fn new(width: usize, policy: ImputePolicy) -> Self {
+        let window = match policy {
+            ImputePolicy::RollingMedian { window, .. } => window.max(1),
+            _ => 1,
+        };
+        ImputerState {
+            last_valid: vec![Vec::new(); width],
+            gap_run: vec![0; width],
+            window,
+        }
+    }
+
+    fn observe(&mut self, k: usize, v: f64) {
+        self.gap_run[k] = 0;
+        let h = &mut self.last_valid[k];
+        h.push(v);
+        if h.len() > self.window {
+            h.remove(0);
+        }
+    }
+
+    fn impute(&mut self, k: usize, policy: ImputePolicy) -> Option<f64> {
+        if self.last_valid[k].is_empty() {
+            return None;
+        }
+        self.gap_run[k] += 1;
+        if self.gap_run[k] > policy.max_run() {
+            return None;
+        }
+        match policy {
+            ImputePolicy::None => None,
+            ImputePolicy::CarryForward { .. } => self.last_valid[k].last().copied(),
+            ImputePolicy::RollingMedian { .. } => {
+                let mut h = self.last_valid[k].clone();
+                h.sort_by(|a, b| a.partial_cmp(b).expect("history is finite"));
+                Some(h[h.len() / 2])
+            }
+        }
+    }
+}
+
+/// A power estimator that degrades gracefully under counter and meter
+/// faults by walking a Full → Reduced → Strawman → Constant fallback
+/// chain. See the module docs for the chain's semantics.
+#[derive(Debug, Clone)]
+pub struct RobustEstimator {
+    spec: FeatureSpec,
+    config: RobustConfig,
+    full: FittedModel,
+    strawman: Option<FittedModel>,
+    cpu_position: Option<usize>,
+    idle_power_w: f64,
+    train_x: Matrix,
+    train_y: Vec<f64>,
+    reduced_cache: HashMap<u64, Option<FittedModel>>,
+}
+
+impl RobustEstimator {
+    /// Fits the full chain from clean (or fault-masked) training traces.
+    ///
+    /// `cpu_position` is the position of the CPU-utilization counter
+    /// within `spec`'s current columns, used for the strawman tier; pass
+    /// `spec.counters.iter().position(..)` of the utilization index, or
+    /// take it from [`strawman_position`]. `idle_power_w` is the
+    /// per-machine constant floor (tier 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`StatsError`] from dataset construction or the full
+    /// model fit. A strawman fit failure is not fatal — the tier is
+    /// simply absent and the chain skips from Reduced to Constant.
+    pub fn fit(
+        traces: &[RunTrace],
+        spec: &FeatureSpec,
+        cpu_position: Option<usize>,
+        idle_power_w: f64,
+        config: RobustConfig,
+    ) -> Result<Self, StatsError> {
+        let ds: Dataset = pooled_dataset_valid(traces, spec)?;
+        let ds = ds.thinned(config.max_train_rows);
+        let full = FittedModel::fit(config.technique, &ds.x, &ds.y, &config.fit)?;
+        let strawman = cpu_position.and_then(|p| {
+            let x = ds.x.select_cols(&[p]);
+            FittedModel::fit(ModelTechnique::Linear, &x, &ds.y, &config.fit).ok()
+        });
+        Ok(RobustEstimator {
+            spec: spec.clone(),
+            config,
+            full,
+            strawman,
+            cpu_position,
+            idle_power_w,
+            train_x: ds.x,
+            train_y: ds.y,
+            reduced_cache: HashMap::new(),
+        })
+    }
+
+    /// The feature spec the estimator reads.
+    pub fn spec(&self) -> &FeatureSpec {
+        &self.spec
+    }
+
+    /// The idle-power constant used by the last-resort tier, in watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.idle_power_w
+    }
+
+    /// Number of reduced models refit so far (cache size) — a cheap
+    /// proxy for how much column-failure diversity the stream showed.
+    pub fn reduced_models_fitted(&self) -> usize {
+        self.reduced_cache.len()
+    }
+
+    /// Creates the streaming imputer state for one machine stream.
+    pub fn new_imputer(&self) -> ImputerState {
+        ImputerState::new(self.spec.width(), self.config.impute)
+    }
+
+    /// Estimates one second of one machine stream, walking the fallback
+    /// chain. Feed seconds in order with the same `imp` state per
+    /// stream. Never panics, never returns NaN.
+    pub fn estimate_second(
+        &mut self,
+        m: &MachineRunTrace,
+        t: usize,
+        imp: &mut ImputerState,
+    ) -> SampleEstimate {
+        let width = self.spec.width();
+        let mut row = vec![0.0_f64; width];
+        let mut available = vec![false; width];
+        let mut imputed = 0usize;
+
+        if m.alive_at(t) {
+            for (k, &c) in self.spec.counters.iter().enumerate() {
+                let v = m.counters[t].get(c).copied().unwrap_or(f64::NAN);
+                if m.counter_ok(t, c) && v.is_finite() {
+                    imp.observe(k, v);
+                    row[k] = v;
+                    available[k] = true;
+                } else if let Some(iv) = imp.impute(k, self.config.impute) {
+                    row[k] = iv;
+                    available[k] = true;
+                    imputed += 1;
+                }
+            }
+            let base = self.spec.counters.len();
+            for (j, &c) in self.spec.lagged.iter().enumerate() {
+                let k = base + j;
+                let v = if t > 0 {
+                    m.counters[t - 1].get(c).copied().unwrap_or(f64::NAN)
+                } else {
+                    f64::NAN
+                };
+                if t > 0 && m.counter_ok(t - 1, c) && v.is_finite() {
+                    imp.observe(k, v);
+                    row[k] = v;
+                    available[k] = true;
+                } else if let Some(iv) = imp.impute(k, self.config.impute) {
+                    row[k] = iv;
+                    available[k] = true;
+                    imputed += 1;
+                }
+            }
+        }
+
+        // Tier 1: full model on a complete row.
+        if available.iter().all(|&a| a) {
+            if let Ok(p) = self.full.predict_row(&row) {
+                if p.is_finite() {
+                    return SampleEstimate {
+                        power_w: p,
+                        tier: EstimateTier::Full,
+                        imputed,
+                    };
+                }
+            }
+        }
+
+        // Tier 2: linear refit on the surviving columns.
+        let keep: Vec<usize> = (0..width).filter(|&k| available[k]).collect();
+        if keep.len() >= self.config.reduced_min_features.max(1) && keep.len() < width {
+            if let Some(model) = self.reduced_model(&keep) {
+                let sub: Vec<f64> = keep.iter().map(|&k| row[k]).collect();
+                if let Ok(p) = model.predict_row(&sub) {
+                    if p.is_finite() {
+                        return SampleEstimate {
+                            power_w: p,
+                            tier: EstimateTier::Reduced,
+                            imputed,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Tier 3: CPU-utilization strawman.
+        if let (Some(pos), Some(straw)) = (self.cpu_position, self.strawman.as_ref()) {
+            if available[pos] {
+                if let Ok(p) = straw.predict_row(&row[pos..=pos]) {
+                    if p.is_finite() {
+                        return SampleEstimate {
+                            power_w: p,
+                            tier: EstimateTier::Strawman,
+                            imputed,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Tier 4: the constant floor.
+        SampleEstimate {
+            power_w: self.idle_power_w,
+            tier: EstimateTier::Constant,
+            imputed,
+        }
+    }
+
+    /// Estimates a whole machine trace, returning one [`SampleEstimate`]
+    /// per second.
+    pub fn estimate_machine(&mut self, m: &MachineRunTrace) -> Vec<SampleEstimate> {
+        let mut imp = self.new_imputer();
+        (0..m.seconds())
+            .map(|t| self.estimate_second(m, t, &mut imp))
+            .collect()
+    }
+
+    /// Estimates cluster power for a run: per-machine chains summed per
+    /// second (Eq. 5 with per-machine degradation), plus the per-sample
+    /// *worst* tier used across machines — the honest provenance for the
+    /// summed wattage.
+    pub fn estimate_cluster(&mut self, run: &RunTrace) -> ClusterEstimate {
+        let n = run.seconds();
+        let mut total = vec![0.0_f64; n];
+        let mut worst = vec![EstimateTier::Full; n];
+        let mut tier_counts: HashMap<EstimateTier, usize> = HashMap::new();
+        for m in &run.machines {
+            let est = self.estimate_machine(m);
+            for (t, e) in est.iter().enumerate().take(n) {
+                total[t] += e.power_w;
+                worst[t] = worst[t].max(e.tier);
+                *tier_counts.entry(e.tier).or_insert(0) += 1;
+            }
+        }
+        ClusterEstimate {
+            power_w: total,
+            worst_tier: worst,
+            tier_counts,
+        }
+    }
+}
+
+/// A cluster-level robust estimate with provenance.
+#[derive(Debug, Clone)]
+pub struct ClusterEstimate {
+    /// Estimated cluster power per second, in watts. Always finite.
+    pub power_w: Vec<f64>,
+    /// Per second, the least capable tier any machine needed.
+    pub worst_tier: Vec<EstimateTier>,
+    /// How many (machine, second) samples each tier answered.
+    pub tier_counts: HashMap<EstimateTier, usize>,
+}
+
+impl ClusterEstimate {
+    /// Fraction of (machine, second) samples answered above the constant
+    /// floor — the coverage metric of the fault-sweep ablation.
+    pub fn coverage(&self) -> f64 {
+        let total: usize = self.tier_counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let constant = self
+            .tier_counts
+            .get(&EstimateTier::Constant)
+            .copied()
+            .unwrap_or(0);
+        (total - constant) as f64 / total as f64
+    }
+}
+
+impl RobustEstimator {
+    fn reduced_model(&mut self, keep: &[usize]) -> Option<&FittedModel> {
+        let key = keep.iter().fold(0u64, |acc, &k| acc | (1 << (k % 64)));
+        if !self.reduced_cache.contains_key(&key) {
+            let x = self.train_x.select_cols(keep);
+            let model =
+                FittedModel::fit(ModelTechnique::Linear, &x, &self.train_y, &self.config.fit).ok();
+            self.reduced_cache.insert(key, model);
+        }
+        self.reduced_cache.get(&key).and_then(|m| m.as_ref())
+    }
+}
+
+/// Position of the CPU-utilization counter within a spec's current
+/// columns, for wiring the strawman tier.
+pub fn strawman_position(
+    spec: &FeatureSpec,
+    catalog: &chaos_counters::CounterCatalog,
+) -> Option<usize> {
+    let idx = catalog.index_of("Processor\\% Processor Time (_Total)")?;
+    spec.counters.iter().position(|&c| c == idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_counters::{collect_run, CounterCatalog, FaultPlan};
+    use chaos_sim::{Cluster, Platform};
+    use chaos_workloads::{SimConfig, Workload};
+
+    fn setup() -> (Vec<RunTrace>, RunTrace, Cluster, CounterCatalog) {
+        let cluster = Cluster::homogeneous(Platform::Core2, 2, 2);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let train: Vec<RunTrace> = (0..2)
+            .map(|r| {
+                collect_run(
+                    &cluster,
+                    &catalog,
+                    Workload::Prime,
+                    &SimConfig::quick(),
+                    300 + r,
+                )
+                .unwrap()
+            })
+            .collect();
+        let test = collect_run(
+            &cluster,
+            &catalog,
+            Workload::Prime,
+            &SimConfig::quick(),
+            390,
+        )
+        .unwrap();
+        (train, test, cluster, catalog)
+    }
+
+    fn estimator(
+        train: &[RunTrace],
+        cluster: &Cluster,
+        catalog: &CounterCatalog,
+    ) -> RobustEstimator {
+        let spec = FeatureSpec::general(catalog);
+        let cpu = strawman_position(&spec, catalog);
+        let idle = cluster.idle_power() / cluster.machines().len() as f64;
+        let cfg = RobustConfig {
+            fit: RobustConfig::fast()
+                .fit
+                .with_freq_column(spec.freq_column(catalog)),
+            ..RobustConfig::fast()
+        };
+        RobustEstimator::fit(train, &spec, cpu, idle, cfg).unwrap()
+    }
+
+    #[test]
+    fn clean_trace_answers_full_tier_everywhere() {
+        let (train, test, cluster, catalog) = setup();
+        let mut est = estimator(&train, &cluster, &catalog);
+        let ce = est.estimate_cluster(&test);
+        assert!(ce.coverage() > 0.999, "coverage {}", ce.coverage());
+        assert!(ce.worst_tier.iter().all(|&t| t == EstimateTier::Full));
+        // And it is accurate: DRE well inside the paper's regime.
+        let actual = test.cluster_measured_power();
+        let rmse = chaos_stats::metrics::rmse(&ce.power_w, &actual).unwrap();
+        let dre = rmse / (cluster.max_power() - cluster.idle_power());
+        assert!(dre < 0.15, "clean DRE {dre}");
+    }
+
+    #[test]
+    fn moderate_dropout_keeps_estimates_finite_and_bounded() {
+        let (train, test, cluster, catalog) = setup();
+        let mut est = estimator(&train, &cluster, &catalog);
+        let faulted = FaultPlan::new(77).with_counter_dropout(0.2).apply(&test);
+        let ce = est.estimate_cluster(&faulted);
+        assert!(ce.power_w.iter().all(|p| p.is_finite()));
+        // Score against the *clean* measured power: the estimator only
+        // saw the faulted counters.
+        let actual = test.cluster_measured_power();
+        let rmse = chaos_stats::metrics::rmse(&ce.power_w, &actual).unwrap();
+        let dre = rmse / (cluster.max_power() - cluster.idle_power());
+        assert!(dre < 0.35, "faulted DRE {dre}");
+        // Imputation + reduced refits keep coverage high at 20% dropout.
+        assert!(ce.coverage() > 0.5, "coverage {}", ce.coverage());
+        assert!(est.reduced_models_fitted() > 0);
+    }
+
+    #[test]
+    fn crashed_machine_falls_to_constant_floor() {
+        let (train, test, cluster, catalog) = setup();
+        let mut est = estimator(&train, &cluster, &catalog);
+        let faulted = FaultPlan::new(5).with_crashes(1.0).apply(&test);
+        let m = &faulted.machines[0];
+        let series = est.estimate_machine(m);
+        let crash_t = (0..m.seconds()).find(|&t| !m.alive_at(t)).unwrap();
+        // After the imputation horizon runs out, the chain floors out.
+        let horizon = 4;
+        for e in &series[(crash_t + horizon).min(series.len() - 1)..] {
+            assert_eq!(e.tier, EstimateTier::Constant);
+            assert_eq!(e.power_w, est.idle_power_w());
+        }
+        for e in &series[..crash_t] {
+            assert_eq!(e.tier, EstimateTier::Full);
+        }
+    }
+
+    #[test]
+    fn stuck_feature_demotes_to_reduced_not_constant() {
+        let (train, test, cluster, catalog) = setup();
+        let mut est = estimator(&train, &cluster, &catalog);
+        // Invalidate one general-set feature for the whole run on one
+        // machine by marking it stuck from t=1.
+        let mut faulted = test.clone();
+        let spec = FeatureSpec::general(&catalog);
+        let c = spec.counters[3];
+        let m = &mut faulted.machines[0];
+        let n = m.seconds();
+        let mut mask = chaos_counters::ValidityMask::all_valid(n, m.width());
+        for t in 1..n {
+            mask.counters[t][c] = false;
+        }
+        m.validity = mask;
+        let series = est.estimate_machine(&faulted.machines[0]);
+        // After the imputation horizon the chain settles on Reduced.
+        let tail = &series[10..];
+        assert!(
+            tail.iter().all(|e| e.tier == EstimateTier::Reduced),
+            "{:?}",
+            tail[0].tier
+        );
+        assert!(tail.iter().all(|e| e.power_w.is_finite()));
+        assert_eq!(est.reduced_models_fitted(), 1);
+    }
+
+    #[test]
+    fn rolling_median_policy_bridges_gaps() {
+        let (train, test, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let cpu = strawman_position(&spec, &catalog);
+        let idle = cluster.idle_power() / cluster.machines().len() as f64;
+        let cfg = RobustConfig {
+            fit: RobustConfig::fast()
+                .fit
+                .with_freq_column(spec.freq_column(&catalog)),
+            ..RobustConfig::fast()
+        }
+        .with_impute(ImputePolicy::RollingMedian {
+            window: 5,
+            max_run: 3,
+        });
+        let mut est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
+        let faulted = FaultPlan::new(9).with_counter_dropout(0.05).apply(&test);
+        let series = est.estimate_machine(&faulted.machines[0]);
+        assert!(series.iter().any(|e| e.imputed > 0));
+        assert!(series
+            .iter()
+            .filter(|e| e.imputed > 0)
+            .all(|e| e.tier == EstimateTier::Full || e.tier == EstimateTier::Reduced));
+    }
+
+    #[test]
+    fn no_imputation_policy_demotes_immediately() {
+        let (train, test, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let cpu = strawman_position(&spec, &catalog);
+        let idle = cluster.idle_power() / cluster.machines().len() as f64;
+        let cfg = RobustConfig {
+            fit: RobustConfig::fast()
+                .fit
+                .with_freq_column(spec.freq_column(&catalog)),
+            ..RobustConfig::fast()
+        }
+        .with_impute(ImputePolicy::None);
+        let mut est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
+        let faulted = FaultPlan::new(4).with_counter_dropout(0.15).apply(&test);
+        let series = est.estimate_machine(&faulted.machines[0]);
+        assert!(series.iter().all(|e| e.imputed == 0));
+        assert!(series.iter().any(|e| e.tier == EstimateTier::Reduced));
+    }
+
+    #[test]
+    fn tier_ordering_matches_capability() {
+        assert!(EstimateTier::Full < EstimateTier::Reduced);
+        assert!(EstimateTier::Reduced < EstimateTier::Strawman);
+        assert!(EstimateTier::Strawman < EstimateTier::Constant);
+        assert_eq!(EstimateTier::Full.label(), "full");
+    }
+}

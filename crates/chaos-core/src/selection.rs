@@ -111,15 +111,14 @@ pub fn step1_correlation_prune(
             let col = ds.x.col(j);
             let r = corr::pearson(&col, &ds.y).unwrap_or(0.0).abs();
             let def = catalog.def(j);
-            let canonical_bonus = if crate::features::GENERAL_FEATURE_NAMES
-                .contains(&def.name.as_str())
-            {
-                0.06
-            } else if matches!(def.kind, chaos_counters::CounterKind::Signal { .. }) {
-                0.02
-            } else {
-                0.0
-            };
+            let canonical_bonus =
+                if crate::features::GENERAL_FEATURE_NAMES.contains(&def.name.as_str()) {
+                    0.06
+                } else if matches!(def.kind, chaos_counters::CounterKind::Signal { .. }) {
+                    0.02
+                } else {
+                    0.0
+                };
             (j, r + canonical_bonus)
         })
         .collect();
@@ -155,8 +154,8 @@ fn standardized(x: &Matrix) -> Matrix {
         let col = x.col(j);
         let m = describe::mean(&col);
         let sd = describe::std_dev_population(&col).max(f64::MIN_POSITIVE);
-        for i in 0..x.rows() {
-            out.set(i, j, (col[i] - m) / sd);
+        for (i, v) in col.iter().enumerate() {
+            out.set(i, j, (v - m) / sd);
         }
     }
     out
@@ -211,7 +210,7 @@ pub fn select_features(
     // Steps 3–5: per machine × workload lasso + stepwise, accumulate the
     // weighted union histogram.
     let mut weights: Vec<f64> = vec![0.0; catalog.len()];
-    for (_, runs) in &by_workload {
+    for runs in by_workload.values() {
         let runs_owned: Vec<RunTrace> = runs.iter().map(|r| (*r).clone()).collect();
         for &mid in &machine_ids {
             let spec = FeatureSpec::new(s2.clone());
@@ -308,7 +307,11 @@ pub fn select_features(
     // threshold up" in the paper's telling.
     let cols: Vec<usize> = above
         .iter()
-        .map(|j| s2.iter().position(|k| k == j).expect("candidate survived step 2"))
+        .map(|j| {
+            s2.iter()
+                .position(|k| k == j)
+                .expect("candidate survived step 2")
+        })
         .collect();
     let xp = pooled.x.select_cols(&cols);
     let live = live_columns(&xp);
@@ -329,12 +332,7 @@ pub fn select_features(
         selected = sw.selected.iter().map(|&p| above[live[p]]).collect();
         let min_weight = selected
             .iter()
-            .filter_map(|j| {
-                histogram
-                    .iter()
-                    .find(|(k, _)| k == j)
-                    .map(|(_, w)| *w)
-            })
+            .filter_map(|j| histogram.iter().find(|(k, _)| k == j).map(|(_, w)| *w))
             .fold(f64::INFINITY, f64::min);
         if min_weight.is_finite() {
             threshold = threshold.max(min_weight.floor());
@@ -379,13 +377,16 @@ mod tests {
         let mut traces = Vec::new();
         for (wi, w) in [Workload::Prime, Workload::WordCount].iter().enumerate() {
             for r in 0..2 {
-                traces.push(collect_run(
-                    &cluster,
-                    &catalog,
-                    *w,
-                    &SimConfig::quick(),
-                    (wi * 10 + r) as u64,
-                ));
+                traces.push(
+                    collect_run(
+                        &cluster,
+                        &catalog,
+                        *w,
+                        &SimConfig::quick(),
+                        (wi * 10 + r) as u64,
+                    )
+                    .unwrap(),
+                );
             }
         }
         (traces, catalog)
@@ -470,11 +471,19 @@ mod tests {
             "Memory\\Cache Faults/sec",
             "Memory\\Demand Zero Faults/sec",
         ];
-        let found = result.selected.iter().any(|&j| {
-            util_family.contains(&catalog.def(j).name.as_str())
-        });
-        assert!(found, "utilization family missing from {:?}",
-            result.selected.iter().map(|&j| &catalog.def(j).name).collect::<Vec<_>>());
+        let found = result
+            .selected
+            .iter()
+            .any(|&j| util_family.contains(&catalog.def(j).name.as_str()));
+        assert!(
+            found,
+            "utilization family missing from {:?}",
+            result
+                .selected
+                .iter()
+                .map(|&j| &catalog.def(j).name)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -45,9 +45,8 @@ pub fn sweep_grid(
     techniques: &[ModelTechnique],
     config: &EvalConfig,
 ) -> Result<Vec<SweepCell>, StatsError> {
-    let catalog = chaos_counters::CounterCatalog::for_platform(
-        &cluster.machines()[0].spec().platform.spec(),
-    );
+    let catalog =
+        chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let mut cells = Vec::new();
     for (label, spec) in feature_sets {
         for &technique in techniques {
@@ -108,6 +107,7 @@ mod tests {
                     &SimConfig::quick(),
                     70 + r,
                 )
+                .unwrap()
             })
             .collect();
         (traces, cluster, catalog)

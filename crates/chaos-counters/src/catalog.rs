@@ -182,16 +182,64 @@ impl CounterCatalog {
         use SignalSource as S;
 
         // --- Processor ------------------------------------------------
-        let cpu_util = b.signal("Processor\\% Processor Time (_Total)", C::Processor, S::CpuUtilPct, 0.01);
-        b.signal("Processor\\% User Time (_Total)", C::Processor, S::CpuUserPct, 0.05);
-        b.signal("Processor\\% Privileged Time (_Total)", C::Processor, S::CpuPrivilegedPct, 0.05);
-        b.signal("Processor\\% Idle Time (_Total)", C::Processor, S::CpuIdlePct, 0.02);
-        let interrupts = b.signal("Processor\\Interrupts/sec (_Total)", C::Processor, S::CpuInterruptsPerSec, 0.05);
-        b.signal("Processor\\% DPC Time (_Total)", C::Processor, S::CpuDpcPct, 0.06);
+        let cpu_util = b.signal(
+            "Processor\\% Processor Time (_Total)",
+            C::Processor,
+            S::CpuUtilPct,
+            0.01,
+        );
+        b.signal(
+            "Processor\\% User Time (_Total)",
+            C::Processor,
+            S::CpuUserPct,
+            0.05,
+        );
+        b.signal(
+            "Processor\\% Privileged Time (_Total)",
+            C::Processor,
+            S::CpuPrivilegedPct,
+            0.05,
+        );
+        b.signal(
+            "Processor\\% Idle Time (_Total)",
+            C::Processor,
+            S::CpuIdlePct,
+            0.02,
+        );
+        let interrupts = b.signal(
+            "Processor\\Interrupts/sec (_Total)",
+            C::Processor,
+            S::CpuInterruptsPerSec,
+            0.05,
+        );
+        b.signal(
+            "Processor\\% DPC Time (_Total)",
+            C::Processor,
+            S::CpuDpcPct,
+            0.06,
+        );
         // Aliases (correlated > 0.95 with the base).
-        b.correlated("Processor\\% Processor Utility (_Total)", C::Processor, cpu_util, 1.02, 0.01);
-        b.correlated("Processor Information\\% Processor Time (_Total)", C::Processor, cpu_util, 1.0, 0.005);
-        b.correlated("Processor\\DPCs Queued/sec (_Total)", C::Processor, interrupts, 0.3, 0.03);
+        b.correlated(
+            "Processor\\% Processor Utility (_Total)",
+            C::Processor,
+            cpu_util,
+            1.02,
+            0.01,
+        );
+        b.correlated(
+            "Processor Information\\% Processor Time (_Total)",
+            C::Processor,
+            cpu_util,
+            1.0,
+            0.005,
+        );
+        b.correlated(
+            "Processor\\DPCs Queued/sec (_Total)",
+            C::Processor,
+            interrupts,
+            0.3,
+            0.03,
+        );
 
         // --- Processor performance (per-core frequency) ----------------
         for core in 0..spec.cores {
@@ -213,87 +261,412 @@ impl CounterCatalog {
         }
 
         // --- Physical disk ---------------------------------------------
-        let disk_read = b.signal("PhysicalDisk\\Disk Read Bytes/sec (_Total)", C::PhysicalDisk, S::DiskReadBytesPerSec, 0.04);
-        let disk_write = b.signal("PhysicalDisk\\Disk Write Bytes/sec (_Total)", C::PhysicalDisk, S::DiskWriteBytesPerSec, 0.04);
-        b.sum("PhysicalDisk\\Disk Total Disk Bytes/sec (_Total)", C::PhysicalDisk, disk_read, disk_write);
-        let disk_time = b.signal("PhysicalDisk\\Disk Total Disk Time % (_Total)", C::PhysicalDisk, S::DiskTimePct, 0.03);
-        b.signal("PhysicalDisk\\% Idle Time (_Total)", C::PhysicalDisk, S::DiskIdlePct, 0.03);
-        let disk_reads = b.signal("PhysicalDisk\\Disk Reads/sec (_Total)", C::PhysicalDisk, S::DiskReadsPerSec, 0.05);
-        let disk_writes = b.signal("PhysicalDisk\\Disk Writes/sec (_Total)", C::PhysicalDisk, S::DiskWritesPerSec, 0.05);
-        b.sum("PhysicalDisk\\Disk Transfers/sec (_Total)", C::PhysicalDisk, disk_reads, disk_writes);
-        b.signal("PhysicalDisk\\Avg. Disk Queue Length (_Total)", C::PhysicalDisk, S::DiskQueueLength, 0.08);
-        b.correlated("PhysicalDisk\\% Disk Read Time (_Total)", C::PhysicalDisk, disk_time, 0.6, 0.04);
-        b.correlated("PhysicalDisk\\% Disk Write Time (_Total)", C::PhysicalDisk, disk_time, 0.45, 0.04);
-        b.correlated("LogicalDisk\\Disk Bytes/sec (_Total)", C::PhysicalDisk, disk_read, 1.8, 0.02);
+        let disk_read = b.signal(
+            "PhysicalDisk\\Disk Read Bytes/sec (_Total)",
+            C::PhysicalDisk,
+            S::DiskReadBytesPerSec,
+            0.04,
+        );
+        let disk_write = b.signal(
+            "PhysicalDisk\\Disk Write Bytes/sec (_Total)",
+            C::PhysicalDisk,
+            S::DiskWriteBytesPerSec,
+            0.04,
+        );
+        b.sum(
+            "PhysicalDisk\\Disk Total Disk Bytes/sec (_Total)",
+            C::PhysicalDisk,
+            disk_read,
+            disk_write,
+        );
+        let disk_time = b.signal(
+            "PhysicalDisk\\Disk Total Disk Time % (_Total)",
+            C::PhysicalDisk,
+            S::DiskTimePct,
+            0.03,
+        );
+        b.signal(
+            "PhysicalDisk\\% Idle Time (_Total)",
+            C::PhysicalDisk,
+            S::DiskIdlePct,
+            0.03,
+        );
+        let disk_reads = b.signal(
+            "PhysicalDisk\\Disk Reads/sec (_Total)",
+            C::PhysicalDisk,
+            S::DiskReadsPerSec,
+            0.05,
+        );
+        let disk_writes = b.signal(
+            "PhysicalDisk\\Disk Writes/sec (_Total)",
+            C::PhysicalDisk,
+            S::DiskWritesPerSec,
+            0.05,
+        );
+        b.sum(
+            "PhysicalDisk\\Disk Transfers/sec (_Total)",
+            C::PhysicalDisk,
+            disk_reads,
+            disk_writes,
+        );
+        b.signal(
+            "PhysicalDisk\\Avg. Disk Queue Length (_Total)",
+            C::PhysicalDisk,
+            S::DiskQueueLength,
+            0.08,
+        );
+        b.correlated(
+            "PhysicalDisk\\% Disk Read Time (_Total)",
+            C::PhysicalDisk,
+            disk_time,
+            0.6,
+            0.04,
+        );
+        b.correlated(
+            "PhysicalDisk\\% Disk Write Time (_Total)",
+            C::PhysicalDisk,
+            disk_time,
+            0.45,
+            0.04,
+        );
+        b.correlated(
+            "LogicalDisk\\Disk Bytes/sec (_Total)",
+            C::PhysicalDisk,
+            disk_read,
+            1.8,
+            0.02,
+        );
 
         // --- Network ----------------------------------------------------
-        let net_sent = b.signal("Network Interface\\Bytes Sent/sec", C::Network, S::NetBytesSentPerSec, 0.04);
-        let net_recv = b.signal("Network Interface\\Bytes Received/sec", C::Network, S::NetBytesRecvPerSec, 0.04);
-        b.sum("Network Interface\\Bytes Total/sec", C::Network, net_sent, net_recv);
-        let datagrams = b.signal("UDPv4\\Datagrams/sec", C::Network, S::NetDatagramsPerSec, 0.05);
-        let packets = b.signal("Network Interface\\Packets/sec", C::Network, S::NetPacketsPerSec, 0.04);
-        b.signal("Network Interface\\Output Queue Length", C::Network, S::NetOutputQueueLength, 0.10);
+        let net_sent = b.signal(
+            "Network Interface\\Bytes Sent/sec",
+            C::Network,
+            S::NetBytesSentPerSec,
+            0.04,
+        );
+        let net_recv = b.signal(
+            "Network Interface\\Bytes Received/sec",
+            C::Network,
+            S::NetBytesRecvPerSec,
+            0.04,
+        );
+        b.sum(
+            "Network Interface\\Bytes Total/sec",
+            C::Network,
+            net_sent,
+            net_recv,
+        );
+        let datagrams = b.signal(
+            "UDPv4\\Datagrams/sec",
+            C::Network,
+            S::NetDatagramsPerSec,
+            0.05,
+        );
+        let packets = b.signal(
+            "Network Interface\\Packets/sec",
+            C::Network,
+            S::NetPacketsPerSec,
+            0.04,
+        );
+        b.signal(
+            "Network Interface\\Output Queue Length",
+            C::Network,
+            S::NetOutputQueueLength,
+            0.10,
+        );
         b.correlated("TCPv4\\Segments/sec", C::Network, packets, 0.85, 0.02);
         b.correlated("IPv4\\Datagrams/sec", C::Network, datagrams, 1.05, 0.01);
-        b.correlated("Network Interface\\Packets Sent/sec", C::Network, net_sent, 0.0007, 0.02);
-        b.correlated("Network Interface\\Packets Received/sec", C::Network, net_recv, 0.0007, 0.02);
+        b.correlated(
+            "Network Interface\\Packets Sent/sec",
+            C::Network,
+            net_sent,
+            0.0007,
+            0.02,
+        );
+        b.correlated(
+            "Network Interface\\Packets Received/sec",
+            C::Network,
+            net_recv,
+            0.0007,
+            0.02,
+        );
 
         // --- Memory -----------------------------------------------------
         b.signal("Memory\\Pages/sec", C::Memory, S::PagesPerSec, 0.05);
-        let page_faults = b.signal("Memory\\Page Faults/sec", C::Memory, S::PageFaultsPerSec, 0.05);
-        let cache_faults = b.signal("Memory\\Cache Faults/sec", C::Memory, S::CacheFaultsPerSec, 0.05);
-        let page_reads = b.signal("Memory\\Page Reads/sec", C::Memory, S::PageReadsPerSec, 0.06);
-        let page_writes = b.signal("Memory\\Page Writes/sec", C::Memory, S::PageWritesPerSec, 0.06);
-        b.signal("Memory\\Committed Bytes", C::Memory, S::CommittedBytes, 0.01);
-        b.signal("Memory\\Pool Nonpaged Allocs", C::Memory, S::PoolNonpagedAllocs, 0.03);
-        b.signal("Memory\\Available Bytes", C::Memory, S::AvailableBytes, 0.01);
-        b.signal("Memory\\Transition Faults/sec", C::Memory, S::TransitionFaultsPerSec, 0.06);
-        b.signal("Memory\\Demand Zero Faults/sec", C::Memory, S::DemandZeroFaultsPerSec, 0.06);
-        b.sum("Memory\\Pages Input+Output/sec", C::Memory, page_reads, page_writes);
+        let page_faults = b.signal(
+            "Memory\\Page Faults/sec",
+            C::Memory,
+            S::PageFaultsPerSec,
+            0.05,
+        );
+        let cache_faults = b.signal(
+            "Memory\\Cache Faults/sec",
+            C::Memory,
+            S::CacheFaultsPerSec,
+            0.05,
+        );
+        let page_reads = b.signal(
+            "Memory\\Page Reads/sec",
+            C::Memory,
+            S::PageReadsPerSec,
+            0.06,
+        );
+        let page_writes = b.signal(
+            "Memory\\Page Writes/sec",
+            C::Memory,
+            S::PageWritesPerSec,
+            0.06,
+        );
+        b.signal(
+            "Memory\\Committed Bytes",
+            C::Memory,
+            S::CommittedBytes,
+            0.01,
+        );
+        b.signal(
+            "Memory\\Pool Nonpaged Allocs",
+            C::Memory,
+            S::PoolNonpagedAllocs,
+            0.03,
+        );
+        b.signal(
+            "Memory\\Available Bytes",
+            C::Memory,
+            S::AvailableBytes,
+            0.01,
+        );
+        b.signal(
+            "Memory\\Transition Faults/sec",
+            C::Memory,
+            S::TransitionFaultsPerSec,
+            0.06,
+        );
+        b.signal(
+            "Memory\\Demand Zero Faults/sec",
+            C::Memory,
+            S::DemandZeroFaultsPerSec,
+            0.06,
+        );
+        b.sum(
+            "Memory\\Pages Input+Output/sec",
+            C::Memory,
+            page_reads,
+            page_writes,
+        );
         b.correlated("Memory\\Pages Input/sec", C::Memory, page_reads, 3.8, 0.03);
-        b.correlated("Memory\\Pages Output/sec", C::Memory, page_writes, 3.8, 0.03);
+        b.correlated(
+            "Memory\\Pages Output/sec",
+            C::Memory,
+            page_writes,
+            3.8,
+            0.03,
+        );
         b.correlated("Memory\\Cache Bytes", C::Memory, cache_faults, 2e4, 0.03);
-        b.correlated("Memory\\Pool Paged Allocs", C::Memory, page_faults, 0.15, 0.04);
+        b.correlated(
+            "Memory\\Pool Paged Allocs",
+            C::Memory,
+            page_faults,
+            0.15,
+            0.04,
+        );
 
         // --- Process (_Total) --------------------------------------------
-        let proc_pf = b.signal("Process\\Total Page Faults/sec (_Total)", C::Process, S::ProcTotalPageFaultsPerSec, 0.05);
-        let proc_io = b.signal("Process\\Total IO Data Bytes/sec (_Total)", C::Process, S::ProcIoDataBytesPerSec, 0.04);
-        b.signal("Process\\Thread Count (_Total)", C::Process, S::ProcThreadCount, 0.08);
-        b.signal("Process\\Handle Count (_Total)", C::Process, S::ProcHandleCount, 0.10);
-        b.signal("Process\\Working Set (_Total)", C::Process, S::ProcWorkingSet, 0.01);
-        b.correlated("Process\\IO Other Bytes/sec (_Total)", C::Process, proc_io, 0.12, 0.05);
-        b.correlated("Process\\Private Bytes (_Total)", C::Process, proc_pf, 5e4, 0.04);
+        let proc_pf = b.signal(
+            "Process\\Total Page Faults/sec (_Total)",
+            C::Process,
+            S::ProcTotalPageFaultsPerSec,
+            0.05,
+        );
+        let proc_io = b.signal(
+            "Process\\Total IO Data Bytes/sec (_Total)",
+            C::Process,
+            S::ProcIoDataBytesPerSec,
+            0.04,
+        );
+        b.signal(
+            "Process\\Thread Count (_Total)",
+            C::Process,
+            S::ProcThreadCount,
+            0.08,
+        );
+        b.signal(
+            "Process\\Handle Count (_Total)",
+            C::Process,
+            S::ProcHandleCount,
+            0.10,
+        );
+        b.signal(
+            "Process\\Working Set (_Total)",
+            C::Process,
+            S::ProcWorkingSet,
+            0.01,
+        );
+        b.correlated(
+            "Process\\IO Other Bytes/sec (_Total)",
+            C::Process,
+            proc_io,
+            0.12,
+            0.05,
+        );
+        b.correlated(
+            "Process\\Private Bytes (_Total)",
+            C::Process,
+            proc_pf,
+            5e4,
+            0.04,
+        );
 
         // --- File system cache -------------------------------------------
-        let pin_reads = b.signal("Cache\\Pin Reads/sec", C::FileSystemCache, S::FscPinReadsPerSec, 0.05);
-        let map_pins = b.signal("Cache\\Data Map Pins/sec", C::FileSystemCache, S::FscDataMapPinsPerSec, 0.05);
-        b.signal("Cache\\Pin Read Hits %", C::FileSystemCache, S::FscPinReadHitsPct, 0.02);
-        let copy_reads = b.signal("Cache\\Copy Reads/sec", C::FileSystemCache, S::FscCopyReadsPerSec, 0.05);
-        b.signal("Cache\\Fast Reads Not Possible/sec", C::FileSystemCache, S::FscFastReadsNotPossiblePerSec, 0.06);
-        let lazy_flush = b.signal("Cache\\Lazy Write Flushes/sec", C::FileSystemCache, S::FscLazyWriteFlushesPerSec, 0.06);
-        b.signal("Cache\\Data Maps/sec", C::FileSystemCache, S::FscDataMapsPerSec, 0.05);
-        b.signal("Cache\\Read Aheads/sec", C::FileSystemCache, S::FscReadAheadsPerSec, 0.06);
-        b.signal("Cache\\Dirty Pages", C::FileSystemCache, S::FscDirtyPages, 0.05);
-        b.signal("Cache\\Lazy Write Pages/sec", C::FileSystemCache, S::FscLazyWritePagesPerSec, 0.06);
-        b.correlated("Cache\\Copy Read Hits %", C::FileSystemCache, copy_reads, 0.002, 0.05);
-        b.correlated("Cache\\MDL Reads/sec", C::FileSystemCache, map_pins, 0.4, 0.04);
-        b.correlated("Cache\\Lazy Write Flushes (alias)/sec", C::FileSystemCache, lazy_flush, 1.0, 0.01);
-        b.correlated("Cache\\Sync Pin Reads/sec", C::FileSystemCache, pin_reads, 0.9, 0.02);
+        let pin_reads = b.signal(
+            "Cache\\Pin Reads/sec",
+            C::FileSystemCache,
+            S::FscPinReadsPerSec,
+            0.05,
+        );
+        let map_pins = b.signal(
+            "Cache\\Data Map Pins/sec",
+            C::FileSystemCache,
+            S::FscDataMapPinsPerSec,
+            0.05,
+        );
+        b.signal(
+            "Cache\\Pin Read Hits %",
+            C::FileSystemCache,
+            S::FscPinReadHitsPct,
+            0.02,
+        );
+        let copy_reads = b.signal(
+            "Cache\\Copy Reads/sec",
+            C::FileSystemCache,
+            S::FscCopyReadsPerSec,
+            0.05,
+        );
+        b.signal(
+            "Cache\\Fast Reads Not Possible/sec",
+            C::FileSystemCache,
+            S::FscFastReadsNotPossiblePerSec,
+            0.06,
+        );
+        let lazy_flush = b.signal(
+            "Cache\\Lazy Write Flushes/sec",
+            C::FileSystemCache,
+            S::FscLazyWriteFlushesPerSec,
+            0.06,
+        );
+        b.signal(
+            "Cache\\Data Maps/sec",
+            C::FileSystemCache,
+            S::FscDataMapsPerSec,
+            0.05,
+        );
+        b.signal(
+            "Cache\\Read Aheads/sec",
+            C::FileSystemCache,
+            S::FscReadAheadsPerSec,
+            0.06,
+        );
+        b.signal(
+            "Cache\\Dirty Pages",
+            C::FileSystemCache,
+            S::FscDirtyPages,
+            0.05,
+        );
+        b.signal(
+            "Cache\\Lazy Write Pages/sec",
+            C::FileSystemCache,
+            S::FscLazyWritePagesPerSec,
+            0.06,
+        );
+        b.correlated(
+            "Cache\\Copy Read Hits %",
+            C::FileSystemCache,
+            copy_reads,
+            0.002,
+            0.05,
+        );
+        b.correlated(
+            "Cache\\MDL Reads/sec",
+            C::FileSystemCache,
+            map_pins,
+            0.4,
+            0.04,
+        );
+        b.correlated(
+            "Cache\\Lazy Write Flushes (alias)/sec",
+            C::FileSystemCache,
+            lazy_flush,
+            1.0,
+            0.01,
+        );
+        b.correlated(
+            "Cache\\Sync Pin Reads/sec",
+            C::FileSystemCache,
+            pin_reads,
+            0.9,
+            0.02,
+        );
 
         // --- Job object details ------------------------------------------
-        b.signal("Job Object Details\\Total Page File Bytes Peak", C::JobObjectDetails, S::JodPageFileBytesPeak, 0.005);
-        let jod_pf = b.signal("Job Object Details\\Total Page File Bytes", C::JobObjectDetails, S::JodPageFileBytes, 0.01);
-        b.signal("Job Object Details\\Total Virtual Bytes", C::JobObjectDetails, S::JodVirtualBytes, 0.01);
-        b.signal("Job Object Details\\Total Working Set Peak", C::JobObjectDetails, S::JodWorkingSetPeak, 0.005);
-        b.correlated("Job Object Details\\Total Pool Nonpaged Bytes", C::JobObjectDetails, jod_pf, 0.001, 0.03);
+        b.signal(
+            "Job Object Details\\Total Page File Bytes Peak",
+            C::JobObjectDetails,
+            S::JodPageFileBytesPeak,
+            0.005,
+        );
+        let jod_pf = b.signal(
+            "Job Object Details\\Total Page File Bytes",
+            C::JobObjectDetails,
+            S::JodPageFileBytes,
+            0.01,
+        );
+        b.signal(
+            "Job Object Details\\Total Virtual Bytes",
+            C::JobObjectDetails,
+            S::JodVirtualBytes,
+            0.01,
+        );
+        b.signal(
+            "Job Object Details\\Total Working Set Peak",
+            C::JobObjectDetails,
+            S::JodWorkingSetPeak,
+            0.005,
+        );
+        b.correlated(
+            "Job Object Details\\Total Pool Nonpaged Bytes",
+            C::JobObjectDetails,
+            jod_pf,
+            0.001,
+            0.03,
+        );
 
         // --- System -------------------------------------------------------
-        let ctx = b.signal("System\\Context Switches/sec", C::System, S::SysContextSwitchesPerSec, 0.12);
-        b.signal("System\\System Calls/sec", C::System, S::SysSystemCallsPerSec, 0.05);
+        let ctx = b.signal(
+            "System\\Context Switches/sec",
+            C::System,
+            S::SysContextSwitchesPerSec,
+            0.12,
+        );
+        b.signal(
+            "System\\System Calls/sec",
+            C::System,
+            S::SysSystemCallsPerSec,
+            0.05,
+        );
         b.signal("System\\Processes", C::System, S::SysProcesses, 0.06);
         b.signal("System\\Threads", C::System, S::SysThreads, 0.10);
-        b.signal("System\\Processor Queue Length", C::System, S::SysProcessorQueueLength, 0.10);
-        b.correlated("System\\File Control Operations/sec", C::System, ctx, 0.08, 0.05);
+        b.signal(
+            "System\\Processor Queue Length",
+            C::System,
+            S::SysProcessorQueueLength,
+            0.10,
+        );
+        b.correlated(
+            "System\\File Control Operations/sec",
+            C::System,
+            ctx,
+            0.08,
+            0.05,
+        );
 
         // --- Filler: the long tail of counters that carry nothing ---------
         // Real Perfmon exposes thousands of counters that never move or
@@ -301,7 +674,12 @@ impl CounterCatalog {
         let noise_names: &[(&str, CounterCategory, f64, bool)] = &[
             ("Memory\\System Code Total Bytes", C::Memory, 2e6, true),
             ("Memory\\System Driver Total Bytes", C::Memory, 4e6, true),
-            ("Memory\\Free System Page Table Entries", C::Memory, 3e5, true),
+            (
+                "Memory\\Free System Page Table Entries",
+                C::Memory,
+                3e5,
+                true,
+            ),
             ("Objects\\Events", C::System, 4e3, true),
             ("Objects\\Mutexes", C::System, 1e3, true),
             ("Objects\\Sections", C::System, 3e3, true),
@@ -315,9 +693,24 @@ impl CounterCatalog {
             ("Redirector\\Bytes Total/sec", C::Network, 1e4, false),
             ("NBT Connection\\Bytes Total/sec", C::Network, 5e3, false),
             ("WMI Objects\\HiPerf Classes", C::System, 20.0, true),
-            ("Security System-Wide Statistics\\KDC AS Requests", C::System, 3.0, false),
-            ("Distributed Transaction Coordinator\\Active Transactions", C::System, 2.0, false),
-            ("Event Tracing for Windows\\Total Number of Active Sessions", C::System, 8.0, true),
+            (
+                "Security System-Wide Statistics\\KDC AS Requests",
+                C::System,
+                3.0,
+                false,
+            ),
+            (
+                "Distributed Transaction Coordinator\\Active Transactions",
+                C::System,
+                2.0,
+                false,
+            ),
+            (
+                "Event Tracing for Windows\\Total Number of Active Sessions",
+                C::System,
+                8.0,
+                true,
+            ),
             ("Terminal Services\\Active Sessions", C::System, 1.0, true),
         ];
         for (name, cat, scale, walk) in noise_names {
@@ -493,7 +886,15 @@ mod tests {
         let count = |c: &CounterCatalog| {
             c.defs()
                 .iter()
-                .filter(|d| matches!(d.kind, CounterKind::Signal { source: SignalSource::CoreFreqMhz(_), .. }))
+                .filter(|d| {
+                    matches!(
+                        d.kind,
+                        CounterKind::Signal {
+                            source: SignalSource::CoreFreqMhz(_),
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert_eq!(count(&atom), 2);

@@ -1,6 +1,11 @@
 //! Trace collection: drive a cluster through a workload and record
 //! counters + power at 1 Hz, like Perfmon logging software counters and
 //! WattsUp readings side by side.
+//!
+//! Collection APIs return typed [`CollectError`]s instead of panicking,
+//! and every [`MachineRunTrace`] carries a per-sample [`ValidityMask`] so
+//! fault injection ([`crate::faults`]) and downstream estimators can tell
+//! a lost sample from a real zero.
 
 use crate::catalog::CounterCatalog;
 use crate::synth::CounterSynth;
@@ -9,6 +14,135 @@ use chaos_workloads::{simulate, SimConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from trace collection, decimation, and validation.
+///
+/// Real collectors lose samples, meters drop out, and serialized traces
+/// arrive truncated; these conditions are data, not programming errors,
+/// so the public APIs surface them as values instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CollectError {
+    /// [`collect_run`] was given a heterogeneous cluster; use
+    /// [`collect_run_mixed`] instead.
+    HeterogeneousCluster,
+    /// The supplied catalog does not match the cluster's platform.
+    CatalogMismatch {
+        /// Counter count of the platform's own catalog.
+        expected: usize,
+        /// Counter count of the catalog supplied.
+        got: usize,
+    },
+    /// [`RunTrace::decimated`] was asked for a zero-second interval.
+    ZeroInterval,
+    /// A trace's shape is inconsistent (per-machine lengths disagree,
+    /// counter rows have mixed widths, or series lengths mismatch).
+    Ragged {
+        /// Human-readable description of the shape conflict.
+        context: String,
+    },
+    /// A sample marked valid holds a non-finite value.
+    NonFinite {
+        /// Machine the sample belongs to.
+        machine_id: usize,
+        /// Second of the offending sample.
+        second: usize,
+        /// Which series held the value.
+        context: String,
+    },
+    /// A serialized trace failed to deserialize.
+    Deserialize {
+        /// The underlying serde error, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::HeterogeneousCluster => write!(
+                f,
+                "collect_run requires a homogeneous cluster; use collect_run_mixed"
+            ),
+            CollectError::CatalogMismatch { expected, got } => write!(
+                f,
+                "catalog does not match cluster platform: expected {expected} counters, got {got}"
+            ),
+            CollectError::ZeroInterval => write!(f, "decimation interval must be positive"),
+            CollectError::Ragged { context } => write!(f, "ragged trace: {context}"),
+            CollectError::NonFinite {
+                machine_id,
+                second,
+                context,
+            } => write!(
+                f,
+                "non-finite value marked valid on machine {machine_id} at t={second}s ({context})"
+            ),
+            CollectError::Deserialize { message } => {
+                write!(f, "trace deserialization failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CollectError {}
+
+/// Per-sample validity of one machine's recording.
+///
+/// An **empty** mask (the serde default, and what [`collect_run`]
+/// produces) means *every* sample is valid — the common case costs
+/// nothing. Fault injection materializes the vectors it needs; a `false`
+/// entry marks a sample that was lost, frozen, or recorded after the
+/// machine died, even when the stored value is finite (stale repeats).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidityMask {
+    /// `counters[t][c]` — whether counter `c` at second `t` is trustworthy.
+    /// Empty means all valid.
+    pub counters: Vec<Vec<bool>>,
+    /// Per-second meter validity. Empty means all valid.
+    pub meter: Vec<bool>,
+    /// Per-second machine liveness (`false` after a crash). Empty means
+    /// alive throughout.
+    pub alive: Vec<bool>,
+}
+
+impl ValidityMask {
+    /// Whether counter `c` at second `t` is valid (empty mask ⇒ valid).
+    pub fn counter_ok(&self, t: usize, c: usize) -> bool {
+        self.counters
+            .get(t)
+            .is_none_or(|row| row.get(c).copied().unwrap_or(true))
+    }
+
+    /// Whether the meter reading at second `t` is valid.
+    pub fn meter_ok(&self, t: usize) -> bool {
+        self.meter.get(t).copied().unwrap_or(true)
+    }
+
+    /// Whether the machine was alive at second `t`.
+    pub fn alive(&self, t: usize) -> bool {
+        self.alive.get(t).copied().unwrap_or(true)
+    }
+
+    /// Whether the mask marks every sample valid.
+    pub fn is_all_valid(&self) -> bool {
+        self.counters.iter().flatten().all(|&b| b)
+            && self.meter.iter().all(|&b| b)
+            && self.alive.iter().all(|&b| b)
+    }
+
+    /// Materializes explicit all-true vectors for a trace of the given
+    /// shape (fault injection flips individual entries afterwards).
+    pub fn all_valid(seconds: usize, width: usize) -> ValidityMask {
+        ValidityMask {
+            counters: vec![vec![true; width]; seconds],
+            meter: vec![true; seconds],
+            alive: vec![true; seconds],
+        }
+    }
+}
 
 /// One machine's recording for one workload run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,12 +158,35 @@ pub struct MachineRunTrace {
     pub measured_power_w: Vec<f64>,
     /// Ground-truth wall power (for diagnostics; never shown to models).
     pub true_power_w: Vec<f64>,
+    /// Per-sample validity (empty = everything valid; see [`ValidityMask`]).
+    #[serde(default)]
+    pub validity: ValidityMask,
 }
 
 impl MachineRunTrace {
     /// Trace length in seconds.
     pub fn seconds(&self) -> usize {
         self.counters.len()
+    }
+
+    /// Counter-row width (0 for an empty trace).
+    pub fn width(&self) -> usize {
+        self.counters.first().map_or(0, Vec::len)
+    }
+
+    /// Whether counter `c` at second `t` is valid.
+    pub fn counter_ok(&self, t: usize, c: usize) -> bool {
+        self.validity.counter_ok(t, c)
+    }
+
+    /// Whether the meter reading at second `t` is valid.
+    pub fn meter_ok(&self, t: usize) -> bool {
+        self.validity.meter_ok(t)
+    }
+
+    /// Whether the machine was alive at second `t`.
+    pub fn alive_at(&self, t: usize) -> bool {
+        self.validity.alive(t)
     }
 }
 
@@ -45,13 +202,21 @@ pub struct RunTrace {
 }
 
 impl RunTrace {
-    /// Trace length in seconds (equal across machines).
+    /// Trace length in seconds: the *minimum* across machines, so cluster
+    /// series never mix seconds some machines did not report. Equal to
+    /// every machine's length for well-formed traces ([`RunTrace::validate`]
+    /// flags the ragged case).
     pub fn seconds(&self) -> usize {
-        self.machines.first().map_or(0, MachineRunTrace::seconds)
+        self.machines
+            .iter()
+            .map(MachineRunTrace::seconds)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Cluster-level metered power: the sum of per-machine meters, second
-    /// by second (what Figure 1 plots).
+    /// by second (what Figure 1 plots). Invalid meter samples propagate
+    /// their NaN; see [`ValidityMask`] to detect them.
     pub fn cluster_measured_power(&self) -> Vec<f64> {
         self.sum_series(|m| &m.measured_power_w)
     }
@@ -75,96 +240,248 @@ impl RunTrace {
         out
     }
 
+    /// Checks structural and numerical integrity: every machine reports
+    /// the same number of seconds, counter rows are rectangular, power
+    /// series match the counter length, any validity mask matches the
+    /// trace shape, and no sample that claims to be valid is non-finite.
+    ///
+    /// Run this on every trace that crosses a serialization boundary —
+    /// [`RunTrace::seconds`] and the cluster sums are only meaningful on
+    /// traces that pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`CollectError::Ragged`] for any shape inconsistency.
+    /// * [`CollectError::NonFinite`] for a NaN/∞ sample not excused by
+    ///   the validity mask.
+    pub fn validate(&self) -> Result<(), CollectError> {
+        let Some(first) = self.machines.first() else {
+            return Ok(());
+        };
+        let seconds = first.seconds();
+        for m in &self.machines {
+            let id = m.machine_id;
+            if m.seconds() != seconds {
+                return Err(CollectError::Ragged {
+                    context: format!(
+                        "machine {id} has {} seconds, machine {} has {seconds}",
+                        m.seconds(),
+                        first.machine_id
+                    ),
+                });
+            }
+            let width = m.width();
+            if let Some((t, row)) = m
+                .counters
+                .iter()
+                .enumerate()
+                .find(|(_, row)| row.len() != width)
+            {
+                return Err(CollectError::Ragged {
+                    context: format!(
+                        "machine {id} counter row at t={t} has width {}, expected {width}",
+                        row.len()
+                    ),
+                });
+            }
+            for (name, len) in [
+                ("measured_power_w", m.measured_power_w.len()),
+                ("true_power_w", m.true_power_w.len()),
+            ] {
+                if len != seconds {
+                    return Err(CollectError::Ragged {
+                        context: format!(
+                            "machine {id} {name} has {len} samples, expected {seconds}"
+                        ),
+                    });
+                }
+            }
+            for (name, len, expect) in [
+                ("validity.counters", m.validity.counters.len(), seconds),
+                ("validity.meter", m.validity.meter.len(), seconds),
+                ("validity.alive", m.validity.alive.len(), seconds),
+            ] {
+                if len != 0 && len != expect {
+                    return Err(CollectError::Ragged {
+                        context: format!(
+                            "machine {id} {name} has {len} entries, expected {expect}"
+                        ),
+                    });
+                }
+            }
+            for (t, row) in m.counters.iter().enumerate() {
+                for (c, v) in row.iter().enumerate() {
+                    if !v.is_finite() && m.counter_ok(t, c) {
+                        return Err(CollectError::NonFinite {
+                            machine_id: id,
+                            second: t,
+                            context: format!("counter {c}"),
+                        });
+                    }
+                }
+            }
+            for (t, v) in m.measured_power_w.iter().enumerate() {
+                if !v.is_finite() && m.meter_ok(t) {
+                    return Err(CollectError::NonFinite {
+                        machine_id: id,
+                        second: t,
+                        context: "measured_power_w".into(),
+                    });
+                }
+            }
+            if let Some((t, _)) = m
+                .true_power_w
+                .iter()
+                .enumerate()
+                .find(|(_, v)| !v.is_finite())
+            {
+                return Err(CollectError::NonFinite {
+                    machine_id: id,
+                    second: t,
+                    context: "true_power_w".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace from JSON and [validates](RunTrace::validate)
+    /// it — the entry point for traces arriving from other agents, where
+    /// truncation and corruption are routine.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectError::Deserialize`] for malformed JSON, plus everything
+    /// [`RunTrace::validate`] reports.
+    pub fn from_json(json: &str) -> Result<RunTrace, CollectError> {
+        let trace: RunTrace =
+            serde_json::from_str(json).map_err(|e| CollectError::Deserialize {
+                message: e.to_string(),
+            })?;
+        trace.validate()?;
+        Ok(trace)
+    }
+
     /// Returns a copy sampled every `interval_s` seconds — what a slower
     /// collector (e.g. the 10-minute intervals some prior work used)
     /// would have recorded. Rate counters in Perfmon are averages over
     /// the sampling interval, so values are window-averaged, not point
-    /// samples.
+    /// samples. Windows average only *valid* source samples; a window
+    /// with none left is NaN and marked invalid.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `interval_s == 0`.
-    pub fn decimated(&self, interval_s: usize) -> RunTrace {
-        assert!(interval_s > 0, "interval must be positive");
+    /// [`CollectError::ZeroInterval`] if `interval_s == 0`.
+    pub fn decimated(&self, interval_s: usize) -> Result<RunTrace, CollectError> {
+        if interval_s == 0 {
+            return Err(CollectError::ZeroInterval);
+        }
         if interval_s == 1 {
-            return self.clone();
+            return Ok(self.clone());
         }
         let machines = self
             .machines
             .iter()
-            .map(|m| {
-                let n = m.seconds();
-                let mut counters = Vec::new();
-                let mut measured = Vec::new();
-                let mut truth = Vec::new();
-                let width = m.counters.first().map_or(0, Vec::len);
-                let mut start = 0;
-                while start < n {
-                    let end = (start + interval_s).min(n);
-                    let len = (end - start) as f64;
-                    let mut crow = vec![0.0; width];
-                    let mut pm = 0.0;
-                    let mut pt = 0.0;
-                    for t in start..end {
-                        for (j, c) in crow.iter_mut().enumerate() {
-                            *c += m.counters[t][j];
-                        }
-                        pm += m.measured_power_w[t];
-                        pt += m.true_power_w[t];
-                    }
-                    for c in &mut crow {
-                        *c /= len;
-                    }
-                    counters.push(crow);
-                    measured.push(pm / len);
-                    truth.push(pt / len);
-                    start = end;
-                }
-                MachineRunTrace {
-                    machine_id: m.machine_id,
-                    platform: m.platform,
-                    counters,
-                    measured_power_w: measured,
-                    true_power_w: truth,
-                }
-            })
+            .map(|m| decimate_machine(m, interval_s))
             .collect();
-        RunTrace {
+        Ok(RunTrace {
             workload: self.workload.clone(),
             run_seed: self.run_seed,
             machines,
+        })
+    }
+}
+
+fn decimate_machine(m: &MachineRunTrace, interval_s: usize) -> MachineRunTrace {
+    let n = m.seconds();
+    let width = m.width();
+    let masked = !m.validity.is_all_valid();
+    let mut counters = Vec::new();
+    let mut measured = Vec::new();
+    let mut truth = Vec::new();
+    let mut mask = ValidityMask::default();
+    let mut start = 0;
+    while start < n {
+        let end = (start + interval_s).min(n);
+        let mut crow = vec![0.0; width];
+        let mut ccount = vec![0usize; width];
+        let mut pm = 0.0;
+        let mut pm_count = 0usize;
+        let mut pt = 0.0;
+        let mut any_alive = false;
+        for t in start..end {
+            for (j, (acc, cnt)) in crow.iter_mut().zip(ccount.iter_mut()).enumerate() {
+                if m.counter_ok(t, j) {
+                    *acc += m.counters[t][j];
+                    *cnt += 1;
+                }
+            }
+            if m.meter_ok(t) {
+                pm += m.measured_power_w[t];
+                pm_count += 1;
+            }
+            pt += m.true_power_w[t];
+            any_alive |= m.alive_at(t);
         }
+        let crow: Vec<f64> = crow
+            .iter()
+            .zip(&ccount)
+            .map(|(&acc, &cnt)| if cnt > 0 { acc / cnt as f64 } else { f64::NAN })
+            .collect();
+        if masked {
+            mask.counters.push(ccount.iter().map(|&c| c > 0).collect());
+            mask.meter.push(pm_count > 0);
+            mask.alive.push(any_alive);
+        }
+        counters.push(crow);
+        measured.push(if pm_count > 0 {
+            pm / pm_count as f64
+        } else {
+            f64::NAN
+        });
+        truth.push(pt / (end - start) as f64);
+        start = end;
+    }
+    MachineRunTrace {
+        machine_id: m.machine_id,
+        platform: m.platform,
+        counters,
+        measured_power_w: measured,
+        true_power_w: truth,
+        validity: mask,
     }
 }
 
 /// Collects one run on a **homogeneous** cluster using the supplied
 /// catalog (which must match the cluster's platform).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the cluster is heterogeneous or the catalog does not match
-/// the platform's catalog; use [`collect_run_mixed`] for mixed clusters.
+/// * [`CollectError::HeterogeneousCluster`] for a mixed cluster; use
+///   [`collect_run_mixed`] instead.
+/// * [`CollectError::CatalogMismatch`] if the catalog does not match the
+///   cluster platform's own catalog.
 pub fn collect_run(
     cluster: &Cluster,
     catalog: &CounterCatalog,
     job: impl Into<chaos_workloads::scheduler::JobSource>,
     config: &SimConfig,
     seed: u64,
-) -> RunTrace {
-    assert!(
-        cluster.is_homogeneous(),
-        "collect_run requires a homogeneous cluster; use collect_run_mixed"
-    );
+) -> Result<RunTrace, CollectError> {
+    if !cluster.is_homogeneous() {
+        return Err(CollectError::HeterogeneousCluster);
+    }
     let platform = cluster.machines()[0].spec().platform;
-    assert_eq!(
-        catalog.len(),
-        CounterCatalog::for_platform(&platform.spec()).len(),
-        "catalog does not match cluster platform"
-    );
-    collect_with(cluster, job, config, seed, |p| {
-        assert_eq!(p, platform);
+    let expected = CounterCatalog::for_platform(&platform.spec()).len();
+    if catalog.len() != expected {
+        return Err(CollectError::CatalogMismatch {
+            expected,
+            got: catalog.len(),
+        });
+    }
+    Ok(collect_with(cluster, job, config, seed, |_| {
         catalog.clone()
-    })
+    }))
 }
 
 /// Collects one run on any cluster, building each machine's catalog from
@@ -204,13 +521,11 @@ fn collect_with(
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (mi as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
         let run_seed = seed ^ (mi as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
-        let mut synth =
-            CounterSynth::with_seeds(&catalog, machine.spec(), machine_seed, run_seed);
+        let mut synth = CounterSynth::with_seeds(&catalog, machine.spec(), machine_seed, run_seed);
         let mut gov_rng = ChaCha8Rng::seed_from_u64(run_seed.wrapping_add(1));
         let mut meter_rng = ChaCha8Rng::seed_from_u64(run_seed.wrapping_add(2));
-        let meter = PowerMeter::sample(&mut ChaCha8Rng::seed_from_u64(
-            machine_seed.wrapping_add(3),
-        ));
+        let meter =
+            PowerMeter::sample(&mut ChaCha8Rng::seed_from_u64(machine_seed.wrapping_add(3)));
         // Hidden thermal drift: load-history-dependent power no counter
         // observes — the irreducible error floor of counter-based models.
         let mut thermal = chaos_sim::ThermalModel::new();
@@ -222,11 +537,9 @@ fn collect_with(
         let mut truth = Vec::with_capacity(demands.len());
         for d in demands {
             let state = machine.apply_demand(d, &mut gov_rng);
-            let thermal_w = machine.dynamic_range()
-                * thermal.step(state.cpu_utilization(), &mut thermal_rng);
-            let p = machine.true_power(&state)
-                + thermal_w
-                + machine.variation().meter_offset_w;
+            let thermal_w =
+                machine.dynamic_range() * thermal.step(state.cpu_utilization(), &mut thermal_rng);
+            let p = machine.true_power(&state) + thermal_w + machine.variation().meter_offset_w;
             counters.push(synth.step(&catalog, &state));
             truth.push(p);
             measured.push(meter.read(p, &mut meter_rng));
@@ -237,6 +550,7 @@ fn collect_with(
             counters,
             measured_power_w: measured,
             true_power_w: truth,
+            validity: ValidityMask::default(),
         });
     }
 
@@ -256,23 +570,35 @@ mod tests {
     fn homogeneous_collection_shapes() {
         let cluster = Cluster::homogeneous(Platform::Atom, 3, 1);
         let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-        let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 5);
+        let run = collect_run(
+            &cluster,
+            &catalog,
+            Workload::WordCount,
+            &SimConfig::quick(),
+            5,
+        )
+        .unwrap();
         assert_eq!(run.machines.len(), 3);
         let secs = run.seconds();
         assert!(secs > 30);
         for m in &run.machines {
             assert_eq!(m.seconds(), secs);
             assert_eq!(m.counters[0].len(), catalog.len());
+            assert_eq!(m.width(), catalog.len());
             assert_eq!(m.measured_power_w.len(), secs);
             assert_eq!(m.true_power_w.len(), secs);
+            // Fresh collections are fully valid via the empty mask.
+            assert!(m.validity.is_all_valid());
+            assert!(m.counter_ok(0, 0) && m.meter_ok(0) && m.alive_at(0));
         }
+        run.validate().unwrap();
     }
 
     #[test]
     fn measured_power_tracks_truth_within_meter_class() {
         let cluster = Cluster::homogeneous(Platform::Core2, 2, 2);
         let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
-        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 9);
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 9).unwrap();
         for m in &run.machines {
             for (meas, truth) in m.measured_power_w.iter().zip(&m.true_power_w) {
                 let rel = (meas - truth).abs() / truth;
@@ -285,7 +611,14 @@ mod tests {
     fn cluster_power_is_sum_of_machines() {
         let cluster = Cluster::homogeneous(Platform::Athlon, 3, 3);
         let catalog = CounterCatalog::for_platform(&Platform::Athlon.spec());
-        let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 4);
+        let run = collect_run(
+            &cluster,
+            &catalog,
+            Workload::WordCount,
+            &SimConfig::quick(),
+            4,
+        )
+        .unwrap();
         let total = run.cluster_measured_power();
         let t = run.seconds() / 2;
         let manual: f64 = run.machines.iter().map(|m| m.measured_power_w[t]).sum();
@@ -300,8 +633,8 @@ mod tests {
         let cluster = Cluster::homogeneous(Platform::Core2, 5, 1);
         let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
         let cfg = SimConfig::quick();
-        let prime = collect_run(&cluster, &catalog, Workload::Prime, &cfg, 11);
-        let wc = collect_run(&cluster, &catalog, Workload::WordCount, &cfg, 11);
+        let prime = collect_run(&cluster, &catalog, Workload::Prime, &cfg, 11).unwrap();
+        let wc = collect_run(&cluster, &catalog, Workload::WordCount, &cfg, 11).unwrap();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let mid_mean = |v: &[f64]| {
             let (a, b) = (v.len() / 4, 3 * v.len() / 4);
@@ -336,19 +669,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "homogeneous")]
     fn collect_run_rejects_mixed_clusters() {
         let cluster = Cluster::heterogeneous(&[(Platform::Core2, 1), (Platform::Atom, 1)], 0);
         let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
-        collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 0);
+        let err =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 0).unwrap_err();
+        assert_eq!(err, CollectError::HeterogeneousCluster);
+        assert!(err.to_string().contains("homogeneous"));
+    }
+
+    #[test]
+    fn collect_run_rejects_mismatched_catalog() {
+        let cluster = Cluster::homogeneous(Platform::Core2, 2, 0);
+        // Atom's catalog has a different counter population.
+        let wrong = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let expected = CounterCatalog::for_platform(&Platform::Core2.spec()).len();
+        if wrong.len() == expected {
+            // Platforms with identical catalog sizes cannot trip this
+            // guard; nothing to assert.
+            return;
+        }
+        let err =
+            collect_run(&cluster, &wrong, Workload::Prime, &SimConfig::quick(), 0).unwrap_err();
+        assert_eq!(
+            err,
+            CollectError::CatalogMismatch {
+                expected,
+                got: wrong.len()
+            }
+        );
     }
 
     #[test]
     fn decimation_averages_windows() {
         let cluster = Cluster::homogeneous(Platform::Atom, 2, 5);
         let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3);
-        let dec = run.decimated(5);
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3).unwrap();
+        let dec = run.decimated(5).unwrap();
         assert_eq!(dec.seconds(), run.seconds().div_ceil(5));
         // The first decimated power sample is the mean of the first five.
         let m = &run.machines[0];
@@ -360,27 +717,78 @@ mod tests {
         let e_dec: f64 = dec.machines[0].true_power_w.iter().sum::<f64>() * 5.0;
         assert!((e_full - e_dec).abs() / e_full < 0.05);
         // interval 1 is the identity.
-        assert_eq!(run.decimated(1), run);
+        assert_eq!(run.decimated(1).unwrap(), run);
     }
 
     #[test]
-    #[should_panic(expected = "interval must be positive")]
     fn decimation_rejects_zero() {
         let cluster = Cluster::homogeneous(Platform::Atom, 1, 5);
         let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3);
-        run.decimated(0);
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 3).unwrap();
+        assert_eq!(run.decimated(0).unwrap_err(), CollectError::ZeroInterval);
     }
 
     #[test]
     fn different_run_seeds_give_different_traces() {
         let cluster = Cluster::homogeneous(Platform::Atom, 2, 7);
         let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-        let a = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1);
-        let b = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 2);
-        assert_ne!(a.machines[0].measured_power_w, b.machines[0].measured_power_w);
+        let a = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1).unwrap();
+        let b = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 2).unwrap();
+        assert_ne!(
+            a.machines[0].measured_power_w,
+            b.machines[0].measured_power_w
+        );
         // Same seed reproduces exactly.
-        let c = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1);
+        let c = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn validate_catches_ragged_machine_lengths() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 7);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let mut run =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1).unwrap();
+        run.machines[1].counters.pop();
+        run.machines[1].measured_power_w.pop();
+        run.machines[1].true_power_w.pop();
+        let err = run.validate().unwrap_err();
+        assert!(matches!(err, CollectError::Ragged { .. }), "{err}");
+        // seconds() stays conservative on ragged traces: the shortest
+        // machine bounds the cluster series.
+        assert_eq!(run.seconds(), run.machines[1].seconds());
+        let total = run.cluster_measured_power();
+        assert_eq!(total.len(), run.seconds());
+    }
+
+    #[test]
+    fn validate_catches_inconsistent_counter_width() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 1, 7);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let mut run =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1).unwrap();
+        run.machines[0].counters[3].pop();
+        let err = run.validate().unwrap_err();
+        assert!(matches!(err, CollectError::Ragged { .. }), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_unmasked_non_finite_values() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 1, 7);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let mut run =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 1).unwrap();
+        run.machines[0].counters[2][4] = f64::NAN;
+        let err = run.validate().unwrap_err();
+        assert!(
+            matches!(err, CollectError::NonFinite { second: 2, .. }),
+            "{err}"
+        );
+        // The same NaN excused by a validity mask passes validation.
+        let (secs, width) = (run.machines[0].seconds(), run.machines[0].width());
+        let mut mask = ValidityMask::all_valid(secs, width);
+        mask.counters[2][4] = false;
+        run.machines[0].validity = mask;
+        run.validate().unwrap();
     }
 }

@@ -1,0 +1,461 @@
+//! Fault injection: seeded, reproducible corruption of collected traces.
+//!
+//! CHAOS is pitched as a deployable framework — an agent on every machine
+//! reading OS counters at 1 Hz and feeding a live model. Deployed
+//! collectors do not behave like the clean simulator: counters drop out
+//! of a Perfmon query set, meters disconnect mid-run, readings spike on
+//! electrical noise, daemons hang and repeat their last sample, and whole
+//! machines die. A [`FaultPlan`] replays those failure modes against a
+//! clean [`RunTrace`] so the degradation behaviour of the modeling
+//! pipeline can be measured instead of discovered in production.
+//!
+//! Faults are **data plus mask**: injected samples are corrupted in place
+//! and the trace's [`ValidityMask`] records which samples a fault-aware
+//! consumer may no longer trust. Stale repeats and frozen counters stay
+//! finite — only the mask distinguishes them from good data, exactly like
+//! a hung collector in the field.
+//!
+//! Injection is deterministic: the same plan applied to the same trace
+//! yields the same faulted trace, and a plan with every rate at zero is
+//! the identity.
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_counters::{collect_run, CounterCatalog, FaultPlan};
+//! use chaos_sim::{Cluster, Platform};
+//! use chaos_workloads::{SimConfig, Workload};
+//!
+//! let cluster = Cluster::homogeneous(Platform::Atom, 2, 1);
+//! let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+//! let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 7)
+//!     .expect("collection succeeds");
+//! let faulted = FaultPlan::new(42).with_counter_dropout(0.1).apply(&run);
+//! assert_eq!(faulted.machines.len(), run.machines.len());
+//! assert!(!faulted.machines[0].validity.is_all_valid());
+//! ```
+
+use crate::collect::{MachineRunTrace, RunTrace, ValidityMask};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a dropped counter sample turns into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropoutMode {
+    /// The sample is lost outright: NaN in the trace. A collector that
+    /// surfaces query failures behaves like this.
+    Nan,
+    /// The collector repeats the last value it saw (NaN at `t = 0`).
+    /// A hung or buffering collector behaves like this — the data stays
+    /// finite and only the validity mask betrays it.
+    Stale,
+}
+
+/// A seeded, reproducible set of fault processes to apply to a trace.
+///
+/// All rates are probabilities in `[0, 1]`; they are clamped on use. The
+/// default plan (any seed, all rates zero) is the identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the injection RNG streams (independent of the trace's
+    /// collection seeds).
+    pub seed: u64,
+    /// Per-(second, counter) probability that the sample is lost.
+    pub counter_dropout: f64,
+    /// What a lost counter sample turns into.
+    pub dropout_mode: DropoutMode,
+    /// Per-counter probability that the counter freezes at some second
+    /// and repeats that reading for the rest of the run.
+    pub stuck_rate: f64,
+    /// Per-second probability that the power meter enters an outage.
+    pub meter_outage_rate: f64,
+    /// Outage length in seconds once one starts.
+    pub meter_outage_len: usize,
+    /// Per-second probability of a meter glitch spike. Glitches corrupt
+    /// the reading but stay *valid* in the mask — undetected corruption,
+    /// like electrical noise on a WattsUp line.
+    pub glitch_rate: f64,
+    /// Relative magnitude of a glitch spike (0.5 ⇒ up to ±50 %).
+    pub glitch_scale: f64,
+    /// Per-machine probability that the machine crashes at a random
+    /// second and reports nothing afterwards.
+    pub crash_rate: f64,
+}
+
+impl FaultPlan {
+    /// A no-op plan: all rates zero. Building blocks compose via the
+    /// `with_*` methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            counter_dropout: 0.0,
+            dropout_mode: DropoutMode::Nan,
+            stuck_rate: 0.0,
+            meter_outage_rate: 0.0,
+            meter_outage_len: 10,
+            glitch_rate: 0.0,
+            glitch_scale: 0.5,
+            crash_rate: 0.0,
+        }
+    }
+
+    /// Sets per-sample counter dropout (NaN mode).
+    pub fn with_counter_dropout(mut self, rate: f64) -> Self {
+        self.counter_dropout = rate;
+        self
+    }
+
+    /// Sets the dropout replacement mode.
+    pub fn with_dropout_mode(mut self, mode: DropoutMode) -> Self {
+        self.dropout_mode = mode;
+        self
+    }
+
+    /// Sets the per-counter stuck/frozen probability.
+    pub fn with_stuck_counters(mut self, rate: f64) -> Self {
+        self.stuck_rate = rate;
+        self
+    }
+
+    /// Sets meter outage start rate and outage length.
+    pub fn with_meter_outages(mut self, rate: f64, len_s: usize) -> Self {
+        self.meter_outage_rate = rate;
+        self.meter_outage_len = len_s.max(1);
+        self
+    }
+
+    /// Sets meter glitch-spike rate and relative magnitude.
+    pub fn with_glitches(mut self, rate: f64, scale: f64) -> Self {
+        self.glitch_rate = rate;
+        self.glitch_scale = scale;
+        self
+    }
+
+    /// Sets the per-machine crash probability.
+    pub fn with_crashes(mut self, rate: f64) -> Self {
+        self.crash_rate = rate;
+        self
+    }
+
+    /// Whether this plan can alter a trace at all.
+    pub fn is_identity(&self) -> bool {
+        self.counter_dropout <= 0.0
+            && self.stuck_rate <= 0.0
+            && self.meter_outage_rate <= 0.0
+            && self.glitch_rate <= 0.0
+            && self.crash_rate <= 0.0
+    }
+
+    /// Applies the plan to a trace, returning the faulted copy. The input
+    /// is never modified; `true_power_w` is never touched (it is the
+    /// diagnostic ground truth faults cannot corrupt).
+    ///
+    /// Each machine draws from its own RNG stream seeded by
+    /// `(plan seed, trace run seed, machine id)`, so the same plan on the
+    /// same trace reproduces exactly and per-machine faults are
+    /// independent.
+    pub fn apply(&self, run: &RunTrace) -> RunTrace {
+        if self.is_identity() {
+            return run.clone();
+        }
+        RunTrace {
+            workload: run.workload.clone(),
+            run_seed: run.run_seed,
+            machines: run
+                .machines
+                .iter()
+                .map(|m| self.apply_machine(m, run.run_seed))
+                .collect(),
+        }
+    }
+
+    fn machine_rng(&self, run_seed: u64, machine_id: usize) -> ChaCha8Rng {
+        let s = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ run_seed.rotate_left(17)
+            ^ (machine_id as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        ChaCha8Rng::seed_from_u64(s)
+    }
+
+    fn apply_machine(&self, m: &MachineRunTrace, run_seed: u64) -> MachineRunTrace {
+        let n = m.seconds();
+        let width = m.width();
+        let mut out = m.clone();
+        let mut mask = if m.validity.counters.is_empty()
+            && m.validity.meter.is_empty()
+            && m.validity.alive.is_empty()
+        {
+            ValidityMask::all_valid(n, width)
+        } else {
+            // Preserve any mask already present (e.g. stacked plans).
+            let mut existing = m.validity.clone();
+            if existing.counters.is_empty() {
+                existing.counters = vec![vec![true; width]; n];
+            }
+            if existing.meter.is_empty() {
+                existing.meter = vec![true; n];
+            }
+            if existing.alive.is_empty() {
+                existing.alive = vec![true; n];
+            }
+            existing
+        };
+        let mut rng = self.machine_rng(run_seed, m.machine_id);
+
+        // 1. Whole-machine crash: nothing is reported after crash_t.
+        let crash_t = if n > 1 && rng.gen_bool(self.crash_rate.clamp(0.0, 1.0)) {
+            Some(rng.gen_range(n / 4..n))
+        } else {
+            None
+        };
+
+        // 2. Stuck counters: counter c freezes at freeze_t and repeats
+        // that reading for the rest of the run.
+        let stuck = self.stuck_rate.clamp(0.0, 1.0);
+        for c in 0..width {
+            if stuck > 0.0 && n > 1 && rng.gen_bool(stuck) {
+                let freeze_t = rng.gen_range(1..n);
+                let frozen = out.counters[freeze_t][c];
+                for t in freeze_t + 1..n {
+                    out.counters[t][c] = frozen;
+                    mask.counters[t][c] = false;
+                }
+            }
+        }
+
+        // 3. Per-sample dropout.
+        let dropout = self.counter_dropout.clamp(0.0, 1.0);
+        if dropout > 0.0 {
+            for t in 0..n {
+                for c in 0..width {
+                    if rng.gen_bool(dropout) {
+                        out.counters[t][c] = match self.dropout_mode {
+                            DropoutMode::Nan => f64::NAN,
+                            DropoutMode::Stale if t > 0 => out.counters[t - 1][c],
+                            DropoutMode::Stale => f64::NAN,
+                        };
+                        mask.counters[t][c] = false;
+                    }
+                }
+            }
+        }
+
+        // 4. Meter outages: once one starts, the meter reads NaN for
+        // meter_outage_len seconds.
+        let outage = self.meter_outage_rate.clamp(0.0, 1.0);
+        if outage > 0.0 {
+            let mut t = 0;
+            while t < n {
+                if rng.gen_bool(outage) {
+                    let end = (t + self.meter_outage_len).min(n);
+                    for u in t..end {
+                        out.measured_power_w[u] = f64::NAN;
+                        mask.meter[u] = false;
+                    }
+                    t = end;
+                } else {
+                    t += 1;
+                }
+            }
+        }
+
+        // 5. Glitch spikes: corrupt but *valid* — undetected noise.
+        let glitch = self.glitch_rate.clamp(0.0, 1.0);
+        if glitch > 0.0 {
+            for t in 0..n {
+                if mask.meter[t] && rng.gen_bool(glitch) {
+                    let kick = rng.gen_range(-self.glitch_scale..self.glitch_scale);
+                    out.measured_power_w[t] *= 1.0 + kick;
+                }
+            }
+        }
+
+        // Crash wipes everything after crash_t, overriding other faults.
+        if let Some(ct) = crash_t {
+            for t in ct..n {
+                for c in 0..width {
+                    out.counters[t][c] = f64::NAN;
+                    mask.counters[t][c] = false;
+                }
+                out.measured_power_w[t] = f64::NAN;
+                mask.meter[t] = false;
+                mask.alive[t] = false;
+            }
+        }
+
+        out.validity = mask;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CounterCatalog;
+    use crate::collect::collect_run;
+    use chaos_sim::{Cluster, Platform};
+    use chaos_workloads::{SimConfig, Workload};
+
+    fn trace() -> RunTrace {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 3);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        collect_run(
+            &cluster,
+            &catalog,
+            Workload::WordCount,
+            &SimConfig::quick(),
+            21,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_rate_plan_is_identity() {
+        let run = trace();
+        let same = FaultPlan::new(99).apply(&run);
+        assert_eq!(same, run);
+        assert!(FaultPlan::new(0).is_identity());
+        assert!(!FaultPlan::new(0).with_counter_dropout(0.1).is_identity());
+    }
+
+    #[test]
+    fn dropout_invalidates_roughly_the_requested_fraction() {
+        let run = trace();
+        let faulted = FaultPlan::new(7).with_counter_dropout(0.2).apply(&run);
+        let m = &faulted.machines[0];
+        let total = m.seconds() * m.width();
+        let invalid = m
+            .validity
+            .counters
+            .iter()
+            .flatten()
+            .filter(|&&ok| !ok)
+            .count();
+        let frac = invalid as f64 / total as f64;
+        assert!((0.15..0.25).contains(&frac), "dropout fraction {frac}");
+        // NaN mode: every invalidated sample is non-finite.
+        for (t, row) in m.counters.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                assert_eq!(v.is_finite(), m.counter_ok(t, c));
+            }
+        }
+        // Faulted traces still validate: NaNs are excused by the mask.
+        faulted.validate().unwrap();
+    }
+
+    #[test]
+    fn stale_mode_repeats_previous_value() {
+        let run = trace();
+        let faulted = FaultPlan::new(7)
+            .with_counter_dropout(0.3)
+            .with_dropout_mode(DropoutMode::Stale)
+            .apply(&run);
+        let m = &faulted.machines[0];
+        let orig = &run.machines[0];
+        let mut checked = 0;
+        for t in 1..m.seconds() {
+            for c in 0..m.width() {
+                if !m.counter_ok(t, c) && m.counter_ok(t - 1, c) {
+                    // A stale sample repeats the (possibly also stale)
+                    // previous second, not the clean original.
+                    assert_eq!(m.counters[t][c], m.counters[t - 1][c]);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 50, "stale repeats observed: {checked}");
+        assert_eq!(m.seconds(), orig.seconds());
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_faults() {
+        let run = trace();
+        let plan = FaultPlan::new(11)
+            .with_counter_dropout(0.1)
+            .with_stuck_counters(0.05)
+            .with_meter_outages(0.01, 5)
+            .with_glitches(0.02, 0.5)
+            .with_crashes(0.5);
+        assert_eq!(plan.apply(&run), plan.apply(&run));
+        // A different seed gives different faults.
+        let other = FaultPlan {
+            seed: 12,
+            ..plan.clone()
+        };
+        assert_ne!(other.apply(&run), plan.apply(&run));
+    }
+
+    #[test]
+    fn meter_outages_blank_contiguous_windows() {
+        let run = trace();
+        let faulted = FaultPlan::new(5).with_meter_outages(0.05, 8).apply(&run);
+        let m = &faulted.machines[0];
+        let invalid: Vec<usize> = (0..m.seconds()).filter(|&t| !m.meter_ok(t)).collect();
+        assert!(!invalid.is_empty());
+        for &t in &invalid {
+            assert!(m.measured_power_w[t].is_nan());
+        }
+        // Counters are untouched by meter faults.
+        assert_eq!(m.counters, run.machines[0].counters);
+    }
+
+    #[test]
+    fn crash_silences_machine_tail() {
+        let run = trace();
+        // crash_rate 1.0: every machine crashes somewhere in [n/4, n).
+        let faulted = FaultPlan::new(13).with_crashes(1.0).apply(&run);
+        for m in &faulted.machines {
+            let n = m.seconds();
+            let crash_t = (0..n).find(|&t| !m.alive_at(t)).expect("machine crashed");
+            assert!(crash_t >= n / 4);
+            for t in crash_t..n {
+                assert!(!m.alive_at(t));
+                assert!(!m.meter_ok(t));
+                assert!(m.measured_power_w[t].is_nan());
+                assert!(m.counters[t].iter().all(|v| v.is_nan()));
+            }
+            for t in 0..crash_t {
+                assert!(m.alive_at(t));
+            }
+        }
+    }
+
+    #[test]
+    fn glitches_corrupt_but_stay_valid() {
+        let run = trace();
+        let faulted = FaultPlan::new(3).with_glitches(0.2, 0.5).apply(&run);
+        let m = &faulted.machines[0];
+        let orig = &run.machines[0];
+        let changed = m
+            .measured_power_w
+            .iter()
+            .zip(&orig.measured_power_w)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 5, "glitches applied: {changed}");
+        // Every reading (glitched or not) is still marked valid.
+        assert!((0..m.seconds()).all(|t| m.meter_ok(t)));
+        faulted.validate().unwrap();
+    }
+
+    #[test]
+    fn stuck_counters_freeze_forever() {
+        let run = trace();
+        let faulted = FaultPlan::new(17).with_stuck_counters(0.2).apply(&run);
+        let m = &faulted.machines[0];
+        let n = m.seconds();
+        let mut stuck_cols = 0;
+        for c in 0..m.width() {
+            // A stuck column is invalid from its freeze point onwards.
+            if let Some(freeze) = (0..n).find(|&t| !m.counter_ok(t, c)) {
+                stuck_cols += 1;
+                let frozen = m.counters[freeze][c];
+                for t in freeze..n {
+                    assert!(!m.counter_ok(t, c));
+                    assert_eq!(m.counters[t][c], frozen);
+                }
+            }
+        }
+        assert!(stuck_cols > 0, "no counters froze at 20% rate");
+    }
+}

@@ -33,7 +33,8 @@
 //!
 //! let cluster = Cluster::homogeneous(Platform::Atom, 3, 1);
 //! let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-//! let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 42);
+//! let run = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), 42)
+//!     .expect("homogeneous cluster with a matching catalog collects");
 //! assert_eq!(run.machines.len(), 3);
 //! assert_eq!(run.machines[0].counters[0].len(), catalog.len());
 //! ```
@@ -43,8 +44,12 @@
 
 pub mod catalog;
 pub mod collect;
+pub mod faults;
 pub mod synth;
 
 pub use catalog::{CounterCatalog, CounterCategory, CounterDef, CounterKind, SignalSource};
-pub use collect::{collect_run, collect_run_mixed, MachineRunTrace, RunTrace};
+pub use collect::{
+    collect_run, collect_run_mixed, CollectError, MachineRunTrace, RunTrace, ValidityMask,
+};
+pub use faults::{DropoutMode, FaultPlan};
 pub use synth::CounterSynth;

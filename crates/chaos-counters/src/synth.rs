@@ -162,11 +162,10 @@ impl CounterSynth {
             }
             CpuDpcPct => (0.5 + 22.0 * net_frac + 9.0 * disk_util).min(40.0),
             CoreFreqMhz(core) => s.cores.get(core).map_or(0.0, |c| c.freq_mhz),
-            CoreFreqPctMax(core) => {
-                s.cores
-                    .get(core)
-                    .map_or(0.0, |c| 100.0 * c.freq_mhz / self.max_freq_mhz)
-            }
+            CoreFreqPctMax(core) => s
+                .cores
+                .get(core)
+                .map_or(0.0, |c| 100.0 * c.freq_mhz / self.max_freq_mhz),
             DiskBytesPerSec => s.disk_total_bytes(),
             DiskReadBytesPerSec => s.disk_read_bytes,
             DiskWriteBytesPerSec => s.disk_write_bytes,

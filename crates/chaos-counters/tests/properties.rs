@@ -1,6 +1,6 @@
 //! Property-based tests for counter synthesis and trace collection.
 
-use chaos_counters::{collect_run, CounterCatalog, CounterKind, CounterSynth};
+use chaos_counters::{collect_run, CounterCatalog, CounterKind, CounterSynth, FaultPlan};
 use chaos_sim::{Cluster, Machine, Platform, ResourceDemand};
 use chaos_workloads::{SimConfig, Workload};
 use proptest::prelude::*;
@@ -60,7 +60,8 @@ proptest! {
         let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
         let a = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), seed);
         let b = collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), seed);
-        prop_assert_eq!(a, b);
+        prop_assert!(a.is_ok());
+        prop_assert_eq!(a.unwrap(), b.unwrap());
     }
 
     /// Measured power tracks ground truth within the meter's class for
@@ -69,12 +70,71 @@ proptest! {
     fn meter_tracks_truth(seed in 0u64..10) {
         let cluster = Cluster::homogeneous(Platform::Core2, 2, 4);
         let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
-        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), seed);
+        let run =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), seed).unwrap();
         for m in &run.machines {
             for (meas, truth) in m.measured_power_w.iter().zip(&m.true_power_w) {
                 prop_assert!((meas - truth).abs() <= truth * 0.016 + 0.45);
             }
         }
+    }
+
+    /// A fault plan with every rate at zero is the identity on any trace.
+    #[test]
+    fn zero_rate_fault_plan_is_identity(seed in 0u64..20, plan_seed in 0u64..1000) {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 6);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run =
+            collect_run(&cluster, &catalog, Workload::Sort, &SimConfig::quick(), seed).unwrap();
+        prop_assert_eq!(FaultPlan::new(plan_seed).apply(&run), run);
+    }
+
+    /// Injection never changes the shape of a trace: machine count,
+    /// per-machine seconds, counter width, and power-series lengths all
+    /// survive, the validity mask matches the trace shape, and the
+    /// faulted trace still passes validation (NaNs excused by the mask).
+    #[test]
+    fn fault_injection_preserves_shape(
+        seed in 0u64..10,
+        dropout in 0.0..0.5f64,
+        crash in 0.0..1.0f64,
+    ) {
+        let cluster = Cluster::homogeneous(Platform::Core2, 3, 4);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let run =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), seed).unwrap();
+        let faulted = FaultPlan::new(seed ^ 0xF00D)
+            .with_counter_dropout(dropout)
+            .with_stuck_counters(0.05)
+            .with_meter_outages(0.02, 6)
+            .with_glitches(0.05, 0.4)
+            .with_crashes(crash)
+            .apply(&run);
+        prop_assert_eq!(faulted.machines.len(), run.machines.len());
+        for (f, o) in faulted.machines.iter().zip(&run.machines) {
+            prop_assert_eq!(f.seconds(), o.seconds());
+            prop_assert_eq!(f.width(), o.width());
+            prop_assert_eq!(f.measured_power_w.len(), o.measured_power_w.len());
+            // Ground truth is never touched by injection.
+            prop_assert_eq!(&f.true_power_w, &o.true_power_w);
+        }
+        prop_assert!(faulted.validate().is_ok());
+    }
+
+    /// Injection is reproducible: the same plan applied twice to the same
+    /// trace yields identical faulted traces.
+    #[test]
+    fn fault_injection_reproducible(seed in 0u64..10, plan_seed in 0u64..100) {
+        let cluster = Cluster::homogeneous(Platform::Opteron, 2, 5);
+        let catalog = CounterCatalog::for_platform(&Platform::Opteron.spec());
+        let run =
+            collect_run(&cluster, &catalog, Workload::WordCount, &SimConfig::quick(), seed)
+                .unwrap();
+        let plan = FaultPlan::new(plan_seed)
+            .with_counter_dropout(0.15)
+            .with_meter_outages(0.03, 4)
+            .with_crashes(0.3);
+        prop_assert_eq!(plan.apply(&run), plan.apply(&run));
     }
 
     /// Catalog structure is stable: ~250 counters, all reference kinds

@@ -76,7 +76,7 @@ pub(crate) fn backward_pass(
             let mut trial: Vec<usize> = active.clone();
             trial.remove(pos);
             if let Ok((coefs, rss)) = fit_rss(&columns, &trial, y, n) {
-                if round_best.as_ref().map_or(true, |(_, _, r)| rss < *r) {
+                if round_best.as_ref().is_none_or(|(_, _, r)| rss < *r) {
                     round_best = Some((pos, coefs, rss));
                 }
             }
@@ -97,8 +97,7 @@ pub(crate) fn backward_pass(
     }
     let _ = best_rss;
 
-    let pruned_basis: Vec<BasisFunction> =
-        best_active.iter().map(|&i| basis[i].clone()).collect();
+    let pruned_basis: Vec<BasisFunction> = best_active.iter().map(|&i| basis[i].clone()).collect();
     Ok(PrunedModel {
         basis: pruned_basis,
         coefficients: best_coefs,

@@ -60,10 +60,9 @@ pub(crate) fn forward_pass(x: &Matrix, y: &[f64], config: &MarsConfig) -> Forwar
                     continue;
                 }
                 for &knot in &knot_candidates(&rows, &active, v, config.max_knots_per_var) {
-                    let cand =
-                        score_candidate(pi, v, knot, pvals, &rows, &q_cols, &resid);
+                    let cand = score_candidate(pi, v, knot, pvals, &rows, &q_cols, &resid);
                     if let Some(c) = cand {
-                        if best.as_ref().map_or(true, |b| c.gain > b.gain) {
+                        if best.as_ref().is_none_or(|b| c.gain > b.gain) {
                             best = Some(c);
                         }
                     }

@@ -68,7 +68,7 @@ impl MarsConfig {
                 context: "mars: max_knots_per_var must be at least 2".into(),
             });
         }
-        if !(self.penalty >= 0.0) {
+        if self.penalty.is_nan() || self.penalty < 0.0 {
             return Err(StatsError::InvalidParameter {
                 context: format!("mars: penalty must be non-negative, got {}", self.penalty),
             });
@@ -216,7 +216,9 @@ mod tests {
     fn fits_absolute_value() {
         let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 10.0]).collect();
         let x = Matrix::from_rows(&rows).unwrap();
-        let y: Vec<f64> = (0..80).map(|i| (i as f64 / 10.0 - 4.0).abs() + 1.0).collect();
+        let y: Vec<f64> = (0..80)
+            .map(|i| (i as f64 / 10.0 - 4.0).abs() + 1.0)
+            .collect();
         let m = MarsModel::fit(&x, &y, &MarsConfig::piecewise_linear()).unwrap();
         for (probe, want) in [(0.0, 5.0), (4.0, 1.0), (7.9, 4.9)] {
             let got = m.predict_row(&[probe]).unwrap();
@@ -260,7 +262,7 @@ mod tests {
 
     #[test]
     fn piecewise_config_never_produces_interactions() {
-        let rows: Vec<Vec<f64>>= (0..100)
+        let rows: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![det_noise(i) * 5.0, det_noise(i + 1000) * 5.0])
             .collect();
         let x = Matrix::from_rows(&rows).unwrap();

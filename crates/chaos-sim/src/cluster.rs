@@ -162,10 +162,7 @@ mod tests {
             assert_eq!(ma.idle_power(), mb.idle_power());
         }
         let c = Cluster::homogeneous(Platform::Athlon, 3, 10);
-        assert_ne!(
-            a.machines()[0].idle_power(),
-            c.machines()[0].idle_power()
-        );
+        assert_ne!(a.machines()[0].idle_power(), c.machines()[0].idle_power());
     }
 
     #[test]
@@ -202,7 +199,11 @@ mod tests {
     fn core2_cluster_range_matches_figure_1() {
         // Figure 1: 5 Core 2 Duo machines, cluster power 120–220 W.
         let c = Cluster::homogeneous(Platform::Core2, 5, 0);
-        assert!((110.0..135.0).contains(&c.idle_power()), "{}", c.idle_power());
+        assert!(
+            (110.0..135.0).contains(&c.idle_power()),
+            "{}",
+            c.idle_power()
+        );
         assert!((210.0..245.0).contains(&c.max_power()), "{}", c.max_power());
     }
 

@@ -1,6 +1,6 @@
 //! One simulated machine: DVFS governor, calibrated ground-truth power.
 
-use crate::platform::{PState, PlatformSpec, Platform};
+use crate::platform::{PState, Platform, PlatformSpec};
 use crate::power;
 use crate::state::{CoreState, MachineState, ResourceDemand};
 use crate::variation::MachineVariation;
@@ -338,8 +338,14 @@ mod tests {
         for platform in Platform::ALL {
             let m = Machine::nominal(platform, 0);
             let (lo, hi) = platform.spec().power_range_w;
-            assert!((m.true_power(&m.idle_state()) - lo).abs() < 1e-6, "{platform}");
-            assert!((m.true_power(&m.full_state()) - hi).abs() < 1e-6, "{platform}");
+            assert!(
+                (m.true_power(&m.idle_state()) - lo).abs() < 1e-6,
+                "{platform}"
+            );
+            assert!(
+                (m.true_power(&m.full_state()) - hi).abs() < 1e-6,
+                "{platform}"
+            );
             assert!((m.idle_power() - lo).abs() < 1e-9);
             assert!((m.max_power() - hi).abs() < 1e-9);
         }

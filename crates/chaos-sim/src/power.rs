@@ -237,7 +237,10 @@ mod tests {
             let spec = platform.spec();
             for u in [0.0, 0.5, 1.0] {
                 let s = state_with_util(&spec, u);
-                assert!(raw_wall_power(&spec, &s) > dc_power(&spec, &s), "{platform}");
+                assert!(
+                    raw_wall_power(&spec, &s) > dc_power(&spec, &s),
+                    "{platform}"
+                );
             }
         }
     }

@@ -27,18 +27,16 @@ fn any_demand() -> impl Strategy<Value = ResourceDemand> {
         0.0..1.0f64,
         0.0..16.0f64,
     )
-        .prop_map(
-            |(cpu, dr, dw, nr, nt, mb, mc, tasks)| ResourceDemand {
-                cpu_cores: cpu,
-                disk_read_bytes: dr,
-                disk_write_bytes: dw,
-                net_rx_bytes: nr,
-                net_tx_bytes: nt,
-                mem_bandwidth_frac: mb,
-                mem_committed_frac: mc,
-                runnable_tasks: tasks,
-            },
-        )
+        .prop_map(|(cpu, dr, dw, nr, nt, mb, mc, tasks)| ResourceDemand {
+            cpu_cores: cpu,
+            disk_read_bytes: dr,
+            disk_write_bytes: dw,
+            net_rx_bytes: nr,
+            net_tx_bytes: nt,
+            mem_bandwidth_frac: mb,
+            mem_committed_frac: mc,
+            runnable_tasks: tasks,
+        })
 }
 
 proptest! {

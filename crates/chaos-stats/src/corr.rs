@@ -123,10 +123,7 @@ pub fn prune_correlated(
     }
     if priority.len() != p {
         return Err(StatsError::InvalidParameter {
-            context: format!(
-                "priority has {} entries for {p} features",
-                priority.len()
-            ),
+            context: format!("priority has {} entries for {p} features", priority.len()),
         });
     }
     let mut seen = vec![false; p];
@@ -141,9 +138,7 @@ pub fn prune_correlated(
 
     let mut kept: Vec<usize> = Vec::new();
     for &j in priority {
-        let ok = kept
-            .iter()
-            .all(|&k| corr.get(j, k).abs() <= threshold);
+        let ok = kept.iter().all(|&k| corr.get(j, k).abs() <= threshold);
         if ok {
             kept.push(j);
         }
@@ -220,7 +215,9 @@ mod tests {
     fn prune_removes_near_duplicates() {
         // col1 = col0 + tiny jitter → |r| > 0.95; col2 independent.
         let col0: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let col1: Vec<f64> = (0..50).map(|i| i as f64 + 0.01 * ((i * 7) % 3) as f64).collect();
+        let col1: Vec<f64> = (0..50)
+            .map(|i| i as f64 + 0.01 * ((i * 7) % 3) as f64)
+            .collect();
         let col2: Vec<f64> = (0..50)
             .map(|i| ((i as f64 * 12.9898).sin() * 43758.5453).fract())
             .collect();
@@ -231,11 +228,7 @@ mod tests {
 
     #[test]
     fn prune_respects_priority_order() {
-        let x = Matrix::from_cols(&[
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![1.0, 2.0, 3.0, 4.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_cols(&[vec![1.0, 2.0, 3.0, 4.0], vec![1.0, 2.0, 3.0, 4.0]]).unwrap();
         let c = correlation_matrix(&x).unwrap();
         // Preferring column 1 keeps column 1.
         let kept = prune_correlated(&c, 0.95, &[1, 0]).unwrap();
@@ -244,11 +237,8 @@ mod tests {
 
     #[test]
     fn prune_keeps_all_when_below_threshold() {
-        let x = Matrix::from_cols(&[
-            vec![1.0, -1.0, 1.0, -1.0],
-            vec![1.0, 1.0, -1.0, -1.0],
-        ])
-        .unwrap();
+        let x =
+            Matrix::from_cols(&[vec![1.0, -1.0, 1.0, -1.0], vec![1.0, 1.0, -1.0, -1.0]]).unwrap();
         let kept = prune_correlated_columns(&x, 0.95).unwrap();
         assert_eq!(kept, vec![0, 1]);
     }

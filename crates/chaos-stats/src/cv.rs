@@ -63,15 +63,16 @@ impl KFold {
     pub fn inverted(n: usize, k: usize) -> Result<Self, StatsError> {
         let mut f = KFold::new(n, k)?;
         f.inverted = true;
-        f
-            .validate_min_fold()
-            .map(|_| f)
+        f.validate_min_fold().map(|_| f)
     }
 
     fn validate_min_fold(&self) -> Result<(), StatsError> {
         if self.n / self.k == 0 {
             return Err(StatsError::InvalidParameter {
-                context: format!("inverted k-fold: folds of size 0 (n={}, k={})", self.n, self.k),
+                context: format!(
+                    "inverted k-fold: folds of size 0 (n={}, k={})",
+                    self.n, self.k
+                ),
             });
         }
         Ok(())
@@ -266,10 +267,7 @@ mod tests {
         let rs = RunSplit::new(vec![(0, 10), (10, 25), (25, 30)]).unwrap();
         let s = rs.train_on_runs(&[1]).unwrap();
         assert_eq!(s.train, (10..25).collect::<Vec<_>>());
-        assert_eq!(
-            s.test,
-            (0..10).chain(25..30).collect::<Vec<_>>()
-        );
+        assert_eq!(s.test, (0..10).chain(25..30).collect::<Vec<_>>());
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub fn std_dev_population(xs: &[f64]) -> f64 {
 
 /// Minimum of `xs`, ignoring NaNs. Returns `f64::INFINITY` for an empty slice.
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().filter(|v| !v.is_nan()).fold(f64::INFINITY, f64::min)
+    xs.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum of `xs`, ignoring NaNs. Returns `f64::NEG_INFINITY` for an empty slice.

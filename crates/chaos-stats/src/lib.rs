@@ -84,6 +84,13 @@ pub enum StatsError {
         /// Human-readable description of the offending parameter.
         context: String,
     },
+    /// An input contained NaN or infinity where a finite value was
+    /// required (for example, a faulted counter sample fed to a fitted
+    /// model).
+    NonFinite {
+        /// Human-readable description of where the non-finite value was.
+        context: String,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -102,6 +109,9 @@ impl fmt::Display for StatsError {
             ),
             StatsError::InvalidParameter { context } => {
                 write!(f, "invalid parameter: {context}")
+            }
+            StatsError::NonFinite { context } => {
+                write!(f, "non-finite input: {context}")
             }
         }
     }
@@ -126,6 +136,9 @@ mod tests {
             },
             StatsError::InvalidParameter {
                 context: "k = 0".into(),
+            },
+            StatsError::NonFinite {
+                context: "row 7, feature 2".into(),
             },
         ];
         for e in errors {

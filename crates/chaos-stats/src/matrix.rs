@@ -5,6 +5,10 @@
 //! one-second sample) by a few dozen columns (one per selected counter), so
 //! a straightforward dense implementation is both adequate and predictable.
 
+// The factorization kernels index several vectors in lockstep; range loops
+// mirror the textbook notation and stay readable.
+#![allow(clippy::needless_range_loop)]
+
 use crate::StatsError;
 
 /// A dense, row-major matrix of `f64` values.
@@ -669,12 +673,7 @@ mod tests {
     #[test]
     fn qr_detects_rank_deficiency() {
         // Second column is 2× the first.
-        let x = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         assert_eq!(
             x.solve_least_squares(&[1.0, 2.0, 3.0]).unwrap_err(),
             StatsError::Singular

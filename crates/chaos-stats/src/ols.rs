@@ -64,11 +64,7 @@ impl OlsFit {
         let qr = QrFactorization::compute(x)?;
         let coefficients = qr.solve(y)?;
         let fitted = x.matvec(&coefficients)?;
-        let rss: f64 = y
-            .iter()
-            .zip(&fitted)
-            .map(|(a, f)| (a - f).powi(2))
-            .sum();
+        let rss: f64 = y.iter().zip(&fitted).map(|(a, f)| (a - f).powi(2)).sum();
         let residual_variance = rss / (n - p) as f64;
         let xtx_inv = qr.xtx_inverse()?;
         let std_errors: Vec<f64> = (0..p)
@@ -159,11 +155,7 @@ impl OlsFit {
                 ),
             });
         }
-        Ok(row
-            .iter()
-            .zip(&self.coefficients)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(row.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum())
     }
 
     /// Predicts the response for every row of a design matrix.

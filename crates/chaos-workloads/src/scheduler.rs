@@ -96,7 +96,10 @@ impl DemandTrace {
 
     /// Iterates over `(machine_index, demands)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[ResourceDemand])> {
-        self.per_machine.iter().enumerate().map(|(i, v)| (i, v.as_slice()))
+        self.per_machine
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.as_slice()))
     }
 }
 
@@ -116,7 +119,12 @@ struct RunningTask {
 ///
 /// Panics if the cluster is empty (checked at cluster construction) or the
 /// job exceeds `config.max_seconds`.
-pub fn simulate(cluster: &Cluster, job: impl Into<JobSource>, config: &SimConfig, seed: u64) -> DemandTrace {
+pub fn simulate(
+    cluster: &Cluster,
+    job: impl Into<JobSource>,
+    config: &SimConfig,
+    seed: u64,
+) -> DemandTrace {
     let job = job.into().build(cluster.len());
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n_machines = cluster.len();
@@ -317,9 +325,8 @@ mod tests {
         let a = simulate(&cluster(), tiny_job(6, 30.0), &cfg, 1);
         let b = simulate(&cluster(), tiny_job(6, 30.0), &cfg, 2);
         // Busy-second signatures should differ for at least one machine.
-        let busy = |t: &DemandTrace, m: usize| {
-            t.machine(m).iter().filter(|d| d.cpu_cores > 0.5).count()
-        };
+        let busy =
+            |t: &DemandTrace, m: usize| t.machine(m).iter().filter(|d| d.cpu_cores > 0.5).count();
         let diff = (0..4).any(|m| busy(&a, m) != busy(&b, m));
         assert!(diff, "seeds produced identical placements");
     }
@@ -366,7 +373,10 @@ mod tests {
         );
         let job = Job::new(
             "barrier",
-            vec![Stage::new("cpu", vec![cpu; 4]), Stage::new("net", vec![net; 4])],
+            vec![
+                Stage::new("cpu", vec![cpu; 4]),
+                Stage::new("net", vec![net; 4]),
+            ],
         );
         let cfg = SimConfig {
             straggler_prob: 0.0,

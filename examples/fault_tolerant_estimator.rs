@@ -1,0 +1,136 @@
+//! Fault-tolerant online estimation: streaming a *faulted* live run
+//! through the robust fallback chain, one second at a time.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerant_estimator
+//! ```
+//!
+//! A deployed agent's counter stream is not clean: counters drop out,
+//! some freeze, the meter blinks, and mid-run the machine's collector
+//! dies outright. This example trains the usual quadratic model, wraps
+//! it in the Full → Reduced → Strawman → Constant chain, and streams a
+//! heavily faulted run through it. The chain answers every second with
+//! a finite wattage and reports which tier produced each answer.
+
+use chaos_core::features::FeatureSpec;
+use chaos_core::robust::{strawman_position, EstimateTier, RobustConfig, RobustEstimator};
+use chaos_counters::{collect_run, CounterCatalog, DropoutMode, FaultPlan};
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{SimConfig, Workload};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::Opteron;
+    let cluster = Cluster::homogeneous(platform, 4, 11);
+    let catalog = CounterCatalog::for_platform(&platform.spec());
+    let sim = SimConfig::paper();
+
+    // Train the chain offline on clean runs.
+    let train: Vec<_> = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Sort, &sim, 400 + r))
+        .collect::<Result<_, _>>()?;
+    let spec = FeatureSpec::general(&catalog);
+    let config = RobustConfig {
+        fit: RobustConfig::paper()
+            .fit
+            .with_freq_column(spec.freq_column(&catalog)),
+        ..RobustConfig::paper()
+    };
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let mut estimator = RobustEstimator::fit(
+        &train,
+        &spec,
+        strawman_position(&spec, &catalog),
+        idle,
+        config,
+    )?;
+    println!(
+        "trained fallback chain: {} features, idle floor {:.1} W",
+        estimator.spec().width(),
+        estimator.idle_power_w()
+    );
+
+    // A rough day in production: dropout with stale repeats, a stuck
+    // counter here and there, meter outages, glitches, and one machine's
+    // collector guaranteed to die mid-run.
+    let live = collect_run(&cluster, &catalog, Workload::Sort, &sim, 909)?;
+    let plan = FaultPlan::new(42)
+        .with_counter_dropout(0.15)
+        .with_dropout_mode(DropoutMode::Stale)
+        .with_stuck_counters(0.1)
+        .with_meter_outages(0.005, 15)
+        .with_glitches(0.02, 0.5)
+        .with_crashes(0.25);
+    let faulted = plan.apply(&live);
+
+    // Stream machine 0's agent view second by second.
+    let agent = &faulted.machines[0];
+    let clean = &live.machines[0];
+    let mut imputer = estimator.new_imputer();
+    let mut tier_counts: HashMap<EstimateTier, usize> = HashMap::new();
+    let mut sum_err = 0.0;
+    let mut answered = 0usize;
+    for t in 0..agent.seconds() {
+        let e = estimator.estimate_second(agent, t, &mut imputer);
+        assert!(e.power_w.is_finite(), "the chain never emits NaN");
+        *tier_counts.entry(e.tier).or_insert(0) += 1;
+        // Score against the clean meter — the stream's own meter may be
+        // down or glitched.
+        let truth = clean.measured_power_w[t];
+        if e.tier != EstimateTier::Constant {
+            sum_err += (e.power_w - truth).abs();
+            answered += 1;
+        }
+        if t % 60 == 0 {
+            println!(
+                "t={t:>4}s  {:>6.1} W  (truth {truth:>6.1} W)  tier={:<8} imputed={}",
+                e.power_w,
+                e.tier.label(),
+                e.imputed
+            );
+        }
+    }
+
+    let total = agent.seconds();
+    println!("\n{total} samples streamed through the chain; per-tier coverage:");
+    for tier in [
+        EstimateTier::Full,
+        EstimateTier::Reduced,
+        EstimateTier::Strawman,
+        EstimateTier::Constant,
+    ] {
+        let n = tier_counts.get(&tier).copied().unwrap_or(0);
+        println!(
+            "  {:<8} {:>5} samples ({:.1}%)",
+            tier.label(),
+            n,
+            100.0 * n as f64 / total as f64
+        );
+    }
+    println!(
+        "reduced models refit on demand: {}",
+        estimator.reduced_models_fitted()
+    );
+    if answered > 0 {
+        println!(
+            "mean |err| above the floor: {:.2} W",
+            sum_err / answered as f64
+        );
+    }
+
+    // The whole cluster, with one collector dead partway through.
+    let ce = estimator.estimate_cluster(&faulted);
+    let coverage = ce.coverage();
+    let finite = ce.power_w.iter().all(|p| p.is_finite());
+    println!(
+        "\ncluster estimate: {} seconds, all finite: {finite}, coverage {:.1}%",
+        ce.power_w.len(),
+        100.0 * coverage
+    );
+    assert!(finite, "cluster estimates must always be finite");
+    assert!(
+        coverage > 0.3,
+        "chain should answer above the floor for a sizable share: {coverage}"
+    );
+    Ok(())
+}

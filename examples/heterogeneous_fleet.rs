@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     *w,
                     &sim,
                     (10 + wi * 7 + r) as u64,
-                ));
+                )?);
             }
         }
         let spec = FeatureSpec::general(&catalog);
@@ -81,6 +81,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rmse = chaos_stats::metrics::rmse(&predicted, &actual)?;
     let dre = rmse / (fleet.max_power() - fleet.idle_power());
     println!("\nfleet-level accuracy on an unseen run:");
-    println!("  rMSE {rmse:.1} W, DRE {:.1}% (paper worst case: 12%)", 100.0 * dre);
+    println!(
+        "  rMSE {rmse:.1} W, DRE {:.1}% (paper worst case: 12%)",
+        100.0 * dre
+    );
     Ok(())
 }

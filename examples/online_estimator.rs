@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train offline.
     let train: Vec<_> = (0..2)
         .map(|r| collect_run(&cluster, &catalog, Workload::WordCount, &sim, 50 + r))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let spec = FeatureSpec::general(&catalog);
     let ds = pooled_dataset(&train, &spec)?.thinned(2_000);
     let opts = FitOptions::paper().with_freq_column(spec.freq_column(&catalog));
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Stream a live run, one second at a time, machine 0's agent view.
-    let live = collect_run(&cluster, &catalog, Workload::WordCount, &sim, 777);
+    let live = collect_run(&cluster, &catalog, Workload::WordCount, &sim, 777)?;
     let agent = &live.machines[0];
     let mut worst_err = 0.0_f64;
     let mut sum_err = 0.0;

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training CHAOS model on 2 instrumented PageRank runs...");
     let train: Vec<_> = (0..2)
         .map(|r| collect_run(&cluster, &catalog, Workload::PageRank, &sim, 100 + r))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let spec = FeatureSpec::general(&catalog);
     let ds = pooled_dataset(&train, &spec)?.thinned(2_500);
     let opts = FitOptions::paper().with_freq_column(spec.freq_column(&catalog));
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         budget,
         cluster.max_power()
     );
-    let live = collect_run(&cluster, &catalog, Workload::PageRank, &sim, 999);
+    let live = collect_run(&cluster, &catalog, Workload::PageRank, &sim, 999)?;
     let predicted = chaos.predict_cluster(&live)?;
     let actual = live.cluster_measured_power();
 
@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let n = predicted.len();
     println!("seconds observed:        {n}");
-    println!("cap decisions agree:     {agree} ({:.1}%)", 100.0 * agree as f64 / n as f64);
+    println!(
+        "cap decisions agree:     {agree} ({:.1}%)",
+        100.0 * agree as f64 / n as f64
+    );
     println!("false caps (lost perf):  {false_caps}");
     println!("missed caps (risk):      {missed_caps}");
 

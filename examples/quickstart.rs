@@ -50,10 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    separate application runs.
     let spec = selection.feature_spec();
     let outcome = experiment.evaluate(Workload::Prime, &spec, ModelTechnique::Quadratic)?;
-    println!("\nquadratic model, {}-fold run-level cross-validation:", outcome.folds.len());
+    println!(
+        "\nquadratic model, {}-fold run-level cross-validation:",
+        outcome.folds.len()
+    );
     println!("  DRE                   {:.1}%", 100.0 * outcome.avg_dre());
     println!("  rMSE                  {:.2} W", outcome.avg_rmse());
-    println!("  % error               {:.1}%", 100.0 * outcome.avg_percent_error());
+    println!(
+        "  % error               {:.1}%",
+        100.0 * outcome.avg_percent_error()
+    );
     println!(
         "  median relative error {:.1}%",
         100.0 * outcome.avg_median_relative_error()

@@ -19,13 +19,16 @@ fn train_platform_model(
     let mut train: Vec<RunTrace> = Vec::new();
     for (wi, w) in workloads.iter().enumerate() {
         for r in 0..2 {
-            train.push(collect_run(
-                &cluster,
-                &catalog,
-                *w,
-                &SimConfig::quick(),
-                seed * 100 + (wi * 10 + r) as u64,
-            ));
+            train.push(
+                collect_run(
+                    &cluster,
+                    &catalog,
+                    *w,
+                    &SimConfig::quick(),
+                    seed * 100 + (wi * 10 + r) as u64,
+                )
+                .unwrap(),
+            );
         }
     }
     let spec = FeatureSpec::general(&catalog);
@@ -62,7 +65,7 @@ fn composition_is_exactly_additive() {
     let composed = ClusterPowerModel::homogeneous(Platform::Atom, spec, model);
     let cluster = Cluster::homogeneous(Platform::Atom, 4, 8);
     let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
-    let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 77);
+    let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 77).unwrap();
 
     let total = composed.predict_cluster(&run).unwrap();
     let mut manual = vec![0.0; run.seconds()];
@@ -87,7 +90,7 @@ fn model_trained_on_one_cluster_transfers_to_unseen_machines() {
     // A different cluster seed → different machine variations and meters.
     let unseen = Cluster::homogeneous(Platform::Core2, 4, 9999);
     let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
-    let run = collect_run(&unseen, &catalog, Workload::Prime, &SimConfig::quick(), 31);
+    let run = collect_run(&unseen, &catalog, Workload::Prime, &SimConfig::quick(), 31).unwrap();
     let pred = composed.predict_cluster(&run).unwrap();
     let actual = run.cluster_measured_power();
     let rmse = chaos::stats::metrics::rmse(&pred, &actual).unwrap();
