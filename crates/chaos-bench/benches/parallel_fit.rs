@@ -1,0 +1,91 @@
+//! Serial vs parallel wall-clock for the engine's fan-out stages.
+//!
+//! The per-machine fit stage is the paper's dominant cost (one MARS fit
+//! per machine per fold); on a ≥4-core machine the 4-thread policy is
+//! expected to reach ≥2× over serial. Results are bit-identical across
+//! policies — only wall-clock changes — so these benches pair with the
+//! determinism tests rather than replacing them.
+//!
+//! `cargo bench -p chaos-bench --bench parallel_fit`; the
+//! `ablation_parallel` binary records the same comparison (plus sweep
+//! and selection stages) to `results/BENCH_parallel.json`.
+
+use chaos_core::eval::{evaluate, EvalConfig};
+use chaos_core::pooling::{evaluate_pooling, PoolingStrategy};
+use chaos_core::{ExecPolicy, FeatureSpec, ModelTechnique};
+use chaos_counters::{collect_run, CounterCatalog, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{SimConfig, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const POLICIES: [(&str, ExecPolicy); 2] = [
+    ("serial", ExecPolicy::Serial),
+    ("parallel_4", ExecPolicy::Parallel { threads: 4 }),
+];
+
+fn setup() -> (Vec<RunTrace>, Cluster, FeatureSpec) {
+    let cluster = Cluster::homogeneous(Platform::Core2, 4, 2012);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let traces: Vec<RunTrace> = (0..4)
+        .map(|r| {
+            collect_run(
+                &cluster,
+                &catalog,
+                Workload::Prime,
+                &SimConfig::paper(),
+                40 + r,
+            )
+            .unwrap()
+        })
+        .collect();
+    let spec = FeatureSpec::general(&catalog);
+    (traces, cluster, spec)
+}
+
+fn bench_per_machine_fit(c: &mut Criterion) {
+    let (traces, cluster, spec) = setup();
+    let mut group = c.benchmark_group("per_machine_fit");
+    group.sample_size(10);
+    for (label, exec) in POLICIES {
+        let config = EvalConfig::fast().with_exec(exec);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                evaluate_pooling(
+                    &traces,
+                    &cluster,
+                    &spec,
+                    ModelTechnique::PiecewiseLinear,
+                    PoolingStrategy::PerMachine,
+                    &config,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cv_folds(c: &mut Criterion) {
+    let (traces, cluster, spec) = setup();
+    let mut group = c.benchmark_group("cv_folds");
+    group.sample_size(10);
+    for (label, exec) in POLICIES {
+        let config = EvalConfig::fast().with_exec(exec);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                evaluate(
+                    &traces,
+                    &cluster,
+                    &spec,
+                    ModelTechnique::PiecewiseLinear,
+                    &config,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_machine_fit, bench_cv_folds);
+criterion_main!(benches);

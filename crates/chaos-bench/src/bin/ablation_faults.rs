@@ -39,6 +39,12 @@ fn main() {
         .with_meter_outages(0.005, 10)
         .with_glitches(0.01, 0.3);
     let rates = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4];
+    // CHAOS_THREADS=auto|N|serial fans the sweep points out; results are
+    // bit-identical across policies.
+    let config = RobustConfig {
+        exec: chaos_core::ExecPolicy::from_env(),
+        ..RobustConfig::fast()
+    };
     let outcomes = fault_sweep(
         &runs[..2],
         &runs[2..],
@@ -46,7 +52,7 @@ fn main() {
         &spec,
         &base,
         &rates,
-        &RobustConfig::fast(),
+        &config,
     )
     .expect("fault sweep");
 

@@ -1,0 +1,193 @@
+//! Ablation: parallel experiment engine.
+//!
+//! Times each fan-out stage of the pipeline — the per-machine fit stage,
+//! cross-validated evaluation, the technique × feature-set sweep, and
+//! Algorithm 1 feature selection — under Serial, 2-thread, and 4-thread
+//! execution policies. Every stage's output is asserted bit-identical
+//! across policies before any timing is reported, then the wall-clock
+//! numbers and speedups are written to `results/BENCH_parallel.json`.
+//!
+//! Timings take the minimum of several repeats, so transient scheduler
+//! noise inflates neither the serial nor the parallel numbers. Expected
+//! shape on a ≥4-core machine: the per-machine fit stage and the sweep
+//! reach ≥2× at 4 threads (they fan out over many independent MARS
+//! fits); selection lands a little lower because steps 1–2 and 6 are
+//! inherently serial.
+
+use chaos_bench::{format_table, results_dir};
+use chaos_core::eval::{evaluate, EvalConfig};
+use chaos_core::pooling::{evaluate_pooling, PoolingStrategy};
+use chaos_core::selection::{select_features, SelectionConfig};
+use chaos_core::sweep::sweep_grid;
+use chaos_core::{ExecPolicy, FeatureSpec, ModelTechnique};
+use chaos_counters::{collect_run, CounterCatalog, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{SimConfig, Workload};
+use serde_json::json;
+use std::time::Instant;
+
+const REPEATS: usize = 3;
+
+const POLICIES: [(&str, ExecPolicy); 3] = [
+    ("serial", ExecPolicy::Serial),
+    ("par2", ExecPolicy::Parallel { threads: 2 }),
+    ("par4", ExecPolicy::Parallel { threads: 4 }),
+];
+
+/// Runs one stage under every policy, asserts the serialized outputs are
+/// bit-identical, and returns (label, best-of-REPEATS milliseconds).
+fn bench_stage(name: &str, run: &dyn Fn(ExecPolicy) -> String) -> Vec<(&'static str, f64)> {
+    let mut timings = Vec::new();
+    let mut digests: Vec<String> = Vec::new();
+    for (label, policy) in POLICIES {
+        let mut best = f64::INFINITY;
+        let mut digest = String::new();
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            digest = run(policy);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        timings.push((label, best));
+        digests.push(digest);
+    }
+    assert!(
+        digests.iter().all(|d| d == &digests[0]),
+        "{name}: results differ across execution policies"
+    );
+    eprintln!(
+        "[{name}] serial {:.0} ms, par2 {:.0} ms, par4 {:.0} ms (bit-identical)",
+        timings[0].1, timings[1].1, timings[2].1
+    );
+    timings
+}
+
+fn main() {
+    let cluster = Cluster::homogeneous(Platform::Core2, 4, 2012);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let traces: Vec<RunTrace> = (0..4)
+        .map(|r| {
+            collect_run(
+                &cluster,
+                &catalog,
+                Workload::Prime,
+                &SimConfig::paper(),
+                40 + r,
+            )
+            .unwrap()
+        })
+        .collect();
+    let spec = FeatureSpec::general(&catalog);
+    let sets = vec![
+        ("U".to_string(), FeatureSpec::cpu_only(&catalog)),
+        ("G".to_string(), FeatureSpec::general(&catalog)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut stage_json = Vec::new();
+    let mut record = |name: &str, t: Vec<(&'static str, f64)>| {
+        let (serial, par2, par4) = (t[0].1, t[1].1, t[2].1);
+        rows.push(vec![
+            name.to_string(),
+            format!("{serial:.0} ms"),
+            format!("{par2:.0} ms"),
+            format!("{par4:.0} ms"),
+            format!("{:.2}x", serial / par2),
+            format!("{:.2}x", serial / par4),
+        ]);
+        stage_json.push(json!({
+            "stage": name,
+            "serial_ms": serial,
+            "par2_ms": par2,
+            "par4_ms": par4,
+            "speedup_2": serial / par2,
+            "speedup_4": serial / par4,
+            "bit_identical": true,
+        }));
+    };
+
+    record(
+        "per_machine_fit",
+        bench_stage("per_machine_fit", &|exec| {
+            let o = evaluate_pooling(
+                &traces,
+                &cluster,
+                &spec,
+                ModelTechnique::PiecewiseLinear,
+                PoolingStrategy::PerMachine,
+                &EvalConfig::fast().with_exec(exec),
+            )
+            .expect("per-machine fit");
+            serde_json::to_string(&o).unwrap()
+        }),
+    );
+    record(
+        "cv_folds",
+        bench_stage("cv_folds", &|exec| {
+            let o = evaluate(
+                &traces,
+                &cluster,
+                &spec,
+                ModelTechnique::PiecewiseLinear,
+                &EvalConfig::fast().with_exec(exec),
+            )
+            .expect("evaluation");
+            serde_json::to_string(&o).unwrap()
+        }),
+    );
+    record(
+        "sweep_grid",
+        bench_stage("sweep_grid", &|exec| {
+            let o = sweep_grid(
+                &traces,
+                &cluster,
+                &sets,
+                &ModelTechnique::ALL,
+                &EvalConfig::fast().with_exec(exec),
+            )
+            .expect("sweep");
+            serde_json::to_string(&o).unwrap()
+        }),
+    );
+    record(
+        "selection",
+        bench_stage("selection", &|exec| {
+            let o = select_features(
+                &traces,
+                &catalog,
+                &SelectionConfig {
+                    exec,
+                    ..SelectionConfig::default()
+                },
+            )
+            .expect("selection");
+            serde_json::to_string(&o).unwrap()
+        }),
+    );
+
+    println!("Ablation: parallel execution (Core2, Prime, 4 machines, 4 runs)\n");
+    println!(
+        "{}",
+        format_table(
+            &["Stage", "Serial", "2 threads", "4 threads", "S/2", "S/4"],
+            &rows
+        )
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let out = json!({
+        "bench": "parallel_engine_ablation",
+        "platform": "Core2",
+        "workload": "prime",
+        "machines": 4,
+        "runs": 4,
+        "repeats": REPEATS,
+        "host_cores": cores,
+        "stages": stage_json,
+    });
+    let path = results_dir().join("BENCH_parallel.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()).expect("write results");
+    println!("\nJSON written to {}", path.display());
+    if cores < 4 {
+        eprintln!("note: only {cores} cores available; 4-thread speedups will be deflated");
+    }
+}

@@ -13,7 +13,9 @@ use chaos_sim::Platform;
 use chaos_workloads::Workload;
 
 fn main() {
-    let cfg = ExperimentConfig::paper();
+    // CHAOS_THREADS=auto|N|serial picks the execution policy; results
+    // are bit-identical across policies.
+    let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
     let exp = ClusterExperiment::collect(Platform::Opteron, &cfg);
     let selection = exp.select_features().expect("selection succeeds");
     let sets = exp.standard_feature_sets(&selection);

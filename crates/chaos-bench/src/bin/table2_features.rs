@@ -13,7 +13,9 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
-    let cfg = ExperimentConfig::paper();
+    // CHAOS_THREADS=auto|N|serial picks the execution policy; results
+    // are bit-identical across policies.
+    let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
     // counter name -> per-platform markers
     let mut grid: BTreeMap<String, BTreeMap<&'static str, bool>> = BTreeMap::new();
     let mut stats_rows = Vec::new();

@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
-    let cfg = ExperimentConfig::paper();
+    // CHAOS_THREADS=auto|N|serial picks the execution policy; results
+    // are bit-identical across policies.
+    let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
     // best[(workload)][platform] = (dre, label)
     let mut best: BTreeMap<&str, BTreeMap<&str, (f64, String)>> = BTreeMap::new();
     let mut counts = Vec::new();

@@ -14,6 +14,7 @@ use crate::models::{FitOptions, FittedModel, ModelTechnique};
 use crate::robust::{strawman_position, RobustConfig, RobustEstimator};
 use chaos_counters::{FaultPlan, RunTrace};
 use chaos_sim::Cluster;
+use chaos_stats::exec::ExecPolicy;
 use chaos_stats::{metrics, StatsError};
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,12 @@ pub struct EvalConfig {
     pub max_train_rows: usize,
     /// Model-fitting options.
     pub fit: FitOptions,
+    /// Execution policy for the cross-validation folds (and sweep cells
+    /// when this config drives [`crate::sweep::sweep_grid`]). Folds are
+    /// independent, so serial and parallel evaluation are bit-identical;
+    /// see [`chaos_stats::exec`].
+    #[serde(default)]
+    pub exec: ExecPolicy,
 }
 
 impl EvalConfig {
@@ -33,7 +40,15 @@ impl EvalConfig {
         EvalConfig {
             max_train_rows: 1_500,
             fit: FitOptions::fast(),
+            exec: ExecPolicy::Serial,
         }
+    }
+
+    /// The same configuration under a different execution policy.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -42,6 +57,7 @@ impl Default for EvalConfig {
         EvalConfig {
             max_train_rows: 2_500,
             fit: FitOptions::paper(),
+            exec: ExecPolicy::Serial,
         }
     }
 }
@@ -128,8 +144,10 @@ pub fn evaluate(
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
 
     let ds = pooled_dataset(traces, spec)?;
-    let mut folds = Vec::with_capacity(traces.len());
-    for train_run in 0..traces.len() {
+    // Each fold is a pure function of (ds, train_run): fan out under the
+    // policy, merge in fold order, surface the lowest-index error — all
+    // bit-identical to the serial loop.
+    let folds = config.exec.try_par_map_indices(traces.len(), |train_run| {
         let train_rows = ds.rows_in_runs(&[train_run]);
         let test_rows: Vec<usize> = (0..ds.len())
             .filter(|&i| ds.run_of[i] != train_run)
@@ -137,8 +155,8 @@ pub fn evaluate(
         let train = ds.subset(&train_rows).thinned(config.max_train_rows);
         let model = FittedModel::fit(technique, &train.x, &train.y, &opts)?;
         let test = ds.subset(&test_rows);
-        folds.push(fold_metrics(&model, &test, cluster, train_run)?);
-    }
+        fold_metrics(&model, &test, cluster, train_run)
+    })?;
     Ok(EvalOutcome {
         technique,
         models_built: folds.len(),
@@ -243,7 +261,7 @@ pub fn evaluate_faulted(
         ..*config
     };
     let idle_per_machine = cluster.idle_power() / cluster.machines().len() as f64;
-    let mut robust = RobustEstimator::fit(
+    let robust = RobustEstimator::fit(
         train,
         spec,
         strawman_position(spec, &catalog),
@@ -339,13 +357,21 @@ pub fn fault_sweep(
     rates: &[f64],
     config: &RobustConfig,
 ) -> Result<Vec<FaultedOutcome>, StatsError> {
-    rates
-        .iter()
-        .map(|&rate| {
-            let plan = base.clone().with_counter_dropout(rate);
-            evaluate_faulted(train, test, cluster, spec, &plan, config)
-        })
-        .collect()
+    // When the sweep itself fans out, run each point's estimator serially
+    // to avoid nested thread pools; outcomes are policy-invariant either
+    // way.
+    let inner = if config.exec.is_parallel() {
+        RobustConfig {
+            exec: ExecPolicy::Serial,
+            ..*config
+        }
+    } else {
+        *config
+    };
+    config.exec.try_par_map(rates, |&rate| {
+        let plan = base.clone().with_counter_dropout(rate);
+        evaluate_faulted(train, test, cluster, spec, &plan, &inner)
+    })
 }
 
 #[cfg(test)]

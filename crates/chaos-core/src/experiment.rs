@@ -47,6 +47,18 @@ impl ExperimentConfig {
         }
     }
 
+    /// Returns a copy with the execution policy applied to every fan-out
+    /// stage (selection combos, cross-validation folds, sweep cells).
+    /// Results are bit-identical across policies; binaries typically pass
+    /// [`chaos_stats::exec::ExecPolicy::from_env`] here so `CHAOS_THREADS`
+    /// controls parallelism without recompiling.
+    #[must_use]
+    pub fn with_exec(mut self, exec: chaos_stats::exec::ExecPolicy) -> Self {
+        self.selection.exec = exec;
+        self.eval.exec = exec;
+        self
+    }
+
     /// Small and fast: 3 machines, 2 runs, two workloads. For tests and
     /// doc examples.
     pub fn quick() -> Self {

@@ -25,6 +25,21 @@
 //!    paper builds over 1200 models per cluster) to regenerate Figures 3
 //!    and 4 and Table IV.
 //!
+//! # Execution model
+//!
+//! The fan-out stages of the pipeline — per-(machine × workload) fits in
+//! [`selection`], cross-validation folds in [`eval`] and [`pooling`],
+//! grid cells in [`sweep`], fault-rate sweeps in [`eval::fault_sweep`],
+//! and per-machine estimation in [`robust`] — all accept an
+//! [`ExecPolicy`] (re-exported from [`chaos_stats::exec`]). Every
+//! parallel path is engineered to be **bit-identical** to its serial
+//! counterpart: work items are pure functions of their inputs, results
+//! are merged in input order, and floating-point reductions always run
+//! over the ordered, merged results. `ExecPolicy::from_env()` reads the
+//! `CHAOS_THREADS` environment variable, so binaries can switch without
+//! recompiling. See `ARCHITECTURE.md` at the repository root for the
+//! full picture.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -54,6 +69,7 @@ pub mod robust;
 pub mod selection;
 pub mod sweep;
 
+pub use chaos_stats::exec::ExecPolicy;
 pub use dataset::Dataset;
 pub use features::FeatureSpec;
 pub use models::{FittedModel, ModelTechnique};

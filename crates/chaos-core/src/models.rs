@@ -116,6 +116,15 @@ impl FitOptions {
         self.freq_column = col;
         self
     }
+
+    /// Returns a copy with the given execution policy applied to both
+    /// MARS configurations. MARS candidate scoring is bit-identical
+    /// across policies, so this only changes wall-clock time.
+    pub fn with_exec(mut self, exec: chaos_stats::exec::ExecPolicy) -> Self {
+        self.piecewise.exec = exec;
+        self.quadratic.exec = exec;
+        self
+    }
 }
 
 impl Default for FitOptions {

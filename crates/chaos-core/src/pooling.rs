@@ -73,8 +73,20 @@ pub struct PoolingOutcome {
     pub residual_variance: f64,
 }
 
+/// Per-fold accumulation. Folds run (possibly in parallel) under
+/// [`EvalConfig::exec`] and are merged in fold order, so every reduction
+/// sums the same values in the same sequence regardless of the policy.
+struct FoldAcc {
+    dre: Vec<f64>,
+    rmse: Vec<f64>,
+    sse: f64,
+    n_test: usize,
+}
+
 /// Evaluates one strategy with the paper's protocol (train on one run,
-/// test on the rest, every run takes a turn).
+/// test on the rest, every run takes a turn). Folds are independent and
+/// fan out under [`EvalConfig::exec`]; results are bit-identical across
+/// execution policies.
 ///
 /// # Errors
 ///
@@ -98,12 +110,7 @@ pub fn evaluate_pooling(
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
     let ds = pooled_dataset(traces, spec)?;
 
-    let mut dre = Vec::new();
-    let mut rmse = Vec::new();
-    let mut sse = 0.0;
-    let mut n_test = 0usize;
-
-    for train_run in 0..traces.len() {
+    let folds = config.exec.try_par_map_indices(traces.len(), |train_run| {
         let train_rows = ds.rows_in_runs(&[train_run]);
         let test_rows: Vec<usize> = (0..ds.len())
             .filter(|&i| ds.run_of[i] != train_run)
@@ -111,6 +118,12 @@ pub fn evaluate_pooling(
         let train = ds.subset(&train_rows).thinned(config.max_train_rows);
         let test = ds.subset(&test_rows);
 
+        let mut acc = FoldAcc {
+            dre: Vec::new(),
+            rmse: Vec::new(),
+            sse: 0.0,
+            n_test: 0,
+        };
         match strategy {
             PoolingStrategy::Pooled => {
                 let model = FittedModel::fit(technique, &train.x, &train.y, &opts)?;
@@ -125,10 +138,10 @@ pub fn evaluate_pooling(
                         &pred,
                         &sub,
                         machine,
-                        &mut dre,
-                        &mut rmse,
-                        &mut sse,
-                        &mut n_test,
+                        &mut acc.dre,
+                        &mut acc.rmse,
+                        &mut acc.sse,
+                        &mut acc.n_test,
                     )?;
                 }
             }
@@ -145,10 +158,10 @@ pub fn evaluate_pooling(
                         &pred,
                         &te,
                         machine,
-                        &mut dre,
-                        &mut rmse,
-                        &mut sse,
-                        &mut n_test,
+                        &mut acc.dre,
+                        &mut acc.rmse,
+                        &mut acc.sse,
+                        &mut acc.n_test,
                     )?;
                 }
             }
@@ -165,14 +178,26 @@ pub fn evaluate_pooling(
                         &pred,
                         &sub,
                         machine,
-                        &mut dre,
-                        &mut rmse,
-                        &mut sse,
-                        &mut n_test,
+                        &mut acc.dre,
+                        &mut acc.rmse,
+                        &mut acc.sse,
+                        &mut acc.n_test,
                     )?;
                 }
             }
         }
+        Ok(acc)
+    })?;
+
+    let mut dre = Vec::new();
+    let mut rmse = Vec::new();
+    let mut sse = 0.0;
+    let mut n_test = 0usize;
+    for f in folds {
+        dre.extend(f.dre);
+        rmse.extend(f.rmse);
+        sse += f.sse;
+        n_test += f.n_test;
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -353,14 +378,16 @@ pub fn evaluate_pooling_cluster(
     let ds = pooled_dataset(traces, spec)?;
     let range: f64 = cluster.max_power() - cluster.idle_power();
 
-    let mut dre = Vec::new();
-    let mut rmse_all = Vec::new();
-    let mut sse = 0.0;
-    let mut n_test = 0usize;
-    for train_run in 0..traces.len() {
+    let folds = config.exec.try_par_map_indices(traces.len(), |train_run| {
         let train = ds
             .subset(&ds.rows_in_runs(&[train_run]))
             .thinned(config.max_train_rows);
+        let mut acc = FoldAcc {
+            dre: Vec::new(),
+            rmse: Vec::new(),
+            sse: 0.0,
+            n_test: 0,
+        };
 
         // Fit per strategy.
         let pooled_model;
@@ -427,15 +454,27 @@ pub fn evaluate_pooling_cluster(
                 }
             }
             let r = metrics::rmse(&cluster_pred, &cluster_actual)?;
-            rmse_all.push(r);
-            dre.push(r / range);
-            sse += cluster_pred
+            acc.rmse.push(r);
+            acc.dre.push(r / range);
+            acc.sse += cluster_pred
                 .iter()
                 .zip(&cluster_actual)
                 .map(|(p, a)| (p - a).powi(2))
                 .sum::<f64>();
-            n_test += cluster_pred.len();
+            acc.n_test += cluster_pred.len();
         }
+        Ok(acc)
+    })?;
+
+    let mut dre = Vec::new();
+    let mut rmse_all = Vec::new();
+    let mut sse = 0.0;
+    let mut n_test = 0usize;
+    for f in folds {
+        dre.extend(f.dre);
+        rmse_all.extend(f.rmse);
+        sse += f.sse;
+        n_test += f.n_test;
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -541,6 +580,47 @@ mod tests {
             pooled.dre,
             per.dre
         );
+    }
+
+    #[test]
+    fn parallel_folds_match_serial() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let par = EvalConfig {
+            exec: chaos_stats::exec::ExecPolicy::Parallel { threads: 3 },
+            ..EvalConfig::fast()
+        };
+        for strategy in PoolingStrategy::ALL {
+            let run = |cfg: &EvalConfig| {
+                evaluate_pooling(
+                    &traces,
+                    &cluster,
+                    &spec,
+                    ModelTechnique::Linear,
+                    strategy,
+                    cfg,
+                )
+                .unwrap()
+            };
+            assert_eq!(run(&EvalConfig::fast()), run(&par), "{}", strategy.name());
+            let run_cluster = |cfg: &EvalConfig| {
+                evaluate_pooling_cluster(
+                    &traces,
+                    &cluster,
+                    &spec,
+                    ModelTechnique::Linear,
+                    strategy,
+                    cfg,
+                )
+                .unwrap()
+            };
+            assert_eq!(
+                run_cluster(&EvalConfig::fast()),
+                run_cluster(&par),
+                "{}",
+                strategy.name()
+            );
+        }
     }
 
     #[test]

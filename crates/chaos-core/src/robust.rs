@@ -30,7 +30,9 @@ use crate::dataset::{pooled_dataset_valid, Dataset};
 use crate::features::FeatureSpec;
 use crate::models::{FitOptions, FittedModel, ModelTechnique};
 use chaos_counters::{MachineRunTrace, RunTrace};
+use chaos_stats::exec::ExecPolicy;
 use chaos_stats::{Matrix, StatsError};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -121,6 +123,12 @@ pub struct RobustConfig {
     /// Row cap for the retained training set (reduced-tier refits are
     /// linear, so a few thousand rows are plenty).
     pub max_train_rows: usize,
+    /// Execution policy for per-machine estimation in
+    /// [`RobustEstimator::estimate_cluster`]. Machine streams are
+    /// independent and summed in machine order, so serial and parallel
+    /// estimation are bit-identical.
+    #[serde(default)]
+    pub exec: ExecPolicy,
 }
 
 impl RobustConfig {
@@ -133,6 +141,7 @@ impl RobustConfig {
             impute: ImputePolicy::CarryForward { max_run: 3 },
             reduced_min_features: 2,
             max_train_rows: 4_000,
+            exec: ExecPolicy::Serial,
         }
     }
 
@@ -144,6 +153,7 @@ impl RobustConfig {
             impute: ImputePolicy::CarryForward { max_run: 3 },
             reduced_min_features: 2,
             max_train_rows: 1_500,
+            exec: ExecPolicy::Serial,
         }
     }
 
@@ -208,7 +218,11 @@ impl ImputerState {
 /// A power estimator that degrades gracefully under counter and meter
 /// faults by walking a Full → Reduced → Strawman → Constant fallback
 /// chain. See the module docs for the chain's semantics.
-#[derive(Debug, Clone)]
+///
+/// Estimation takes `&self` — the reduced-refit cache sits behind a
+/// mutex — so one estimator can serve several machine streams
+/// concurrently (see [`RobustEstimator::estimate_cluster`]).
+#[derive(Debug)]
 pub struct RobustEstimator {
     spec: FeatureSpec,
     config: RobustConfig,
@@ -218,7 +232,23 @@ pub struct RobustEstimator {
     idle_power_w: f64,
     train_x: Matrix,
     train_y: Vec<f64>,
-    reduced_cache: HashMap<u64, Option<FittedModel>>,
+    reduced_cache: Mutex<HashMap<u64, Option<FittedModel>>>,
+}
+
+impl Clone for RobustEstimator {
+    fn clone(&self) -> Self {
+        RobustEstimator {
+            spec: self.spec.clone(),
+            config: self.config,
+            full: self.full.clone(),
+            strawman: self.strawman.clone(),
+            cpu_position: self.cpu_position,
+            idle_power_w: self.idle_power_w,
+            train_x: self.train_x.clone(),
+            train_y: self.train_y.clone(),
+            reduced_cache: Mutex::new(self.reduced_cache.lock().clone()),
+        }
+    }
 }
 
 impl RobustEstimator {
@@ -258,7 +288,7 @@ impl RobustEstimator {
             idle_power_w,
             train_x: ds.x,
             train_y: ds.y,
-            reduced_cache: HashMap::new(),
+            reduced_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -275,7 +305,7 @@ impl RobustEstimator {
     /// Number of reduced models refit so far (cache size) — a cheap
     /// proxy for how much column-failure diversity the stream showed.
     pub fn reduced_models_fitted(&self) -> usize {
-        self.reduced_cache.len()
+        self.reduced_cache.lock().len()
     }
 
     /// Creates the streaming imputer state for one machine stream.
@@ -287,7 +317,7 @@ impl RobustEstimator {
     /// chain. Feed seconds in order with the same `imp` state per
     /// stream. Never panics, never returns NaN.
     pub fn estimate_second(
-        &mut self,
+        &self,
         m: &MachineRunTrace,
         t: usize,
         imp: &mut ImputerState,
@@ -346,17 +376,13 @@ impl RobustEstimator {
         // Tier 2: linear refit on the surviving columns.
         let keep: Vec<usize> = (0..width).filter(|&k| available[k]).collect();
         if keep.len() >= self.config.reduced_min_features.max(1) && keep.len() < width {
-            if let Some(model) = self.reduced_model(&keep) {
-                let sub: Vec<f64> = keep.iter().map(|&k| row[k]).collect();
-                if let Ok(p) = model.predict_row(&sub) {
-                    if p.is_finite() {
-                        return SampleEstimate {
-                            power_w: p,
-                            tier: EstimateTier::Reduced,
-                            imputed,
-                        };
-                    }
-                }
+            let sub: Vec<f64> = keep.iter().map(|&k| row[k]).collect();
+            if let Some(p) = self.reduced_predict(&keep, &sub) {
+                return SampleEstimate {
+                    power_w: p,
+                    tier: EstimateTier::Reduced,
+                    imputed,
+                };
             }
         }
 
@@ -385,7 +411,7 @@ impl RobustEstimator {
 
     /// Estimates a whole machine trace, returning one [`SampleEstimate`]
     /// per second.
-    pub fn estimate_machine(&mut self, m: &MachineRunTrace) -> Vec<SampleEstimate> {
+    pub fn estimate_machine(&self, m: &MachineRunTrace) -> Vec<SampleEstimate> {
         let mut imp = self.new_imputer();
         (0..m.seconds())
             .map(|t| self.estimate_second(m, t, &mut imp))
@@ -396,13 +422,21 @@ impl RobustEstimator {
     /// second (Eq. 5 with per-machine degradation), plus the per-sample
     /// *worst* tier used across machines — the honest provenance for the
     /// summed wattage.
-    pub fn estimate_cluster(&mut self, run: &RunTrace) -> ClusterEstimate {
+    ///
+    /// Machine streams are estimated under `config.exec`; each stream is
+    /// an independent pure computation and the per-second sums are
+    /// accumulated in machine order, so the estimate is bit-identical
+    /// across execution policies.
+    pub fn estimate_cluster(&self, run: &RunTrace) -> ClusterEstimate {
         let n = run.seconds();
+        let per_machine = self
+            .config
+            .exec
+            .par_map(&run.machines, |m| self.estimate_machine(m));
         let mut total = vec![0.0_f64; n];
         let mut worst = vec![EstimateTier::Full; n];
         let mut tier_counts: HashMap<EstimateTier, usize> = HashMap::new();
-        for m in &run.machines {
-            let est = self.estimate_machine(m);
+        for est in &per_machine {
             for (t, e) in est.iter().enumerate().take(n) {
                 total[t] += e.power_w;
                 worst[t] = worst[t].max(e.tier);
@@ -446,15 +480,22 @@ impl ClusterEstimate {
 }
 
 impl RobustEstimator {
-    fn reduced_model(&mut self, keep: &[usize]) -> Option<&FittedModel> {
+    /// Predicts with the reduced model for a surviving-column mask,
+    /// fitting and caching it on first sight. Fitting happens under the
+    /// cache lock, so concurrent streams hitting the same mask wait for
+    /// one fit instead of racing duplicates; the fit is deterministic, so
+    /// whichever thread populates an entry stores the same model.
+    fn reduced_predict(&self, keep: &[usize], sub: &[f64]) -> Option<f64> {
         let key = keep.iter().fold(0u64, |acc, &k| acc | (1 << (k % 64)));
-        if !self.reduced_cache.contains_key(&key) {
+        let mut cache = self.reduced_cache.lock();
+        let model = cache.entry(key).or_insert_with(|| {
             let x = self.train_x.select_cols(keep);
-            let model =
-                FittedModel::fit(ModelTechnique::Linear, &x, &self.train_y, &self.config.fit).ok();
-            self.reduced_cache.insert(key, model);
-        }
-        self.reduced_cache.get(&key).and_then(|m| m.as_ref())
+            FittedModel::fit(ModelTechnique::Linear, &x, &self.train_y, &self.config.fit).ok()
+        });
+        model
+            .as_ref()
+            .and_then(|m| m.predict_row(sub).ok())
+            .filter(|p| p.is_finite())
     }
 }
 
@@ -521,7 +562,7 @@ mod tests {
     #[test]
     fn clean_trace_answers_full_tier_everywhere() {
         let (train, test, cluster, catalog) = setup();
-        let mut est = estimator(&train, &cluster, &catalog);
+        let est = estimator(&train, &cluster, &catalog);
         let ce = est.estimate_cluster(&test);
         assert!(ce.coverage() > 0.999, "coverage {}", ce.coverage());
         assert!(ce.worst_tier.iter().all(|&t| t == EstimateTier::Full));
@@ -535,7 +576,7 @@ mod tests {
     #[test]
     fn moderate_dropout_keeps_estimates_finite_and_bounded() {
         let (train, test, cluster, catalog) = setup();
-        let mut est = estimator(&train, &cluster, &catalog);
+        let est = estimator(&train, &cluster, &catalog);
         let faulted = FaultPlan::new(77).with_counter_dropout(0.2).apply(&test);
         let ce = est.estimate_cluster(&faulted);
         assert!(ce.power_w.iter().all(|p| p.is_finite()));
@@ -553,7 +594,7 @@ mod tests {
     #[test]
     fn crashed_machine_falls_to_constant_floor() {
         let (train, test, cluster, catalog) = setup();
-        let mut est = estimator(&train, &cluster, &catalog);
+        let est = estimator(&train, &cluster, &catalog);
         let faulted = FaultPlan::new(5).with_crashes(1.0).apply(&test);
         let m = &faulted.machines[0];
         let series = est.estimate_machine(m);
@@ -572,7 +613,7 @@ mod tests {
     #[test]
     fn stuck_feature_demotes_to_reduced_not_constant() {
         let (train, test, cluster, catalog) = setup();
-        let mut est = estimator(&train, &cluster, &catalog);
+        let est = estimator(&train, &cluster, &catalog);
         // Invalidate one general-set feature for the whole run on one
         // machine by marking it stuck from t=1.
         let mut faulted = test.clone();
@@ -613,7 +654,7 @@ mod tests {
             window: 5,
             max_run: 3,
         });
-        let mut est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
+        let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
         let faulted = FaultPlan::new(9).with_counter_dropout(0.05).apply(&test);
         let series = est.estimate_machine(&faulted.machines[0]);
         assert!(series.iter().any(|e| e.imputed > 0));
@@ -636,11 +677,37 @@ mod tests {
             ..RobustConfig::fast()
         }
         .with_impute(ImputePolicy::None);
-        let mut est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
+        let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
         let faulted = FaultPlan::new(4).with_counter_dropout(0.15).apply(&test);
         let series = est.estimate_machine(&faulted.machines[0]);
         assert!(series.iter().all(|e| e.imputed == 0));
         assert!(series.iter().any(|e| e.tier == EstimateTier::Reduced));
+    }
+
+    #[test]
+    fn cluster_estimation_is_policy_invariant() {
+        let (train, test, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let cpu = strawman_position(&spec, &catalog);
+        let idle = cluster.idle_power() / cluster.machines().len() as f64;
+        let base = RobustConfig {
+            fit: RobustConfig::fast()
+                .fit
+                .with_freq_column(spec.freq_column(&catalog)),
+            ..RobustConfig::fast()
+        };
+        let faulted = FaultPlan::new(77).with_counter_dropout(0.2).apply(&test);
+        let serial_est = RobustEstimator::fit(&train, &spec, cpu, idle, base).unwrap();
+        let serial = serial_est.estimate_cluster(&faulted);
+        let par_cfg = RobustConfig {
+            exec: ExecPolicy::Parallel { threads: 4 },
+            ..base
+        };
+        let par_est = RobustEstimator::fit(&train, &spec, cpu, idle, par_cfg).unwrap();
+        let parallel = par_est.estimate_cluster(&faulted);
+        assert_eq!(serial.power_w, parallel.power_w);
+        assert_eq!(serial.worst_tier, parallel.worst_tier);
+        assert_eq!(serial.tier_counts, parallel.tier_counts);
     }
 
     #[test]

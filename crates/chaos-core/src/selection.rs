@@ -13,8 +13,10 @@
 use crate::dataset::{machine_dataset, pooled_dataset};
 use crate::features::FeatureSpec;
 use chaos_counters::{CounterCatalog, RunTrace};
+use chaos_stats::exec::ExecPolicy;
+use chaos_stats::gram::GramCache;
 use chaos_stats::lasso::{lambda_max, LassoConfig, LassoFit};
-use chaos_stats::stepwise::{backward_eliminate, StepwiseConfig};
+use chaos_stats::stepwise::{backward_eliminate, backward_eliminate_cached, StepwiseConfig};
 use chaos_stats::{corr, describe, Matrix, StatsError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -43,6 +45,12 @@ pub struct SelectionConfig {
     pub max_machine_rows: usize,
     /// Row cap for the pooled cluster-level refits.
     pub max_cluster_rows: usize,
+    /// Execution policy for the per-(machine × workload) model fits of
+    /// steps 3–4. Results are bit-identical across policies: each combo is
+    /// fitted independently and the step 5 histogram is accumulated in the
+    /// fixed (workload, machine) order regardless of completion order.
+    #[serde(default)]
+    pub exec: ExecPolicy,
 }
 
 impl Default for SelectionConfig {
@@ -56,6 +64,7 @@ impl Default for SelectionConfig {
             initial_threshold_frac: 0.25,
             max_machine_rows: 1_200,
             max_cluster_rows: 3_000,
+            exec: ExecPolicy::Serial,
         }
     }
 }
@@ -207,60 +216,96 @@ pub fn select_features(
     }
     let machine_ids: Vec<usize> = traces[0].machines.iter().map(|m| m.machine_id).collect();
 
-    // Steps 3–5: per machine × workload lasso + stepwise, accumulate the
-    // weighted union histogram.
-    let mut weights: Vec<f64> = vec![0.0; catalog.len()];
-    for runs in by_workload.values() {
-        let runs_owned: Vec<RunTrace> = runs.iter().map(|r| (*r).clone()).collect();
-        for &mid in &machine_ids {
-            let spec = FeatureSpec::new(s2.clone());
-            let ds = machine_dataset(&runs_owned, &spec, mid)?.thinned(config.max_machine_rows);
-            // Only counters that genuinely move on this machine can enter.
-            let live = live_columns(&ds.x);
-            if live.is_empty() {
-                continue;
-            }
-            let xl = ds.x.select_cols(&live);
+    // Steps 3–5: per machine × workload lasso + stepwise. Each combo is an
+    // independent pure fit, so the combos fan out under `config.exec`; the
+    // step 5 histogram is then accumulated serially in the fixed
+    // (workload, machine) order, which keeps the floating-point weight
+    // sums bit-identical regardless of the execution policy.
+    let workload_runs: Vec<Vec<RunTrace>> = by_workload
+        .values()
+        .map(|runs| runs.iter().map(|r| (*r).clone()).collect())
+        .collect();
+    let combos: Vec<(usize, usize)> = (0..workload_runs.len())
+        .flat_map(|wi| machine_ids.iter().map(move |&mid| (wi, mid)))
+        .collect();
 
-            // Step 3: lasso support.
-            let lmax = lambda_max(&xl, &ds.y)?;
-            let lasso = LassoFit::fit(
-                &xl,
-                &ds.y,
-                &LassoConfig {
-                    lambda: config.lasso_lambda_frac * lmax,
-                    ..LassoConfig::default()
-                },
-            )?;
-            models_built += 1;
-            let support = lasso.support();
-            if support.is_empty() {
-                continue;
-            }
+    /// Per-combo result: catalog-index weight contributions plus the
+    /// number of models fitted along the way.
+    struct ComboOutcome {
+        contributions: Vec<(usize, f64)>,
+        models: usize,
+    }
 
-            // Step 4: stepwise over the support (standardized for
-            // numerical stability of the Wald statistics).
-            let xs = standardized(&xl.select_cols(&support));
-            let sw = backward_eliminate(
-                &xs,
-                &ds.y,
-                &StepwiseConfig {
-                    alpha: config.machine_alpha,
-                    min_features: 1,
-                },
-            )?;
-            models_built += sw.rounds + 1;
+    let outcomes: Vec<Option<ComboOutcome>> = config.exec.try_par_map(&combos, |&(wi, mid)| {
+        let spec = FeatureSpec::new(s2.clone());
+        let ds = machine_dataset(&workload_runs[wi], &spec, mid)?.thinned(config.max_machine_rows);
+        // Only counters that genuinely move on this machine can enter.
+        let live = live_columns(&ds.x);
+        if live.is_empty() {
+            return Ok(None);
+        }
+        let xl = ds.x.select_cols(&live);
 
-            // Step 5 accumulation: map back to catalog indices.
-            for (pos_in_support, _) in support.iter().enumerate() {
+        // Step 3: lasso support.
+        let lmax = lambda_max(&xl, &ds.y)?;
+        let lasso = LassoFit::fit(
+            &xl,
+            &ds.y,
+            &LassoConfig {
+                lambda: config.lasso_lambda_frac * lmax,
+                ..LassoConfig::default()
+            },
+        )?;
+        let mut models = 1usize;
+        let support = lasso.support();
+        if support.is_empty() {
+            return Ok(Some(ComboOutcome {
+                contributions: Vec::new(),
+                models,
+            }));
+        }
+
+        // Step 4: stepwise over the support (standardized for numerical
+        // stability of the Wald statistics). The memoizing Gram cache
+        // shares X'X across elimination rounds instead of re-factorizing
+        // the design from scratch at every refit.
+        let xs = standardized(&xl.select_cols(&support));
+        let mut gram = GramCache::new(&xs, &ds.y)?;
+        let sw = backward_eliminate_cached(
+            &mut gram,
+            &StepwiseConfig {
+                alpha: config.machine_alpha,
+                min_features: 1,
+            },
+        )?;
+        models += sw.rounds + 1;
+
+        // Step 5 contributions: map back to catalog indices.
+        let contributions = support
+            .iter()
+            .enumerate()
+            .map(|(pos_in_support, _)| {
                 let catalog_idx = s2[live[support[pos_in_support]]];
                 let significant = sw.selected.contains(&pos_in_support);
-                weights[catalog_idx] += if significant {
+                let w = if significant {
                     1.0
                 } else {
                     config.lasso_only_weight
                 };
-            }
+                (catalog_idx, w)
+            })
+            .collect();
+        Ok(Some(ComboOutcome {
+            contributions,
+            models,
+        }))
+    })?;
+
+    let mut weights: Vec<f64> = vec![0.0; catalog.len()];
+    for outcome in outcomes.into_iter().flatten() {
+        models_built += outcome.models;
+        for (catalog_idx, w) in outcome.contributions {
+            weights[catalog_idx] += w;
         }
     }
 

@@ -6,6 +6,7 @@ use crate::features::FeatureSpec;
 use crate::models::ModelTechnique;
 use chaos_counters::RunTrace;
 use chaos_sim::Cluster;
+use chaos_stats::exec::ExecPolicy;
 use chaos_stats::StatsError;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +35,13 @@ impl SweepCell {
 /// and switching models require multiple features, and the switching
 /// model requires a frequency feature in the set.
 ///
+/// Grid cells are independent evaluations and fan out under
+/// [`EvalConfig::exec`]. When the grid itself runs in parallel, each
+/// cell's inner cross-validation is forced serial — outcomes are
+/// policy-invariant, so this only avoids thread oversubscription and
+/// never changes results. Cells are returned in grid order regardless of
+/// completion order.
+///
 /// # Errors
 ///
 /// Propagates evaluation errors other than per-cell
@@ -47,26 +55,44 @@ pub fn sweep_grid(
 ) -> Result<Vec<SweepCell>, StatsError> {
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
+    let cell_config = if config.exec.is_parallel() {
+        EvalConfig {
+            exec: ExecPolicy::Serial,
+            ..*config
+        }
+    } else {
+        *config
+    };
+    let combos: Vec<(&String, &FeatureSpec, ModelTechnique)> = feature_sets
+        .iter()
+        .flat_map(|(label, spec)| {
+            techniques
+                .iter()
+                .copied()
+                .filter(|t| !(t.requires_multiple_features() && spec.width() < 2))
+                .filter(|&t| {
+                    !(t == ModelTechnique::Switching && spec.freq_column(&catalog).is_none())
+                })
+                .map(move |t| (label, spec, t))
+        })
+        .collect();
+    let results = config.exec.par_map(&combos, |&(label, spec, technique)| {
+        match evaluate(traces, cluster, spec, technique, &cell_config) {
+            Ok(outcome) => Ok(Some(SweepCell {
+                technique,
+                feature_label: label.clone(),
+                outcome,
+            })),
+            // A singular fold (e.g. a degenerate feature subset on a
+            // short trace) invalidates the cell, not the sweep.
+            Err(StatsError::Singular) | Err(StatsError::InsufficientData { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    });
     let mut cells = Vec::new();
-    for (label, spec) in feature_sets {
-        for &technique in techniques {
-            if technique.requires_multiple_features() && spec.width() < 2 {
-                continue;
-            }
-            if technique == ModelTechnique::Switching && spec.freq_column(&catalog).is_none() {
-                continue;
-            }
-            match evaluate(traces, cluster, spec, technique, config) {
-                Ok(outcome) => cells.push(SweepCell {
-                    technique,
-                    feature_label: label.clone(),
-                    outcome,
-                }),
-                // A singular fold (e.g. a degenerate feature subset on a
-                // short trace) invalidates the cell, not the sweep.
-                Err(StatsError::Singular) | Err(StatsError::InsufficientData { .. }) => {}
-                Err(e) => return Err(e),
-            }
+    for r in results {
+        if let Some(cell) = r? {
+            cells.push(cell);
         }
     }
     Ok(cells)
@@ -155,6 +181,35 @@ mod tests {
             assert!(best.outcome.avg_dre() <= c.outcome.avg_dre());
         }
         assert!(models_built(&cells) >= cells.len());
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let (traces, cluster, catalog) = setup();
+        let sets = vec![
+            ("U".to_string(), FeatureSpec::cpu_only(&catalog)),
+            ("G".to_string(), FeatureSpec::general(&catalog)),
+        ];
+        let serial = sweep_grid(
+            &traces,
+            &cluster,
+            &sets,
+            &ModelTechnique::ALL,
+            &EvalConfig::fast(),
+        )
+        .unwrap();
+        let parallel = sweep_grid(
+            &traces,
+            &cluster,
+            &sets,
+            &ModelTechnique::ALL,
+            &EvalConfig {
+                exec: ExecPolicy::Parallel { threads: 4 },
+                ..EvalConfig::fast()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! End-to-end determinism: every parallel path in the experiment engine
+//! must produce results bit-identical to serial execution.
+//!
+//! The engine's contract (see `chaos_stats::exec`) is that an
+//! [`ExecPolicy`] only changes wall-clock time, never results: work items
+//! are pure functions of their inputs, results merge in input order, and
+//! floating-point reductions always run over the ordered, merged results.
+//! These tests pin that contract at the public-API level for each fan-out
+//! stage: cross-validated evaluation, model fitting, Algorithm 1 feature
+//! selection, the technique × feature-set sweep, and the fault-rate sweep.
+
+use chaos_core::eval::{evaluate, fault_sweep, EvalConfig};
+use chaos_core::models::{FitOptions, FittedModel};
+use chaos_core::robust::RobustConfig;
+use chaos_core::selection::{select_features, SelectionConfig};
+use chaos_core::sweep::sweep_grid;
+use chaos_core::{ExecPolicy, FeatureSpec, ModelTechnique};
+use chaos_counters::{collect_run, CounterCatalog, FaultPlan, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{SimConfig, Workload};
+
+const PAR: ExecPolicy = ExecPolicy::Parallel { threads: 4 };
+
+fn setup(runs: u64) -> (Vec<RunTrace>, Cluster, CounterCatalog) {
+    let cluster = Cluster::homogeneous(Platform::Core2, 3, 4);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let traces = (0..runs)
+        .map(|r| {
+            collect_run(
+                &cluster,
+                &catalog,
+                Workload::Prime,
+                &SimConfig::quick(),
+                900 + r,
+            )
+            .unwrap()
+        })
+        .collect();
+    (traces, cluster, catalog)
+}
+
+#[test]
+fn evaluation_folds_are_policy_invariant() {
+    let (traces, cluster, catalog) = setup(3);
+    let spec = FeatureSpec::general(&catalog);
+    for technique in [ModelTechnique::Linear, ModelTechnique::PiecewiseLinear] {
+        let serial = evaluate(&traces, &cluster, &spec, technique, &EvalConfig::fast()).unwrap();
+        let parallel = evaluate(
+            &traces,
+            &cluster,
+            &spec,
+            technique,
+            &EvalConfig::fast().with_exec(PAR),
+        )
+        .unwrap();
+        // DRE, rMSE, and every other fold metric must match bit for bit.
+        assert_eq!(serial, parallel, "{technique}");
+    }
+}
+
+#[test]
+fn fitted_model_coefficients_are_policy_invariant() {
+    let (traces, _cluster, catalog) = setup(2);
+    let spec = FeatureSpec::general(&catalog);
+    let ds = chaos_core::dataset::pooled_dataset(&traces, &spec)
+        .unwrap()
+        .thinned(600);
+    for technique in [ModelTechnique::PiecewiseLinear, ModelTechnique::Quadratic] {
+        let serial = FittedModel::fit(technique, &ds.x, &ds.y, &FitOptions::fast()).unwrap();
+        let parallel =
+            FittedModel::fit(technique, &ds.x, &ds.y, &FitOptions::fast().with_exec(PAR)).unwrap();
+        // The serialized form exposes every coefficient, knot, and clamp.
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "{technique}"
+        );
+    }
+}
+
+#[test]
+fn feature_selection_is_policy_invariant() {
+    let (traces, _cluster, catalog) = setup(2);
+    let serial = select_features(&traces, &catalog, &SelectionConfig::default()).unwrap();
+    let parallel = select_features(
+        &traces,
+        &catalog,
+        &SelectionConfig {
+            exec: PAR,
+            ..SelectionConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial.selected, parallel.selected);
+    assert_eq!(serial.threshold, parallel.threshold);
+    assert_eq!(serial.models_built, parallel.models_built);
+    // Histogram weights are f64 sums — still bit-identical because the
+    // combo contributions accumulate in a fixed order.
+    assert_eq!(
+        serde_json::to_string(&serial.histogram).unwrap(),
+        serde_json::to_string(&parallel.histogram).unwrap()
+    );
+}
+
+#[test]
+fn sweep_grid_is_policy_invariant() {
+    let (traces, cluster, catalog) = setup(2);
+    let sets = vec![
+        ("U".to_string(), FeatureSpec::cpu_only(&catalog)),
+        ("G".to_string(), FeatureSpec::general(&catalog)),
+    ];
+    let serial = sweep_grid(
+        &traces,
+        &cluster,
+        &sets,
+        &ModelTechnique::ALL,
+        &EvalConfig::fast(),
+    )
+    .unwrap();
+    let parallel = sweep_grid(
+        &traces,
+        &cluster,
+        &sets,
+        &ModelTechnique::ALL,
+        &EvalConfig::fast().with_exec(PAR),
+    )
+    .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fault_sweep_is_policy_invariant() {
+    let (traces, cluster, catalog) = setup(2);
+    let spec = FeatureSpec::general(&catalog);
+    let base = FaultPlan::new(77);
+    let rates = [0.0, 0.1, 0.3];
+    let serial = fault_sweep(
+        &traces[..1],
+        &traces[1..],
+        &cluster,
+        &spec,
+        &base,
+        &rates,
+        &RobustConfig::fast(),
+    )
+    .unwrap();
+    let parallel = fault_sweep(
+        &traces[..1],
+        &traces[1..],
+        &cluster,
+        &spec,
+        &base,
+        &rates,
+        &RobustConfig {
+            exec: PAR,
+            ..RobustConfig::fast()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial, parallel);
+}

@@ -6,10 +6,23 @@
 //! against the current basis and scores the residual-sum-of-squares
 //! reduction directly from the projections, so a candidate costs `O(n·m)`
 //! instead of a refit.
+//!
+//! Two optimizations keep rounds cheap without changing a single bit of
+//! the result:
+//!
+//! * a [`HingeCache`] memoizes the raw hinge vectors `(x − knot)₊` /
+//!   `(knot − x)₊` per (variable, knot, direction), so candidate columns
+//!   are a cached-vector product instead of being rebuilt from the design
+//!   matrix every round;
+//! * candidates are enumerated serially into a fixed-order list and then
+//!   scored under `config.exec` — scoring is pure, results come back in
+//!   enumeration order, and the winner is picked by the same strict
+//!   first-maximum rule the serial loop uses.
 
 use crate::basis::{BasisFunction, Direction, HingeTerm};
 use crate::model::MarsConfig;
 use chaos_stats::Matrix;
+use std::collections::HashMap;
 
 /// Minimum number of active (parent > 0) samples required before a parent
 /// basis may spawn children. Prevents knots supported by a handful of
@@ -19,6 +32,55 @@ const MIN_ACTIVE: usize = 8;
 /// Relative tolerance below which an orthogonalized candidate column is
 /// treated as linearly dependent on the current basis.
 const DEP_TOL: f64 = 1e-9;
+
+/// Upper bound on memoized hinge vectors; beyond this the cache stops
+/// inserting and scoring falls back to the (bit-identical) inline
+/// computation, bounding memory at `MAX_HINGE_CACHE · n` doubles.
+const MAX_HINGE_CACHE: usize = 2048;
+
+/// Memoized raw hinge vectors keyed by (variable, knot bits, direction).
+///
+/// The raw hinge `h(x) = (x − knot)₊` (or its reflection) is independent
+/// of the parent basis, so it can be shared by every candidate touching
+/// the same (variable, knot) pair — across parents and across rounds.
+struct HingeCache {
+    cols: HashMap<(usize, u64, Direction), Vec<f64>>,
+}
+
+impl HingeCache {
+    fn new() -> Self {
+        HingeCache {
+            cols: HashMap::new(),
+        }
+    }
+
+    /// Materializes the hinge vector for a (variable, knot, direction)
+    /// triple unless the cache is full.
+    fn ensure(&mut self, rows: &[&[f64]], variable: usize, knot: f64, direction: Direction) {
+        if self.cols.len() >= MAX_HINGE_CACHE {
+            return;
+        }
+        self.cols
+            .entry((variable, knot.to_bits(), direction))
+            .or_insert_with(|| {
+                rows.iter()
+                    .map(|r| {
+                        let x = r[variable];
+                        match direction {
+                            Direction::Positive => (x - knot).max(0.0),
+                            Direction::Negative => (knot - x).max(0.0),
+                        }
+                    })
+                    .collect()
+            });
+    }
+
+    fn get(&self, variable: usize, knot: f64, direction: Direction) -> Option<&[f64]> {
+        self.cols
+            .get(&(variable, knot.to_bits(), direction))
+            .map(Vec::as_slice)
+    }
+}
 
 pub(crate) struct ForwardResult {
     pub basis: Vec<BasisFunction>,
@@ -42,10 +104,13 @@ pub(crate) fn forward_pass(x: &Matrix, y: &[f64], config: &MarsConfig) -> Forwar
 
     // Cached basis-column evaluations for knot candidate generation.
     let mut basis_vals: Vec<Vec<f64>> = vec![vec![1.0; n]];
+    // Raw hinge vectors are parent-independent, so the cache lives across
+    // rounds.
+    let mut hinges = HingeCache::new();
 
     while basis.len() + 2 <= config.max_terms {
-        let mut best: Option<Candidate> = None;
-
+        // Enumerate candidates in a fixed serial order...
+        let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
         for (pi, parent) in basis.iter().enumerate() {
             if parent.degree() >= config.max_degree {
                 continue;
@@ -60,13 +125,36 @@ pub(crate) fn forward_pass(x: &Matrix, y: &[f64], config: &MarsConfig) -> Forwar
                     continue;
                 }
                 for &knot in &knot_candidates(&rows, &active, v, config.max_knots_per_var) {
-                    let cand = score_candidate(pi, v, knot, pvals, &rows, &q_cols, &resid);
-                    if let Some(c) = cand {
-                        if best.as_ref().is_none_or(|b| c.gain > b.gain) {
-                            best = Some(c);
-                        }
-                    }
+                    candidates.push((pi, v, knot));
                 }
+            }
+        }
+        for &(_, v, knot) in &candidates {
+            hinges.ensure(&rows, v, knot, Direction::Positive);
+            hinges.ensure(&rows, v, knot, Direction::Negative);
+        }
+
+        // ...score them (possibly in parallel; scoring is pure and results
+        // return in enumeration order)...
+        let scored = config.exec.par_map(&candidates, |&(pi, v, knot)| {
+            score_candidate(
+                pi,
+                v,
+                knot,
+                &basis_vals[pi],
+                &rows,
+                &q_cols,
+                &resid,
+                &hinges,
+            )
+        });
+
+        // ...and keep the first strict maximum, exactly as the serial loop
+        // would.
+        let mut best: Option<Candidate> = None;
+        for c in scored.into_iter().flatten() {
+            if best.as_ref().is_none_or(|b| c.gain > b.gain) {
+                best = Some(c);
             }
         }
 
@@ -121,6 +209,7 @@ fn score_candidate(
     rows: &[&[f64]],
     q_cols: &[Vec<f64>],
     resid: &[f64],
+    hinges: &HingeCache,
 ) -> Option<Candidate> {
     let n = rows.len();
     let mut gain = 0.0;
@@ -128,14 +217,24 @@ fn score_candidate(
     let mut first_q: Option<Vec<f64>> = None;
     for dir in [Direction::Positive, Direction::Negative] {
         let mut col = vec![0.0; n];
-        for i in 0..n {
-            if parent_vals[i] > 0.0 {
-                let x = rows[i][variable];
-                let h = match dir {
-                    Direction::Positive => (x - knot).max(0.0),
-                    Direction::Negative => (knot - x).max(0.0),
-                };
-                col[i] = parent_vals[i] * h;
+        // The cached vector holds exactly the h the inline branch computes,
+        // so both paths produce bit-identical columns.
+        if let Some(h) = hinges.get(variable, knot, dir) {
+            for i in 0..n {
+                if parent_vals[i] > 0.0 {
+                    col[i] = parent_vals[i] * h[i];
+                }
+            }
+        } else {
+            for i in 0..n {
+                if parent_vals[i] > 0.0 {
+                    let x = rows[i][variable];
+                    let h = match dir {
+                        Direction::Positive => (x - knot).max(0.0),
+                        Direction::Negative => (knot - x).max(0.0),
+                    };
+                    col[i] = parent_vals[i] * h;
+                }
             }
         }
         let mut q = match orthogonalize(&col, q_cols) {

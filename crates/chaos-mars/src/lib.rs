@@ -21,6 +21,11 @@
 //! 2. A **backward pruning pass** removes bases one at a time and keeps
 //!    the subset with the best Generalized Cross-Validation (GCV) score.
 //!
+//! The forward pass memoizes raw hinge vectors and can score candidates
+//! in parallel under [`MarsConfig::exec`](model::MarsConfig) — both are
+//! bit-identical to the plain serial computation, so the fitted model
+//! never depends on the execution policy.
+//!
 //! # Example
 //!
 //! ```

@@ -3,6 +3,7 @@
 use crate::backward::backward_pass;
 use crate::basis::BasisFunction;
 use crate::forward::forward_pass;
+use chaos_stats::exec::ExecPolicy;
 use chaos_stats::{Matrix, StatsError};
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +27,13 @@ pub struct MarsConfig {
     /// Forward pass stops when the best candidate pair reduces RSS by less
     /// than this fraction of the initial (intercept-only) RSS.
     pub min_rss_fraction: f64,
+    /// Execution policy for scoring forward-pass candidates. Serial and
+    /// parallel scoring pick the same candidate every round (candidates
+    /// are enumerated in a fixed order and compared with a strict
+    /// first-maximum rule), so fitted models are bit-identical across
+    /// policies.
+    #[serde(default)]
+    pub exec: ExecPolicy,
 }
 
 impl MarsConfig {
@@ -37,6 +45,7 @@ impl MarsConfig {
             max_knots_per_var: 16,
             penalty: 2.0,
             min_rss_fraction: 1e-4,
+            exec: ExecPolicy::Serial,
         }
     }
 
@@ -49,6 +58,7 @@ impl MarsConfig {
             max_knots_per_var: 16,
             penalty: 3.0,
             min_rss_fraction: 1e-4,
+            exec: ExecPolicy::Serial,
         }
     }
 
@@ -330,6 +340,30 @@ mod tests {
         let m = MarsModel::fit(&x, &y, &MarsConfig::quadratic()).unwrap();
         assert_eq!(m.n_terms(), 1);
         assert!((m.predict_row(&[100.0]).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_scoring_is_bit_identical_to_serial() {
+        let rows: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![i as f64 / 10.0, det_noise(i * 3 + 1) * 8.0])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r[0] - 6.0).abs() + 0.4 * r[1].max(0.0) + 0.02 * det_noise(i * 17 + 5))
+            .collect();
+        for base in [MarsConfig::piecewise_linear(), MarsConfig::quadratic()] {
+            let serial = MarsModel::fit(&x, &y, &base).unwrap();
+            let par_cfg = MarsConfig {
+                exec: ExecPolicy::Parallel { threads: 4 },
+                ..base
+            };
+            let parallel = MarsModel::fit(&x, &y, &par_cfg).unwrap();
+            assert_eq!(serial.basis(), parallel.basis());
+            assert_eq!(serial.coefficients(), parallel.coefficients());
+            assert_eq!(serial.gcv(), parallel.gcv());
+        }
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!   small-train / large-test ratio.
 //! * [`RunSplit`] — leave-runs-out splitting over whole application runs,
 //!   so a model is always tested on runs it never saw.
+//!
+//! [`cross_validate`] runs a fit/score pair over a batch of splits under
+//! an [`ExecPolicy`], so the folds of Eq. 6's DRE evaluation can fan out
+//! across threads without changing a single bit of the scores.
 
+use crate::exec::ExecPolicy;
 use crate::StatsError;
 
 /// One train/test partition of sample indices.
@@ -200,6 +205,69 @@ impl RunSplit {
     }
 }
 
+/// Runs a fit/score pair over every split, returning one score per split
+/// in split order.
+///
+/// Each fold is an independent pure computation, so under
+/// [`ExecPolicy::Parallel`] the folds run concurrently while the scores
+/// stay bit-identical to serial execution (results are merged in split
+/// order; errors surface as the lowest-index failure, exactly what a
+/// serial loop would have hit first).
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) error produced by `fit` or `score`.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::cv::{cross_validate, KFold, Split};
+/// use chaos_stats::exec::ExecPolicy;
+/// use chaos_stats::ols::OlsFit;
+/// use chaos_stats::{Matrix, StatsError};
+///
+/// # fn main() -> Result<(), StatsError> {
+/// // y = 1 + 2x with deterministic noise; score = test-set MSE.
+/// let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs
+///     .iter()
+///     .map(|&x| 1.0 + 2.0 * x + ((x * 12.9898).sin() * 43758.5453).fract() * 0.1)
+///     .collect();
+/// let design = |idx: &[usize]| {
+///     Matrix::from_rows(&idx.iter().map(|&i| vec![1.0, xs[i]]).collect::<Vec<_>>())
+/// };
+/// let fit = |s: &Split| OlsFit::fit(&design(&s.train)?, &s.train.iter().map(|&i| ys[i]).collect::<Vec<_>>());
+/// let score = |m: &OlsFit, s: &Split| {
+///     let preds = m.predict(&design(&s.test)?)?;
+///     let mse = s.test.iter().zip(&preds).map(|(&i, p)| (ys[i] - p).powi(2)).sum::<f64>()
+///         / s.test.len() as f64;
+///     Ok(mse)
+/// };
+/// let splits: Vec<Split> = KFold::inverted(40, 4)?.iter().collect();
+/// let serial = cross_validate(&splits, ExecPolicy::Serial, fit, score)?;
+/// let parallel = cross_validate(&splits, ExecPolicy::Parallel { threads: 4 }, fit, score)?;
+/// assert_eq!(serial, parallel); // bit-identical fold scores
+/// assert_eq!(serial.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_validate<M, E, Fit, Score>(
+    splits: &[Split],
+    policy: ExecPolicy,
+    fit: Fit,
+    score: Score,
+) -> Result<Vec<f64>, E>
+where
+    E: Send,
+    Fit: Fn(&Split) -> Result<M, E> + Sync,
+    Score: Fn(&M, &Split) -> Result<f64, E> + Sync,
+{
+    policy.try_par_map(splits, |split| {
+        let model = fit(split)?;
+        score(&model, split)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +345,43 @@ mod tests {
         assert_eq!(splits.len(), 3);
         assert_eq!(splits[0].train.len(), 5);
         assert_eq!(splits[0].test.len(), 9);
+    }
+
+    #[test]
+    fn cross_validate_policies_are_bit_identical() {
+        let ys: Vec<f64> = (0..60)
+            .map(|i| ((i as f64 * 12.9898).sin() * 43758.5453).fract())
+            .collect();
+        let fit = |s: &Split| {
+            let mean = s.train.iter().map(|&i| ys[i]).sum::<f64>() / s.train.len() as f64;
+            Ok::<f64, StatsError>(mean)
+        };
+        let score = |mean: &f64, s: &Split| {
+            Ok(s.test.iter().map(|&i| (ys[i] - mean).powi(2)).sum::<f64>() / s.test.len() as f64)
+        };
+        let splits: Vec<Split> = KFold::inverted(60, 5).unwrap().iter().collect();
+        let serial = cross_validate(&splits, ExecPolicy::Serial, fit, score).unwrap();
+        for threads in [2, 4] {
+            let par =
+                cross_validate(&splits, ExecPolicy::Parallel { threads }, fit, score).unwrap();
+            assert_eq!(serial, par);
+        }
+        assert_eq!(serial.len(), 5);
+    }
+
+    #[test]
+    fn cross_validate_propagates_first_error() {
+        let splits: Vec<Split> = KFold::new(10, 5).unwrap().iter().collect();
+        let fit = |s: &Split| {
+            if s.test[0] >= 4 {
+                Err(StatsError::Singular)
+            } else {
+                Ok(0.0)
+            }
+        };
+        let score = |_: &f64, _: &Split| Ok(1.0);
+        let err = cross_validate(&splits, ExecPolicy::Parallel { threads: 4 }, fit, score);
+        assert_eq!(err, Err(StatsError::Singular));
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Deterministic execution policies for the embarrassingly parallel
+//! stages of the CHAOS pipeline.
+//!
+//! CHAOS composes a cluster model as a sum of independent per-machine
+//! models (Eq. 5), so per-machine fits, cross-validation folds (Eq. 6),
+//! sweep grid cells and fault-sweep points are all pure functions of
+//! their inputs. [`ExecPolicy`] makes that structure explicit: every
+//! parallel entry point in the workspace takes a policy, and
+//! [`ExecPolicy::Serial`] and [`ExecPolicy::Parallel`] are guaranteed to
+//! produce *bit-identical* results because
+//!
+//! 1. each work item is a pure function of its index alone,
+//! 2. results are merged back into index order before anything reads
+//!    them, and
+//! 3. every floating-point reduction happens over the ordered, merged
+//!    sequence — never in thread-completion order.
+//!
+//! The scheduler is a scoped-thread fan-out with an atomic work-stealing
+//! counter: no external dependencies, no work queues, no channels.
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_stats::exec::ExecPolicy;
+//!
+//! let serial = ExecPolicy::Serial.par_map_indices(100, |i| (i as f64).sqrt());
+//! let parallel = ExecPolicy::Parallel { threads: 4 }.par_map_indices(100, |i| (i as f64).sqrt());
+//! assert_eq!(serial, parallel); // bit-identical, not just approximately equal
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// How a batch of independent work items is executed.
+///
+/// The two modes are interchangeable by construction: callers only ever
+/// observe results in item order, so switching policies never changes a
+/// single bit of the output (see the [module docs](self) for why).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecPolicy {
+    /// Run every item on the calling thread, in index order.
+    #[default]
+    Serial,
+    /// Fan items out over `threads` scoped worker threads.
+    ///
+    /// `threads == 0` means "use all available cores" and `threads == 1`
+    /// degenerates to [`ExecPolicy::Serial`] behavior.
+    Parallel {
+        /// Number of worker threads (`0` = all available cores).
+        threads: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// Picks a policy from the machine: parallel over all cores when more
+    /// than one is available, serial otherwise.
+    pub fn auto() -> Self {
+        match thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => ExecPolicy::Parallel { threads: n.get() },
+            _ => ExecPolicy::Serial,
+        }
+    }
+
+    /// Reads the policy from the `CHAOS_THREADS` environment variable.
+    ///
+    /// * unset, empty or `auto` → [`ExecPolicy::auto`]
+    /// * `serial`, `0` or `1` → [`ExecPolicy::Serial`]
+    /// * any other integer `n` → `Parallel { threads: n }`
+    /// * anything unparsable → [`ExecPolicy::Serial`]
+    pub fn from_env() -> Self {
+        match std::env::var("CHAOS_THREADS") {
+            Err(_) => ExecPolicy::auto(),
+            Ok(v) => match v.trim() {
+                "" | "auto" => ExecPolicy::auto(),
+                "serial" | "0" | "1" => ExecPolicy::Serial,
+                other => match other.parse::<usize>() {
+                    Ok(n) => ExecPolicy::Parallel { threads: n },
+                    Err(_) => ExecPolicy::Serial,
+                },
+            },
+        }
+    }
+
+    /// Whether this policy fans work out over more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        self.threads() > 1
+    }
+
+    /// The number of worker threads this policy resolves to (1 for
+    /// serial execution).
+    pub fn threads(&self) -> usize {
+        match *self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel { threads: 0 } => thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            ExecPolicy::Parallel { threads } => threads,
+        }
+    }
+
+    /// Maps `f` over `0..n` and returns the results in index order.
+    ///
+    /// `f` must be pure: under a parallel policy it runs concurrently on
+    /// worker threads in an unspecified order.
+    pub fn par_map_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads().min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    merged
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
+                });
+            }
+        });
+        let mut pairs = merged
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Maps a fallible `f` over `0..n`; on failure returns the error with
+    /// the *lowest index* — exactly the error serial execution would have
+    /// stopped at first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index error produced by `f`, if any.
+    pub fn try_par_map_indices<R, E, F>(&self, n: usize, f: F) -> Result<Vec<R>, E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize) -> Result<R, E> + Sync,
+    {
+        let mut out = Vec::with_capacity(n);
+        for item in self.par_map_indices(n, f) {
+            out.push(item?);
+        }
+        Ok(out)
+    }
+
+    /// Maps `f` over a slice, returning results in item order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_indices(items.len(), |i| f(&items[i]))
+    }
+
+    /// Maps a fallible `f` over a slice; on failure returns the
+    /// lowest-index error, matching serial first-error semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index error produced by `f`, if any.
+    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        self.try_par_map_indices(items.len(), |i| f(&items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise() {
+        let f = |i: usize| ((i as f64 * 12.9898).sin() * 43758.5453).fract();
+        let serial = ExecPolicy::Serial.par_map_indices(257, f);
+        for threads in [2, 3, 4, 8] {
+            let par = ExecPolicy::Parallel { threads }.par_map_indices(257, f);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let p = ExecPolicy::Parallel { threads: 4 };
+        assert_eq!(p.par_map_indices(0, |i| i), Vec::<usize>::new());
+        assert_eq!(p.par_map_indices(1, |i| i * 10), vec![0]);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let f = |i: usize| if i % 5 == 3 { Err(i) } else { Ok(i) };
+        let serial = ExecPolicy::Serial.try_par_map_indices(100, f);
+        let par = ExecPolicy::Parallel { threads: 8 }.try_par_map_indices(100, f);
+        assert_eq!(serial, Err(3));
+        assert_eq!(par, Err(3));
+    }
+
+    #[test]
+    fn try_map_success_round_trips() {
+        let f = |i: usize| Ok::<_, ()>(i * i);
+        let got = ExecPolicy::Parallel { threads: 3 }
+            .try_par_map_indices(20, f)
+            .unwrap();
+        assert_eq!(got, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_variants_preserve_order() {
+        let items: Vec<f64> = (0..64).map(|i| i as f64 / 7.0).collect();
+        let serial = ExecPolicy::Serial.par_map(&items, |x| x.exp());
+        let par = ExecPolicy::Parallel { threads: 4 }.par_map(&items, |x| x.exp());
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(ExecPolicy::Serial.threads(), 1);
+        assert!(!ExecPolicy::Serial.is_parallel());
+        assert_eq!(ExecPolicy::Parallel { threads: 4 }.threads(), 4);
+        assert!(ExecPolicy::Parallel { threads: 4 }.is_parallel());
+        assert!(ExecPolicy::Parallel { threads: 0 }.threads() >= 1);
+        assert!(!ExecPolicy::Parallel { threads: 1 }.is_parallel());
+    }
+
+    #[test]
+    fn auto_is_valid_policy() {
+        // Whatever the host looks like, auto() must resolve to >= 1 thread.
+        assert!(ExecPolicy::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for p in [
+            ExecPolicy::Serial,
+            ExecPolicy::Parallel { threads: 4 },
+            ExecPolicy::default(),
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: ExecPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Memoizing Gram-matrix cache for repeated least-squares fits on
+//! column subsets of one fixed design matrix.
+//!
+//! Backward stepwise elimination (Algorithm 1, steps 4 and 6) refits OLS
+//! once per eliminated feature, and every refit of a *subset* reuses
+//! inner products the full design already paid for. [`GramCache`]
+//! computes the augmented cross-product matrix `X'X` (with an implicit
+//! intercept column) and `X'y` exactly once, then answers each subset
+//! fit from those cached products via a Cholesky solve, memoized by a
+//! feature-subset bitmask — the same keying idea the robust estimator
+//! uses for its reduced-model cache.
+//!
+//! The normal-equation solve agrees with the QR path of
+//! [`OlsFit::fit`](crate::ols::OlsFit::fit) to roughly `1e-8` on
+//! realistically conditioned counter data (both are exact in exact
+//! arithmetic; they differ only in floating-point rounding). The
+//! stepwise driver [`crate::stepwise::backward_eliminate_cached`] is the
+//! intended consumer.
+
+use crate::matrix::Matrix;
+use crate::ols::OlsFit;
+use crate::StatsError;
+use std::collections::HashMap;
+
+/// Relative pivot tolerance for the Cholesky factorization: a pivot
+/// smaller than this fraction of its original diagonal entry marks the
+/// subset as rank-deficient.
+const CHOLESKY_REL_TOL: f64 = 1e-12;
+
+/// Cached cross-products of one design matrix, serving memoized OLS fits
+/// for arbitrary column subsets.
+///
+/// The design is augmented with an intercept column internally, so
+/// callers pass *feature* matrices (no column of ones), matching how the
+/// selection pipeline builds per-machine designs.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::{gram::GramCache, Matrix};
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// // y = 1 + 2·x0, with x1 pure noise.
+/// let x = Matrix::from_rows(&[
+///     vec![0.0, 0.3], vec![1.0, -0.4], vec![2.0, 0.1],
+///     vec![3.0, -0.2], vec![4.0, 0.5],
+/// ])?;
+/// let y = [1.0, 3.0, 5.0, 7.0, 9.0];
+/// let mut cache = GramCache::new(&x, &y)?;
+/// let fit = cache.fit_subset(&[0])?; // intercept + x0 only
+/// assert!((fit.coefficients()[0] - 1.0).abs() < 1e-9);
+/// assert!((fit.coefficients()[1] - 2.0).abs() < 1e-9);
+/// let _ = cache.fit_subset(&[0])?; // answered from the memo
+/// assert_eq!(cache.hits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GramCache {
+    /// Augmented Gram matrix over `[1 | X]`, so entry `(0, 0)` is `n` and
+    /// entry `(i + 1, j + 1)` is `xᵢ·xⱼ`. Row-major `(p+1)×(p+1)`.
+    gram: Vec<f64>,
+    /// `[1 | X]'y`; entry 0 is `Σy`.
+    xty: Vec<f64>,
+    /// `y'y`.
+    yty: f64,
+    n: usize,
+    p: usize,
+    memo: HashMap<Vec<u64>, Result<OlsFit, StatsError>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl GramCache {
+    /// Precomputes the augmented cross products of `x` (feature columns
+    /// only — the intercept is added internally) against `y`.
+    ///
+    /// Cost is `O(n·p²)` once; every subsequent subset fit is `O(k³)` in
+    /// the subset size `k`, independent of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
+    pub fn new(x: &Matrix, y: &[f64]) -> Result<Self, StatsError> {
+        let (n, p) = (x.rows(), x.cols());
+        if y.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("gram: y has {} entries, X has {n} rows", y.len()),
+            });
+        }
+        let d = p + 1;
+        let mut gram = vec![0.0; d * d];
+        let mut xty = vec![0.0; d];
+        let mut yty = 0.0;
+        for (i, &yi) in y.iter().enumerate() {
+            let row = x.row(i);
+            gram[0] += 1.0;
+            xty[0] += yi;
+            yty += yi * yi;
+            for (a, &va) in row.iter().enumerate() {
+                gram[a + 1] += va; // intercept × feature column
+                xty[a + 1] += va * yi;
+                for (b, &vb) in row.iter().enumerate().skip(a) {
+                    gram[(a + 1) * d + (b + 1)] += va * vb;
+                }
+            }
+        }
+        // Mirror the upper triangle (intercept row was filled above).
+        for a in 0..d {
+            for b in (a + 1)..d {
+                gram[b * d + a] = gram[a * d + b];
+            }
+        }
+        Ok(GramCache {
+            gram,
+            xty,
+            yty,
+            n,
+            p,
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Number of observations in the cached design.
+    pub fn n_observations(&self) -> usize {
+        self.n
+    }
+
+    /// Number of feature columns (excluding the implicit intercept).
+    pub fn n_features(&self) -> usize {
+        self.p
+    }
+
+    /// Memo hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Memo misses (actual solves) so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Fits `y ≈ β₀ + Σ βⱼ·x[:, selected[j]]` from the cached cross
+    /// products, memoized by the subset bitmask.
+    ///
+    /// Coefficient 0 is the intercept; coefficient `j + 1` belongs to
+    /// `selected[j]`, matching the layout of
+    /// [`OlsFit::fit`](crate::ols::OlsFit::fit) on
+    /// `x.select_cols(selected).with_intercept()`-style designs.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] if a selected index is out of
+    ///   range or repeated.
+    /// * [`StatsError::InsufficientData`] if `n ≤ k` for subset size `k`
+    ///   (including the intercept).
+    /// * [`StatsError::Singular`] if the subset's Gram matrix is not
+    ///   positive definite.
+    pub fn fit_subset(&mut self, selected: &[usize]) -> Result<OlsFit, StatsError> {
+        let key = self.subset_key(selected)?;
+        if let Some(cached) = self.memo.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let result = self.solve_subset(selected);
+        self.memo.insert(key, result.clone());
+        result
+    }
+
+    /// Encodes the subset as a bitmask, validating indices.
+    fn subset_key(&self, selected: &[usize]) -> Result<Vec<u64>, StatsError> {
+        let mut key = vec![0u64; self.p / 64 + 1];
+        for &c in selected {
+            if c >= self.p {
+                return Err(StatsError::InvalidParameter {
+                    context: format!("gram subset: column {c} out of range (p = {})", self.p),
+                });
+            }
+            let (word, bit) = (c / 64, c % 64);
+            if key[word] & (1 << bit) != 0 {
+                return Err(StatsError::InvalidParameter {
+                    context: format!("gram subset: column {c} repeated"),
+                });
+            }
+            key[word] |= 1 << bit;
+        }
+        Ok(key)
+    }
+
+    fn solve_subset(&self, selected: &[usize]) -> Result<OlsFit, StatsError> {
+        let d = self.p + 1;
+        let k = selected.len() + 1; // + intercept
+        if self.n <= k {
+            return Err(StatsError::InsufficientData {
+                observations: self.n,
+                required: k + 1,
+            });
+        }
+        // Gather the subset's Gram matrix and right-hand side. Index 0 is
+        // the intercept, indices 1.. are the selected features in order.
+        let aug: Vec<usize> = std::iter::once(0)
+            .chain(selected.iter().map(|&c| c + 1))
+            .collect();
+        let mut a = vec![0.0; k * k];
+        let mut b = vec![0.0; k];
+        for (i, &ai) in aug.iter().enumerate() {
+            b[i] = self.xty[ai];
+            for (j, &aj) in aug.iter().enumerate() {
+                a[i * k + j] = self.gram[ai * d + aj];
+            }
+        }
+        let chol = cholesky(&a, k)?;
+        let beta = chol_solve(&chol, k, &b);
+
+        // RSS from cached products: y'y − 2β'X'y + β'(X'X)β.
+        let mut quad = 0.0;
+        for i in 0..k {
+            let mut row = 0.0;
+            for j in 0..k {
+                row += a[i * k + j] * beta[j];
+            }
+            quad += beta[i] * row;
+        }
+        let dot_by: f64 = beta.iter().zip(&b).map(|(bi, yi)| bi * yi).sum();
+        let rss = (self.yty - 2.0 * dot_by + quad).max(0.0);
+        let residual_variance = rss / (self.n - k) as f64;
+
+        // Diagonal of (X'X)⁻¹ for the standard errors.
+        let mut std_errors = vec![0.0; k];
+        for (j, se) in std_errors.iter_mut().enumerate() {
+            let mut e = vec![0.0; k];
+            e[j] = 1.0;
+            let z = chol_solve(&chol, k, &e);
+            *se = (residual_variance * z[j]).max(0.0).sqrt();
+        }
+
+        let mean_y = self.xty[0] / self.n as f64;
+        let tss = (self.yty - self.n as f64 * mean_y * mean_y).max(0.0);
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+        Ok(OlsFit::from_parts(
+            beta,
+            std_errors,
+            residual_variance,
+            self.n,
+            r_squared,
+        ))
+    }
+}
+
+/// Cholesky factorization `A = L·L'` of a symmetric `k×k` matrix in
+/// row-major storage, with a relative pivot tolerance.
+fn cholesky(a: &[f64], k: usize) -> Result<Vec<f64>, StatsError> {
+    let mut l = vec![0.0; k * k];
+    for i in 0..k {
+        for j in 0..=i {
+            let mut s = a[i * k + j];
+            for t in 0..j {
+                s -= l[i * k + t] * l[j * k + t];
+            }
+            if i == j {
+                let tol = CHOLESKY_REL_TOL * a[i * k + i].abs();
+                if s <= tol || !s.is_finite() {
+                    return Err(StatsError::Singular);
+                }
+                l[i * k + i] = s.sqrt();
+            } else {
+                l[i * k + j] = s / l[j * k + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L·L'·x = b` by forward and back substitution.
+fn chol_solve(l: &[f64], k: usize, b: &[f64]) -> Vec<f64> {
+    let mut w = vec![0.0; k];
+    for i in 0..k {
+        let mut s = b[i];
+        for t in 0..i {
+            s -= l[i * k + t] * w[t];
+        }
+        w[i] = s / l[i * k + i];
+    }
+    let mut x = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut s = w[i];
+        for t in (i + 1)..k {
+            s -= l[t * k + i] * x[t];
+        }
+        x[i] = s / l[i * k + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+        let det = |i: usize| ((i as f64 * 12.9898).sin() * 43758.5453).fract();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..p).map(|j| det(i * p + j + 1) * 10.0).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 + 1.5 * r[0] - 0.7 * r[1 % p] + 0.05 * det(i * 31 + 7))
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    /// QR fit of `x.select_cols(keep)` with an explicit intercept column.
+    fn qr_reference(x: &Matrix, y: &[f64], keep: &[usize]) -> OlsFit {
+        OlsFit::fit(&x.select_cols(keep).with_intercept(), y).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_qr_on_subsets() {
+        let (x, y) = synthetic(120, 5);
+        let mut cache = GramCache::new(&x, &y).unwrap();
+        for keep in [vec![0], vec![0, 1], vec![0, 1, 2, 3, 4], vec![2, 4]] {
+            let gram_fit = cache.fit_subset(&keep).unwrap();
+            let qr_fit = qr_reference(&x, &y, &keep);
+            for (g, q) in gram_fit.coefficients().iter().zip(qr_fit.coefficients()) {
+                assert!((g - q).abs() < 1e-8, "coef {g} vs {q} for {keep:?}");
+            }
+            for (g, q) in gram_fit.std_errors().iter().zip(qr_fit.std_errors()) {
+                assert!((g - q).abs() < 1e-6, "se {g} vs {q} for {keep:?}");
+            }
+            assert!((gram_fit.r_squared() - qr_fit.r_squared()).abs() < 1e-8);
+            assert!(
+                (gram_fit.residual_variance() - qr_fit.residual_variance()).abs()
+                    < 1e-6 * (1.0 + qr_fit.residual_variance())
+            );
+        }
+    }
+
+    #[test]
+    fn memoizes_repeat_subsets() {
+        let (x, y) = synthetic(60, 4);
+        let mut cache = GramCache::new(&x, &y).unwrap();
+        cache.fit_subset(&[0, 1]).unwrap();
+        cache.fit_subset(&[0, 1]).unwrap();
+        cache.fit_subset(&[1, 0]).unwrap(); // same mask, different order
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_columns_and_bad_indices() {
+        let (x, y) = synthetic(30, 3);
+        let mut cache = GramCache::new(&x, &y).unwrap();
+        assert!(matches!(
+            cache.fit_subset(&[0, 0]),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            cache.fit_subset(&[7]),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Column 1 duplicates column 0 exactly.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..20).map(|i| 1.0 + i as f64).collect();
+        let mut cache = GramCache::new(&x, &y).unwrap();
+        assert!(matches!(
+            cache.fit_subset(&[0, 1]),
+            Err(StatsError::Singular)
+        ));
+        assert!(cache.fit_subset(&[0]).is_ok());
+    }
+
+    #[test]
+    fn insufficient_data_matches_ols_contract() {
+        let (x, y) = synthetic(3, 4);
+        let mut cache = GramCache::new(&x, &y).unwrap();
+        assert!(matches!(
+            cache.fit_subset(&[0, 1, 2]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_y_rejected() {
+        let (x, _) = synthetic(10, 2);
+        assert!(GramCache::new(&x, &[1.0, 2.0]).is_err());
+    }
+}

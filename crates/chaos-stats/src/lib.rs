@@ -15,9 +15,15 @@
 //! * [`corr`] — Pearson correlation matrices and correlated-feature pruning
 //!   (Algorithm 1, step 1).
 //! * [`cv`] — k-fold cross-validation splits, including the paper's
-//!   "training set about ten times smaller than the test set" shape.
+//!   "training set about ten times smaller than the test set" shape, plus
+//!   a policy-driven [`cv::cross_validate`] fold runner.
 //! * [`metrics`] — model-quality metrics, most importantly the paper's
 //!   *Dynamic Range Error* (Eq. 6).
+//! * [`exec`] — the [`exec::ExecPolicy`] execution engine: deterministic
+//!   serial/parallel fan-out for per-machine fits, folds and sweeps, with
+//!   bit-identical results across modes.
+//! * [`gram`] — a memoizing Gram-matrix cache so stepwise elimination
+//!   stops rebuilding `X'X` from scratch on every subset refit.
 //!
 //! # Example
 //!
@@ -47,12 +53,15 @@ pub mod corr;
 pub mod cv;
 pub mod describe;
 pub mod dist;
+pub mod exec;
+pub mod gram;
 pub mod lasso;
 pub mod matrix;
 pub mod metrics;
 pub mod ols;
 pub mod stepwise;
 
+pub use exec::ExecPolicy;
 pub use matrix::Matrix;
 
 use std::error::Error;

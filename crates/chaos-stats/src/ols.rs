@@ -82,6 +82,25 @@ impl OlsFit {
         })
     }
 
+    /// Assembles a fit from precomputed pieces (used by the normal-equation
+    /// path in [`crate::gram`], which solves the same least-squares problem
+    /// from a cached Gram matrix instead of a fresh QR factorization).
+    pub(crate) fn from_parts(
+        coefficients: Vec<f64>,
+        std_errors: Vec<f64>,
+        residual_variance: f64,
+        n: usize,
+        r_squared: f64,
+    ) -> Self {
+        OlsFit {
+            coefficients,
+            std_errors,
+            residual_variance,
+            n,
+            r_squared,
+        }
+    }
+
     /// Fitted coefficients, in design-matrix column order.
     pub fn coefficients(&self) -> &[f64] {
         &self.coefficients

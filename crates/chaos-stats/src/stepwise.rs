@@ -5,6 +5,7 @@
 //! its coefficient differs from zero, refit, and repeat until every
 //! remaining feature is significant.
 
+use crate::gram::GramCache;
 use crate::matrix::Matrix;
 use crate::ols::OlsFit;
 use crate::StatsError;
@@ -128,6 +129,93 @@ pub fn backward_eliminate(
     })
 }
 
+/// Backward stepwise elimination over a [`GramCache`], for the hot
+/// per-machine loop of Algorithm 1 step 4.
+///
+/// Behaves exactly like [`backward_eliminate`] on the cache's design
+/// matrix — same elimination order, same tie-breaking, same full-rank
+/// fallback — but every refit is answered from the cached `X'X` products
+/// in `O(k³)` instead of a fresh `O(n·k²)` QR factorization, and repeat
+/// subsets (across calls sharing the cache) cost a hash lookup. The
+/// normal-equation solves agree with the QR path to ≈`1e-8` (see
+/// [`crate::gram`]); on realistically conditioned counter data the
+/// selected feature sets are identical.
+///
+/// # Errors
+///
+/// Same contract as [`backward_eliminate`].
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::gram::GramCache;
+/// use chaos_stats::stepwise::{backward_eliminate_cached, StepwiseConfig};
+/// use chaos_stats::Matrix;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// // Feature 0 drives y; feature 1 is noise.
+/// let rows: Vec<Vec<f64>> = (0..100).map(|i| {
+///     let t = i as f64;
+///     vec![t, ((t * 12.9898).sin() * 43758.5453).fract()]
+/// }).collect();
+/// let x = Matrix::from_rows(&rows)?;
+/// let y: Vec<f64> = (0..100).map(|i| {
+///     2.0 * i as f64 + ((i as f64 * 7.77).sin() * 1031.7).fract()
+/// }).collect();
+/// let mut cache = GramCache::new(&x, &y)?;
+/// let result = backward_eliminate_cached(&mut cache, &StepwiseConfig::default())?;
+/// assert_eq!(result.selected, vec![0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn backward_eliminate_cached(
+    cache: &mut GramCache,
+    config: &StepwiseConfig,
+) -> Result<StepwiseResult, StatsError> {
+    if !(0.0..1.0).contains(&config.alpha) || config.alpha == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            context: format!("stepwise: alpha must be in (0, 1), got {}", config.alpha),
+        });
+    }
+    if cache.n_features() == 0 {
+        return Err(StatsError::InvalidParameter {
+            context: "stepwise: feature matrix has no columns".into(),
+        });
+    }
+
+    let mut selected: Vec<usize> = (0..cache.n_features()).collect();
+    let mut rounds = 0;
+
+    let mut fit = fit_full_rank_cached(cache, &mut selected)?;
+    loop {
+        // Coefficient j+1 corresponds to selected[j] (slot 0 is intercept).
+        let mut worst: Option<(usize, f64)> = None;
+        for (j, _) in selected.iter().enumerate() {
+            let p = fit.p_value(j + 1);
+            if p > config.alpha {
+                match worst {
+                    Some((_, wp)) if wp >= p => {}
+                    _ => worst = Some((j, p)),
+                }
+            }
+        }
+        match worst {
+            Some((j, _)) if selected.len() > config.min_features => {
+                selected.remove(j);
+                rounds += 1;
+                fit = fit_full_rank_cached(cache, &mut selected)?;
+            }
+            _ => break,
+        }
+    }
+
+    Ok(StepwiseResult {
+        selected,
+        fit,
+        rounds,
+    })
+}
+
 /// Fits OLS over `[1 | x[:, selected]]`, greedily dropping columns (from the
 /// back) that make the design singular. Mutates `selected` to the surviving
 /// set.
@@ -138,6 +226,31 @@ fn fit_full_rank(x: &Matrix, y: &[f64], selected: &mut Vec<usize>) -> Result<Ols
         }
         let design = x.select_cols(selected).with_intercept();
         match OlsFit::fit(&design, y) {
+            Ok(fit) => return Ok(fit),
+            Err(StatsError::Singular) => {
+                // Drop the last column and retry: collinear counters are
+                // interchangeable, so which one survives is immaterial.
+                selected.pop();
+            }
+            Err(StatsError::InsufficientData { .. }) if selected.len() > 1 => {
+                selected.pop();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The [`GramCache`] twin of [`fit_full_rank`]: identical drop-from-the-back
+/// fallback, but each attempt is a cached normal-equation solve.
+fn fit_full_rank_cached(
+    cache: &mut GramCache,
+    selected: &mut Vec<usize>,
+) -> Result<OlsFit, StatsError> {
+    loop {
+        if selected.is_empty() {
+            return Err(StatsError::Singular);
+        }
+        match cache.fit_subset(selected) {
             Ok(fit) => return Ok(fit),
             Err(StatsError::Singular) => {
                 // Drop the last column and retry: collinear counters are
@@ -240,6 +353,55 @@ mod tests {
             };
             assert!(backward_eliminate(&x, &y, &cfg).is_err(), "alpha {alpha}");
         }
+    }
+
+    #[test]
+    fn cached_elimination_matches_qr_path() {
+        for (n, p, signal) in [
+            (300, 10, vec![1usize, 4, 7]),
+            (300, 3, vec![0, 1, 2]),
+            (200, 6, vec![2]),
+        ] {
+            let (x, y) = problem(n, p, &signal);
+            let qr = backward_eliminate(&x, &y, &StepwiseConfig::default()).unwrap();
+            let mut cache = GramCache::new(&x, &y).unwrap();
+            let cached = backward_eliminate_cached(&mut cache, &StepwiseConfig::default()).unwrap();
+            assert_eq!(qr.selected, cached.selected, "n={n} p={p}");
+            assert_eq!(qr.rounds, cached.rounds);
+            for (a, b) in qr.fit.coefficients().iter().zip(cached.fit.coefficients()) {
+                assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_elimination_handles_duplicate_columns() {
+        let n = 100;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let v = det_noise(i) * 3.0;
+                vec![v, v, det_noise(i * 7 + 3)]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * det_noise(i) * 3.0 + 0.01 * det_noise(i * 13 + 5))
+            .collect();
+        let mut cache = GramCache::new(&x, &y).unwrap();
+        let result = backward_eliminate_cached(&mut cache, &StepwiseConfig::default()).unwrap();
+        assert!(result.selected.contains(&0) || result.selected.contains(&1));
+        assert!(!(result.selected.contains(&0) && result.selected.contains(&1)));
+    }
+
+    #[test]
+    fn cached_elimination_rejects_invalid_alpha() {
+        let (x, y) = problem(50, 2, &[0]);
+        let mut cache = GramCache::new(&x, &y).unwrap();
+        let cfg = StepwiseConfig {
+            alpha: 0.0,
+            min_features: 1,
+        };
+        assert!(backward_eliminate_cached(&mut cache, &cfg).is_err());
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..RobustConfig::paper()
     };
     let idle = cluster.idle_power() / cluster.machines().len() as f64;
-    let mut estimator = RobustEstimator::fit(
+    let estimator = RobustEstimator::fit(
         &train,
         &spec,
         strawman_position(&spec, &catalog),
