@@ -87,5 +87,46 @@ fn bench_cv_folds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_per_machine_fit, bench_cv_folds);
+/// Overhead of the observability layer on the hot evaluation path.
+///
+/// `obs_off` is the baseline; `obs_summary` runs the identical workload
+/// with counters, histograms, and spans live. The acceptance bar is
+/// < 2% overhead for `obs_off` relative to a build without the layer —
+/// every instrumentation site is behind one relaxed atomic load, so the
+/// two cases here should be near-indistinguishable and `obs_summary`
+/// only a few percent above.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let (traces, cluster, spec) = setup();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    let config = EvalConfig::fast().with_exec(ExecPolicy::Parallel { threads: 4 });
+    for (label, level) in [
+        ("obs_off", chaos_obs::ObsLevel::Off),
+        ("obs_summary", chaos_obs::ObsLevel::Summary),
+    ] {
+        chaos_obs::set_level(level);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                evaluate(
+                    &traces,
+                    &cluster,
+                    &spec,
+                    ModelTechnique::PiecewiseLinear,
+                    &config,
+                )
+                .unwrap()
+            })
+        });
+        chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+        chaos_obs::reset();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_machine_fit,
+    bench_cv_folds,
+    bench_obs_overhead
+);
 criterion_main!(benches);

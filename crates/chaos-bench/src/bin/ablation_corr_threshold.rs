@@ -14,6 +14,7 @@ use chaos_sim::Platform;
 use chaos_workloads::Workload;
 
 fn main() {
+    chaos_bench::obs_init("ablation_corr_threshold");
     let cfg = ExperimentConfig::paper();
     let exp = ClusterExperiment::collect(Platform::Core2, &cfg);
 
@@ -79,4 +80,10 @@ fn main() {
         );
     }
     println!("\ndiminishing returns confirmed: all thresholds within 5pp DRE of 0.95");
+
+    chaos_bench::obs_finish(
+        "ablation_corr_threshold",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
+    );
 }

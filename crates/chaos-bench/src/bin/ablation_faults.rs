@@ -24,6 +24,7 @@ use chaos_sim::{Cluster, Platform};
 use chaos_workloads::{SimConfig, Workload};
 
 fn main() {
+    chaos_bench::obs_init("ablation_faults");
     let platform = Platform::Core2;
     let cluster = Cluster::homogeneous(platform, 4, 2012);
     let catalog = CounterCatalog::for_platform(&platform.spec());
@@ -140,5 +141,11 @@ fn main() {
         at20.robust_dre,
         clean.robust_dre,
         pct(at20.coverage),
+    );
+
+    chaos_bench::obs_finish(
+        "ablation_faults",
+        Some(2012),
+        serde_json::to_string(&sim).ok(),
     );
 }

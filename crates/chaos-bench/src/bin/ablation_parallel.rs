@@ -62,6 +62,7 @@ fn bench_stage(name: &str, run: &dyn Fn(ExecPolicy) -> String) -> Vec<(&'static 
 }
 
 fn main() {
+    chaos_bench::obs_init("ablation_parallel");
     let cluster = Cluster::homogeneous(Platform::Core2, 4, 2012);
     let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
     let traces: Vec<RunTrace> = (0..4)
@@ -190,4 +191,10 @@ fn main() {
     if cores < 4 {
         eprintln!("note: only {cores} cores available; 4-thread speedups will be deflated");
     }
+
+    chaos_bench::obs_finish(
+        "ablation_parallel",
+        Some(2012),
+        serde_json::to_string(&SimConfig::paper()).ok(),
+    );
 }

@@ -22,6 +22,7 @@ use chaos_sim::Platform;
 use chaos_workloads::Workload;
 
 fn main() {
+    chaos_bench::obs_init("ablation_pooling");
     let cfg = ExperimentConfig::paper();
     let exp = ClusterExperiment::collect(Platform::Opteron, &cfg);
     let spec = FeatureSpec::general(&exp.catalog);
@@ -120,5 +121,11 @@ fn main() {
         worst_cluster_gap < 0.04,
         "pooling should cost < 4pp DRE at cluster level, gap {}",
         pct(worst_cluster_gap)
+    );
+
+    chaos_bench::obs_finish(
+        "ablation_pooling",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
     );
 }

@@ -18,6 +18,7 @@ use chaos_stats::{describe, metrics};
 use chaos_workloads::{SimConfig, Workload};
 
 fn main() {
+    chaos_bench::obs_init("ablation_sampling");
     let platform = Platform::Opteron;
     let cluster = Cluster::homogeneous(platform, 5, 2012);
     let catalog = CounterCatalog::for_platform(&platform.spec());
@@ -110,5 +111,11 @@ fn main() {
         "\n120 s sampling observes only {} of the power variance 1 Hz sees — \
          the paper's motivation for 1 Hz collection",
         pct(seen_120s / seen_1s)
+    );
+
+    chaos_bench::obs_finish(
+        "ablation_sampling",
+        Some(2012),
+        serde_json::to_string(&sim).ok(),
     );
 }

@@ -13,6 +13,7 @@ use chaos_sim::{Cluster, Platform};
 use chaos_workloads::{SimConfig, Workload};
 
 fn main() {
+    chaos_bench::obs_init("fig1_power_traces");
     let cluster = Cluster::homogeneous(Platform::Core2, 5, 2012);
     let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
     let cfg = SimConfig::paper();
@@ -110,4 +111,10 @@ fn main() {
     assert!(global_peak > 170.0 && global_peak < 245.0);
     assert!(global_min > 100.0 && global_min < 180.0);
     println!("CSV series written to results/fig1_<workload>.csv");
+
+    chaos_bench::obs_finish(
+        "fig1_power_traces",
+        Some(2012),
+        serde_json::to_string(&cfg).ok(),
+    );
 }

@@ -9,6 +9,7 @@ use chaos_core::experiment::{ClusterExperiment, ExperimentConfig};
 use chaos_sim::Platform;
 
 fn main() {
+    chaos_bench::obs_init("fig2_feature_histogram");
     // CHAOS_THREADS=auto|N|serial picks the execution policy; results
     // are bit-identical across policies.
     let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
@@ -93,4 +94,10 @@ fn main() {
             "selected feature below threshold"
         );
     }
+
+    chaos_bench::obs_finish(
+        "fig2_feature_histogram",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
+    );
 }

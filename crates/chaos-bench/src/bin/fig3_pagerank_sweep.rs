@@ -13,6 +13,7 @@ use chaos_sim::Platform;
 use chaos_workloads::Workload;
 
 fn main() {
+    chaos_bench::obs_init("fig3_pagerank_sweep");
     // CHAOS_THREADS=auto|N|serial picks the execution policy; results
     // are bit-identical across policies.
     let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
@@ -88,4 +89,10 @@ fn write_cells(name: &str, cells: &[SweepCell]) {
         .collect();
     let path = write_csv(name, &["technique", "features", "dre", "rmse_w"], &csv);
     println!("CSV written to {}", path.display());
+
+    chaos_bench::obs_finish(
+        "fig3_pagerank_sweep",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
+    );
 }

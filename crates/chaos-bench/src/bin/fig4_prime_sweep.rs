@@ -12,6 +12,7 @@ use chaos_sim::Platform;
 use chaos_workloads::Workload;
 
 fn main() {
+    chaos_bench::obs_init("fig4_prime_sweep");
     // CHAOS_THREADS=auto|N|serial picks the execution policy; results
     // are bit-identical across policies.
     let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
@@ -80,5 +81,11 @@ fn main() {
     assert!(
         best.technique != ModelTechnique::Linear,
         "the best Prime cell should use a nonlinear technique"
+    );
+
+    chaos_bench::obs_finish(
+        "fig4_prime_sweep",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
     );
 }

@@ -31,6 +31,7 @@ fn top_decile_coverage(pred: &[f64], actual: &[f64], idle: f64) -> f64 {
 }
 
 fn main() {
+    chaos_bench::obs_init("fig5_prediction_trace");
     let platform = Platform::Athlon;
     let cluster = Cluster::homogeneous(platform, 5, 2012);
     let catalog = CounterCatalog::for_platform(&platform.spec());
@@ -147,5 +148,11 @@ fn main() {
     assert!(
         rmse_chaos < rmse_straw,
         "CHAOS should beat the strawman on rMSE"
+    );
+
+    chaos_bench::obs_finish(
+        "fig5_prediction_trace",
+        Some(2012),
+        serde_json::to_string(&cfg).ok(),
     );
 }

@@ -121,6 +121,7 @@ fn eval_spec(
 }
 
 fn main() {
+    chaos_bench::obs_init("future_systems");
     // ---- Part 1: independent per-core DVFS -----------------------------
     let base = Platform::Opteron.spec();
     let future = base.clone().with_independent_dvfs();
@@ -281,4 +282,6 @@ fn main() {
         (range.1 - range.0) / 100.0,
         (prop_range.1 - prop_range.0) / 100.0
     );
+
+    chaos_bench::obs_finish("future_systems", Some(300), None);
 }

@@ -15,6 +15,7 @@ use chaos_sim::{Cluster, Platform};
 use chaos_workloads::{SimConfig, Workload};
 
 fn main() {
+    chaos_bench::obs_init("hetero_cluster");
     let cfg = SimConfig::paper();
     let platforms = [Platform::Core2, Platform::Opteron];
 
@@ -94,5 +95,11 @@ fn main() {
         worst <= 0.12,
         "heterogeneous worst-case DRE {} exceeds the paper's 12%",
         pct(worst)
+    );
+
+    chaos_bench::obs_finish(
+        "hetero_cluster",
+        Some(2012),
+        serde_json::to_string(&cfg).ok(),
     );
 }

@@ -8,6 +8,7 @@ use chaos_bench::{format_table, watts, write_csv};
 use chaos_sim::{Machine, Platform};
 
 fn main() {
+    chaos_bench::obs_init("table1_platforms");
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for platform in Platform::ALL {
@@ -71,4 +72,6 @@ fn main() {
         &csv,
     );
     println!("CSV written to {}", path.display());
+
+    chaos_bench::obs_finish("table1_platforms", None, None);
 }

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
+    chaos_bench::obs_init("table2_features");
     // CHAOS_THREADS=auto|N|serial picks the execution policy; results
     // are bit-identical across policies.
     let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
@@ -113,5 +114,11 @@ fn main() {
     assert!(
         util_rows >= 1,
         "no processor-utilization counter selected anywhere"
+    );
+
+    chaos_bench::obs_finish(
+        "table2_features",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
     );
 }

@@ -14,6 +14,7 @@ use chaos_sim::Platform;
 use chaos_workloads::Workload;
 
 fn main() {
+    chaos_bench::obs_init("table3_dre_metric");
     let cfg = ExperimentConfig::paper();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -79,5 +80,11 @@ fn main() {
     assert!(
         atom_worst_ratio > 3.0,
         "DRE should be a much stricter metric on the small-range Atom"
+    );
+
+    chaos_bench::obs_finish(
+        "table3_dre_metric",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
     );
 }

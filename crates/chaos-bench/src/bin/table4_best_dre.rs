@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
+    chaos_bench::obs_init("table4_best_dre");
     // CHAOS_THREADS=auto|N|serial picks the execution policy; results
     // are bit-identical across policies.
     let cfg = ExperimentConfig::paper().with_exec(chaos_core::ExecPolicy::from_env());
@@ -154,5 +155,11 @@ fn main() {
     assert!(
         nonlinear * 10 >= labels.len() * 7,
         "nonlinear models should win most cells: {labels:?}"
+    );
+
+    chaos_bench::obs_finish(
+        "table4_best_dre",
+        Some(cfg.cluster_seed),
+        serde_json::to_string(&cfg).ok(),
     );
 }

@@ -71,6 +71,31 @@ pub fn write_csv<S: Display>(name: &str, headers: &[&str], rows: &[Vec<S>]) -> P
     path
 }
 
+/// Arms the observability layer for one experiment binary; call first
+/// thing in `main`. `CHAOS_OBS=off|summary|full` selects the level (see
+/// `chaos_obs`); at `full` an event sink opens under `results/obs/`.
+pub fn obs_init(bin: &str) {
+    chaos_obs::init_from_env(bin);
+}
+
+/// Ends an experiment run: prints the metric summary to stderr and
+/// writes the per-run manifest to `results/obs/` (a no-op when
+/// `CHAOS_OBS` is off). Pass the experiment's base seed and a
+/// pre-serialized JSON config when the binary has them.
+pub fn obs_finish(bin: &str, seed: Option<u64>, config_json: Option<String>) {
+    let mut manifest =
+        chaos_obs::Manifest::new(bin).with_field("workspace_version", env!("CARGO_PKG_VERSION"));
+    if let Some(seed) = seed {
+        manifest = manifest.with_seed(seed);
+    }
+    if let Some(config) = config_json {
+        manifest = manifest.with_config_json(config);
+    }
+    if let Some(path) = chaos_obs::finish(manifest) {
+        eprintln!("observability manifest: {}", path.display());
+    }
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)

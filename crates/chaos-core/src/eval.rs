@@ -139,6 +139,9 @@ pub fn evaluate(
             required: 2,
         });
     }
+    let _span = chaos_obs::span("eval.evaluate");
+    chaos_obs::add("eval.evaluations", 1);
+    chaos_obs::add("eval.folds", traces.len() as u64);
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
@@ -254,6 +257,8 @@ pub fn evaluate_faulted(
             required: 1,
         });
     }
+    let _span = chaos_obs::span("eval.faulted");
+    chaos_obs::add("eval.faulted_evaluations", 1);
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let cfg = RobustConfig {
@@ -368,6 +373,8 @@ pub fn fault_sweep(
     } else {
         *config
     };
+    let _span = chaos_obs::span("eval.fault_sweep");
+    chaos_obs::add("eval.fault_rates", rates.len() as u64);
     config.exec.try_par_map(rates, |&rate| {
         let plan = base.clone().with_counter_dropout(rate);
         evaluate_faulted(train, test, cluster, spec, &plan, &inner)

@@ -428,6 +428,7 @@ impl RobustEstimator {
     /// accumulated in machine order, so the estimate is bit-identical
     /// across execution policies.
     pub fn estimate_cluster(&self, run: &RunTrace) -> ClusterEstimate {
+        let _span = chaos_obs::span("robust.estimate_cluster");
         let n = run.seconds();
         let per_machine = self
             .config
@@ -442,6 +443,22 @@ impl RobustEstimator {
                 worst[t] = worst[t].max(e.tier);
                 *tier_counts.entry(e.tier).or_insert(0) += 1;
             }
+        }
+        if chaos_obs::enabled() {
+            chaos_obs::add("robust.cluster_estimates", 1);
+            // Surface PR 1's degradation decisions as metrics: which tier
+            // answered, how often the chain switched tiers mid-stream, and
+            // how many features the imputer had to bridge.
+            for (tier, count) in &tier_counts {
+                chaos_obs::add(&format!("robust.tier.{}", tier.label()), *count as u64);
+            }
+            let transitions: usize = per_machine
+                .iter()
+                .map(|est| est.windows(2).filter(|w| w[0].tier != w[1].tier).count())
+                .sum();
+            chaos_obs::add("robust.tier_transitions", transitions as u64);
+            let imputed: usize = per_machine.iter().flatten().map(|e| e.imputed).sum();
+            chaos_obs::add("robust.imputed_features", imputed as u64);
         }
         ClusterEstimate {
             power_w: total,
@@ -489,6 +506,7 @@ impl RobustEstimator {
         let key = keep.iter().fold(0u64, |acc, &k| acc | (1 << (k % 64)));
         let mut cache = self.reduced_cache.lock();
         let model = cache.entry(key).or_insert_with(|| {
+            chaos_obs::add("robust.reduced_refits", 1);
             let x = self.train_x.select_cols(keep);
             FittedModel::fit(ModelTechnique::Linear, &x, &self.train_y, &self.config.fit).ok()
         });

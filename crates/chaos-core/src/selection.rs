@@ -201,12 +201,18 @@ pub fn select_features(
             required: 1,
         });
     }
+    let _span_total = chaos_obs::span("selection.total");
+    chaos_obs::add("selection.runs", 1);
     let mut models_built = 0usize;
 
     // Steps 1–2.
+    let span1 = chaos_obs::span("selection.step1");
     let s1 = step1_correlation_prune(traces, catalog, config)?;
+    drop(span1);
     let survivors_step1 = s1.len();
+    let span2 = chaos_obs::span("selection.step2");
     let s2 = step2_codependence(&s1, catalog);
+    drop(span2);
     let survivors_step2 = s2.len();
 
     // Group runs by workload for per-(machine, workload) models.
@@ -236,6 +242,8 @@ pub fn select_features(
         models: usize,
     }
 
+    let span35 = chaos_obs::span("selection.steps3_5");
+    chaos_obs::add("selection.combos", combos.len() as u64);
     let outcomes: Vec<Option<ComboOutcome>> = config.exec.try_par_map(&combos, |&(wi, mid)| {
         let spec = FeatureSpec::new(s2.clone());
         let ds = machine_dataset(&workload_runs[wi], &spec, mid)?.thinned(config.max_machine_rows);
@@ -316,9 +324,11 @@ pub fn select_features(
         .map(|(j, w)| (j, *w))
         .collect();
     histogram.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+    drop(span35);
 
     // Step 6: threshold + cluster-level stepwise, adjusting the threshold
     // until the pooled stepwise keeps everything above it.
+    let _span6 = chaos_obs::span("selection.step6");
     let pooled_spec = FeatureSpec::new(s2.clone());
     let pooled = pooled_dataset(traces, &pooled_spec)?.thinned(config.max_cluster_rows);
 
@@ -386,6 +396,16 @@ pub fn select_features(
 
     selected.sort_unstable();
     selected.dedup();
+    chaos_obs::add("selection.models_built", models_built as u64);
+    chaos_obs::add("selection.features_selected", selected.len() as u64);
+    chaos_obs::event(
+        "selection.done",
+        &[
+            ("selected", chaos_obs::Value::U64(selected.len() as u64)),
+            ("models_built", chaos_obs::Value::U64(models_built as u64)),
+            ("threshold", chaos_obs::Value::F64(threshold)),
+        ],
+    );
     Ok(SelectionResult {
         selected,
         histogram,

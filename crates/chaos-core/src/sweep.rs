@@ -76,6 +76,8 @@ pub fn sweep_grid(
                 .map(move |t| (label, spec, t))
         })
         .collect();
+    let _span = chaos_obs::span("sweep.grid");
+    chaos_obs::add("sweep.cells", combos.len() as u64);
     let results = config.exec.par_map(&combos, |&(label, spec, technique)| {
         match evaluate(traces, cluster, spec, technique, &cell_config) {
             Ok(outcome) => Ok(Some(SweepCell {
@@ -95,6 +97,7 @@ pub fn sweep_grid(
             cells.push(cell);
         }
     }
+    chaos_obs::add("sweep.cells_skipped", (combos.len() - cells.len()) as u64);
     Ok(cells)
 }
 

@@ -8,6 +8,10 @@
 //! These tests pin that contract at the public-API level for each fan-out
 //! stage: cross-validated evaluation, model fitting, Algorithm 1 feature
 //! selection, the technique × feature-set sweep, and the fault-rate sweep.
+//!
+//! The observability layer makes the same promise from a different angle:
+//! `CHAOS_OBS` levels only add side-channel metrics, never feedback into
+//! the computation, so `full` runs must stay bit-identical to `off` runs.
 
 use chaos_core::eval::{evaluate, fault_sweep, EvalConfig};
 use chaos_core::models::{FitOptions, FittedModel};
@@ -126,6 +130,51 @@ fn sweep_grid_is_policy_invariant() {
     )
     .unwrap();
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn observability_full_is_bit_identical_to_off() {
+    let (traces, cluster, catalog) = setup(2);
+    let spec = FeatureSpec::general(&catalog);
+
+    chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+    let selection_off = select_features(&traces, &catalog, &SelectionConfig::default()).unwrap();
+    let eval_off = evaluate(
+        &traces,
+        &cluster,
+        &spec,
+        ModelTechnique::PiecewiseLinear,
+        &EvalConfig::fast().with_exec(PAR),
+    )
+    .unwrap();
+
+    // No sink is installed here, so Full only exercises the counter,
+    // histogram, and span paths — exactly what the pipeline hits.
+    chaos_obs::set_level(chaos_obs::ObsLevel::Full);
+    let selection_full = select_features(&traces, &catalog, &SelectionConfig::default()).unwrap();
+    let eval_full = evaluate(
+        &traces,
+        &cluster,
+        &spec,
+        ModelTechnique::PiecewiseLinear,
+        &EvalConfig::fast().with_exec(PAR),
+    )
+    .unwrap();
+    chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+
+    assert_eq!(
+        serde_json::to_string(&selection_off).unwrap(),
+        serde_json::to_string(&selection_full).unwrap()
+    );
+    assert_eq!(eval_off, eval_full);
+    // And the Full run really did record: the side channel exists, it
+    // just cannot touch the results.
+    assert!(chaos_obs::counters()
+        .iter()
+        .any(|(name, v)| name == "selection.models_built" && *v > 0));
+    assert!(chaos_obs::histograms()
+        .iter()
+        .any(|(name, _)| name == "span.selection.total"));
 }
 
 #[test]

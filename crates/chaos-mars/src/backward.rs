@@ -69,6 +69,7 @@ pub(crate) fn backward_pass(
     let mut best_coefs = best_rss.0.clone();
 
     while active.len() > 1 {
+        chaos_obs::add("mars.prune_rounds", 1);
         // Try removing each non-intercept basis; keep the removal with the
         // smallest RSS.
         let mut round_best: Option<(usize, Vec<f64>, f64)> = None;

@@ -134,6 +134,8 @@ pub(crate) fn forward_pass(x: &Matrix, y: &[f64], config: &MarsConfig) -> Forwar
             hinges.ensure(&rows, v, knot, Direction::Negative);
         }
 
+        chaos_obs::add("mars.forward_rounds", 1);
+        chaos_obs::add("mars.candidates_scored", candidates.len() as u64);
         // ...score them (possibly in parallel; scoring is pure and results
         // return in enumeration order)...
         let scored = config.exec.par_map(&candidates, |&(pi, v, knot)| {

@@ -145,8 +145,15 @@ impl MarsModel {
             });
         }
         config.validate(x.rows())?;
-        let forward = forward_pass(x, y, config);
-        let pruned = backward_pass(x, y, forward.basis, config)?;
+        chaos_obs::add("mars.fits", 1);
+        let forward = {
+            let _span = chaos_obs::span("mars.forward");
+            forward_pass(x, y, config)
+        };
+        let pruned = {
+            let _span = chaos_obs::span("mars.backward");
+            backward_pass(x, y, forward.basis, config)?
+        };
         Ok(MarsModel {
             basis: pruned.basis,
             coefficients: pruned.coefficients,

@@ -1,0 +1,104 @@
+//! The `CHAOS_OBS` gate: a process-global observability level.
+//!
+//! Every instrumentation site in the workspace checks the level before
+//! touching the registry, so the disabled path costs one relaxed atomic
+//! load — cheap enough to leave instrumentation in hot pipeline code.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the observability layer records.
+///
+/// The level never changes *results*: counters, histograms and events
+/// are side channels that observe the pipeline without feeding back into
+/// it, so `Full` and `Off` runs are bit-identical (pinned by the
+/// determinism suite in `chaos-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Record nothing. Every instrumentation site reduces to a single
+    /// relaxed atomic load.
+    Off,
+    /// Record counters and histograms; binaries print a summary and
+    /// write a run manifest on exit.
+    Summary,
+    /// Everything in `Summary`, plus one JSON line per span/event
+    /// through the installed sink.
+    Full,
+}
+
+impl ObsLevel {
+    /// Parses a `CHAOS_OBS` value: `summary`, `full`, or anything else
+    /// (including `off` and the empty string) for [`ObsLevel::Off`].
+    pub fn parse(s: &str) -> ObsLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "summary" | "1" => ObsLevel::Summary,
+            "full" | "2" => ObsLevel::Full,
+            _ => ObsLevel::Off,
+        }
+    }
+
+    /// Stable lowercase label (`off`, `summary`, `full`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Summary => "summary",
+            ObsLevel::Full => "full",
+        }
+    }
+
+    fn from_u8(v: u8) -> ObsLevel {
+        match v {
+            1 => ObsLevel::Summary,
+            2 => ObsLevel::Full,
+            _ => ObsLevel::Off,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// The current process-global observability level.
+#[inline]
+pub fn level() -> ObsLevel {
+    ObsLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether any recording is enabled (`Summary` or `Full`).
+#[inline]
+pub fn enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// Sets the process-global level. Binaries normally go through
+/// [`crate::init_from_env`]; tests and benches set the level directly.
+pub fn set_level(level: ObsLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_documented_values() {
+        assert_eq!(ObsLevel::parse("off"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse(""), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("nonsense"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("summary"), ObsLevel::Summary);
+        assert_eq!(ObsLevel::parse(" SUMMARY "), ObsLevel::Summary);
+        assert_eq!(ObsLevel::parse("full"), ObsLevel::Full);
+        assert_eq!(ObsLevel::parse("2"), ObsLevel::Full);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for l in [ObsLevel::Off, ObsLevel::Summary, ObsLevel::Full] {
+            assert_eq!(ObsLevel::parse(l.label()), l);
+        }
+    }
+
+    #[test]
+    fn levels_are_ordered_by_verbosity() {
+        assert!(ObsLevel::Off < ObsLevel::Summary);
+        assert!(ObsLevel::Summary < ObsLevel::Full);
+    }
+}

@@ -1,0 +1,232 @@
+//! Structured observability for the CHAOS pipeline: scoped span timers,
+//! monotonic counters, log-scale latency histograms, a JSON-lines event
+//! sink, and per-run manifests.
+//!
+//! The paper's pipeline (Davis et al., IISWC 2012) is a tower of nested
+//! stages — Algorithm 1's six selection steps, MARS forward/backward
+//! passes, cross-validation folds, sweep grid cells, robust-estimation
+//! tier walks — and production deployments of counter-based power
+//! models run them continuously. This crate makes those stages visible
+//! without perturbing them:
+//!
+//! * **Side-effect only.** Metrics never feed back into computation, so
+//!   results under `CHAOS_OBS=full` are bit-identical to
+//!   `CHAOS_OBS=off` (pinned by the `chaos-core` determinism suite).
+//! * **Near-zero disabled cost.** Every entry point checks one relaxed
+//!   atomic load before doing anything else; a disabled [`span`] does
+//!   not even read the clock.
+//! * **Zero dependencies.** Registry, histograms and JSON rendering are
+//!   all std-only, so every crate in the workspace can depend on it.
+//!
+//! # Levels
+//!
+//! The `CHAOS_OBS` environment variable (read by [`init_from_env`])
+//! selects a level:
+//!
+//! | value | effect |
+//! |---|---|
+//! | unset / `off` | nothing recorded |
+//! | `summary` | counters + histograms; summary and manifest on exit |
+//! | `full` | `summary` plus a JSON-lines event stream per span |
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_obs::ObsLevel;
+//!
+//! chaos_obs::set_level(ObsLevel::Summary);
+//! chaos_obs::add("example.items", 3);
+//! {
+//!     let _span = chaos_obs::span("example.stage");
+//!     // ... timed work ...
+//! }
+//! assert!(chaos_obs::counters()
+//!     .iter()
+//!     .any(|(name, v)| name == "example.items" && *v == 3));
+//! assert!(chaos_obs::histograms()
+//!     .iter()
+//!     .any(|(name, _)| name == "span.example.stage"));
+//! chaos_obs::set_level(ObsLevel::Off);
+//! chaos_obs::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod level;
+mod manifest;
+mod registry;
+mod sink;
+mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use level::{enabled, level, set_level, ObsLevel};
+pub use manifest::{obs_dir, Manifest};
+pub use sink::{event, install_sink, Value};
+pub use span::{span, Span};
+
+/// Increments counter `name` by `delta`. No-op when observability is
+/// off.
+pub fn add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    registry::global().add(name, delta);
+}
+
+/// Records `value` into histogram `name`. No-op when observability is
+/// off.
+pub fn record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    registry::global().record(name, value);
+}
+
+/// Snapshot of all counters, sorted by name.
+pub fn counters() -> Vec<(String, u64)> {
+    registry::global().counters_snapshot()
+}
+
+/// Snapshot of all histograms, sorted by name.
+pub fn histograms() -> Vec<(String, HistogramSnapshot)> {
+    registry::global().histograms_snapshot()
+}
+
+/// Clears all counters and histograms (tests and benches; the event
+/// sink and level are left alone).
+pub fn reset() {
+    registry::global().reset_metrics();
+}
+
+/// Reads `CHAOS_OBS` and arms the layer for one binary run. At `full`,
+/// also installs the event sink at `<obs_dir>/<bin>.events.jsonl`.
+/// Call this first thing in `main`.
+pub fn init_from_env(bin: &str) {
+    let level = match std::env::var("CHAOS_OBS") {
+        Ok(v) => ObsLevel::parse(&v),
+        Err(_) => ObsLevel::Off,
+    };
+    set_level(level);
+    if level == ObsLevel::Full {
+        let path = obs_dir().join(format!("{bin}.events.jsonl"));
+        if let Err(e) = install_sink(&path) {
+            eprintln!(
+                "chaos-obs: cannot open event sink at {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Renders all counters and histogram summaries as an aligned,
+/// deterministic text block.
+pub fn summary_string() -> String {
+    let mut out = String::from("== chaos-obs summary ==\n");
+    let counters = counters();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &counters {
+            out.push_str(&format!("  {name:<42} {v}\n"));
+        }
+    }
+    let hists = histograms();
+    if !hists.is_empty() {
+        out.push_str("histograms (span values in ns):\n");
+        for (name, h) in &hists {
+            out.push_str(&format!(
+                "  {name:<42} n={} mean={:.0} p50<={} p95<={} max={}\n",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.max
+            ));
+        }
+    }
+    out
+}
+
+/// Ends a run: prints the summary to stderr, flushes the event sink,
+/// and writes the manifest. Returns the manifest path, or `None` when
+/// observability is off or the write failed.
+pub fn finish(manifest: Manifest) -> Option<std::path::PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    eprint!("{}", summary_string());
+    sink::flush_sink();
+    match manifest.write() {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!("chaos-obs: cannot write manifest: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the process-global level.
+    static LEVEL_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_layer_records_nothing() {
+        let _guard = LEVEL_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_level(ObsLevel::Off);
+        add("lib_test.off_counter", 5);
+        record("lib_test.off_hist", 5);
+        let _span = span("lib_test.off_span");
+        drop(_span);
+        assert!(!counters()
+            .iter()
+            .any(|(n, _)| n.starts_with("lib_test.off")));
+        assert!(!histograms()
+            .iter()
+            .any(|(n, _)| n.starts_with("span.lib_test.off")));
+    }
+
+    #[test]
+    fn enabled_layer_records_counters_and_spans() {
+        let _guard = LEVEL_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_level(ObsLevel::Summary);
+        add("lib_test.on_counter", 2);
+        add("lib_test.on_counter", 3);
+        {
+            let _span = span("lib_test.on_span");
+        }
+        set_level(ObsLevel::Off);
+        assert!(counters()
+            .iter()
+            .any(|(n, v)| n == "lib_test.on_counter" && *v == 5));
+        let hists = histograms();
+        let (_, h) = hists
+            .iter()
+            .find(|(n, _)| n == "span.lib_test.on_span")
+            .expect("span histogram registered");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn summary_lists_metrics_in_sorted_order() {
+        let _guard = LEVEL_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_level(ObsLevel::Summary);
+        add("lib_test.summary_b", 1);
+        add("lib_test.summary_a", 1);
+        set_level(ObsLevel::Off);
+        let s = summary_string();
+        let a = s.find("lib_test.summary_a").expect("a listed");
+        let b = s.find("lib_test.summary_b").expect("b listed");
+        assert!(a < b, "summary not sorted:\n{s}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-run manifests.
+//!
+//! A manifest is one JSON document per experiment run capturing
+//! everything needed to reproduce and audit it: binary name, seed,
+//! serialized configuration, the `CHAOS_OBS` / `CHAOS_THREADS`
+//! environment policies, crate version, wall-clock total, and the final
+//! counter and histogram values. Written to `<obs_dir>/<bin>.manifest.json`.
+
+use crate::level;
+use crate::registry;
+use crate::sink::json_escape;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Resolves the observability output directory: `CHAOS_OBS_DIR` when
+/// set and non-empty, otherwise `results/obs/` at the workspace root.
+pub fn obs_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CHAOS_OBS_DIR") {
+        if !dir.trim().is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("chaos-obs lives two levels below the workspace root")
+        .join("results")
+        .join("obs")
+}
+
+/// Builder for a per-run manifest. Construct with [`Manifest::new`],
+/// attach context with the `with_*` methods, then hand it to
+/// [`crate::finish`] (or call [`Manifest::write`] directly).
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    bin: String,
+    seed: Option<u64>,
+    config_json: Option<String>,
+    extra: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// Starts a manifest for the named binary.
+    pub fn new(bin: &str) -> Self {
+        Manifest {
+            bin: bin.to_string(),
+            seed: None,
+            config_json: None,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Records the run's base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Embeds a pre-serialized configuration verbatim under `"config"`.
+    /// The caller guarantees `json` is valid JSON.
+    #[must_use]
+    pub fn with_config_json(mut self, json: String) -> Self {
+        self.config_json = Some(json);
+        self
+    }
+
+    /// Attaches an extra string field under `"extra"`.
+    #[must_use]
+    pub fn with_field(mut self, key: &str, value: &str) -> Self {
+        self.extra.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the manifest — including the current registry contents —
+    /// as a JSON document.
+    pub fn render(&self) -> String {
+        let reg = registry::global();
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"chaos-obs-manifest/1\",\n");
+        out.push_str(&format!("  \"bin\": \"{}\",\n", json_escape(&self.bin)));
+        out.push_str(&format!(
+            "  \"chaos_obs_version\": \"{}\",\n",
+            env!("CARGO_PKG_VERSION")
+        ));
+        out.push_str(&format!(
+            "  \"obs_level\": \"{}\",\n",
+            level::level().label()
+        ));
+        let threads = std::env::var("CHAOS_THREADS").unwrap_or_else(|_| "unset".to_string());
+        out.push_str(&format!(
+            "  \"chaos_threads\": \"{}\",\n",
+            json_escape(&threads)
+        ));
+        match self.seed {
+            Some(seed) => out.push_str(&format!("  \"seed\": {seed},\n")),
+            None => out.push_str("  \"seed\": null,\n"),
+        }
+        match &self.config_json {
+            Some(config) => out.push_str(&format!("  \"config\": {config},\n")),
+            None => out.push_str("  \"config\": null,\n"),
+        }
+        out.push_str("  \"extra\": {");
+        let extras: Vec<String> = self
+            .extra
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        out.push_str(&extras.join(", "));
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"wall_s\": {:.3},\n",
+            reg.elapsed().as_secs_f64()
+        ));
+        let unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        out.push_str(&format!("  \"finished_unix_s\": {unix},\n"));
+        out.push_str("  \"counters\": {");
+        let counters: Vec<String> = reg
+            .counters_snapshot()
+            .iter()
+            .map(|(name, v)| format!("\"{}\": {v}", json_escape(name)))
+            .collect();
+        out.push_str(&counters.join(", "));
+        out.push_str("},\n");
+        out.push_str("  \"histograms\": {");
+        let hists: Vec<String> = reg
+            .histograms_snapshot()
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p95\": {}}}",
+                    json_escape(name),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.quantile(0.5),
+                    h.quantile(0.95)
+                )
+            })
+            .collect();
+        out.push_str(&hists.join(", "));
+        out.push_str("}\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the manifest to `<obs_dir>/<bin>.manifest.json` and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = obs_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.manifest.json", self.bin));
+        fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_balanced_json_with_expected_fields() {
+        let manifest = Manifest::new("unit_test_bin")
+            .with_seed(2012)
+            .with_config_json("{\"k\": 1}".to_string())
+            .with_field("note", "hello \"world\"");
+        let json = manifest.render();
+        assert!(json.contains("\"schema\": \"chaos-obs-manifest/1\""));
+        assert!(json.contains("\"bin\": \"unit_test_bin\""));
+        assert!(json.contains("\"seed\": 2012"));
+        assert!(json.contains("\"config\": {\"k\": 1}"));
+        assert!(json.contains("\"note\": \"hello \\\"world\\\"\""));
+        assert!(json.contains("\"chaos_threads\""));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in:\n{json}");
+    }
+
+    #[test]
+    fn default_fields_are_null() {
+        let json = Manifest::new("bare").render();
+        assert!(json.contains("\"seed\": null"));
+        assert!(json.contains("\"config\": null"));
+    }
+
+    #[test]
+    fn obs_dir_falls_back_to_workspace_results() {
+        // Only exercise the fallback when the override is not set; tests
+        // must not mutate process-global env.
+        if std::env::var("CHAOS_OBS_DIR").is_err() {
+            let dir = obs_dir();
+            assert!(dir.ends_with("results/obs"), "dir = {}", dir.display());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The process-global registry of counters and histograms.
+//!
+//! Names are registered lazily on first use and kept in `BTreeMap`s so
+//! snapshots and summaries come out in a stable, deterministic order.
+//! The maps are only locked to *look up* a metric; the metrics
+//! themselves are atomics, so concurrent recording never contends on
+//! the registry locks for more than a map read.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::sink::EventSink;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    pub(crate) sink: Mutex<Option<EventSink>>,
+    start: Instant,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn global() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        sink: Mutex::new(None),
+        start: Instant::now(),
+    })
+}
+
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = lock(&self.counters);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    pub(crate) fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    pub(crate) fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        lock(&self.counters)
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub(crate) fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        lock(&self.histograms)
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
+    }
+
+    pub(crate) fn reset_metrics(&self) {
+        lock(&self.counters).clear();
+        lock(&self.histograms).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_come_out_sorted_by_name() {
+        let reg = Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            sink: Mutex::new(None),
+            start: Instant::now(),
+        };
+        reg.add("zebra", 1);
+        reg.add("alpha", 2);
+        reg.add("middle", 3);
+        let snapshot = reg.counters_snapshot();
+        let names: Vec<&str> = snapshot.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "middle", "zebra"]);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let reg = Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            sink: Mutex::new(None),
+            start: Instant::now(),
+        };
+        reg.add("c", 2);
+        reg.add("c", 3);
+        reg.record("h", 7);
+        assert_eq!(reg.counters_snapshot(), vec![("c".to_string(), 5)]);
+        assert_eq!(reg.histograms_snapshot()[0].1.count, 1);
+        reg.reset_metrics();
+        assert!(reg.counters_snapshot().is_empty());
+        assert!(reg.histograms_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! The JSON-lines event sink.
+//!
+//! At `CHAOS_OBS=full`, spans and explicit events append one JSON
+//! object per line to `<obs_dir>/<bin>.events.jsonl`. Every line
+//! carries a monotonic sequence number and nanoseconds since process
+//! start, so traces from a run can be replayed or diffed. JSON is
+//! rendered by hand to keep the crate dependency-free.
+
+use crate::level::{level, ObsLevel};
+use crate::registry;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A JSON-renderable event field value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Unsigned integer, rendered as a JSON number.
+    U64(u64),
+    /// Float, rendered as a JSON number (`null` when non-finite).
+    F64(f64),
+    /// String, escaped per JSON.
+    Str(String),
+}
+
+impl Value {
+    fn render(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => format!("{v}"),
+            Value::F64(_) => "null".to_string(),
+            Value::Str(s) => format!("\"{}\"", json_escape(s)),
+        }
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+pub(crate) struct EventSink {
+    writer: BufWriter<File>,
+    seq: u64,
+    path: PathBuf,
+}
+
+/// Installs the event sink at `path`, creating parent directories.
+/// Subsequent `Full`-level spans and events append one JSON line each.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or opening the file.
+pub fn install_sink(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let file = File::create(path)?;
+    *registry::lock(&registry::global().sink) = Some(EventSink {
+        writer: BufWriter::new(file),
+        seq: 0,
+        path: path.to_path_buf(),
+    });
+    Ok(())
+}
+
+/// Emits one structured event. Only recorded at [`ObsLevel::Full`] with
+/// a sink installed; dropped silently otherwise.
+pub fn event(kind: &str, fields: &[(&str, Value)]) {
+    if level() != ObsLevel::Full {
+        return;
+    }
+    emit(kind, fields);
+}
+
+pub(crate) fn emit(kind: &str, fields: &[(&str, Value)]) {
+    let reg = registry::global();
+    let t_ns = u64::try_from(reg.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut guard = registry::lock(&reg.sink);
+    let Some(sink) = guard.as_mut() else {
+        return;
+    };
+    let mut line = format!(
+        "{{\"seq\":{},\"t_ns\":{},\"kind\":\"{}\"",
+        sink.seq,
+        t_ns,
+        json_escape(kind)
+    );
+    for (key, value) in fields {
+        line.push_str(&format!(",\"{}\":{}", json_escape(key), value.render()));
+    }
+    line.push_str("}\n");
+    let _ = sink.writer.write_all(line.as_bytes());
+    sink.seq += 1;
+}
+
+/// Flushes the sink (if installed) and returns its path.
+pub fn flush_sink() -> Option<PathBuf> {
+    let reg = registry::global();
+    let mut guard = registry::lock(&reg.sink);
+    guard.as_mut().map(|sink| {
+        let _ = sink.writer.flush();
+        sink.path.clone()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn values_render_as_json() {
+        assert_eq!(Value::U64(42).render(), "42");
+        assert_eq!(Value::F64(1.5).render(), "1.5");
+        assert_eq!(Value::F64(f64::NAN).render(), "null");
+        assert_eq!(Value::Str("x\"y".to_string()).render(), "\"x\\\"y\"");
+    }
+}

@@ -1,0 +1,48 @@
+//! Scoped span timers.
+//!
+//! A [`Span`] measures wall-clock time from creation to drop and
+//! records it into the histogram `span.<label>`. When the level is
+//! [`Full`](crate::ObsLevel::Full) it additionally emits a `span` event
+//! through the JSON-lines sink. When observability is off, opening a
+//! span does not even read the clock.
+
+use crate::level::{enabled, level, ObsLevel};
+use crate::registry;
+use crate::sink::{self, Value};
+use std::time::Instant;
+
+/// An RAII span timer; see the [module docs](self).
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped; bind it with `let _span = ...`"]
+pub struct Span {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a span named `label`. Zero-cost (no clock read, no
+/// allocation) when observability is off.
+pub fn span(label: &'static str) -> Span {
+    Span {
+        label,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        registry::global().record(&format!("span.{}", self.label), ns);
+        if level() == ObsLevel::Full {
+            sink::emit(
+                "span",
+                &[
+                    ("name", Value::Str(self.label.to_string())),
+                    ("ns", Value::U64(ns)),
+                ],
+            );
+        }
+    }
+}

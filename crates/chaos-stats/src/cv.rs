@@ -216,7 +216,10 @@ impl RunSplit {
 ///
 /// # Errors
 ///
-/// Returns the first (lowest-index) error produced by `fit` or `score`.
+/// Returns [`StatsError::InsufficientData`] (via `E: From<StatsError>`)
+/// when `splits` is empty, [`StatsError::InvalidParameter`] when any
+/// split has an empty train or test set, and otherwise the first
+/// (lowest-index) error produced by `fit` or `score`.
 ///
 /// # Example
 ///
@@ -258,10 +261,25 @@ pub fn cross_validate<M, E, Fit, Score>(
     score: Score,
 ) -> Result<Vec<f64>, E>
 where
-    E: Send,
+    E: Send + From<StatsError>,
     Fit: Fn(&Split) -> Result<M, E> + Sync,
     Score: Fn(&M, &Split) -> Result<f64, E> + Sync,
 {
+    if splits.is_empty() {
+        return Err(E::from(StatsError::InsufficientData {
+            observations: 0,
+            required: 1,
+        }));
+    }
+    for (i, split) in splits.iter().enumerate() {
+        if split.train.is_empty() || split.test.is_empty() {
+            return Err(E::from(StatsError::InvalidParameter {
+                context: format!("cross_validate: split {i} has an empty train or test set"),
+            }));
+        }
+    }
+    let _span = chaos_obs::span("cv.cross_validate");
+    chaos_obs::add("cv.folds", splits.len() as u64);
     policy.try_par_map(splits, |split| {
         let model = fit(split)?;
         score(&model, split)
@@ -382,6 +400,50 @@ mod tests {
         let score = |_: &f64, _: &Split| Ok(1.0);
         let err = cross_validate(&splits, ExecPolicy::Parallel { threads: 4 }, fit, score);
         assert_eq!(err, Err(StatsError::Singular));
+    }
+
+    #[test]
+    fn kfold_rejects_fewer_samples_than_folds() {
+        // samples < folds must be a typed error, never a panic or a
+        // silent batch of empty folds.
+        let err = KFold::new(3, 5).unwrap_err();
+        assert!(matches!(err, StatsError::InvalidParameter { .. }), "{err}");
+        let err = KFold::inverted(3, 5).unwrap_err();
+        assert!(matches!(err, StatsError::InvalidParameter { .. }), "{err}");
+        assert!(matches!(
+            KFold::new(0, 2),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        // Boundary: k == n is legal (leave-one-out) and every fold is
+        // non-empty.
+        let kf = KFold::new(5, 5).unwrap();
+        assert!(kf.iter().all(|s| !s.test.is_empty() && !s.train.is_empty()));
+    }
+
+    #[test]
+    fn cross_validate_rejects_empty_split_list() {
+        let fit = |_: &Split| Ok::<f64, StatsError>(0.0);
+        let score = |_: &f64, _: &Split| Ok(0.0);
+        let err = cross_validate(&[], ExecPolicy::Serial, fit, score).unwrap_err();
+        assert!(matches!(err, StatsError::InsufficientData { .. }), "{err}");
+    }
+
+    #[test]
+    fn cross_validate_rejects_empty_train_or_test() {
+        let fit = |_: &Split| Ok::<f64, StatsError>(0.0);
+        let score = |_: &f64, _: &Split| Ok(0.0);
+        let degenerate = vec![Split {
+            train: vec![0, 1],
+            test: vec![],
+        }];
+        let err = cross_validate(&degenerate, ExecPolicy::Serial, fit, score).unwrap_err();
+        assert!(matches!(err, StatsError::InvalidParameter { .. }), "{err}");
+        let degenerate = vec![Split {
+            train: vec![],
+            test: vec![0, 1],
+        }];
+        let err = cross_validate(&degenerate, ExecPolicy::Serial, fit, score).unwrap_err();
+        assert!(matches!(err, StatsError::InvalidParameter { .. }), "{err}");
     }
 
     #[test]

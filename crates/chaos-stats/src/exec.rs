@@ -113,6 +113,10 @@ impl ExecPolicy {
         if workers <= 1 {
             return (0..n).map(f).collect();
         }
+        // Per-worker item counts feed the work-stealing balance metrics;
+        // only collected when observability is on.
+        let track = chaos_obs::enabled();
+        let worker_items: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let next = AtomicUsize::new(0);
         let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
         thread::scope(|scope| {
@@ -126,6 +130,12 @@ impl ExecPolicy {
                         }
                         local.push((i, f(i)));
                     }
+                    if track {
+                        worker_items
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(local.len());
+                    }
                     merged
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -133,6 +143,22 @@ impl ExecPolicy {
                 });
             }
         });
+        if track {
+            chaos_obs::add("exec.parallel_batches", 1);
+            chaos_obs::add("exec.items", n as u64);
+            let items = worker_items
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for count in items {
+                chaos_obs::record("exec.worker_items", count as u64);
+                // 1000 = perfectly even split across workers; 0 = a worker
+                // that never won a steal.
+                chaos_obs::record(
+                    "exec.worker_share_permille",
+                    (count * workers * 1000 / n) as u64,
+                );
+            }
+        }
         let mut pairs = merged
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -242,6 +268,25 @@ mod tests {
         assert!(ExecPolicy::Parallel { threads: 4 }.is_parallel());
         assert!(ExecPolicy::Parallel { threads: 0 }.threads() >= 1);
         assert!(!ExecPolicy::Parallel { threads: 1 }.is_parallel());
+    }
+
+    #[test]
+    fn parallel_batches_record_worker_metrics_when_enabled() {
+        chaos_obs::set_level(chaos_obs::ObsLevel::Summary);
+        let out = ExecPolicy::Parallel { threads: 4 }.par_map_indices(64, |i| i * 2);
+        chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+        assert_eq!(out.len(), 64);
+        // Other tests may run batches concurrently while the level is on,
+        // so assert lower bounds only.
+        assert!(chaos_obs::counters()
+            .iter()
+            .any(|(n, v)| n == "exec.items" && *v >= 64));
+        let hists = chaos_obs::histograms();
+        let (_, h) = hists
+            .iter()
+            .find(|(n, _)| n == "exec.worker_items")
+            .expect("worker items histogram registered");
+        assert!(h.count >= 1);
     }
 
     #[test]

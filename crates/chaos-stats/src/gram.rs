@@ -163,9 +163,11 @@ impl GramCache {
         let key = self.subset_key(selected)?;
         if let Some(cached) = self.memo.get(&key) {
             self.hits += 1;
+            chaos_obs::add("gram.hits", 1);
             return cached.clone();
         }
         self.misses += 1;
+        chaos_obs::add("gram.misses", 1);
         let result = self.solve_subset(selected);
         self.memo.insert(key, result.clone());
         result

@@ -124,7 +124,10 @@ pub fn r_squared(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
 /// # Errors
 ///
 /// Same conditions as [`mse`], plus [`StatsError::InvalidParameter`] if
-/// `power_max <= power_idle`.
+/// `power_max <= power_idle` and [`StatsError::NonFinite`] if either
+/// platform bound or any power sample is NaN or infinite. DRE never
+/// silently returns NaN: every non-finite input surfaces as a typed
+/// error.
 ///
 /// # Example
 ///
@@ -145,13 +148,34 @@ pub fn dynamic_range_error(
     power_max: f64,
     power_idle: f64,
 ) -> Result<f64, StatsError> {
+    check_pair(predicted, actual)?;
+    if !power_max.is_finite() || !power_idle.is_finite() {
+        return Err(StatsError::NonFinite {
+            context: format!("dynamic range bounds max={power_max}, idle={power_idle}"),
+        });
+    }
+    for (name, values) in [("predicted", predicted), ("actual", actual)] {
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite {
+                context: format!("DRE {name} power sample {i} = {}", values[i]),
+            });
+        }
+    }
+    // NaN-safe now that both bounds are known finite: a NaN range can no
+    // longer sneak past this comparison.
     let range = power_max - power_idle;
     if range <= 0.0 {
         return Err(StatsError::InvalidParameter {
             context: format!("dynamic range must be positive, got {range}"),
         });
     }
-    Ok(rmse(predicted, actual)? / range)
+    let dre = rmse(predicted, actual)? / range;
+    if !dre.is_finite() {
+        return Err(StatsError::NonFinite {
+            context: format!("DRE evaluated to {dre}"),
+        });
+    }
+    Ok(dre)
 }
 
 /// A bundle of every metric the paper reports for one model evaluation.
@@ -255,6 +279,32 @@ mod tests {
     fn dre_rejects_degenerate_range() {
         assert!(dynamic_range_error(&[1.0], &[1.0], 5.0, 5.0).is_err());
         assert!(dynamic_range_error(&[1.0], &[1.0], 4.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn dre_rejects_non_finite_bounds_with_typed_error() {
+        // inf − inf = NaN used to slip past the `range <= 0` check and
+        // return Ok(NaN); it must be a typed error instead.
+        for (max, idle) in [
+            (f64::INFINITY, f64::INFINITY),
+            (f64::NAN, 5.0),
+            (5.0, f64::NAN),
+            (f64::NEG_INFINITY, 5.0),
+        ] {
+            let err = dynamic_range_error(&[1.0], &[1.0], max, idle).unwrap_err();
+            assert!(
+                matches!(err, StatsError::NonFinite { .. }),
+                "max={max}, idle={idle}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn dre_rejects_non_finite_samples_with_typed_error() {
+        let err = dynamic_range_error(&[1.0, f64::NAN], &[1.0, 2.0], 10.0, 5.0).unwrap_err();
+        assert!(matches!(err, StatsError::NonFinite { .. }), "{err}");
+        let err = dynamic_range_error(&[1.0, 2.0], &[f64::INFINITY, 2.0], 10.0, 5.0).unwrap_err();
+        assert!(matches!(err, StatsError::NonFinite { .. }), "{err}");
     }
 
     #[test]

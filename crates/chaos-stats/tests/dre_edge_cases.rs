@@ -1,0 +1,105 @@
+//! Property tests for the Dynamic Range Error metric (Eq. 6).
+//!
+//! The invariant under test: `dynamic_range_error` either returns a
+//! finite, non-negative value or a typed [`StatsError`] — it never
+//! panics and never leaks NaN/infinity through an `Ok`. This covers the
+//! ISSUE 3 edge cases explicitly: `P_max == P_idle` denominators, empty
+//! and singleton folds, and non-finite power samples.
+
+use chaos_stats::metrics::dynamic_range_error;
+use chaos_stats::StatsError;
+use proptest::prelude::*;
+
+/// Any f64 including NaN and infinities.
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -1e6..1e6f64,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(f64::MAX),
+        1 => Just(0.0f64),
+    ]
+}
+
+proptest! {
+    /// Fully adversarial inputs: mismatched lengths, empty slices,
+    /// non-finite samples and degenerate ranges. The result is always
+    /// `Ok(finite >= 0)` or a typed error.
+    #[test]
+    fn dre_is_finite_or_typed_error(
+        predicted in proptest::collection::vec(any_f64(), 0..12),
+        actual in proptest::collection::vec(any_f64(), 0..12),
+        power_max in any_f64(),
+        power_idle in any_f64(),
+    ) {
+        match dynamic_range_error(&predicted, &actual, power_max, power_idle) {
+            Ok(dre) => {
+                prop_assert!(dre.is_finite(), "Ok(non-finite): {dre}");
+                prop_assert!(dre >= 0.0, "Ok(negative): {dre}");
+            }
+            Err(
+                StatsError::DimensionMismatch { .. }
+                | StatsError::InsufficientData { .. }
+                | StatsError::InvalidParameter { .. }
+                | StatsError::NonFinite { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error variant: {other}"),
+        }
+    }
+
+    /// With well-formed finite inputs and a positive range, DRE always
+    /// succeeds and scales inversely with the range.
+    #[test]
+    fn dre_succeeds_on_well_formed_inputs(
+        samples in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..32),
+        power_idle in -50.0..50.0f64,
+        range in 0.1..500.0f64,
+    ) {
+        let predicted: Vec<f64> = samples.iter().map(|&(p, _)| p).collect();
+        let actual: Vec<f64> = samples.iter().map(|&(_, a)| a).collect();
+        let power_max = power_idle + range;
+        let dre = dynamic_range_error(&predicted, &actual, power_max, power_idle).unwrap();
+        prop_assert!(dre.is_finite() && dre >= 0.0);
+        // Doubling the range halves the DRE.
+        let wide = dynamic_range_error(&predicted, &actual, power_idle + 2.0 * range, power_idle)
+            .unwrap();
+        prop_assert!((wide - dre / 2.0).abs() <= 1e-12 * dre.max(1.0));
+    }
+
+    /// `P_max == P_idle` is always a typed error, whatever the samples.
+    #[test]
+    fn dre_zero_range_is_typed_error(
+        samples in proptest::collection::vec(-100.0..100.0f64, 1..8),
+        bound in -100.0..100.0f64,
+    ) {
+        let err = dynamic_range_error(&samples, &samples, bound, bound).unwrap_err();
+        prop_assert!(matches!(err, StatsError::InvalidParameter { .. }), "{err}");
+    }
+
+    /// Empty folds are always a typed error, never a NaN from 0/0.
+    #[test]
+    fn dre_empty_fold_is_typed_error(
+        power_max in any_f64(),
+        power_idle in any_f64(),
+    ) {
+        let err = dynamic_range_error(&[], &[], power_max, power_idle).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                StatsError::InsufficientData { .. } | StatsError::NonFinite { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    /// Singleton folds succeed when finite (rMSE of one sample is fine).
+    #[test]
+    fn dre_singleton_fold_succeeds(
+        p in -100.0..100.0f64,
+        a in -100.0..100.0f64,
+    ) {
+        let dre = dynamic_range_error(&[p], &[a], 30.0, 10.0).unwrap();
+        prop_assert!((dre - (p - a).abs() / 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Exactness tests for `GramCache` memoized subset solves.
+//!
+//! The cache serves OLS fits from a precomputed Gram matrix via
+//! Cholesky; `OlsFit::fit` solves the same problem via QR on the
+//! explicit design. Both are exact in exact arithmetic, so on a
+//! well-conditioned design every memoized bitmask solve must agree with
+//! the direct solve to 1e-10 — for *every* column subset, not just the
+//! handful a particular elimination path happens to visit.
+
+use chaos_stats::gram::GramCache;
+use chaos_stats::ols::OlsFit;
+use chaos_stats::stepwise::{backward_eliminate, backward_eliminate_cached, StepwiseConfig};
+use chaos_stats::Matrix;
+
+const TOL: f64 = 1e-10;
+
+fn det_noise(i: usize) -> f64 {
+    ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+}
+
+/// Near-orthogonal O(1) columns keep the Gram matrix well conditioned,
+/// so the Cholesky and QR paths agree far below the 1e-10 bar.
+fn synthetic(n: usize) -> (Matrix, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            vec![
+                (0.7 * t).sin(),
+                (1.3 * t).cos(),
+                (i % 17) as f64 / 17.0 - 0.5,
+                det_noise(i),
+            ]
+        })
+        .collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let r = x.row(i);
+            1.5 + 2.0 * r[0] - r[1] + 0.5 * r[3] + 0.01 * det_noise(i * 31 + 7)
+        })
+        .collect();
+    (x, y)
+}
+
+fn qr_reference(x: &Matrix, y: &[f64], keep: &[usize]) -> OlsFit {
+    OlsFit::fit(&x.select_cols(keep).with_intercept(), y).unwrap()
+}
+
+#[test]
+fn every_subset_solve_matches_direct_ols_to_1e10() {
+    let (x, y) = synthetic(240);
+    let mut cache = GramCache::new(&x, &y).unwrap();
+    // All 15 non-empty subsets of the 4 columns, i.e. every bitmask the
+    // memo can ever be asked for on this design.
+    for mask in 1u32..16 {
+        let keep: Vec<usize> = (0..4).filter(|&c| mask & (1 << c) != 0).collect();
+        let gram_fit = cache.fit_subset(&keep).unwrap();
+        let qr_fit = qr_reference(&x, &y, &keep);
+        assert_eq!(gram_fit.coefficients().len(), keep.len() + 1);
+        for (j, (g, q)) in gram_fit
+            .coefficients()
+            .iter()
+            .zip(qr_fit.coefficients())
+            .enumerate()
+        {
+            assert!(
+                (g - q).abs() < TOL,
+                "subset {keep:?} coefficient {j}: gram {g} vs qr {q}"
+            );
+        }
+        for (j, (g, q)) in gram_fit
+            .std_errors()
+            .iter()
+            .zip(qr_fit.std_errors())
+            .enumerate()
+        {
+            assert!(
+                (g - q).abs() < TOL,
+                "subset {keep:?} std error {j}: gram {g} vs qr {q}"
+            );
+        }
+    }
+    assert_eq!(cache.misses(), 15, "each subset solved exactly once");
+}
+
+#[test]
+fn memoized_refits_are_bitwise_identical_to_first_solve() {
+    let (x, y) = synthetic(240);
+    let mut cache = GramCache::new(&x, &y).unwrap();
+    for keep in [vec![0], vec![1, 3], vec![0, 1, 2, 3]] {
+        let first = cache.fit_subset(&keep).unwrap();
+        let misses = cache.misses();
+        let again = cache.fit_subset(&keep).unwrap();
+        assert_eq!(cache.misses(), misses, "refit of {keep:?} hit the solver");
+        // Bitwise equality, not tolerance: the memo must return the same
+        // object it computed, never re-derive it.
+        assert_eq!(first.coefficients(), again.coefficients());
+        assert_eq!(first.std_errors(), again.std_errors());
+    }
+    assert!(cache.hits() >= 3);
+}
+
+#[test]
+fn cached_elimination_serves_fits_matching_direct_ols() {
+    let (x, y) = synthetic(240);
+    let config = StepwiseConfig::default();
+    let direct = backward_eliminate(&x, &y, &config).unwrap();
+    let mut cache = GramCache::new(&x, &y).unwrap();
+    let cached = backward_eliminate_cached(&mut cache, &config).unwrap();
+    assert_eq!(direct.selected, cached.selected);
+    // The surviving model's memoized fit agrees with a from-scratch QR
+    // solve on the same surviving columns to 1e-10.
+    let reference = qr_reference(&x, &y, &cached.selected);
+    for (g, q) in cached
+        .fit
+        .coefficients()
+        .iter()
+        .zip(reference.coefficients())
+    {
+        assert!((g - q).abs() < TOL, "final fit: gram {g} vs qr {q}");
+    }
+}

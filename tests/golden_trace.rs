@@ -1,0 +1,185 @@
+//! Golden-trace regression harness.
+//!
+//! Each test runs a fixed-seed pipeline (the quick-scale equivalents of
+//! the paper's Table II feature selection and Table IV sweep), reduces
+//! the result to a JSON fingerprint, and compares it against the golden
+//! copy committed under `tests/golden/`. Numeric leaves must match
+//! within `TOLERANCE`; every other leaf must match exactly.
+//!
+//! Maintenance protocol (also in `tests/golden/README.md`):
+//!
+//! - A missing golden file is bootstrapped from the current run and the
+//!   test passes — commit the generated file.
+//! - After an *intentional* numeric change, regenerate with
+//!   `UPDATE_GOLDEN=1 cargo test --test golden_trace` and commit the
+//!   diff. A golden diff in review is the signal that model output
+//!   changed; never regenerate to silence an unexplained mismatch.
+//!
+//! Each fingerprint is also computed twice in-process and compared for
+//! exact equality, so a nondeterministic pipeline fails even on a
+//! bootstrap run.
+
+use chaos::core::experiment::{ClusterExperiment, ExperimentConfig};
+use chaos::core::models::ModelTechnique;
+use chaos::core::sweep::sweep_grid;
+use chaos::sim::Platform;
+use chaos::stats::exec::ExecPolicy;
+use chaos::workloads::Workload;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+/// Relative tolerance for numeric leaves. The pipelines are bit-level
+/// deterministic on one build; the slack only absorbs libm differences
+/// across platforms and toolchains.
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn relative_gap(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// Recursively compares a fingerprint against its golden copy,
+/// collecting every mismatching path.
+fn diff_values(path: &str, golden: &Value, actual: &Value, out: &mut Vec<String>) {
+    match (golden, actual) {
+        (Value::Number(g), Value::Number(a)) => {
+            let (g, a) = (g.as_f64().unwrap(), a.as_f64().unwrap());
+            if relative_gap(g, a) > TOLERANCE {
+                out.push(format!("{path}: golden {g} vs actual {a}"));
+            }
+        }
+        (Value::Array(g), Value::Array(a)) => {
+            if g.len() != a.len() {
+                out.push(format!("{path}: length {} vs {}", g.len(), a.len()));
+                return;
+            }
+            for (i, (gv, av)) in g.iter().zip(a).enumerate() {
+                diff_values(&format!("{path}[{i}]"), gv, av, out);
+            }
+        }
+        (Value::Object(g), Value::Object(a)) => {
+            for key in g.keys().chain(a.keys().filter(|k| !g.contains_key(*k))) {
+                match (g.get(key), a.get(key)) {
+                    (Some(gv), Some(av)) => {
+                        diff_values(&format!("{path}.{key}"), gv, av, out);
+                    }
+                    (gv, _) => out.push(format!(
+                        "{path}.{key}: {} in golden only",
+                        if gv.is_some() { "present" } else { "missing" }
+                    )),
+                }
+            }
+        }
+        (g, a) => {
+            if g != a {
+                out.push(format!("{path}: golden {g} vs actual {a}"));
+            }
+        }
+    }
+}
+
+/// Compares `fingerprint` to `tests/golden/<name>.json`, bootstrapping
+/// or regenerating the golden file when asked to.
+fn check_golden(name: &str, fingerprint: &Value) {
+    let path = golden_dir().join(format!("{name}.json"));
+    let update = std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1");
+    if update || !path.exists() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        let mut body = serde_json::to_string_pretty(fingerprint).expect("serialize fingerprint");
+        body.push('\n');
+        std::fs::write(&path, body).expect("write golden file");
+        eprintln!(
+            "{} golden trace {}; commit the file",
+            if update { "updated" } else { "bootstrapped" },
+            path.display()
+        );
+        return;
+    }
+    let body = std::fs::read_to_string(&path).expect("read golden file");
+    let golden: Value = serde_json::from_str(&body).expect("golden file is valid JSON");
+    let mut mismatches = Vec::new();
+    diff_values(name, &golden, fingerprint, &mut mismatches);
+    assert!(
+        mismatches.is_empty(),
+        "golden trace {name} diverged ({} mismatches):\n  {}\n\
+         If the change is intentional, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test golden_trace` and commit the diff.",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+/// Table II equivalent: Algorithm 1 feature selection on a fixed-seed
+/// quick-scale Opteron cluster.
+fn selection_fingerprint() -> Value {
+    let exp = ClusterExperiment::collect(Platform::Opteron, &ExperimentConfig::quick());
+    let selection = exp.select_features().expect("selection succeeds");
+    let names: Vec<&str> = selection
+        .selected
+        .iter()
+        .map(|&j| exp.catalog.def(j).name.as_str())
+        .collect();
+    json!({
+        "schema": "chaos-golden-selection/1",
+        "platform": "Opteron",
+        "selected": names,
+        "threshold": selection.threshold,
+        "survivors_step1": selection.survivors_step1,
+        "survivors_step2": selection.survivors_step2,
+        "models_built": selection.models_built,
+        "histogram_head": selection.histogram.iter().take(8).map(|(j, w)| {
+            json!({"counter": exp.catalog.def(*j).name, "weight": w})
+        }).collect::<Vec<_>>(),
+    })
+}
+
+/// Table IV equivalent: the technique × feature-set sweep on one
+/// workload of a fixed-seed quick-scale Core2 cluster, fanned out in
+/// parallel so the golden trace also pins policy invariance.
+fn sweep_fingerprint() -> Value {
+    let cfg = ExperimentConfig::quick().with_exec(ExecPolicy::Parallel { threads: 4 });
+    let exp = ClusterExperiment::collect(Platform::Core2, &cfg);
+    let selection = exp.select_features().expect("selection succeeds");
+    let sets = exp.standard_feature_sets(&selection);
+    let cells = sweep_grid(
+        exp.traces_for(Workload::Prime),
+        &exp.cluster,
+        &sets,
+        &ModelTechnique::ALL,
+        &cfg.eval,
+    )
+    .expect("sweep succeeds");
+    json!({
+        "schema": "chaos-golden-sweep/1",
+        "platform": "Core2",
+        "workload": "prime",
+        "cells": cells.iter().map(|c| json!({
+            "label": c.label(),
+            "avg_dre": c.outcome.avg_dre(),
+            "avg_rmse": c.outcome.avg_rmse(),
+            "folds": c.outcome.folds.len(),
+            "models_built": c.outcome.models_built,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+#[test]
+fn selection_matches_golden_trace() {
+    let first = selection_fingerprint();
+    let second = selection_fingerprint();
+    assert_eq!(first, second, "selection fingerprint is nondeterministic");
+    check_golden("selection_opteron_quick", &first);
+}
+
+#[test]
+fn sweep_matches_golden_trace() {
+    let first = sweep_fingerprint();
+    let second = sweep_fingerprint();
+    assert_eq!(first, second, "sweep fingerprint is nondeterministic");
+    check_golden("sweep_core2_prime_quick", &first);
+}
