@@ -1,0 +1,182 @@
+//! Benchmark: streaming online-inference engine.
+//!
+//! Measures what the offline sweeps cannot: the per-sample cost of the
+//! streaming path. A robust estimator is fitted offline, then a test
+//! run — with a sustained 30% meter shift injected mid-run so the drift
+//! detector and tiered refits actually fire — is replayed one second at
+//! a time through [`chaos_stream::StreamEngine::push_second`], timing
+//! every call. Reports throughput (samples/sec, where one sample is one
+//! cluster-second across all machines), per-sample latency percentiles,
+//! and how many refits fired at each tier.
+//!
+//! Before any timing, the shifted run is replayed under Serial and
+//! 4-thread policies and the outputs (plus the full refit logs) are
+//! asserted bit-identical — the same determinism contract the offline
+//! engine holds. Results land in `results/BENCH_streaming.json`.
+
+use chaos_bench::{format_table, results_dir};
+use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_core::FeatureSpec;
+use chaos_counters::{collect_run, CounterCatalog, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stats::ExecPolicy;
+use chaos_stream::{DriftConfig, StreamConfig, StreamEngine};
+use chaos_workloads::{SimConfig, Workload};
+use serde_json::json;
+use std::time::Instant;
+
+const MACHINES: usize = 4;
+const SEED: u64 = 4100;
+const SHIFT_AT_S: usize = 40;
+const SHIFT_FACTOR: f64 = 1.3;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+}
+
+fn engine(est: &RobustEstimator, cluster: &Cluster, exec: ExecPolicy) -> StreamEngine {
+    let n = cluster.machines().len() as f64;
+    StreamEngine::new(
+        est.clone(),
+        cluster.machines().len(),
+        cluster.max_power() / n,
+        cluster.idle_power() / n,
+        0.05,
+        stream_config().with_exec(exec),
+    )
+    .expect("engine construction")
+}
+
+fn main() {
+    chaos_bench::obs_init("streaming_inference");
+    let cluster = Cluster::homogeneous(Platform::Core2, MACHINES, SEED);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let sim = SimConfig::quick();
+    let train: Vec<RunTrace> = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &sim, SEED + 1 + r).unwrap())
+        .collect();
+    let mut test = collect_run(&cluster, &catalog, Workload::Prime, &sim, SEED + 9).unwrap();
+    let start = SHIFT_AT_S.min(test.seconds());
+    for m in &mut test.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= SHIFT_FACTOR;
+        }
+    }
+
+    let spec = FeatureSpec::general(&catalog);
+    let cpu = strawman_position(&spec, &catalog);
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let cfg = RobustConfig {
+        fit: RobustConfig::fast()
+            .fit
+            .with_freq_column(spec.freq_column(&catalog)),
+        ..RobustConfig::fast()
+    };
+    let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).expect("offline fit");
+
+    // Determinism gate: serial and 4-thread replay must agree bit-for-bit
+    // before any timing is trusted.
+    let mut digests = Vec::new();
+    for exec in [ExecPolicy::Serial, ExecPolicy::Parallel { threads: 4 }] {
+        let mut eng = engine(&est, &cluster, exec);
+        let outputs = eng.replay(&test).expect("replay");
+        digests.push(format!(
+            "{}|{}",
+            serde_json::to_string(&outputs).unwrap(),
+            serde_json::to_string(&eng.refit_outcomes()).unwrap()
+        ));
+    }
+    assert!(
+        digests.iter().all(|d| d == &digests[0]),
+        "streaming replay differs across execution policies"
+    );
+    eprintln!("[determinism] serial and par4 replays bit-identical");
+
+    // Timed pass: one push_second per cluster-second, serial policy, so
+    // latencies reflect the per-sample critical path.
+    let mut eng = engine(&est, &cluster, ExecPolicy::Serial);
+    let mut latencies_us = Vec::with_capacity(test.seconds());
+    let t0 = Instant::now();
+    for t in 0..test.seconds() {
+        let s0 = Instant::now();
+        let out = eng.push_second(&test, t).expect("push_second");
+        latencies_us.push(s0.elapsed().as_secs_f64() * 1e6);
+        assert!(out.cluster_power_w.is_finite());
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+    let seconds = test.seconds();
+    let samples_per_sec = seconds as f64 / total_s;
+
+    let mut sorted = latencies_us.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p99, max) = (
+        percentile(&sorted, 50.0),
+        percentile(&sorted, 99.0),
+        *sorted.last().unwrap(),
+    );
+    let refit_counts = eng.refit_counts();
+
+    println!(
+        "Streaming inference (Core2, Prime, {MACHINES} machines, {seconds} s, 30% shift at t={SHIFT_AT_S})\n"
+    );
+    println!(
+        "{}",
+        format_table(
+            &["Metric", "Value"],
+            &[
+                vec!["samples/sec".into(), format!("{samples_per_sec:.0}")],
+                vec!["p50 latency".into(), format!("{p50:.1} us")],
+                vec!["p99 latency".into(), format!("{p99:.1} us")],
+                vec!["max latency".into(), format!("{max:.1} us")],
+                vec![
+                    "refits".into(),
+                    refit_counts
+                        .iter()
+                        .map(|(k, v)| format!("{k}:{v}"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ],
+            ]
+        )
+    );
+
+    let out = json!({
+        "bench": "streaming_inference",
+        "platform": "Core2",
+        "workload": "prime",
+        "machines": MACHINES,
+        "seconds": seconds,
+        "shift_at_s": SHIFT_AT_S,
+        "shift_factor": SHIFT_FACTOR,
+        "samples_per_sec": samples_per_sec,
+        "latency_us": { "p50": p50, "p99": p99, "max": max },
+        "refit_counts": refit_counts,
+        "policy_bit_identical": true,
+    });
+    let path = results_dir().join("BENCH_streaming.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()).expect("write results");
+    println!("\nJSON written to {}", path.display());
+
+    chaos_bench::obs_finish(
+        "streaming_inference",
+        Some(SEED),
+        serde_json::to_string(&sim).ok(),
+    );
+}

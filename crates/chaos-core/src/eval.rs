@@ -251,10 +251,45 @@ pub fn evaluate_faulted(
     plan: &FaultPlan,
     config: &RobustConfig,
 ) -> Result<FaultedOutcome, StatsError> {
+    let faulted: Vec<RunTrace> = test.iter().map(|t| plan.apply(t)).collect();
+    evaluate_faulted_prepared(
+        train,
+        test,
+        &faulted,
+        cluster,
+        spec,
+        plan.counter_dropout,
+        config,
+    )
+}
+
+/// Scores an already-faulted (and possibly decimated) test set against
+/// its clean counterpart. `test` supplies the ground-truth power;
+/// `faulted` supplies what the estimator sees. The two slices must be
+/// the same runs in the same order, transformed identically apart from
+/// the fault injection.
+fn evaluate_faulted_prepared(
+    train: &[RunTrace],
+    test: &[RunTrace],
+    faulted: &[RunTrace],
+    cluster: &Cluster,
+    spec: &FeatureSpec,
+    fault_rate: f64,
+    config: &RobustConfig,
+) -> Result<FaultedOutcome, StatsError> {
     if train.is_empty() || test.is_empty() {
         return Err(StatsError::InsufficientData {
             observations: train.len().min(test.len()),
             required: 1,
+        });
+    }
+    if faulted.len() != test.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: format!(
+                "faulted evaluation: {} faulted runs vs {} clean runs",
+                faulted.len(),
+                test.len()
+            ),
         });
     }
     let _span = chaos_obs::span("eval.faulted");
@@ -276,8 +311,6 @@ pub fn evaluate_faulted(
     // The bare baseline: same technique, same training data, no chain.
     let train_ds = pooled_dataset(train, spec)?.thinned(cfg.max_train_rows);
     let bare = FittedModel::fit(cfg.technique, &train_ds.x, &train_ds.y, &cfg.fit)?;
-
-    let faulted: Vec<RunTrace> = test.iter().map(|t| plan.apply(t)).collect();
 
     // Robust chain, scored at cluster level against clean power.
     let mut pred = Vec::new();
@@ -309,7 +342,7 @@ pub fn evaluate_faulted(
     // Bare baselines, per sample: the typed-error failure fraction, and
     // the naive zero-fill recovery everyone reaches for first.
     let clean_ds = pooled_dataset(test, spec)?;
-    let faulted_ds = pooled_dataset(&faulted, spec)?;
+    let faulted_ds = pooled_dataset(faulted, spec)?;
     let mut failures = 0usize;
     let mut naive_pred = Vec::with_capacity(faulted_ds.len());
     let mut naive_actual = Vec::with_capacity(faulted_ds.len());
@@ -336,7 +369,7 @@ pub fn evaluate_faulted(
         metrics::rmse(&naive_pred, &naive_actual)? / machine_range
     };
     Ok(FaultedOutcome {
-        fault_rate: plan.counter_dropout,
+        fault_rate,
         robust_dre,
         robust_rmse,
         coverage,
@@ -379,6 +412,175 @@ pub fn fault_sweep(
         let plan = base.clone().with_counter_dropout(rate);
         evaluate_faulted(train, test, cluster, spec, &plan, &inner)
     })
+}
+
+/// [`fault_sweep`] over *decimated* test streams: faults are injected at
+/// full rate first, then both the faulted stream (what the estimator
+/// sees) and the clean stream (what the scorer sees) are decimated to
+/// `interval_s`-second windows before evaluation.
+///
+/// Ordering matters and is deliberate: injecting then decimating models
+/// a monitoring agent that aggregates a faulty 1 Hz collector, and it
+/// exercises the boundary semantics of
+/// [`RunTrace::decimated`](chaos_counters::RunTrace::decimated) — each
+/// source sample, including one invalidated *exactly on* a window edge,
+/// belongs to exactly one disjoint `[start, start + interval)` window
+/// (the regression suite `fault_sweep_boundary.rs` pins this; a
+/// double-counted edge sample would shift two window means at once).
+/// With `interval_s == 1` decimation is the identity and the result is
+/// bit-identical to [`fault_sweep`].
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidParameter`] if `interval_s` is 0 (the
+///   underlying decimation error; partial last windows are allowed).
+/// * Same conditions as [`evaluate_faulted`] otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn fault_sweep_decimated(
+    train: &[RunTrace],
+    test: &[RunTrace],
+    cluster: &Cluster,
+    spec: &FeatureSpec,
+    base: &FaultPlan,
+    rates: &[f64],
+    interval_s: usize,
+    config: &RobustConfig,
+) -> Result<Vec<FaultedOutcome>, StatsError> {
+    let decimate = |run: &RunTrace| -> Result<RunTrace, StatsError> {
+        run.decimated(interval_s)
+            .map_err(|e| StatsError::InvalidParameter {
+                context: format!("fault sweep decimation: {e}"),
+            })
+    };
+    let clean: Vec<RunTrace> = test.iter().map(decimate).collect::<Result<_, _>>()?;
+    // Same nested-pool avoidance as `fault_sweep`.
+    let inner = if config.exec.is_parallel() {
+        RobustConfig {
+            exec: ExecPolicy::Serial,
+            ..*config
+        }
+    } else {
+        *config
+    };
+    let _span = chaos_obs::span("eval.fault_sweep_decimated");
+    chaos_obs::add("eval.fault_rates", rates.len() as u64);
+    config.exec.try_par_map(rates, |&rate| {
+        let plan = base.clone().with_counter_dropout(rate);
+        let faulted: Vec<RunTrace> = test
+            .iter()
+            .map(|t| decimate(&plan.apply(t)))
+            .collect::<Result<_, _>>()?;
+        evaluate_faulted_prepared(train, &clean, &faulted, cluster, spec, rate, &inner)
+    })
+}
+
+/// Rolling Dynamic Range Error (Eq. 6) over the most recent `capacity`
+/// (predicted, measured) pairs — the drift statistic the streaming
+/// engine monitors against a held-out baseline DRE.
+///
+/// The window is a ring buffer of squared errors; [`dre`](RollingDre::dre)
+/// recomputes the mean from the buffer on every call rather than keeping
+/// a running sum, so the value is a pure function of the retained pairs
+/// — no accumulated floating-point drift, and bit-identical wherever the
+/// same pairs are replayed.
+///
+/// # Example
+///
+/// ```
+/// use chaos_core::eval::RollingDre;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// let mut r = RollingDre::new(3, 200.0, 100.0)?;
+/// for _ in 0..3 {
+///     r.push(150.0, 160.0); // 10 W off on a 100 W range
+/// }
+/// assert!((r.dre().unwrap() - 0.1).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingDre {
+    capacity: usize,
+    range_w: f64,
+    squared_errors: std::collections::VecDeque<f64>,
+}
+
+impl RollingDre {
+    /// A rolling-DRE window of `capacity` pairs for a machine whose
+    /// dynamic power range is `power_max_w − power_idle_w` (Eq. 6's
+    /// denominator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `capacity` is 0 or the
+    /// power range is not finite and positive.
+    pub fn new(capacity: usize, power_max_w: f64, power_idle_w: f64) -> Result<Self, StatsError> {
+        if capacity == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "rolling dre: capacity must be at least 1".to_string(),
+            });
+        }
+        let range_w = power_max_w - power_idle_w;
+        if !range_w.is_finite() || range_w <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "rolling dre: power range {power_max_w} − {power_idle_w} must be finite and positive"
+                ),
+            });
+        }
+        Ok(RollingDre {
+            capacity,
+            range_w,
+            squared_errors: std::collections::VecDeque::with_capacity(capacity),
+        })
+    }
+
+    /// Observes one (predicted, measured) pair, evicting the oldest once
+    /// the window is full. Non-finite pairs are skipped (a faulted meter
+    /// second carries no drift information) — the return value says
+    /// whether the pair was admitted.
+    pub fn push(&mut self, predicted: f64, measured: f64) -> bool {
+        if !predicted.is_finite() || !measured.is_finite() {
+            return false;
+        }
+        if self.squared_errors.len() == self.capacity {
+            self.squared_errors.pop_front();
+        }
+        let err = predicted - measured;
+        self.squared_errors.push_back(err * err);
+        true
+    }
+
+    /// Number of pairs currently in the window.
+    pub fn len(&self) -> usize {
+        self.squared_errors.len()
+    }
+
+    /// Whether the window holds no pairs yet.
+    pub fn is_empty(&self) -> bool {
+        self.squared_errors.is_empty()
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the window has filled to capacity — the point at which
+    /// the drift detector starts trusting the statistic.
+    pub fn is_warm(&self) -> bool {
+        self.squared_errors.len() == self.capacity
+    }
+
+    /// The DRE over the retained pairs: `rMSE / (P_max − P_idle)`, or
+    /// `None` while the window is empty.
+    pub fn dre(&self) -> Option<f64> {
+        if self.squared_errors.is_empty() {
+            return None;
+        }
+        let mean: f64 = self.squared_errors.iter().sum::<f64>() / self.squared_errors.len() as f64;
+        Some(mean.sqrt() / self.range_w)
+    }
 }
 
 #[cfg(test)]
@@ -543,6 +745,99 @@ mod tests {
         // Coverage is non-increasing in fault rate (allowing small
         // sampling wiggle).
         assert!(out[1].coverage <= out[0].coverage + 0.01);
+    }
+
+    #[test]
+    fn decimated_sweep_at_interval_one_matches_plain_sweep() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let plain = fault_sweep(
+            &traces[..2],
+            &traces[2..],
+            &cluster,
+            &spec,
+            &FaultPlan::new(3),
+            &[0.0, 0.1],
+            &RobustConfig::fast(),
+        )
+        .unwrap();
+        let decimated = fault_sweep_decimated(
+            &traces[..2],
+            &traces[2..],
+            &cluster,
+            &spec,
+            &FaultPlan::new(3),
+            &[0.0, 0.1],
+            1,
+            &RobustConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(plain, decimated);
+    }
+
+    #[test]
+    fn decimated_sweep_stays_finite_at_coarser_intervals() {
+        let (traces, cluster, catalog) = setup();
+        let spec = FeatureSpec::general(&catalog);
+        let out = fault_sweep_decimated(
+            &traces[..2],
+            &traces[2..],
+            &cluster,
+            &spec,
+            &FaultPlan::new(3),
+            &[0.0, 0.15],
+            5,
+            &RobustConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        for o in &out {
+            assert!(o.robust_dre.is_finite(), "dre {:?}", o.robust_dre);
+            assert!(o.coverage > 0.0);
+        }
+        assert!(
+            fault_sweep_decimated(
+                &traces[..2],
+                &traces[2..],
+                &cluster,
+                &spec,
+                &FaultPlan::new(3),
+                &[0.0],
+                0,
+                &RobustConfig::fast(),
+            )
+            .is_err(),
+            "interval 0 must be rejected"
+        );
+    }
+
+    #[test]
+    fn rolling_dre_slides_and_recovers() {
+        let mut r = RollingDre::new(4, 150.0, 50.0).unwrap();
+        assert!(r.dre().is_none());
+        assert!(r.is_empty());
+        for _ in 0..4 {
+            assert!(r.push(100.0, 120.0)); // 20 W error on a 100 W range
+        }
+        assert!(r.is_warm());
+        assert!((r.dre().unwrap() - 0.2).abs() < 1e-12);
+        // Perfect predictions push the bad pairs out of the window.
+        for _ in 0..4 {
+            assert!(r.push(100.0, 100.0));
+        }
+        assert_eq!(r.len(), r.capacity());
+        assert_eq!(r.dre().unwrap(), 0.0);
+        // Non-finite pairs are skipped, not admitted.
+        assert!(!r.push(f64::NAN, 100.0));
+        assert!(!r.push(100.0, f64::INFINITY));
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn rolling_dre_rejects_bad_parameters() {
+        assert!(RollingDre::new(0, 150.0, 50.0).is_err());
+        assert!(RollingDre::new(4, 50.0, 50.0).is_err());
+        assert!(RollingDre::new(4, f64::NAN, 50.0).is_err());
     }
 
     #[test]

@@ -108,6 +108,30 @@ pub struct SampleEstimate {
     pub imputed: usize,
 }
 
+/// A model-input row assembled from one second of one machine stream —
+/// the intermediate product between
+/// [`RobustEstimator::assemble_row`] and
+/// [`RobustEstimator::estimate_from_row`]. Streaming consumers inspect
+/// it to decide whether a window-adapted model may answer before the
+/// fallback chain does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssembledRow {
+    /// Feature values in spec order (current columns, then lagged).
+    /// Entries whose `available` flag is `false` are meaningless zeros.
+    pub row: Vec<f64>,
+    /// Which columns hold trustworthy (possibly imputed) values.
+    pub available: Vec<bool>,
+    /// How many columns the imputation policy bridged this second.
+    pub imputed: usize,
+}
+
+impl AssembledRow {
+    /// Whether every model input is available this second.
+    pub fn complete(&self) -> bool {
+        self.available.iter().all(|&a| a)
+    }
+}
+
 /// Configuration for a [`RobustEstimator`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RobustConfig {
@@ -313,15 +337,49 @@ impl RobustEstimator {
         ImputerState::new(self.spec.width(), self.config.impute)
     }
 
+    /// The estimator's configuration.
+    pub fn config(&self) -> &RobustConfig {
+        &self.config
+    }
+
+    /// The trained tier-1 (full) model.
+    pub fn full_model(&self) -> &FittedModel {
+        &self.full
+    }
+
     /// Estimates one second of one machine stream, walking the fallback
     /// chain. Feed seconds in order with the same `imp` state per
     /// stream. Never panics, never returns NaN.
+    ///
+    /// Equivalent to [`assemble_row`](RobustEstimator::assemble_row)
+    /// followed by
+    /// [`estimate_from_row`](RobustEstimator::estimate_from_row); the
+    /// split exists so streaming consumers (`chaos-stream`) can route the
+    /// assembled row through window-adapted models while keeping the
+    /// imputer-state evolution — and therefore the fallback behavior —
+    /// bit-identical to this offline path.
     pub fn estimate_second(
         &self,
         m: &MachineRunTrace,
         t: usize,
         imp: &mut ImputerState,
     ) -> SampleEstimate {
+        let row = self.assemble_row(m, t, imp);
+        self.estimate_from_row(&row)
+    }
+
+    /// Assembles the model-input row for second `t` of one machine
+    /// stream, applying the imputation policy. This is the first half of
+    /// [`estimate_second`](RobustEstimator::estimate_second): it advances
+    /// `imp` exactly as the offline path does, so a streaming consumer
+    /// that calls it once per second stays state-identical to offline
+    /// estimation.
+    pub fn assemble_row(
+        &self,
+        m: &MachineRunTrace,
+        t: usize,
+        imp: &mut ImputerState,
+    ) -> AssembledRow {
         let width = self.spec.width();
         let mut row = vec![0.0_f64; width];
         let mut available = vec![false; width];
@@ -360,9 +418,28 @@ impl RobustEstimator {
             }
         }
 
+        AssembledRow {
+            row,
+            available,
+            imputed,
+        }
+    }
+
+    /// Walks the fallback chain over an assembled row — the second half
+    /// of [`estimate_second`](RobustEstimator::estimate_second). Never
+    /// panics, never returns NaN.
+    pub fn estimate_from_row(&self, assembled: &AssembledRow) -> SampleEstimate {
+        let AssembledRow {
+            row,
+            available,
+            imputed,
+        } = assembled;
+        let (row, imputed) = (row.as_slice(), *imputed);
+        let width = self.spec.width();
+
         // Tier 1: full model on a complete row.
         if available.iter().all(|&a| a) {
-            if let Ok(p) = self.full.predict_row(&row) {
+            if let Ok(p) = self.full.predict_row(row) {
                 if p.is_finite() {
                     return SampleEstimate {
                         power_w: p,
@@ -726,6 +803,23 @@ mod tests {
         assert_eq!(serial.power_w, parallel.power_w);
         assert_eq!(serial.worst_tier, parallel.worst_tier);
         assert_eq!(serial.tier_counts, parallel.tier_counts);
+    }
+
+    #[test]
+    fn split_api_matches_estimate_second() {
+        let (train, test, cluster, catalog) = setup();
+        let est = estimator(&train, &cluster, &catalog);
+        let faulted = FaultPlan::new(21).with_counter_dropout(0.1).apply(&test);
+        let m = &faulted.machines[0];
+        let mut direct_imp = est.new_imputer();
+        let mut split_imp = est.new_imputer();
+        for t in 0..m.seconds() {
+            let direct = est.estimate_second(m, t, &mut direct_imp);
+            let assembled = est.assemble_row(m, t, &mut split_imp);
+            assert_eq!(assembled.complete(), assembled.available.iter().all(|&a| a));
+            let split = est.estimate_from_row(&assembled);
+            assert_eq!(direct, split, "split API diverged at t={t}");
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Regression suite for the decimated fault sweep's window-boundary
+//! semantics.
+//!
+//! The bug class this pins: when a `ValidityMask` dropout lands
+//! *exactly on* a decimation window edge (t = k·interval), a sloppy
+//! windowing implementation — inclusive `[start, start+interval]`
+//! ranges, or overlap between consecutive windows — attributes the edge
+//! sample to two windows, shifting two window means at once (or, once
+//! invalidated, silently changing a window it should never have touched).
+//! `RunTrace::decimated` uses disjoint `[start, min(start+interval, n))`
+//! windows, so every source sample belongs to exactly one decimated
+//! sample; these tests fail loudly if that ever regresses, and pin the
+//! `fault_sweep_decimated` evaluation path built on top of it.
+
+use chaos_core::eval::{fault_sweep, fault_sweep_decimated};
+use chaos_core::robust::RobustConfig;
+use chaos_core::FeatureSpec;
+use chaos_counters::{collect_run, CounterCatalog, FaultPlan, ValidityMask};
+use chaos_sim::{Cluster, Platform};
+use chaos_workloads::{SimConfig, Workload};
+
+const INTERVAL: usize = 5;
+
+/// A boundary dropout must change only the window it falls in.
+///
+/// Counter 0 is overwritten with its own timestamp so window means are
+/// exact small integers, then the sample at `t = INTERVAL` — the first
+/// second of window 1, i.e. exactly on the decimation edge — is
+/// invalidated the way a fault-plan dropout does it (NaN + mask).
+#[test]
+fn dropout_on_window_edge_is_counted_once() {
+    let cluster = Cluster::homogeneous(Platform::Atom, 1, 3);
+    let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+    let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 61).unwrap();
+    let mut faulted = run.clone();
+    {
+        let m = &mut faulted.machines[0];
+        let (secs, width) = (m.seconds(), m.width());
+        assert!(secs >= 2 * INTERVAL, "need two full windows, got {secs}");
+        for t in 0..secs {
+            m.counters[t][0] = t as f64;
+        }
+        let mut mask = ValidityMask::all_valid(secs, width);
+        // The dropout: exactly on the edge between window 0 and window 1.
+        m.counters[INTERVAL][0] = f64::NAN;
+        mask.counters[INTERVAL][0] = false;
+        m.validity = mask;
+    }
+
+    let dec = faulted.decimated(INTERVAL).unwrap();
+    let m = &dec.machines[0];
+
+    // Window 0 covers t = 0..4 and must be untouched by the edge
+    // dropout: mean(0,1,2,3,4) = 2 exactly.
+    assert_eq!(m.counters[0][0], 2.0, "window 0 shifted by an edge fault");
+    assert!(m.counter_ok(0, 0));
+
+    // Window 1 covers t = 5..9 with t = 5 invalid: mean(6,7,8,9) = 7.5.
+    assert_eq!(m.counters[1][0], 7.5, "window 1 mean wrong");
+    assert!(m.counter_ok(1, 0), "3 of 5 samples valid, window stays ok");
+
+    // Conservation: every valid source sample is attributed to exactly
+    // one window, so Σ window_mean · n_valid reconstructs the source sum.
+    let source = &faulted.machines[0];
+    let secs = source.seconds();
+    let mut reconstructed = 0.0;
+    for (w, row) in m.counters.iter().enumerate() {
+        let lo = w * INTERVAL;
+        let hi = (lo + INTERVAL).min(secs);
+        let valid = (lo..hi).filter(|&t| source.counter_ok(t, 0)).count();
+        if valid > 0 {
+            reconstructed += row[0] * valid as f64;
+        }
+    }
+    let direct: f64 = (0..secs)
+        .filter(|&t| source.counter_ok(t, 0))
+        .map(|t| source.counters[t][0])
+        .sum();
+    assert!(
+        (reconstructed - direct).abs() < 1e-9,
+        "sample attributed to zero or two windows: {reconstructed} vs {direct}"
+    );
+}
+
+/// A fully dead window (every sample invalid) must produce one NaN
+/// invalid decimated sample — not leak into a neighbor.
+#[test]
+fn fully_dropped_window_stays_contained() {
+    let cluster = Cluster::homogeneous(Platform::Atom, 1, 3);
+    let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+    let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 62).unwrap();
+    let mut faulted = run.clone();
+    {
+        let m = &mut faulted.machines[0];
+        let (secs, width) = (m.seconds(), m.width());
+        assert!(secs >= 3 * INTERVAL);
+        for t in 0..secs {
+            m.counters[t][0] = 1.0;
+        }
+        let mut mask = ValidityMask::all_valid(secs, width);
+        for t in INTERVAL..2 * INTERVAL {
+            m.counters[t][0] = f64::NAN;
+            mask.counters[t][0] = false;
+        }
+        m.validity = mask;
+    }
+    let dec = faulted.decimated(INTERVAL).unwrap();
+    let m = &dec.machines[0];
+    assert_eq!(m.counters[0][0], 1.0);
+    assert!(
+        m.counters[1][0].is_nan(),
+        "dead window must decimate to NaN"
+    );
+    assert!(!m.counter_ok(1, 0), "dead window must be masked invalid");
+    assert_eq!(m.counters[2][0], 1.0, "neighbor window contaminated");
+    assert!(m.counter_ok(2, 0));
+}
+
+fn sweep_fixture() -> (Vec<chaos_counters::RunTrace>, Cluster, CounterCatalog) {
+    let cluster = Cluster::homogeneous(Platform::Core2, 2, 8);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let traces = (0..2)
+        .map(|r| {
+            collect_run(
+                &cluster,
+                &catalog,
+                Workload::Prime,
+                &SimConfig::quick(),
+                450 + r,
+            )
+            .unwrap()
+        })
+        .collect();
+    (traces, cluster, catalog)
+}
+
+/// With `interval_s == 1` decimation is the identity, so the decimated
+/// sweep must be bit-identical to the plain sweep.
+#[test]
+fn decimated_sweep_at_interval_one_matches_fault_sweep() {
+    let (traces, cluster, catalog) = sweep_fixture();
+    let spec = FeatureSpec::general(&catalog);
+    let base = FaultPlan::new(9);
+    let rates = [0.0, 0.15];
+    let plain = fault_sweep(
+        &traces[..1],
+        &traces[1..],
+        &cluster,
+        &spec,
+        &base,
+        &rates,
+        &RobustConfig::fast(),
+    )
+    .unwrap();
+    let decimated = fault_sweep_decimated(
+        &traces[..1],
+        &traces[1..],
+        &cluster,
+        &spec,
+        &base,
+        &rates,
+        1,
+        &RobustConfig::fast(),
+    )
+    .unwrap();
+    assert_eq!(plain, decimated);
+}
+
+/// End-to-end: a coarser interval still yields finite, sane outcomes at
+/// every fault rate, and interval 0 is rejected.
+#[test]
+fn decimated_sweep_handles_coarse_intervals_and_rejects_zero() {
+    let (traces, cluster, catalog) = sweep_fixture();
+    let spec = FeatureSpec::general(&catalog);
+    let base = FaultPlan::new(9);
+    let out = fault_sweep_decimated(
+        &traces[..1],
+        &traces[1..],
+        &cluster,
+        &spec,
+        &base,
+        &[0.0, 0.2],
+        INTERVAL,
+        &RobustConfig::fast(),
+    )
+    .unwrap();
+    assert_eq!(out.len(), 2);
+    for o in &out {
+        assert!(o.robust_dre.is_finite(), "rate {}: DRE", o.fault_rate);
+        assert!(o.robust_rmse.is_finite(), "rate {}: rMSE", o.fault_rate);
+        assert!(o.coverage > 0.0, "rate {}: coverage", o.fault_rate);
+    }
+    assert!(fault_sweep_decimated(
+        &traces[..1],
+        &traces[1..],
+        &cluster,
+        &spec,
+        &base,
+        &[0.0],
+        0,
+        &RobustConfig::fast(),
+    )
+    .is_err());
+}

@@ -188,6 +188,73 @@ impl MachineRunTrace {
     pub fn alive_at(&self, t: usize) -> bool {
         self.validity.alive(t)
     }
+
+    /// The sample at second `t` as a borrowed [`CounterSample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.seconds()`.
+    pub fn sample(&self, t: usize) -> CounterSample<'_> {
+        CounterSample {
+            machine_id: self.machine_id,
+            t,
+            counters: &self.counters[t],
+            measured_power_w: self.measured_power_w[t],
+            trace: self,
+        }
+    }
+
+    /// Iterates this machine's samples in time order — the 1 Hz replay a
+    /// streaming consumer ingests.
+    pub fn samples(&self) -> impl Iterator<Item = CounterSample<'_>> + '_ {
+        (0..self.seconds()).map(move |t| self.sample(t))
+    }
+}
+
+/// One machine's observation for one second, borrowed from its trace —
+/// the unit of ingestion for streaming consumers (`chaos-stream`).
+///
+/// Validity queries go through the owning trace's [`ValidityMask`], so a
+/// sample carries the same fault visibility the batch pipeline sees.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSample<'a> {
+    /// Machine id within the cluster.
+    pub machine_id: usize,
+    /// Second this sample was recorded at.
+    pub t: usize,
+    /// Full counter row at `t` (catalog width). Invalid entries may be
+    /// NaN; check [`counter_ok`](CounterSample::counter_ok).
+    pub counters: &'a [f64],
+    /// Metered wall power at `t`, watts (NaN under meter faults).
+    pub measured_power_w: f64,
+    trace: &'a MachineRunTrace,
+}
+
+impl CounterSample<'_> {
+    /// Whether counter `c` of this sample is trustworthy.
+    pub fn counter_ok(&self, c: usize) -> bool {
+        self.trace.counter_ok(self.t, c)
+    }
+
+    /// Whether the meter reading of this sample is valid.
+    pub fn meter_ok(&self) -> bool {
+        self.trace.meter_ok(self.t)
+    }
+
+    /// Whether the machine was alive this second.
+    pub fn alive(&self) -> bool {
+        self.trace.alive_at(self.t)
+    }
+}
+
+/// All machines' samples for one second, in machine-id order — exactly
+/// the set Eq. 5's cluster sum runs over.
+#[derive(Debug, Clone)]
+pub struct ClusterSample<'a> {
+    /// Second of the cluster sample.
+    pub t: usize,
+    /// Per-machine samples, machine-id order.
+    pub machines: Vec<CounterSample<'a>>,
 }
 
 /// A full cluster recording for one workload run.
@@ -219,6 +286,18 @@ impl RunTrace {
     /// their NaN; see [`ValidityMask`] to detect them.
     pub fn cluster_measured_power(&self) -> Vec<f64> {
         self.sum_series(|m| &m.measured_power_w)
+    }
+
+    /// Streams the run one second at a time: each [`ClusterSample`] holds
+    /// every machine's observation for that second, in machine-id order.
+    /// Bounded by [`RunTrace::seconds`] (the minimum across machines), so
+    /// ragged tails are never yielded. This is the replay surface
+    /// `chaos-stream` consumes.
+    pub fn sample_stream(&self) -> impl Iterator<Item = ClusterSample<'_>> + '_ {
+        (0..self.seconds()).map(move |t| ClusterSample {
+            t,
+            machines: self.machines.iter().map(|m| m.sample(t)).collect(),
+        })
     }
 
     /// Cluster-level ground-truth power.
@@ -790,5 +869,76 @@ mod tests {
         mask.counters[2][4] = false;
         run.machines[0].validity = mask;
         run.validate().unwrap();
+    }
+
+    #[test]
+    fn sample_iterator_replays_trace_in_order() {
+        let cluster = Cluster::homogeneous(Platform::Core2, 3, 9);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Sort, &SimConfig::quick(), 5).unwrap();
+        let m = &run.machines[1];
+        // Per-machine stream: one sample per second, values borrowed
+        // straight from the trace.
+        let samples: Vec<_> = m.samples().collect();
+        assert_eq!(samples.len(), m.seconds());
+        for (t, s) in samples.iter().enumerate() {
+            assert_eq!(s.t, t);
+            assert_eq!(s.machine_id, m.machine_id);
+            assert_eq!(s.counters, m.counters[t].as_slice());
+            assert!((s.measured_power_w - m.measured_power_w[t]).abs() < 1e-12);
+        }
+        // Cluster stream: machine-id order, bounded by RunTrace::seconds.
+        let cluster_samples: Vec<_> = run.sample_stream().collect();
+        assert_eq!(cluster_samples.len(), run.seconds());
+        for (t, cs) in cluster_samples.iter().enumerate() {
+            assert_eq!(cs.t, t);
+            let ids: Vec<usize> = cs.machines.iter().map(|s| s.machine_id).collect();
+            let want: Vec<usize> = run.machines.iter().map(|m| m.machine_id).collect();
+            assert_eq!(ids, want);
+        }
+    }
+
+    #[test]
+    fn sample_iterator_surfaces_validity() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 3);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let mut run =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 7).unwrap();
+        let (secs, width) = (run.machines[0].seconds(), run.machines[0].width());
+        let mut mask = ValidityMask::all_valid(secs, width);
+        mask.counters[4][1] = false;
+        mask.meter[6] = false;
+        mask.alive[8] = false;
+        run.machines[0].validity = mask;
+        let m = &run.machines[0];
+        let s4 = m.sample(4);
+        assert!(!s4.counter_ok(1));
+        assert!(s4.counter_ok(0));
+        assert!(s4.meter_ok() && s4.alive());
+        let s6 = m.sample(6);
+        assert!(!s6.meter_ok());
+        assert!(s6.alive());
+        let s8 = m.sample(8);
+        assert!(!s8.alive());
+        // The untouched machine reports everything valid through the
+        // cluster stream too.
+        for cs in run.sample_stream() {
+            let other = &cs.machines[1];
+            assert!(other.meter_ok() && other.alive());
+        }
+    }
+
+    #[test]
+    fn sample_iterator_respects_ragged_minimum() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 3);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let mut run =
+            collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 7).unwrap();
+        run.machines[1].counters.pop();
+        run.machines[1].measured_power_w.pop();
+        run.machines[1].true_power_w.pop();
+        // The cluster stream never yields a second the short machine
+        // lacks, matching RunTrace::seconds().
+        assert_eq!(run.sample_stream().count(), run.machines[1].seconds());
     }
 }

@@ -49,7 +49,8 @@ pub mod synth;
 
 pub use catalog::{CounterCatalog, CounterCategory, CounterDef, CounterKind, SignalSource};
 pub use collect::{
-    collect_run, collect_run_mixed, CollectError, MachineRunTrace, RunTrace, ValidityMask,
+    collect_run, collect_run_mixed, ClusterSample, CollectError, CounterSample, MachineRunTrace,
+    RunTrace, ValidityMask,
 };
 pub use faults::{DropoutMode, FaultPlan};
 pub use synth::CounterSynth;

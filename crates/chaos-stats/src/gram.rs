@@ -16,6 +16,12 @@
 //! arithmetic; they differ only in floating-point rounding). The
 //! stepwise driver [`crate::stepwise::backward_eliminate_cached`] is the
 //! intended consumer.
+//!
+//! For the *streaming* path, [`CholeskyFactor`] exposes the same
+//! factorization as a maintained object supporting rank-1 update and
+//! downdate in `O(k²)`, so a sliding-window fit
+//! ([`WindowedOls`](crate::ols::WindowedOls)) never refactorizes from
+//! scratch while the window slides.
 
 use crate::matrix::Matrix;
 use crate::ols::OlsFit;
@@ -277,6 +283,207 @@ fn cholesky(a: &[f64], k: usize) -> Result<Vec<f64>, StatsError> {
     Ok(l)
 }
 
+/// A maintained Cholesky factorization `A = L·L'` of a symmetric
+/// positive-definite matrix, supporting rank-1 **updates** (`A + v·v'`)
+/// and **downdates** (`A − v·v'`) in `O(k²)` instead of the `O(k³)` of a
+/// fresh factorization.
+///
+/// This is what makes a sliding-window least-squares refit cheap: when a
+/// sample enters the window its augmented row `v = [1 | x]` is *updated*
+/// into the factor of the Gram matrix, and when the oldest sample leaves
+/// it is *downdated* out — the normal equations then solve from the
+/// maintained factor in `O(k²)` per sample rather than `O(n·k²)`
+/// refactorization. The recurrences are the classic LINPACK
+/// `dchud`/`dchdd` Givens sweeps; the property suite
+/// (`tests/cholesky_rank1.rs`) pins both against full refactorization at
+/// `1e-9` relative tolerance.
+///
+/// Downdates can destroy positive definiteness (removing a row the
+/// factor no longer "contains" numerically). A failed downdate returns
+/// [`StatsError::Singular`] and leaves the factor **unchanged**, so
+/// callers can fall back to refactorizing from accumulated products.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::gram::CholeskyFactor;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// // A = [[4, 2], [2, 3]] is symmetric positive definite.
+/// let mut f = CholeskyFactor::from_matrix(&[4.0, 2.0, 2.0, 3.0], 2)?;
+/// let x0 = f.solve(&[1.0, 1.0])?;
+/// let v = [0.5, -1.0];
+/// f.update(&v)?; // factor of A + v·v'
+/// f.downdate(&v)?; // back to a factor of A
+/// let x1 = f.solve(&[1.0, 1.0])?;
+/// assert!((x0[0] - x1[0]).abs() < 1e-12);
+/// assert!((x0[1] - x1[1]).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// Lower-triangular factor, row-major `k×k` (upper entries zero).
+    l: Vec<f64>,
+    k: usize,
+}
+
+impl CholeskyFactor {
+    /// Factorizes a symmetric positive-definite `k×k` matrix given in
+    /// row-major storage.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `a.len() != k·k`.
+    /// * [`StatsError::InvalidParameter`] if `k == 0`.
+    /// * [`StatsError::Singular`] if a pivot falls below the relative
+    ///   tolerance (rank-deficient or indefinite input).
+    pub fn from_matrix(a: &[f64], k: usize) -> Result<Self, StatsError> {
+        if k == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "cholesky: order must be at least 1".to_string(),
+            });
+        }
+        if a.len() != k * k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("cholesky: {} entries for order {k}", a.len()),
+            });
+        }
+        Ok(CholeskyFactor {
+            l: cholesky(a, k)?,
+            k,
+        })
+    }
+
+    /// Order `k` of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// The lower-triangular factor `L`, row-major (diagnostics and
+    /// property tests; upper entries are zero).
+    pub fn lower(&self) -> &[f64] {
+        &self.l
+    }
+
+    /// Reconstructs `L·L'` (row-major). Diagnostic helper for tests; the
+    /// result approximates the currently factored matrix.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let k = self.k;
+        let mut a = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                let mut s = 0.0;
+                for t in 0..=i.min(j) {
+                    s += self.l[i * k + t] * self.l[j * k + t];
+                }
+                a[i * k + j] = s;
+            }
+        }
+        a
+    }
+
+    /// Solves `L·L'·x = b` from the maintained factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `b.len() != k`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if b.len() != self.k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "cholesky solve: rhs has {} entries, factor has order {}",
+                    b.len(),
+                    self.k
+                ),
+            });
+        }
+        Ok(chol_solve(&self.l, self.k, b))
+    }
+
+    /// Rank-1 update: replaces the factor of `A` with the factor of
+    /// `A + v·v'` via one Givens sweep (`dchud`).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `v.len() != k`.
+    /// * [`StatsError::NonFinite`] if `v` contains a non-finite entry
+    ///   (the factor is left unchanged).
+    pub fn update(&mut self, v: &[f64]) -> Result<(), StatsError> {
+        self.check_vector(v, "update")?;
+        let k = self.k;
+        let mut w = v.to_vec();
+        for j in 0..k {
+            let ljj = self.l[j * k + j];
+            let r = ljj.hypot(w[j]);
+            let c = r / ljj;
+            let s = w[j] / ljj;
+            self.l[j * k + j] = r;
+            for i in (j + 1)..k {
+                let lij = (self.l[i * k + j] + s * w[i]) / c;
+                w[i] = c * w[i] - s * lij;
+                self.l[i * k + j] = lij;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-1 downdate: replaces the factor of `A` with the factor of
+    /// `A − v·v'` via one hyperbolic sweep (`dchdd`).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `v.len() != k`.
+    /// * [`StatsError::NonFinite`] if `v` contains a non-finite entry.
+    /// * [`StatsError::Singular`] if `A − v·v'` is not safely positive
+    ///   definite (a pivot falls below the relative tolerance).
+    ///
+    /// On any error the factor is left exactly as it was.
+    pub fn downdate(&mut self, v: &[f64]) -> Result<(), StatsError> {
+        self.check_vector(v, "downdate")?;
+        let k = self.k;
+        // Work on a copy so a failed downdate leaves `self` untouched.
+        let mut l = self.l.clone();
+        let mut w = v.to_vec();
+        for j in 0..k {
+            let ljj = l[j * k + j];
+            let d = ljj * ljj - w[j] * w[j];
+            if !d.is_finite() || d <= CHOLESKY_REL_TOL * ljj * ljj {
+                return Err(StatsError::Singular);
+            }
+            let r = d.sqrt();
+            let c = r / ljj;
+            let s = w[j] / ljj;
+            l[j * k + j] = r;
+            for i in (j + 1)..k {
+                let lij = (l[i * k + j] - s * w[i]) / c;
+                w[i] = c * w[i] - s * lij;
+                l[i * k + j] = lij;
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    fn check_vector(&self, v: &[f64], op: &str) -> Result<(), StatsError> {
+        if v.len() != self.k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "cholesky {op}: vector has {} entries, factor has order {}",
+                    v.len(),
+                    self.k
+                ),
+            });
+        }
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite {
+                context: format!("cholesky {op}: non-finite entry in rank-1 vector"),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Solves `L·L'·x = b` by forward and back substitution.
 fn chol_solve(l: &[f64], k: usize, b: &[f64]) -> Vec<f64> {
     let mut w = vec![0.0; k];
@@ -394,5 +601,97 @@ mod tests {
     fn mismatched_y_rejected() {
         let (x, _) = synthetic(10, 2);
         assert!(GramCache::new(&x, &[1.0, 2.0]).is_err());
+    }
+
+    /// A deterministic SPD matrix: `L₀·L₀' ` for a lower factor with a
+    /// safely positive diagonal.
+    fn spd(k: usize, seed: usize) -> Vec<f64> {
+        let det = |i: usize| ((i as f64 * 12.9898).sin() * 43758.5453).fract();
+        let mut l0 = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..=i {
+                l0[i * k + j] = if i == j {
+                    1.0 + det(seed + i * 7 + 1).abs()
+                } else {
+                    det(seed + i * k + j + 3) - 0.5
+                };
+            }
+        }
+        let mut a = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                for t in 0..=i.min(j) {
+                    a[i * k + j] += l0[i * k + t] * l0[j * k + t];
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn rank1_update_matches_refactorization() {
+        for k in 1..6 {
+            let a = spd(k, 11 * k);
+            let v: Vec<f64> = (0..k).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut f = CholeskyFactor::from_matrix(&a, k).unwrap();
+            f.update(&v).unwrap();
+            let mut updated = a.clone();
+            for i in 0..k {
+                for j in 0..k {
+                    updated[i * k + j] += v[i] * v[j];
+                }
+            }
+            let g = CholeskyFactor::from_matrix(&updated, k).unwrap();
+            for (a, b) in f.lower().iter().zip(g.lower()) {
+                assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_downdate_inverts_update() {
+        for k in 1..6 {
+            let a = spd(k, 5 * k + 2);
+            let v: Vec<f64> = (0..k).map(|i| (i as f64 * 0.71).cos()).collect();
+            let mut f = CholeskyFactor::from_matrix(&a, k).unwrap();
+            f.update(&v).unwrap();
+            f.downdate(&v).unwrap();
+            let g = CholeskyFactor::from_matrix(&a, k).unwrap();
+            for (a, b) in f.lower().iter().zip(g.lower()) {
+                assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_downdate_leaves_factor_unchanged() {
+        let a = spd(3, 17);
+        let mut f = CholeskyFactor::from_matrix(&a, 3).unwrap();
+        let before = f.lower().to_vec();
+        // Removing far more mass than the matrix holds must fail.
+        let err = f.downdate(&[100.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, StatsError::Singular));
+        assert_eq!(f.lower(), before.as_slice());
+        // The factor still solves after the refused downdate.
+        assert!(f.solve(&[1.0, 2.0, 3.0]).is_ok());
+    }
+
+    #[test]
+    fn cholesky_factor_rejects_bad_inputs() {
+        assert!(CholeskyFactor::from_matrix(&[1.0, 0.0], 2).is_err());
+        assert!(CholeskyFactor::from_matrix(&[], 0).is_err());
+        let mut f = CholeskyFactor::from_matrix(&[4.0], 1).unwrap();
+        assert!(matches!(
+            f.update(&[1.0, 2.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            f.update(&[f64::NAN]),
+            Err(StatsError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            f.solve(&[1.0, 2.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
     }
 }

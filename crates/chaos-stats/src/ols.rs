@@ -3,8 +3,15 @@
 //! This is the workhorse of both the baseline linear power model (Eq. 1)
 //! and the stepwise elimination in Algorithm 1: each elimination round
 //! refits OLS and inspects the Wald z-statistics of the coefficients.
+//!
+//! [`WindowedOls`] is the streaming counterpart: it maintains the
+//! normal equations of a sliding window incrementally, paying `O(k²)`
+//! per sample via rank-1 Cholesky update/downdate
+//! ([`CholeskyFactor`](crate::gram::CholeskyFactor)) instead of
+//! refactorizing the window from scratch.
 
 use crate::dist;
+use crate::gram::CholeskyFactor;
 use crate::matrix::{Matrix, QrFactorization};
 use crate::StatsError;
 use serde::{Deserialize, Serialize};
@@ -188,6 +195,244 @@ impl OlsFit {
     }
 }
 
+/// Incremental least squares over a sliding window of observations.
+///
+/// Maintains the augmented normal equations (`[1 | X]'[1 | X]`,
+/// `[1 | X]'y`, `y'y`) of whatever rows are currently "in", together
+/// with a rank-1-maintained [`CholeskyFactor`], so that after each
+/// [`push`](WindowedOls::push)/[`pop`](WindowedOls::pop) pair a fresh
+/// [`fit`](WindowedOls::fit) costs `O(k²)` in the feature count `k` —
+/// independent of the window length. This is the numeric core of the
+/// streaming engine's coefficient-refresh refit tier.
+///
+/// The caller is responsible for popping exactly the rows it pushed
+/// (the ring-buffer window in `chaos-stream` does this); the solver
+/// itself only sees the algebra. When a downdate loses positive
+/// definiteness — numerically possible even for well-posed windows —
+/// the maintained factor is dropped and the next `fit` refactorizes
+/// from the accumulated products in `O(k³)`;
+/// [`refactorizations`](WindowedOls::refactorizations) counts these
+/// fallbacks.
+///
+/// Coefficient layout matches [`OlsFit::fit`] on an
+/// intercept-augmented design: coefficient 0 is the intercept,
+/// coefficient `j + 1` belongs to feature column `j`.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::ols::WindowedOls;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// let mut w = WindowedOls::new(1);
+/// // y = 1 + 2x with a stray early outlier that then slides out.
+/// w.push(&[10.0], 100.0)?;
+/// for i in 0..6 {
+///     w.push(&[i as f64], 1.0 + 2.0 * i as f64)?;
+/// }
+/// w.pop(&[10.0], 100.0)?; // outlier leaves the window
+/// let fit = w.fit()?;
+/// assert!((fit.coefficients()[0] - 1.0).abs() < 1e-8);
+/// assert!((fit.coefficients()[1] - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedOls {
+    /// Feature columns (the intercept is implicit).
+    p: usize,
+    /// Augmented Gram matrix over `[1 | X]`, row-major `(p+1)²`.
+    gram: Vec<f64>,
+    /// `[1 | X]'y`.
+    xty: Vec<f64>,
+    /// `y'y`.
+    yty: f64,
+    /// Rows currently in the window.
+    n: usize,
+    /// Maintained factor of `gram`; `None` after a failed downdate until
+    /// the next fit rebuilds it.
+    chol: Option<CholeskyFactor>,
+    refactorizations: usize,
+}
+
+impl WindowedOls {
+    /// An empty window solver for `p` feature columns.
+    pub fn new(p: usize) -> Self {
+        let d = p + 1;
+        WindowedOls {
+            p,
+            gram: vec![0.0; d * d],
+            xty: vec![0.0; d],
+            yty: 0.0,
+            n: 0,
+            chol: None,
+            refactorizations: 0,
+        }
+    }
+
+    /// Number of rows currently in the window.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of feature columns (excluding the implicit intercept).
+    pub fn n_features(&self) -> usize {
+        self.p
+    }
+
+    /// How many times a failed downdate (or a first fit) forced a full
+    /// `O(k³)` refactorization instead of the `O(k²)` incremental path.
+    pub fn refactorizations(&self) -> usize {
+        self.refactorizations
+    }
+
+    /// Adds one observation to the window.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::DimensionMismatch`] if `row.len() != p`.
+    /// * [`StatsError::NonFinite`] if `row` or `y` is non-finite (the
+    ///   accumulated state is left unchanged).
+    pub fn push(&mut self, row: &[f64], y: f64) -> Result<(), StatsError> {
+        let v = self.augmented(row, y, "push")?;
+        self.accumulate(&v, y, 1.0);
+        self.n += 1;
+        if let Some(chol) = self.chol.as_mut() {
+            chol.update(&v)?;
+        }
+        Ok(())
+    }
+
+    /// Removes one observation from the window. The row must be one that
+    /// was previously pushed and not yet popped, or the accumulated
+    /// normal equations stop describing any real window.
+    ///
+    /// A downdate that loses positive definiteness is not an error here:
+    /// the maintained factor is dropped and rebuilt on the next
+    /// [`fit`](WindowedOls::fit).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] if the window is empty.
+    /// * [`StatsError::DimensionMismatch`] if `row.len() != p`.
+    /// * [`StatsError::NonFinite`] if `row` or `y` is non-finite.
+    pub fn pop(&mut self, row: &[f64], y: f64) -> Result<(), StatsError> {
+        if self.n == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "windowed ols: pop from an empty window".to_string(),
+            });
+        }
+        let v = self.augmented(row, y, "pop")?;
+        self.accumulate(&v, y, -1.0);
+        self.n -= 1;
+        if let Some(chol) = self.chol.as_mut() {
+            if chol.downdate(&v).is_err() {
+                self.chol = None;
+                chaos_obs::add("windowed_ols.downdate_fallbacks", 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the window's normal equations, reusing the maintained
+    /// Cholesky factor when it is live.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InsufficientData`] if the window holds `≤ p + 1`
+    ///   rows.
+    /// * [`StatsError::Singular`] if the window's Gram matrix is not
+    ///   positive definite (collinear window contents).
+    pub fn fit(&mut self) -> Result<OlsFit, StatsError> {
+        let k = self.p + 1;
+        if self.n <= k {
+            return Err(StatsError::InsufficientData {
+                observations: self.n,
+                required: k + 1,
+            });
+        }
+        if self.chol.is_none() {
+            self.chol = Some(CholeskyFactor::from_matrix(&self.gram, k)?);
+            self.refactorizations += 1;
+            chaos_obs::add("windowed_ols.refactorizations", 1);
+        }
+        let chol = self.chol.as_ref().expect("factor ensured above");
+        let beta = chol.solve(&self.xty)?;
+
+        // RSS from the accumulated products: y'y − 2β'X'y + β'(X'X)β.
+        let mut quad = 0.0;
+        for i in 0..k {
+            let mut acc = 0.0;
+            for j in 0..k {
+                acc += self.gram[i * k + j] * beta[j];
+            }
+            quad += beta[i] * acc;
+        }
+        let dot_by: f64 = beta.iter().zip(&self.xty).map(|(b, v)| b * v).sum();
+        let rss = (self.yty - 2.0 * dot_by + quad).max(0.0);
+        let residual_variance = rss / (self.n - k) as f64;
+
+        let mut std_errors = vec![0.0; k];
+        for (j, se) in std_errors.iter_mut().enumerate() {
+            let mut e = vec![0.0; k];
+            e[j] = 1.0;
+            let z = chol.solve(&e)?;
+            *se = (residual_variance * z[j]).max(0.0).sqrt();
+        }
+
+        let mean_y = self.xty[0] / self.n as f64;
+        let tss = (self.yty - self.n as f64 * mean_y * mean_y).max(0.0);
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+        Ok(OlsFit::from_parts(
+            beta,
+            std_errors,
+            residual_variance,
+            self.n,
+            r_squared,
+        ))
+    }
+
+    /// Validates one observation and returns its augmented row `[1 | x]`.
+    fn augmented(&self, row: &[f64], y: f64, op: &str) -> Result<Vec<f64>, StatsError> {
+        if row.len() != self.p {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "windowed ols {op}: row has {} entries, expected {}",
+                    row.len(),
+                    self.p
+                ),
+            });
+        }
+        if !y.is_finite() || row.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite {
+                context: format!("windowed ols {op}: non-finite observation"),
+            });
+        }
+        let mut v = Vec::with_capacity(self.p + 1);
+        v.push(1.0);
+        v.extend_from_slice(row);
+        Ok(v)
+    }
+
+    /// Adds (`sign = 1`) or subtracts (`sign = −1`) one augmented row's
+    /// cross products.
+    fn accumulate(&mut self, v: &[f64], y: f64, sign: f64) {
+        let k = self.p + 1;
+        for (i, &vi) in v.iter().enumerate() {
+            self.xty[i] += sign * vi * y;
+            for (j, &vj) in v.iter().enumerate() {
+                self.gram[i * k + j] += sign * vi * vj;
+            }
+        }
+        self.yty += sign * y * y;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +526,102 @@ mod tests {
         let f1 = OlsFit::fit(&x1, &y1).unwrap();
         let f2 = OlsFit::fit(&x2, &y2).unwrap();
         assert!(f2.std_errors()[1] < f1.std_errors()[1]);
+    }
+
+    /// Deterministic pseudo-random rows for the windowed solver.
+    fn stream_rows(n: usize, p: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let det = |i: usize| ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..p).map(|j| det(i * p + j + 1) * 4.0).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 + r.iter().sum::<f64>() + 0.1 * det(i * 13 + 7))
+            .collect();
+        (rows, y)
+    }
+
+    /// Batch QR fit of `rows[lo..hi]` with an explicit intercept.
+    fn batch_fit(rows: &[Vec<f64>], y: &[f64], lo: usize, hi: usize) -> OlsFit {
+        let x = Matrix::from_rows(&rows[lo..hi]).unwrap().with_intercept();
+        OlsFit::fit(&x, &y[lo..hi]).unwrap()
+    }
+
+    #[test]
+    fn windowed_matches_batch_after_slides() {
+        let p = 3;
+        let (rows, y) = stream_rows(40, p);
+        let mut w = WindowedOls::new(p);
+        for i in 0..20 {
+            w.push(&rows[i], y[i]).unwrap();
+        }
+        // Slide the window forward ten times: [10, 30).
+        for i in 20..30 {
+            w.push(&rows[i], y[i]).unwrap();
+            w.pop(&rows[i - 20], y[i - 20]).unwrap();
+        }
+        assert_eq!(w.len(), 20);
+        let windowed = w.fit().unwrap();
+        let batch = batch_fit(&rows, &y, 10, 30);
+        for (a, b) in windowed.coefficients().iter().zip(batch.coefficients()) {
+            assert!((a - b).abs() < 1e-8, "coef {a} vs {b}");
+        }
+        for (a, b) in windowed.std_errors().iter().zip(batch.std_errors()) {
+            assert!((a - b).abs() < 1e-6, "se {a} vs {b}");
+        }
+        assert!((windowed.r_squared() - batch.r_squared()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn windowed_survives_downdate_fallback() {
+        let p = 2;
+        let (rows, y) = stream_rows(30, p);
+        let mut w = WindowedOls::new(p);
+        // Shrink to the bare minimum and grow again — the downdates near
+        // the minimum stress the factor; a dropped factor must rebuild.
+        for i in 0..10 {
+            w.push(&rows[i], y[i]).unwrap();
+        }
+        let _ = w.fit().unwrap(); // builds the factor
+        for i in 0..6 {
+            w.pop(&rows[i], y[i]).unwrap();
+        }
+        for i in 10..20 {
+            w.push(&rows[i], y[i]).unwrap();
+        }
+        let windowed = w.fit().unwrap();
+        let expected_rows: Vec<Vec<f64>> =
+            rows[6..10].iter().chain(&rows[10..20]).cloned().collect();
+        let expected_y: Vec<f64> = y[6..10].iter().chain(&y[10..20]).copied().collect();
+        let x = Matrix::from_rows(&expected_rows).unwrap().with_intercept();
+        let batch = OlsFit::fit(&x, &expected_y).unwrap();
+        for (a, b) in windowed.coefficients().iter().zip(batch.coefficients()) {
+            assert!((a - b).abs() < 1e-7, "coef {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn windowed_rejects_bad_observations() {
+        let mut w = WindowedOls::new(2);
+        assert!(matches!(
+            w.push(&[1.0], 2.0),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            w.push(&[1.0, f64::NAN], 2.0),
+            Err(StatsError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            w.push(&[1.0, 2.0], f64::INFINITY),
+            Err(StatsError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            w.pop(&[1.0, 2.0], 3.0),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        assert!(w.is_empty());
+        w.push(&[1.0, 2.0], 3.0).unwrap();
+        assert!(matches!(w.fit(), Err(StatsError::InsufficientData { .. })));
     }
 }

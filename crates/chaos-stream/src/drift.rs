@@ -1,0 +1,299 @@
+//! Drift detection: rolling DRE against a held-out baseline.
+//!
+//! The paper scores models by Dynamic Range Error (Eq. 6): RMSE divided
+//! by the machine's dynamic power range. A deployed model's DRE is not
+//! stationary — workload mix shifts, thermal state wanders, counters
+//! fault — so the streaming engine tracks a *rolling* DRE over the last
+//! `window_s` seconds ([`chaos_core::eval::RollingDre`]) and compares it
+//! against the DRE the model achieved on held-out data at training time.
+//!
+//! The ratio `rolling / baseline` maps to an escalating response through
+//! three thresholds: a modest regression asks for a cheap coefficient
+//! refresh from the sliding window, a larger one reruns stepwise
+//! selection over the window, and a severe one reruns the full
+//! Algorithm-1-style reselection with the configured model technique.
+//! A cooldown keeps one bad stretch from triggering a refit storm.
+
+use crate::refit::RefitTier;
+use chaos_core::eval::RollingDre;
+use chaos_stats::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds and pacing for the drift detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Seconds of rolling history the DRE is computed over (also the
+    /// warm-up length: no triggers before the window fills).
+    pub window_s: usize,
+    /// `rolling/baseline` ratio at which a coefficient refresh fires.
+    pub refresh_ratio: f64,
+    /// Ratio at which a windowed stepwise rerun fires.
+    pub stepwise_ratio: f64,
+    /// Ratio at which a full reselection fires.
+    pub reselect_ratio: f64,
+    /// Minimum seconds between refits on one machine stream.
+    pub cooldown_s: usize,
+}
+
+impl DriftConfig {
+    /// Deployment-shaped defaults: two minutes of rolling history and
+    /// conservative escalation.
+    pub fn paper() -> Self {
+        DriftConfig {
+            window_s: 120,
+            refresh_ratio: 1.5,
+            stepwise_ratio: 2.5,
+            reselect_ratio: 4.0,
+            cooldown_s: 60,
+        }
+    }
+
+    /// Short-horizon variant for tests and quick experiments.
+    pub fn fast() -> Self {
+        DriftConfig {
+            window_s: 30,
+            refresh_ratio: 1.5,
+            stepwise_ratio: 2.5,
+            reselect_ratio: 4.0,
+            cooldown_s: 10,
+        }
+    }
+
+    /// Disables drift response entirely: infinite thresholds mean no
+    /// ratio ever triggers, so the engine replays the offline fallback
+    /// chain bit-identically forever.
+    pub fn disabled() -> Self {
+        DriftConfig {
+            window_s: 30,
+            refresh_ratio: f64::INFINITY,
+            stepwise_ratio: f64::INFINITY,
+            reselect_ratio: f64::INFINITY,
+            cooldown_s: 0,
+        }
+    }
+}
+
+/// What one observed (prediction, measurement) pair concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DriftDecision {
+    /// Rolling DRE after this observation, once the window is warm.
+    pub rolling_dre: Option<f64>,
+    /// `rolling / baseline` ratio, once warm.
+    pub ratio: Option<f64>,
+    /// Refit tier this observation demands, if any.
+    pub trigger: Option<RefitTier>,
+}
+
+impl DriftDecision {
+    /// The no-signal decision (cold window, invalid sample, or healthy
+    /// ratio).
+    pub fn none() -> Self {
+        DriftDecision {
+            rolling_dre: None,
+            ratio: None,
+            trigger: None,
+        }
+    }
+}
+
+/// Per-machine drift state: a rolling DRE window plus trigger pacing.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    baseline_dre: f64,
+    rolling: RollingDre,
+    since_refit: usize,
+}
+
+impl DriftDetector {
+    /// Creates a detector comparing rolling DRE over
+    /// `config.window_s` seconds against `baseline_dre`, with errors
+    /// normalized by the `power_max_w − power_idle_w` dynamic range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `baseline_dre` is not
+    /// finite and positive, or if the window/range parameters are
+    /// rejected by [`RollingDre::new`].
+    pub fn new(
+        config: DriftConfig,
+        baseline_dre: f64,
+        power_max_w: f64,
+        power_idle_w: f64,
+    ) -> Result<Self, StatsError> {
+        if !baseline_dre.is_finite() || baseline_dre <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "drift detector: baseline DRE must be finite and positive, got {baseline_dre}"
+                ),
+            });
+        }
+        Ok(DriftDetector {
+            config,
+            baseline_dre,
+            rolling: RollingDre::new(config.window_s, power_max_w, power_idle_w)?,
+            since_refit: 0,
+        })
+    }
+
+    /// Feeds one (prediction, measurement) pair and reports whether the
+    /// accumulated evidence demands a refit. Non-finite pairs are
+    /// skipped without touching the rolling window; the cooldown clock
+    /// still advances, since wall time does.
+    pub fn observe(&mut self, predicted_w: f64, measured_w: f64) -> DriftDecision {
+        self.since_refit = self.since_refit.saturating_add(1);
+        if !self.rolling.push(predicted_w, measured_w) {
+            return DriftDecision::none();
+        }
+        if !self.rolling.is_warm() {
+            return DriftDecision::none();
+        }
+        let Some(rolling) = self.rolling.dre() else {
+            return DriftDecision::none();
+        };
+        let ratio = rolling / self.baseline_dre;
+        let trigger = if self.since_refit <= self.config.cooldown_s {
+            None
+        } else if ratio >= self.config.reselect_ratio {
+            Some(RefitTier::FullReselect)
+        } else if ratio >= self.config.stepwise_ratio {
+            Some(RefitTier::StepwiseRerun)
+        } else if ratio >= self.config.refresh_ratio {
+            Some(RefitTier::CoefficientRefresh)
+        } else {
+            None
+        };
+        DriftDecision {
+            rolling_dre: Some(rolling),
+            ratio: Some(ratio),
+            trigger,
+        }
+    }
+
+    /// Marks a refit as applied: restarts the cooldown clock. The
+    /// rolling window is deliberately kept — the refit's effect shows up
+    /// as new, smaller errors displacing old ones.
+    pub fn note_refit(&mut self) {
+        self.since_refit = 0;
+    }
+
+    /// The baseline DRE triggers are measured against.
+    pub fn baseline_dre(&self) -> f64 {
+        self.baseline_dre
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(cfg: DriftConfig) -> DriftDetector {
+        // Baseline DRE 0.05 over a 100 W dynamic range.
+        DriftDetector::new(cfg, 0.05, 200.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn cold_window_never_triggers() {
+        let mut d = detector(DriftConfig {
+            window_s: 10,
+            cooldown_s: 0,
+            ..DriftConfig::fast()
+        });
+        for _ in 0..9 {
+            // 50 W errors on a 100 W range: catastrophic, but cold.
+            let dec = d.observe(150.0, 100.0);
+            assert_eq!(dec, DriftDecision::none());
+        }
+        let dec = d.observe(150.0, 100.0);
+        assert_eq!(dec.trigger, Some(RefitTier::FullReselect));
+        assert!(dec.ratio.unwrap() > 4.0);
+    }
+
+    #[test]
+    fn escalation_tracks_ratio() {
+        // refresh at 1.5× (DRE 0.075 → 7.5 W errors), stepwise at 2.5×,
+        // reselect at 4×. Drive each level with a constant error.
+        for (err_w, want) in [
+            (2.0, None),
+            (10.0, Some(RefitTier::CoefficientRefresh)),
+            (15.0, Some(RefitTier::StepwiseRerun)),
+            (30.0, Some(RefitTier::FullReselect)),
+        ] {
+            let mut d = detector(DriftConfig {
+                window_s: 5,
+                cooldown_s: 0,
+                ..DriftConfig::fast()
+            });
+            let mut last = DriftDecision::none();
+            for _ in 0..5 {
+                last = d.observe(100.0 + err_w, 100.0);
+            }
+            assert_eq!(last.trigger, want, "error {err_w} W");
+        }
+    }
+
+    #[test]
+    fn cooldown_suppresses_and_note_refit_restarts_it() {
+        let mut d = detector(DriftConfig {
+            window_s: 3,
+            cooldown_s: 1_000,
+            ..DriftConfig::fast()
+        });
+        for _ in 0..50 {
+            let dec = d.observe(180.0, 100.0);
+            assert_eq!(dec.trigger, None, "cooldown must suppress triggers");
+        }
+        // An expired cooldown lets the (still terrible) ratio through.
+        let mut d = detector(DriftConfig {
+            window_s: 3,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        });
+        let mut fired_at = None;
+        for t in 0..50 {
+            if d.observe(180.0, 100.0).trigger.is_some() {
+                fired_at = Some(t);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(5), "first trigger right after cooldown");
+        d.note_refit();
+        for _ in 0..5 {
+            assert_eq!(d.observe(180.0, 100.0).trigger, None);
+        }
+        assert!(d.observe(180.0, 100.0).trigger.is_some());
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped() {
+        let mut d = detector(DriftConfig {
+            window_s: 2,
+            cooldown_s: 0,
+            ..DriftConfig::fast()
+        });
+        for _ in 0..100 {
+            assert_eq!(d.observe(f64::NAN, 100.0), DriftDecision::none());
+            assert_eq!(d.observe(150.0, f64::NAN), DriftDecision::none());
+        }
+    }
+
+    #[test]
+    fn disabled_config_never_triggers() {
+        let mut d = detector(DriftConfig::disabled());
+        for _ in 0..200 {
+            assert_eq!(d.observe(1_000.0, 100.0).trigger, None);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_baseline() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(DriftDetector::new(DriftConfig::fast(), bad, 200.0, 100.0).is_err());
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The streaming inference engine.
+//!
+//! [`StreamEngine`] wraps a trained offline [`RobustEstimator`] and
+//! consumes a cluster run one second at a time, producing per-machine
+//! and cluster-composed (Eq. 5) power estimates with bounded per-sample
+//! work, while adapting online:
+//!
+//! * Every clean second (complete row, valid meter, nothing imputed) is
+//!   ingested into a per-machine [`SlidingWindow`] mirrored by an
+//!   incrementally factorized [`WindowedOls`], so a coefficient-level
+//!   refit costs O(k²), not O(n·k²).
+//! * A [`DriftDetector`] tracks rolling DRE against the held-out
+//!   baseline and requests tiered refits; failures downgrade along the
+//!   [`RefitTier`] ladder.
+//! * Faulted seconds flow through the *offline* fallback chain
+//!   ([`RobustEstimator::estimate_from_row`]) with the exact imputer
+//!   state evolution of batch estimation — so until a refit installs an
+//!   adapted model, streaming output is bit-identical to
+//!   [`RobustEstimator::estimate_cluster`].
+//!
+//! Per-machine streams are independent; [`StreamEngine::replay`] fans
+//! them out under the configured [`ExecPolicy`] and merges per-second
+//! sums in machine order, so serial and parallel replay are
+//! bit-identical.
+
+use crate::drift::{DriftConfig, DriftDetector};
+use crate::refit::{self, AdaptedModel, RefitOutcome, RefitTier};
+use crate::window::SlidingWindow;
+use chaos_core::robust::{EstimateTier, ImputerState};
+use chaos_core::RobustEstimator;
+use chaos_counters::{MachineRunTrace, RunTrace};
+use chaos_obs::Value;
+use chaos_stats::ols::WindowedOls;
+use chaos_stats::stepwise::StepwiseConfig;
+use chaos_stats::{ExecPolicy, StatsError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration for a [`StreamEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Sliding-window capacity in clean seconds per machine.
+    pub window_s: usize,
+    /// Drift thresholds and pacing.
+    pub drift: DriftConfig,
+    /// Wald alpha for windowed stepwise reruns.
+    pub stepwise_alpha: f64,
+    /// Minimum features a windowed stepwise rerun retains.
+    pub stepwise_min_features: usize,
+    /// Minimum window occupancy before any refit is attempted.
+    pub min_refit_samples: usize,
+    /// Execution policy for [`StreamEngine::replay`]'s per-machine
+    /// fan-out. Results are bit-identical across policies.
+    #[serde(default)]
+    pub exec: ExecPolicy,
+}
+
+impl StreamConfig {
+    /// Deployment-shaped defaults: five minutes of window, conservative
+    /// drift response.
+    pub fn paper() -> Self {
+        StreamConfig {
+            window_s: 300,
+            drift: DriftConfig::paper(),
+            stepwise_alpha: 0.05,
+            stepwise_min_features: 2,
+            min_refit_samples: 60,
+            exec: ExecPolicy::Serial,
+        }
+    }
+
+    /// Short-horizon variant for tests and quick experiments.
+    pub fn fast() -> Self {
+        StreamConfig {
+            window_s: 60,
+            drift: DriftConfig::fast(),
+            stepwise_alpha: 0.05,
+            stepwise_min_features: 2,
+            min_refit_samples: 20,
+            exec: ExecPolicy::Serial,
+        }
+    }
+
+    /// Drift response disabled: the engine replays the offline fallback
+    /// chain bit-identically (used by the equivalence tests and as a
+    /// safe deployment floor).
+    pub fn offline() -> Self {
+        StreamConfig {
+            drift: DriftConfig::disabled(),
+            ..StreamConfig::fast()
+        }
+    }
+
+    /// Returns a copy with a different execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+/// One machine's streaming estimate for one second.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StreamSample {
+    /// Machine id within the cluster.
+    pub machine_id: usize,
+    /// Estimated power, watts. Always finite.
+    pub power_w: f64,
+    /// Fallback-chain tier that answered (adapted models report
+    /// [`EstimateTier::Full`]).
+    pub tier: EstimateTier,
+    /// Features the imputation policy bridged this second.
+    pub imputed: usize,
+    /// Whether a window-adapted model produced the estimate.
+    pub adapted: bool,
+    /// Rolling DRE after this second, once the drift window is warm.
+    pub rolling_dre: Option<f64>,
+    /// Refit tier applied this second, if one fired.
+    pub refit: Option<RefitTier>,
+}
+
+/// Cluster-composed streaming output for one second (Eq. 5 with
+/// per-machine degradation provenance).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StreamOutput {
+    /// Second this output describes.
+    pub t: usize,
+    /// Summed cluster power, watts.
+    pub cluster_power_w: f64,
+    /// Least capable tier any machine needed this second.
+    pub worst_tier: EstimateTier,
+    /// Per-machine samples, machine order.
+    pub machines: Vec<StreamSample>,
+}
+
+/// Per-machine streaming state. Cloneable so parallel replay can work on
+/// a private copy per worker and the engine can write results back.
+#[derive(Debug, Clone)]
+struct MachineState {
+    imputer: ImputerState,
+    window: SlidingWindow,
+    wols: WindowedOls,
+    drift: DriftDetector,
+    adapted: Option<AdaptedModel>,
+    refits: Vec<RefitOutcome>,
+}
+
+/// The streaming online-inference engine. See the module docs.
+#[derive(Debug)]
+pub struct StreamEngine {
+    estimator: RobustEstimator,
+    config: StreamConfig,
+    machines: Vec<MachineState>,
+    t: usize,
+}
+
+impl StreamEngine {
+    /// Creates an engine for `machines` parallel streams over a trained
+    /// estimator. `power_max_w`/`power_idle_w` define the per-machine
+    /// dynamic range the rolling DRE normalizes by (Eq. 6), and
+    /// `baseline_dre` is the held-out DRE the drift detector compares
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for a zero machine
+    /// count, a zero window, or drift parameters rejected by
+    /// [`DriftDetector::new`].
+    pub fn new(
+        estimator: RobustEstimator,
+        machines: usize,
+        power_max_w: f64,
+        power_idle_w: f64,
+        baseline_dre: f64,
+        config: StreamConfig,
+    ) -> Result<Self, StatsError> {
+        if machines == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "stream engine: need at least one machine stream".into(),
+            });
+        }
+        let width = estimator.spec().width();
+        let states = (0..machines)
+            .map(|_| {
+                Ok(MachineState {
+                    imputer: estimator.new_imputer(),
+                    window: SlidingWindow::new(config.window_s, width)?,
+                    wols: WindowedOls::new(width),
+                    drift: DriftDetector::new(
+                        config.drift,
+                        baseline_dre,
+                        power_max_w,
+                        power_idle_w,
+                    )?,
+                    adapted: None,
+                    refits: Vec::new(),
+                })
+            })
+            .collect::<Result<Vec<_>, StatsError>>()?;
+        Ok(StreamEngine {
+            estimator,
+            config,
+            machines: states,
+            t: 0,
+        })
+    }
+
+    /// Processes second `t` of `run` across all machine streams and
+    /// returns the cluster-composed output. Seconds must be fed strictly
+    /// in order starting at 0.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] if `t` is out of order or
+    ///   beyond the run's length.
+    /// * [`StatsError::DimensionMismatch`] if the run's machine count
+    ///   does not match the engine's.
+    pub fn push_second(&mut self, run: &RunTrace, t: usize) -> Result<StreamOutput, StatsError> {
+        if t != self.t {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "stream engine: expected second {} next, got {t} (feed seconds in order)",
+                    self.t
+                ),
+            });
+        }
+        if run.machines.len() != self.machines.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "stream engine: run has {} machines, engine has {}",
+                    run.machines.len(),
+                    self.machines.len()
+                ),
+            });
+        }
+        if t >= run.seconds() {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "stream engine: second {t} beyond run length {}",
+                    run.seconds()
+                ),
+            });
+        }
+        let mut samples = Vec::with_capacity(self.machines.len());
+        for (state, m) in self.machines.iter_mut().zip(&run.machines) {
+            samples.push(Self::advance(&self.estimator, &self.config, state, m, t));
+        }
+        self.t += 1;
+        Ok(Self::compose(t, samples))
+    }
+
+    /// Replays a whole run through a fresh engine, fanning machine
+    /// streams out under `config.exec` and merging per-second sums in
+    /// machine order — bit-identical to calling
+    /// [`push_second`](StreamEngine::push_second) for every second
+    /// serially.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] if the engine has already
+    ///   consumed seconds (replay needs pristine per-machine state).
+    /// * [`StatsError::DimensionMismatch`] on a machine-count mismatch.
+    pub fn replay(&mut self, run: &RunTrace) -> Result<Vec<StreamOutput>, StatsError> {
+        if self.t != 0 {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "stream engine: replay needs a fresh engine, {} seconds already consumed",
+                    self.t
+                ),
+            });
+        }
+        if run.machines.len() != self.machines.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "stream engine: run has {} machines, engine has {}",
+                    run.machines.len(),
+                    self.machines.len()
+                ),
+            });
+        }
+        let _span = chaos_obs::span("stream.replay");
+        let n = run.seconds();
+        let estimator = &self.estimator;
+        let config = &self.config;
+        let machines = &self.machines;
+        let per_machine: Vec<(MachineState, Vec<StreamSample>)> =
+            config.exec.par_map_indices(machines.len(), |i| {
+                let mut state = machines[i].clone();
+                let m = &run.machines[i];
+                let samples: Vec<StreamSample> = (0..n)
+                    .map(|t| Self::advance(estimator, config, &mut state, m, t))
+                    .collect();
+                (state, samples)
+            });
+        let mut outputs = Vec::with_capacity(n);
+        for t in 0..n {
+            let samples: Vec<StreamSample> =
+                per_machine.iter().map(|(_, s)| s[t].clone()).collect();
+            outputs.push(Self::compose(t, samples));
+        }
+        for (state, (new_state, _)) in self.machines.iter_mut().zip(per_machine) {
+            *state = new_state;
+        }
+        self.t = n;
+        Ok(outputs)
+    }
+
+    /// Advances one machine stream by one second. Associated function
+    /// (no `&mut self`) so parallel replay can run it on cloned states.
+    fn advance(
+        estimator: &RobustEstimator,
+        config: &StreamConfig,
+        state: &mut MachineState,
+        m: &MachineRunTrace,
+        t: usize,
+    ) -> StreamSample {
+        chaos_obs::add("stream.samples", 1);
+        let assembled = estimator.assemble_row(m, t, &mut state.imputer);
+
+        // Prediction: a window-adapted model answers on complete rows;
+        // anything it cannot answer falls through to the offline
+        // fallback chain, which reuses the estimator's tiers so faulted
+        // counters degrade exactly as they do offline.
+        let adapted_power = if assembled.complete() {
+            state
+                .adapted
+                .as_ref()
+                .and_then(|model| model.predict(&assembled.row))
+        } else {
+            None
+        };
+        let (power_w, tier, adapted) = match adapted_power {
+            Some(p) => (p, EstimateTier::Full, true),
+            None => {
+                let est = estimator.estimate_from_row(&assembled);
+                (est.power_w, est.tier, false)
+            }
+        };
+
+        // Training ingest: only pristine seconds (complete row, nothing
+        // imputed, live machine, valid finite meter) enter the window,
+        // so adapted models never train on reconstructed data.
+        let measured = m.measured_power_w.get(t).copied().unwrap_or(f64::NAN);
+        let meter_valid = m.meter_ok(t) && m.alive_at(t) && measured.is_finite();
+        if meter_valid && assembled.complete() && assembled.imputed == 0 {
+            if state.wols.push(&assembled.row, measured).is_ok() {
+                if let Ok(Some((old_row, old_y))) = state.window.push(&assembled.row, measured) {
+                    // A failed downdate inside pop falls back internally
+                    // (full refactorization on next solve); other errors
+                    // are impossible given the lockstep invariant.
+                    let _ = state.wols.pop(&old_row, old_y);
+                }
+            }
+        }
+        chaos_obs::record("stream.window_occupancy", state.window.len() as u64);
+
+        // Drift: score the emitted prediction against the meter when the
+        // meter is trustworthy, and escalate through refit tiers.
+        let mut rolling_dre = None;
+        let mut applied_refit = None;
+        if meter_valid {
+            let decision = state.drift.observe(power_w, measured);
+            rolling_dre = decision.rolling_dre;
+            if let Some(requested) = decision.trigger {
+                if state.window.len() >= config.min_refit_samples.max(1) {
+                    chaos_obs::event(
+                        "stream.drift",
+                        &[
+                            ("t", Value::U64(t as u64)),
+                            ("machine", Value::U64(m.machine_id as u64)),
+                            (
+                                "rolling_dre",
+                                Value::F64(decision.rolling_dre.unwrap_or(f64::NAN)),
+                            ),
+                            ("ratio", Value::F64(decision.ratio.unwrap_or(f64::NAN))),
+                            ("requested", Value::Str(requested.label().to_string())),
+                        ],
+                    );
+                    let outcome =
+                        Self::run_refit(estimator, config, state, requested, t, m.machine_id);
+                    applied_refit = outcome.applied;
+                    state.refits.push(outcome);
+                    state.drift.note_refit();
+                }
+            }
+        }
+
+        StreamSample {
+            machine_id: m.machine_id,
+            power_w,
+            tier,
+            imputed: assembled.imputed,
+            adapted,
+            rolling_dre,
+            refit: applied_refit,
+        }
+    }
+
+    /// Walks the refit ladder from `requested` downward until a tier
+    /// succeeds, installing the adapted model on success.
+    fn run_refit(
+        estimator: &RobustEstimator,
+        config: &StreamConfig,
+        state: &mut MachineState,
+        requested: RefitTier,
+        t: usize,
+        machine_id: usize,
+    ) -> RefitOutcome {
+        let stepwise = StepwiseConfig {
+            alpha: config.stepwise_alpha,
+            min_features: config.stepwise_min_features,
+        };
+        let technique = estimator.config().technique;
+        let fit_opts = estimator.config().fit;
+        let mut tier = Some(requested);
+        while let Some(current) = tier {
+            let _span = chaos_obs::span(current.span_name());
+            match refit::execute(
+                current,
+                &state.window,
+                &mut state.wols,
+                technique,
+                &fit_opts,
+                &stepwise,
+            ) {
+                Ok(model) => {
+                    let selected = Some(model.columns().to_vec());
+                    state.adapted = Some(model);
+                    chaos_obs::add(&format!("stream.refits.{}", current.label()), 1);
+                    return RefitOutcome {
+                        t,
+                        machine_id,
+                        requested,
+                        applied: Some(current),
+                        selected,
+                    };
+                }
+                Err(_) => {
+                    chaos_obs::add("stream.refit_failed", 1);
+                    tier = current.downgrade();
+                }
+            }
+        }
+        RefitOutcome {
+            t,
+            machine_id,
+            requested,
+            applied: None,
+            selected: None,
+        }
+    }
+
+    /// Sums machine samples into the cluster output (Eq. 5), in machine
+    /// order — the same accumulation order as
+    /// [`RobustEstimator::estimate_cluster`], preserving bit-identity.
+    fn compose(t: usize, samples: Vec<StreamSample>) -> StreamOutput {
+        let mut cluster_power_w = 0.0;
+        let mut worst_tier = EstimateTier::Full;
+        for s in &samples {
+            cluster_power_w += s.power_w;
+            worst_tier = worst_tier.max(s.tier);
+        }
+        StreamOutput {
+            t,
+            cluster_power_w,
+            worst_tier,
+            machines: samples,
+        }
+    }
+
+    /// Seconds consumed so far.
+    pub fn seconds_processed(&self) -> usize {
+        self.t
+    }
+
+    /// Every refit outcome so far, machine order then time order.
+    pub fn refit_outcomes(&self) -> Vec<&RefitOutcome> {
+        self.machines.iter().flat_map(|s| s.refits.iter()).collect()
+    }
+
+    /// Applied-refit counts by tier label (downgraded-to-nothing
+    /// attempts count under `"none"`).
+    pub fn refit_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for outcome in self.machines.iter().flat_map(|s| s.refits.iter()) {
+            let key = outcome.applied.map_or("none", RefitTier::label);
+            *out.entry(key).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// The wrapped offline estimator.
+    pub fn estimator(&self) -> &RobustEstimator {
+        &self.estimator
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+}

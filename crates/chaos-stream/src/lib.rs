@@ -1,0 +1,38 @@
+//! Streaming online inference for CHAOS power models.
+//!
+//! The paper's deployment story (Section V: "the model can be used
+//! online with negligible overhead") needs more than a fast
+//! `predict_row`: a deployed estimator consumes counter samples *one
+//! second at a time*, composes machine estimates into cluster power
+//! (Eq. 5) with bounded per-sample latency, and must notice when its
+//! frozen model stops matching the workload. This crate is that layer:
+//!
+//! * [`StreamEngine`] — the per-second ingestion loop over a trained
+//!   [`chaos_core::RobustEstimator`]. Until a refit fires, its output is
+//!   bit-identical to offline batch estimation — same imputer evolution,
+//!   same fallback tiers, same machine-order summation.
+//! * [`SlidingWindow`] + [`chaos_stats::ols::WindowedOls`] — the most
+//!   recent clean observations per machine, with a rank-1
+//!   Cholesky-updated Gram factorization so sliding one sample costs
+//!   O(k²) instead of O(n·k²).
+//! * [`DriftDetector`] — rolling DRE (Eq. 6) against the held-out
+//!   baseline, escalating through [`RefitTier`]s: coefficient refresh →
+//!   windowed stepwise rerun → full reselection.
+//!
+//! Input arrives either as whole traces replayed second-by-second
+//! ([`StreamEngine::replay`]) or via [`StreamEngine::push_second`]; the
+//! per-sample surface over raw traces is
+//! [`chaos_counters::RunTrace::sample_stream`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod engine;
+pub mod refit;
+pub mod window;
+
+pub use drift::{DriftConfig, DriftDecision, DriftDetector};
+pub use engine::{StreamConfig, StreamEngine, StreamOutput, StreamSample};
+pub use refit::{AdaptedModel, RefitOutcome, RefitTier};
+pub use window::SlidingWindow;

@@ -1,0 +1,314 @@
+//! Tiered refits: what the engine does about detected drift.
+//!
+//! Three responses, ordered by cost:
+//!
+//! 1. **Coefficient refresh** — solve the sliding window's OLS problem
+//!    from the incrementally maintained Cholesky factor
+//!    ([`chaos_stats::ols::WindowedOls`]). O(k²) given the factor; no
+//!    selection change.
+//! 2. **Stepwise rerun** — rebuild a Gram cache over the window and
+//!    rerun backward elimination (Algorithm 1, steps 4/6), letting the
+//!    retained column set shift with the workload.
+//! 3. **Full reselection** — stepwise selection followed by refitting
+//!    the configured model technique (e.g. quadratic MARS) on the
+//!    selected columns — the heavyweight response to severe drift.
+//!
+//! A refit that fails (e.g. a rank-deficient window) *downgrades* to the
+//! next cheaper tier rather than aborting the stream; if every tier
+//! fails the engine simply keeps the frozen offline model. All tiers
+//! read the same spec-width model-input rows the offline estimator
+//! consumes, so an adapted model drops in wherever the full model did.
+
+use crate::window::SlidingWindow;
+use chaos_core::models::FitOptions;
+use chaos_core::{FittedModel, ModelTechnique};
+use chaos_stats::gram::GramCache;
+use chaos_stats::ols::{OlsFit, WindowedOls};
+use chaos_stats::stepwise::{backward_eliminate_cached, StepwiseConfig};
+use chaos_stats::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// The escalating refit ladder, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RefitTier {
+    /// Re-solve window OLS coefficients; keep the column selection.
+    CoefficientRefresh,
+    /// Rerun backward stepwise elimination over the window.
+    StepwiseRerun,
+    /// Stepwise selection plus a full technique refit on the survivors.
+    FullReselect,
+}
+
+impl RefitTier {
+    /// Short label for metrics and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RefitTier::CoefficientRefresh => "coefficient",
+            RefitTier::StepwiseRerun => "stepwise",
+            RefitTier::FullReselect => "reselect",
+        }
+    }
+
+    /// Span name under which the refit's wall time is recorded.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            RefitTier::CoefficientRefresh => "stream.refit.coefficient",
+            RefitTier::StepwiseRerun => "stream.refit.stepwise",
+            RefitTier::FullReselect => "stream.refit.reselect",
+        }
+    }
+
+    /// The next cheaper tier to try after a failure, if any.
+    pub fn downgrade(self) -> Option<RefitTier> {
+        match self {
+            RefitTier::FullReselect => Some(RefitTier::StepwiseRerun),
+            RefitTier::StepwiseRerun => Some(RefitTier::CoefficientRefresh),
+            RefitTier::CoefficientRefresh => None,
+        }
+    }
+}
+
+/// Record of one refit attempt on one machine stream.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RefitOutcome {
+    /// Second the refit fired at.
+    pub t: usize,
+    /// Machine the refit applied to.
+    pub machine_id: usize,
+    /// Tier the drift detector asked for.
+    pub requested: RefitTier,
+    /// Tier that actually succeeded after downgrades, if any.
+    pub applied: Option<RefitTier>,
+    /// Columns the applied model reads (spec-order indices), when a
+    /// selection ran.
+    pub selected: Option<Vec<usize>>,
+}
+
+/// A window-adapted model that answers in place of the frozen full
+/// model. `columns` always indexes into the spec-width model-input row.
+#[derive(Debug, Clone)]
+pub enum AdaptedModel {
+    /// A linear fit over `columns` (intercept handled internally).
+    Linear {
+        /// Spec-order column indices the fit reads.
+        columns: Vec<usize>,
+        /// The OLS fit: coefficients are `[intercept, columns…]`.
+        fit: OlsFit,
+    },
+    /// A full-technique model over `columns`.
+    Technique {
+        /// Spec-order column indices the model reads.
+        columns: Vec<usize>,
+        /// The fitted model (e.g. quadratic MARS).
+        model: FittedModel,
+    },
+}
+
+impl AdaptedModel {
+    /// Predicts power for one complete spec-width row, or `None` when
+    /// the model cannot produce a finite answer — the engine then falls
+    /// through to the offline chain.
+    pub fn predict(&self, row: &[f64]) -> Option<f64> {
+        match self {
+            AdaptedModel::Linear { columns, fit } => {
+                let mut aug = Vec::with_capacity(columns.len() + 1);
+                aug.push(1.0);
+                for &c in columns {
+                    aug.push(*row.get(c)?);
+                }
+                fit.predict_row(&aug).ok().filter(|p| p.is_finite())
+            }
+            AdaptedModel::Technique { columns, model } => {
+                let sub: Option<Vec<f64>> = columns.iter().map(|&c| row.get(c).copied()).collect();
+                model.predict_row(&sub?).ok().filter(|p| p.is_finite())
+            }
+        }
+    }
+
+    /// The spec-order columns the model reads.
+    pub fn columns(&self) -> &[usize] {
+        match self {
+            AdaptedModel::Linear { columns, .. } => columns,
+            AdaptedModel::Technique { columns, .. } => columns,
+        }
+    }
+}
+
+/// Runs one refit tier over the window. `wols` is the incrementally
+/// maintained solver kept in lockstep with `window`; only the
+/// coefficient tier uses it, the heavier tiers rebuild from the window's
+/// rows.
+pub(crate) fn execute(
+    tier: RefitTier,
+    window: &SlidingWindow,
+    wols: &mut WindowedOls,
+    technique: ModelTechnique,
+    fit_opts: &FitOptions,
+    stepwise: &StepwiseConfig,
+) -> Result<AdaptedModel, StatsError> {
+    match tier {
+        RefitTier::CoefficientRefresh => {
+            let fit = wols.fit()?;
+            Ok(AdaptedModel::Linear {
+                columns: (0..window.width()).collect(),
+                fit,
+            })
+        }
+        RefitTier::StepwiseRerun => {
+            let (x, y) = window.design()?;
+            let mut cache = GramCache::new(&x, &y)?;
+            let res = backward_eliminate_cached(&mut cache, stepwise)?;
+            Ok(AdaptedModel::Linear {
+                columns: res.selected,
+                fit: res.fit,
+            })
+        }
+        RefitTier::FullReselect => {
+            let (x, y) = window.design()?;
+            let mut cache = GramCache::new(&x, &y)?;
+            let res = backward_eliminate_cached(&mut cache, stepwise)?;
+            let xs = x.select_cols(&res.selected);
+            // The frozen options' frequency column indexes the full spec
+            // row; remap it into the selected subset (absent if pruned).
+            let mut opts = *fit_opts;
+            opts.freq_column = fit_opts
+                .freq_column
+                .and_then(|f| res.selected.iter().position(|&c| c == f));
+            let model = FittedModel::fit(technique, &xs, &y, &opts)?;
+            Ok(AdaptedModel::Technique {
+                columns: res.selected,
+                model,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_window(n: usize, p: usize) -> (SlidingWindow, WindowedOls) {
+        let det = |i: usize| ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+        let mut window = SlidingWindow::new(n, p).unwrap();
+        let mut wols = WindowedOls::new(p);
+        for i in 0..n {
+            let row: Vec<f64> = (0..p).map(|j| 4.0 * det(i * p + j + 1)).collect();
+            // Column 0 carries all the signal; the rest is noise for
+            // stepwise to prune.
+            let y = 50.0 + 10.0 * row[0] + 0.01 * det(i * 13 + 5);
+            wols.push(&row, y).unwrap();
+            window.push(&row, y).unwrap();
+        }
+        (window, wols)
+    }
+
+    #[test]
+    fn coefficient_refresh_reads_the_incremental_solver() {
+        let (window, mut wols) = seeded_window(40, 3);
+        let opts = FitOptions::fast();
+        let cfg = StepwiseConfig {
+            alpha: 0.05,
+            min_features: 1,
+        };
+        let adapted = execute(
+            RefitTier::CoefficientRefresh,
+            &window,
+            &mut wols,
+            ModelTechnique::Linear,
+            &opts,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(adapted.columns(), &[0, 1, 2]);
+        let p = adapted.predict(&[1.0, 0.0, 0.0]).unwrap();
+        assert!((p - 60.0).abs() < 1.0, "predicted {p}");
+    }
+
+    #[test]
+    fn stepwise_rerun_prunes_noise_columns() {
+        let (window, mut wols) = seeded_window(60, 3);
+        let opts = FitOptions::fast();
+        let cfg = StepwiseConfig {
+            alpha: 0.05,
+            min_features: 1,
+        };
+        let adapted = execute(
+            RefitTier::StepwiseRerun,
+            &window,
+            &mut wols,
+            ModelTechnique::Linear,
+            &opts,
+            &cfg,
+        )
+        .unwrap();
+        // The signal column must survive; noise columns usually get
+        // pruned but their survival is a p-value draw, so only the
+        // guaranteed part is asserted.
+        assert!(adapted.columns().contains(&0), "signal column retained");
+        let p = adapted.predict(&[2.0, 0.3, -0.4]).unwrap();
+        assert!((p - 70.0).abs() < 1.0, "predicted {p}");
+    }
+
+    #[test]
+    fn full_reselect_fits_the_requested_technique() {
+        let (window, mut wols) = seeded_window(80, 3);
+        let opts = FitOptions::fast();
+        let cfg = StepwiseConfig {
+            alpha: 0.05,
+            min_features: 1,
+        };
+        let adapted = execute(
+            RefitTier::FullReselect,
+            &window,
+            &mut wols,
+            ModelTechnique::Quadratic,
+            &opts,
+            &cfg,
+        )
+        .unwrap();
+        assert!(matches!(adapted, AdaptedModel::Technique { .. }));
+        let p = adapted.predict(&[1.0, 0.1, 0.1]).unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn downgrade_ladder_terminates() {
+        assert_eq!(
+            RefitTier::FullReselect.downgrade(),
+            Some(RefitTier::StepwiseRerun)
+        );
+        assert_eq!(
+            RefitTier::StepwiseRerun.downgrade(),
+            Some(RefitTier::CoefficientRefresh)
+        );
+        assert_eq!(RefitTier::CoefficientRefresh.downgrade(), None);
+        // Ord follows cost, so the drift detector's max() escalates.
+        assert!(RefitTier::FullReselect > RefitTier::CoefficientRefresh);
+    }
+
+    #[test]
+    fn empty_window_fails_cleanly() {
+        let window = SlidingWindow::new(8, 2).unwrap();
+        let mut wols = WindowedOls::new(2);
+        let opts = FitOptions::fast();
+        let cfg = StepwiseConfig {
+            alpha: 0.05,
+            min_features: 1,
+        };
+        for tier in [
+            RefitTier::CoefficientRefresh,
+            RefitTier::StepwiseRerun,
+            RefitTier::FullReselect,
+        ] {
+            assert!(execute(
+                tier,
+                &window,
+                &mut wols,
+                ModelTechnique::Linear,
+                &opts,
+                &cfg
+            )
+            .is_err());
+        }
+    }
+}

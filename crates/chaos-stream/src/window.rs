@@ -1,0 +1,169 @@
+//! The sliding sample window a streaming model adapts over.
+//!
+//! The window holds the most recent *clean* training observations of one
+//! machine stream — complete, unimputed model-input rows paired with the
+//! metered power for that second. It is deliberately dumb: eviction is
+//! strictly FIFO and the window neither fits nor predicts. The numeric
+//! state that makes per-sample refits cheap (the incrementally maintained
+//! Cholesky factor) lives in [`chaos_stats::ols::WindowedOls`]; the
+//! engine keeps both in lockstep by feeding every push/evict pair to
+//! both.
+
+use chaos_stats::{Matrix, StatsError};
+use std::collections::VecDeque;
+
+/// A FIFO window of `(model-input row, measured power)` observations with
+/// a fixed capacity.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    width: usize,
+    rows: VecDeque<(Vec<f64>, f64)>,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `capacity` or `width`
+    /// is zero.
+    pub fn new(capacity: usize, width: usize) -> Result<Self, StatsError> {
+        if capacity == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "sliding window: capacity must be at least 1".into(),
+            });
+        }
+        if width == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "sliding window: row width must be at least 1".into(),
+            });
+        }
+        Ok(SlidingWindow {
+            capacity,
+            width,
+            rows: VecDeque::with_capacity(capacity),
+        })
+    }
+
+    /// Appends one observation, evicting and returning the oldest one
+    /// when the window is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `row` has the wrong
+    /// width. The window is unchanged on error.
+    pub fn push(&mut self, row: &[f64], y: f64) -> Result<Option<(Vec<f64>, f64)>, StatsError> {
+        if row.len() != self.width {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "sliding window: row has {} entries, window width is {}",
+                    row.len(),
+                    self.width
+                ),
+            });
+        }
+        let evicted = if self.rows.len() == self.capacity {
+            self.rows.pop_front()
+        } else {
+            None
+        };
+        self.rows.push_back((row.to_vec(), y));
+        Ok(evicted)
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether the window is at capacity (the steady streaming state).
+    pub fn is_full(&self) -> bool {
+        self.rows.len() == self.capacity
+    }
+
+    /// Maximum number of retained observations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Width of every retained row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Iterates retained observations oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        self.rows.iter().map(|(r, y)| (r.as_slice(), *y))
+    }
+
+    /// Materializes the window as a design matrix (no intercept column)
+    /// and response vector, oldest row first — the input shape
+    /// [`chaos_stats::gram::GramCache`] and stepwise elimination expect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the window is empty.
+    pub fn design(&self) -> Result<(Matrix, Vec<f64>), StatsError> {
+        let rows: Vec<Vec<f64>> = self.rows.iter().map(|(r, _)| r.clone()).collect();
+        let y: Vec<f64> = self.rows.iter().map(|(_, y)| *y).collect();
+        let x = Matrix::from_rows(&rows)?;
+        Ok((x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut w = SlidingWindow::new(3, 2).unwrap();
+        assert!(w.is_empty());
+        for i in 0..3 {
+            let evicted = w.push(&[i as f64, 1.0], i as f64).unwrap();
+            assert!(evicted.is_none());
+        }
+        assert!(w.is_full());
+        let evicted = w.push(&[3.0, 1.0], 3.0).unwrap().unwrap();
+        assert_eq!(evicted, (vec![0.0, 1.0], 0.0));
+        assert_eq!(w.len(), 3);
+        let oldest = w.iter().next().unwrap();
+        assert_eq!(oldest.0, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn design_matches_contents() {
+        let mut w = SlidingWindow::new(4, 2).unwrap();
+        for i in 0..4 {
+            w.push(&[i as f64, -(i as f64)], 10.0 + i as f64).unwrap();
+        }
+        let (x, y) = w.design().unwrap();
+        assert_eq!(x.rows(), 4);
+        assert_eq!(x.cols(), 2);
+        assert_eq!(y, vec![10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(x.get(2, 0), 2.0);
+        assert_eq!(x.get(2, 1), -2.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(SlidingWindow::new(0, 2).is_err());
+        assert!(SlidingWindow::new(2, 0).is_err());
+        let mut w = SlidingWindow::new(2, 2).unwrap();
+        assert!(matches!(
+            w.push(&[1.0], 0.0),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        assert!(w.is_empty());
+        assert!(matches!(
+            w.design(),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! Determinism suite for the streaming engine, extending the workspace
+//! contract (`crates/chaos-core/tests/determinism.rs`) to streaming:
+//!
+//! * Replay under `CHAOS_THREADS`-style parallel fan-out must be
+//!   bit-identical to serial replay — machine streams are independent
+//!   and per-second sums merge in machine order.
+//! * `CHAOS_OBS=full` (which additionally emits the new `stream.drift`
+//!   events and refit spans) must be bit-identical to `off` — the
+//!   observability layer is a pure side channel.
+
+use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_core::FeatureSpec;
+use chaos_counters::{collect_run, CounterCatalog, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stats::ExecPolicy;
+use chaos_stream::{DriftConfig, StreamConfig, StreamEngine, StreamOutput};
+use chaos_workloads::{SimConfig, Workload};
+
+const PAR: ExecPolicy = ExecPolicy::Parallel { threads: 4 };
+
+/// A shifted test trace that reliably drives drift-triggered refits, so
+/// determinism is pinned on the *adaptive* path, not just pass-through.
+fn setup() -> (RobustEstimator, RunTrace, Cluster) {
+    let cluster = Cluster::homogeneous(Platform::Core2, 3, 33);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let train: Vec<RunTrace> = (0..2)
+        .map(|r| {
+            collect_run(
+                &cluster,
+                &catalog,
+                Workload::Prime,
+                &SimConfig::quick(),
+                800 + r,
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut test = collect_run(
+        &cluster,
+        &catalog,
+        Workload::Prime,
+        &SimConfig::quick(),
+        890,
+    )
+    .unwrap();
+    let start = 40.min(test.seconds());
+    for m in &mut test.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= 1.3;
+        }
+    }
+    let spec = FeatureSpec::general(&catalog);
+    let cpu = strawman_position(&spec, &catalog);
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let cfg = RobustConfig {
+        fit: RobustConfig::fast()
+            .fit
+            .with_freq_column(spec.freq_column(&catalog)),
+        ..RobustConfig::fast()
+    };
+    let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
+    (est, test, cluster)
+}
+
+fn config() -> StreamConfig {
+    StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+}
+
+fn replay(
+    est: &RobustEstimator,
+    test: &RunTrace,
+    cluster: &Cluster,
+    exec: ExecPolicy,
+) -> (Vec<StreamOutput>, String) {
+    let n = cluster.machines().len() as f64;
+    let mut eng = StreamEngine::new(
+        est.clone(),
+        cluster.machines().len(),
+        cluster.max_power() / n,
+        cluster.idle_power() / n,
+        0.05,
+        config().with_exec(exec),
+    )
+    .unwrap();
+    let outputs = eng.replay(test).unwrap();
+    let refits = serde_json::to_string(&eng.refit_outcomes()).unwrap();
+    (outputs, refits)
+}
+
+#[test]
+fn streaming_replay_is_policy_invariant() {
+    let (est, test, cluster) = setup();
+    let (serial, serial_refits) = replay(&est, &test, &cluster, ExecPolicy::Serial);
+    let (parallel, parallel_refits) = replay(&est, &test, &cluster, PAR);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.cluster_power_w.to_bits(),
+            p.cluster_power_w.to_bits(),
+            "second {}",
+            s.t
+        );
+        assert_eq!(s, p, "second {}", s.t);
+    }
+    // Refit decisions (timing, tier, selected columns) match too.
+    assert_eq!(serial_refits, parallel_refits);
+    // The adaptive path actually ran — otherwise this pins nothing new.
+    assert!(serial.iter().flat_map(|o| &o.machines).any(|s| s.adapted));
+}
+
+#[test]
+fn streaming_observability_full_is_bit_identical_to_off() {
+    let (est, test, cluster) = setup();
+
+    chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+    let (off, off_refits) = replay(&est, &test, &cluster, PAR);
+
+    // Full additionally walks the drift-event, refit-span, and
+    // window-occupancy histogram paths added for streaming.
+    chaos_obs::set_level(chaos_obs::ObsLevel::Full);
+    let (full, full_refits) = replay(&est, &test, &cluster, PAR);
+    let recorded_samples = chaos_obs::counters()
+        .iter()
+        .any(|(name, v)| name == "stream.samples" && *v > 0);
+    let recorded_refits = chaos_obs::counters()
+        .iter()
+        .any(|(name, v)| name.starts_with("stream.refits.") && *v > 0);
+    let recorded_occupancy = chaos_obs::histograms()
+        .iter()
+        .any(|(name, _)| name == "stream.window_occupancy");
+    chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+
+    assert_eq!(off.len(), full.len());
+    for (a, b) in off.iter().zip(&full) {
+        assert_eq!(a, b, "second {}", a.t);
+    }
+    assert_eq!(off_refits, full_refits);
+    // The side channel really recorded under Full; it just cannot feed
+    // back into the estimates.
+    assert!(recorded_samples, "stream.samples counter missing");
+    assert!(recorded_refits, "stream.refits.* counters missing");
+    assert!(recorded_occupancy, "window-occupancy histogram missing");
+}

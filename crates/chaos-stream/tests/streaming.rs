@@ -1,0 +1,215 @@
+//! End-to-end tests for the streaming engine: offline bit-identity,
+//! push/replay agreement, drift-triggered adaptation, and graceful
+//! degradation under faults.
+
+use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_core::FeatureSpec;
+use chaos_counters::{collect_run, CounterCatalog, FaultPlan, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stats::StatsError;
+use chaos_stream::{DriftConfig, StreamConfig, StreamEngine};
+use chaos_workloads::{SimConfig, Workload};
+
+fn setup() -> (Vec<RunTrace>, RunTrace, Cluster, CounterCatalog) {
+    let cluster = Cluster::homogeneous(Platform::Core2, 3, 21);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let train: Vec<RunTrace> = (0..2)
+        .map(|r| {
+            collect_run(
+                &cluster,
+                &catalog,
+                Workload::Prime,
+                &SimConfig::quick(),
+                700 + r,
+            )
+            .unwrap()
+        })
+        .collect();
+    let test = collect_run(
+        &cluster,
+        &catalog,
+        Workload::Prime,
+        &SimConfig::quick(),
+        790,
+    )
+    .unwrap();
+    (train, test, cluster, catalog)
+}
+
+fn estimator(train: &[RunTrace], cluster: &Cluster, catalog: &CounterCatalog) -> RobustEstimator {
+    let spec = FeatureSpec::general(catalog);
+    let cpu = strawman_position(&spec, catalog);
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let cfg = RobustConfig {
+        fit: RobustConfig::fast()
+            .fit
+            .with_freq_column(spec.freq_column(catalog)),
+        ..RobustConfig::fast()
+    };
+    RobustEstimator::fit(train, &spec, cpu, idle, cfg).unwrap()
+}
+
+fn engine(est: RobustEstimator, cluster: &Cluster, config: StreamConfig) -> StreamEngine {
+    let n = cluster.machines().len() as f64;
+    StreamEngine::new(
+        est,
+        cluster.machines().len(),
+        cluster.max_power() / n,
+        cluster.idle_power() / n,
+        0.05,
+        config,
+    )
+    .unwrap()
+}
+
+/// ISSUE 4's acceptance bar: with drift response disabled, replaying a
+/// run through the streaming engine yields predictions *bit-identical*
+/// to the offline batch estimator — same imputer evolution, same tiers,
+/// same machine-order summation.
+#[test]
+fn offline_equivalence_is_bit_exact() {
+    let (train, test, cluster, catalog) = setup();
+    let est = estimator(&train, &cluster, &catalog);
+    let offline = est.estimate_cluster(&test);
+    let mut eng = engine(est, &cluster, StreamConfig::offline());
+    let outputs = eng.replay(&test).unwrap();
+    assert_eq!(outputs.len(), offline.power_w.len());
+    for (out, (&p, &tier)) in outputs
+        .iter()
+        .zip(offline.power_w.iter().zip(&offline.worst_tier))
+    {
+        assert_eq!(
+            out.cluster_power_w.to_bits(),
+            p.to_bits(),
+            "second {}: stream {} vs offline {p}",
+            out.t,
+            out.cluster_power_w
+        );
+        assert_eq!(out.worst_tier, tier, "second {}", out.t);
+        assert!(!out.machines.iter().any(|s| s.adapted));
+    }
+    assert_eq!(eng.seconds_processed(), test.seconds());
+    assert!(eng.refit_outcomes().is_empty());
+}
+
+/// Feeding seconds one at a time is the same computation as replay.
+#[test]
+fn push_second_matches_replay() {
+    let (train, test, cluster, catalog) = setup();
+    let est = estimator(&train, &cluster, &catalog);
+    let mut replayed = engine(est.clone(), &cluster, StreamConfig::fast());
+    let outputs = replayed.replay(&test).unwrap();
+    let mut pushed = engine(est, &cluster, StreamConfig::fast());
+    for t in 0..test.seconds() {
+        let out = pushed.push_second(&test, t).unwrap();
+        assert_eq!(out, outputs[t], "second {t}");
+    }
+    assert_eq!(pushed.refit_counts(), replayed.refit_counts());
+}
+
+/// A sustained shift in measured power (e.g. a firmware change moving
+/// the power curve) must push rolling DRE past its thresholds, trigger
+/// refits, and leave the engine tracking the *new* relationship better
+/// than the frozen model does.
+#[test]
+fn drift_triggers_refits_and_adapts() {
+    let (train, test, cluster, catalog) = setup();
+    let est = estimator(&train, &cluster, &catalog);
+    // Shift the plant: from t=40 on, every meter reads 30% high.
+    let mut shifted = test.clone();
+    let start = 40.min(shifted.seconds());
+    for m in &mut shifted.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= 1.3;
+        }
+    }
+    let config = StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    };
+    let mut eng = engine(est, &cluster, config);
+    let outputs = eng.replay(&shifted).unwrap();
+    assert!(
+        !eng.refit_outcomes().is_empty(),
+        "a 30% power shift must trigger at least one refit"
+    );
+    assert!(outputs.iter().flat_map(|o| &o.machines).any(|s| s.adapted));
+    // After adaptation, late-run predictions should sit close to the
+    // shifted meter, not the original curve.
+    let n = outputs.len();
+    let late = &outputs[n - n / 4..];
+    let measured = shifted.cluster_measured_power();
+    let mean_err: f64 = late
+        .iter()
+        .map(|o| (o.cluster_power_w - measured[o.t]).abs())
+        .sum::<f64>()
+        / late.len() as f64;
+    let frozen_err: f64 = late
+        .iter()
+        .map(|o| (measured[o.t] - measured[o.t] / 1.3).abs())
+        .sum::<f64>()
+        / late.len() as f64;
+    assert!(
+        mean_err < frozen_err,
+        "adapted error {mean_err} W should beat the frozen-model gap {frozen_err} W"
+    );
+}
+
+/// Faulted streams degrade gracefully mid-stream: output stays finite
+/// every second and the fallback tiers do the answering, exactly as
+/// they do offline.
+#[test]
+fn faulted_stream_degrades_gracefully() {
+    let (train, test, cluster, catalog) = setup();
+    let est = estimator(&train, &cluster, &catalog);
+    let faulted = FaultPlan::new(41).with_counter_dropout(0.25).apply(&test);
+    let offline = est.estimate_cluster(&faulted);
+    let mut eng = engine(est, &cluster, StreamConfig::offline());
+    let outputs = eng.replay(&faulted).unwrap();
+    for (out, &p) in outputs.iter().zip(&offline.power_w) {
+        assert!(out.cluster_power_w.is_finite());
+        assert_eq!(
+            out.cluster_power_w.to_bits(),
+            p.to_bits(),
+            "second {}",
+            out.t
+        );
+    }
+    // Dropouts force the chain below Full somewhere.
+    assert!(outputs
+        .iter()
+        .any(|o| o.worst_tier > chaos_core::robust::EstimateTier::Full));
+}
+
+#[test]
+fn usage_errors_are_rejected() {
+    let (train, test, cluster, catalog) = setup();
+    let est = estimator(&train, &cluster, &catalog);
+    let mut eng = engine(est.clone(), &cluster, StreamConfig::offline());
+    // Out-of-order seconds.
+    assert!(matches!(
+        eng.push_second(&test, 5),
+        Err(StatsError::InvalidParameter { .. })
+    ));
+    eng.push_second(&test, 0).unwrap();
+    // Replay requires a pristine engine.
+    assert!(matches!(
+        eng.replay(&test),
+        Err(StatsError::InvalidParameter { .. })
+    ));
+    // Machine-count mismatch.
+    let small = Cluster::homogeneous(Platform::Core2, 2, 21);
+    let mut wrong = engine(est.clone(), &small, StreamConfig::offline());
+    assert!(matches!(
+        wrong.replay(&test),
+        Err(StatsError::DimensionMismatch { .. })
+    ));
+    // Zero machines rejected at construction.
+    assert!(StreamEngine::new(est, 0, 250.0, 100.0, 0.05, StreamConfig::offline()).is_err());
+}

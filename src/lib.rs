@@ -5,4 +5,5 @@ pub use chaos_mars as mars;
 pub use chaos_obs as obs;
 pub use chaos_sim as sim;
 pub use chaos_stats as stats;
+pub use chaos_stream as stream;
 pub use chaos_workloads as workloads;

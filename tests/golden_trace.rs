@@ -21,10 +21,14 @@
 
 use chaos::core::experiment::{ClusterExperiment, ExperimentConfig};
 use chaos::core::models::ModelTechnique;
+use chaos::core::robust::{strawman_position, RobustConfig, RobustEstimator};
 use chaos::core::sweep::sweep_grid;
-use chaos::sim::Platform;
+use chaos::core::FeatureSpec;
+use chaos::counters::{collect_run, CounterCatalog, RunTrace};
+use chaos::sim::{Cluster, Platform};
 use chaos::stats::exec::ExecPolicy;
-use chaos::workloads::Workload;
+use chaos::stream::{DriftConfig, StreamConfig, StreamEngine};
+use chaos::workloads::{SimConfig, Workload};
 use serde_json::{json, Value};
 use std::path::PathBuf;
 
@@ -168,6 +172,86 @@ fn sweep_fingerprint() -> Value {
     })
 }
 
+/// Streaming engine equivalent of the offline golden traces: a
+/// fixed-seed replay — with a mid-run meter shift so drift-triggered
+/// refits fire — reduced to an FNV-1a hash over the exact bit pattern
+/// of every per-second cluster prediction. The hash leaf is a string,
+/// so it is compared *exactly*: any change to the streaming numerics,
+/// refit scheduling, or composition order shows up here.
+fn streaming_fingerprint() -> Value {
+    let cluster = Cluster::homogeneous(Platform::Core2, 3, 96);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let sim = SimConfig::quick();
+    let train: Vec<RunTrace> = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &sim, 900 + r).unwrap())
+        .collect();
+    let mut test = collect_run(&cluster, &catalog, Workload::Prime, &sim, 990).unwrap();
+    let start = 40.min(test.seconds());
+    for m in &mut test.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= 1.3;
+        }
+    }
+
+    let spec = FeatureSpec::general(&catalog);
+    let cpu = strawman_position(&spec, &catalog);
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let cfg = RobustConfig {
+        fit: RobustConfig::fast()
+            .fit
+            .with_freq_column(spec.freq_column(&catalog)),
+        ..RobustConfig::fast()
+    };
+    let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).expect("offline fit");
+
+    let config = StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+    .with_exec(ExecPolicy::Parallel { threads: 4 });
+    let n = cluster.machines().len() as f64;
+    let mut eng = StreamEngine::new(
+        est,
+        cluster.machines().len(),
+        cluster.max_power() / n,
+        cluster.idle_power() / n,
+        0.05,
+        config,
+    )
+    .expect("engine");
+    let outputs = eng.replay(&test).expect("replay");
+
+    // FNV-1a over the little-endian bit pattern of every per-second
+    // cluster prediction: a bit-exact sequence digest.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for out in &outputs {
+        for byte in out.cluster_power_w.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let mean_power = outputs.iter().map(|o| o.cluster_power_w).sum::<f64>() / outputs.len() as f64;
+    json!({
+        "schema": "chaos-golden-streaming/1",
+        "platform": "Core2",
+        "workload": "prime",
+        "seconds": outputs.len(),
+        "prediction_hash": format!("{h:016x}"),
+        "mean_cluster_power_w": mean_power,
+        "refit_counts": eng.refit_counts(),
+        "adapted_samples": outputs
+            .iter()
+            .flat_map(|o| &o.machines)
+            .filter(|s| s.adapted)
+            .count(),
+    })
+}
+
 #[test]
 fn selection_matches_golden_trace() {
     let first = selection_fingerprint();
@@ -182,4 +266,12 @@ fn sweep_matches_golden_trace() {
     let second = sweep_fingerprint();
     assert_eq!(first, second, "sweep fingerprint is nondeterministic");
     check_golden("sweep_core2_prime_quick", &first);
+}
+
+#[test]
+fn streaming_matches_golden_trace() {
+    let first = streaming_fingerprint();
+    let second = streaming_fingerprint();
+    assert_eq!(first, second, "streaming fingerprint is nondeterministic");
+    check_golden("streaming_core2_quick", &first);
 }
