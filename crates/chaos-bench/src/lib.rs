@@ -4,6 +4,9 @@
 //! Each binary prints a formatted table to stdout and writes a CSV copy
 //! under `results/` so EXPERIMENTS.md can reference stable artifacts.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::fmt::Display;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -13,8 +16,12 @@ pub fn results_dir() -> PathBuf {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
+        // chaos-lint: allow(R4) — crate layout invariant (chaos-bench
+        // sits two levels below the workspace root).
         .expect("workspace root exists")
         .join("results");
+    // chaos-lint: allow(R4) — experiment plumbing: an unwritable results
+    // dir should abort the run loudly, not be papered over.
     fs::create_dir_all(&dir).expect("can create results directory");
     dir
 }
@@ -67,6 +74,8 @@ pub fn write_csv<S: Display>(name: &str, headers: &[&str], rows: &[Vec<S>]) -> P
         body.push_str(&line.join(","));
         body.push('\n');
     }
+    // chaos-lint: allow(R4) — experiment plumbing: losing the CSV
+    // artifact silently would invalidate EXPERIMENTS.md references.
     fs::write(&path, body).expect("can write CSV artifact");
     path
 }

@@ -142,6 +142,8 @@ pub fn evaluate(
     let _span = chaos_obs::span("eval.evaluate");
     chaos_obs::add("eval.evaluations", 1);
     chaos_obs::add("eval.folds", traces.len() as u64);
+    // chaos-lint: allow(R4) — Cluster construction asserts at least
+    // one machine, so machines()[0] cannot be out of bounds.
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
@@ -294,6 +296,8 @@ fn evaluate_faulted_prepared(
     }
     let _span = chaos_obs::span("eval.faulted");
     chaos_obs::add("eval.faulted_evaluations", 1);
+    // chaos-lint: allow(R4) — Cluster construction asserts at least
+    // one machine, so machines()[0] cannot be out of bounds.
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let cfg = RobustConfig {

@@ -105,6 +105,9 @@ impl ClusterExperiment {
                     .wrapping_add((wi * 101 + run) as u64);
                 traces.push(
                     collect_run(&cluster, &catalog, *w, &config.sim, seed)
+                        // chaos-lint: allow(R4) — the catalog is built
+                        // from this cluster's own platform, so collection
+                        // cannot miss counters.
                         .expect("homogeneous cluster with its own catalog collects"),
                 );
             }
@@ -139,6 +142,8 @@ impl ClusterExperiment {
         let r = self
             .ranges
             .get(workload.name())
+            // chaos-lint: allow(R4) — documented panic contract: callers
+            // may only ask for workloads named in the collection config.
             .unwrap_or_else(|| panic!("workload {workload} not collected"))
             .clone();
         &self.traces[r]

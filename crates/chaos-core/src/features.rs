@@ -44,6 +44,8 @@ impl FeatureSpec {
     pub fn cpu_only(catalog: &CounterCatalog) -> Self {
         let idx = catalog
             .index_of("Processor\\% Processor Time (_Total)")
+            // chaos-lint: allow(R4) — documented panic contract; every
+            // for_platform catalog exposes the utilization counter.
             .expect("catalog must expose processor utilization");
         FeatureSpec::new(vec![idx])
     }
@@ -59,6 +61,8 @@ impl FeatureSpec {
             .map(|n| {
                 catalog
                     .index_of(n)
+                    // chaos-lint: allow(R4) — documented panic contract;
+                    // the general counter set is part of every catalog.
                     .unwrap_or_else(|| panic!("catalog missing general counter {n}"))
             })
             .collect();
@@ -74,6 +78,8 @@ impl FeatureSpec {
     pub fn with_lagged_freq(&self, catalog: &CounterCatalog) -> Self {
         let f = catalog
             .index_of("Processor Performance\\Processor Frequency (Processor_0)")
+            // chaos-lint: allow(R4) — documented panic contract; every
+            // for_platform catalog exposes the core-0 frequency counter.
             .expect("catalog must expose core-0 frequency");
         let mut lagged = self.lagged.clone();
         if !lagged.contains(&f) {

@@ -105,6 +105,8 @@ pub fn evaluate_pooling(
             required: 2,
         });
     }
+    // chaos-lint: allow(R4) — Cluster construction asserts at least
+    // one machine, so machines()[0] cannot be out of bounds.
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
@@ -372,6 +374,8 @@ pub fn evaluate_pooling_cluster(
             required: 2,
         });
     }
+    // chaos-lint: allow(R4) — Cluster construction asserts at least
+    // one machine, so machines()[0] cannot be out of bounds.
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let opts = config.fit.with_freq_column(spec.freq_column(&catalog));
@@ -433,6 +437,8 @@ pub fn evaluate_pooling_cluster(
                 let sub = ds.subset(&rows);
                 let pred = match strategy {
                     PoolingStrategy::Pooled => {
+                        // chaos-lint: allow(R4) — the Pooled arm above
+                        // fits this model before any prediction runs.
                         pooled_model.as_ref().expect("fitted").predict(&sub.x)?
                     }
                     PoolingStrategy::PerMachine => per_machine
@@ -441,6 +447,8 @@ pub fn evaluate_pooling_cluster(
                         .predict(&sub.x)?,
                     PoolingStrategy::Mixed => mixed_model
                         .as_ref()
+                        // chaos-lint: allow(R4) — the Mixed arm above
+                        // fits this model before any prediction runs.
                         .expect("fitted")
                         .predict(&sub, machine.id())?,
                 };

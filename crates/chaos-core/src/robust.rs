@@ -34,7 +34,7 @@ use chaos_stats::exec::ExecPolicy;
 use chaos_stats::{Matrix, StatsError};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// How the estimator bridges short gaps in individual features before
 /// falling back to a reduced model.
@@ -232,6 +232,9 @@ impl ImputerState {
             ImputePolicy::CarryForward { .. } => self.last_valid[k].last().copied(),
             ImputePolicy::RollingMedian { .. } => {
                 let mut h = self.last_valid[k].clone();
+                // chaos-lint: allow(R4) — only finite samples enter
+                // last_valid (guarded at insertion), so partial_cmp
+                // always succeeds.
                 h.sort_by(|a, b| a.partial_cmp(b).expect("history is finite"));
                 Some(h[h.len() / 2])
             }
@@ -513,7 +516,7 @@ impl RobustEstimator {
             .par_map(&run.machines, |m| self.estimate_machine(m));
         let mut total = vec![0.0_f64; n];
         let mut worst = vec![EstimateTier::Full; n];
-        let mut tier_counts: HashMap<EstimateTier, usize> = HashMap::new();
+        let mut tier_counts: BTreeMap<EstimateTier, usize> = BTreeMap::new();
         for est in &per_machine {
             for (t, e) in est.iter().enumerate().take(n) {
                 total[t] += e.power_w;
@@ -531,6 +534,8 @@ impl RobustEstimator {
             }
             let transitions: usize = per_machine
                 .iter()
+                // chaos-lint: allow(R4) — windows(2) yields exactly
+                // two elements per window.
                 .map(|est| est.windows(2).filter(|w| w[0].tier != w[1].tier).count())
                 .sum();
             chaos_obs::add("robust.tier_transitions", transitions as u64);
@@ -552,8 +557,10 @@ pub struct ClusterEstimate {
     pub power_w: Vec<f64>,
     /// Per second, the least capable tier any machine needed.
     pub worst_tier: Vec<EstimateTier>,
-    /// How many (machine, second) samples each tier answered.
-    pub tier_counts: HashMap<EstimateTier, usize>,
+    /// How many (machine, second) samples each tier answered. Ordered
+    /// by tier so iteration (metrics emission, serialized reports) is
+    /// byte-stable run to run.
+    pub tier_counts: BTreeMap<EstimateTier, usize>,
 }
 
 impl ClusterEstimate {

@@ -53,6 +53,8 @@ pub fn sweep_grid(
     techniques: &[ModelTechnique],
     config: &EvalConfig,
 ) -> Result<Vec<SweepCell>, StatsError> {
+    // chaos-lint: allow(R4) — Cluster construction asserts at least
+    // one machine, so machines()[0] cannot be out of bounds.
     let catalog =
         chaos_counters::CounterCatalog::for_platform(&cluster.machines()[0].spec().platform.spec());
     let cell_config = if config.exec.is_parallel() {
@@ -107,6 +109,8 @@ pub fn best_cell(cells: &[SweepCell]) -> Option<&SweepCell> {
         a.outcome
             .avg_dre()
             .partial_cmp(&b.outcome.avg_dre())
+            // chaos-lint: allow(R4) — avg_dre averages finite per-fold
+            // DREs (evaluate rejects non-finite predictions).
             .expect("DRE values are finite")
     })
 }

@@ -177,6 +177,79 @@ fn observability_full_is_bit_identical_to_off() {
         .any(|(name, _)| name == "span.selection.total"));
 }
 
+/// Regression for the `tier_counts` map: it feeds metrics emission and
+/// user-facing reports, so its iteration order must be byte-stable. It
+/// is a `BTreeMap` ordered by tier; serializing the same cluster
+/// estimate twice — and across execution policies — must produce
+/// identical bytes. (With a `HashMap` this flaked across processes via
+/// `RandomState`.)
+#[test]
+fn tier_counts_report_is_byte_stable() {
+    use chaos_core::robust::{strawman_position, RobustEstimator};
+
+    let (traces, cluster, catalog) = setup(2);
+    let spec = FeatureSpec::general(&catalog);
+    let config = RobustConfig::fast();
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let estimator = RobustEstimator::fit(
+        &traces,
+        &spec,
+        strawman_position(&spec, &catalog),
+        idle,
+        config,
+    )
+    .unwrap();
+    // Fault the live run so several tiers answer and the map holds more
+    // than one entry — a single-entry map can never expose order bugs.
+    let live = FaultPlan::new(42).with_counter_dropout(0.2).apply(
+        &collect_run(
+            &cluster,
+            &catalog,
+            Workload::Prime,
+            &SimConfig::quick(),
+            1234,
+        )
+        .unwrap(),
+    );
+
+    let render = |est: &chaos_core::robust::ClusterEstimate| {
+        let mut out = String::new();
+        for (tier, count) in &est.tier_counts {
+            out.push_str(&format!("{}={count};", tier.label()));
+        }
+        out.push_str(&format!("{:?}", est.tier_counts));
+        out
+    };
+
+    let serial = estimator.estimate_cluster(&live);
+    assert!(
+        serial.tier_counts.len() > 1,
+        "fixture must exercise several tiers: {:?}",
+        serial.tier_counts
+    );
+    // Same estimate rendered twice: identical bytes.
+    assert_eq!(render(&serial).into_bytes(), render(&serial).into_bytes());
+    // Re-estimated from scratch: identical bytes.
+    assert_eq!(
+        render(&serial).into_bytes(),
+        render(&estimator.estimate_cluster(&live)).into_bytes()
+    );
+    // And across execution policies.
+    let par_estimator = RobustEstimator::fit(
+        &traces,
+        &spec,
+        strawman_position(&spec, &catalog),
+        idle,
+        RobustConfig {
+            exec: PAR,
+            ..RobustConfig::fast()
+        },
+    )
+    .unwrap();
+    let parallel = par_estimator.estimate_cluster(&live);
+    assert_eq!(render(&serial).into_bytes(), render(&parallel).into_bytes());
+}
+
 #[test]
 fn fault_sweep_is_policy_invariant() {
     let (traces, cluster, catalog) = setup(2);

@@ -550,6 +550,8 @@ pub fn collect_run(
     if !cluster.is_homogeneous() {
         return Err(CollectError::HeterogeneousCluster);
     }
+    // chaos-lint: allow(R4) — Cluster construction asserts at least
+    // one machine, so machines()[0] cannot be out of bounds.
     let platform = cluster.machines()[0].spec().platform;
     let expected = CounterCatalog::for_platform(&platform.spec()).len();
     if catalog.len() != expected {

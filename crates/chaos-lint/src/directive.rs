@@ -1,0 +1,283 @@
+//! Suppression directives: `// chaos-lint: allow(R2) — reason`.
+//!
+//! A directive names one or more rules and **must** carry a written
+//! reason after an `—` / `-` / `:` separator; a reason-less directive
+//! never suppresses anything (it is reported as a warning instead), so
+//! the audit trail in `results/lint.json` always explains *why* each
+//! finding was accepted.
+//!
+//! Two scopes exist:
+//!
+//! * `allow(<rules>)` — suppresses matching findings inside the
+//!   comment's contiguous block or within the statement that starts on
+//!   the first code line after it (a block header stops at its `{`, so
+//!   an allow above a loop never covers the loop body).
+//! * `allow-file(<rules>)` — suppresses matching findings anywhere in
+//!   the file; conventionally placed in the file header.
+
+use crate::lexer::Comment;
+
+/// How far a directive reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Same line as the comment, or the line immediately below it.
+    Line,
+    /// The whole containing file.
+    File,
+}
+
+/// One parsed suppression directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Line or file scope.
+    pub scope: Scope,
+    /// Uppercased rule IDs this directive names (e.g. `["R1", "R4"]`).
+    pub rules: Vec<String>,
+    /// The written justification; `None` when the author omitted it
+    /// (which disables the directive and raises a warning).
+    pub reason: Option<String>,
+    /// 1-based line of the comment carrying the marker.
+    pub line: usize,
+    /// Last line of the contiguous comment block the marker sits in.
+    /// Long reasons wrap onto further `//` lines; line scope covers the
+    /// whole block plus the first code line after it.
+    pub end_line: usize,
+}
+
+/// A malformed directive, reported as a lint warning.
+#[derive(Debug, Clone)]
+pub struct ParseProblem {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+}
+
+const MARKER: &str = "chaos-lint:";
+
+/// Extracts all directives (and malformed attempts) from a file's
+/// comment stream.
+pub fn parse(comments: &[Comment]) -> (Vec<Directive>, Vec<ParseProblem>) {
+    let mut directives = Vec::new();
+    let mut problems = Vec::new();
+    for (i, comment) in comments.iter().enumerate() {
+        if is_doc(comment) {
+            continue;
+        }
+        let Some(idx) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let rest = comment.text[idx + MARKER.len()..].trim_start();
+        match parse_one(rest, comment.line) {
+            Ok(mut d) => {
+                d.end_line = block_end(comments, i);
+                // A long reason wraps onto the following `//` lines of
+                // the same block; fold them back into one string so the
+                // JSON audit trail carries the full justification.
+                if let Some(reason) = d.reason.as_mut() {
+                    for c in continuation_comments(comments, i) {
+                        reason.push(' ');
+                        reason.push_str(c.text.trim());
+                    }
+                }
+                directives.push(d);
+            }
+            Err(message) => problems.push(ParseProblem {
+                line: comment.line,
+                message,
+            }),
+        }
+    }
+    (directives, problems)
+}
+
+/// Doc comments never carry live directives — they are where the
+/// suppression *syntax* is documented, so treating them as directives
+/// would make every syntax example a phantom suppression. After the
+/// lexer strips `//` / `/*`, doc text starts with `/` (`///`), `!`
+/// (`//!`, `/*!`), or `*` (`/**`).
+fn is_doc(comment: &Comment) -> bool {
+    matches!(comment.text.chars().next(), Some('/' | '!' | '*'))
+}
+
+/// Last line of the contiguous run of plain comments starting at
+/// `comments[i]` — a directive's reason may wrap across several `//`
+/// lines, and they all belong to the directive.
+fn block_end(comments: &[Comment], i: usize) -> usize {
+    let first = match comments.get(i) {
+        Some(c) => c,
+        None => return 0,
+    };
+    let mut end = first.line + first.text.matches('\n').count();
+    for c in comments.iter().skip(i + 1) {
+        if is_doc(c) || c.line > end + 1 {
+            break;
+        }
+        end = end.max(c.line + c.text.matches('\n').count());
+    }
+    end
+}
+
+/// The plain comments continuing the block that starts at `comments[i]`
+/// (same contiguity test as [`block_end`]).
+fn continuation_comments(comments: &[Comment], i: usize) -> impl Iterator<Item = &Comment> {
+    let mut end = comments
+        .get(i)
+        .map(|c| c.line + c.text.matches('\n').count())
+        .unwrap_or(0);
+    comments.iter().skip(i + 1).take_while(move |c| {
+        if is_doc(c) || c.line > end + 1 {
+            return false;
+        }
+        end = end.max(c.line + c.text.matches('\n').count());
+        true
+    })
+}
+
+fn parse_one(rest: &str, line: usize) -> Result<Directive, String> {
+    let (scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (Scope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (Scope::Line, r)
+    } else {
+        return Err(format!(
+            "malformed chaos-lint directive: expected `allow(...)` or `allow-file(...)`, found `{}`",
+            rest.trim()
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("malformed chaos-lint directive: missing `(` after allow".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("malformed chaos-lint directive: missing `)` after rule list".to_string());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("malformed chaos-lint directive: empty rule list".to_string());
+    }
+    let reason = strip_separator(rest[close + 1..].trim());
+    Ok(Directive {
+        scope,
+        rules,
+        reason,
+        line,
+        end_line: line,
+    })
+}
+
+/// Accepts `— reason`, `– reason`, `- reason`, `-- reason` or
+/// `: reason`; returns `None` when no non-empty reason follows.
+fn strip_separator(s: &str) -> Option<String> {
+    let s = s
+        .strip_prefix('\u{2014}') // em dash
+        .or_else(|| s.strip_prefix('\u{2013}')) // en dash
+        .or_else(|| s.strip_prefix("--"))
+        .or_else(|| s.strip_prefix('-'))
+        .or_else(|| s.strip_prefix(':'))
+        .unwrap_or(s);
+    let reason = s.trim();
+    if reason.is_empty() {
+        None
+    } else {
+        Some(reason.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(line: usize, text: &str) -> Comment {
+        Comment {
+            line,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_line_allow_with_em_dash_reason() {
+        let (ds, ps) = parse(&[comment(
+            7,
+            " chaos-lint: allow(R2) — span timing is a side channel",
+        )]);
+        assert!(ps.is_empty());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].scope, Scope::Line);
+        assert_eq!(ds[0].rules, ["R2"]);
+        assert_eq!(
+            ds[0].reason.as_deref(),
+            Some("span timing is a side channel")
+        );
+        assert_eq!(ds[0].line, 7);
+    }
+
+    #[test]
+    fn parses_file_scope_and_multiple_rules() {
+        let (ds, _) = parse(&[comment(
+            1,
+            " chaos-lint: allow-file(r1, R4) - numeric kernel",
+        )]);
+        assert_eq!(ds[0].scope, Scope::File);
+        assert_eq!(ds[0].rules, ["R1", "R4"]);
+        assert_eq!(ds[0].reason.as_deref(), Some("numeric kernel"));
+    }
+
+    #[test]
+    fn missing_reason_is_kept_but_reasonless() {
+        let (ds, ps) = parse(&[comment(3, " chaos-lint: allow(R4)")]);
+        assert!(ps.is_empty());
+        assert_eq!(ds[0].reason, None);
+    }
+
+    #[test]
+    fn malformed_directives_are_problems_not_panics() {
+        let (ds, ps) = parse(&[
+            comment(1, " chaos-lint: disallow(R1) — nope"),
+            comment(2, " chaos-lint: allow R1 — missing parens"),
+            comment(3, " chaos-lint: allow() — empty"),
+        ]);
+        assert!(ds.is_empty());
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        // A doc-comment syntax example reaches us with a leading `/`,
+        // `!`, or `*` (the third marker char survives lexing).
+        let (ds, ps) = parse(&[
+            comment(1, "/ chaos-lint: allow(R4) — doc example"),
+            comment(2, "! chaos-lint: allow(R2) — crate-doc example"),
+            comment(3, "* chaos-lint: allow(R1) — block-doc example"),
+        ]);
+        assert!(ds.is_empty());
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn wrapped_reason_extends_the_block() {
+        let (ds, _) = parse(&[
+            comment(10, " chaos-lint: allow(R2) — the reason is long and"),
+            comment(11, " wraps onto a second comment line"),
+            comment(14, " unrelated comment far below"),
+        ]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 10);
+        assert_eq!(ds[0].end_line, 11);
+        assert_eq!(
+            ds[0].reason.as_deref(),
+            Some("the reason is long and wraps onto a second comment line")
+        );
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (ds, ps) = parse(&[comment(1, " plain comment about chaos lint generally")]);
+        assert!(ds.is_empty());
+        assert!(ps.is_empty());
+    }
+}

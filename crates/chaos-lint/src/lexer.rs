@@ -1,0 +1,446 @@
+//! A minimal Rust lexer: just enough structure for determinism auditing.
+//!
+//! The auditor's rules are token-pattern matchers, so the lexer's only
+//! jobs are (a) producing identifiers, literals and punctuation with
+//! line numbers, and (b) making sure text inside comments and string
+//! literals can never trip a rule (a doc-comment mentioning
+//! `.unwrap()` is not a panic site). Comments are kept separately so
+//! the suppression-directive parser can read them.
+//!
+//! The lexer is deliberately forgiving: on malformed input it keeps
+//! scanning rather than erroring, because the auditor must never be the
+//! component that takes CI down on a file rustc itself will reject with
+//! a better message.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `unwrap`, `r#async`).
+    Ident,
+    /// A lifetime (`'a`, `'static`), distinguished from char literals.
+    Lifetime,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`); `text` holds the
+    /// *contents* without quotes, with escapes left unprocessed.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (`42`, `0.5`, `1e-9`, `0xff_u64`).
+    Num,
+    /// A single punctuation character (`.` `:` `[` `(` `!` …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: usize,
+}
+
+/// One comment (line, block, or doc) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: usize,
+    /// Comment body without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The lexer's output: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order (directives are parsed from these).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails; unterminated
+/// constructs extend to end of input.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: LexOutput,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: LexOutput::default(),
+            src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> LexOutput {
+        // `src` is only retained to make the borrow in `new` natural;
+        // silence the field otherwise.
+        let _ = self.src;
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'r' | 'b' => {
+                    self.raw_or_byte_prefix();
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push_tok(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and raw identifiers
+    /// (`r#match`); falls back to a plain identifier. Always consumes at
+    /// least one character.
+    fn raw_or_byte_prefix(&mut self) {
+        let line = self.line;
+        let c0 = match self.peek(0) {
+            Some(c) => c,
+            None => return,
+        };
+        // Determine the longest literal prefix at this position.
+        let (skip, is_raw) = match (c0, self.peek(1), self.peek(2)) {
+            ('r', Some('"'), _) | ('r', Some('#'), _) => (1, true),
+            ('b', Some('"'), _) => (1, false),
+            ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => (2, true),
+            ('b', Some('\''), _) => {
+                // byte char literal b'x'
+                self.bump(); // b
+                self.char_or_lifetime(line);
+                return;
+            }
+            _ => {
+                // Plain identifier starting with r/b.
+                self.ident(line);
+                return;
+            }
+        };
+        if is_raw {
+            // Count hashes after the `r`.
+            let mut hashes = 0usize;
+            while self.peek(skip + hashes) == Some('#') {
+                hashes += 1;
+            }
+            match self.peek(skip + hashes) {
+                Some('"') => {
+                    for _ in 0..(skip + hashes + 1) {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes, line);
+                    return;
+                }
+                // `r#ident` — a raw identifier, not a raw string.
+                Some(c) if hashes == 1 && (c == '_' || c.is_alphabetic()) => {
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.ident(line);
+                    return;
+                }
+                _ => {
+                    self.ident(line);
+                    return;
+                }
+            }
+        }
+        // b"…"
+        for _ in 0..skip {
+            self.bump();
+        }
+        self.string_literal(line);
+    }
+
+    fn raw_string_body(&mut self, hashes: usize, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.push_tok(TokKind::Str, text, line);
+                    return;
+                }
+                text.push('"');
+                for _ in 0..matched {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push_tok(TokKind::Str, text, line);
+    }
+
+    fn string_literal(&mut self, line: usize) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => {
+                    self.push_tok(TokKind::Str, text, line);
+                    return;
+                }
+                '\\' => {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                c => text.push(c),
+            }
+        }
+        self.push_tok(TokKind::Str, text, line);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // opening quote
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let is_lifetime = match (first, second) {
+            (Some(c), Some(n)) if c == '_' || c.is_alphabetic() => {
+                // `'a'` is a char; `'ab`, `'a,`, `'a>` are lifetimes.
+                n != '\''
+            }
+            (Some(c), None) => c == '_' || c.is_alphabetic(),
+            _ => false,
+        };
+        if is_lifetime {
+            let mut name = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_tok(TokKind::Lifetime, name, line);
+            return;
+        }
+        // Char literal: consume until the closing quote, escape-aware.
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                c => text.push(c),
+            }
+        }
+        self.push_tok(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // Covers hex/oct/bin digits, exponents and type suffixes;
+                // `1e-9` loses its `-9` tail, which no rule needs.
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !seen_dot && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+            {
+                // `0.5` continues the number; `0..n` does not.
+                seen_dot = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_separated_from_tokens() {
+        let out = lex("let x = 1; // trailing\n/* block\nspans */ let y = 2;");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].text, " trailing");
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!(out.comments[1].line, 2);
+        assert!(out.tokens.iter().any(|t| t.text == "y" && t.line == 3));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let out = lex("/* a /* b */ c */ fn main() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.tokens.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let out = lex(r#"let s = "x.unwrap() // not a comment";"#);
+        assert_eq!(out.comments.len(), 0);
+        assert!(!out.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let out = lex(r##"let a = r#"raw "inner" body"#; let r#match = 1;"##);
+        let strs: Vec<&Tok> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r#"raw "inner" body"#);
+        assert!(out.tokens.iter().any(|t| t.text == "match"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "x".to_string())));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = kinds(r"let q = '\''; let n = '\n';");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..n { a[0] = 1.5; }");
+        assert!(toks.contains(&(TokKind::Num, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "1.5".to_string())));
+        assert!(toks.contains(&(TokKind::Punct, ".".to_string())));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let b = b"bytes"; let c = b'x';"#);
+        assert!(toks.contains(&(TokKind::Str, "bytes".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "x".to_string())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_inside_literals() {
+        let out = lex("let a = \"one\ntwo\";\nlet b = 1;");
+        let b = out.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! `chaos-lint`: a static determinism auditor for the CHAOS workspace.
+//!
+//! CHAOS's headline accuracy claims (DRE < 12%, Eq. 6) are reproducible
+//! only because every engine in this workspace — the parallel selection
+//! pipeline, the robust estimator, the streaming replay — is pinned to
+//! *bit-identical* output across `CHAOS_THREADS` and `CHAOS_OBS`
+//! settings. Golden traces and serial-vs-threaded tests enforce those
+//! invariants dynamically, but they catch a violation long after it is
+//! written. This crate closes the gap with a static pass that rejects
+//! nondeterminism hazards at the source level, per PR instead of per
+//! regression.
+//!
+//! # Rules
+//!
+//! See [`rules::RULES`] for the registry: R1 (hash iteration order),
+//! R2 (wall-clock/entropy reads), R3 (`CHAOS_*` env reads outside the
+//! sanctioned config entry points), R4 (panic paths in library code),
+//! R5 (crate hygiene headers).
+//!
+//! # Suppressions
+//!
+//! Intentional sites are annotated in place:
+//!
+//! ```text
+//! // chaos-lint: allow(R2) — span timing is a side channel; results
+//! // are bit-identical with CHAOS_OBS=off (determinism suite).
+//! ```
+//!
+//! A suppression **must** carry a reason; reason-less or unmatched
+//! allows are themselves reported as warnings. Suppressed findings stay
+//! visible in `results/lint.json` under `"suppressed"`.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p chaos-lint            # report, write results/lint.json
+//! cargo run -p chaos-lint -- --deny  # exit nonzero on any finding (CI)
+//! ```
+//!
+//! The analysis is token-based (no type inference — the crate is
+//! dependency-free so it can gate CI before anything else builds), so
+//! each rule errs toward firing and documents its blind spots; the
+//! dynamic determinism suite remains the backstop.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod directive;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::{Finding, Report, Suppressed, Warning};
+pub use rules::{Config, RuleMeta, RULES};
+pub use scan::{FileRole, SourceFile};
+
+use std::io;
+use std::path::Path;
+
+/// Lints a set of already-loaded source files (fixture tests enter
+/// here).
+pub fn lint_files(files: &[SourceFile], cfg: &Config) -> Report {
+    let mut raw = Vec::new();
+    for file in files {
+        raw.extend(rules::check_file(file, cfg));
+    }
+    raw.extend(rules::check_hygiene(files));
+    Report::assemble(files, raw)
+}
+
+/// Lints every `.rs` file under `root` (the workspace checkout).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn lint_root(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let paths = scan::collect_paths(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        files.push(SourceFile::load(root, p)?);
+    }
+    Ok(lint_files(&files, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_over_in_memory_workspace() {
+        let bad = SourceFile::from_source(
+            "crates/demo/src/lib.rs",
+            "//! demo\nfn f(v: &[f64]) -> f64 { v.first().copied().unwrap() }\n",
+        );
+        let report = lint_files(&[bad], &Config::default());
+        // R5 (missing hygiene headers, line 1) + R4 (unwrap, line 2).
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["R5", "R4"], "{:?}", report.findings);
+    }
+
+    #[test]
+    fn clean_file_produces_clean_report() {
+        let good = SourceFile::from_source(
+            "crates/demo/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! demo\n\n/// Adds.\npub fn add(a: u64, b: u64) -> u64 { a + b }\n",
+        );
+        let report = lint_files(&[good], &Config::default());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.warnings.is_empty());
+        assert_eq!(report.files_scanned, 1);
+    }
+}

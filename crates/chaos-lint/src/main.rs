@@ -1,0 +1,97 @@
+//! CLI for the workspace determinism auditor.
+//!
+//! ```text
+//! chaos-lint [--root <dir>] [--json <path>] [--deny] [--list-rules]
+//! ```
+//!
+//! * `--root` — workspace checkout to audit (default: walk up from the
+//!   current directory to the first `Cargo.toml` with `[workspace]`).
+//! * `--json` — where to write the machine-readable report (default
+//!   `<root>/results/lint.json`).
+//! * `--deny` — exit nonzero when any unsuppressed finding remains
+//!   (the CI gate).
+//! * `--list-rules` — print the rule registry and exit.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--list-rules" => {
+                for r in chaos_lint::RULES {
+                    println!("{} ({}): {}", r.id, r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: chaos-lint [--root <dir>] [--json <path>] [--deny] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("chaos-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("chaos-lint: no workspace root found (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match chaos_lint::lint_root(&root, &chaos_lint::Config::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_human());
+    let json_path = json.unwrap_or_else(|| root.join("results").join("lint.json"));
+    if let Some(parent) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("chaos-lint: cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, report.render_json()) {
+        eprintln!("chaos-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("machine-readable report: {}", json_path.display());
+    if deny && !report.findings.is_empty() {
+        eprintln!(
+            "chaos-lint: --deny: {} unsuppressed finding(s)",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir: PathBuf = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let body = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if body.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        dir = Path::new(&dir).parent()?.to_path_buf();
+    }
+}

@@ -1,0 +1,444 @@
+//! Findings, suppression bookkeeping, and report rendering.
+//!
+//! The auditor produces one [`Report`] per run with three buckets:
+//!
+//! * `findings` — live violations; `--deny` turns these into a nonzero
+//!   exit for CI.
+//! * `suppressed` — findings matched by a reasoned
+//!   `// chaos-lint: allow(...)` directive; kept in the JSON output so
+//!   the audit trail of accepted nondeterminism stays reviewable.
+//! * `warnings` — problems with the suppressions themselves: unused
+//!   allow comments, reason-less allows, malformed directives.
+//!
+//! JSON rendering is hand-rolled (the crate is dependency-free by
+//! design); escaping matches `chaos_obs::sink::json_escape` semantics.
+
+use crate::directive::{Directive, Scope};
+use crate::rules::RULES;
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule ID (`R1`…`R5`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What was found, with the offending construct inline.
+    pub message: String,
+    /// Rule-generic fix hint.
+    pub hint: String,
+}
+
+/// A finding that a reasoned directive accepted.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The directive's written justification.
+    pub reason: String,
+    /// `"line"` or `"file"` — which directive scope matched.
+    pub scope: &'static str,
+}
+
+/// A problem with the suppression machinery itself.
+#[derive(Debug, Clone)]
+pub struct Warning {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// The complete result of one audit run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Live (unsuppressed) findings, sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+    /// Findings accepted by reasoned directives.
+    pub suppressed: Vec<Suppressed>,
+    /// Suppression-machinery warnings.
+    pub warnings: Vec<Warning>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Splits raw findings into live/suppressed using each file's
+    /// directives, and appends directive warnings (unused, reason-less,
+    /// malformed, unknown rule).
+    pub fn assemble(files: &[SourceFile], mut raw: Vec<Finding>) -> Report {
+        raw.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        let mut report = Report {
+            files_scanned: files.len(),
+            ..Report::default()
+        };
+        // Track (file, directive-line) pairs that suppressed something.
+        let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
+        for finding in raw {
+            let file = files.iter().find(|f| f.rel_path == finding.file);
+            match file.and_then(|f| matching_directive(f, &finding)) {
+                Some((d, scope)) => {
+                    used.insert((finding.file.clone(), d.line));
+                    report.suppressed.push(Suppressed {
+                        finding,
+                        // `matching_directive` only returns reasoned
+                        // directives, so the fallback is unreachable.
+                        reason: d.reason.clone().unwrap_or_default(),
+                        scope,
+                    });
+                }
+                None => report.findings.push(finding),
+            }
+        }
+        for file in files {
+            for p in &file.directive_problems {
+                report.warnings.push(Warning {
+                    file: file.rel_path.clone(),
+                    line: p.line,
+                    message: p.message.clone(),
+                });
+            }
+            for d in &file.directives {
+                let known: Vec<&str> = d
+                    .rules
+                    .iter()
+                    .filter(|r| RULES.iter().any(|m| m.id == r.as_str()))
+                    .map(String::as_str)
+                    .collect();
+                for unknown in d.rules.iter().filter(|r| !known.contains(&r.as_str())) {
+                    report.warnings.push(Warning {
+                        file: file.rel_path.clone(),
+                        line: d.line,
+                        message: format!("allow names unknown rule `{unknown}`"),
+                    });
+                }
+                if d.reason.is_none() {
+                    report.warnings.push(Warning {
+                        file: file.rel_path.clone(),
+                        line: d.line,
+                        message: format!(
+                            "allow({}) has no reason — a suppression must say why; it was not applied",
+                            d.rules.join(", ")
+                        ),
+                    });
+                } else if !known.is_empty() && !used.contains(&(file.rel_path.clone(), d.line)) {
+                    report.warnings.push(Warning {
+                        file: file.rel_path.clone(),
+                        line: d.line,
+                        message: format!(
+                            "allow({}) matched no finding — remove it or fix the rule list",
+                            d.rules.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+        report
+            .warnings
+            .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+        report
+    }
+
+    /// Renders the human-readable (rustc-style) report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let name = crate::rules::rule(&f.rule).map(|m| m.name).unwrap_or("?");
+            out.push_str(&format!(
+                "{} [{name}] {}:{}: {}\n    hint: {}\n",
+                f.rule, f.file, f.line, f.message, f.hint
+            ));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning {}:{}: {}\n", w.file, w.line, w.message));
+        }
+        out.push_str(&format!(
+            "chaos-lint: {} file(s) scanned, {} finding(s), {} suppressed, {} warning(s)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed.len(),
+            self.warnings.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (`results/lint.json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"chaos-lint/1\",\n");
+        out.push_str("  \"rules\": [\n");
+        let rules: Vec<String> = RULES
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"id\": \"{}\", \"name\": \"{}\", \"summary\": \"{}\"}}",
+                    r.id,
+                    json_escape(r.name),
+                    json_escape(r.summary)
+                )
+            })
+            .collect();
+        out.push_str(&rules.join(",\n"));
+        out.push_str("\n  ],\n");
+        out.push_str("  \"findings\": [\n");
+        let findings: Vec<String> = self.findings.iter().map(render_finding).collect();
+        out.push_str(&findings.join(",\n"));
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressed\": [\n");
+        let suppressed: Vec<String> = self
+            .suppressed
+            .iter()
+            .map(|s| {
+                let mut body = render_finding(&s.finding);
+                body.truncate(body.len() - 1); // drop trailing `}`
+                format!(
+                    "{body}, \"reason\": \"{}\", \"scope\": \"{}\"}}",
+                    json_escape(&s.reason),
+                    s.scope
+                )
+            })
+            .collect();
+        out.push_str(&suppressed.join(",\n"));
+        if !self.suppressed.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"warnings\": [\n");
+        let warnings: Vec<String> = self
+            .warnings
+            .iter()
+            .map(|w| {
+                format!(
+                    "    {{\"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                    json_escape(&w.file),
+                    w.line,
+                    json_escape(&w.message)
+                )
+            })
+            .collect();
+        out.push_str(&warnings.join(",\n"));
+        if !self.warnings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"suppressed\": {}, \"warnings\": {}}}\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed.len(),
+            self.warnings.len()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn render_finding(f: &Finding) -> String {
+    format!(
+        "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\"}}",
+        json_escape(&f.rule),
+        json_escape(&f.file),
+        f.line,
+        json_escape(&f.message),
+        json_escape(&f.hint)
+    )
+}
+
+/// Finds the reasoned directive that covers `finding`, if any. Line
+/// scope wins over file scope so the audit trail points at the closest
+/// justification.
+fn matching_directive<'a>(
+    file: &'a SourceFile,
+    finding: &Finding,
+) -> Option<(&'a Directive, &'static str)> {
+    let covers = |d: &Directive| d.reason.is_some() && d.rules.iter().any(|r| r == &finding.rule);
+    if let Some(d) = file.directives.iter().find(|d| {
+        d.scope == Scope::Line
+            && covers(d)
+            && d.line <= finding.line
+            && finding.line <= file.statement_end_after(d.end_line)
+    }) {
+        return Some((d, "line"));
+    }
+    file.directives
+        .iter()
+        .find(|d| d.scope == Scope::File && covers(d))
+        .map(|d| (d, "file"))
+}
+
+/// Escapes a string for inclusion in a JSON double-quoted literal
+/// (mirrors `chaos_obs`'s escaper).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path, src)
+    }
+
+    fn finding(rule: &str, path: &str, line: usize) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: path.to_string(),
+            line,
+            message: "m".to_string(),
+            hint: "h".to_string(),
+        }
+    }
+
+    #[test]
+    fn line_allow_suppresses_same_and_next_line() {
+        let f = file(
+            "crates/d/src/x.rs",
+            "fn a() {}\n// chaos-lint: allow(R4) — invariant holds\nfn b() {}\n",
+        );
+        let report = Report::assemble(
+            &[f],
+            vec![
+                finding("R4", "crates/d/src/x.rs", 2),
+                finding("R4", "crates/d/src/x.rs", 3),
+                finding("R4", "crates/d/src/x.rs", 1),
+            ],
+        );
+        assert_eq!(report.suppressed.len(), 2);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 1);
+        assert!(report.warnings.is_empty());
+        assert!(report
+            .suppressed
+            .iter()
+            .all(|s| s.reason == "invariant holds" && s.scope == "line"));
+    }
+
+    #[test]
+    fn file_allow_covers_whole_file_with_file_scope() {
+        let f = file(
+            "crates/d/src/x.rs",
+            "// chaos-lint: allow-file(R1) — order-insensitive sums\nfn a() {}\n",
+        );
+        let report = Report::assemble(&[f], vec![finding("R1", "crates/d/src/x.rs", 40)]);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].scope, "file");
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_does_not_suppress() {
+        let f = file(
+            "crates/d/src/x.rs",
+            "// chaos-lint: allow(R2) — timing side channel\nfn a() {}\n",
+        );
+        let report = Report::assemble(&[f], vec![finding("R4", "crates/d/src/x.rs", 2)]);
+        assert_eq!(report.findings.len(), 1);
+        // The R2 allow matched nothing → warned as unused.
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].message.contains("matched no finding"));
+    }
+
+    #[test]
+    fn reasonless_allow_warns_and_does_not_apply() {
+        let f = file("crates/d/src/x.rs", "// chaos-lint: allow(R4)\nfn a() {}\n");
+        let report = Report::assemble(&[f], vec![finding("R4", "crates/d/src/x.rs", 2)]);
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "reason-less allow must not suppress"
+        );
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_warns() {
+        let f = file(
+            "crates/d/src/x.rs",
+            "// chaos-lint: allow(R9) — beyond the registry\nfn a() {}\n",
+        );
+        let report = Report::assemble(&[f], Vec::new());
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_reasons() {
+        let f = file(
+            "crates/d/src/x.rs",
+            "// chaos-lint: allow(R4) — reason \"quoted\"\nfn a() {}\n",
+        );
+        let report = Report::assemble(
+            &[f],
+            vec![
+                finding("R4", "crates/d/src/x.rs", 2),
+                finding("R1", "crates/d/src/x.rs", 9),
+            ],
+        );
+        let json = report.render_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.contains("\"reason\": \"reason \\\"quoted\\\"\""));
+        assert!(json.contains("\"findings\": 1"));
+        assert!(json.contains("\"suppressed\": 1"));
+    }
+
+    #[test]
+    fn findings_sort_deterministically() {
+        let report = Report::assemble(
+            &[],
+            vec![
+                finding("R2", "b.rs", 9),
+                finding("R1", "a.rs", 100),
+                finding("R1", "a.rs", 2),
+            ],
+        );
+        let order: Vec<(String, usize)> = report
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 2),
+                ("a.rs".to_string(), 100),
+                ("b.rs".to_string(), 9)
+            ]
+        );
+    }
+}

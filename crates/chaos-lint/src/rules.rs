@@ -1,0 +1,632 @@
+//! The rule registry: five static checks tuned to this workspace's
+//! bit-identity invariants.
+//!
+//! | id | name | catches |
+//! |----|------|---------|
+//! | R1 | hash-iteration-order | iterating `HashMap`/`HashSet` (order is nondeterministic) |
+//! | R2 | wall-clock-entropy | `Instant::now`, `SystemTime::now`, unseeded RNGs outside bench code |
+//! | R3 | env-config-bypass | `env::var("CHAOS_*")` outside the sanctioned config entry points |
+//! | R4 | lib-panic-path | `unwrap`/`expect`/panic macros/literal indexing in library hot paths |
+//! | R5 | crate-hygiene | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` headers |
+//!
+//! Every check is a token-pattern matcher over [`SourceFile`]s — no
+//! type information — so each rule documents its known blind spots and
+//! errs toward firing; intentional sites are annotated with a reasoned
+//! suppression rather than silently skipped.
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+use crate::scan::{FileRole, SourceFile};
+use std::collections::BTreeSet;
+
+/// Static metadata for one rule, surfaced in reports and docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Stable rule ID (`R1`…`R5`).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description of what the rule enforces.
+    pub summary: &'static str,
+    /// Generic fix hint attached to findings.
+    pub hint: &'static str,
+}
+
+/// R1's metadata (see [`RULES`]).
+pub const R1_META: RuleMeta = RuleMeta {
+    id: "R1",
+    name: "hash-iteration-order",
+    summary: "iteration over HashMap/HashSet is order-nondeterministic and must not feed \
+              ordered merges, float reductions, serialized output, or returned collections",
+    hint: "switch to BTreeMap/BTreeSet, or collect and sort before consuming; suppress with \
+           a reason only if every consumer is provably order-insensitive",
+};
+
+/// R2's metadata (see [`RULES`]).
+pub const R2_META: RuleMeta = RuleMeta {
+    id: "R2",
+    name: "wall-clock-entropy",
+    summary: "wall-clock and entropy sources (Instant::now, SystemTime::now, thread_rng, \
+              from_entropy, OsRng) are nondeterministic; only chaos-bench timing code may \
+              read them freely",
+    hint: "thread a seeded rand_chacha RNG or an injected clock through the call site; \
+           suppress with a reason if the value is a pure side channel (e.g. span timing)",
+};
+
+/// R3's metadata (see [`RULES`]).
+pub const R3_META: RuleMeta = RuleMeta {
+    id: "R3",
+    name: "env-config-bypass",
+    summary: "CHAOS_* environment variables may only be read by the sanctioned config entry \
+              points (chaos-stats exec policy, chaos-obs level), so one run has one config",
+    hint: "accept the setting as a parameter threaded from ExecPolicy::from_env / \
+           chaos_obs::init_from_env instead of re-reading the environment",
+};
+
+/// R4's metadata (see [`RULES`]).
+pub const R4_META: RuleMeta = RuleMeta {
+    id: "R4",
+    name: "lib-panic-path",
+    summary: "unwrap/expect/panic!/literal slice indexing in library (non-test, non-bin) \
+              code can abort the estimation pipeline at runtime",
+    hint: "return a typed error (StatsError, CollectError) or use checked access (.get, \
+           .first, .last); suppress with the invariant that makes the panic unreachable",
+};
+
+/// R5's metadata (see [`RULES`]).
+pub const R5_META: RuleMeta = RuleMeta {
+    id: "R5",
+    name: "crate-hygiene",
+    summary: "every workspace library crate root must carry #![forbid(unsafe_code)] and \
+              #![deny(missing_docs)]",
+    hint: "add the two inner attributes at the top of the crate's lib.rs",
+};
+
+/// The registry, in rule-ID order.
+pub const RULES: [RuleMeta; 5] = [R1_META, R2_META, R3_META, R4_META, R5_META];
+
+/// Looks up a rule's metadata by ID.
+pub fn rule(id: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Tunable policy: which crates and files are exempt from which rules.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose whole purpose is timing (R2 does not apply).
+    pub r2_exempt_crates: Vec<String>,
+    /// Path suffixes of the sanctioned env-read entry points (R3).
+    pub r3_sanctioned_files: Vec<String>,
+    /// Env-var prefix R3 guards.
+    pub env_prefix: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            r2_exempt_crates: vec!["chaos-bench".to_string()],
+            r3_sanctioned_files: vec![
+                "crates/chaos-stats/src/exec.rs".to_string(),
+                "crates/chaos-obs/src/level.rs".to_string(),
+            ],
+            env_prefix: "CHAOS".to_string(),
+        }
+    }
+}
+
+fn finding(meta: &RuleMeta, file: &SourceFile, line: usize, message: String) -> Finding {
+    Finding {
+        rule: meta.id.to_string(),
+        file: file.rel_path.clone(),
+        line,
+        message,
+        hint: meta.hint.to_string(),
+    }
+}
+
+/// Runs the per-file rules (R1–R4) over one source file.
+pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_r1(file, &mut out);
+    check_r2(file, cfg, &mut out);
+    check_r3(file, cfg, &mut out);
+    check_r4(file, &mut out);
+    out
+}
+
+/// Runs the workspace-level hygiene rule (R5) over all scanned files.
+pub fn check_hygiene(files: &[SourceFile]) -> Vec<Finding> {
+    let meta = &R5_META;
+    let mut out = Vec::new();
+    for file in files {
+        if !file.rel_path.ends_with("src/lib.rs") {
+            continue;
+        }
+        let missing: Vec<&str> = [
+            ("forbid", "unsafe_code", "#![forbid(unsafe_code)]"),
+            ("deny", "missing_docs", "#![deny(missing_docs)]"),
+        ]
+        .iter()
+        .filter(|(lint, arg, _)| !has_inner_attr(&file.lex.tokens, lint, arg))
+        .map(|(_, _, text)| *text)
+        .collect();
+        if !missing.is_empty() {
+            out.push(finding(
+                meta,
+                file,
+                1,
+                format!(
+                    "crate `{}` is missing the hygiene header(s): {}",
+                    file.crate_name,
+                    missing.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Detects the inner attribute `#![<lint>(<arg>)]` in a token stream.
+fn has_inner_attr(toks: &[Tok], lint: &str, arg: &str) -> bool {
+    toks.windows(7).any(|w| {
+        matches!(w, [hash, bang, open, l, paren, a, close]
+            if hash.text == "#"
+                && bang.text == "!"
+                && open.text == "["
+                && l.text == lint
+                && paren.text == "("
+                && a.text == arg
+                && close.text == ")")
+    })
+}
+
+/// Methods whose call on a hash collection observes iteration order.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// R1: iteration over `HashMap`/`HashSet`.
+///
+/// Without type inference the rule tracks names *declared* as hash
+/// collections in the same file — `let x: HashMap<…>`, struct fields
+/// `x: Mutex<HashMap<…>>`, `let x = HashMap::new()` — and fires when
+/// one of those names is iterated (`for … in x`, `x.iter()`, `.keys()`,
+/// `.values()`, `.drain()`, …). Cross-file aliasing is a known blind
+/// spot; the dynamic golden-trace suite remains the backstop.
+fn check_r1(file: &SourceFile, out: &mut Vec<Finding>) {
+    let meta = &R1_META;
+    let toks = &file.lex.tokens;
+    let hash_names = collect_hash_names(toks);
+    if hash_names.is_empty() {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        // `receiver.method(` where method observes iteration order.
+        if t.kind == TokKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].text == "."
+            && toks[i - 1].kind == TokKind::Punct
+            && matches!(toks.get(i + 1), Some(n) if n.text == "(")
+            && toks[i - 2].kind == TokKind::Ident
+            && hash_names.contains(toks[i - 2].text.as_str())
+        {
+            out.push(finding(
+                meta,
+                file,
+                t.line,
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet in nondeterministic order",
+                    toks[i - 2].text,
+                    t.text
+                ),
+            ));
+        }
+        // `for pat in [&[mut]] name {` — direct IntoIterator use.
+        if t.kind == TokKind::Ident && t.text == "in" {
+            let mut j = i + 1;
+            while matches!(toks.get(j), Some(n) if n.text == "&" || n.text == "mut") {
+                j += 1;
+            }
+            let (Some(name), Some(after)) = (toks.get(j), toks.get(j + 1)) else {
+                continue;
+            };
+            if name.kind == TokKind::Ident
+                && hash_names.contains(name.text.as_str())
+                && after.text == "{"
+            {
+                out.push(finding(
+                    meta,
+                    file,
+                    name.line,
+                    format!(
+                        "`for … in {}` iterates a HashMap/HashSet in nondeterministic order",
+                        name.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Collects names declared (or assigned) as `HashMap`/`HashSet` in this
+/// file: binding/field type ascriptions and `= HashMap::new()`-style
+/// initializers.
+fn collect_hash_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk left over type-position tokens (wrappers like
+        // `Mutex<Option<HashMap<…>>>`, path segments, references).
+        let mut j = i;
+        while j > 0 {
+            let prev = &toks[j - 1];
+            let step = match prev.text.as_str() {
+                "<" | "&" | "'" => 1,
+                ":" if j >= 2 && toks[j - 2].text == ":" => 2, // `::` path
+                _ if prev.kind == TokKind::Ident || prev.kind == TokKind::Lifetime => 1,
+                _ => 0,
+            };
+            if step == 0 {
+                break;
+            }
+            j -= step;
+        }
+        if j == 0 {
+            continue;
+        }
+        let boundary = &toks[j - 1];
+        // `name : <type containing HashMap>` — ascription or field.
+        if boundary.text == ":" && j >= 2 && !(j >= 3 && toks[j - 2].text == ":") {
+            let name = &toks[j - 2];
+            if name.kind == TokKind::Ident {
+                names.insert(name.text.clone());
+            }
+        }
+        // `name = HashMap::new()` / `HashMap::with_capacity(…)` /
+        // `HashMap::from(…)` — untyped initializer.
+        if boundary.text == "=" && j >= 2 {
+            let name = &toks[j - 2];
+            if name.kind == TokKind::Ident && name.text != "=" {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Clock and entropy sources R2 looks for, as `(path-prefix, method)`
+/// pairs (`None` matches the bare identifier anywhere).
+const CLOCKS: [(&str, &str); 2] = [("Instant", "now"), ("SystemTime", "now")];
+const ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// R2: wall-clock and entropy reads outside sanctioned timing code.
+///
+/// Clocks are allowed in benches and in `#[cfg(test)]` regions (a test
+/// may time itself without perturbing results); unseeded entropy is
+/// flagged everywhere it appears, because a randomly seeded test is a
+/// flaky test.
+fn check_r2(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let meta = &R2_META;
+    if cfg.r2_exempt_crates.contains(&file.crate_name) {
+        return;
+    }
+    let toks = &file.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        for (ty, method) in CLOCKS {
+            if t.text == ty
+                && matches!(toks.get(i + 1), Some(a) if a.text == ":")
+                && matches!(toks.get(i + 2), Some(b) if b.text == ":")
+                && matches!(toks.get(i + 3), Some(m) if m.text == method)
+            {
+                let in_timing_scope = file.role == FileRole::Bench
+                    || file.role == FileRole::Test
+                    || file.is_test_line(t.line);
+                if !in_timing_scope {
+                    out.push(finding(
+                        meta,
+                        file,
+                        t.line,
+                        format!("`{ty}::{method}` reads the wall clock outside bench code"),
+                    ));
+                }
+            }
+        }
+        if ENTROPY.contains(&t.text.as_str()) && file.role != FileRole::Bench {
+            out.push(finding(
+                meta,
+                file,
+                t.line,
+                format!(
+                    "`{}` draws operating-system entropy; results become irreproducible",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R3: `env::var("CHAOS_*")` outside the sanctioned entry points.
+///
+/// Test code is exempt (tests orchestrate configs); everything else
+/// must receive configuration as values, so a run's policy is decided
+/// exactly once.
+fn check_r3(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let meta = &R3_META;
+    if file.role == FileRole::Test {
+        return;
+    }
+    if cfg
+        .r3_sanctioned_files
+        .iter()
+        .any(|s| file.rel_path.ends_with(s.as_str()))
+    {
+        return;
+    }
+    let toks = &file.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "var" && t.text != "var_os") {
+            continue;
+        }
+        // Require an `env::` path prefix so plain `var(…)` helpers in
+        // unrelated code don't fire.
+        let is_env_path = i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "env";
+        if !is_env_path || file.is_test_line(t.line) {
+            continue;
+        }
+        if !matches!(toks.get(i + 1), Some(n) if n.text == "(") {
+            continue;
+        }
+        // The key is the first string literal in the argument tokens.
+        let mut j = i + 2;
+        let mut key: Option<&Tok> = None;
+        while let Some(a) = toks.get(j) {
+            if a.kind == TokKind::Str {
+                key = Some(a);
+                break;
+            }
+            if a.text == ")" || j > i + 6 {
+                break;
+            }
+            j += 1;
+        }
+        match key {
+            Some(k) if k.text.starts_with(&cfg.env_prefix) => out.push(finding(
+                meta,
+                file,
+                t.line,
+                format!(
+                    "`env::{}(\"{}\")` re-reads {}_* configuration outside the sanctioned entry points",
+                    t.text, k.text, cfg.env_prefix
+                ),
+            )),
+            Some(_) => {}
+            None => out.push(finding(
+                meta,
+                file,
+                t.line,
+                format!(
+                    "`env::{}` with a non-literal key cannot be audited for {}_* reads",
+                    t.text, cfg.env_prefix
+                ),
+            )),
+        }
+    }
+}
+
+/// Identifiers that panic when invoked as macros.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// R4: panic paths in library code.
+///
+/// Applies to [`FileRole::Lib`] files only, outside `#[cfg(test)]`
+/// regions. Flags `.unwrap()` / `.expect(…)` calls, panic-family
+/// macros, and *literal-integer* indexing (`xs[0]`) — the
+/// "first/last element" pattern that aborts on empty input. Computed
+/// indices (`xs[i]`) are loop-bounded in this codebase and stay exempt.
+fn check_r4(file: &SourceFile, out: &mut Vec<Finding>) {
+    let meta = &R4_META;
+    if file.role != FileRole::Lib {
+        return;
+    }
+    let toks = &file.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].text == "."
+            && matches!(toks.get(i + 1), Some(n) if n.text == "(")
+        {
+            out.push(finding(
+                meta,
+                file,
+                t.line,
+                format!("`.{}()` can panic in a library hot path", t.text),
+            ));
+        }
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && matches!(toks.get(i + 1), Some(n) if n.text == "!")
+        {
+            out.push(finding(
+                meta,
+                file,
+                t.line,
+                format!("`{}!` aborts a library hot path", t.text),
+            ));
+        }
+        // `recv[0]` — literal-index element access.
+        if t.kind == TokKind::Punct
+            && t.text == "["
+            && i >= 1
+            && (toks[i - 1].kind == TokKind::Ident
+                || toks[i - 1].text == ")"
+                || toks[i - 1].text == "]")
+            && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Num)
+            && matches!(toks.get(i + 2), Some(n) if n.text == "]")
+        {
+            let recv = if toks[i - 1].kind == TokKind::Ident {
+                toks[i - 1].text.as_str()
+            } else {
+                "expression"
+            };
+            out.push(finding(
+                meta,
+                file,
+                t.line,
+                format!(
+                    "`{}[{}]` literal indexing panics when the collection is shorter",
+                    recv,
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src);
+        check_file(&f, &Config::default())
+    }
+
+    fn rules_fired(findings: &[Finding]) -> BTreeSet<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn r1_fires_on_tracked_map_iteration() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m { drop((k, v)); }\n    let _: Vec<_> = m.keys().collect();\n}\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        assert_eq!(fs.iter().filter(|f| f.rule == "R1").count(), 2, "{fs:?}");
+    }
+
+    #[test]
+    fn r1_tracks_struct_fields_through_wrappers() {
+        let src = "struct S { cache: std::sync::Mutex<std::collections::HashMap<u64, f64>> }\nimpl S { fn f(&self) { for v in self.cache.lock().unwrap().values() { drop(v); } } }\n";
+        // `.values()` receiver is the `unwrap()` call — the heuristic sees
+        // `cache` only through the direct-name path, so this exercises the
+        // blind spot note instead: direct field iteration *is* caught.
+        let src2 = "struct S { counts: std::collections::HashMap<u64, f64> }\nimpl S { fn f(&self) { for v in self.counts.values() { drop(v); } } }\n";
+        let _ = lint("crates/demo/src/x.rs", src);
+        let fs = lint("crates/demo/src/y.rs", src2);
+        assert!(rules_fired(&fs).contains("R1"), "{fs:?}");
+    }
+
+    #[test]
+    fn r1_stays_quiet_on_btreemap_and_lookups() {
+        let src = "use std::collections::{BTreeMap, HashMap};\nfn f() {\n    let mut b: BTreeMap<u32, u32> = BTreeMap::new();\n    for (k, v) in &b { drop((k, v)); }\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    m.insert(1, 2);\n    let _ = m.get(&1);\n    let _ = m.len();\n}\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        assert!(!rules_fired(&fs).contains("R1"), "{fs:?}");
+    }
+
+    #[test]
+    fn r2_fires_on_clock_and_entropy_in_lib() {
+        let src = "use std::time::Instant;\nfn f() -> std::time::Instant { Instant::now() }\nfn g() { let mut r = rand::thread_rng(); let _ = &mut r; }\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        assert_eq!(fs.iter().filter(|f| f.rule == "R2").count(), 2, "{fs:?}");
+    }
+
+    #[test]
+    fn r2_exempts_bench_crate_and_bench_role() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+        assert!(lint("crates/chaos-bench/src/bin/t.rs", src).is_empty());
+        assert!(lint("crates/demo/benches/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_allows_clocks_but_not_entropy_in_tests() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::Instant::now();\n        let _ = rand::thread_rng();\n    }\n}\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        let r2: Vec<_> = fs.iter().filter(|f| f.rule == "R2").collect();
+        assert_eq!(r2.len(), 1, "{fs:?}");
+        assert!(r2[0].message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn r3_fires_outside_sanctioned_files_only() {
+        let src = "fn f() -> String { std::env::var(\"CHAOS_THREADS\").unwrap_or_default() }\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        assert!(rules_fired(&fs).contains("R3"), "{fs:?}");
+        let fs = lint("crates/chaos-stats/src/exec.rs", src);
+        assert!(!rules_fired(&fs).contains("R3"), "{fs:?}");
+    }
+
+    #[test]
+    fn r3_ignores_non_chaos_keys_and_tests() {
+        let src = "fn f() { let _ = std::env::var(\"PATH\"); }\n";
+        assert!(!rules_fired(&lint("crates/demo/src/x.rs", src)).contains("R3"));
+        let src = "fn f() { let _ = std::env::var(\"CHAOS_OBS\"); }\n";
+        assert!(!rules_fired(&lint("crates/demo/tests/t.rs", src)).contains("R3"));
+    }
+
+    #[test]
+    fn r3_flags_unresolvable_keys() {
+        let src = "fn f(k: &str) { let _ = std::env::var(k); }\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == "R3" && f.message.contains("non-literal")));
+    }
+
+    #[test]
+    fn r4_fires_in_lib_not_in_bins_tests_or_cfg_test() {
+        let src = "fn f(v: &[f64]) -> f64 { v[0] + v.first().copied().unwrap() }\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        assert_eq!(fs.iter().filter(|f| f.rule == "R4").count(), 2, "{fs:?}");
+        assert!(lint("crates/demo/src/bin/m.rs", src).is_empty());
+        assert!(lint("crates/demo/tests/t.rs", src).is_empty());
+        let gated = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(lint("crates/demo/src/x.rs", &gated).is_empty());
+    }
+
+    #[test]
+    fn r4_panic_macros_and_computed_indices() {
+        let src = "fn f(v: &[f64], i: usize) -> f64 { if v.is_empty() { panic!(\"empty\") } else { v[i] } }\n";
+        let fs = lint("crates/demo/src/x.rs", src);
+        let r4: Vec<_> = fs.iter().filter(|f| f.rule == "R4").collect();
+        assert_eq!(r4.len(), 1, "computed v[i] must not fire: {fs:?}");
+        assert!(r4[0].message.contains("panic"));
+    }
+
+    #[test]
+    fn r4_ignores_unwrap_or_variants() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(lint("crates/demo/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_detects_missing_headers() {
+        let good = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! docs\n";
+        let bad = "//! docs only\npub fn f() {}\n";
+        let gf = SourceFile::from_source("crates/demo/src/lib.rs", good);
+        let bf = SourceFile::from_source("crates/demo2/src/lib.rs", bad);
+        let non_lib = SourceFile::from_source("crates/demo3/src/other.rs", bad);
+        let fs = check_hygiene(&[gf, bf, non_lib]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "R5");
+        assert!(fs[0].message.contains("demo2"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Workspace scanning: file discovery, role classification, and
+//! `#[cfg(test)]` region tracking.
+//!
+//! Rules apply differently by *role* — R4 (panic paths) only audits
+//! library code, R2 (clocks) exempts benches — so every file is
+//! classified from its workspace-relative path before any rule runs.
+
+use crate::directive::{self, Directive, ParseProblem};
+use crate::lexer::{self, LexOutput, TokKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What kind of compilation target a source file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library code (`crates/*/src/**`, excluding `src/bin/`).
+    Lib,
+    /// Binary code (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Criterion benches (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+impl FileRole {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FileRole::Lib => "lib",
+            FileRole::Bin => "bin",
+            FileRole::Test => "test",
+            FileRole::Bench => "bench",
+            FileRole::Example => "example",
+        }
+    }
+}
+
+/// One lexed, classified source file ready for rule checking.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Owning crate (`chaos-core`, …; the root package is `chaos`).
+    pub crate_name: String,
+    /// Target classification (see [`FileRole`]).
+    pub role: FileRole,
+    /// Lexed tokens and comments.
+    pub lex: LexOutput,
+    /// Suppression directives parsed from the comments.
+    pub directives: Vec<Directive>,
+    /// Malformed directives, surfaced as warnings.
+    pub directive_problems: Vec<ParseProblem>,
+    /// 1-based lines covered by `#[cfg(test)]` items or `#[test]` fns.
+    test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Builds a source file from in-memory text. The path decides role
+    /// and crate; it does not need to exist on disk (fixture tests lean
+    /// on this).
+    pub fn from_source(rel_path: &str, src: &str) -> SourceFile {
+        let lex = lexer::lex(src);
+        let (directives, directive_problems) = directive::parse(&lex.comments);
+        let line_count = src.lines().count() + 1;
+        let test_lines = mark_test_lines(&lex, line_count);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_of(rel_path),
+            role: role_of(rel_path),
+            lex,
+            directives,
+            directive_problems,
+            test_lines,
+        }
+    }
+
+    /// Reads and classifies one file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read error when the file is unreadable.
+    pub fn load(root: &Path, abs: &Path) -> io::Result<SourceFile> {
+        let src = fs::read_to_string(abs)?;
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        Ok(SourceFile::from_source(&rel, &src))
+    }
+
+    /// Whether `line` (1-based) sits inside a `#[cfg(test)]` item or a
+    /// `#[test]` function.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+
+    /// Last line of the statement that starts on `line + 1` — how far a
+    /// line-scoped suppression written above a multi-line statement
+    /// reaches. The scan walks tokens from the first one past `line`,
+    /// tracking bracket depth, and stops at a `;` or `,` at depth zero
+    /// (end of statement / struct field / macro argument) or at a `{`
+    /// opening at depth zero (a block header ends there, so an allow
+    /// above a `for`/`if` never swallows the whole body). Returns
+    /// `line + 1` when the next code line is not adjacent.
+    pub fn statement_end_after(&self, line: usize) -> usize {
+        let toks = &self.lex.tokens;
+        let Some(start) = toks.iter().position(|t| t.line > line) else {
+            return line + 1;
+        };
+        if toks[start].line != line + 1 {
+            return line + 1;
+        }
+        let mut depth = 0usize;
+        let mut last = line + 1;
+        for t in toks.iter().skip(start) {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                "{" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth += 1;
+                }
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ";" | "," if depth == 0 => {
+                    last = t.line;
+                    break;
+                }
+                _ => {}
+            }
+            last = t.line;
+        }
+        last
+    }
+}
+
+/// Classifies a workspace-relative path into a [`FileRole`].
+fn role_of(rel: &str) -> FileRole {
+    let rel = rel.trim_start_matches("./");
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        FileRole::Test
+    } else if rel.starts_with("benches/") || rel.contains("/benches/") {
+        FileRole::Bench
+    } else if rel.starts_with("examples/") || rel.contains("/examples/") {
+        FileRole::Example
+    } else if rel.contains("/src/bin/") || rel.ends_with("src/main.rs") {
+        FileRole::Bin
+    } else {
+        FileRole::Lib
+    }
+}
+
+/// Extracts the owning crate name (`crates/<name>/…`), defaulting to the
+/// root package name for workspace-root paths.
+fn crate_of(rel: &str) -> String {
+    let rel = rel.trim_start_matches("./");
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    "chaos".to_string()
+}
+
+/// Marks the line extent of every `#[cfg(test)]`-gated item and every
+/// `#[test]` / `#[bench]` function.
+///
+/// The walk is token-based: on an attribute whose argument list names
+/// `test` (and not under `not(...)`), it skips any further attributes
+/// and doc comments, then marks lines up to the end of the following
+/// item — the matching `}` of its first brace block, or the first `;`
+/// at depth zero for braceless items.
+fn mark_test_lines(lex: &LexOutput, line_count: usize) -> Vec<bool> {
+    let toks = &lex.tokens;
+    let mut marked = vec![false; line_count + 1];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_hash = toks[i].kind == TokKind::Punct && toks[i].text == "#";
+        let open = i + 1;
+        if !(is_hash && open < toks.len() && toks[open].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body tokens up to the matching `]`.
+        let mut depth = 0usize;
+        let mut j = open;
+        let mut body: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                t if depth > 0 && j > open => body.push(t),
+                _ => {}
+            }
+            j += 1;
+        }
+        let gates_test =
+            (body.first() == Some(&"cfg") && body.contains(&"test") && !body.contains(&"not"))
+                || body == ["test"]
+                || body == ["bench"];
+        if !gates_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes between the gate and the item.
+        let mut k = j + 1;
+        while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+            let mut d = 0usize;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Find the item extent: first `{ … }` block or a `;` before one.
+        let start_line = toks[i].line;
+        let mut end_line = start_line;
+        let mut brace = 0usize;
+        let mut entered = false;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => {
+                    brace += 1;
+                    entered = true;
+                }
+                "}" => {
+                    brace = brace.saturating_sub(1);
+                    if entered && brace == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                ";" if !entered && brace == 0 => {
+                    end_line = toks[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = toks[k].line;
+            k += 1;
+        }
+        for line in start_line..=end_line.min(line_count) {
+            marked[line] = true;
+        }
+        i = k + 1;
+    }
+    marked
+}
+
+/// Recursively collects the `.rs` files the auditor scans, in sorted
+/// (deterministic) order. Skips VCS/build/output directories and the
+/// auditor's own lint fixtures, which are known-bad on purpose.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn collect_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
+    const SKIP_DIRS: [&str; 5] = ["target", ".git", "results", ".github", "fixtures"];
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().to_string();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_follow_workspace_layout() {
+        assert_eq!(role_of("crates/chaos-core/src/robust.rs"), FileRole::Lib);
+        assert_eq!(
+            role_of("crates/chaos-bench/src/bin/table2.rs"),
+            FileRole::Bin
+        );
+        assert_eq!(
+            role_of("crates/chaos-core/tests/determinism.rs"),
+            FileRole::Test
+        );
+        assert_eq!(role_of("tests/end_to_end.rs"), FileRole::Test);
+        assert_eq!(
+            role_of("crates/chaos-bench/benches/parallel_fit.rs"),
+            FileRole::Bench
+        );
+        assert_eq!(role_of("examples/quickstart.rs"), FileRole::Example);
+        assert_eq!(role_of("src/lib.rs"), FileRole::Lib);
+        assert_eq!(role_of("src/main.rs"), FileRole::Bin);
+    }
+
+    #[test]
+    fn crate_names_resolve() {
+        assert_eq!(crate_of("crates/chaos-stats/src/exec.rs"), "chaos-stats");
+        assert_eq!(crate_of("src/lib.rs"), "chaos");
+        assert_eq!(crate_of("tests/end_to_end.rs"), "chaos");
+    }
+
+    #[test]
+    fn cfg_test_mod_lines_are_marked() {
+        let src = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\nfn also_live() {}\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(6));
+        assert!(f.is_test_line(7));
+        assert!(!f.is_test_line(8));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(not(test))]\nfn prod() { let x = 1; }\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn test_attr_with_intervening_attrs_is_marked() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn gated() {\n    body();\n}\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        assert!(f.is_test_line(4));
+    }
+
+    #[test]
+    fn statement_end_spans_multiline_let() {
+        let src = "// note\nlet catalog =\n    build(&cluster.machines()[0]);\nnext();\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        assert_eq!(f.statement_end_after(1), 3);
+    }
+
+    #[test]
+    fn statement_end_stops_at_block_open() {
+        let src = "// note\nfor x in ys\n{\n    body[0];\n}\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        // The `{` on line 3 ends the header: the body is not covered.
+        assert_eq!(f.statement_end_after(1), 2);
+    }
+
+    #[test]
+    fn statement_end_stops_at_field_comma() {
+        let src = "let s = S {\n    // note\n    start: now(),\n    other: 1,\n};\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        assert_eq!(f.statement_end_after(2), 3);
+    }
+
+    #[test]
+    fn statement_end_without_adjacent_code_is_next_line() {
+        let src = "// note\n\nfar_away();\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        assert_eq!(f.statement_end_after(1), 2);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let f = SourceFile::from_source("crates/demo/src/x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+}

@@ -1,0 +1,281 @@
+//! Fixture tests: every rule must fire on its known-bad fixture and stay
+//! quiet on the good ones, and the suppression machinery must both
+//! honor reasoned allows and warn on misused ones.
+//!
+//! The fixture sources live under `tests/fixtures/{bad,good}/` and are
+//! lexed in-memory under synthetic workspace paths (so file-role and
+//! crate classification behave as they would in the real tree). The
+//! workspace scanner skips `fixtures/` directories, so the known-bad
+//! files never pollute the real audit.
+
+use chaos_lint::{lint_files, Config, Report, SourceFile};
+
+fn lint_one(rel_path: &str, src: &str) -> Report {
+    lint_files(
+        &[SourceFile::from_source(rel_path, src)],
+        &Config::default(),
+    )
+}
+
+fn rule_lines(report: &Report, rule: &str) -> Vec<usize> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn r1_fires_on_every_tracked_consumption_pattern() {
+    let report = lint_one(
+        "crates/demo/src/hash.rs",
+        include_str!("fixtures/bad/r1_hash_iteration.rs"),
+    );
+    let r1 = rule_lines(&report, "R1");
+    assert_eq!(
+        r1.len(),
+        4,
+        "for-loop, values().sum(), drain(), struct-field keys(): {:?}",
+        report.findings
+    );
+    assert!(report.findings.iter().all(|f| f.rule == "R1"));
+}
+
+#[test]
+fn r2_fires_on_clocks_and_entropy() {
+    let report = lint_one(
+        "crates/demo/src/clock.rs",
+        include_str!("fixtures/bad/r2_wall_clock.rs"),
+    );
+    let r2 = rule_lines(&report, "R2");
+    assert_eq!(
+        r2.len(),
+        3,
+        "Instant, SystemTime, thread_rng: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn r2_stays_quiet_for_the_bench_crate() {
+    let report = lint_one(
+        "crates/chaos-bench/src/clock.rs",
+        include_str!("fixtures/bad/r2_wall_clock.rs"),
+    );
+    assert!(
+        rule_lines(&report, "R2").is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn r3_fires_on_bypass_and_unresolvable_keys() {
+    let report = lint_one(
+        "crates/demo/src/env.rs",
+        include_str!("fixtures/bad/r3_env_bypass.rs"),
+    );
+    let r3 = rule_lines(&report, "R3");
+    assert_eq!(
+        r3.len(),
+        2,
+        "literal CHAOS_THREADS + dynamic key: {:?}",
+        report.findings
+    );
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("cannot be audited")));
+}
+
+#[test]
+fn r3_stays_quiet_in_the_sanctioned_entry_point() {
+    let report = lint_one(
+        "crates/chaos-stats/src/exec.rs",
+        include_str!("fixtures/bad/r3_env_bypass.rs"),
+    );
+    assert!(
+        rule_lines(&report, "R3").is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn r4_fires_on_the_full_panic_menu() {
+    let report = lint_one(
+        "crates/demo/src/panics.rs",
+        include_str!("fixtures/bad/r4_panic_paths.rs"),
+    );
+    let r4 = rule_lines(&report, "R4");
+    assert_eq!(
+        r4.len(),
+        5,
+        "unwrap, expect, v[0], panic!, todo!: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn r4_stays_quiet_when_the_same_code_is_a_test_target() {
+    let report = lint_one(
+        "crates/demo/tests/panics.rs",
+        include_str!("fixtures/bad/r4_panic_paths.rs"),
+    );
+    assert!(
+        rule_lines(&report, "R4").is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn r5_fires_on_a_bare_crate_root() {
+    let report = lint_one(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/bad/r5_missing_headers.rs"),
+    );
+    let r5 = rule_lines(&report, "R5");
+    assert_eq!(r5.len(), 1, "{:?}", report.findings);
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("forbid(unsafe_code)") && msg.contains("deny(missing_docs)"));
+}
+
+#[test]
+fn clean_fixture_is_quiet_on_every_rule() {
+    let report = lint_one(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/good/clean_lib.rs"),
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn reasoned_allows_suppress_and_stay_auditable() {
+    let report = lint_one(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/good/suppressed_sites.rs"),
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    assert_eq!(report.suppressed.len(), 2, "{:?}", report.suppressed);
+    // Every suppression keeps its rule, line, and written reason in the
+    // JSON audit trail.
+    let json = report.render_json();
+    assert!(json.contains("\"reason\": \"timing is a pure side channel here; the reason wraps across two comment lines on purpose.\""));
+    assert!(json.contains("\"reason\": \"guarded by the is_empty early return.\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn misused_suppressions_warn_and_do_not_apply() {
+    let report = lint_one(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/bad/broken_suppressions.rs"),
+    );
+    // The reason-less allow must NOT hide the unwrap below it.
+    assert_eq!(rule_lines(&report, "R4").len(), 1, "{:?}", report.findings);
+    assert!(report.suppressed.is_empty());
+    let messages: Vec<&str> = report.warnings.iter().map(|w| w.message.as_str()).collect();
+    assert_eq!(messages.len(), 4, "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("no reason")));
+    assert!(messages.iter().any(|m| m.contains("matched no finding")));
+    assert!(messages.iter().any(|m| m.contains("unknown rule")));
+    assert!(messages.iter().any(|m| m.contains("malformed")));
+}
+
+#[test]
+fn bad_fixtures_lint_together_without_cross_talk() {
+    let files = vec![
+        SourceFile::from_source(
+            "crates/demo/src/hash.rs",
+            include_str!("fixtures/bad/r1_hash_iteration.rs"),
+        ),
+        SourceFile::from_source(
+            "crates/demo/src/clock.rs",
+            include_str!("fixtures/bad/r2_wall_clock.rs"),
+        ),
+        SourceFile::from_source(
+            "crates/demo/src/env.rs",
+            include_str!("fixtures/bad/r3_env_bypass.rs"),
+        ),
+        SourceFile::from_source(
+            "crates/demo/src/panics.rs",
+            include_str!("fixtures/bad/r4_panic_paths.rs"),
+        ),
+        SourceFile::from_source(
+            "crates/demo/src/lib.rs",
+            include_str!("fixtures/bad/r5_missing_headers.rs"),
+        ),
+    ];
+    let report = lint_files(&files, &Config::default());
+    let mut by_rule: Vec<(String, usize)> = Vec::new();
+    for f in &report.findings {
+        match by_rule.iter_mut().find(|(r, _)| r == &f.rule) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((f.rule.clone(), 1)),
+        }
+    }
+    by_rule.sort();
+    assert_eq!(
+        by_rule,
+        vec![
+            ("R1".to_string(), 4),
+            ("R2".to_string(), 3),
+            ("R3".to_string(), 2),
+            ("R4".to_string(), 5),
+            ("R5".to_string(), 1),
+        ],
+        "{:?}",
+        report.findings
+    );
+    // Findings come out sorted by (file, line, rule) — deterministic.
+    let mut sorted = report.findings.clone();
+    sorted.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    assert_eq!(
+        report.findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        sorted.iter().map(|f| f.line).collect::<Vec<_>>()
+    );
+}
+
+/// End-to-end CLI check: `--deny` exits nonzero on a dirty tree, zero on
+/// a clean one, and writes the JSON report either way. Skipped outside
+/// `cargo test` (the bin path env var is cargo-provided).
+#[test]
+fn deny_flag_gates_exit_code() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_chaos-lint") else {
+        return;
+    };
+    let root = std::env::temp_dir().join(format!("chaos-lint-fixture-{}", std::process::id()));
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("fixture tree");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    let lib = src_dir.join("lib.rs");
+
+    std::fs::write(&lib, include_str!("fixtures/bad/r4_panic_paths.rs")).expect("bad lib");
+    let dirty = std::process::Command::new(bin)
+        .args(["--root", root.to_str().expect("utf8 root"), "--deny"])
+        .output()
+        .expect("run chaos-lint");
+    assert!(!dirty.status.success(), "--deny must fail on findings");
+    let json_path = root.join("results/lint.json");
+    let json = std::fs::read_to_string(&json_path).expect("lint.json written");
+    assert!(json.contains("\"schema\": \"chaos-lint/1\""));
+
+    std::fs::write(&lib, include_str!("fixtures/good/clean_lib.rs")).expect("good lib");
+    let clean = std::process::Command::new(bin)
+        .args(["--root", root.to_str().expect("utf8 root"), "--deny"])
+        .output()
+        .expect("run chaos-lint");
+    assert!(
+        clean.status.success(),
+        "--deny must pass on a clean tree: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,30 @@
+//! Suppression-misuse fixture: each directive below is wrong in a
+//! different way and must produce a warning, not a suppression.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// A reason-less allow: the finding must stay live and the directive
+/// must warn.
+pub fn reasonless(v: &[f64]) -> f64 {
+    // chaos-lint: allow(R4)
+    v.first().copied().unwrap()
+}
+
+/// An allow that matches nothing: unused-directive warning.
+pub fn unused() -> u64 {
+    // chaos-lint: allow(R2) — nothing below reads a clock
+    7
+}
+
+/// An allow naming a rule outside the registry: unknown-rule warning.
+pub fn unknown_rule() -> u64 {
+    // chaos-lint: allow(R9) — beyond the registry
+    9
+}
+
+/// A malformed directive: parse-problem warning.
+pub fn malformed() -> u64 {
+    // chaos-lint: allow R4 — missing parentheses
+    11
+}

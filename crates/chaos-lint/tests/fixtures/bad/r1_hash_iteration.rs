@@ -1,0 +1,31 @@
+//! R1 fixture: every tracked hash-container consumption pattern fires.
+use std::collections::{HashMap, HashSet};
+
+pub fn iterate_map_with_for(counts: &HashMap<String, usize>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k}={v},"));
+    }
+    out
+}
+
+pub fn sum_values_in_float_reduction() -> f64 {
+    let weights: HashMap<u64, f64> = HashMap::new();
+    weights.values().sum()
+}
+
+pub fn drain_a_set() -> Vec<u64> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(7);
+    seen.drain().collect()
+}
+
+pub struct Tally {
+    pub by_tier: HashMap<u8, usize>,
+}
+
+impl Tally {
+    pub fn keys_in_struct_field(&self) -> Vec<u8> {
+        self.by_tier.keys().copied().collect()
+    }
+}

@@ -1,0 +1,16 @@
+//! R2 fixture: wall-clock and entropy reads in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn timed_fit() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn stamped() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn unseeded_noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

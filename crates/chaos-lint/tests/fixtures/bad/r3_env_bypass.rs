@@ -1,0 +1,14 @@
+//! R3 fixture: CHAOS_* environment reads outside the sanctioned entry
+//! points, including a key the auditor cannot resolve statically.
+
+pub fn reread_thread_policy() -> usize {
+    std::env::var("CHAOS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn dynamic_key(name: &str) -> Option<String> {
+    let key = format!("CHAOS_{name}");
+    std::env::var(key).ok()
+}

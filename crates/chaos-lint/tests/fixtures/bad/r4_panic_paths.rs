@@ -1,0 +1,24 @@
+//! R4 fixture: the full panic-path menu in library code.
+
+pub fn unwraps(v: &[f64]) -> f64 {
+    v.first().copied().unwrap()
+}
+
+pub fn expects(v: &[f64]) -> f64 {
+    v.last().copied().expect("non-empty")
+}
+
+pub fn indexes(v: &[f64]) -> f64 {
+    v[0]
+}
+
+pub fn panics(x: i32) -> i32 {
+    if x < 0 {
+        panic!("negative input");
+    }
+    x
+}
+
+pub fn unfinished() -> ! {
+    todo!()
+}

@@ -1,0 +1,7 @@
+//! R5 fixture: a crate root with no hygiene headers at all.
+
+/// Documented, but the crate never forbids unsafe code nor denies
+/// missing docs.
+pub fn fine_function() -> u64 {
+    42
+}

@@ -1,0 +1,55 @@
+//! Good fixture: determinism-safe library code that must stay quiet on
+//! every rule.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Ordered iteration over a BTreeMap is fine.
+pub fn ordered_counts(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k}={v},"));
+    }
+    out
+}
+
+/// Keyed lookups into a HashMap (no iteration) are fine.
+pub fn lookup(cache: &HashMap<u64, f64>, key: u64) -> Option<f64> {
+    cache.get(&key).copied()
+}
+
+/// Checked access instead of panicking unwraps.
+pub fn safe_head(v: &[f64]) -> Option<f64> {
+    v.first().copied()
+}
+
+/// Computed (loop-bounded) indexing is allowed; only literal indices
+/// are flagged.
+pub fn computed_index(v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..v.len() {
+        acc += v[i];
+    }
+    acc
+}
+
+/// Non-CHAOS environment reads are out of scope for R3.
+pub fn other_tooling_env() -> Option<String> {
+    std::env::var("RUST_LOG").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn clocks_and_unwraps_are_fine_in_tests() {
+        let t0 = Instant::now();
+        let v = [1.0_f64];
+        assert!(v.first().copied().unwrap() > 0.0);
+        assert!(t0.elapsed().as_secs_f64() >= 0.0);
+        assert!(std::env::var("CHAOS_THREADS").is_err() || true);
+    }
+}

@@ -1,0 +1,28 @@
+//! Suppression fixture: every hazard below carries a reasoned allow, so
+//! the file must produce zero live findings — and every suppression must
+//! surface in the JSON audit trail with its reason.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+/// Span-style timing with a reasoned line-scope allow.
+pub fn side_channel_timing() -> f64 {
+    // chaos-lint: allow(R2) — timing is a pure side channel here; the
+    // reason wraps across two comment lines on purpose.
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+/// A guarded literal index with a reasoned allow on a multi-line
+/// statement.
+pub fn guarded_index(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    // chaos-lint: allow(R4) — guarded by the is_empty early return.
+    let head =
+        v[0];
+    head
+}

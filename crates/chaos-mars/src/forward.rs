@@ -302,6 +302,8 @@ fn orthogonalize(col: &[f64], q_cols: &[Vec<f64>]) -> Option<Vec<f64>> {
 /// `max_knots` evenly spaced interior quantiles of the distinct values.
 fn knot_candidates(rows: &[&[f64]], active: &[usize], v: usize, max_knots: usize) -> Vec<f64> {
     let mut vals: Vec<f64> = active.iter().map(|&i| rows[i][v]).collect();
+    // chaos-lint: allow(R4) — fit() rejects non-finite design values
+    // before the forward pass, so feature values never compare NaN.
     vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
     vals.dedup();
     if vals.len() < 3 {

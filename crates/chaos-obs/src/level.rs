@@ -45,6 +45,16 @@ impl ObsLevel {
         }
     }
 
+    /// Reads the level from `CHAOS_OBS`. This is the sanctioned (and
+    /// only) place the observability layer touches the environment for
+    /// its level, so one process run has exactly one obs config.
+    pub fn from_env() -> ObsLevel {
+        match std::env::var("CHAOS_OBS") {
+            Ok(v) => ObsLevel::parse(&v),
+            Err(_) => ObsLevel::Off,
+        }
+    }
+
     fn from_u8(v: u8) -> ObsLevel {
         match v {
             1 => ObsLevel::Summary,

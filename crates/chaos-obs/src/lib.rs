@@ -51,7 +51,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod hist;
 mod level;
@@ -104,10 +104,7 @@ pub fn reset() {
 /// also installs the event sink at `<obs_dir>/<bin>.events.jsonl`.
 /// Call this first thing in `main`.
 pub fn init_from_env(bin: &str) {
-    let level = match std::env::var("CHAOS_OBS") {
-        Ok(v) => ObsLevel::parse(&v),
-        Err(_) => ObsLevel::Off,
-    };
+    let level = ObsLevel::from_env();
     set_level(level);
     if level == ObsLevel::Full {
         let path = obs_dir().join(format!("{bin}.events.jsonl"));

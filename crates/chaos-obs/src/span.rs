@@ -24,6 +24,8 @@ pub struct Span {
 pub fn span(label: &'static str) -> Span {
     Span {
         label,
+        // chaos-lint: allow(R2) — span timing is a pure side channel;
+        // the determinism suite pins results bit-identical with obs off.
         start: enabled().then(Instant::now),
     }
 }

@@ -85,6 +85,8 @@ impl Cluster {
     pub fn is_homogeneous(&self) -> bool {
         self.machines
             .windows(2)
+            // chaos-lint: allow(R4) — windows(2) yields exactly two
+            // elements per window.
             .all(|w| w[0].spec().platform == w[1].spec().platform)
     }
 

@@ -182,7 +182,11 @@ impl PlatformSpec {
     pub fn builtin(platform: Platform) -> PlatformSpec {
         // Voltage ramps roughly linearly with frequency between Vmin/Vmax.
         fn pstates(freqs_mhz: &[f64], vmin: f64, vmax: f64) -> Vec<PState> {
+            // chaos-lint: allow(R4) — every builtin Table I platform
+            // lists at least one frequency; the slices are literals in
+            // this function's callers.
             let fmin = freqs_mhz[0];
+            // chaos-lint: allow(R4) — same non-empty literal invariant.
             let fmax = *freqs_mhz.last().expect("at least one p-state");
             freqs_mhz
                 .iter()
@@ -298,11 +302,14 @@ impl PlatformSpec {
 
     /// Highest-frequency P-state.
     pub fn max_pstate(&self) -> PState {
+        // chaos-lint: allow(R4) — builtin specs always carry at least
+        // one P-state (see the Table I literals above).
         *self.p_states.last().expect("spec has at least one p-state")
     }
 
     /// Lowest-frequency P-state.
     pub fn min_pstate(&self) -> PState {
+        // chaos-lint: allow(R4) — same non-empty P-state invariant.
         self.p_states[0]
     }
 

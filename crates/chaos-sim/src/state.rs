@@ -157,6 +157,8 @@ impl MachineState {
     pub fn has_frequency_divergence(&self) -> bool {
         self.cores
             .windows(2)
+            // chaos-lint: allow(R4) — windows(2) yields exactly two
+            // elements per window.
             .any(|w| (w[0].freq_mhz - w[1].freq_mhz).abs() > 1.0)
     }
 

@@ -200,6 +200,8 @@ impl RunSplit {
     pub fn iter_train_single(&self) -> impl Iterator<Item = Split> + '_ {
         (0..self.run_bounds.len()).map(move |r| {
             self.train_on_runs(&[r])
+                // chaos-lint: allow(R4) — r ranges over existing runs and
+                // Splitter construction requires at least two runs.
                 .expect("single-run split is always valid for >= 2 runs")
         })
     }

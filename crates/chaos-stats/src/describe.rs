@@ -71,6 +71,8 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted = xs.to_vec();
+    // chaos-lint: allow(R4) — documented contract: quantile inputs are
+    // residuals/powers already validated finite by their producers.
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     let h = (sorted.len() - 1) as f64 * q;
     let lo = h.floor() as usize;

@@ -100,7 +100,10 @@ impl GramCache {
         let mut yty = 0.0;
         for (i, &yi) in y.iter().enumerate() {
             let row = x.row(i);
+            // chaos-lint: allow(R4) — d = ncols + 1 >= 1 always, so the
+            // intercept slot exists.
             gram[0] += 1.0;
+            // chaos-lint: allow(R4) — same d >= 1 invariant.
             xty[0] += yi;
             yty += yi * yi;
             for (a, &va) in row.iter().enumerate() {
@@ -246,6 +249,8 @@ impl GramCache {
             *se = (residual_variance * z[j]).max(0.0).sqrt();
         }
 
+        // chaos-lint: allow(R4) — xty always has the intercept slot
+        // (d >= 1 by construction).
         let mean_y = self.xty[0] / self.n as f64;
         let tss = (self.yty - self.n as f64 * mean_y * mean_y).max(0.0);
         let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };

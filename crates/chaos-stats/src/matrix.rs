@@ -65,6 +65,7 @@ impl Matrix {
                 context: "from_rows: no rows supplied".into(),
             });
         }
+        // chaos-lint: allow(R4) — guarded by the nrows == 0 check above.
         let ncols = rows[0].len();
         if ncols == 0 {
             return Err(StatsError::InvalidParameter {
@@ -101,6 +102,7 @@ impl Matrix {
                 context: "from_cols: no columns supplied".into(),
             });
         }
+        // chaos-lint: allow(R4) — guarded by the ncols == 0 check above.
         let nrows = cols[0].len();
         if nrows == 0 {
             return Err(StatsError::InvalidParameter {

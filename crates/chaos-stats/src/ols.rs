@@ -361,6 +361,8 @@ impl WindowedOls {
             self.refactorizations += 1;
             chaos_obs::add("windowed_ols.refactorizations", 1);
         }
+        // chaos-lint: allow(R4) — the is_none branch directly above
+        // fills the factor, so it is always present here.
         let chol = self.chol.as_ref().expect("factor ensured above");
         let beta = chol.solve(&self.xty)?;
 
@@ -385,6 +387,8 @@ impl WindowedOls {
             *se = (residual_variance * z[j]).max(0.0).sqrt();
         }
 
+        // chaos-lint: allow(R4) — xty always has the intercept slot
+        // (k >= 1 is checked at window construction).
         let mean_y = self.xty[0] / self.n as f64;
         let tss = (self.yty - self.n as f64 * mean_y * mean_y).max(0.0);
         let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };

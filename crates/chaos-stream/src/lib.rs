@@ -25,7 +25,7 @@
 //! [`chaos_counters::RunTrace::sample_stream`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod drift;
 pub mod engine;

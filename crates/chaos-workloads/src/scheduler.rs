@@ -194,6 +194,8 @@ pub fn simulate(
                 tasks.retain(|t| t.elapsed_s < t.duration_s);
             }
 
+            // chaos-lint: allow(R4) — trace has one entry per machine
+            // and Cluster construction asserts at least one machine.
             assert!(
                 trace[0].len() <= config.max_seconds,
                 "job '{}' exceeded max_seconds = {}",

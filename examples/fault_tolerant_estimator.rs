@@ -17,7 +17,7 @@ use chaos_core::robust::{strawman_position, EstimateTier, RobustConfig, RobustEs
 use chaos_counters::{collect_run, CounterCatalog, DropoutMode, FaultPlan};
 use chaos_sim::{Cluster, Platform};
 use chaos_workloads::{SimConfig, Workload};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::Opteron;
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let agent = &faulted.machines[0];
     let clean = &live.machines[0];
     let mut imputer = estimator.new_imputer();
-    let mut tier_counts: HashMap<EstimateTier, usize> = HashMap::new();
+    let mut tier_counts: BTreeMap<EstimateTier, usize> = BTreeMap::new();
     let mut sum_err = 0.0;
     let mut answered = 0usize;
     for t in 0..agent.seconds() {

@@ -43,6 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let agent = &live.machines[0];
     let mut worst_err = 0.0_f64;
     let mut sum_err = 0.0;
+    // chaos-lint: allow(R2) — demo-only throughput display; the clock
+    // never touches the estimates themselves.
     let t0 = Instant::now();
     let mut row = vec![0.0; spec.width()];
     for t in 0..agent.seconds() {

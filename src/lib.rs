@@ -1,4 +1,8 @@
 //! Umbrella crate re-exporting the CHAOS workspace public API.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use chaos_core as core;
 pub use chaos_counters as counters;
 pub use chaos_mars as mars;
