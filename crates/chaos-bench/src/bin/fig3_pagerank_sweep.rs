@@ -25,7 +25,7 @@ fn main() {
         .expect("sweep succeeds");
 
     print_sweep("Figure 3: Opteron / PageRank", &cells);
-    write_cells("fig3_pagerank_sweep.csv", &cells);
+    write_cells("fig3_pagerank_sweep.csv", &cells, &cfg);
 
     // Shape checks: with the best technique fixed, richer feature sets
     // beat CPU-only by a clear margin on this I/O-heavy workload.
@@ -75,7 +75,7 @@ fn print_sweep(title: &str, cells: &[SweepCell]) {
     );
 }
 
-fn write_cells(name: &str, cells: &[SweepCell]) {
+fn write_cells(name: &str, cells: &[SweepCell], cfg: &ExperimentConfig) {
     let csv: Vec<Vec<String>> = cells
         .iter()
         .map(|c| {
@@ -93,6 +93,6 @@ fn write_cells(name: &str, cells: &[SweepCell]) {
     chaos_bench::obs_finish(
         "fig3_pagerank_sweep",
         Some(cfg.cluster_seed),
-        serde_json::to_string(&cfg).ok(),
+        serde_json::to_string(cfg).ok(),
     );
 }

@@ -81,6 +81,7 @@ fn collect_custom(
         workload: workload.name().to_string(),
         run_seed: seed,
         machines: out_machines,
+        membership: Vec::new(),
     }
 }
 

@@ -1,0 +1,215 @@
+//! Benchmark: crash recovery and fleet churn for the streaming engine.
+//!
+//! Exercises the ISSUE 6 robustness surface end to end and measures its
+//! cost. A supervised engine replays a faulted, churned run (dropout +
+//! leave/rejoin + late join + replacement); the run is killed at every
+//! decile, snapshotted, restored, and resumed. Before any timing, every
+//! stitched stream is asserted bit-identical to the uninterrupted run —
+//! recovery must be *correct* before it is fast. Reports snapshot size,
+//! encode / restore latencies, and resume throughput, and lands in
+//! `results/BENCH_recovery.json`.
+
+use chaos_bench::{format_table, results_dir};
+use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_core::FeatureSpec;
+use chaos_counters::{collect_run, ChurnPlan, CounterCatalog, FaultPlan, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stats::ExecPolicy;
+use chaos_stream::{DriftConfig, StreamConfig, StreamEngine, SupervisorConfig};
+use chaos_workloads::{SimConfig, Workload};
+use serde_json::json;
+use std::time::Instant;
+
+const MACHINES: usize = 4;
+const SEED: u64 = 4200;
+const SHIFT_AT_S: usize = 40;
+const SHIFT_FACTOR: f64 = 1.3;
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+    .with_supervise(SupervisorConfig::fast())
+}
+
+fn engine(est: &RobustEstimator, cluster: &Cluster, exec: ExecPolicy) -> StreamEngine {
+    let n = cluster.machines().len() as f64;
+    StreamEngine::new(
+        est.clone(),
+        cluster.machines().len(),
+        cluster.max_power() / n,
+        cluster.idle_power() / n,
+        0.05,
+        stream_config().with_exec(exec),
+    )
+    .expect("engine construction")
+}
+
+fn main() {
+    chaos_bench::obs_init("streaming_recovery");
+    let cluster = Cluster::homogeneous(Platform::Core2, MACHINES, SEED);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let sim = SimConfig::quick();
+    let train: Vec<RunTrace> = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &sim, SEED + 1 + r).unwrap())
+        .collect();
+    let mut test = collect_run(&cluster, &catalog, Workload::Prime, &sim, SEED + 9).unwrap();
+    let start = SHIFT_AT_S.min(test.seconds());
+    for m in &mut test.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= SHIFT_FACTOR;
+        }
+    }
+    let test = FaultPlan::new(SEED + 21)
+        .with_counter_dropout(0.1)
+        .with_churn(
+            ChurnPlan::new(SEED + 31)
+                .with_leave_rejoin(1)
+                .with_late_joins(1)
+                .with_replaces(1),
+        )
+        .apply(&test);
+    let seconds = test.seconds();
+
+    let spec = FeatureSpec::general(&catalog);
+    let cpu = strawman_position(&spec, &catalog);
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let cfg = RobustConfig {
+        fit: RobustConfig::fast()
+            .fit
+            .with_freq_column(spec.freq_column(&catalog)),
+        ..RobustConfig::fast()
+    };
+    let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).expect("offline fit");
+
+    // Correctness gate 1: churned replay is policy-invariant.
+    let mut digests = Vec::new();
+    for exec in [ExecPolicy::Serial, ExecPolicy::Parallel { threads: 4 }] {
+        let mut eng = engine(&est, &cluster, exec);
+        let outputs = eng.replay(&test).expect("replay");
+        digests.push(format!(
+            "{}|{}",
+            serde_json::to_string(&outputs).unwrap(),
+            serde_json::to_string(&eng.refit_outcomes()).unwrap()
+        ));
+    }
+    assert!(
+        digests.iter().all(|d| d == &digests[0]),
+        "churned replay differs across execution policies"
+    );
+    eprintln!("[determinism] churned serial and par4 replays bit-identical");
+
+    let mut uninterrupted = engine(&est, &cluster, ExecPolicy::Serial);
+    let full = uninterrupted.replay(&test).expect("uninterrupted replay");
+
+    // Correctness gate 2 + timing: kill at every decile, snapshot,
+    // restore, resume; every stitched stream must match bit-for-bit.
+    let mut snapshot_bytes = 0usize;
+    let mut encode_us = Vec::new();
+    let mut restore_us = Vec::new();
+    let mut resume_throughput = Vec::new();
+    for decile in 1..10 {
+        let kill_t = (seconds * decile / 10).clamp(1, seconds - 1);
+        let mut eng = engine(&est, &cluster, ExecPolicy::Serial);
+        let mut outputs = Vec::with_capacity(seconds);
+        for t in 0..kill_t {
+            outputs.push(eng.push_second(&test, t).expect("pre-kill second"));
+        }
+
+        let e0 = Instant::now();
+        let bytes = eng.snapshot();
+        encode_us.push(e0.elapsed().as_secs_f64() * 1e6);
+        snapshot_bytes = bytes.len();
+        drop(eng);
+
+        let r0 = Instant::now();
+        let mut restored = StreamEngine::restore(est.clone(), &bytes).expect("restore");
+        restore_us.push(r0.elapsed().as_secs_f64() * 1e6);
+
+        let t0 = Instant::now();
+        outputs.extend(restored.resume(&test).expect("resume"));
+        let resumed = seconds - kill_t;
+        resume_throughput.push(resumed as f64 / t0.elapsed().as_secs_f64());
+
+        assert_eq!(full.len(), outputs.len(), "kill at {kill_t}: length");
+        for (a, b) in full.iter().zip(&outputs) {
+            assert!(
+                a.cluster_power_w.to_bits() == b.cluster_power_w.to_bits() && a == b,
+                "kill at {kill_t}: diverged at second {}",
+                a.t
+            );
+        }
+    }
+    eprintln!("[recovery] 9 kill points stitched bit-identical");
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (enc, res, thr) = (
+        mean(&encode_us),
+        mean(&restore_us),
+        mean(&resume_throughput),
+    );
+    let counts = uninterrupted.supervision_counts();
+
+    println!(
+        "Streaming recovery (Core2, Prime, {MACHINES} machines, {seconds} s, dropout + churn)\n"
+    );
+    println!(
+        "{}",
+        format_table(
+            &["Metric", "Value"],
+            &[
+                vec!["snapshot size".into(), format!("{snapshot_bytes} B")],
+                vec!["encode (mean)".into(), format!("{enc:.1} us")],
+                vec!["restore (mean)".into(), format!("{res:.1} us")],
+                vec!["resume throughput".into(), format!("{thr:.0} samples/s")],
+                vec![
+                    "membership events".into(),
+                    format!("{}", test.membership.len()),
+                ],
+                vec![
+                    "supervision".into(),
+                    counts
+                        .iter()
+                        .map(|(k, v)| format!("{k}:{v}"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ],
+            ]
+        )
+    );
+
+    let out = json!({
+        "bench": "streaming_recovery",
+        "platform": "Core2",
+        "workload": "prime",
+        "machines": MACHINES,
+        "seconds": seconds,
+        "shift_at_s": SHIFT_AT_S,
+        "shift_factor": SHIFT_FACTOR,
+        "membership_events": test.membership.len(),
+        "kill_points": 9,
+        "snapshot_bytes": snapshot_bytes,
+        "encode_us_mean": enc,
+        "restore_us_mean": res,
+        "resume_samples_per_sec": thr,
+        "supervision_counts": counts,
+        "policy_bit_identical": true,
+        "recovery_bit_identical": true,
+    });
+    let path = results_dir().join("BENCH_recovery.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()).expect("write results");
+    println!("\nJSON written to {}", path.display());
+
+    chaos_bench::obs_finish(
+        "streaming_recovery",
+        Some(SEED),
+        serde_json::to_string(&sim).ok(),
+    );
+}

@@ -190,6 +190,7 @@ mod tests {
                     .filter(|m| m.platform == platform)
                     .cloned()
                     .collect(),
+                membership: Vec::new(),
             };
             let (spec, model) = fit_for(platform, &[sub], &catalog);
             cm.insert(platform, spec, model);

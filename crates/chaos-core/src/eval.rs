@@ -585,6 +585,112 @@ impl RollingDre {
         let mean: f64 = self.squared_errors.iter().sum::<f64>() / self.squared_errors.len() as f64;
         Some(mean.sqrt() / self.range_w)
     }
+
+    /// The window's state as a typed reading. Unlike [`RollingDre::dre`],
+    /// this distinguishes an *empty* window (every recent second faulted
+    /// or skipped — there is no statistic, and consumers must not coerce
+    /// the absence into NaN) from a warming and a fully warm window.
+    pub fn reading(&self) -> DreReading {
+        match self.dre() {
+            None => DreReading::Insufficient,
+            Some(dre) if self.is_warm() => DreReading::Ready { dre },
+            Some(dre) => DreReading::Warming { dre },
+        }
+    }
+
+    /// Empties the window without changing capacity or range — used when
+    /// a machine rejoins after quarantine and its error history no longer
+    /// describes the model it is running.
+    pub fn clear(&mut self) {
+        self.squared_errors.clear();
+    }
+
+    /// Exports the window contents as plain data for checkpointing.
+    pub fn export_state(&self) -> RollingDreState {
+        RollingDreState {
+            capacity: self.capacity,
+            range_w: self.range_w,
+            squared_errors: self.squared_errors.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuilds a window from exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the capacity is zero,
+    /// the range is not finite and positive, or the snapshot holds more
+    /// errors than its capacity.
+    pub fn import_state(state: RollingDreState) -> Result<Self, StatsError> {
+        if state.capacity == 0 || !state.range_w.is_finite() || state.range_w <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "rolling dre import: capacity {} range {}",
+                    state.capacity, state.range_w
+                ),
+            });
+        }
+        if state.squared_errors.len() > state.capacity {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "rolling dre import: {} errors exceed capacity {}",
+                    state.squared_errors.len(),
+                    state.capacity
+                ),
+            });
+        }
+        let mut squared_errors = std::collections::VecDeque::with_capacity(state.capacity);
+        squared_errors.extend(state.squared_errors);
+        Ok(RollingDre {
+            capacity: state.capacity,
+            range_w: state.range_w,
+            squared_errors,
+        })
+    }
+}
+
+/// A typed reading of a [`RollingDre`] window: either there is no
+/// statistic at all (zero valid pairs — the "insufficient data" state),
+/// or there is one, qualified by whether the window has warmed up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DreReading {
+    /// The window holds zero valid pairs; no DRE exists. Consumers must
+    /// treat this as "no information", never as a numeric value.
+    Insufficient,
+    /// The window holds some pairs but has not filled to capacity; the
+    /// statistic is provisional.
+    Warming {
+        /// DRE over the pairs retained so far.
+        dre: f64,
+    },
+    /// The window is full; the statistic is trustworthy.
+    Ready {
+        /// DRE over the full window.
+        dre: f64,
+    },
+}
+
+impl DreReading {
+    /// The DRE value if one exists (warming or ready).
+    pub fn value(self) -> Option<f64> {
+        match self {
+            DreReading::Insufficient => None,
+            DreReading::Warming { dre } | DreReading::Ready { dre } => Some(dre),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`RollingDre`], produced by
+/// [`RollingDre::export_state`] and consumed by
+/// [`RollingDre::import_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingDreState {
+    /// Window capacity in pairs.
+    pub capacity: usize,
+    /// Dynamic power range (Eq. 6's denominator), watts.
+    pub range_w: f64,
+    /// Retained squared errors, oldest first.
+    pub squared_errors: Vec<f64>,
 }
 
 #[cfg(test)]

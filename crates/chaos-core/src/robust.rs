@@ -219,6 +219,30 @@ impl ImputerState {
         }
     }
 
+    /// Exports the imputer's streaming state as plain data for
+    /// checkpointing.
+    pub fn export_state(&self) -> ImputerStateSnapshot {
+        ImputerStateSnapshot {
+            last_valid: self.last_valid.clone(),
+            gap_run: self.gap_run.clone(),
+            window: self.window,
+        }
+    }
+
+    /// Rebuilds an imputer from exported state. Returns `None` when the
+    /// snapshot is internally inconsistent (the per-feature vectors
+    /// disagree in width, or the rolling window is zero).
+    pub fn import_state(snap: ImputerStateSnapshot) -> Option<Self> {
+        if snap.last_valid.len() != snap.gap_run.len() || snap.window == 0 {
+            return None;
+        }
+        Some(ImputerState {
+            last_valid: snap.last_valid,
+            gap_run: snap.gap_run,
+            window: snap.window,
+        })
+    }
+
     fn impute(&mut self, k: usize, policy: ImputePolicy) -> Option<f64> {
         if self.last_valid[k].is_empty() {
             return None;
@@ -240,6 +264,21 @@ impl ImputerState {
             }
         }
     }
+}
+
+/// Plain-data snapshot of an [`ImputerState`], produced by
+/// [`ImputerState::export_state`] and consumed by
+/// [`ImputerState::import_state`]. Fields are public so external codecs
+/// (the chaos-stream checkpoint format) can serialize them bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImputerStateSnapshot {
+    /// Per-feature history of recent valid samples (rolling-median
+    /// window, or a single carry-forward value).
+    pub last_valid: Vec<Vec<f64>>,
+    /// Per-feature run length of consecutive imputed seconds.
+    pub gap_run: Vec<usize>,
+    /// Rolling-median window length (1 for other policies).
+    pub window: usize,
 }
 
 /// A power estimator that degrades gracefully under counter and meter

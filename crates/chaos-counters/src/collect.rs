@@ -9,6 +9,7 @@
 
 use crate::catalog::CounterCatalog;
 use crate::synth::CounterSynth;
+use chaos_sim::churn::{MembershipEvent, MembershipKind};
 use chaos_sim::{Cluster, Platform, PowerMeter};
 use chaos_workloads::{simulate, SimConfig};
 use rand::SeedableRng;
@@ -57,6 +58,12 @@ pub enum CollectError {
         /// The underlying serde error, stringified.
         message: String,
     },
+    /// The trace's membership-event schedule is inconsistent (unsorted,
+    /// out-of-range machine or donor ids, or events beyond the run).
+    Membership {
+        /// Human-readable description of the offending event.
+        context: String,
+    },
 }
 
 impl fmt::Display for CollectError {
@@ -82,6 +89,9 @@ impl fmt::Display for CollectError {
             ),
             CollectError::Deserialize { message } => {
                 write!(f, "trace deserialization failed: {message}")
+            }
+            CollectError::Membership { context } => {
+                write!(f, "invalid membership schedule: {context}")
             }
         }
     }
@@ -255,6 +265,8 @@ pub struct ClusterSample<'a> {
     pub t: usize,
     /// Per-machine samples, machine-id order.
     pub machines: Vec<CounterSample<'a>>,
+    /// Membership events taking effect this second (usually empty).
+    pub membership: Vec<&'a MembershipEvent>,
 }
 
 /// A full cluster recording for one workload run.
@@ -266,6 +278,11 @@ pub struct RunTrace {
     pub run_seed: u64,
     /// Per-machine traces, in machine-id order.
     pub machines: Vec<MachineRunTrace>,
+    /// Fleet-membership transitions over the run, sorted by time. Empty
+    /// (the serde default) means the membership is static — every
+    /// machine contributes for the whole run.
+    #[serde(default)]
+    pub membership: Vec<MembershipEvent>,
 }
 
 impl RunTrace {
@@ -289,15 +306,92 @@ impl RunTrace {
     }
 
     /// Streams the run one second at a time: each [`ClusterSample`] holds
-    /// every machine's observation for that second, in machine-id order.
-    /// Bounded by [`RunTrace::seconds`] (the minimum across machines), so
-    /// ragged tails are never yielded. This is the replay surface
-    /// `chaos-stream` consumes.
+    /// every machine's observation for that second, in machine-id order,
+    /// plus any membership events taking effect that second. Bounded by
+    /// [`RunTrace::seconds`] (the minimum across machines), so ragged
+    /// tails are never yielded. This is the replay surface `chaos-stream`
+    /// consumes.
     pub fn sample_stream(&self) -> impl Iterator<Item = ClusterSample<'_>> + '_ {
         (0..self.seconds()).map(move |t| ClusterSample {
             t,
             machines: self.machines.iter().map(|m| m.sample(t)).collect(),
+            membership: self.membership.iter().filter(|e| e.t == t).collect(),
         })
+    }
+
+    /// Returns a copy carrying the given membership-event schedule.
+    /// Validate with [`RunTrace::validate_membership`] before feeding the
+    /// result to a consumer that honors membership.
+    pub fn with_membership(mut self, membership: Vec<MembershipEvent>) -> Self {
+        self.membership = membership;
+        self
+    }
+
+    /// Whether machine `machine_id` is active at the *start* of the run:
+    /// a machine whose first scheduled event is a join arrives mid-run
+    /// and starts inactive; every other machine starts active.
+    pub fn initially_active(&self, machine_id: usize) -> bool {
+        match self.membership.iter().find(|e| e.machine_id == machine_id) {
+            Some(first) => !matches!(first.kind, MembershipKind::Join { .. }),
+            None => true,
+        }
+    }
+
+    /// Checks the membership schedule against the trace shape: events
+    /// sorted by time and inside the run, machine and donor ids in
+    /// range, and no event naming its own machine as donor.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectError::Membership`] describing the first offending event.
+    pub fn validate_membership(&self) -> Result<(), CollectError> {
+        let n = self.machines.len();
+        let seconds = self.seconds();
+        let mut last_t = 0usize;
+        for e in &self.membership {
+            if e.t < last_t {
+                return Err(CollectError::Membership {
+                    context: format!(
+                        "event at t={} follows one at t={last_t}; sort events by time",
+                        e.t
+                    ),
+                });
+            }
+            last_t = e.t;
+            if e.t >= seconds {
+                return Err(CollectError::Membership {
+                    context: format!("event at t={} is beyond the {seconds}-second run", e.t),
+                });
+            }
+            if e.machine_id >= n {
+                return Err(CollectError::Membership {
+                    context: format!(
+                        "event at t={} names machine {} of a {n}-machine trace",
+                        e.t, e.machine_id
+                    ),
+                });
+            }
+            let donor = match e.kind {
+                MembershipKind::Join { donor } | MembershipKind::Replace { donor } => donor,
+                MembershipKind::Leave => None,
+            };
+            if let Some(d) = donor {
+                if d >= n {
+                    return Err(CollectError::Membership {
+                        context: format!(
+                            "event at t={} names donor {d} of a {n}-machine trace",
+                            e.t
+                        ),
+                    });
+                }
+                if d == e.machine_id {
+                    return Err(CollectError::Membership {
+                        context: format!("event at t={} makes machine {d} its own donor", e.t),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Cluster-level ground-truth power.
@@ -421,7 +515,7 @@ impl RunTrace {
                 });
             }
         }
-        Ok(())
+        self.validate_membership()
     }
 
     /// Deserializes a trace from JSON and [validates](RunTrace::validate)
@@ -463,10 +557,21 @@ impl RunTrace {
             .iter()
             .map(|m| decimate_machine(m, interval_s))
             .collect();
+        // Membership events land in the decimated window containing them;
+        // same-window collisions keep their original order.
+        let membership = self
+            .membership
+            .iter()
+            .map(|e| MembershipEvent {
+                t: e.t / interval_s,
+                ..*e
+            })
+            .collect();
         Ok(RunTrace {
             workload: self.workload.clone(),
             run_seed: self.run_seed,
             machines,
+            membership,
         })
     }
 }
@@ -639,6 +744,7 @@ fn collect_with(
         workload: demand_trace.workload.clone(),
         run_seed: seed,
         machines,
+        membership: Vec::new(),
     }
 }
 

@@ -81,6 +81,11 @@ pub struct FaultPlan {
     /// Per-machine probability that the machine crashes at a random
     /// second and reports nothing afterwards.
     pub crash_rate: f64,
+    /// Fleet-churn scenario stamped onto the faulted trace's membership
+    /// schedule (joins, leaves, replacements). `None` leaves the trace's
+    /// membership untouched.
+    #[serde(default)]
+    pub churn: Option<chaos_sim::ChurnPlan>,
 }
 
 impl FaultPlan {
@@ -97,6 +102,7 @@ impl FaultPlan {
             glitch_rate: 0.0,
             glitch_scale: 0.5,
             crash_rate: 0.0,
+            churn: None,
         }
     }
 
@@ -138,6 +144,15 @@ impl FaultPlan {
         self
     }
 
+    /// Attaches a fleet-churn scenario: [`FaultPlan::apply`] will stamp
+    /// the generated membership schedule onto the faulted trace, driving
+    /// joins/leaves/replacements through the same live path sample
+    /// faults take.
+    pub fn with_churn(mut self, churn: chaos_sim::ChurnPlan) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
     /// Whether this plan can alter a trace at all.
     pub fn is_identity(&self) -> bool {
         self.counter_dropout <= 0.0
@@ -145,6 +160,10 @@ impl FaultPlan {
             && self.meter_outage_rate <= 0.0
             && self.glitch_rate <= 0.0
             && self.crash_rate <= 0.0
+            && self
+                .churn
+                .as_ref()
+                .is_none_or(chaos_sim::ChurnPlan::is_identity)
     }
 
     /// Applies the plan to a trace, returning the faulted copy. The input
@@ -159,6 +178,10 @@ impl FaultPlan {
         if self.is_identity() {
             return run.clone();
         }
+        let membership = match &self.churn {
+            Some(plan) if !plan.is_identity() => plan.generate(run.machines.len(), run.seconds()),
+            _ => run.membership.clone(),
+        };
         RunTrace {
             workload: run.workload.clone(),
             run_seed: run.run_seed,
@@ -167,6 +190,7 @@ impl FaultPlan {
                 .iter()
                 .map(|m| self.apply_machine(m, run.run_seed))
                 .collect(),
+            membership,
         }
     }
 

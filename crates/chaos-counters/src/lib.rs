@@ -48,6 +48,7 @@ pub mod faults;
 pub mod synth;
 
 pub use catalog::{CounterCatalog, CounterCategory, CounterDef, CounterKind, SignalSource};
+pub use chaos_sim::churn::{ChurnPlan, MembershipEvent, MembershipKind};
 pub use collect::{
     collect_run, collect_run_mixed, ClusterSample, CollectError, CounterSample, MachineRunTrace,
     RunTrace, ValidityMask,

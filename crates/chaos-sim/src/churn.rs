@@ -1,0 +1,294 @@
+//! Fleet churn: membership events and seeded churn-scenario generation.
+//!
+//! The paper's clusters are static five-machine testbeds, but the
+//! deployment story CHAOS argues for (an agent per machine feeding a
+//! live model) runs on fleets whose membership changes: machines are
+//! drained and re-imaged, replacements arrive with different silicon,
+//! capacity is added mid-run. A [`MembershipEvent`] describes one such
+//! transition at a specific second of a run; a [`ChurnPlan`] generates a
+//! reproducible schedule of them for a cluster, the same way
+//! `chaos_counters::FaultPlan` generates reproducible sample faults.
+//!
+//! Event semantics (enforced by the streaming engine):
+//!
+//! * **Join** — the machine starts (or resumes) contributing at `t`.
+//!   A machine whose *first* event is a join starts the run inactive.
+//!   Joins may name a donor machine whose model coefficients warm-start
+//!   the joiner.
+//! * **Leave** — the machine stops contributing at `t`; its trace data
+//!   from `t` on is ignored.
+//! * **Replace** — the machine's slot keeps running but the hardware
+//!   behind it changed at `t`: learned per-machine state is reset and
+//!   optionally warm-started from a donor.
+//!
+//! Generation is deterministic: the same plan and cluster shape yield
+//! the same event schedule, so churn scenarios replay bit-identically.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// What kind of membership transition happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipKind {
+    /// The machine starts (or resumes) contributing, optionally
+    /// warm-started from `donor`'s model coefficients.
+    Join {
+        /// Machine whose coefficients seed the joiner, if any.
+        donor: Option<usize>,
+    },
+    /// The machine stops contributing.
+    Leave,
+    /// The slot keeps running but the hardware changed: per-machine
+    /// learned state resets, optionally warm-started from `donor`.
+    Replace {
+        /// Machine whose coefficients seed the replacement, if any.
+        donor: Option<usize>,
+    },
+}
+
+/// One membership transition of one machine at one second of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipEvent {
+    /// Second the transition takes effect (before that second's sample
+    /// is processed).
+    pub t: usize,
+    /// Machine the transition applies to.
+    pub machine_id: usize,
+    /// The transition.
+    pub kind: MembershipKind,
+}
+
+impl MembershipEvent {
+    /// A join at `t`, warm-started from `donor` when given.
+    pub fn join(t: usize, machine_id: usize, donor: Option<usize>) -> Self {
+        MembershipEvent {
+            t,
+            machine_id,
+            kind: MembershipKind::Join { donor },
+        }
+    }
+
+    /// A leave at `t`.
+    pub fn leave(t: usize, machine_id: usize) -> Self {
+        MembershipEvent {
+            t,
+            machine_id,
+            kind: MembershipKind::Leave,
+        }
+    }
+
+    /// A replace at `t`, warm-started from `donor` when given.
+    pub fn replace(t: usize, machine_id: usize, donor: Option<usize>) -> Self {
+        MembershipEvent {
+            t,
+            machine_id,
+            kind: MembershipKind::Replace { donor },
+        }
+    }
+}
+
+/// A seeded, reproducible churn scenario: which machines leave, rejoin,
+/// arrive late, or get replaced over the course of a run.
+///
+/// Machine 0 is never churned — every scenario keeps at least one
+/// machine continuously active so cluster composition (Eq. 5) and donor
+/// warm starts always have an anchor. The default plan (any seed, all
+/// counts zero) generates no events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnPlan {
+    /// Seed for the event-schedule RNG stream.
+    pub seed: u64,
+    /// Number of leave-then-rejoin cycles to schedule.
+    pub leave_rejoin: usize,
+    /// Number of machines that arrive mid-run (first event is a join).
+    pub late_joins: usize,
+    /// Number of in-place hardware replacements.
+    pub replaces: usize,
+    /// Minimum seconds between consecutive events on one machine.
+    pub min_gap_s: usize,
+}
+
+impl ChurnPlan {
+    /// An identity plan (no events) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        ChurnPlan {
+            seed,
+            leave_rejoin: 0,
+            late_joins: 0,
+            replaces: 0,
+            min_gap_s: 10,
+        }
+    }
+
+    /// Returns a copy scheduling `n` leave-then-rejoin cycles.
+    pub fn with_leave_rejoin(mut self, n: usize) -> Self {
+        self.leave_rejoin = n;
+        self
+    }
+
+    /// Returns a copy scheduling `n` mid-run arrivals.
+    pub fn with_late_joins(mut self, n: usize) -> Self {
+        self.late_joins = n;
+        self
+    }
+
+    /// Returns a copy scheduling `n` in-place replacements.
+    pub fn with_replaces(mut self, n: usize) -> Self {
+        self.replaces = n;
+        self
+    }
+
+    /// Returns a copy with a different per-machine event spacing floor.
+    pub fn with_min_gap_s(mut self, gap: usize) -> Self {
+        self.min_gap_s = gap;
+        self
+    }
+
+    /// Whether this plan generates no events.
+    pub fn is_identity(&self) -> bool {
+        self.leave_rejoin == 0 && self.late_joins == 0 && self.replaces == 0
+    }
+
+    /// Generates the event schedule for a `machines`-wide cluster over a
+    /// `seconds`-long run: sorted by time, machine 0 untouched, at most
+    /// one scenario per machine, donors always machine 0.
+    ///
+    /// Deterministic: the same plan and shape produce the same schedule.
+    /// Degenerate shapes (fewer than two machines, or runs too short for
+    /// the configured gap) yield an empty schedule rather than an error.
+    pub fn generate(&self, machines: usize, seconds: usize) -> Vec<MembershipEvent> {
+        let gap = self.min_gap_s.max(1);
+        // Events need room: earliest at gap, latest one gap before the
+        // end, and leave/rejoin needs a further gap between its pair.
+        if machines < 2 || self.is_identity() || seconds < 3 * gap + 2 {
+            return Vec::new();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ (machines as u64).rotate_left(24)
+                ^ (seconds as u64),
+        );
+        let mut events = Vec::new();
+        // Each churned machine hosts exactly one scenario; machine 0 is
+        // the permanent anchor and default donor.
+        let mut candidates: Vec<usize> = (1..machines).collect();
+        let scenarios = self
+            .leave_rejoin
+            .saturating_add(self.late_joins)
+            .saturating_add(self.replaces)
+            .min(candidates.len());
+        let mut kinds = Vec::with_capacity(scenarios);
+        for i in 0..scenarios {
+            if i < self.leave_rejoin {
+                kinds.push(0u8);
+            } else if i < self.leave_rejoin + self.late_joins {
+                kinds.push(1);
+            } else {
+                kinds.push(2);
+            }
+        }
+        for kind in kinds {
+            let slot = rng.gen_range(0..candidates.len());
+            let machine = candidates.swap_remove(slot);
+            match kind {
+                0 => {
+                    let leave_at = rng.gen_range(gap..seconds - 2 * gap);
+                    let rejoin_at = rng.gen_range(leave_at + gap..seconds - gap);
+                    events.push(MembershipEvent::leave(leave_at, machine));
+                    events.push(MembershipEvent::join(rejoin_at, machine, Some(0)));
+                }
+                1 => {
+                    let join_at = rng.gen_range(gap..seconds - gap);
+                    events.push(MembershipEvent::join(join_at, machine, Some(0)));
+                }
+                _ => {
+                    let replace_at = rng.gen_range(gap..seconds - gap);
+                    events.push(MembershipEvent::replace(replace_at, machine, Some(0)));
+                }
+            }
+        }
+        // Stable sort by time keeps per-machine event order (a leave
+        // always precedes its rejoin) and makes same-second ordering
+        // deterministic by generation order.
+        events.sort_by_key(|e| e.t);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_plan_generates_nothing() {
+        assert!(ChurnPlan::new(7).generate(5, 200).is_empty());
+        assert!(ChurnPlan::new(7).is_identity());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let plan = ChurnPlan::new(42)
+            .with_leave_rejoin(1)
+            .with_late_joins(1)
+            .with_replaces(1);
+        let a = plan.generate(6, 300);
+        let b = plan.generate(6, 300);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn machine_zero_is_never_churned_and_events_are_sorted() {
+        let plan = ChurnPlan::new(3)
+            .with_leave_rejoin(2)
+            .with_late_joins(2)
+            .with_replaces(2);
+        let events = plan.generate(8, 400);
+        assert!(events.iter().all(|e| e.machine_id != 0));
+        assert!(events.windows(2).all(|w| w[0].t <= w[1].t));
+        assert!(events.iter().all(|e| e.t < 400));
+    }
+
+    #[test]
+    fn leave_precedes_rejoin_per_machine() {
+        let plan = ChurnPlan::new(11).with_leave_rejoin(3);
+        let events = plan.generate(6, 500);
+        for m in 1..6 {
+            let mine: Vec<_> = events.iter().filter(|e| e.machine_id == m).collect();
+            if mine.len() == 2 {
+                assert_eq!(mine[0].kind, MembershipKind::Leave);
+                assert!(matches!(mine[1].kind, MembershipKind::Join { .. }));
+                assert!(mine[0].t < mine[1].t);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_yield_no_events() {
+        let plan = ChurnPlan::new(5).with_replaces(2);
+        assert!(plan.generate(1, 300).is_empty(), "single machine");
+        assert!(plan.generate(5, 8).is_empty(), "run shorter than gaps");
+    }
+
+    #[test]
+    fn scenario_count_caps_at_available_machines() {
+        let plan = ChurnPlan::new(9).with_late_joins(50);
+        let events = plan.generate(4, 300);
+        // Only machines 1..4 are available, one scenario each.
+        assert!(events.len() <= 3);
+        let mut ids: Vec<_> = events.iter().map(|e| e.machine_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), events.len(), "one event per late-joiner");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = ChurnPlan::new(13).with_leave_rejoin(1);
+        let events = plan.generate(4, 200);
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<MembershipEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events, back);
+    }
+}

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod churn;
 pub mod cluster;
 pub mod machine;
 pub mod meter;
@@ -59,6 +60,7 @@ pub mod state;
 pub mod thermal;
 pub mod variation;
 
+pub use churn::{ChurnPlan, MembershipEvent, MembershipKind};
 pub use cluster::Cluster;
 pub use machine::Machine;
 pub use meter::PowerMeter;

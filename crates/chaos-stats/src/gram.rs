@@ -360,6 +360,35 @@ impl CholeskyFactor {
         })
     }
 
+    /// Rebuilds a factor from a previously exported lower triangle
+    /// (see [`CholeskyFactor::lower`]). Used by checkpoint restore to
+    /// resurrect a maintained factor bit-for-bit, so resumed streams
+    /// take the exact numeric path an uninterrupted run would.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] if `k == 0`.
+    /// * [`StatsError::DimensionMismatch`] if `l.len() != k·k`.
+    /// * [`StatsError::NonFinite`] if any entry is non-finite.
+    pub fn from_lower(l: Vec<f64>, k: usize) -> Result<Self, StatsError> {
+        if k == 0 {
+            return Err(StatsError::InvalidParameter {
+                context: "cholesky: order must be at least 1".to_string(),
+            });
+        }
+        if l.len() != k * k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("cholesky from_lower: {} entries for order {k}", l.len()),
+            });
+        }
+        if l.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite {
+                context: "cholesky from_lower: non-finite factor entry".to_string(),
+            });
+        }
+        Ok(CholeskyFactor { l, k })
+    }
+
     /// Order `k` of the factored matrix.
     pub fn order(&self) -> usize {
         self.k

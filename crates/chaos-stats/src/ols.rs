@@ -193,6 +193,91 @@ impl OlsFit {
     pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>, StatsError> {
         x.matvec(&self.coefficients)
     }
+
+    /// Exports the fit as plain data for checkpointing.
+    pub fn export_state(&self) -> OlsFitState {
+        OlsFitState {
+            coefficients: self.coefficients.clone(),
+            std_errors: self.std_errors.clone(),
+            residual_variance: self.residual_variance,
+            n: self.n,
+            r_squared: self.r_squared,
+        }
+    }
+
+    /// Rebuilds a fit from exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the coefficient and
+    /// standard-error vectors disagree in length, or
+    /// [`StatsError::InvalidParameter`] if either is empty.
+    pub fn import_state(state: OlsFitState) -> Result<Self, StatsError> {
+        if state.coefficients.is_empty() {
+            return Err(StatsError::InvalidParameter {
+                context: "ols import: empty coefficient vector".to_string(),
+            });
+        }
+        if state.coefficients.len() != state.std_errors.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "ols import: {} coefficients but {} std errors",
+                    state.coefficients.len(),
+                    state.std_errors.len()
+                ),
+            });
+        }
+        Ok(OlsFit {
+            coefficients: state.coefficients,
+            std_errors: state.std_errors,
+            residual_variance: state.residual_variance,
+            n: state.n,
+            r_squared: state.r_squared,
+        })
+    }
+}
+
+/// Plain-data snapshot of an [`OlsFit`], produced by
+/// [`OlsFit::export_state`] and consumed by [`OlsFit::import_state`].
+/// All fields are public so external codecs (e.g. the chaos-stream
+/// checkpoint format) can serialize them bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFitState {
+    /// Fitted coefficients, design-matrix column order.
+    pub coefficients: Vec<f64>,
+    /// Standard errors of the coefficients.
+    pub std_errors: Vec<f64>,
+    /// Estimated residual variance.
+    pub residual_variance: f64,
+    /// Number of observations used in the fit.
+    pub n: usize,
+    /// In-sample coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Plain-data snapshot of a [`WindowedOls`], produced by
+/// [`WindowedOls::export_state`] and consumed by
+/// [`WindowedOls::import_state`]. The maintained Cholesky factor is
+/// carried as its exported lower triangle (empty when the factor was
+/// dropped), so a restored solver takes the exact numeric path the
+/// original would have.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedOlsState {
+    /// Feature columns (excluding the implicit intercept).
+    pub p: usize,
+    /// Augmented Gram matrix over `[1 | X]`, row-major `(p+1)²`.
+    pub gram: Vec<f64>,
+    /// `[1 | X]'y`.
+    pub xty: Vec<f64>,
+    /// `y'y`.
+    pub yty: f64,
+    /// Rows currently in the window.
+    pub n: usize,
+    /// Exported lower triangle of the maintained factor; empty when the
+    /// factor was dropped (a failed downdate) at snapshot time.
+    pub chol_lower: Vec<f64>,
+    /// Full-refactorization count at snapshot time.
+    pub refactorizations: usize,
 }
 
 /// Incremental least squares over a sliding window of observations.
@@ -399,6 +484,59 @@ impl WindowedOls {
             self.n,
             r_squared,
         ))
+    }
+
+    /// Exports the full solver state (normal equations plus the
+    /// maintained factor) as plain data for checkpointing.
+    pub fn export_state(&self) -> WindowedOlsState {
+        WindowedOlsState {
+            p: self.p,
+            gram: self.gram.clone(),
+            xty: self.xty.clone(),
+            yty: self.yty,
+            n: self.n,
+            chol_lower: self
+                .chol
+                .as_ref()
+                .map(|c| c.lower().to_vec())
+                .unwrap_or_default(),
+            refactorizations: self.refactorizations,
+        }
+    }
+
+    /// Rebuilds a solver from exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the Gram matrix,
+    /// `X'y` vector, or factor triangle do not match `(p+1)²`/`p+1`, or
+    /// errors from [`CholeskyFactor::from_lower`] for a malformed factor.
+    pub fn import_state(state: WindowedOlsState) -> Result<Self, StatsError> {
+        let d = state.p + 1;
+        if state.gram.len() != d * d || state.xty.len() != d {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "windowed ols import: gram {} / xty {} entries for p = {}",
+                    state.gram.len(),
+                    state.xty.len(),
+                    state.p
+                ),
+            });
+        }
+        let chol = if state.chol_lower.is_empty() {
+            None
+        } else {
+            Some(CholeskyFactor::from_lower(state.chol_lower, d)?)
+        };
+        Ok(WindowedOls {
+            p: state.p,
+            gram: state.gram,
+            xty: state.xty,
+            yty: state.yty,
+            n: state.n,
+            chol,
+            refactorizations: state.refactorizations,
+        })
     }
 
     /// Validates one observation and returns its augmented row `[1 | x]`.

@@ -1,0 +1,920 @@
+//! Crash-consistent engine snapshots: a versioned, dependency-free
+//! binary format for the full [`StreamEngine`](crate::StreamEngine)
+//! state.
+//!
+//! The bit-identity contract extends across process death: an engine
+//! killed at any second, restored from its last snapshot, and replayed
+//! over the remaining seconds must emit byte-for-byte the predictions an
+//! uninterrupted run would. That rules out text codecs — the drift
+//! thresholds in [`DriftConfig`](crate::DriftConfig) are legitimately
+//! `f64::INFINITY` for the disabled detector, which JSON cannot
+//! round-trip — so every float is written as its IEEE-754 bit pattern
+//! (`f64::to_bits`, little-endian), and the only nested serde payload is
+//! the fitted-technique model leaf, whose parameters are finite by
+//! construction.
+//!
+//! # Envelope
+//!
+//! | offset | bytes | field |
+//! |--------|-------|-------|
+//! | 0      | 8     | magic `CHAOSNAP` |
+//! | 8      | 4     | format version (little-endian u32, currently 1) |
+//! | 12     | 8     | payload length (little-endian u64) |
+//! | 20     | n     | payload |
+//! | 20 + n | 8     | FNV-1a 64 checksum of the payload |
+//!
+//! Truncation, bit rot, and version skew each map to a distinct
+//! [`SnapshotError`]; a snapshot that decodes is internally consistent.
+//!
+//! [`Checkpointer`] adds atomic persistence: snapshots are written to a
+//! sibling temporary file and renamed into place, so a crash mid-write
+//! leaves the previous snapshot intact.
+
+use crate::drift::DriftState;
+use crate::engine::{MachineState, StreamConfig, StreamEngine};
+use crate::refit::{AdaptedModel, RefitOutcome, RefitTier};
+use crate::supervise::{MachineHealth, RetryState, StreamError, SupervisorConfig};
+use crate::window::SlidingWindow;
+use crate::DriftConfig;
+use chaos_core::eval::RollingDreState;
+use chaos_core::robust::{ImputerState, ImputerStateSnapshot};
+use chaos_core::{FittedModel, RobustEstimator};
+use chaos_stats::ols::{OlsFit, OlsFitState, WindowedOls, WindowedOlsState};
+use chaos_stats::ExecPolicy;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CHAOSNAP";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes` — the snapshot checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a snapshot could not be decoded, validated, or persisted.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Fewer bytes than the fixed envelope header.
+    TooShort {
+        /// Bytes supplied.
+        got: usize,
+    },
+    /// The magic bytes are wrong — not a chaos-stream snapshot.
+    BadMagic,
+    /// The format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        got: u32,
+    },
+    /// The envelope's payload length disagrees with the byte count.
+    LengthMismatch {
+        /// Length the envelope declared.
+        declared: u64,
+        /// Payload bytes actually present.
+        got: u64,
+    },
+    /// The payload checksum does not match — truncation or corruption.
+    ChecksumMismatch,
+    /// The payload decoded but its structure is inconsistent.
+    Malformed {
+        /// What was wrong.
+        context: String,
+    },
+    /// The snapshot is well-formed but does not fit the supplied
+    /// estimator (feature-width or machine-shape mismatch).
+    Incompatible {
+        /// What did not fit.
+        context: String,
+    },
+    /// Filesystem failure while persisting or loading.
+    Io {
+        /// The failed operation and the OS error.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::TooShort { got } => {
+                write!(
+                    f,
+                    "snapshot: {got} bytes is shorter than the envelope header"
+                )
+            }
+            SnapshotError::BadMagic => {
+                write!(f, "snapshot: bad magic (not a chaos-stream snapshot)")
+            }
+            SnapshotError::UnsupportedVersion { got } => {
+                write!(f, "snapshot: unsupported format version {got}")
+            }
+            SnapshotError::LengthMismatch { declared, got } => write!(
+                f,
+                "snapshot: envelope declares {declared} payload bytes, found {got}"
+            ),
+            SnapshotError::ChecksumMismatch => {
+                write!(
+                    f,
+                    "snapshot: payload checksum mismatch (truncated or corrupted)"
+                )
+            }
+            SnapshotError::Malformed { context } => {
+                write!(f, "snapshot: malformed payload: {context}")
+            }
+            SnapshotError::Incompatible { context } => {
+                write!(f, "snapshot: incompatible with this engine: {context}")
+            }
+            SnapshotError::Io { context } => write!(f, "snapshot: io failure: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Little-endian byte encoder for the snapshot payload.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    fn vec_usize(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+}
+
+/// Little-endian byte decoder for the snapshot payload.
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| SnapshotError::Malformed {
+                context: format!("{what}: length overflow"),
+            })?;
+        if end > self.data.len() {
+            return Err(SnapshotError::Malformed {
+                context: format!(
+                    "{what}: needs {n} bytes at offset {}, only {} remain",
+                    self.pos,
+                    self.data.len() - self.pos
+                ),
+            });
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, SnapshotError> {
+        let s = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, SnapshotError> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| SnapshotError::Malformed {
+            context: format!("{what}: {v} does not fit usize"),
+        })
+    }
+
+    /// A length prefix, sanity-bounded by the bytes that remain so a
+    /// corrupted length cannot drive a huge allocation.
+    fn len(&mut self, what: &str) -> Result<usize, SnapshotError> {
+        let n = self.usize(what)?;
+        if n > self.data.len() - self.pos.min(self.data.len()) {
+            return Err(SnapshotError::Malformed {
+                context: format!("{what}: declared length {n} exceeds remaining bytes"),
+            });
+        }
+        Ok(n)
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, SnapshotError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(SnapshotError::Malformed {
+                context: format!("{what}: invalid bool byte {v}"),
+            }),
+        }
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<&'a [u8], SnapshotError> {
+        let n = self.len(what)?;
+        self.take(n, what)
+    }
+
+    fn vec_f64(&mut self, what: &str) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.len(what)?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+
+    fn vec_usize(&mut self, what: &str) -> Result<Vec<usize>, SnapshotError> {
+        let n = self.len(what)?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.usize(what)?);
+        }
+        Ok(out)
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn tier_tag(t: RefitTier) -> u8 {
+    match t {
+        RefitTier::CoefficientRefresh => 0,
+        RefitTier::StepwiseRerun => 1,
+        RefitTier::FullReselect => 2,
+    }
+}
+
+fn tier_from_tag(v: u8, what: &str) -> Result<RefitTier, SnapshotError> {
+    match v {
+        0 => Ok(RefitTier::CoefficientRefresh),
+        1 => Ok(RefitTier::StepwiseRerun),
+        2 => Ok(RefitTier::FullReselect),
+        _ => Err(SnapshotError::Malformed {
+            context: format!("{what}: invalid refit tier tag {v}"),
+        }),
+    }
+}
+
+fn health_tag(h: MachineHealth) -> u8 {
+    match h {
+        MachineHealth::Healthy => 0,
+        MachineHealth::Ramping => 1,
+        MachineHealth::Quarantined => 2,
+    }
+}
+
+fn health_from_tag(v: u8) -> Result<MachineHealth, SnapshotError> {
+    match v {
+        0 => Ok(MachineHealth::Healthy),
+        1 => Ok(MachineHealth::Ramping),
+        2 => Ok(MachineHealth::Quarantined),
+        _ => Err(SnapshotError::Malformed {
+            context: format!("machine health: invalid tag {v}"),
+        }),
+    }
+}
+
+fn encode_config(e: &mut Enc, c: &StreamConfig) {
+    e.usize(c.window_s);
+    e.usize(c.drift.window_s);
+    e.f64(c.drift.refresh_ratio);
+    e.f64(c.drift.stepwise_ratio);
+    e.f64(c.drift.reselect_ratio);
+    e.usize(c.drift.cooldown_s);
+    e.f64(c.stepwise_alpha);
+    e.usize(c.stepwise_min_features);
+    e.usize(c.min_refit_samples);
+    e.usize(c.supervise.max_attempts);
+    e.usize(c.supervise.quarantine_after);
+    e.usize(c.supervise.quarantine_s);
+    match c.exec {
+        ExecPolicy::Serial => e.u8(0),
+        ExecPolicy::Parallel { threads } => {
+            e.u8(1);
+            e.usize(threads);
+        }
+    }
+}
+
+fn decode_config(d: &mut Dec<'_>) -> Result<StreamConfig, SnapshotError> {
+    let window_s = d.usize("config.window_s")?;
+    let drift = DriftConfig {
+        window_s: d.usize("config.drift.window_s")?,
+        refresh_ratio: d.f64("config.drift.refresh_ratio")?,
+        stepwise_ratio: d.f64("config.drift.stepwise_ratio")?,
+        reselect_ratio: d.f64("config.drift.reselect_ratio")?,
+        cooldown_s: d.usize("config.drift.cooldown_s")?,
+    };
+    let stepwise_alpha = d.f64("config.stepwise_alpha")?;
+    let stepwise_min_features = d.usize("config.stepwise_min_features")?;
+    let min_refit_samples = d.usize("config.min_refit_samples")?;
+    let supervise = SupervisorConfig {
+        max_attempts: d.usize("config.supervise.max_attempts")?,
+        quarantine_after: d.usize("config.supervise.quarantine_after")?,
+        quarantine_s: d.usize("config.supervise.quarantine_s")?,
+    };
+    let exec = match d.u8("config.exec")? {
+        0 => ExecPolicy::Serial,
+        1 => ExecPolicy::Parallel {
+            threads: d.usize("config.exec.threads")?,
+        },
+        v => {
+            return Err(SnapshotError::Malformed {
+                context: format!("config.exec: invalid policy tag {v}"),
+            })
+        }
+    };
+    Ok(StreamConfig {
+        window_s,
+        drift,
+        stepwise_alpha,
+        stepwise_min_features,
+        min_refit_samples,
+        supervise,
+        exec,
+    })
+}
+
+fn encode_adapted(e: &mut Enc, adapted: &Option<AdaptedModel>) -> Result<(), SnapshotError> {
+    match adapted {
+        None => e.u8(0),
+        Some(AdaptedModel::Linear { columns, fit }) => {
+            e.u8(1);
+            e.vec_usize(columns);
+            let s = fit.export_state();
+            e.vec_f64(&s.coefficients);
+            e.vec_f64(&s.std_errors);
+            e.f64(s.residual_variance);
+            e.usize(s.n);
+            e.f64(s.r_squared);
+        }
+        Some(AdaptedModel::Technique { columns, model }) => {
+            e.u8(2);
+            e.vec_usize(columns);
+            let json = serde_json::to_vec(model).map_err(|err| SnapshotError::Malformed {
+                context: format!("technique model failed to serialize: {err}"),
+            })?;
+            e.bytes(&json);
+        }
+    }
+    Ok(())
+}
+
+fn decode_adapted(d: &mut Dec<'_>) -> Result<Option<AdaptedModel>, SnapshotError> {
+    match d.u8("adapted.tag")? {
+        0 => Ok(None),
+        1 => {
+            let columns = d.vec_usize("adapted.columns")?;
+            let state = OlsFitState {
+                coefficients: d.vec_f64("adapted.coefficients")?,
+                std_errors: d.vec_f64("adapted.std_errors")?,
+                residual_variance: d.f64("adapted.residual_variance")?,
+                n: d.usize("adapted.n")?,
+                r_squared: d.f64("adapted.r_squared")?,
+            };
+            let fit = OlsFit::import_state(state).map_err(|e| SnapshotError::Malformed {
+                context: format!("adapted linear fit: {e}"),
+            })?;
+            Ok(Some(AdaptedModel::Linear { columns, fit }))
+        }
+        2 => {
+            let columns = d.vec_usize("adapted.columns")?;
+            let json = d.bytes("adapted.model")?;
+            let model: FittedModel =
+                serde_json::from_slice(json).map_err(|e| SnapshotError::Malformed {
+                    context: format!("adapted technique model: {e}"),
+                })?;
+            Ok(Some(AdaptedModel::Technique { columns, model }))
+        }
+        v => Err(SnapshotError::Malformed {
+            context: format!("adapted.tag: invalid tag {v}"),
+        }),
+    }
+}
+
+fn encode_machine(e: &mut Enc, s: &MachineState) -> Result<(), SnapshotError> {
+    e.bool(s.active);
+    e.u8(health_tag(s.health));
+    e.usize(s.consecutive_failures);
+    e.usize(s.quarantine_left);
+    e.usize(s.quarantines);
+    e.usize(s.rejoins);
+    e.usize(s.retries);
+    match &s.retry {
+        None => e.u8(0),
+        Some(r) => {
+            e.u8(1);
+            e.u8(tier_tag(r.requested));
+            e.usize(r.attempts_left);
+        }
+    }
+
+    let imp = s.imputer.export_state();
+    e.usize(imp.last_valid.len());
+    for h in &imp.last_valid {
+        e.vec_f64(h);
+    }
+    e.vec_usize(&imp.gap_run);
+    e.usize(imp.window);
+
+    e.usize(s.window.capacity());
+    e.usize(s.window.width());
+    e.usize(s.window.len());
+    for (row, y) in s.window.iter() {
+        e.vec_f64(row);
+        e.f64(y);
+    }
+
+    let w = s.wols.export_state();
+    e.usize(w.p);
+    e.vec_f64(&w.gram);
+    e.vec_f64(&w.xty);
+    e.f64(w.yty);
+    e.usize(w.n);
+    e.vec_f64(&w.chol_lower);
+    e.usize(w.refactorizations);
+
+    let dr = s.drift.export_state();
+    e.f64(dr.baseline_dre);
+    e.usize(dr.since_refit);
+    e.usize(dr.rolling.capacity);
+    e.f64(dr.rolling.range_w);
+    e.vec_f64(&dr.rolling.squared_errors);
+
+    encode_adapted(e, &s.adapted)?;
+
+    e.usize(s.refits.len());
+    for r in &s.refits {
+        e.usize(r.t);
+        e.usize(r.machine_id);
+        e.u8(tier_tag(r.requested));
+        match r.applied {
+            None => e.u8(0),
+            Some(t) => {
+                e.u8(1);
+                e.u8(tier_tag(t));
+            }
+        }
+        match &r.selected {
+            None => e.u8(0),
+            Some(cols) => {
+                e.u8(1);
+                e.vec_usize(cols);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_machine(d: &mut Dec<'_>, config: &StreamConfig) -> Result<MachineState, SnapshotError> {
+    let active = d.bool("machine.active")?;
+    let health = health_from_tag(d.u8("machine.health")?)?;
+    let consecutive_failures = d.usize("machine.consecutive_failures")?;
+    let quarantine_left = d.usize("machine.quarantine_left")?;
+    let quarantines = d.usize("machine.quarantines")?;
+    let rejoins = d.usize("machine.rejoins")?;
+    let retries = d.usize("machine.retries")?;
+    let retry = match d.u8("machine.retry.tag")? {
+        0 => None,
+        1 => Some(RetryState {
+            requested: tier_from_tag(d.u8("machine.retry.requested")?, "machine.retry")?,
+            attempts_left: d.usize("machine.retry.attempts_left")?,
+        }),
+        v => {
+            return Err(SnapshotError::Malformed {
+                context: format!("machine.retry.tag: invalid tag {v}"),
+            })
+        }
+    };
+
+    let width = d.len("machine.imputer.width")?;
+    let mut last_valid = Vec::with_capacity(width);
+    for _ in 0..width {
+        last_valid.push(d.vec_f64("machine.imputer.history")?);
+    }
+    let gap_run = d.vec_usize("machine.imputer.gap_run")?;
+    let imp_window = d.usize("machine.imputer.window")?;
+    let imputer = ImputerState::import_state(ImputerStateSnapshot {
+        last_valid,
+        gap_run,
+        window: imp_window,
+    })
+    .ok_or_else(|| SnapshotError::Malformed {
+        context: "machine.imputer: inconsistent snapshot".into(),
+    })?;
+
+    let win_capacity = d.usize("machine.window.capacity")?;
+    let win_width = d.usize("machine.window.width")?;
+    let win_len = d.len("machine.window.len")?;
+    let mut rows = Vec::with_capacity(win_len);
+    for _ in 0..win_len {
+        let row = d.vec_f64("machine.window.row")?;
+        let y = d.f64("machine.window.y")?;
+        rows.push((row, y));
+    }
+    let window = SlidingWindow::from_parts(win_capacity, win_width, rows).map_err(|e| {
+        SnapshotError::Malformed {
+            context: format!("machine.window: {e}"),
+        }
+    })?;
+
+    let wols = WindowedOls::import_state(WindowedOlsState {
+        p: d.usize("machine.wols.p")?,
+        gram: d.vec_f64("machine.wols.gram")?,
+        xty: d.vec_f64("machine.wols.xty")?,
+        yty: d.f64("machine.wols.yty")?,
+        n: d.usize("machine.wols.n")?,
+        chol_lower: d.vec_f64("machine.wols.chol")?,
+        refactorizations: d.usize("machine.wols.refactorizations")?,
+    })
+    .map_err(|e| SnapshotError::Malformed {
+        context: format!("machine.wols: {e}"),
+    })?;
+
+    let drift_state = DriftState {
+        baseline_dre: d.f64("machine.drift.baseline")?,
+        since_refit: d.usize("machine.drift.since_refit")?,
+        rolling: RollingDreState {
+            capacity: d.usize("machine.drift.capacity")?,
+            range_w: d.f64("machine.drift.range_w")?,
+            squared_errors: d.vec_f64("machine.drift.errors")?,
+        },
+    };
+    let drift =
+        crate::drift::DriftDetector::import_state(config.drift, drift_state).map_err(|e| {
+            SnapshotError::Malformed {
+                context: format!("machine.drift: {e}"),
+            }
+        })?;
+
+    let adapted = decode_adapted(d)?;
+
+    let n_refits = d.len("machine.refits.len")?;
+    let mut refits = Vec::with_capacity(n_refits);
+    for _ in 0..n_refits {
+        let t = d.usize("machine.refit.t")?;
+        let machine_id = d.usize("machine.refit.machine_id")?;
+        let requested = tier_from_tag(d.u8("machine.refit.requested")?, "machine.refit")?;
+        let applied = match d.u8("machine.refit.applied.tag")? {
+            0 => None,
+            1 => Some(tier_from_tag(
+                d.u8("machine.refit.applied")?,
+                "machine.refit.applied",
+            )?),
+            v => {
+                return Err(SnapshotError::Malformed {
+                    context: format!("machine.refit.applied: invalid tag {v}"),
+                })
+            }
+        };
+        let selected = match d.u8("machine.refit.selected.tag")? {
+            0 => None,
+            1 => Some(d.vec_usize("machine.refit.selected")?),
+            v => {
+                return Err(SnapshotError::Malformed {
+                    context: format!("machine.refit.selected: invalid tag {v}"),
+                })
+            }
+        };
+        refits.push(RefitOutcome {
+            t,
+            machine_id,
+            requested,
+            applied,
+            selected,
+        });
+    }
+
+    Ok(MachineState {
+        imputer,
+        window,
+        wols,
+        drift,
+        adapted,
+        refits,
+        active,
+        health,
+        consecutive_failures,
+        retry,
+        quarantine_left,
+        quarantines,
+        rejoins,
+        retries,
+    })
+}
+
+/// Serializes the full engine state into an enveloped snapshot.
+pub(crate) fn encode_engine(engine: &StreamEngine) -> Vec<u8> {
+    let mut payload = Enc::new();
+    encode_config(&mut payload, &engine.config);
+    payload.usize(engine.t);
+    payload.usize(engine.machines.len());
+    for m in &engine.machines {
+        // Serialization of live engine state cannot fail: the technique
+        // model's parameters are finite by construction, and every other
+        // field is written as raw bits.
+        if let Err(e) = encode_machine(&mut payload, m) {
+            unreachable_snapshot(&e);
+        }
+    }
+    let payload = payload.buf;
+
+    let mut out = Vec::with_capacity(28 + payload.len());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let checksum = fnv1a64(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Diverts the impossible encode failure somewhere observable without
+/// panicking in library code.
+fn unreachable_snapshot(e: &SnapshotError) {
+    chaos_obs::add("stream.snapshot.encode_failed", 1);
+    chaos_obs::event(
+        "stream.snapshot.encode_failed",
+        &[("error", chaos_obs::Value::Str(e.to_string()))],
+    );
+}
+
+/// Validates the envelope and decodes a [`StreamEngine`] around
+/// `estimator`.
+pub(crate) fn decode_engine(
+    estimator: RobustEstimator,
+    bytes: &[u8],
+) -> Result<StreamEngine, StreamError> {
+    if bytes.len() < 28 {
+        return Err(SnapshotError::TooShort { got: bytes.len() }.into());
+    }
+    if bytes[0..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic.into());
+    }
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(v);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { got: version }.into());
+    }
+    let mut l = [0u8; 8];
+    l.copy_from_slice(&bytes[12..20]);
+    let declared = u64::from_le_bytes(l);
+    let body = &bytes[20..];
+    if body.len() as u64 != declared + 8 {
+        return Err(SnapshotError::LengthMismatch {
+            declared,
+            got: (body.len() as u64).saturating_sub(8),
+        }
+        .into());
+    }
+    let payload = &body[..declared as usize];
+    let mut c = [0u8; 8];
+    c.copy_from_slice(&body[declared as usize..]);
+    if fnv1a64(payload) != u64::from_le_bytes(c) {
+        return Err(SnapshotError::ChecksumMismatch.into());
+    }
+
+    let mut d = Dec::new(payload);
+    let config = decode_config(&mut d)?;
+    let t = d.usize("engine.t")?;
+    let n_machines = d.len("engine.machines")?;
+    if n_machines == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "engine.machines: zero machine streams".into(),
+        }
+        .into());
+    }
+    let mut machines = Vec::with_capacity(n_machines);
+    for _ in 0..n_machines {
+        machines.push(decode_machine(&mut d, &config)?);
+    }
+    if !d.finished() {
+        return Err(SnapshotError::Malformed {
+            context: format!("{} trailing payload bytes", payload.len() - d.pos),
+        }
+        .into());
+    }
+
+    let width = estimator.spec().width();
+    for (i, m) in machines.iter().enumerate() {
+        if m.window.width() != width || m.wols.n_features() != width {
+            return Err(SnapshotError::Incompatible {
+                context: format!(
+                    "machine {i}: snapshot feature width {} (solver {}) vs estimator spec width {width}",
+                    m.window.width(),
+                    m.wols.n_features()
+                ),
+            }
+            .into());
+        }
+    }
+
+    chaos_obs::add("stream.snapshot.restored", 1);
+    Ok(StreamEngine {
+        estimator,
+        config,
+        machines,
+        t,
+    })
+}
+
+/// Cadenced, atomic snapshot persistence for a streaming engine.
+///
+/// Writes go to a sibling `.tmp` file first and are renamed into place,
+/// so a crash mid-write can never destroy the previous good snapshot.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    path: PathBuf,
+    every_s: usize,
+}
+
+impl Checkpointer {
+    /// A checkpointer that persists to `path` every `every_s` processed
+    /// seconds (`every_s` is clamped to at least 1).
+    pub fn new(path: impl Into<PathBuf>, every_s: usize) -> Self {
+        Checkpointer {
+            path: path.into(),
+            every_s: every_s.max(1),
+        }
+    }
+
+    /// The snapshot path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The persistence cadence in processed seconds.
+    pub fn every_s(&self) -> usize {
+        self.every_s
+    }
+
+    /// Persists a snapshot when the engine sits on a cadence boundary
+    /// (a positive multiple of `every_s` seconds processed). Returns
+    /// whether a snapshot was written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the write or rename fails.
+    pub fn maybe_persist(&self, engine: &StreamEngine) -> Result<bool, SnapshotError> {
+        let t = engine.seconds_processed();
+        if t == 0 || t % self.every_s != 0 {
+            return Ok(false);
+        }
+        self.persist(engine)?;
+        Ok(true)
+    }
+
+    /// Persists a snapshot unconditionally (write-to-temp then rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the write or rename fails.
+    pub fn persist(&self, engine: &StreamEngine) -> Result<(), SnapshotError> {
+        let _span = chaos_obs::span("stream.snapshot.persist");
+        let bytes = encode_engine(engine);
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io {
+            context: format!("write {}: {e}", tmp.display()),
+        })?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| SnapshotError::Io {
+            context: format!("rename {} -> {}: {e}", tmp.display(), self.path.display()),
+        })?;
+        chaos_obs::add("stream.snapshot.persisted", 1);
+        chaos_obs::record("stream.snapshot.bytes", bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Loads the raw snapshot bytes from disk; pair with
+    /// [`StreamEngine::restore`](crate::StreamEngine::restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the file cannot be read.
+    pub fn load(&self) -> Result<Vec<u8>, SnapshotError> {
+        std::fs::read(&self.path).map_err(|e| SnapshotError::Io {
+            context: format!("read {}: {e}", self.path.display()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn enc_dec_round_trip_primitives() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.usize(123_456);
+        e.f64(f64::INFINITY);
+        e.f64(-0.0);
+        e.vec_f64(&[1.5, f64::NEG_INFINITY]);
+        e.vec_usize(&[3, 1, 4]);
+        e.bytes(b"chaos");
+        let buf = e.buf;
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert!(d.bool("b").unwrap());
+        assert_eq!(d.usize("c").unwrap(), 123_456);
+        assert_eq!(d.f64("d").unwrap(), f64::INFINITY);
+        assert_eq!(d.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.vec_f64("f").unwrap(), vec![1.5, f64::NEG_INFINITY]);
+        assert_eq!(d.vec_usize("g").unwrap(), vec![3, 1, 4]);
+        assert_eq!(d.bytes("h").unwrap(), b"chaos");
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut e = Enc::new();
+        e.usize(10); // declares 10 elements that never follow
+        let buf = e.buf;
+        let mut d = Dec::new(&buf);
+        assert!(matches!(
+            d.vec_f64("w"),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        let mut d = Dec::new(&[1, 2]);
+        assert!(matches!(d.u64("x"), Err(SnapshotError::Malformed { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_tags_are_rejected() {
+        let mut d = Dec::new(&[9]);
+        assert!(matches!(d.bool("b"), Err(SnapshotError::Malformed { .. })));
+        assert!(tier_from_tag(3, "t").is_err());
+        assert!(health_from_tag(9).is_err());
+        assert_eq!(health_from_tag(2).unwrap(), MachineHealth::Quarantined);
+    }
+}

@@ -15,7 +15,7 @@
 //! A cooldown keeps one bad stretch from triggering a refit storm.
 
 use crate::refit::RefitTier;
-use chaos_core::eval::RollingDre;
+use chaos_core::eval::{RollingDre, RollingDreState};
 use chaos_stats::StatsError;
 use serde::{Deserialize, Serialize};
 
@@ -186,6 +186,67 @@ impl DriftDetector {
     pub fn config(&self) -> &DriftConfig {
         &self.config
     }
+
+    /// A typed reading of the rolling window — distinguishes "no valid
+    /// pairs at all" from a warming or warm statistic (see
+    /// [`chaos_core::eval::DreReading`]).
+    pub fn reading(&self) -> chaos_core::eval::DreReading {
+        self.rolling.reading()
+    }
+
+    /// Empties the rolling window and restarts the cooldown clock —
+    /// used when a machine's error history stops describing its model
+    /// (post-quarantine rejoin, donor warm-start).
+    pub(crate) fn reset_window(&mut self) {
+        self.rolling.clear();
+        self.since_refit = 0;
+    }
+
+    /// Exports the detector's mutable state for checkpointing. The
+    /// configuration is not included; restore resupplies it from the
+    /// engine configuration.
+    pub(crate) fn export_state(&self) -> DriftState {
+        DriftState {
+            baseline_dre: self.baseline_dre,
+            since_refit: self.since_refit,
+            rolling: self.rolling.export_state(),
+        }
+    }
+
+    /// Rebuilds a detector from exported state under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for a non-positive or
+    /// non-finite baseline, or a malformed rolling-window snapshot.
+    pub(crate) fn import_state(config: DriftConfig, state: DriftState) -> Result<Self, StatsError> {
+        if !state.baseline_dre.is_finite() || state.baseline_dre <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "drift import: baseline DRE must be finite and positive, got {}",
+                    state.baseline_dre
+                ),
+            });
+        }
+        Ok(DriftDetector {
+            config,
+            baseline_dre: state.baseline_dre,
+            rolling: RollingDre::import_state(state.rolling)?,
+            since_refit: state.since_refit,
+        })
+    }
+}
+
+/// Plain-data snapshot of a [`DriftDetector`]'s mutable state (the
+/// configuration travels separately, inside the engine configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DriftState {
+    /// Baseline DRE the detector compares against.
+    pub baseline_dre: f64,
+    /// Seconds since the last applied refit (cooldown clock).
+    pub since_refit: usize,
+    /// Rolling DRE window contents.
+    pub rolling: RollingDreState,
 }
 
 #[cfg(test)]

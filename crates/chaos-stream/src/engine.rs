@@ -11,20 +11,34 @@
 //!   refit costs O(k²), not O(n·k²).
 //! * A [`DriftDetector`] tracks rolling DRE against the held-out
 //!   baseline and requests tiered refits; failures downgrade along the
-//!   [`RefitTier`] ladder.
+//!   [`RefitTier`] ladder, and — under a [`SupervisorConfig`] — are
+//!   retried a bounded number of times and escalate to per-machine
+//!   quarantine when they keep failing (see [`crate::supervise`]).
 //! * Faulted seconds flow through the *offline* fallback chain
 //!   ([`RobustEstimator::estimate_from_row`]) with the exact imputer
 //!   state evolution of batch estimation — so until a refit installs an
 //!   adapted model, streaming output is bit-identical to
 //!   [`RobustEstimator::estimate_cluster`].
+//! * Fleet membership may change mid-run: the run's membership schedule
+//!   (join / leave / replace, see [`crate::membership`]) is applied at
+//!   event seconds before any machine advances, and joining machines
+//!   warm-start from a donor and ramp through the refit ladder.
+//! * The full engine state snapshots to a versioned binary format
+//!   ([`StreamEngine::snapshot`] / [`StreamEngine::restore`], format in
+//!   [`crate::checkpoint`]); a process killed at any second and resumed
+//!   from its snapshot emits byte-identical predictions.
 //!
-//! Per-machine streams are independent; [`StreamEngine::replay`] fans
-//! them out under the configured [`ExecPolicy`] and merges per-second
+//! Per-machine streams are independent between membership events;
+//! [`StreamEngine::replay`] fans them out under the configured
+//! [`ExecPolicy`] within each membership segment and merges per-second
 //! sums in machine order, so serial and parallel replay are
 //! bit-identical.
 
+use crate::checkpoint;
 use crate::drift::{DriftConfig, DriftDetector};
+use crate::membership;
 use crate::refit::{self, AdaptedModel, RefitOutcome, RefitTier};
+use crate::supervise::{self, MachineHealth, RetryState, StreamError, SupervisorConfig};
 use crate::window::SlidingWindow;
 use chaos_core::robust::{EstimateTier, ImputerState};
 use chaos_core::RobustEstimator;
@@ -49,6 +63,11 @@ pub struct StreamConfig {
     pub stepwise_min_features: usize,
     /// Minimum window occupancy before any refit is attempted.
     pub min_refit_samples: usize,
+    /// Supervision policy for refit failures (retry budget and
+    /// quarantine thresholds). Defaults to disabled, which reproduces
+    /// the unsupervised engine bit-identically.
+    #[serde(default)]
+    pub supervise: SupervisorConfig,
     /// Execution policy for [`StreamEngine::replay`]'s per-machine
     /// fan-out. Results are bit-identical across policies.
     #[serde(default)]
@@ -65,6 +84,7 @@ impl StreamConfig {
             stepwise_alpha: 0.05,
             stepwise_min_features: 2,
             min_refit_samples: 60,
+            supervise: SupervisorConfig::disabled(),
             exec: ExecPolicy::Serial,
         }
     }
@@ -77,6 +97,7 @@ impl StreamConfig {
             stepwise_alpha: 0.05,
             stepwise_min_features: 2,
             min_refit_samples: 20,
+            supervise: SupervisorConfig::disabled(),
             exec: ExecPolicy::Serial,
         }
     }
@@ -94,6 +115,12 @@ impl StreamConfig {
     /// Returns a copy with a different execution policy.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Returns a copy with a different supervision policy.
+    pub fn with_supervise(mut self, supervise: SupervisorConfig) -> Self {
+        self.supervise = supervise;
         self
     }
 }
@@ -116,6 +143,8 @@ pub struct StreamSample {
     pub rolling_dre: Option<f64>,
     /// Refit tier applied this second, if one fired.
     pub refit: Option<RefitTier>,
+    /// Supervision state the machine held while producing this sample.
+    pub health: MachineHealth,
 }
 
 /// Cluster-composed streaming output for one second (Eq. 5 with
@@ -124,33 +153,53 @@ pub struct StreamSample {
 pub struct StreamOutput {
     /// Second this output describes.
     pub t: usize,
-    /// Summed cluster power, watts.
+    /// Summed cluster power, watts — over *present* machines only.
     pub cluster_power_w: f64,
-    /// Least capable tier any machine needed this second.
+    /// Least capable tier any present machine needed this second.
     pub worst_tier: EstimateTier,
-    /// Per-machine samples, machine order.
+    /// Machines contributing to the composition this second (left,
+    /// not-yet-joined, and quarantined machines are absent).
+    pub active_machines: usize,
+    /// Per-machine samples for present machines, machine order.
     pub machines: Vec<StreamSample>,
 }
 
 /// Per-machine streaming state. Cloneable so parallel replay can work on
 /// a private copy per worker and the engine can write results back.
 #[derive(Debug, Clone)]
-struct MachineState {
-    imputer: ImputerState,
-    window: SlidingWindow,
-    wols: WindowedOls,
-    drift: DriftDetector,
-    adapted: Option<AdaptedModel>,
-    refits: Vec<RefitOutcome>,
+pub(crate) struct MachineState {
+    pub(crate) imputer: ImputerState,
+    pub(crate) window: SlidingWindow,
+    pub(crate) wols: WindowedOls,
+    pub(crate) drift: DriftDetector,
+    pub(crate) adapted: Option<AdaptedModel>,
+    pub(crate) refits: Vec<RefitOutcome>,
+    /// Whether the machine is currently a fleet member (joined, not
+    /// left). Inactive machines produce no sample at all.
+    pub(crate) active: bool,
+    /// Supervision state (healthy / ramping / quarantined).
+    pub(crate) health: MachineHealth,
+    /// Consecutive exhausted refit requests (quarantine trigger).
+    pub(crate) consecutive_failures: usize,
+    /// Pending bounded retry of a failed refit request.
+    pub(crate) retry: Option<RetryState>,
+    /// Seconds left outside the composition while quarantined.
+    pub(crate) quarantine_left: usize,
+    /// Times this machine entered quarantine.
+    pub(crate) quarantines: usize,
+    /// Times this machine re-entered the composition after quarantine.
+    pub(crate) rejoins: usize,
+    /// Retry attempts performed.
+    pub(crate) retries: usize,
 }
 
 /// The streaming online-inference engine. See the module docs.
 #[derive(Debug)]
 pub struct StreamEngine {
-    estimator: RobustEstimator,
-    config: StreamConfig,
-    machines: Vec<MachineState>,
-    t: usize,
+    pub(crate) estimator: RobustEstimator,
+    pub(crate) config: StreamConfig,
+    pub(crate) machines: Vec<MachineState>,
+    pub(crate) t: usize,
 }
 
 impl StreamEngine {
@@ -162,9 +211,8 @@ impl StreamEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError::InvalidParameter`] for a zero machine
-    /// count, a zero window, or drift parameters rejected by
-    /// [`DriftDetector::new`].
+    /// Returns [`StreamError::Stats`] for a zero machine count, a zero
+    /// window, or drift parameters rejected by [`DriftDetector::new`].
     pub fn new(
         estimator: RobustEstimator,
         machines: usize,
@@ -172,11 +220,11 @@ impl StreamEngine {
         power_idle_w: f64,
         baseline_dre: f64,
         config: StreamConfig,
-    ) -> Result<Self, StatsError> {
+    ) -> Result<Self, StreamError> {
         if machines == 0 {
-            return Err(StatsError::InvalidParameter {
+            return Err(StreamError::Stats(StatsError::InvalidParameter {
                 context: "stream engine: need at least one machine stream".into(),
-            });
+            }));
         }
         let width = estimator.spec().width();
         let states = (0..machines)
@@ -193,6 +241,14 @@ impl StreamEngine {
                     )?,
                     adapted: None,
                     refits: Vec::new(),
+                    active: true,
+                    health: MachineHealth::Healthy,
+                    consecutive_failures: 0,
+                    retry: None,
+                    quarantine_left: 0,
+                    quarantines: 0,
+                    rejoins: 0,
+                    retries: 0,
                 })
             })
             .collect::<Result<Vec<_>, StatsError>>()?;
@@ -206,40 +262,41 @@ impl StreamEngine {
 
     /// Processes second `t` of `run` across all machine streams and
     /// returns the cluster-composed output. Seconds must be fed strictly
-    /// in order starting at 0.
+    /// in order starting at 0 (or at the snapshot's cursor after
+    /// [`restore`](StreamEngine::restore)). Membership events scheduled
+    /// at `t` are applied before any machine advances.
     ///
     /// # Errors
     ///
-    /// * [`StatsError::InvalidParameter`] if `t` is out of order or
-    ///   beyond the run's length.
-    /// * [`StatsError::DimensionMismatch`] if the run's machine count
-    ///   does not match the engine's.
-    pub fn push_second(&mut self, run: &RunTrace, t: usize) -> Result<StreamOutput, StatsError> {
+    /// * [`StreamError::OutOfOrder`] if `t` is out of order.
+    /// * [`StreamError::BeyondTrace`] if `t` is past the run's length.
+    /// * [`StreamError::MachineCountMismatch`] if the run's machine
+    ///   count does not match the engine's.
+    /// * [`StreamError::Membership`] for an invalid membership schedule.
+    pub fn push_second(&mut self, run: &RunTrace, t: usize) -> Result<StreamOutput, StreamError> {
         if t != self.t {
-            return Err(StatsError::InvalidParameter {
-                context: format!(
-                    "stream engine: expected second {} next, got {t} (feed seconds in order)",
-                    self.t
-                ),
+            return Err(StreamError::OutOfOrder {
+                expected: self.t,
+                got: t,
             });
         }
         if run.machines.len() != self.machines.len() {
-            return Err(StatsError::DimensionMismatch {
-                context: format!(
-                    "stream engine: run has {} machines, engine has {}",
-                    run.machines.len(),
-                    self.machines.len()
-                ),
+            return Err(StreamError::MachineCountMismatch {
+                run: run.machines.len(),
+                engine: self.machines.len(),
             });
         }
         if t >= run.seconds() {
-            return Err(StatsError::InvalidParameter {
-                context: format!(
-                    "stream engine: second {t} beyond run length {}",
-                    run.seconds()
-                ),
+            return Err(StreamError::BeyondTrace {
+                t,
+                seconds: run.seconds(),
             });
         }
+        if t == 0 {
+            membership::validate(run)?;
+            membership::apply_initial_activity(&mut self.machines, run);
+        }
+        membership::apply_events_at(&self.estimator, &mut self.machines, run, t);
         let mut samples = Vec::with_capacity(self.machines.len());
         for (state, m) in self.machines.iter_mut().zip(&run.machines) {
             samples.push(Self::advance(&self.estimator, &self.config, state, m, t));
@@ -254,65 +311,155 @@ impl StreamEngine {
     /// [`push_second`](StreamEngine::push_second) for every second
     /// serially.
     ///
+    /// Membership events split the run into segments; events apply
+    /// serially at segment boundaries (donor warm-starts read other
+    /// machines' state) and machine streams fan out within each segment,
+    /// where they are independent.
+    ///
     /// # Errors
     ///
-    /// * [`StatsError::InvalidParameter`] if the engine has already
-    ///   consumed seconds (replay needs pristine per-machine state).
-    /// * [`StatsError::DimensionMismatch`] on a machine-count mismatch.
-    pub fn replay(&mut self, run: &RunTrace) -> Result<Vec<StreamOutput>, StatsError> {
+    /// * [`StreamError::NotPristine`] if the engine has already consumed
+    ///   seconds.
+    /// * [`StreamError::MachineCountMismatch`] on a machine-count
+    ///   mismatch.
+    /// * [`StreamError::Membership`] for an invalid membership schedule.
+    pub fn replay(&mut self, run: &RunTrace) -> Result<Vec<StreamOutput>, StreamError> {
         if self.t != 0 {
-            return Err(StatsError::InvalidParameter {
-                context: format!(
-                    "stream engine: replay needs a fresh engine, {} seconds already consumed",
-                    self.t
-                ),
-            });
+            return Err(StreamError::NotPristine { consumed: self.t });
         }
         if run.machines.len() != self.machines.len() {
-            return Err(StatsError::DimensionMismatch {
-                context: format!(
-                    "stream engine: run has {} machines, engine has {}",
-                    run.machines.len(),
-                    self.machines.len()
-                ),
+            return Err(StreamError::MachineCountMismatch {
+                run: run.machines.len(),
+                engine: self.machines.len(),
             });
         }
+        membership::validate(run)?;
         let _span = chaos_obs::span("stream.replay");
         let n = run.seconds();
+        membership::apply_initial_activity(&mut self.machines, run);
+
+        // Segment boundaries: second 0, every event second, end of run.
+        let mut boundaries: Vec<usize> = std::iter::once(0)
+            .chain(run.membership.iter().map(|e| e.t))
+            .filter(|&t| t < n)
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        boundaries.push(n);
+
         let estimator = &self.estimator;
-        let config = &self.config;
-        let machines = &self.machines;
-        let per_machine: Vec<(MachineState, Vec<StreamSample>)> =
-            config.exec.par_map_indices(machines.len(), |i| {
-                let mut state = machines[i].clone();
-                let m = &run.machines[i];
-                let samples: Vec<StreamSample> = (0..n)
-                    .map(|t| Self::advance(estimator, config, &mut state, m, t))
-                    .collect();
-                (state, samples)
-            });
+        let config = self.config;
+        let mut per_machine_samples: Vec<Vec<Option<StreamSample>>> =
+            vec![Vec::with_capacity(n); self.machines.len()];
+        for w in boundaries.windows(2) {
+            let &[lo, hi] = w else { continue };
+            membership::apply_events_at(estimator, &mut self.machines, run, lo);
+            let machines = &self.machines;
+            let segment: Vec<(MachineState, Vec<Option<StreamSample>>)> =
+                config.exec.par_map_indices(machines.len(), |i| {
+                    let mut state = machines[i].clone();
+                    let m = &run.machines[i];
+                    let samples: Vec<Option<StreamSample>> = (lo..hi)
+                        .map(|t| Self::advance(estimator, &config, &mut state, m, t))
+                        .collect();
+                    (state, samples)
+                });
+            for ((state, (new_state, samples)), acc) in self
+                .machines
+                .iter_mut()
+                .zip(segment)
+                .zip(per_machine_samples.iter_mut())
+            {
+                *state = new_state;
+                acc.extend(samples);
+            }
+        }
+
         let mut outputs = Vec::with_capacity(n);
         for t in 0..n {
-            let samples: Vec<StreamSample> =
-                per_machine.iter().map(|(_, s)| s[t].clone()).collect();
+            let samples: Vec<Option<StreamSample>> =
+                per_machine_samples.iter().map(|s| s[t].clone()).collect();
             outputs.push(Self::compose(t, samples));
-        }
-        for (state, (new_state, _)) in self.machines.iter_mut().zip(per_machine) {
-            *state = new_state;
         }
         self.t = n;
         Ok(outputs)
     }
 
+    /// Processes every not-yet-consumed second of `run` in order —
+    /// the restart path after [`restore`](StreamEngine::restore).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_second`](StreamEngine::push_second).
+    pub fn resume(&mut self, run: &RunTrace) -> Result<Vec<StreamOutput>, StreamError> {
+        let n = run.seconds();
+        let mut outputs = Vec::with_capacity(n.saturating_sub(self.t));
+        while self.t < n {
+            let t = self.t;
+            outputs.push(self.push_second(run, t)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Serializes the complete engine state (every machine's window,
+    /// solver, drift baseline, supervision state, and the sample cursor)
+    /// into the versioned binary snapshot format of
+    /// [`crate::checkpoint`]. Restoring the snapshot and resuming yields
+    /// byte-identical predictions to an uninterrupted run.
+    pub fn snapshot(&self) -> Vec<u8> {
+        checkpoint::encode_engine(self)
+    }
+
+    /// Rebuilds an engine from a snapshot around a freshly constructed
+    /// `estimator` (the estimator itself is deterministic from training
+    /// and is deliberately not part of the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Snapshot`] for a corrupted, truncated,
+    /// version-skewed, or estimator-incompatible snapshot.
+    pub fn restore(estimator: RobustEstimator, bytes: &[u8]) -> Result<Self, StreamError> {
+        checkpoint::decode_engine(estimator, bytes)
+    }
+
     /// Advances one machine stream by one second. Associated function
     /// (no `&mut self`) so parallel replay can run it on cloned states.
+    /// Returns `None` for machines outside the composition this second
+    /// (left, not yet joined, or quarantined).
     fn advance(
         estimator: &RobustEstimator,
         config: &StreamConfig,
         state: &mut MachineState,
         m: &MachineRunTrace,
         t: usize,
-    ) -> StreamSample {
+    ) -> Option<StreamSample> {
+        if !state.active {
+            return None;
+        }
+        if state.health == MachineHealth::Quarantined {
+            if state.quarantine_left > 0 {
+                state.quarantine_left -= 1;
+                chaos_obs::add("stream.supervisor.quarantined_seconds", 1);
+                return None;
+            }
+            // Countdown expired: readmit through the ramp path with the
+            // machine's own last adapted model (self-warm-start) and a
+            // cleared training window.
+            state.health = MachineHealth::Ramping;
+            state.window.clear();
+            state.wols = WindowedOls::new(state.window.width());
+            state.drift.reset_window();
+            state.rejoins += 1;
+            chaos_obs::add("stream.supervisor.rejoins", 1);
+            chaos_obs::event(
+                "stream.supervisor.rejoin",
+                &[
+                    ("t", Value::U64(t as u64)),
+                    ("machine", Value::U64(m.machine_id as u64)),
+                ],
+            );
+        }
+
         chaos_obs::add("stream.samples", 1);
         let assembled = estimator.assemble_row(m, t, &mut state.imputer);
 
@@ -336,55 +483,129 @@ impl StreamEngine {
             }
         };
 
+        // The metered power for this second, kept typed: `None` means
+        // the meter cannot be trusted (absent, faulted, machine dead, or
+        // non-finite) and neither training nor drift scoring sees it.
+        let measured = m
+            .measured_power_w
+            .get(t)
+            .copied()
+            .filter(|v| v.is_finite() && m.meter_ok(t) && m.alive_at(t));
+
         // Training ingest: only pristine seconds (complete row, nothing
-        // imputed, live machine, valid finite meter) enter the window,
-        // so adapted models never train on reconstructed data.
-        let measured = m.measured_power_w.get(t).copied().unwrap_or(f64::NAN);
-        let meter_valid = m.meter_ok(t) && m.alive_at(t) && measured.is_finite();
-        if meter_valid && assembled.complete() && assembled.imputed == 0 {
-            if state.wols.push(&assembled.row, measured).is_ok() {
-                if let Ok(Some((old_row, old_y))) = state.window.push(&assembled.row, measured) {
-                    // A failed downdate inside pop falls back internally
-                    // (full refactorization on next solve); other errors
-                    // are impossible given the lockstep invariant.
-                    let _ = state.wols.pop(&old_row, old_y);
+        // imputed, trusted meter) enter the window, so adapted models
+        // never train on reconstructed data.
+        let mut ingested = false;
+        if let Some(y) = measured {
+            if assembled.complete() && assembled.imputed == 0 {
+                if state.wols.push(&assembled.row, y).is_ok() {
+                    ingested = true;
+                    if let Ok(Some((old_row, old_y))) = state.window.push(&assembled.row, y) {
+                        // A failed downdate inside pop falls back
+                        // internally; any other pop failure means the
+                        // solver and window desynchronized, so rebuild
+                        // the solver from the window deterministically.
+                        if state.wols.pop(&old_row, old_y).is_err() {
+                            Self::resync_wols(state);
+                        }
+                    }
                 }
             }
         }
         chaos_obs::record("stream.window_occupancy", state.window.len() as u64);
 
-        // Drift: score the emitted prediction against the meter when the
-        // meter is trustworthy, and escalate through refit tiers.
+        // Ramp completion: a (re)joined machine graduates once its own
+        // window has refilled.
+        if state.health == MachineHealth::Ramping && state.window.is_full() {
+            state.health = MachineHealth::Healthy;
+            chaos_obs::add("stream.supervisor.ramp_complete", 1);
+            chaos_obs::event(
+                "stream.supervisor.ramp_complete",
+                &[
+                    ("t", Value::U64(t as u64)),
+                    ("machine", Value::U64(m.machine_id as u64)),
+                ],
+            );
+        }
+
         let mut rolling_dre = None;
         let mut applied_refit = None;
-        if meter_valid {
-            let decision = state.drift.observe(power_w, measured);
+
+        // Pending bounded retry: re-walk the ladder when fresh clean
+        // evidence arrives (a new training sample), never on a timer.
+        if let Some(pending) = state.retry {
+            if ingested && state.window.len() >= config.min_refit_samples.max(1) {
+                state.retries += 1;
+                chaos_obs::add("stream.supervisor.retries", 1);
+                let requested = Self::capped_tier(state, config, pending.requested);
+                let outcome = Self::run_refit(estimator, config, state, requested, t, m.machine_id);
+                let succeeded = outcome.applied.is_some();
+                applied_refit = outcome.applied;
+                state.refits.push(outcome);
+                state.drift.note_refit();
+                if succeeded {
+                    state.retry = None;
+                    state.consecutive_failures = 0;
+                } else if pending.attempts_left <= 1 {
+                    state.retry = None;
+                    Self::note_exhausted(state, config, t, m.machine_id);
+                } else {
+                    state.retry = Some(RetryState {
+                        requested: pending.requested,
+                        attempts_left: pending.attempts_left - 1,
+                    });
+                }
+            }
+        }
+
+        // Drift: score the emitted prediction against the meter when the
+        // meter is trustworthy, and escalate through refit tiers.
+        if let Some(y) = measured {
+            let decision = state.drift.observe(power_w, y);
             rolling_dre = decision.rolling_dre;
             if let Some(requested) = decision.trigger {
-                if state.window.len() >= config.min_refit_samples.max(1) {
+                if state.retry.is_none()
+                    && applied_refit.is_none()
+                    && state.window.len() >= config.min_refit_samples.max(1)
+                {
+                    let (dre_field, ratio_field) = match (decision.rolling_dre, decision.ratio) {
+                        (Some(d), Some(r)) => (Value::F64(d), Value::F64(r)),
+                        // A trigger implies a warm window, so both are
+                        // present; keep the event well-formed regardless.
+                        _ => (Value::Str("cold".into()), Value::Str("cold".into())),
+                    };
                     chaos_obs::event(
                         "stream.drift",
                         &[
                             ("t", Value::U64(t as u64)),
                             ("machine", Value::U64(m.machine_id as u64)),
-                            (
-                                "rolling_dre",
-                                Value::F64(decision.rolling_dre.unwrap_or(f64::NAN)),
-                            ),
-                            ("ratio", Value::F64(decision.ratio.unwrap_or(f64::NAN))),
+                            ("rolling_dre", dre_field),
+                            ("ratio", ratio_field),
                             ("requested", Value::Str(requested.label().to_string())),
                         ],
                     );
+                    let capped = Self::capped_tier(state, config, requested);
                     let outcome =
-                        Self::run_refit(estimator, config, state, requested, t, m.machine_id);
+                        Self::run_refit(estimator, config, state, capped, t, m.machine_id);
+                    let succeeded = outcome.applied.is_some();
                     applied_refit = outcome.applied;
                     state.refits.push(outcome);
                     state.drift.note_refit();
+                    if succeeded {
+                        state.consecutive_failures = 0;
+                    } else if config.supervise.max_attempts > 1 {
+                        state.retry = Some(RetryState {
+                            requested: capped,
+                            attempts_left: config.supervise.max_attempts - 1,
+                        });
+                    } else {
+                        Self::note_exhausted(state, config, t, m.machine_id);
+                    }
                 }
             }
         }
 
-        StreamSample {
+        Some(StreamSample {
             machine_id: m.machine_id,
             power_w,
             tier,
@@ -392,7 +613,76 @@ impl StreamEngine {
             adapted,
             rolling_dre,
             refit: applied_refit,
+            health: state.health,
+        })
+    }
+
+    /// The refit tier actually requested after the ramp cap: a machine
+    /// still refilling its window may not run tiers its window cannot
+    /// support.
+    fn capped_tier(
+        state: &MachineState,
+        _config: &StreamConfig,
+        requested: RefitTier,
+    ) -> RefitTier {
+        if state.health == MachineHealth::Ramping {
+            requested.min(supervise::ramp_cap(
+                state.window.len(),
+                state.window.capacity(),
+            ))
+        } else {
+            requested
         }
+    }
+
+    /// Registers one exhausted refit request (every attempt failed) and
+    /// quarantines the machine when the configured threshold of
+    /// consecutive exhaustions is reached.
+    fn note_exhausted(
+        state: &mut MachineState,
+        config: &StreamConfig,
+        t: usize,
+        machine_id: usize,
+    ) {
+        state.consecutive_failures += 1;
+        chaos_obs::add("stream.supervisor.exhausted", 1);
+        let threshold = config.supervise.quarantine_after;
+        if threshold > 0 && state.consecutive_failures >= threshold {
+            state.health = MachineHealth::Quarantined;
+            state.quarantine_left = config.supervise.quarantine_s.max(1);
+            state.quarantines += 1;
+            state.consecutive_failures = 0;
+            state.retry = None;
+            chaos_obs::add("stream.supervisor.quarantines", 1);
+            chaos_obs::event(
+                "stream.supervisor.quarantine",
+                &[
+                    ("t", Value::U64(t as u64)),
+                    ("machine", Value::U64(machine_id as u64)),
+                    (
+                        "quarantine_s",
+                        Value::U64(config.supervise.quarantine_s.max(1) as u64),
+                    ),
+                ],
+            );
+        }
+    }
+
+    /// Rebuilds the incremental solver from the sliding window after a
+    /// desynchronizing pop failure — a deterministic resync instead of a
+    /// silently wrong solver.
+    fn resync_wols(state: &mut MachineState) {
+        chaos_obs::add("stream.wols_resync", 1);
+        let mut solver = WindowedOls::new(state.window.width());
+        for (row, y) in state.window.iter() {
+            if solver.push(row, y).is_err() {
+                // Window rows were validated on entry, so a re-push
+                // cannot fail; count it if the impossible happens rather
+                // than panic in library code.
+                chaos_obs::add("stream.wols_resync_skipped", 1);
+            }
+        }
+        state.wols = solver;
     }
 
     /// Walks the refit ladder from `requested` downward until a tier
@@ -449,21 +739,25 @@ impl StreamEngine {
         }
     }
 
-    /// Sums machine samples into the cluster output (Eq. 5), in machine
-    /// order — the same accumulation order as
+    /// Sums present machine samples into the cluster output (Eq. 5), in
+    /// machine order — the same accumulation order as
     /// [`RobustEstimator::estimate_cluster`], preserving bit-identity.
-    fn compose(t: usize, samples: Vec<StreamSample>) -> StreamOutput {
+    /// Absent machines (left, unjoined, quarantined) contribute nothing.
+    fn compose(t: usize, samples: Vec<Option<StreamSample>>) -> StreamOutput {
         let mut cluster_power_w = 0.0;
         let mut worst_tier = EstimateTier::Full;
-        for s in &samples {
+        let mut machines = Vec::with_capacity(samples.len());
+        for s in samples.into_iter().flatten() {
             cluster_power_w += s.power_w;
             worst_tier = worst_tier.max(s.tier);
+            machines.push(s);
         }
         StreamOutput {
             t,
             cluster_power_w,
             worst_tier,
-            machines: samples,
+            active_machines: machines.len(),
+            machines,
         }
     }
 
@@ -485,6 +779,32 @@ impl StreamEngine {
             let key = outcome.applied.map_or("none", RefitTier::label);
             *out.entry(key).or_insert(0) += 1;
         }
+        out
+    }
+
+    /// Per-machine supervision state, machine order.
+    pub fn health(&self) -> Vec<MachineHealth> {
+        self.machines.iter().map(|s| s.health).collect()
+    }
+
+    /// Machines currently inside the composition (active and not
+    /// quarantined).
+    pub fn active_count(&self) -> usize {
+        self.machines
+            .iter()
+            .filter(|s| s.active && s.health != MachineHealth::Quarantined)
+            .count()
+    }
+
+    /// Aggregate supervision counters across all machines.
+    pub fn supervision_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        out.insert(
+            "quarantines",
+            self.machines.iter().map(|s| s.quarantines).sum(),
+        );
+        out.insert("rejoins", self.machines.iter().map(|s| s.rejoins).sum());
+        out.insert("retries", self.machines.iter().map(|s| s.retries).sum());
         out
     }
 

@@ -19,6 +19,21 @@
 //!   baseline, escalating through [`RefitTier`]s: coefficient refresh →
 //!   windowed stepwise rerun → full reselection.
 //!
+//! The engine also survives deployment reality:
+//!
+//! * [`checkpoint`] — versioned binary snapshots of the full engine
+//!   state ([`StreamEngine::snapshot`] / [`StreamEngine::restore`],
+//!   atomic persistence via [`Checkpointer`]). Kill the process at any
+//!   second, restore, and replay the remainder: the predictions are
+//!   byte-identical to an uninterrupted run.
+//! * [`membership`] — join / leave / replace fleet-churn events applied
+//!   deterministically; joining machines warm-start from a donor and
+//!   ramp through the refit ladder.
+//! * [`supervise`] — typed [`StreamError`]s, a bounded attempt-counted
+//!   retry policy for failed refits, and per-machine quarantine
+//!   ([`MachineHealth`]) that drops a persistently failing model out of
+//!   the Eq. 5 composition.
+//!
 //! Input arrives either as whole traces replayed second-by-second
 //! ([`StreamEngine::replay`]) or via [`StreamEngine::push_second`]; the
 //! per-sample surface over raw traces is
@@ -27,12 +42,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod drift;
 pub mod engine;
+pub mod membership;
 pub mod refit;
+pub mod supervise;
 pub mod window;
 
+pub use checkpoint::{Checkpointer, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use drift::{DriftConfig, DriftDecision, DriftDetector};
 pub use engine::{StreamConfig, StreamEngine, StreamOutput, StreamSample};
 pub use refit::{AdaptedModel, RefitOutcome, RefitTier};
+pub use supervise::{MachineHealth, StreamError, SupervisorConfig};
 pub use window::SlidingWindow;

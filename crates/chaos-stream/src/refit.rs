@@ -69,7 +69,7 @@ impl RefitTier {
 }
 
 /// Record of one refit attempt on one machine stream.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RefitOutcome {
     /// Second the refit fired at.
     pub t: usize,

@@ -72,6 +72,49 @@ impl SlidingWindow {
         Ok(evicted)
     }
 
+    /// Rebuilds a window from previously exported rows (oldest first) —
+    /// the checkpoint-restore path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `capacity` or `width`
+    /// is zero or `rows.len()` exceeds `capacity`, and
+    /// [`StatsError::DimensionMismatch`] if any row has the wrong width.
+    pub fn from_parts(
+        capacity: usize,
+        width: usize,
+        rows: Vec<(Vec<f64>, f64)>,
+    ) -> Result<Self, StatsError> {
+        let mut w = SlidingWindow::new(capacity, width)?;
+        if rows.len() > capacity {
+            return Err(StatsError::InvalidParameter {
+                context: format!(
+                    "sliding window: {} restored rows exceed capacity {capacity}",
+                    rows.len()
+                ),
+            });
+        }
+        for (row, y) in rows {
+            if row.len() != width {
+                return Err(StatsError::DimensionMismatch {
+                    context: format!(
+                        "sliding window: restored row has {} entries, window width is {width}",
+                        row.len()
+                    ),
+                });
+            }
+            w.rows.push_back((row, y));
+        }
+        Ok(w)
+    }
+
+    /// Drops every retained observation, keeping capacity and width —
+    /// used when a machine's training history stops describing it (e.g.
+    /// a post-quarantine rejoin).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
     /// Number of observations currently held.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -1,0 +1,362 @@
+//! Checkpoint/restore round-trip suite (ISSUE 6 acceptance bar): kill
+//! the engine at any second, restore from the snapshot, replay the
+//! remainder — the prediction stream must be *byte-identical* to an
+//! uninterrupted run, under fault injection and fleet churn alike.
+//! Corrupted and truncated snapshots must be rejected with typed
+//! errors, never garbage state.
+//!
+//! The round-trip logic lives in plain helper functions; `proptest!`
+//! wrappers randomize over traces, fault plans, and kill points.
+
+use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_core::FeatureSpec;
+use chaos_counters::{collect_run, ChurnPlan, CounterCatalog, FaultPlan, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stream::{
+    Checkpointer, DriftConfig, SnapshotError, StreamConfig, StreamEngine, StreamError,
+    StreamOutput, SupervisorConfig, SNAPSHOT_MAGIC,
+};
+use chaos_workloads::{SimConfig, Workload};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared fixture: building a `RobustEstimator` dominates test time, so
+/// every case clones one trained instance.
+fn fixture() -> &'static (RobustEstimator, Cluster, CounterCatalog) {
+    static FIXTURE: OnceLock<(RobustEstimator, Cluster, CounterCatalog)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let cluster = Cluster::homogeneous(Platform::Core2, 3, 21);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let train: Vec<RunTrace> = (0..2)
+            .map(|r| {
+                collect_run(
+                    &cluster,
+                    &catalog,
+                    Workload::Prime,
+                    &SimConfig::quick(),
+                    700 + r,
+                )
+                .unwrap()
+            })
+            .collect();
+        let spec = FeatureSpec::general(&catalog);
+        let cpu = strawman_position(&spec, &catalog);
+        let idle = cluster.idle_power() / cluster.machines().len() as f64;
+        let cfg = RobustConfig {
+            fit: RobustConfig::fast()
+                .fit
+                .with_freq_column(spec.freq_column(&catalog)),
+            ..RobustConfig::fast()
+        };
+        let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
+        (est, cluster, catalog)
+    })
+}
+
+fn engine(config: StreamConfig) -> StreamEngine {
+    let (est, cluster, _) = fixture();
+    let n = cluster.machines().len() as f64;
+    StreamEngine::new(
+        est.clone(),
+        cluster.machines().len(),
+        cluster.max_power() / n,
+        cluster.idle_power() / n,
+        0.05,
+        config,
+    )
+    .unwrap()
+}
+
+/// An adaptive config with supervision on, so snapshots cover retry and
+/// quarantine state, not just the passive windows.
+fn config() -> StreamConfig {
+    StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+    .with_supervise(SupervisorConfig::fast())
+}
+
+/// A test trace under `plan`, with a late power shift so the drift /
+/// refit path genuinely runs before and after the kill point.
+fn build_trace(trace_seed: u64, plan: &FaultPlan) -> RunTrace {
+    let (_, cluster, catalog) = fixture();
+    let mut test = collect_run(
+        cluster,
+        catalog,
+        Workload::Prime,
+        &SimConfig::quick(),
+        790 + trace_seed,
+    )
+    .unwrap();
+    let start = 40.min(test.seconds());
+    for m in &mut test.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= 1.3;
+        }
+    }
+    plan.apply(&test)
+}
+
+/// A fault plan mixing dropout and churn, parameterized so proptest can
+/// sweep the space.
+fn build_plan(fault_seed: u64, dropout: bool, churn_kind: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new(fault_seed);
+    if dropout {
+        plan = plan.with_counter_dropout(0.15);
+    }
+    let churn = match churn_kind % 4 {
+        1 => Some(ChurnPlan::new(fault_seed).with_leave_rejoin(1)),
+        2 => Some(
+            ChurnPlan::new(fault_seed)
+                .with_late_joins(1)
+                .with_replaces(1),
+        ),
+        3 => Some(
+            ChurnPlan::new(fault_seed)
+                .with_leave_rejoin(1)
+                .with_late_joins(1)
+                .with_replaces(1),
+        ),
+        _ => None,
+    };
+    match churn {
+        Some(c) => plan.with_churn(c),
+        None => plan,
+    }
+}
+
+fn assert_outputs_identical(a: &[StreamOutput], b: &[StreamOutput], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: output length");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.cluster_power_w.to_bits(),
+            y.cluster_power_w.to_bits(),
+            "{what}: cluster power bits at second {}",
+            x.t
+        );
+        assert_eq!(x, y, "{what}: full output at second {}", x.t);
+    }
+}
+
+/// The tentpole invariant: run uninterrupted; run again but snapshot at
+/// `kill_t`, drop the engine, restore from bytes, and resume. Both
+/// prediction streams must match bit-for-bit, as must the refit logs.
+fn check_kill_roundtrip(
+    trace_seed: u64,
+    fault_seed: u64,
+    frac: usize,
+    dropout: bool,
+    churn_kind: usize,
+) {
+    let (est, _, _) = fixture();
+    let plan = build_plan(fault_seed, dropout, churn_kind);
+    let test = build_trace(trace_seed, &plan);
+    let n = test.seconds();
+    let kill_t = (n * (frac % 10).max(1) / 10).clamp(1, n - 1);
+
+    let mut uninterrupted = engine(config());
+    let full = uninterrupted.replay(&test).unwrap();
+
+    let mut first = engine(config());
+    let mut outputs = Vec::with_capacity(n);
+    for t in 0..kill_t {
+        outputs.push(first.push_second(&test, t).unwrap());
+    }
+    let bytes = first.snapshot();
+    drop(first);
+
+    let mut restored = StreamEngine::restore(est.clone(), &bytes).unwrap();
+    assert_eq!(restored.seconds_processed(), kill_t);
+    outputs.extend(restored.resume(&test).unwrap());
+
+    assert_outputs_identical(&full, &outputs, "killed-vs-uninterrupted");
+    assert_eq!(
+        serde_json::to_string(&uninterrupted.refit_outcomes()).unwrap(),
+        serde_json::to_string(&restored.refit_outcomes()).unwrap(),
+        "refit logs diverged"
+    );
+    assert_eq!(uninterrupted.health(), restored.health());
+    assert_eq!(
+        uninterrupted.supervision_counts(),
+        restored.supervision_counts()
+    );
+}
+
+/// Corruption helper: every mutation of a valid snapshot must yield a
+/// typed `SnapshotError`, mapped through `StreamError::Snapshot`.
+fn check_corruption_rejected(bytes: &[u8], flip_at: usize) {
+    let (est, _, _) = fixture();
+    let mut bad = bytes.to_vec();
+    let i = flip_at % bad.len();
+    bad[i] ^= 0xff;
+    match StreamEngine::restore(est.clone(), &bad) {
+        Ok(_) => panic!("corrupted snapshot (byte {i}) accepted"),
+        Err(StreamError::Snapshot(_)) => {}
+        Err(other) => panic!("corrupted snapshot (byte {i}) gave non-snapshot error {other}"),
+    }
+}
+
+#[test]
+fn kill_points_round_trip_across_fault_and_churn_mix() {
+    // Deterministic sweep of the same space the proptest wrappers
+    // randomize: early / mid / late kills, with and without faults.
+    check_kill_roundtrip(0, 11, 1, false, 0);
+    check_kill_roundtrip(0, 11, 5, true, 0);
+    check_kill_roundtrip(1, 23, 2, true, 1);
+    check_kill_roundtrip(2, 31, 7, false, 2);
+    check_kill_roundtrip(3, 41, 9, true, 3);
+}
+
+#[test]
+fn snapshot_restore_is_stable_across_repeated_kills() {
+    // Kill, restore, kill again, restore again — state survives chained
+    // snapshots, not just one.
+    let plan = build_plan(55, true, 3);
+    let test = build_trace(4, &plan);
+    let (est, _, _) = fixture();
+    let n = test.seconds();
+
+    let mut uninterrupted = engine(config());
+    let full = uninterrupted.replay(&test).unwrap();
+
+    let mut eng = engine(config());
+    let mut outputs = Vec::new();
+    for t in 0..n / 3 {
+        outputs.push(eng.push_second(&test, t).unwrap());
+    }
+    let eng2 = StreamEngine::restore(est.clone(), &eng.snapshot()).unwrap();
+    let mut eng2 = eng2;
+    for t in n / 3..2 * n / 3 {
+        outputs.push(eng2.push_second(&test, t).unwrap());
+    }
+    let mut eng3 = StreamEngine::restore(est.clone(), &eng2.snapshot()).unwrap();
+    outputs.extend(eng3.resume(&test).unwrap());
+    assert_outputs_identical(&full, &outputs, "double-kill");
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected_with_typed_errors() {
+    let (est, _, _) = fixture();
+    let test = build_trace(0, &build_plan(11, true, 1));
+    let mut eng = engine(config());
+    for t in 0..20.min(test.seconds()) {
+        eng.push_second(&test, t).unwrap();
+    }
+    let bytes = eng.snapshot();
+
+    // Truncations: envelope too short, then payload shorter than the
+    // declared length.
+    match StreamEngine::restore(est.clone(), &bytes[..4]) {
+        Err(StreamError::Snapshot(SnapshotError::TooShort { .. })) => {}
+        other => panic!("4-byte snapshot: {other:?}"),
+    }
+    match StreamEngine::restore(est.clone(), &bytes[..bytes.len() / 2]) {
+        Err(StreamError::Snapshot(
+            SnapshotError::LengthMismatch { .. } | SnapshotError::TooShort { .. },
+        )) => {}
+        other => panic!("half snapshot: {other:?}"),
+    }
+
+    // Wrong magic.
+    let mut bad = bytes.clone();
+    bad[0] = !SNAPSHOT_MAGIC[0];
+    match StreamEngine::restore(est.clone(), &bad) {
+        Err(StreamError::Snapshot(SnapshotError::BadMagic)) => {}
+        other => panic!("bad magic: {other:?}"),
+    }
+
+    // Unsupported version.
+    let mut bad = bytes.clone();
+    bad[8] = 0xfe;
+    match StreamEngine::restore(est.clone(), &bad) {
+        Err(StreamError::Snapshot(SnapshotError::UnsupportedVersion { .. })) => {}
+        other => panic!("bad version: {other:?}"),
+    }
+
+    // Payload bit-flip trips the checksum.
+    let mut bad = bytes.clone();
+    let mid = 20 + (bytes.len() - 28) / 2;
+    bad[mid] ^= 0x01;
+    match StreamEngine::restore(est.clone(), &bad) {
+        Err(StreamError::Snapshot(SnapshotError::ChecksumMismatch)) => {}
+        other => panic!("flipped payload: {other:?}"),
+    }
+
+    // Appended garbage changes the checksummed region's framing.
+    let mut bad = bytes.clone();
+    bad.extend_from_slice(&[0u8; 7]);
+    assert!(StreamEngine::restore(est.clone(), &bad).is_err());
+
+    // Deterministic spot-checks of the randomized corruption sweep.
+    for flip_at in [0, 9, 17, bytes.len() / 2, bytes.len() - 1] {
+        check_corruption_rejected(&bytes, flip_at);
+    }
+}
+
+#[test]
+fn checkpointer_persists_and_loads_atomically() {
+    let dir = std::env::temp_dir().join(format!("chaos-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.snap");
+    let ckpt = Checkpointer::new(&path, 10);
+    assert_eq!(ckpt.every_s(), 10);
+
+    let test = build_trace(0, &build_plan(11, false, 0));
+    let mut uninterrupted = engine(config());
+    let full = uninterrupted.replay(&test).unwrap();
+
+    let mut eng = engine(config());
+    let mut persisted_at = None;
+    for t in 0..test.seconds() / 2 {
+        eng.push_second(&test, t).unwrap();
+        if ckpt.maybe_persist(&eng).unwrap() {
+            persisted_at = Some(eng.seconds_processed());
+        }
+    }
+    let kill_t = persisted_at.expect("cadence fired inside half the trace");
+
+    let (est, _, _) = fixture();
+    let saved = ckpt.load().unwrap();
+    let mut restored = StreamEngine::restore(est.clone(), &saved).unwrap();
+    assert_eq!(restored.seconds_processed(), kill_t);
+    let tail = restored.resume(&test).unwrap();
+    assert_outputs_identical(&full[kill_t..], &tail, "checkpointer reload");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random trace x random fault plan x random kill point: the
+    /// restored run's prediction bytes equal the uninterrupted run's.
+    #[test]
+    fn killed_runs_match_uninterrupted(
+        trace_seed in 0u64..4,
+        fault_seed in 0u64..1000,
+        frac in 1usize..10,
+        dropout in proptest::bool::ANY,
+        churn_kind in 0usize..4,
+    ) {
+        check_kill_roundtrip(trace_seed, fault_seed, frac, dropout, churn_kind);
+    }
+
+    /// Random single-byte corruption anywhere in a snapshot is rejected
+    /// with a typed snapshot error.
+    #[test]
+    fn corrupted_snapshots_never_restore(flip_at in 0usize..100_000) {
+        let test = build_trace(0, &build_plan(11, true, 1));
+        let mut eng = engine(config());
+        for t in 0..15.min(test.seconds()) {
+            eng.push_second(&test, t).unwrap();
+        }
+        check_corruption_rejected(&eng.snapshot(), flip_at);
+    }
+}

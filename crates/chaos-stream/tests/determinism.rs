@@ -10,10 +10,10 @@
 
 use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
 use chaos_core::FeatureSpec;
-use chaos_counters::{collect_run, CounterCatalog, RunTrace};
+use chaos_counters::{collect_run, ChurnPlan, CounterCatalog, FaultPlan, RunTrace};
 use chaos_sim::{Cluster, Platform};
 use chaos_stats::ExecPolicy;
-use chaos_stream::{DriftConfig, StreamConfig, StreamEngine, StreamOutput};
+use chaos_stream::{DriftConfig, StreamConfig, StreamEngine, StreamOutput, SupervisorConfig};
 use chaos_workloads::{SimConfig, Workload};
 
 const PAR: ExecPolicy = ExecPolicy::Parallel { threads: 4 };
@@ -149,4 +149,107 @@ fn streaming_observability_full_is_bit_identical_to_off() {
     assert!(recorded_samples, "stream.samples counter missing");
     assert!(recorded_refits, "stream.refits.* counters missing");
     assert!(recorded_occupancy, "window-occupancy histogram missing");
+}
+
+/// The churn scenario from ISSUE 6's acceptance bar: leaves, late joins
+/// with donor warm-starts, and hardware replacements, replayed under
+/// supervision. The composition must stay bit-identical between serial
+/// and 4-thread fan-out — membership boundaries segment the parallel
+/// replay, they must not reorder it.
+#[test]
+fn churned_replay_is_policy_invariant() {
+    let (est, test, cluster) = setup();
+    let churned = FaultPlan::new(77)
+        .with_counter_dropout(0.1)
+        .with_churn(
+            ChurnPlan::new(9)
+                .with_leave_rejoin(1)
+                .with_late_joins(1)
+                .with_replaces(1),
+        )
+        .apply(&test);
+    let cfg = config().with_supervise(SupervisorConfig::fast());
+    let run = |exec| {
+        let n = cluster.machines().len() as f64;
+        let mut eng = StreamEngine::new(
+            est.clone(),
+            cluster.machines().len(),
+            cluster.max_power() / n,
+            cluster.idle_power() / n,
+            0.05,
+            cfg.clone().with_exec(exec),
+        )
+        .unwrap();
+        let outputs = eng.replay(&churned).unwrap();
+        let refits = serde_json::to_string(&eng.refit_outcomes()).unwrap();
+        (outputs, refits)
+    };
+    let (serial, serial_refits) = run(ExecPolicy::Serial);
+    let (parallel, parallel_refits) = run(PAR);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.cluster_power_w.to_bits(),
+            p.cluster_power_w.to_bits(),
+            "second {}",
+            s.t
+        );
+        assert_eq!(s, p, "second {}", s.t);
+    }
+    assert_eq!(serial_refits, parallel_refits);
+    // The membership schedule really perturbed the composition.
+    assert!(
+        !churned.membership.is_empty(),
+        "churn plan generated no events"
+    );
+    let machines = cluster.machines().len();
+    assert!(
+        serial.iter().any(|o| o.active_machines < machines),
+        "no second ran with a reduced fleet"
+    );
+}
+
+/// Same churn scenario, observability full vs off: the supervisor and
+/// membership transitions emit counters and events, and none of it may
+/// feed back into the estimates.
+#[test]
+fn churned_replay_obs_full_is_bit_identical_to_off() {
+    let (est, test, cluster) = setup();
+    let churned = FaultPlan::new(78)
+        .with_churn(
+            ChurnPlan::new(10)
+                .with_leave_rejoin(1)
+                .with_late_joins(1)
+                .with_replaces(1),
+        )
+        .apply(&test);
+    let cfg = config().with_supervise(SupervisorConfig::fast());
+    let run = || {
+        let n = cluster.machines().len() as f64;
+        let mut eng = StreamEngine::new(
+            est.clone(),
+            cluster.machines().len(),
+            cluster.max_power() / n,
+            cluster.idle_power() / n,
+            0.05,
+            cfg.clone().with_exec(PAR),
+        )
+        .unwrap();
+        eng.replay(&churned).unwrap()
+    };
+
+    chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+    let off = run();
+    chaos_obs::set_level(chaos_obs::ObsLevel::Full);
+    let full = run();
+    let recorded_membership = chaos_obs::counters()
+        .iter()
+        .any(|(name, v)| name.starts_with("stream.membership.") && *v > 0);
+    chaos_obs::set_level(chaos_obs::ObsLevel::Off);
+
+    assert_eq!(off.len(), full.len());
+    for (a, b) in off.iter().zip(&full) {
+        assert_eq!(a, b, "second {}", a.t);
+    }
+    assert!(recorded_membership, "stream.membership.* counters missing");
 }

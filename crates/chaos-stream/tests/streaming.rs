@@ -4,10 +4,11 @@
 
 use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
 use chaos_core::FeatureSpec;
-use chaos_counters::{collect_run, CounterCatalog, FaultPlan, RunTrace};
+use chaos_counters::{collect_run, CounterCatalog, FaultPlan, MembershipEvent, RunTrace};
 use chaos_sim::{Cluster, Platform};
-use chaos_stats::StatsError;
-use chaos_stream::{DriftConfig, StreamConfig, StreamEngine};
+use chaos_stream::{
+    DriftConfig, MachineHealth, StreamConfig, StreamEngine, StreamError, SupervisorConfig,
+};
 use chaos_workloads::{SimConfig, Workload};
 
 fn setup() -> (Vec<RunTrace>, RunTrace, Cluster, CounterCatalog) {
@@ -195,21 +196,170 @@ fn usage_errors_are_rejected() {
     // Out-of-order seconds.
     assert!(matches!(
         eng.push_second(&test, 5),
-        Err(StatsError::InvalidParameter { .. })
+        Err(StreamError::OutOfOrder {
+            expected: 0,
+            got: 5
+        })
     ));
     eng.push_second(&test, 0).unwrap();
     // Replay requires a pristine engine.
     assert!(matches!(
         eng.replay(&test),
-        Err(StatsError::InvalidParameter { .. })
+        Err(StreamError::NotPristine { consumed: 1 })
     ));
     // Machine-count mismatch.
     let small = Cluster::homogeneous(Platform::Core2, 2, 21);
     let mut wrong = engine(est.clone(), &small, StreamConfig::offline());
     assert!(matches!(
         wrong.replay(&test),
-        Err(StatsError::DimensionMismatch { .. })
+        Err(StreamError::MachineCountMismatch { .. })
     ));
     // Zero machines rejected at construction.
     assert!(StreamEngine::new(est, 0, 250.0, 100.0, 0.05, StreamConfig::offline()).is_err());
+}
+
+/// Supervision end-to-end: a machine whose refits cannot succeed
+/// (constant counters make every windowed Gram singular) is retried,
+/// exhausted, quarantined out of the Eq. 5 composition, and readmitted
+/// through the ramp path after the countdown.
+#[test]
+fn failing_machine_is_quarantined_and_readmitted() {
+    let (train, test, cluster, catalog) = setup();
+    let est = estimator(&train, &cluster, &catalog);
+    let mut broken = test.clone();
+    let n = broken.seconds();
+    let onset = 30.min(n / 2);
+    {
+        let m = &mut broken.machines[0];
+        let frozen = m.counters[onset].clone();
+        for t in onset..m.counters.len() {
+            m.counters[t] = frozen.clone();
+            m.measured_power_w[t] *= 1.6;
+        }
+    }
+    let config = StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+    .with_supervise(SupervisorConfig {
+        max_attempts: 2,
+        quarantine_after: 2,
+        quarantine_s: 10,
+    });
+    let mut eng = engine(est, &cluster, config);
+    let outputs = eng.replay(&broken).unwrap();
+
+    let counts = eng.supervision_counts();
+    assert!(
+        counts["quarantines"] >= 1,
+        "constant-counter machine never quarantined: {counts:?}"
+    );
+    assert!(counts["retries"] >= 1, "no bounded retry ran: {counts:?}");
+    // During quarantine the machine is absent from the composition and
+    // its power contributes nothing.
+    let quarantined_seconds: Vec<&chaos_stream::StreamOutput> = outputs
+        .iter()
+        .filter(|o| o.machines.iter().all(|s| s.machine_id != 0))
+        .collect();
+    assert!(
+        !quarantined_seconds.is_empty(),
+        "machine 0 never dropped out of the composition"
+    );
+    for o in &quarantined_seconds {
+        assert_eq!(o.active_machines, cluster.machines().len() - 1);
+        let sum: f64 = o.machines.iter().map(|s| s.power_w).sum();
+        assert_eq!(o.cluster_power_w.to_bits(), sum.to_bits());
+    }
+    // It re-entered afterwards: some later second includes machine 0
+    // again, ramping.
+    let last_out = quarantined_seconds.last().unwrap().t;
+    if last_out + 1 < n {
+        assert!(
+            outputs[last_out + 1..]
+                .iter()
+                .any(|o| o.machines.iter().any(|s| s.machine_id == 0)),
+            "machine 0 never readmitted after quarantine"
+        );
+        assert!(
+            outputs
+                .iter()
+                .flat_map(|o| &o.machines)
+                .any(|s| s.machine_id == 0 && s.health == MachineHealth::Ramping),
+            "readmitted machine never reported ramping health"
+        );
+    }
+    // Healthy machines keep answering every second.
+    assert!(outputs.iter().all(|o| o.cluster_power_w.is_finite()));
+}
+
+/// Membership events reshape the composition deterministically: a late
+/// join (donor warm-start) and a leave, with machine independence
+/// pinned — the never-churned machine's samples stay bit-identical to a
+/// static-fleet run, and push_second agrees with segmented replay.
+#[test]
+fn joins_and_leaves_change_the_composition() {
+    let (train, test, cluster, catalog) = setup();
+    let est = estimator(&train, &cluster, &catalog);
+    let n = test.seconds();
+    let (join_t, leave_t) = (n / 3, 2 * n / 3);
+    let mut churned = test.clone();
+    churned.membership = vec![
+        MembershipEvent::join(join_t, 2, Some(0)),
+        MembershipEvent::leave(leave_t, 1),
+    ];
+
+    let baseline = {
+        let mut eng = engine(est.clone(), &cluster, StreamConfig::offline());
+        eng.replay(&test).unwrap()
+    };
+    let mut eng = engine(est.clone(), &cluster, StreamConfig::offline());
+    let outputs = eng.replay(&churned).unwrap();
+
+    for o in &outputs {
+        let expected: &[usize] = if o.t < join_t {
+            &[0, 1]
+        } else if o.t < leave_t {
+            &[0, 1, 2]
+        } else {
+            &[0, 2]
+        };
+        let ids: Vec<usize> = o.machines.iter().map(|s| s.machine_id).collect();
+        assert_eq!(ids, expected, "second {}", o.t);
+        assert_eq!(o.active_machines, expected.len(), "second {}", o.t);
+        // Machine 0 never churns; its stream is independent of the
+        // others' membership.
+        let mine = o.machines.iter().find(|s| s.machine_id == 0).unwrap();
+        let base = baseline[o.t]
+            .machines
+            .iter()
+            .find(|s| s.machine_id == 0)
+            .unwrap();
+        assert_eq!(
+            mine.power_w.to_bits(),
+            base.power_w.to_bits(),
+            "machine 0 diverged at second {}",
+            o.t
+        );
+    }
+    // The joiner warm-started from its donor and ramps.
+    let joiner = outputs[join_t]
+        .machines
+        .iter()
+        .find(|s| s.machine_id == 2)
+        .unwrap();
+    assert_eq!(joiner.health, MachineHealth::Ramping);
+
+    // Segmented parallel replay and one-second-at-a-time pushes apply
+    // the same schedule at the same boundaries.
+    let mut pushed = engine(est, &cluster, StreamConfig::offline());
+    for (t, out) in outputs.iter().enumerate() {
+        let one = pushed.push_second(&churned, t).unwrap();
+        assert_eq!(&one, out, "push/replay diverged at second {t}");
+    }
 }

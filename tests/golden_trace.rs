@@ -24,10 +24,10 @@ use chaos::core::models::ModelTechnique;
 use chaos::core::robust::{strawman_position, RobustConfig, RobustEstimator};
 use chaos::core::sweep::sweep_grid;
 use chaos::core::FeatureSpec;
-use chaos::counters::{collect_run, CounterCatalog, RunTrace};
+use chaos::counters::{collect_run, ChurnPlan, CounterCatalog, FaultPlan, RunTrace};
 use chaos::sim::{Cluster, Platform};
 use chaos::stats::exec::ExecPolicy;
-use chaos::stream::{DriftConfig, StreamConfig, StreamEngine};
+use chaos::stream::{DriftConfig, StreamConfig, StreamEngine, SupervisorConfig};
 use chaos::workloads::{SimConfig, Workload};
 use serde_json::{json, Value};
 use std::path::PathBuf;
@@ -274,4 +274,124 @@ fn streaming_matches_golden_trace() {
     let second = streaming_fingerprint();
     assert_eq!(first, second, "streaming fingerprint is nondeterministic");
     check_golden("streaming_core2_quick", &first);
+}
+
+/// ISSUE 6: kill-and-resume recovery under faults and fleet churn. The
+/// engine is killed mid-run, restored from its snapshot, and resumed;
+/// the fingerprint hashes the *stitched* prediction stream, and the test
+/// additionally proves it equals the uninterrupted stream bit-for-bit
+/// before hashing — so the golden file pins the recovery path itself.
+fn recovery_fingerprint() -> Value {
+    let cluster = Cluster::homogeneous(Platform::Core2, 3, 96);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let sim = SimConfig::quick();
+    let train: Vec<RunTrace> = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &sim, 900 + r).unwrap())
+        .collect();
+    let mut test = collect_run(&cluster, &catalog, Workload::Prime, &sim, 991).unwrap();
+    let start = 40.min(test.seconds());
+    for m in &mut test.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= 1.3;
+        }
+    }
+    let test = FaultPlan::new(17)
+        .with_counter_dropout(0.1)
+        .with_churn(
+            ChurnPlan::new(5)
+                .with_leave_rejoin(1)
+                .with_late_joins(1)
+                .with_replaces(1),
+        )
+        .apply(&test);
+
+    let spec = FeatureSpec::general(&catalog);
+    let cpu = strawman_position(&spec, &catalog);
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let cfg = RobustConfig {
+        fit: RobustConfig::fast()
+            .fit
+            .with_freq_column(spec.freq_column(&catalog)),
+        ..RobustConfig::fast()
+    };
+    let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).expect("offline fit");
+
+    let config = StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+    .with_supervise(SupervisorConfig::fast())
+    .with_exec(ExecPolicy::Parallel { threads: 4 });
+    let n = cluster.machines().len() as f64;
+    let engine = || {
+        StreamEngine::new(
+            est.clone(),
+            cluster.machines().len(),
+            cluster.max_power() / n,
+            cluster.idle_power() / n,
+            0.05,
+            config.clone(),
+        )
+        .expect("engine")
+    };
+
+    let mut uninterrupted = engine();
+    let full = uninterrupted.replay(&test).expect("uninterrupted replay");
+
+    let kill_t = test.seconds() / 2;
+    let mut first = engine();
+    let mut outputs = Vec::with_capacity(test.seconds());
+    for t in 0..kill_t {
+        outputs.push(first.push_second(&test, t).expect("pre-kill second"));
+    }
+    let snapshot = first.snapshot();
+    drop(first);
+    let mut restored = StreamEngine::restore(est.clone(), &snapshot).expect("snapshot restores");
+    outputs.extend(restored.resume(&test).expect("resumed replay"));
+
+    assert_eq!(full.len(), outputs.len(), "stitched stream length");
+    for (a, b) in full.iter().zip(&outputs) {
+        assert_eq!(
+            a.cluster_power_w.to_bits(),
+            b.cluster_power_w.to_bits(),
+            "kill/restore diverged from uninterrupted run at second {}",
+            a.t
+        );
+    }
+
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for out in &outputs {
+        for byte in out.cluster_power_w.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let mean_power = outputs.iter().map(|o| o.cluster_power_w).sum::<f64>() / outputs.len() as f64;
+    json!({
+        "schema": "chaos-golden-streaming-recovery/1",
+        "platform": "Core2",
+        "workload": "prime",
+        "seconds": outputs.len(),
+        "kill_t": kill_t,
+        "snapshot_bytes": snapshot.len(),
+        "prediction_hash": format!("{h:016x}"),
+        "mean_cluster_power_w": mean_power,
+        "membership_events": test.membership.len(),
+        "refit_counts": restored.refit_counts(),
+        "supervision_counts": restored.supervision_counts(),
+        "min_active_machines": outputs.iter().map(|o| o.active_machines).min(),
+    })
+}
+
+#[test]
+fn streaming_recovery_matches_golden_trace() {
+    let first = recovery_fingerprint();
+    let second = recovery_fingerprint();
+    assert_eq!(first, second, "recovery fingerprint is nondeterministic");
+    check_golden("streaming_recovery_core2_quick", &first);
 }
