@@ -327,6 +327,55 @@ impl RunTrace {
         self
     }
 
+    /// Tiles this run out to a fleet of `machines` machines: machine `i`
+    /// of the result is a renumbered clone of source machine
+    /// `i % self.machines.len()`.
+    ///
+    /// This is how the serve load generator manufactures 5000-machine
+    /// ingest streams without simulating 5000 machines: simulate a small
+    /// base cluster once, then tile it. Estimation cost downstream is
+    /// the real per-machine cost — every tiled machine runs its own
+    /// engine — only the *simulation* is amortized. Membership schedules
+    /// reference machine ids and do not survive renumbering, so tiling a
+    /// run with membership events is rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`CollectError::Ragged`] if this run has no machines or
+    ///   `machines` is zero.
+    /// * [`CollectError::Membership`] if this run carries membership
+    ///   events.
+    pub fn tiled_to(&self, machines: usize) -> Result<RunTrace, CollectError> {
+        if self.machines.is_empty() || machines == 0 {
+            return Err(CollectError::Ragged {
+                context: format!(
+                    "tiled_to needs a non-empty source and target ({} source machines, {machines} requested)",
+                    self.machines.len()
+                ),
+            });
+        }
+        if !self.membership.is_empty() {
+            return Err(CollectError::Membership {
+                context:
+                    "tiled_to cannot renumber a membership schedule; tile first, then attach events"
+                        .to_string(),
+            });
+        }
+        let tiled = (0..machines)
+            .map(|id| {
+                let mut m = self.machines[id % self.machines.len()].clone();
+                m.machine_id = id;
+                m
+            })
+            .collect();
+        Ok(RunTrace {
+            workload: self.workload.clone(),
+            run_seed: self.run_seed,
+            machines: tiled,
+            membership: Vec::new(),
+        })
+    }
+
     /// Whether machine `machine_id` is active at the *start* of the run:
     /// a machine whose first scheduled event is a join arrives mid-run
     /// and starts inactive; every other machine starts active.
@@ -1048,5 +1097,37 @@ mod tests {
         // The cluster stream never yields a second the short machine
         // lacks, matching RunTrace::seconds().
         assert_eq!(run.sample_stream().count(), run.machines[1].seconds());
+    }
+
+    #[test]
+    fn tiled_to_renumbers_and_replicates() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 3);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 7).unwrap();
+        let fleet = run.tiled_to(5).unwrap();
+        assert_eq!(fleet.machines.len(), 5);
+        for (id, m) in fleet.machines.iter().enumerate() {
+            assert_eq!(m.machine_id, id);
+            let src = &run.machines[id % 2];
+            assert_eq!(m.counters, src.counters);
+            assert_eq!(m.measured_power_w, src.measured_power_w);
+        }
+        assert_eq!(fleet.seconds(), run.seconds());
+        fleet.validate().expect("tiled run stays valid");
+        // Shrinking works too (take a prefix of the tiling).
+        assert_eq!(run.tiled_to(1).unwrap().machines.len(), 1);
+    }
+
+    #[test]
+    fn tiled_to_rejects_degenerate_and_membership_runs() {
+        let cluster = Cluster::homogeneous(Platform::Atom, 2, 3);
+        let catalog = CounterCatalog::for_platform(&Platform::Atom.spec());
+        let run = collect_run(&cluster, &catalog, Workload::Prime, &SimConfig::quick(), 7).unwrap();
+        assert!(matches!(run.tiled_to(0), Err(CollectError::Ragged { .. })));
+        let churned = run.with_membership(vec![MembershipEvent::leave(5, 1)]);
+        assert!(matches!(
+            churned.tiled_to(4),
+            Err(CollectError::Membership { .. })
+        ));
     }
 }

@@ -89,6 +89,16 @@ pub fn counters() -> Vec<(String, u64)> {
     registry::global().counters_snapshot()
 }
 
+/// Current value of counter `name` (0 if it was never incremented or
+/// observability is off). Lets long-running services (`chaos-serve`)
+/// surface individual counters without snapshotting the whole registry.
+pub fn counter(name: &str) -> u64 {
+    counters()
+        .into_iter()
+        .find_map(|(n, v)| (n == name).then_some(v))
+        .unwrap_or(0)
+}
+
 /// Snapshot of all histograms, sorted by name.
 pub fn histograms() -> Vec<(String, HistogramSnapshot)> {
     registry::global().histograms_snapshot()
@@ -210,6 +220,18 @@ mod tests {
             .find(|(n, _)| n == "span.lib_test.on_span")
             .expect("span histogram registered");
         assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn single_counter_lookup_matches_snapshot() {
+        let _guard = LEVEL_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_level(ObsLevel::Summary);
+        add("lib_test.lookup_counter", 7);
+        set_level(ObsLevel::Off);
+        assert_eq!(counter("lib_test.lookup_counter"), 7);
+        assert_eq!(counter("lib_test.never_written"), 0);
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! The sharded fleet: one single-machine [`StreamEngine`] per fleet
+//! member, advanced in parallel under an [`ExecPolicy`] and composed
+//! serially in machine order.
+//!
+//! # Why one engine per machine
+//!
+//! `chaos-stream` already proves per-machine streams independent
+//! between membership events; the server leans on that by giving every
+//! machine its *own* engine and rolling trace buffer
+//! ([`MachineSlot`]). A tick then has three phases:
+//!
+//! 1. **Validate + stage** (serial): the tick is checked against the
+//!    fleet shape and each sample staged into its slot.
+//! 2. **Advance** (parallel via [`ExecPolicy::par_map_mut`]): each slot
+//!    appends its staged row, pushes one second through its engine,
+//!    drains refit outcomes, and compacts its buffer back to the lag
+//!    row. Slots share nothing, so any shard count computes the same
+//!    bits.
+//! 3. **Compose** (serial, machine order): Eq. 5 summation, worst-tier
+//!    max, and tallies — the order-sensitive float work never runs
+//!    concurrently.
+//!
+//! That structure is what makes the wire-level determinism contract
+//! (`docs/PROTOCOL.md`) hold for any `CHAOS_THREADS`: the only
+//! parallel phase is over disjoint slots, pinned by
+//! `tests/determinism.rs`.
+//!
+//! # The rolling buffer
+//!
+//! [`StreamEngine::push_second`] reads second `t` and its predecessor
+//! from a [`RunTrace`], so a slot's buffer needs only *two* rows in
+//! steady state: the lag row and the current row. After each advance
+//! the slot compacts to the last row and calls
+//! [`StreamEngine::rebase`], keeping memory O(window), not O(stream).
+
+use crate::protocol::{LastSample, MachineStatus, TickResult, WireSample, WireTick};
+use crate::ServeError;
+use chaos_core::robust::EstimateTier;
+use chaos_core::RobustEstimator;
+use chaos_counters::{MachineRunTrace, RunTrace, ValidityMask};
+use chaos_sim::FleetSpec;
+use chaos_stats::ExecPolicy;
+use chaos_stream::{StreamConfig, StreamEngine, StreamSample};
+use std::collections::BTreeMap;
+
+/// One fleet member's serving state: a single-machine engine plus the
+/// rolling two-row trace buffer it consumes.
+#[derive(Debug)]
+pub struct MachineSlot {
+    /// The machine's private streaming engine (always serial — the
+    /// fleet parallelizes *across* slots, never within one).
+    pub(crate) engine: StreamEngine,
+    /// Rolling single-machine trace: lag row + current row.
+    pub(crate) buf: RunTrace,
+    /// Absolute second the buffer's index space is offset by.
+    pub(crate) base_t: u64,
+    /// Sample staged by the validate phase for the next advance.
+    pub(crate) pending: Option<WireSample>,
+    /// Samples ingested for this machine.
+    pub(crate) samples_total: u64,
+    /// Applied-refit tallies by tier label (`"none"` for failed
+    /// ladders).
+    pub(crate) refit_counts: BTreeMap<String, u64>,
+    /// Absolute second of the most recent refit attempt.
+    pub(crate) last_refit_t: Option<u64>,
+    /// Most recent emitted sample.
+    pub(crate) last: Option<LastSample>,
+}
+
+/// What one slot's advance phase hands back to the composer.
+#[derive(Debug, Clone)]
+struct SlotAdvance {
+    sample: Option<StreamSample>,
+    refits: u64,
+}
+
+fn empty_buffer(platform: chaos_sim::Platform) -> RunTrace {
+    RunTrace {
+        workload: "serve".to_string(),
+        run_seed: 0,
+        machines: vec![MachineRunTrace {
+            machine_id: 0,
+            platform,
+            counters: Vec::new(),
+            measured_power_w: Vec::new(),
+            true_power_w: Vec::new(),
+            validity: ValidityMask {
+                counters: Vec::new(),
+                meter: Vec::new(),
+                alive: Vec::new(),
+            },
+        }],
+        membership: Vec::new(),
+    }
+}
+
+impl MachineSlot {
+    fn new(engine: StreamEngine, platform: chaos_sim::Platform) -> MachineSlot {
+        let buf = empty_buffer(platform);
+        MachineSlot {
+            engine,
+            buf,
+            base_t: 0,
+            pending: None,
+            samples_total: 0,
+            refit_counts: BTreeMap::new(),
+            last_refit_t: None,
+            last: None,
+        }
+    }
+
+    /// Appends the staged sample, advances the engine one second,
+    /// drains refit outcomes into the tallies, and compacts the buffer
+    /// back to the lag row.
+    fn advance(&mut self) -> Result<SlotAdvance, ServeError> {
+        let sample = self.pending.take().ok_or_else(|| ServeError::Internal {
+            detail: "slot advanced with no staged sample".to_string(),
+        })?;
+        let Some(m) = self.buf.machines.first_mut() else {
+            return Err(ServeError::Internal {
+                detail: "slot buffer lost its machine".to_string(),
+            });
+        };
+        let width = sample.counters.len();
+        m.counters.push(sample.counters);
+        let meter_ok = sample.meter_ok && sample.power_w.is_some();
+        m.measured_power_w.push(sample.power_w.unwrap_or(0.0));
+        m.true_power_w.push(0.0);
+        m.validity
+            .counters
+            .push(sample.counter_ok.unwrap_or_else(|| vec![true; width]));
+        m.validity.meter.push(meter_ok);
+        m.validity.alive.push(sample.alive);
+        let rel = m.seconds() - 1;
+
+        let out = self.engine.push_second(&self.buf, rel)?;
+        let stream_sample = out.machines.into_iter().next();
+
+        let drained = self.engine.drain_refit_outcomes();
+        let refits = drained.len() as u64;
+        for outcome in &drained {
+            let label = outcome.applied.map_or("none", |tier| tier.label());
+            *self.refit_counts.entry(label.to_string()).or_insert(0) += 1;
+            self.last_refit_t = Some(self.base_t + outcome.t as u64);
+        }
+
+        self.samples_total += 1;
+        if let Some(s) = &stream_sample {
+            self.last = Some(LastSample {
+                t: self.base_t + rel as u64,
+                power_w: s.power_w,
+                tier: s.tier.label().to_string(),
+                adapted: s.adapted,
+                imputed: s.imputed,
+                rolling_dre: s.rolling_dre,
+            });
+        }
+
+        // Compact: keep only the just-consumed row as the next tick's
+        // lag row, and shift the engine cursor to match.
+        if let Some(m) = self.buf.machines.first_mut() {
+            m.counters.drain(..rel);
+            m.measured_power_w.drain(..rel);
+            m.true_power_w.drain(..rel);
+            m.validity.counters.drain(..rel);
+            m.validity.meter.drain(..rel);
+            m.validity.alive.drain(..rel);
+        }
+        self.engine.rebase(rel)?;
+        self.base_t += rel as u64;
+
+        Ok(SlotAdvance {
+            sample: stream_sample,
+            refits,
+        })
+    }
+
+    /// The slot's serving status (for `/v1/machines`).
+    fn status(&self, machine_id: usize) -> MachineStatus {
+        let health = self
+            .engine
+            .health()
+            .first()
+            .map_or("healthy", |h| h.label())
+            .to_string();
+        MachineStatus {
+            machine_id,
+            health,
+            samples: self.samples_total,
+            last: self.last.clone(),
+            refit_counts: self.refit_counts.clone(),
+            last_refit_t: self.last_refit_t,
+        }
+    }
+}
+
+/// The sharded fleet: every machine's slot plus the shared cursor.
+#[derive(Debug)]
+pub struct Fleet {
+    pub(crate) slots: Vec<MachineSlot>,
+    pub(crate) exec: ExecPolicy,
+    pub(crate) t_next: u64,
+    pub(crate) spec: FleetSpec,
+    pub(crate) width: usize,
+}
+
+impl Fleet {
+    /// Builds a fleet of single-machine engines over a shared trained
+    /// estimator. Each slot gets its own engine with the fleet's
+    /// per-machine dynamic range; the estimator is cloned per slot so
+    /// slots stay disjoint for the parallel advance phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError::Stream`] if engine construction rejects
+    /// the configuration.
+    pub fn new(
+        estimator: &RobustEstimator,
+        spec: FleetSpec,
+        stream: StreamConfig,
+        exec: ExecPolicy,
+        baseline_dre: f64,
+    ) -> Result<Fleet, ServeError> {
+        let cluster = spec.cluster();
+        let max_w = spec.per_machine_max_w(&cluster);
+        let idle_w = spec.per_machine_idle_w(&cluster);
+        // Samples carry *raw* counter rows (catalog width); the
+        // estimator assembles its model-input features from them.
+        let width = chaos_counters::CounterCatalog::for_platform(&spec.platform.spec()).len();
+        let per_slot = stream.with_exec(ExecPolicy::Serial);
+        let slots = (0..spec.machines)
+            .map(|_| {
+                let engine =
+                    StreamEngine::new(estimator.clone(), 1, max_w, idle_w, baseline_dre, per_slot)?;
+                Ok(MachineSlot::new(engine, spec.platform))
+            })
+            .collect::<Result<Vec<_>, ServeError>>()?;
+        Ok(Fleet {
+            slots,
+            exec,
+            t_next: 0,
+            spec,
+            width,
+        })
+    }
+
+    /// Validates one tick against the fleet shape and stages each
+    /// sample into its slot. Serial, and mutates nothing until every
+    /// sample has passed — a rejected tick leaves the fleet untouched.
+    fn stage(&mut self, tick: &WireTick) -> Result<(), ServeError> {
+        if tick.t != self.t_next {
+            return Err(ServeError::OutOfOrder {
+                expected: self.t_next,
+                got: tick.t,
+            });
+        }
+        if tick.machines.len() != self.slots.len() {
+            return Err(ServeError::MachineCountMismatch {
+                expected: self.slots.len(),
+                got: tick.machines.len(),
+            });
+        }
+        let mut seen = vec![false; self.slots.len()];
+        for sample in &tick.machines {
+            if sample.machine_id >= self.slots.len() {
+                return Err(ServeError::InvalidSample {
+                    detail: format!(
+                        "machine_id {} outside fleet of {}",
+                        sample.machine_id,
+                        self.slots.len()
+                    ),
+                });
+            }
+            if seen[sample.machine_id] {
+                return Err(ServeError::InvalidSample {
+                    detail: format!("machine_id {} appears twice in tick", sample.machine_id),
+                });
+            }
+            seen[sample.machine_id] = true;
+            if sample.counters.len() != self.width {
+                return Err(ServeError::InvalidSample {
+                    detail: format!(
+                        "machine {}: counter row has {} values, catalog width is {}",
+                        sample.machine_id,
+                        sample.counters.len(),
+                        self.width
+                    ),
+                });
+            }
+            if let Some(bad) = sample.counters.iter().find(|v| !v.is_finite()) {
+                return Err(ServeError::InvalidSample {
+                    detail: format!(
+                        "machine {}: non-finite counter value {bad} (mark it with counter_ok instead)",
+                        sample.machine_id
+                    ),
+                });
+            }
+            if let Some(p) = sample.power_w {
+                if !p.is_finite() {
+                    return Err(ServeError::InvalidSample {
+                        detail: format!(
+                            "machine {}: non-finite power_w {p} (omit the field instead)",
+                            sample.machine_id
+                        ),
+                    });
+                }
+            }
+            if let Some(mask) = &sample.counter_ok {
+                if mask.len() != self.width {
+                    return Err(ServeError::InvalidSample {
+                        detail: format!(
+                            "machine {}: counter_ok has {} entries, catalog width is {}",
+                            sample.machine_id,
+                            mask.len(),
+                            self.width
+                        ),
+                    });
+                }
+            }
+        }
+        for sample in &tick.machines {
+            self.slots[sample.machine_id].pending = Some(sample.clone());
+        }
+        Ok(())
+    }
+
+    /// Ingests one tick: validate + stage, parallel advance, serial
+    /// machine-order composition. Returns the cluster-composed result.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`ServeError::OutOfOrder`],
+    /// [`ServeError::MachineCountMismatch`],
+    /// [`ServeError::InvalidSample`]) reject the tick without touching
+    /// any slot; an advance-phase failure surfaces as the slot's error.
+    pub fn ingest_tick(&mut self, tick: &WireTick) -> Result<TickResult, ServeError> {
+        self.stage(tick)?;
+
+        let advanced: Vec<Result<SlotAdvance, ServeError>> = self
+            .exec
+            .par_map_mut(&mut self.slots, |slot| slot.advance());
+
+        // Serial composition in machine order: Eq. 5 summation and the
+        // worst-tier max are order-sensitive, so they never run inside
+        // the parallel phase.
+        let mut cluster_power_w = 0.0;
+        let mut worst_tier = EstimateTier::Full;
+        let mut active_machines = 0usize;
+        let mut refits = 0u64;
+        for result in advanced {
+            let adv = result?;
+            refits += adv.refits;
+            if let Some(sample) = adv.sample {
+                cluster_power_w += sample.power_w;
+                worst_tier = worst_tier.max(sample.tier);
+                active_machines += 1;
+            }
+        }
+        let result = TickResult {
+            t: tick.t,
+            cluster_power_w,
+            worst_tier: worst_tier.label().to_string(),
+            active_machines,
+            refits,
+        };
+        self.t_next += 1;
+        Ok(result)
+    }
+
+    /// The next second the fleet will accept.
+    pub fn t_next(&self) -> u64 {
+        self.t_next
+    }
+
+    /// The fleet specification this instance models.
+    pub fn spec(&self) -> FleetSpec {
+        self.spec
+    }
+
+    /// Counter-row width every sample must carry.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Fleet size.
+    pub fn machines(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Machines currently inside the composition.
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().map(|s| s.engine.active_count()).sum()
+    }
+
+    /// One machine's serving status.
+    pub fn machine_status(&self, id: usize) -> Option<MachineStatus> {
+        self.slots.get(id).map(|slot| slot.status(id))
+    }
+
+    /// Every machine's serving status, machine order.
+    pub fn statuses(&self) -> Vec<MachineStatus> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| slot.status(id))
+            .collect()
+    }
+}

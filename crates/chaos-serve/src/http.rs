@@ -1,0 +1,359 @@
+//! Hand-rolled HTTP/1.1 framing — the only wire dependency the server
+//! has is `std`.
+//!
+//! The parser is deliberately minimal: request line, headers, and a
+//! `Content-Length`-delimited body. That covers every client the wire
+//! protocol (`docs/PROTOCOL.md`) admits — chunked transfer encoding,
+//! multipart bodies, and HTTP/2 are out of scope by design. Every
+//! malformed input maps to a typed [`HttpError`] so the server can
+//! answer with a structured 4xx instead of panicking or hanging; the
+//! edge-case suite (`tests/http_edge_cases.rs`) pins that behavior.
+//!
+//! Limits are hard: header bytes are capped at [`MAX_HEADER_BYTES`]
+//! and bodies at the caller-supplied maximum, checked *before* any
+//! allocation happens, so an adversarial `Content-Length` cannot
+//! balloon memory.
+
+use std::io::{BufRead, Read, Write};
+
+/// Default cap on request body size (4 MiB — a 5000-machine tick of
+/// counter JSON is well under 2 MiB).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Cap on a single header line (and the request line), bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Cap on the number of header lines in one request.
+pub const MAX_HEADER_LINES: usize = 100;
+
+/// Why a request could not be framed. Each variant maps to one wire
+/// error code (see `docs/PROTOCOL.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line was not `METHOD PATH VERSION`.
+    BadRequestLine {
+        /// The offending line.
+        line: String,
+    },
+    /// The HTTP version is not 1.0 or 1.1.
+    BadVersion {
+        /// The version token received.
+        got: String,
+    },
+    /// A header line had no `name: value` shape.
+    BadHeader {
+        /// The offending line.
+        line: String,
+    },
+    /// `Content-Length` was present but not a base-10 integer.
+    BadContentLength {
+        /// The value received.
+        got: String,
+    },
+    /// The declared body size exceeds the configured cap.
+    BodyTooLarge {
+        /// Bytes the request declared.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A header line (or the header block) exceeds the configured cap.
+    HeadersTooLarge {
+        /// The configured cap (bytes for lines, count for the block).
+        limit: usize,
+    },
+    /// The connection ended mid-request.
+    Truncated {
+        /// What was being read when the stream ended.
+        context: String,
+    },
+    /// A transport-level read failure.
+    Io {
+        /// The failed operation and OS error.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequestLine { line } => {
+                write!(f, "bad request line {line:?}")
+            }
+            HttpError::BadVersion { got } => {
+                write!(f, "unsupported HTTP version {got:?} (need 1.0 or 1.1)")
+            }
+            HttpError::BadHeader { line } => write!(f, "bad header line {line:?}"),
+            HttpError::BadContentLength { got } => {
+                write!(f, "bad Content-Length {got:?}")
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds cap {limit}")
+            }
+            HttpError::HeadersTooLarge { limit } => {
+                write!(f, "headers exceed cap {limit}")
+            }
+            HttpError::Truncated { context } => {
+                write!(f, "connection ended mid-request while reading {context}")
+            }
+            HttpError::Io { context } => write!(f, "transport error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One framed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, as received (e.g. `GET`).
+    pub method: String,
+    /// Request path, as received (e.g. `/v1/power`).
+    pub path: String,
+    /// Raw body bytes (`Content-Length` delimited; empty if absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+/// One response. The server speaks JSON exclusively, so the content
+/// type is fixed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// The standard reason phrase for the status codes this server
+    /// emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, and body. The byte sequence is
+    /// a pure function of `(status, body)` — the determinism contract
+    /// covers entire response byte streams, not just bodies.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.body.len()
+        );
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the serialized response to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, capped at `cap` bytes.
+/// `Ok(None)` means clean EOF before any byte of the line.
+fn read_line_capped<R: BufRead>(r: &mut R, cap: usize) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let mut limited = r.by_ref().take(cap as u64 + 1);
+    let n = limited
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| HttpError::Io {
+            context: format!("read header line: {e}"),
+        })?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        if buf.len() > cap {
+            return Err(HttpError::HeadersTooLarge { limit: cap });
+        }
+        return Err(HttpError::Truncated {
+            context: "header line (no terminator before EOF)".to_string(),
+        });
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf.clone())
+        .map(Some)
+        .map_err(|_| HttpError::BadHeader {
+            line: String::from_utf8_lossy(&buf).into_owned(),
+        })
+}
+
+/// Reads and frames one request from `r`.
+///
+/// `Ok(None)` is a clean end of connection (EOF before any request
+/// byte); every mid-request failure is a typed [`HttpError`].
+///
+/// # Errors
+///
+/// See [`HttpError`] — one variant per framing failure.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line_capped(r, MAX_HEADER_BYTES)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequestLine { line: line.clone() });
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadVersion {
+            got: version.to_string(),
+        });
+    }
+    let mut close = version == "HTTP/1.0";
+    let mut content_length = 0usize;
+    let mut header_lines = 0usize;
+    loop {
+        let Some(header) = read_line_capped(r, MAX_HEADER_BYTES)? else {
+            return Err(HttpError::Truncated {
+                context: "headers (EOF before blank line)".to_string(),
+            });
+        };
+        if header.is_empty() {
+            break;
+        }
+        header_lines += 1;
+        if header_lines > MAX_HEADER_LINES {
+            return Err(HttpError::HeadersTooLarge {
+                limit: MAX_HEADER_LINES,
+            });
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::BadHeader {
+                line: header.clone(),
+            });
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length =
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| HttpError::BadContentLength {
+                            got: value.to_string(),
+                        })?;
+            }
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::Truncated {
+                context: format!("body (expected {content_length} bytes)"),
+            }
+        } else {
+            HttpError::Io {
+                context: format!("read body: {e}"),
+            }
+        }
+    })?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        close,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes()), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn frames_a_simple_get() {
+        let req = parse("GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn frames_a_post_with_body() {
+        let req = parse("POST /v1/ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_11_to_keepalive() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(req.close);
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
+    fn response_bytes_are_deterministic() {
+        let a = Response::json(200, "{\"x\":1}").to_bytes();
+        let b = Response::json(200, "{\"x\":1}").to_bytes();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"x\":1}"));
+    }
+}

@@ -1,0 +1,487 @@
+//! The `chaos-serve/1` wire protocol: request/response schemas and the
+//! typed error space.
+//!
+//! Everything on the wire is JSON over HTTP/1.1. The normative
+//! description — endpoint table, schemas, error codes, versioning and
+//! the determinism contract — lives in `docs/PROTOCOL.md`; the types
+//! here are its single implementation. Two properties carry the
+//! determinism contract down to bytes:
+//!
+//! * Response structs serialize with fixed field order (serde derives
+//!   over plain structs) and every map is a [`BTreeMap`], so the same
+//!   state always renders the same bytes.
+//! * JSON cannot carry NaN or infinity, so the wire admits only finite
+//!   numbers; sample *invalidity* travels as explicit masks
+//!   ([`WireSample::counter_ok`], [`WireSample::meter_ok`],
+//!   [`WireSample::alive`]) rather than as sentinel values.
+
+use crate::http::HttpError;
+use chaos_sim::FleetSpec;
+use chaos_stream::{SnapshotError, StreamError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Protocol identifier echoed in every response body.
+pub const PROTOCOL: &str = "chaos-serve/1";
+
+fn default_true() -> bool {
+    true
+}
+
+/// One machine's observation for one second, as ingested.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct WireSample {
+    /// Machine id within the fleet (`0..machines`).
+    pub machine_id: usize,
+    /// Counter row for this second — one finite value per catalog
+    /// counter, in catalog order.
+    pub counters: Vec<f64>,
+    /// Metered wall power, watts, when a trusted meter reading exists.
+    /// Absent or `null` means "no usable meter this second" (the model
+    /// still predicts; it just cannot train or drift-score).
+    #[serde(default)]
+    pub power_w: Option<f64>,
+    /// Per-counter validity; absent means every counter is trustworthy.
+    #[serde(default)]
+    pub counter_ok: Option<Vec<bool>>,
+    /// Whether the meter reading is trustworthy (default true).
+    #[serde(default = "default_true")]
+    pub meter_ok: bool,
+    /// Whether the machine was alive this second (default true).
+    #[serde(default = "default_true")]
+    pub alive: bool,
+}
+
+/// One cluster-second of samples: every fleet machine exactly once.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct WireTick {
+    /// Absolute second this tick describes. Ticks must arrive strictly
+    /// in order: the first tick is `t = 0`, every subsequent tick
+    /// increments by one.
+    pub t: u64,
+    /// Per-machine samples; any order, each machine exactly once.
+    pub machines: Vec<WireSample>,
+}
+
+/// `POST /v1/ingest` request body.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct IngestRequest {
+    /// Ticks to apply, in order.
+    pub ticks: Vec<WireTick>,
+}
+
+/// The cluster-composed result of one tick (Eq. 5 over present
+/// machines, machine order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickResult {
+    /// The tick's absolute second.
+    pub t: u64,
+    /// Summed cluster power, watts, over present machines.
+    pub cluster_power_w: f64,
+    /// Least capable estimate tier any present machine needed.
+    pub worst_tier: String,
+    /// Machines that contributed to the composition.
+    pub active_machines: usize,
+    /// Refits applied across the fleet during this tick.
+    pub refits: u64,
+}
+
+/// `POST /v1/ingest` response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IngestResponse {
+    /// Protocol identifier (`chaos-serve/1`).
+    pub protocol: String,
+    /// Per-tick results, in the order the ticks were applied.
+    pub results: Vec<TickResult>,
+    /// The next second the server will accept.
+    pub t_next: u64,
+}
+
+/// `GET /v1/healthz` response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HealthzResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// The next second the server will accept.
+    pub t_next: u64,
+    /// Fleet size.
+    pub machines: usize,
+    /// Machines currently inside the composition.
+    pub active_machines: usize,
+}
+
+/// Checkpoint configuration echoed by `GET /v1/config`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CheckpointInfo {
+    /// Snapshot path.
+    pub path: String,
+    /// Cadence in ticks between automatic snapshots.
+    pub every_ticks: u64,
+}
+
+/// `GET /v1/config` response body.
+///
+/// This endpoint reports *deployment* configuration — including the
+/// execution policy — and is therefore the one endpoint excluded from
+/// the shard-count determinism contract (see `docs/PROTOCOL.md`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConfigResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// The fleet this server models.
+    pub fleet: FleetSpec,
+    /// Counter-row width every sample must carry.
+    pub width: usize,
+    /// Sliding-window capacity per machine, seconds.
+    pub window_s: usize,
+    /// Minimum window occupancy before refits are attempted.
+    pub min_refit_samples: usize,
+    /// Execution policy label (`"serial"` or `"parallel:N"`).
+    pub exec: String,
+    /// Request body cap, bytes.
+    pub max_body_bytes: usize,
+    /// Power-history ring capacity, ticks.
+    pub history_cap: usize,
+    /// Checkpoint persistence, when configured.
+    pub checkpoint: Option<CheckpointInfo>,
+}
+
+/// `GET /v1/power` response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PowerResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// The next second the server will accept.
+    pub t_next: u64,
+    /// The most recent tick result, once any tick has been ingested.
+    pub latest: Option<TickResult>,
+    /// Bounded ring of recent tick results, oldest first.
+    pub history: Vec<TickResult>,
+}
+
+/// A machine's most recent emitted sample.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LastSample {
+    /// Absolute second of the sample.
+    pub t: u64,
+    /// Estimated power, watts.
+    pub power_w: f64,
+    /// Estimate tier label (`full`/`reduced`/`strawman`/`constant`).
+    pub tier: String,
+    /// Whether a window-adapted model produced the estimate.
+    pub adapted: bool,
+    /// Features imputation bridged this second.
+    pub imputed: usize,
+    /// Rolling DRE after this second, once the drift window is warm.
+    pub rolling_dre: Option<f64>,
+}
+
+/// One machine's serving status.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MachineStatus {
+    /// Machine id within the fleet.
+    pub machine_id: usize,
+    /// Supervision state label (`healthy`/`ramping`/`quarantined`).
+    pub health: String,
+    /// Samples ingested for this machine.
+    pub samples: u64,
+    /// The machine's most recent emitted sample, if it produced one
+    /// (quarantined machines produce none).
+    pub last: Option<LastSample>,
+    /// Applied-refit tallies by tier label (failed ladders under
+    /// `"none"`).
+    pub refit_counts: BTreeMap<String, u64>,
+    /// Absolute second of the machine's most recent refit attempt.
+    pub last_refit_t: Option<u64>,
+}
+
+/// `GET /v1/machines` response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MachinesResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// Per-machine statuses, machine order.
+    pub machines: Vec<MachineStatus>,
+}
+
+/// `GET /v1/machines/<id>` response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MachineResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// The requested machine's status.
+    pub machine: MachineStatus,
+}
+
+/// `GET /v1/stats` response body.
+///
+/// These counters are the server's *own* deterministic tallies,
+/// mirrored into `chaos-obs` — the response is bit-identical whatever
+/// `CHAOS_OBS` level the process runs at.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StatsResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// Monotonic counters since process start (`serve.*` namespace).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// `POST /v1/snapshot` response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SnapshotResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// Always `"persisted"` on success.
+    pub status: String,
+    /// Snapshot size, bytes.
+    pub bytes: u64,
+    /// The cursor the snapshot captures.
+    pub t_next: u64,
+}
+
+/// Error response body, shared by every endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ErrorResponse {
+    /// Protocol identifier.
+    pub protocol: String,
+    /// Stable machine-readable error code (see `docs/PROTOCOL.md`).
+    pub error: String,
+    /// Human-readable detail. Free-form; never parse it.
+    pub detail: String,
+}
+
+/// Everything that can go wrong serving a request, each with a stable
+/// wire code and HTTP status.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Request framing failed.
+    Http(HttpError),
+    /// No such endpoint.
+    UnknownEndpoint {
+        /// The path requested.
+        path: String,
+    },
+    /// The endpoint exists but not for this method.
+    MethodNotAllowed {
+        /// The method used.
+        method: String,
+        /// The path requested.
+        path: String,
+    },
+    /// The body was not valid JSON for the endpoint's schema.
+    MalformedJson {
+        /// Parser detail.
+        detail: String,
+    },
+    /// A sample failed validation (id range, duplicate, row width,
+    /// non-finite value, mask shape).
+    InvalidSample {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A tick arrived out of order.
+    OutOfOrder {
+        /// The second the server expected.
+        expected: u64,
+        /// The second the tick carried.
+        got: u64,
+    },
+    /// A tick did not cover the fleet exactly once.
+    MachineCountMismatch {
+        /// Fleet size.
+        expected: usize,
+        /// Samples in the tick.
+        got: usize,
+    },
+    /// `GET /v1/machines/<id>` for an id outside the fleet.
+    UnknownMachine {
+        /// The id requested.
+        id: usize,
+    },
+    /// `POST /v1/snapshot` on a server started without a checkpoint
+    /// path.
+    CheckpointDisabled,
+    /// Snapshot encode/decode/persist failure.
+    Snapshot(SnapshotError),
+    /// A streaming-engine error that validation should have made
+    /// impossible.
+    Stream(StreamError),
+    /// Any other internal failure.
+    Internal {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// The stable wire error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Http(e) => match e {
+                HttpError::BadRequestLine { .. } => "malformed_request",
+                HttpError::BadVersion { .. } => "bad_version",
+                HttpError::BadHeader { .. } => "malformed_request",
+                HttpError::BadContentLength { .. } => "bad_content_length",
+                HttpError::BodyTooLarge { .. } => "body_too_large",
+                HttpError::HeadersTooLarge { .. } => "headers_too_large",
+                HttpError::Truncated { .. } => "truncated_request",
+                HttpError::Io { .. } => "transport_error",
+            },
+            ServeError::UnknownEndpoint { .. } => "unknown_endpoint",
+            ServeError::MethodNotAllowed { .. } => "method_not_allowed",
+            ServeError::MalformedJson { .. } => "malformed_json",
+            ServeError::InvalidSample { .. } => "invalid_sample",
+            ServeError::OutOfOrder { .. } => "out_of_order",
+            ServeError::MachineCountMismatch { .. } => "machine_count_mismatch",
+            ServeError::UnknownMachine { .. } => "unknown_machine",
+            ServeError::CheckpointDisabled => "checkpoint_disabled",
+            ServeError::Snapshot(_) => "snapshot_failed",
+            ServeError::Stream(_) => "stream_error",
+            ServeError::Internal { .. } => "internal",
+        }
+    }
+
+    /// The HTTP status the error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::Http(e) => match e {
+                HttpError::BodyTooLarge { .. } => 413,
+                HttpError::HeadersTooLarge { .. } => 431,
+                _ => 400,
+            },
+            ServeError::UnknownEndpoint { .. } | ServeError::UnknownMachine { .. } => 404,
+            ServeError::MethodNotAllowed { .. } => 405,
+            ServeError::MalformedJson { .. } => 400,
+            ServeError::InvalidSample { .. } => 422,
+            ServeError::OutOfOrder { .. } | ServeError::MachineCountMismatch { .. } => 409,
+            ServeError::CheckpointDisabled => 409,
+            ServeError::Snapshot(_) | ServeError::Stream(_) | ServeError::Internal { .. } => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Http(e) => write!(f, "{e}"),
+            ServeError::UnknownEndpoint { path } => write!(f, "no endpoint at {path}"),
+            ServeError::MethodNotAllowed { method, path } => {
+                write!(f, "{method} not allowed on {path}")
+            }
+            ServeError::MalformedJson { detail } => write!(f, "malformed JSON body: {detail}"),
+            ServeError::InvalidSample { detail } => write!(f, "invalid sample: {detail}"),
+            ServeError::OutOfOrder { expected, got } => write!(
+                f,
+                "tick out of order: expected second {expected}, got {got}"
+            ),
+            ServeError::MachineCountMismatch { expected, got } => write!(
+                f,
+                "tick must carry each of the {expected} fleet machines exactly once, got {got} samples"
+            ),
+            ServeError::UnknownMachine { id } => write!(f, "no machine {id} in the fleet"),
+            ServeError::CheckpointDisabled => {
+                write!(f, "server started without --checkpoint; snapshots disabled")
+            }
+            ServeError::Snapshot(e) => write!(f, "{e}"),
+            ServeError::Stream(e) => write!(f, "{e}"),
+            ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Http(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+            ServeError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HttpError> for ServeError {
+    fn from(e: HttpError) -> Self {
+        ServeError::Http(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<StreamError> for ServeError {
+    fn from(e: StreamError) -> Self {
+        ServeError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_error_has_a_code_and_a_4xx_or_5xx_status() {
+        let errors = vec![
+            ServeError::Http(HttpError::BodyTooLarge {
+                declared: 10,
+                limit: 5,
+            }),
+            ServeError::Http(HttpError::Truncated {
+                context: "body".into(),
+            }),
+            ServeError::Http(HttpError::BadContentLength { got: "x".into() }),
+            ServeError::UnknownEndpoint {
+                path: "/nope".into(),
+            },
+            ServeError::MethodNotAllowed {
+                method: "PUT".into(),
+                path: "/v1/power".into(),
+            },
+            ServeError::MalformedJson { detail: "d".into() },
+            ServeError::InvalidSample { detail: "d".into() },
+            ServeError::OutOfOrder {
+                expected: 1,
+                got: 5,
+            },
+            ServeError::MachineCountMismatch {
+                expected: 4,
+                got: 3,
+            },
+            ServeError::UnknownMachine { id: 99 },
+            ServeError::CheckpointDisabled,
+            ServeError::Internal { detail: "d".into() },
+        ];
+        for e in errors {
+            assert!(!e.code().is_empty());
+            assert!((400..=599).contains(&e.status()), "{e}: {}", e.status());
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn http_error_statuses_are_specific() {
+        let too_large = ServeError::Http(HttpError::BodyTooLarge {
+            declared: 10,
+            limit: 5,
+        });
+        assert_eq!(too_large.status(), 413);
+        assert_eq!(too_large.code(), "body_too_large");
+        let headers = ServeError::Http(HttpError::HeadersTooLarge { limit: 100 });
+        assert_eq!(headers.status(), 431);
+        assert_eq!(ServeError::UnknownMachine { id: 1 }.status(), 404);
+        assert_eq!(
+            ServeError::OutOfOrder {
+                expected: 0,
+                got: 2
+            }
+            .status(),
+            409
+        );
+    }
+}

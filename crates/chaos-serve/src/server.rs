@@ -1,0 +1,346 @@
+//! The request handler: routing, endpoint logic, and checkpoint
+//! cadence.
+//!
+//! [`Server::handle`] is a pure-ish state machine — one framed
+//! [`Request`] in, one [`Response`] out — with no transport code, so
+//! the integration tests drive it directly and the TCP loop in
+//! `main.rs` stays a thin shell. Everything the determinism contract
+//! covers flows through here: response bodies are rendered from
+//! fixed-field-order structs, counters live in the server's own
+//! [`BTreeMap`] (mirrored into `chaos-obs`, never read back from it),
+//! and the only parallelism is inside [`Fleet::ingest_tick`].
+
+use crate::bootstrap::{self, RestoredExtras, ServeOptions};
+use crate::fleet::Fleet;
+use crate::http::{Request, Response};
+use crate::protocol::{
+    CheckpointInfo, ConfigResponse, ErrorResponse, HealthzResponse, IngestRequest, IngestResponse,
+    MachineResponse, MachinesResponse, PowerResponse, ServeError, SnapshotResponse, StatsResponse,
+    TickResult, PROTOCOL,
+};
+use crate::snapshot;
+use chaos_stats::ExecPolicy;
+use chaos_stream::Checkpointer;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Renders a serializable body to JSON bytes. Serialization of the
+/// protocol structs cannot fail (no maps with non-string keys, no
+/// non-finite floats survive validation), but a fallback keeps the
+/// lib-crate panic-free.
+fn render<T: serde::Serialize>(status: u16, body: &T) -> Response {
+    match serde_json::to_vec(body) {
+        Ok(bytes) => Response::json(status, bytes),
+        Err(e) => Response::json(
+            500,
+            format!(
+                "{{\"protocol\":\"{PROTOCOL}\",\"error\":\"internal\",\"detail\":\"render: {}\"}}",
+                e.to_string().replace('"', "'")
+            )
+            .into_bytes(),
+        ),
+    }
+}
+
+/// The power-estimation server: a sharded [`Fleet`], the power-history
+/// ring, the server's own counters, and optional checkpointing.
+#[derive(Debug)]
+pub struct Server {
+    fleet: Fleet,
+    opts: ServeOptions,
+    history: VecDeque<TickResult>,
+    counters: BTreeMap<String, u64>,
+    checkpointer: Option<Checkpointer>,
+    checkpoint_every_ticks: u64,
+}
+
+impl Server {
+    /// First boot: trains the estimator from the fleet spec and starts
+    /// at second 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training or engine-construction failures.
+    pub fn new(
+        opts: ServeOptions,
+        exec: ExecPolicy,
+        checkpointer: Option<Checkpointer>,
+        checkpoint_every_ticks: u64,
+    ) -> Result<Server, ServeError> {
+        let fleet = bootstrap::build_fleet(&opts, exec)?;
+        Ok(Server {
+            fleet,
+            opts,
+            history: VecDeque::new(),
+            counters: BTreeMap::new(),
+            checkpointer,
+            checkpoint_every_ticks,
+        })
+    }
+
+    /// Restore from a `CHAOSRVE` snapshot: retrains the estimator
+    /// (deterministic from the spec), rehydrates every slot, and
+    /// resumes at the snapshot's cursor. A restored server's
+    /// subsequent responses are byte-identical to the uninterrupted
+    /// server's.
+    ///
+    /// # Errors
+    ///
+    /// Decode and compatibility failures as
+    /// [`ServeError::Snapshot`]; training failures as
+    /// [`ServeError::Internal`].
+    pub fn restore(
+        opts: ServeOptions,
+        exec: ExecPolicy,
+        checkpointer: Option<Checkpointer>,
+        checkpoint_every_ticks: u64,
+        bytes: &[u8],
+    ) -> Result<Server, ServeError> {
+        let state = snapshot::decode(bytes)?;
+        let fleet = bootstrap::restore_fleet(&opts, exec, &state)?;
+        let RestoredExtras { history, counters } = bootstrap::restored_extras(&state);
+        Ok(Server {
+            fleet,
+            opts,
+            history: history.into(),
+            counters,
+            checkpointer,
+            checkpoint_every_ticks,
+        })
+    }
+
+    /// The next second the server will accept.
+    pub fn t_next(&self) -> u64 {
+        self.fleet.t_next()
+    }
+
+    /// Increments a server counter and mirrors it into `chaos-obs`.
+    /// The server's copy is authoritative — `/v1/stats` reads it, so
+    /// the response is identical at any `CHAOS_OBS` level.
+    fn bump(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        chaos_obs::add(name, by);
+    }
+
+    fn error_response(&mut self, err: &ServeError) -> Response {
+        self.bump("serve.http.errors", 1);
+        let body = ErrorResponse {
+            protocol: PROTOCOL.to_string(),
+            error: err.code().to_string(),
+            detail: err.to_string(),
+        };
+        render(err.status(), &body)
+    }
+
+    /// Frames an [`HttpError`](crate::http::HttpError) into the same
+    /// error body the router produces, for the transport loop.
+    pub fn framing_error_response(&mut self, err: crate::http::HttpError) -> Response {
+        self.error_response(&ServeError::Http(err))
+    }
+
+    /// Routes one framed request. Never panics; every failure is a
+    /// structured JSON error body.
+    pub fn handle(&mut self, req: &Request) -> Response {
+        self.bump("serve.http.requests", 1);
+        let result = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/v1/healthz") => Ok(self.healthz()),
+            ("GET", "/v1/config") => Ok(self.config()),
+            ("GET", "/v1/power") => Ok(self.power()),
+            ("GET", "/v1/machines") => Ok(self.machines()),
+            ("GET", "/v1/stats") => Ok(self.stats()),
+            ("POST", "/v1/ingest") => self.ingest(&req.body),
+            ("POST", "/v1/snapshot") => self.snapshot_now(),
+            ("GET", path) if path.starts_with("/v1/machines/") => self.machine(path),
+            (method, path) => {
+                let known = matches!(
+                    path,
+                    "/v1/healthz"
+                        | "/v1/config"
+                        | "/v1/power"
+                        | "/v1/machines"
+                        | "/v1/stats"
+                        | "/v1/ingest"
+                        | "/v1/snapshot"
+                ) || path.starts_with("/v1/machines/");
+                if known {
+                    Err(ServeError::MethodNotAllowed {
+                        method: method.to_string(),
+                        path: path.to_string(),
+                    })
+                } else {
+                    Err(ServeError::UnknownEndpoint {
+                        path: path.to_string(),
+                    })
+                }
+            }
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(err) => self.error_response(&err),
+        }
+    }
+
+    fn healthz(&mut self) -> Response {
+        let body = HealthzResponse {
+            protocol: PROTOCOL.to_string(),
+            status: "ok".to_string(),
+            t_next: self.fleet.t_next(),
+            machines: self.fleet.machines(),
+            active_machines: self.fleet.active_count(),
+        };
+        render(200, &body)
+    }
+
+    fn config(&mut self) -> Response {
+        let body = ConfigResponse {
+            protocol: PROTOCOL.to_string(),
+            fleet: self.fleet.spec(),
+            width: self.fleet.width(),
+            window_s: self.opts.stream.window_s,
+            min_refit_samples: self.opts.stream.min_refit_samples,
+            exec: match self.fleet.exec {
+                ExecPolicy::Serial => "serial".to_string(),
+                ExecPolicy::Parallel { threads } => format!("parallel:{threads}"),
+            },
+            max_body_bytes: self.opts.max_body_bytes,
+            history_cap: self.opts.history_cap,
+            checkpoint: self.checkpointer.as_ref().map(|c| CheckpointInfo {
+                path: c.path().display().to_string(),
+                every_ticks: self.checkpoint_every_ticks,
+            }),
+        };
+        render(200, &body)
+    }
+
+    fn power(&mut self) -> Response {
+        let body = PowerResponse {
+            protocol: PROTOCOL.to_string(),
+            t_next: self.fleet.t_next(),
+            latest: self.history.back().cloned(),
+            history: self.history.iter().cloned().collect(),
+        };
+        render(200, &body)
+    }
+
+    fn machines(&mut self) -> Response {
+        let body = MachinesResponse {
+            protocol: PROTOCOL.to_string(),
+            machines: self.fleet.statuses(),
+        };
+        render(200, &body)
+    }
+
+    fn machine(&mut self, path: &str) -> Result<Response, ServeError> {
+        let tail = path.trim_start_matches("/v1/machines/");
+        let id: usize = tail.parse().map_err(|_| ServeError::UnknownEndpoint {
+            path: path.to_string(),
+        })?;
+        let machine = self
+            .fleet
+            .machine_status(id)
+            .ok_or(ServeError::UnknownMachine { id })?;
+        let body = MachineResponse {
+            protocol: PROTOCOL.to_string(),
+            machine,
+        };
+        Ok(render(200, &body))
+    }
+
+    fn stats(&mut self) -> Response {
+        let body = StatsResponse {
+            protocol: PROTOCOL.to_string(),
+            counters: self.counters.clone(),
+        };
+        render(200, &body)
+    }
+
+    fn ingest(&mut self, body: &[u8]) -> Result<Response, ServeError> {
+        let _span = chaos_obs::span("serve.ingest");
+        let request: IngestRequest =
+            serde_json::from_slice(body).map_err(|e| ServeError::MalformedJson {
+                detail: e.to_string(),
+            })?;
+        let mut results = Vec::with_capacity(request.ticks.len());
+        for tick in &request.ticks {
+            // Apply in order until the first failure; the error detail
+            // reports how many ticks landed so the client can resync
+            // from t_next.
+            match self.fleet.ingest_tick(tick) {
+                Ok(result) => {
+                    self.bump("serve.ticks", 1);
+                    self.bump("serve.samples", tick.machines.len() as u64);
+                    if result.refits > 0 {
+                        self.bump("serve.refits", result.refits);
+                    }
+                    self.history.push_back(result.clone());
+                    while self.history.len() > self.opts.history_cap {
+                        self.history.pop_front();
+                    }
+                    results.push(result);
+                }
+                Err(err) => {
+                    self.bump("serve.ticks.rejected", 1);
+                    if results.is_empty() {
+                        return Err(err);
+                    }
+                    // Partial batch: report what landed; the client
+                    // sees the failure on its next aligned retry.
+                    break;
+                }
+            }
+        }
+        self.maybe_checkpoint();
+        let body = IngestResponse {
+            protocol: PROTOCOL.to_string(),
+            results,
+            t_next: self.fleet.t_next(),
+        };
+        Ok(render(200, &body))
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let due = match &self.checkpointer {
+            Some(_) if self.checkpoint_every_ticks > 0 => {
+                let t = self.fleet.t_next();
+                t > 0 && t % self.checkpoint_every_ticks == 0
+            }
+            _ => false,
+        };
+        if !due {
+            return;
+        }
+        let bytes = snapshot::encode(&self.fleet, self.history.make_contiguous(), &self.counters);
+        let outcome = match &self.checkpointer {
+            Some(c) => c.persist_bytes(&bytes),
+            None => return,
+        };
+        match outcome {
+            Ok(()) => self.bump("serve.checkpoint.persisted", 1),
+            // A failed cadenced checkpoint must not fail ingest; the
+            // operator sees it in /v1/stats and the obs summary.
+            Err(_) => self.bump("serve.checkpoint.failed", 1),
+        }
+    }
+
+    fn snapshot_now(&mut self) -> Result<Response, ServeError> {
+        let Some(checkpointer) = &self.checkpointer else {
+            return Err(ServeError::CheckpointDisabled);
+        };
+        let bytes = snapshot::encode(&self.fleet, self.history.make_contiguous(), &self.counters);
+        checkpointer.persist_bytes(&bytes)?;
+        self.bump("serve.checkpoint.persisted", 1);
+        let body = SnapshotResponse {
+            protocol: PROTOCOL.to_string(),
+            status: "persisted".to_string(),
+            bytes: bytes.len() as u64,
+            t_next: self.fleet.t_next(),
+        };
+        Ok(render(200, &body))
+    }
+
+    /// Encodes the current state as a `CHAOSRVE` snapshot without
+    /// persisting it (tests and the load generator use this for
+    /// in-memory kill/restore drills).
+    pub fn snapshot_bytes(&mut self) -> Vec<u8> {
+        snapshot::encode(&self.fleet, self.history.make_contiguous(), &self.counters)
+    }
+}

@@ -1,0 +1,514 @@
+//! The server's snapshot format: the `CHAOSRVE` envelope.
+//!
+//! Mirrors the `CHAOSNAP` engine format (`chaos_stream::checkpoint`) —
+//! magic, version, length-prefixed payload, FNV-1a64 checksum — and
+//! embeds each slot's engine snapshot as opaque length-prefixed bytes,
+//! so the engine format can evolve independently. Decode errors reuse
+//! [`SnapshotError`] so operators see one error vocabulary for both
+//! layers.
+//!
+//! What the snapshot captures: the cursor, a [`FleetSpec`] echo
+//! (compatibility check on restore), every slot's rolling buffer and
+//! tallies, the power-history ring, and the server's own counters.
+//! The trained estimator is deliberately *not* captured — it is a
+//! deterministic function of the spec, so restore retrains it (see
+//! `crate::bootstrap`) exactly as first boot did.
+
+use crate::fleet::{Fleet, MachineSlot};
+use crate::protocol::{LastSample, TickResult};
+use chaos_stream::SnapshotError;
+use std::collections::BTreeMap;
+
+/// Magic bytes opening every server snapshot.
+pub const SERVE_MAGIC: [u8; 8] = *b"CHAOSRVE";
+
+/// Current server snapshot format version.
+pub const SERVE_SNAPSHOT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Little-endian payload codec (mirrors chaos-stream's, kept private
+// there).
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.f64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn vec_bool(&mut self, v: &[bool]) {
+        self.usize(v.len());
+        for &x in v {
+            self.bool(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Malformed {
+            context: "length overflow".to_string(),
+        })?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Malformed {
+                context: format!(
+                    "payload truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::Malformed {
+            context: format!("length {v} exceeds platform usize"),
+        })
+    }
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.usize()?;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(SnapshotError::Malformed {
+                context: format!("declared length {n} exceeds remaining payload"),
+            });
+        }
+        Ok(n)
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(SnapshotError::Malformed {
+                context: format!("bad bool byte {v}"),
+            }),
+        }
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        String::from_utf8(self.bytes()?).map_err(|_| SnapshotError::Malformed {
+            context: "non-UTF-8 string".to_string(),
+        })
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+    fn opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+        Ok(if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+    fn vec_f64(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn vec_bool(&mut self) -> Result<Vec<bool>, SnapshotError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.bool()).collect()
+    }
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.pos != self.buf.len() {
+            return Err(SnapshotError::Malformed {
+                context: format!("{} trailing bytes after payload", self.buf.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoded state
+// ---------------------------------------------------------------------
+
+/// One slot's decoded state, ready for `Fleet` reconstruction.
+#[derive(Debug, Clone)]
+pub struct SlotState {
+    /// Absolute second offset of the buffer index space.
+    pub base_t: u64,
+    /// Samples ingested.
+    pub samples_total: u64,
+    /// Refit tallies by tier label.
+    pub refit_counts: BTreeMap<String, u64>,
+    /// Absolute second of the most recent refit attempt.
+    pub last_refit_t: Option<u64>,
+    /// Most recent emitted sample.
+    pub last: Option<LastSample>,
+    /// Buffered counter rows (the lag row, usually).
+    pub counters: Vec<Vec<f64>>,
+    /// Buffered meter readings.
+    pub measured_power_w: Vec<f64>,
+    /// Buffered per-row counter validity.
+    pub counter_ok: Vec<Vec<bool>>,
+    /// Buffered meter validity.
+    pub meter_ok: Vec<bool>,
+    /// Buffered liveness.
+    pub alive: Vec<bool>,
+    /// The slot engine's own `CHAOSNAP` snapshot.
+    pub engine: Vec<u8>,
+}
+
+/// A fully decoded server snapshot.
+#[derive(Debug, Clone)]
+pub struct ServerState {
+    /// The cursor: next second the server will accept.
+    pub t_next: u64,
+    /// Fleet echo: platform name.
+    pub platform: String,
+    /// Fleet echo: machine count.
+    pub machines: usize,
+    /// Fleet echo: calibration seed.
+    pub seed: u64,
+    /// Fleet echo: counter-row width.
+    pub width: usize,
+    /// Per-slot state, machine order.
+    pub slots: Vec<SlotState>,
+    /// Power-history ring, oldest first.
+    pub history: Vec<TickResult>,
+    /// The server's own counters.
+    pub counters: BTreeMap<String, u64>,
+}
+
+// ---------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------
+
+fn encode_last(enc: &mut Enc, last: &Option<LastSample>) {
+    match last {
+        Some(s) => {
+            enc.bool(true);
+            enc.u64(s.t);
+            enc.f64(s.power_w);
+            enc.string(&s.tier);
+            enc.bool(s.adapted);
+            enc.usize(s.imputed);
+            enc.opt_f64(s.rolling_dre);
+        }
+        None => enc.bool(false),
+    }
+}
+
+fn encode_slot(enc: &mut Enc, slot: &MachineSlot) {
+    enc.u64(slot.base_t);
+    enc.u64(slot.samples_total);
+    enc.usize(slot.refit_counts.len());
+    for (label, count) in &slot.refit_counts {
+        enc.string(label);
+        enc.u64(*count);
+    }
+    enc.opt_u64(slot.last_refit_t);
+    encode_last(enc, &slot.last);
+    // chaos-lint: allow(R4) — every slot buffer is built by
+    // empty_buffer with exactly one machine and compaction never
+    // removes it, so index 0 always exists.
+    let m = &slot.buf.machines[0];
+    enc.usize(m.counters.len());
+    for row in &m.counters {
+        enc.vec_f64(row);
+    }
+    enc.vec_f64(&m.measured_power_w);
+    enc.usize(m.validity.counters.len());
+    for row in &m.validity.counters {
+        enc.vec_bool(row);
+    }
+    enc.vec_bool(&m.validity.meter);
+    enc.vec_bool(&m.validity.alive);
+    enc.bytes(&slot.engine.snapshot());
+}
+
+/// Encodes the full server state into a `CHAOSRVE` envelope.
+pub fn encode(fleet: &Fleet, history: &[TickResult], counters: &BTreeMap<String, u64>) -> Vec<u8> {
+    let mut enc = Enc::default();
+    enc.u64(fleet.t_next());
+    enc.string(fleet.spec().platform.name());
+    enc.usize(fleet.spec().machines);
+    enc.u64(fleet.spec().seed);
+    enc.usize(fleet.width());
+    enc.usize(fleet.slots.len());
+    for slot in &fleet.slots {
+        encode_slot(&mut enc, slot);
+    }
+    enc.usize(history.len());
+    for r in history {
+        enc.u64(r.t);
+        enc.f64(r.cluster_power_w);
+        enc.string(&r.worst_tier);
+        enc.usize(r.active_machines);
+        enc.u64(r.refits);
+    }
+    enc.usize(counters.len());
+    for (name, value) in counters {
+        enc.string(name);
+        enc.u64(*value);
+    }
+
+    let payload = enc.buf;
+    let mut out = Vec::with_capacity(payload.len() + 28);
+    out.extend_from_slice(&SERVE_MAGIC);
+    out.extend_from_slice(&SERVE_SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------
+
+fn decode_last(dec: &mut Dec<'_>) -> Result<Option<LastSample>, SnapshotError> {
+    if !dec.bool()? {
+        return Ok(None);
+    }
+    Ok(Some(LastSample {
+        t: dec.u64()?,
+        power_w: dec.f64()?,
+        tier: dec.string()?,
+        adapted: dec.bool()?,
+        imputed: dec.usize()?,
+        rolling_dre: dec.opt_f64()?,
+    }))
+}
+
+fn decode_slot(dec: &mut Dec<'_>) -> Result<SlotState, SnapshotError> {
+    let base_t = dec.u64()?;
+    let samples_total = dec.u64()?;
+    let n_tallies = dec.len()?;
+    let mut refit_counts = BTreeMap::new();
+    for _ in 0..n_tallies {
+        let label = dec.string()?;
+        let count = dec.u64()?;
+        refit_counts.insert(label, count);
+    }
+    let last_refit_t = dec.opt_u64()?;
+    let last = decode_last(dec)?;
+    let n_rows = dec.len()?;
+    let counters = (0..n_rows)
+        .map(|_| dec.vec_f64())
+        .collect::<Result<Vec<_>, _>>()?;
+    let measured_power_w = dec.vec_f64()?;
+    let n_vrows = dec.len()?;
+    let counter_ok = (0..n_vrows)
+        .map(|_| dec.vec_bool())
+        .collect::<Result<Vec<_>, _>>()?;
+    let meter_ok = dec.vec_bool()?;
+    let alive = dec.vec_bool()?;
+    let engine = dec.bytes()?;
+    Ok(SlotState {
+        base_t,
+        samples_total,
+        refit_counts,
+        last_refit_t,
+        last,
+        counters,
+        measured_power_w,
+        counter_ok,
+        meter_ok,
+        alive,
+        engine,
+    })
+}
+
+/// Validates the `CHAOSRVE` envelope and decodes the full server
+/// state.
+///
+/// # Errors
+///
+/// [`SnapshotError`] — the same vocabulary as engine snapshots:
+/// `BadMagic`, `UnsupportedVersion`, `LengthMismatch`,
+/// `ChecksumMismatch`, or `Malformed` for payload-level damage.
+pub fn decode(bytes: &[u8]) -> Result<ServerState, SnapshotError> {
+    if bytes.len() < 28 {
+        return Err(SnapshotError::TooShort { got: bytes.len() });
+    }
+    if bytes[0..8] != SERVE_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(v);
+    if version != SERVE_SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { got: version });
+    }
+    let mut l = [0u8; 8];
+    l.copy_from_slice(&bytes[12..20]);
+    let declared = u64::from_le_bytes(l);
+    let have = (bytes.len() - 28) as u64;
+    if declared != have {
+        return Err(SnapshotError::LengthMismatch {
+            declared,
+            got: have,
+        });
+    }
+    let declared = declared as usize;
+    let payload = &bytes[20..20 + declared];
+    let mut c = [0u8; 8];
+    c.copy_from_slice(&bytes[20 + declared..28 + declared]);
+    if u64::from_le_bytes(c) != fnv1a64(payload) {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let mut dec = Dec::new(payload);
+    let t_next = dec.u64()?;
+    let platform = dec.string()?;
+    let machines = dec.usize()?;
+    let seed = dec.u64()?;
+    let width = dec.usize()?;
+    let n_slots = dec.len()?;
+    if n_slots != machines {
+        return Err(SnapshotError::Malformed {
+            context: format!("snapshot carries {n_slots} slots for a fleet of {machines}"),
+        });
+    }
+    let slots = (0..n_slots)
+        .map(|_| decode_slot(&mut dec))
+        .collect::<Result<Vec<_>, _>>()?;
+    let n_hist = dec.len()?;
+    let history = (0..n_hist)
+        .map(|_| {
+            Ok(TickResult {
+                t: dec.u64()?,
+                cluster_power_w: dec.f64()?,
+                worst_tier: dec.string()?,
+                active_machines: dec.usize()?,
+                refits: dec.u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, SnapshotError>>()?;
+    let n_counters = dec.len()?;
+    let mut counters = BTreeMap::new();
+    for _ in 0..n_counters {
+        let name = dec.string()?;
+        let value = dec.u64()?;
+        counters.insert(name, value);
+    }
+    dec.done()?;
+    Ok(ServerState {
+        t_next,
+        platform,
+        machines,
+        seed,
+        width,
+        slots,
+        history,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_rejects_damage() {
+        assert!(matches!(
+            decode(&[0u8; 10]),
+            Err(SnapshotError::TooShort { .. })
+        ));
+        let mut bad_magic = vec![0u8; 40];
+        bad_magic[0..8].copy_from_slice(b"NOTCHAOS");
+        assert!(matches!(decode(&bad_magic), Err(SnapshotError::BadMagic)));
+        let mut bad_version = vec![0u8; 40];
+        bad_version[0..8].copy_from_slice(&SERVE_MAGIC);
+        bad_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&bad_version),
+            Err(SnapshotError::UnsupportedVersion { got: 99 })
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

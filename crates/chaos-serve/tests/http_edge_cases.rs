@@ -1,0 +1,248 @@
+//! HTTP edge cases (satellite of the serving PR): oversized bodies,
+//! truncated requests, bad content-lengths, unknown endpoints, and
+//! malformed JSON must each produce a *typed* 4xx with a structured
+//! JSON body — never a panic, never a hang, never a silent drop.
+
+mod common;
+
+use chaos_serve::http::{read_request, HttpError, MAX_HEADER_BYTES};
+use chaos_serve::Server;
+use serde_json::Value;
+use std::io::Cursor;
+use std::sync::{Mutex, OnceLock};
+
+const MAX_BODY: usize = 64 * 1024;
+
+fn parse(raw: &[u8]) -> Result<Option<chaos_serve::Request>, HttpError> {
+    read_request(&mut Cursor::new(raw), MAX_BODY)
+}
+
+/// One shared trained server for the routing-level cases (training is
+/// the expensive part; the cases only need *a* fleet).
+fn shared() -> &'static Mutex<Server> {
+    static SERVER: OnceLock<Mutex<Server>> = OnceLock::new();
+    SERVER.get_or_init(|| Mutex::new(common::server()))
+}
+
+fn error_code(resp: &chaos_serve::Response) -> String {
+    let v: Value = serde_json::from_slice(&resp.body).expect("error body is JSON");
+    v.get("error")
+        .and_then(Value::as_str)
+        .expect("error code present")
+        .to_string()
+}
+
+// ---------------------------------------------------------------------
+// Framing layer
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_declared_body_is_rejected_before_allocation() {
+    let raw = format!(
+        "POST /v1/ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY + 1
+    );
+    assert_eq!(
+        parse(raw.as_bytes()),
+        Err(HttpError::BodyTooLarge {
+            declared: MAX_BODY + 1,
+            limit: MAX_BODY,
+        })
+    );
+    // Absurd declarations must not allocate either.
+    let raw = "POST /v1/ingest HTTP/1.1\r\nContent-Length: 99999999999999\r\n\r\n";
+    assert!(matches!(
+        parse(raw.as_bytes()),
+        Err(HttpError::BodyTooLarge { .. })
+    ));
+}
+
+#[test]
+fn truncated_body_is_a_typed_error() {
+    let raw = "POST /v1/ingest HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+    assert!(matches!(
+        parse(raw.as_bytes()),
+        Err(HttpError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn truncated_headers_are_a_typed_error() {
+    assert!(matches!(
+        parse(b"GET /v1/power HTTP/1.1\r\nHost: x\r\n"),
+        Err(HttpError::Truncated { .. })
+    ));
+    assert!(matches!(
+        parse(b"GET /v1/power HT"),
+        Err(HttpError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn bad_content_length_is_a_typed_error() {
+    for bad in ["abc", "-5", "1e3", ""] {
+        let raw = format!("POST /v1/ingest HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+        assert!(
+            matches!(
+                parse(raw.as_bytes()),
+                Err(HttpError::BadContentLength { .. })
+            ),
+            "Content-Length {bad:?} was not rejected"
+        );
+    }
+}
+
+#[test]
+fn bad_request_line_and_version_are_typed_errors() {
+    assert!(matches!(
+        parse(b"GARBAGE\r\n\r\n"),
+        Err(HttpError::BadRequestLine { .. })
+    ));
+    assert!(matches!(
+        parse(b"GET /v1/power HTTP/1.1 extra\r\n\r\n"),
+        Err(HttpError::BadRequestLine { .. })
+    ));
+    assert!(matches!(
+        parse(b"GET /v1/power HTTP/2.0\r\n\r\n"),
+        Err(HttpError::BadVersion { .. })
+    ));
+}
+
+#[test]
+fn oversized_header_line_is_bounded() {
+    let raw = format!(
+        "GET /v1/power HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+        "a".repeat(MAX_HEADER_BYTES + 10)
+    );
+    assert!(matches!(
+        parse(raw.as_bytes()),
+        Err(HttpError::HeadersTooLarge { .. })
+    ));
+}
+
+#[test]
+fn unbounded_header_count_is_bounded() {
+    let mut raw = String::from("GET /v1/power HTTP/1.1\r\n");
+    for i in 0..200 {
+        raw.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    raw.push_str("\r\n");
+    assert!(matches!(
+        parse(raw.as_bytes()),
+        Err(HttpError::HeadersTooLarge { .. })
+    ));
+}
+
+#[test]
+fn header_without_colon_is_a_typed_error() {
+    assert!(matches!(
+        parse(b"GET /v1/power HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+        Err(HttpError::BadHeader { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Routing layer
+// ---------------------------------------------------------------------
+
+#[test]
+fn unknown_endpoint_is_404() {
+    let mut server = shared().lock().expect("server lock");
+    let resp = server.handle(&common::request("GET", "/v1/nope", Vec::new()));
+    assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp), "unknown_endpoint");
+    // Non-numeric machine id is an unknown endpoint, not a 500.
+    let resp = server.handle(&common::request("GET", "/v1/machines/abc", Vec::new()));
+    assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp), "unknown_endpoint");
+}
+
+#[test]
+fn wrong_method_on_known_endpoint_is_405() {
+    let mut server = shared().lock().expect("server lock");
+    let resp = server.handle(&common::request("POST", "/v1/power", Vec::new()));
+    assert_eq!(resp.status, 405);
+    assert_eq!(error_code(&resp), "method_not_allowed");
+    let resp = server.handle(&common::request("GET", "/v1/ingest", Vec::new()));
+    assert_eq!(resp.status, 405);
+}
+
+#[test]
+fn malformed_json_is_400() {
+    let mut server = shared().lock().expect("server lock");
+    for body in [&b"{not json"[..], b"", b"[1,2,3]", b"{\"ticks\": 5}"] {
+        let resp = server.handle(&common::request("POST", "/v1/ingest", body.to_vec()));
+        assert_eq!(resp.status, 400, "body {:?}", String::from_utf8_lossy(body));
+        assert_eq!(error_code(&resp), "malformed_json");
+    }
+}
+
+#[test]
+fn invalid_samples_are_422_and_do_not_advance_the_cursor() {
+    let mut server = shared().lock().expect("server lock");
+    let t = {
+        let resp = server.handle(&common::request("GET", "/v1/healthz", Vec::new()));
+        let v: Value = serde_json::from_slice(&resp.body).expect("healthz JSON");
+        v.get("t_next").and_then(Value::as_f64).expect("t_next")
+    };
+    // Wrong row width.
+    let body = format!(
+        "{{\"ticks\":[{{\"t\":{t},\"machines\":[\
+         {{\"machine_id\":0,\"counters\":[1.0]}},\
+         {{\"machine_id\":1,\"counters\":[1.0]}},\
+         {{\"machine_id\":2,\"counters\":[1.0]}}]}}]}}"
+    );
+    let resp = server.handle(&common::request("POST", "/v1/ingest", body.into_bytes()));
+    assert_eq!(resp.status, 422);
+    assert_eq!(error_code(&resp), "invalid_sample");
+
+    // Out-of-range machine id.
+    let body = format!(
+        "{{\"ticks\":[{{\"t\":{t},\"machines\":[\
+         {{\"machine_id\":0,\"counters\":[]}},\
+         {{\"machine_id\":1,\"counters\":[]}},\
+         {{\"machine_id\":7,\"counters\":[]}}]}}]}}"
+    );
+    let resp = server.handle(&common::request("POST", "/v1/ingest", body.into_bytes()));
+    assert_eq!(resp.status, 422);
+
+    // Cursor unchanged after the rejections.
+    let resp = server.handle(&common::request("GET", "/v1/healthz", Vec::new()));
+    let v: Value = serde_json::from_slice(&resp.body).expect("healthz JSON");
+    assert_eq!(v.get("t_next").and_then(Value::as_f64), Some(t));
+}
+
+#[test]
+fn out_of_order_and_short_ticks_are_409() {
+    let mut server = shared().lock().expect("server lock");
+    // A tick far in the future.
+    let body = "{\"ticks\":[{\"t\":999999,\"machines\":[]}]}";
+    let resp = server.handle(&common::request(
+        "POST",
+        "/v1/ingest",
+        body.as_bytes().to_vec(),
+    ));
+    assert_eq!(resp.status, 409);
+    assert_eq!(error_code(&resp), "out_of_order");
+}
+
+#[test]
+fn framing_errors_render_as_structured_responses() {
+    let mut server = shared().lock().expect("server lock");
+    let resp = server.framing_error_response(HttpError::BodyTooLarge {
+        declared: 10_000_000,
+        limit: MAX_BODY,
+    });
+    assert_eq!(resp.status, 413);
+    assert_eq!(error_code(&resp), "body_too_large");
+
+    let resp = server.framing_error_response(HttpError::HeadersTooLarge { limit: 100 });
+    assert_eq!(resp.status, 431);
+    assert_eq!(error_code(&resp), "headers_too_large");
+
+    let resp = server.framing_error_response(HttpError::Truncated {
+        context: "body".to_string(),
+    });
+    assert_eq!(resp.status, 400);
+    assert_eq!(error_code(&resp), "truncated_request");
+}

@@ -48,6 +48,21 @@ pub enum MembershipKind {
 }
 
 /// One membership transition of one machine at one second of a run.
+///
+/// ```
+/// use chaos_sim::{MembershipEvent, MembershipKind};
+///
+/// // Machine 2 leaves at second 30; machine 3 arrives at second 45,
+/// // warm-started from machine 0's model coefficients.
+/// let leave = MembershipEvent::leave(30, 2);
+/// let join = MembershipEvent::join(45, 3, Some(0));
+/// assert_eq!(leave.kind, MembershipKind::Leave);
+/// assert_eq!(join.kind, MembershipKind::Join { donor: Some(0) });
+///
+/// // Attached to a `RunTrace` (sorted by `t`), the streaming engine
+/// // applies each event before processing that second's samples.
+/// assert!(leave.t < join.t);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MembershipEvent {
     /// Second the transition takes effect (before that second's sample

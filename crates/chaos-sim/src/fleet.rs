@@ -1,0 +1,88 @@
+//! Fleet specifications: the deployment-shaped description of a
+//! homogeneous machine fleet.
+//!
+//! `chaos-serve` and its load generator both need to agree on *which*
+//! fleet a server instance models — the platform, the machine count,
+//! and the seed that calibrates per-machine variation. [`FleetSpec`]
+//! is that agreement as one serializable value: the server echoes it
+//! from `GET /v1/config`, the load generator derives its synthetic
+//! traces from it, and both sides construct the identical [`Cluster`]
+//! from it deterministically.
+
+use crate::cluster::Cluster;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous fleet of `machines` instances of `platform`, with
+/// per-machine variation drawn deterministically from `seed`.
+///
+/// ```
+/// use chaos_sim::{FleetSpec, Platform};
+///
+/// let spec = FleetSpec::new(Platform::Core2, 5, 42);
+/// let a = spec.cluster();
+/// let b = spec.cluster();
+/// // Same spec, same fleet — bit-identical calibration.
+/// assert_eq!(a.idle_power().to_bits(), b.idle_power().to_bits());
+/// assert_eq!(a.machines().len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Hardware platform every fleet member runs on.
+    pub platform: Platform,
+    /// Number of machines in the fleet.
+    pub machines: usize,
+    /// Seed for the per-machine variation stream.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// A fleet of `machines` instances of `platform` calibrated from
+    /// `seed`.
+    pub fn new(platform: Platform, machines: usize, seed: u64) -> Self {
+        FleetSpec {
+            platform,
+            machines,
+            seed,
+        }
+    }
+
+    /// Materializes the fleet as a [`Cluster`] — the same spec always
+    /// yields the same calibration.
+    pub fn cluster(&self) -> Cluster {
+        Cluster::homogeneous(self.platform, self.machines, self.seed)
+    }
+
+    /// Average per-machine idle power, watts — the `power_idle_w` the
+    /// streaming engine's DRE normalization (Eq. 6) takes per stream.
+    pub fn per_machine_idle_w(&self, cluster: &Cluster) -> f64 {
+        cluster.idle_power() / self.machines.max(1) as f64
+    }
+
+    /// Average per-machine maximum power, watts.
+    pub fn per_machine_max_w(&self, cluster: &Cluster) -> f64 {
+        cluster.max_power() / self.machines.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        let spec = FleetSpec::new(Platform::XeonSas, 500, 7);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FleetSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn per_machine_power_sums_back_to_cluster_power() {
+        let spec = FleetSpec::new(Platform::Atom, 4, 11);
+        let cluster = spec.cluster();
+        let idle = spec.per_machine_idle_w(&cluster) * 4.0;
+        assert!((idle - cluster.idle_power()).abs() < 1e-9);
+        assert!(spec.per_machine_max_w(&cluster) > spec.per_machine_idle_w(&cluster));
+    }
+}

@@ -52,6 +52,7 @@
 
 pub mod churn;
 pub mod cluster;
+pub mod fleet;
 pub mod machine;
 pub mod meter;
 pub mod platform;
@@ -62,9 +63,12 @@ pub mod variation;
 
 pub use churn::{ChurnPlan, MembershipEvent, MembershipKind};
 pub use cluster::Cluster;
+pub use fleet::FleetSpec;
 pub use machine::Machine;
 pub use meter::PowerMeter;
-pub use platform::{DiskKind, DiskSpec, PState, Platform, PlatformSpec, SystemClass};
+pub use platform::{
+    DiskKind, DiskSpec, PState, ParsePlatformError, Platform, PlatformSpec, SystemClass,
+};
 pub use state::{CoreState, MachineState, ResourceDemand};
 pub use thermal::ThermalModel;
 pub use variation::MachineVariation;

@@ -68,6 +68,50 @@ impl fmt::Display for Platform {
     }
 }
 
+/// Error from parsing a platform name that matches none of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlatformError {
+    /// The name that matched no platform.
+    pub input: String,
+}
+
+impl fmt::Display for ParsePlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown platform {:?} (expected one of: Atom, Core2, Athlon, Opteron, XeonSATA, XeonSAS)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePlatformError {}
+
+impl std::str::FromStr for Platform {
+    type Err = ParsePlatformError;
+
+    /// Parses a platform from its [`Platform::name`], case-insensitively
+    /// (`"core2"`, `"Core2"` and `"CORE2"` all parse) — the form CLI
+    /// flags like `chaos-serve --platform` take.
+    ///
+    /// ```
+    /// use chaos_sim::Platform;
+    ///
+    /// assert_eq!("xeonsas".parse::<Platform>(), Ok(Platform::XeonSas));
+    /// assert!("q6600".parse::<Platform>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let key = s.trim().to_ascii_lowercase();
+        Platform::ALL
+            .iter()
+            .find(|p| p.name().to_ascii_lowercase() == key)
+            .copied()
+            .ok_or_else(|| ParsePlatformError {
+                input: s.to_string(),
+            })
+    }
+}
+
 /// A CPU performance state: operating frequency and core voltage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PState {

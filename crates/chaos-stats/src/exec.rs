@@ -211,6 +211,54 @@ impl ExecPolicy {
     {
         self.try_par_map_indices(items.len(), |i| f(&items[i]))
     }
+
+    /// Maps `f` over a mutable slice in place, returning the per-item
+    /// results in item order.
+    ///
+    /// This is the sharding primitive for stateful work: each item owns
+    /// mutable state (e.g. one streaming engine per machine in
+    /// `chaos-serve`) and `f` advances it. The slice is split into
+    /// contiguous chunks, one per worker, so item `i` is always processed
+    /// by exactly one thread and results are merged back in chunk — i.e.
+    /// index — order. Because `f` only sees one item at a time, the
+    /// output is bit-identical across thread counts for any `f` that is
+    /// a pure function of the item it receives.
+    pub fn par_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads().min(n);
+        if workers <= 1 {
+            return items.iter_mut().map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &f;
+        let chunked: Vec<Vec<R>> = thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks_mut(chunk)
+                .map(|part| scope.spawn(move || part.iter_mut().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(results) => results,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        if chaos_obs::enabled() {
+            chaos_obs::add("exec.parallel_batches", 1);
+            chaos_obs::add("exec.items", n as u64);
+        }
+        let mut out = Vec::with_capacity(n);
+        for part in chunked {
+            out.extend(part);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +335,48 @@ mod tests {
             .find(|(n, _)| n == "exec.worker_items")
             .expect("worker items histogram registered");
         assert!(h.count >= 1);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_preserves_order() {
+        let base: Vec<f64> = (0..97).map(|i| i as f64 / 13.0).collect();
+        let mut serial = base.clone();
+        let serial_out = ExecPolicy::Serial.par_map_mut(&mut serial, |x| {
+            *x = x.sin();
+            x.to_bits()
+        });
+        for threads in [2, 3, 4, 8] {
+            let mut par = base.clone();
+            let par_out = ExecPolicy::Parallel { threads }.par_map_mut(&mut par, |x| {
+                *x = x.sin();
+                x.to_bits()
+            });
+            assert_eq!(serial, par, "state, threads = {threads}");
+            assert_eq!(serial_out, par_out, "results, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_singleton() {
+        let p = ExecPolicy::Parallel { threads: 4 };
+        let mut empty: Vec<usize> = Vec::new();
+        assert_eq!(p.par_map_mut(&mut empty, |x| *x), Vec::<usize>::new());
+        let mut one = vec![41usize];
+        assert_eq!(
+            p.par_map_mut(&mut one, |x| {
+                *x += 1;
+                *x
+            }),
+            vec![42]
+        );
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn par_map_mut_more_threads_than_items() {
+        let mut items: Vec<usize> = (0..3).collect();
+        let out = ExecPolicy::Parallel { threads: 16 }.par_map_mut(&mut items, |x| *x * 2);
+        assert_eq!(out, vec![0, 2, 4]);
     }
 
     #[test]

@@ -833,9 +833,21 @@ impl Checkpointer {
     /// Returns [`SnapshotError::Io`] when the write or rename fails.
     pub fn persist(&self, engine: &StreamEngine) -> Result<(), SnapshotError> {
         let _span = chaos_obs::span("stream.snapshot.persist");
-        let bytes = encode_engine(engine);
+        self.persist_bytes(&encode_engine(engine))
+    }
+
+    /// Persists arbitrary snapshot bytes through the same
+    /// write-to-temp-then-rename path [`persist`](Checkpointer::persist)
+    /// uses, so higher layers (the `chaos-serve` server envelope wraps
+    /// engine snapshots in its own format) get identical crash-safety
+    /// without reimplementing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the write or rename fails.
+    pub fn persist_bytes(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
         let tmp = self.path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io {
+        std::fs::write(&tmp, bytes).map_err(|e| SnapshotError::Io {
             context: format!("write {}: {e}", tmp.display()),
         })?;
         std::fs::rename(&tmp, &self.path).map_err(|e| SnapshotError::Io {

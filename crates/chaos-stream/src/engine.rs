@@ -386,7 +386,9 @@ impl StreamEngine {
     }
 
     /// Processes every not-yet-consumed second of `run` in order —
-    /// the restart path after [`restore`](StreamEngine::restore).
+    /// the restart path after [`restore`](StreamEngine::restore). See
+    /// [`snapshot`](StreamEngine::snapshot) for the full
+    /// kill/restore/resume round trip.
     ///
     /// # Errors
     ///
@@ -406,13 +408,70 @@ impl StreamEngine {
     /// into the versioned binary snapshot format of
     /// [`crate::checkpoint`]. Restoring the snapshot and resuming yields
     /// byte-identical predictions to an uninterrupted run.
+    ///
+    /// The estimator is deliberately *not* serialized: it is a
+    /// deterministic function of training data and configuration, so a
+    /// restart retrains (or reloads) it and hands it back to
+    /// [`restore`](StreamEngine::restore).
+    ///
+    /// # Example: kill at an arbitrary second, restore, resume
+    ///
+    /// ```
+    /// use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+    /// use chaos_core::FeatureSpec;
+    /// use chaos_counters::{collect_run, CounterCatalog};
+    /// use chaos_sim::{Cluster, Platform};
+    /// use chaos_stream::{StreamConfig, StreamEngine};
+    /// use chaos_workloads::{SimConfig, Workload};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // Train a small offline estimator (deterministic from the seed).
+    /// let cluster = Cluster::homogeneous(Platform::Core2, 2, 9);
+    /// let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    /// let sim = SimConfig::quick();
+    /// let train = vec![collect_run(&cluster, &catalog, Workload::Prime, &sim, 800)?];
+    /// let spec = FeatureSpec::general(&catalog);
+    /// let cfg = RobustConfig {
+    ///     fit: RobustConfig::fast().fit.with_freq_column(spec.freq_column(&catalog)),
+    ///     ..RobustConfig::fast()
+    /// };
+    /// let cpu = strawman_position(&spec, &catalog);
+    /// let idle = cluster.idle_power() / 2.0;
+    /// let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg)?;
+    ///
+    /// // Stream half a run, snapshot, and "kill" the engine.
+    /// let run = collect_run(&cluster, &catalog, Workload::Prime, &sim, 801)?;
+    /// let max = cluster.max_power() / 2.0;
+    /// let mut engine = StreamEngine::new(est.clone(), 2, max, idle, 0.05, StreamConfig::fast())?;
+    /// let kill_at = run.seconds() / 2;
+    /// let mut outputs = Vec::new();
+    /// for t in 0..kill_at {
+    ///     outputs.push(engine.push_second(&run, t)?);
+    /// }
+    /// let snapshot = engine.snapshot();
+    /// drop(engine);
+    ///
+    /// // Restore around a freshly constructed estimator and resume.
+    /// let mut restored = StreamEngine::restore(est.clone(), &snapshot)?;
+    /// assert_eq!(restored.seconds_processed(), kill_at);
+    /// outputs.extend(restored.resume(&run)?);
+    ///
+    /// // The stitched stream is bit-identical to an uninterrupted run.
+    /// let mut uninterrupted = StreamEngine::new(est, 2, max, idle, 0.05, StreamConfig::fast())?;
+    /// let expected = uninterrupted.replay(&run)?;
+    /// assert_eq!(outputs, expected);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn snapshot(&self) -> Vec<u8> {
         checkpoint::encode_engine(self)
     }
 
     /// Rebuilds an engine from a snapshot around a freshly constructed
     /// `estimator` (the estimator itself is deterministic from training
-    /// and is deliberately not part of the snapshot).
+    /// and is deliberately not part of the snapshot). See
+    /// [`snapshot`](StreamEngine::snapshot) for the full
+    /// kill/restore/resume round trip.
     ///
     /// # Errors
     ///
@@ -759,6 +818,55 @@ impl StreamEngine {
             active_machines: machines.len(),
             machines,
         }
+    }
+
+    /// Shifts the engine's stream cursor back by `delta` seconds without
+    /// touching any model state.
+    ///
+    /// This is the compaction hook for serving layers that keep a
+    /// *bounded rolling buffer* of trace seconds instead of the full run
+    /// history: after dropping `delta` leading seconds from the buffer,
+    /// rebase the engine by the same amount and the next
+    /// [`push_second`](StreamEngine::push_second) call lines up with the
+    /// compacted index space. The engine stores no absolute time besides
+    /// the cursor, so rebasing is exact — **provided the caller keeps at
+    /// least the final consumed second in the buffer**, because feature
+    /// assembly reads the previous row for lagged counters. Compacting
+    /// down to one retained second (cursor 1) and rebasing every tick is
+    /// bit-identical to feeding the uncompacted run (pinned by
+    /// `rolling_rebase.rs` in this crate's tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Rebase`] if `delta` exceeds the seconds
+    /// consumed so far, or if it would drop the lag row (leave the
+    /// cursor at 0 after consuming at least one second).
+    pub fn rebase(&mut self, delta: usize) -> Result<(), StreamError> {
+        if delta > self.t || (self.t > 0 && delta == self.t) {
+            return Err(StreamError::Rebase {
+                consumed: self.t,
+                delta,
+            });
+        }
+        self.t -= delta;
+        Ok(())
+    }
+
+    /// Removes and returns every refit outcome accumulated since the
+    /// last drain, machine order then time order.
+    ///
+    /// [`refit_outcomes`](StreamEngine::refit_outcomes) keeps the full
+    /// log alive inside the engine, which is right for bounded offline
+    /// replays but grows without bound in a long-running server. A
+    /// serving layer drains instead, keeping engine memory flat and
+    /// aggregating tallies on its own side. Outcome `t` values are in
+    /// the engine's (possibly rebased) index space.
+    pub fn drain_refit_outcomes(&mut self) -> Vec<RefitOutcome> {
+        let mut out = Vec::new();
+        for state in &mut self.machines {
+            out.append(&mut state.refits);
+        }
+        out
     }
 
     /// Seconds consumed so far.

@@ -50,6 +50,14 @@ pub enum StreamError {
         /// Seconds already consumed.
         consumed: usize,
     },
+    /// A cursor rebase would rewind past consumed history or drop the
+    /// lag row (see [`crate::StreamEngine::rebase`]).
+    Rebase {
+        /// Seconds consumed at the time of the rebase request.
+        consumed: usize,
+        /// Requested rebase delta.
+        delta: usize,
+    },
     /// The run's membership schedule is invalid.
     Membership {
         /// What was wrong with the schedule.
@@ -78,6 +86,11 @@ impl std::fmt::Display for StreamError {
             StreamError::NotPristine { consumed } => write!(
                 f,
                 "stream engine: replay needs a fresh engine, {consumed} seconds already consumed"
+            ),
+            StreamError::Rebase { consumed, delta } => write!(
+                f,
+                "stream engine: cannot rebase cursor by {delta} with {consumed} seconds consumed \
+                 (the rebased buffer must retain the last consumed second)"
             ),
             StreamError::Membership { context } => {
                 write!(f, "stream engine: invalid membership schedule: {context}")
@@ -112,6 +125,23 @@ impl From<SnapshotError> for StreamError {
 
 /// Supervision policy for the refit ladder. All knobs count samples or
 /// attempts — never wall time — so supervision is replay-deterministic.
+///
+/// The default is [`SupervisorConfig::disabled`], which reproduces the
+/// unsupervised engine bit-identically; [`SupervisorConfig::paper`] is
+/// the deployment-shaped policy:
+///
+/// ```
+/// use chaos_stream::SupervisorConfig;
+///
+/// let policy = SupervisorConfig::paper();
+/// assert_eq!(policy.max_attempts, 2); // one retry per refit request
+/// assert_eq!(policy.quarantine_after, 3); // quarantine on the 3rd exhaustion
+/// assert_eq!(policy.quarantine_s, 60); // a minute out of the composition
+///
+/// // Disabled supervision is the `Default`, so `StreamConfig`s that
+/// // never mention supervision behave exactly as before it existed.
+/// assert_eq!(SupervisorConfig::default(), SupervisorConfig::disabled());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SupervisorConfig {
     /// Total attempts a requested refit gets before it counts as a
@@ -164,6 +194,20 @@ impl Default for SupervisorConfig {
 }
 
 /// A machine stream's supervision state.
+///
+/// Health travels with every [`crate::StreamSample`], so downstream
+/// consumers (dashboards, the `chaos-serve` status endpoints) can tell
+/// a trustworthy estimate from one produced by a machine still
+/// refilling its training window:
+///
+/// ```
+/// use chaos_stream::MachineHealth;
+///
+/// // Labels are stable wire/report strings.
+/// assert_eq!(MachineHealth::Healthy.label(), "healthy");
+/// assert_eq!(MachineHealth::Ramping.label(), "ramping");
+/// assert_eq!(MachineHealth::Quarantined.label(), "quarantined");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MachineHealth {
     /// Full member: trains, adapts, and refits at any tier.

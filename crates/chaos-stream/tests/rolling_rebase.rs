@@ -1,0 +1,311 @@
+//! Rolling-buffer compaction equivalence (the `chaos-serve` contract):
+//! feeding the engine through a bounded two-row rolling buffer with
+//! [`StreamEngine::rebase`] after every second must be *bit-identical*
+//! to feeding the uncompacted run — under clean traces, fault
+//! injection, and an adaptive config whose refits genuinely fire.
+//!
+//! The buffer retains exactly one consumed second (the lag row feature
+//! assembly reads) plus the incoming one; anything less is rejected
+//! with a typed [`StreamError::Rebase`].
+
+use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_core::FeatureSpec;
+use chaos_counters::{collect_run, CounterCatalog, FaultPlan, MachineRunTrace, RunTrace};
+use chaos_sim::{Cluster, Platform};
+use chaos_stream::{
+    DriftConfig, RefitOutcome, StreamConfig, StreamEngine, StreamError, StreamOutput,
+    SupervisorConfig,
+};
+use chaos_workloads::{SimConfig, Workload};
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (RobustEstimator, Cluster, CounterCatalog) {
+    static FIXTURE: OnceLock<(RobustEstimator, Cluster, CounterCatalog)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let cluster = Cluster::homogeneous(Platform::Core2, 3, 37);
+        let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+        let train: Vec<RunTrace> = (0..2)
+            .map(|r| {
+                collect_run(
+                    &cluster,
+                    &catalog,
+                    Workload::Prime,
+                    &SimConfig::quick(),
+                    910 + r,
+                )
+                .unwrap()
+            })
+            .collect();
+        let spec = FeatureSpec::general(&catalog);
+        let cpu = strawman_position(&spec, &catalog);
+        let idle = cluster.idle_power() / cluster.machines().len() as f64;
+        let cfg = RobustConfig {
+            fit: RobustConfig::fast()
+                .fit
+                .with_freq_column(spec.freq_column(&catalog)),
+            ..RobustConfig::fast()
+        };
+        let est = RobustEstimator::fit(&train, &spec, cpu, idle, cfg).unwrap();
+        (est, cluster, catalog)
+    })
+}
+
+fn engine() -> StreamEngine {
+    let (est, cluster, _) = fixture();
+    let n = cluster.machines().len() as f64;
+    StreamEngine::new(
+        est.clone(),
+        cluster.machines().len(),
+        cluster.max_power() / n,
+        cluster.idle_power() / n,
+        0.05,
+        // Adaptive + supervised, so compaction equivalence covers the
+        // refit/retry paths, not just passive prediction.
+        StreamConfig {
+            window_s: 40,
+            drift: DriftConfig {
+                window_s: 15,
+                cooldown_s: 5,
+                ..DriftConfig::fast()
+            },
+            min_refit_samples: 12,
+            ..StreamConfig::fast()
+        }
+        .with_supervise(SupervisorConfig::fast()),
+    )
+    .unwrap()
+}
+
+/// A test trace with a late meter shift so drift-triggered refits fire.
+fn build_trace(seed: u64, faulted: bool) -> RunTrace {
+    let (_, cluster, catalog) = fixture();
+    let mut test = collect_run(cluster, catalog, Workload::Prime, &SimConfig::quick(), seed)
+        .expect("collect test run");
+    let start = 40.min(test.seconds());
+    for m in &mut test.machines {
+        for t in start..m.measured_power_w.len() {
+            m.measured_power_w[t] *= 1.3;
+        }
+    }
+    if faulted {
+        FaultPlan::new(seed).with_counter_dropout(0.15).apply(&test)
+    } else {
+        test
+    }
+}
+
+/// An empty rolling buffer shaped like `run` (same machines, no rows).
+fn empty_buffer(run: &RunTrace) -> RunTrace {
+    RunTrace {
+        workload: run.workload.clone(),
+        run_seed: run.run_seed,
+        machines: run
+            .machines
+            .iter()
+            .map(|m| MachineRunTrace {
+                machine_id: m.machine_id,
+                platform: m.platform,
+                counters: Vec::new(),
+                measured_power_w: Vec::new(),
+                true_power_w: Vec::new(),
+                validity: Default::default(),
+            })
+            .collect(),
+        membership: Vec::new(),
+    }
+}
+
+/// Appends second `t` of every machine in `run` to the rolling buffer,
+/// materializing per-second validity explicitly.
+fn append_second(buf: &mut RunTrace, run: &RunTrace, t: usize) {
+    for (bm, m) in buf.machines.iter_mut().zip(&run.machines) {
+        bm.counters.push(m.counters[t].clone());
+        bm.measured_power_w.push(m.measured_power_w[t]);
+        bm.true_power_w.push(m.true_power_w[t]);
+        let width = m.width();
+        bm.validity
+            .counters
+            .push((0..width).map(|c| m.counter_ok(t, c)).collect());
+        bm.validity.meter.push(m.meter_ok(t));
+        bm.validity.alive.push(m.alive_at(t));
+    }
+}
+
+/// Drops all but the last row from the buffer.
+fn compact(buf: &mut RunTrace, keep_from: usize) {
+    for bm in &mut buf.machines {
+        bm.counters.drain(..keep_from);
+        bm.measured_power_w.drain(..keep_from);
+        bm.true_power_w.drain(..keep_from);
+        bm.validity.counters.drain(..keep_from);
+        bm.validity.meter.drain(..keep_from);
+        bm.validity.alive.drain(..keep_from);
+    }
+}
+
+/// Replays `run` through a two-row rolling buffer, rebasing the engine
+/// after every consumed second, draining refit outcomes as it goes.
+/// Returns outputs and the drained outcomes translated to absolute time.
+fn rolling_replay(
+    engine: &mut StreamEngine,
+    run: &RunTrace,
+) -> (Vec<StreamOutput>, Vec<RefitOutcome>) {
+    let mut buf = empty_buffer(run);
+    let mut outputs = Vec::new();
+    let mut refits = Vec::new();
+    let mut base_t = 0usize;
+    for t in 0..run.seconds() {
+        append_second(&mut buf, run, t);
+        let rel = buf.seconds() - 1;
+        assert_eq!(
+            base_t + rel,
+            t,
+            "buffer index space must track absolute time"
+        );
+        outputs.push(engine.push_second(&buf, rel).unwrap());
+        for mut outcome in engine.drain_refit_outcomes() {
+            outcome.t += base_t;
+            refits.push(outcome);
+        }
+        if rel >= 1 {
+            compact(&mut buf, rel);
+            engine.rebase(rel).unwrap();
+            base_t += rel;
+        }
+    }
+    (outputs, refits)
+}
+
+fn assert_equivalent(full: &[StreamOutput], rolling: &[StreamOutput], what: &str) {
+    assert_eq!(full.len(), rolling.len(), "{what}: output count");
+    for (t, (a, b)) in full.iter().zip(rolling).enumerate() {
+        // `t` is index-space-relative by design; everything else must
+        // match bit for bit.
+        assert_eq!(a.t, t, "{what}: full replay t");
+        assert_eq!(
+            a.cluster_power_w.to_bits(),
+            b.cluster_power_w.to_bits(),
+            "{what}: cluster power at {t}"
+        );
+        assert_eq!(a.worst_tier, b.worst_tier, "{what}: worst tier at {t}");
+        assert_eq!(
+            a.active_machines, b.active_machines,
+            "{what}: active machines at {t}"
+        );
+        assert_eq!(a.machines, b.machines, "{what}: machine samples at {t}");
+    }
+}
+
+#[test]
+fn rolling_rebase_matches_full_replay_clean() {
+    let run = build_trace(911, false);
+    let mut full = engine();
+    let expected: Vec<StreamOutput> = (0..run.seconds())
+        .map(|t| full.push_second(&run, t).unwrap())
+        .collect();
+    let mut rolled = engine();
+    let (got, drained) = rolling_replay(&mut rolled, &run);
+    assert_equivalent(&expected, &got, "clean");
+
+    // Drained outcomes (translated to absolute time) must match the
+    // full engine's retained log, and draining must have emptied the
+    // rolling engine's own log.
+    let retained: Vec<RefitOutcome> = full.refit_outcomes().into_iter().cloned().collect();
+    assert_eq!(drained, retained, "clean: refit outcomes");
+    assert!(
+        rolled.refit_outcomes().is_empty(),
+        "drain leaves no residue"
+    );
+    assert!(
+        !retained.is_empty(),
+        "fixture must exercise the refit path for the equivalence to mean anything"
+    );
+}
+
+#[test]
+fn rolling_rebase_matches_full_replay_faulted() {
+    let run = build_trace(912, true);
+    let mut full = engine();
+    let expected: Vec<StreamOutput> = (0..run.seconds())
+        .map(|t| full.push_second(&run, t).unwrap())
+        .collect();
+    let mut rolled = engine();
+    let (got, _) = rolling_replay(&mut rolled, &run);
+    assert_equivalent(&expected, &got, "faulted");
+}
+
+#[test]
+fn rolling_rebase_survives_snapshot_restore() {
+    // Snapshot a rebased engine mid-stream, restore, and keep rolling:
+    // the stitched stream must equal the uninterrupted rolling stream.
+    let (est, _, _) = fixture();
+    let run = build_trace(913, true);
+    let kill_at = run.seconds() / 2;
+
+    let mut uninterrupted = engine();
+    let (expected, _) = rolling_replay(&mut uninterrupted, &run);
+
+    let mut eng = engine();
+    let mut buf = empty_buffer(&run);
+    let mut outputs = Vec::new();
+    for t in 0..kill_at {
+        append_second(&mut buf, &run, t);
+        let rel = buf.seconds() - 1;
+        outputs.push(eng.push_second(&buf, rel).unwrap());
+        if rel >= 1 {
+            compact(&mut buf, rel);
+            eng.rebase(rel).unwrap();
+        }
+    }
+    let snapshot = eng.snapshot();
+    drop(eng);
+
+    let mut eng = StreamEngine::restore(est.clone(), &snapshot).unwrap();
+    assert_eq!(eng.seconds_processed(), 1.min(kill_at));
+    for t in kill_at..run.seconds() {
+        append_second(&mut buf, &run, t);
+        let rel = buf.seconds() - 1;
+        outputs.push(eng.push_second(&buf, rel).unwrap());
+        if rel >= 1 {
+            compact(&mut buf, rel);
+            eng.rebase(rel).unwrap();
+        }
+    }
+    assert_equivalent(&expected, &outputs, "kill/restore under compaction");
+}
+
+#[test]
+fn rebase_rejects_dropping_the_lag_row() {
+    let run = build_trace(914, false);
+    let mut eng = engine();
+    // Pristine engine: rebase(0) is the only legal rebase.
+    assert!(eng.rebase(0).is_ok());
+    assert!(matches!(
+        eng.rebase(1),
+        Err(StreamError::Rebase {
+            consumed: 0,
+            delta: 1
+        })
+    ));
+    eng.push_second(&run, 0).unwrap();
+    eng.push_second(&run, 1).unwrap();
+    // Rewinding past consumed history is rejected…
+    assert!(matches!(
+        eng.rebase(3),
+        Err(StreamError::Rebase {
+            consumed: 2,
+            delta: 3
+        })
+    ));
+    // …and so is compacting away the final consumed second.
+    assert!(matches!(
+        eng.rebase(2),
+        Err(StreamError::Rebase {
+            consumed: 2,
+            delta: 2
+        })
+    ));
+    // Keeping the lag row is fine, and the cursor actually moves.
+    eng.rebase(1).unwrap();
+    assert_eq!(eng.seconds_processed(), 1);
+}

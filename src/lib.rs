@@ -7,6 +7,7 @@ pub use chaos_core as core;
 pub use chaos_counters as counters;
 pub use chaos_mars as mars;
 pub use chaos_obs as obs;
+pub use chaos_serve as serve;
 pub use chaos_sim as sim;
 pub use chaos_stats as stats;
 pub use chaos_stream as stream;

@@ -395,3 +395,120 @@ fn streaming_recovery_matches_golden_trace() {
     assert_eq!(first, second, "recovery fingerprint is nondeterministic");
     check_golden("streaming_recovery_core2_quick", &first);
 }
+
+/// ISSUE 7: the serving path. A small fleet server ingests a
+/// fixed-seed sample stream through the full wire pipeline (JSON in,
+/// JSON out) and the fingerprint hashes every response body — serial
+/// and 4-way-sharded servers must hash identically (the wire-level
+/// determinism contract), and the hash itself pins the protocol's byte
+/// output across builds.
+fn serve_fingerprint() -> Value {
+    use chaos::serve::{Request, Server, WireSample, WireTick};
+    use chaos::sim::FleetSpec;
+
+    let spec = FleetSpec::new(Platform::Core2, 3, 42);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let run = collect_run(
+        &spec.cluster(),
+        &catalog,
+        Workload::Prime,
+        &SimConfig::quick(),
+        777,
+    )
+    .expect("collect serving trace");
+    let seconds = 40.min(run.seconds());
+    let ticks: Vec<WireTick> = (0..seconds)
+        .map(|t| WireTick {
+            t: t as u64,
+            machines: run
+                .machines
+                .iter()
+                .map(|m| WireSample {
+                    machine_id: m.machine_id,
+                    counters: m.counters[t].clone(),
+                    power_w: Some(m.measured_power_w[t]),
+                    counter_ok: None,
+                    meter_ok: true,
+                    alive: true,
+                })
+                .collect(),
+        })
+        .collect();
+
+    let drive = |exec: ExecPolicy| -> (u64, f64, u64) {
+        let opts = chaos::serve::bootstrap::ServeOptions::quick(spec);
+        let mut server = Server::new(opts, exec, None, 0).expect("boot server");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut hash_body = |body: &[u8]| {
+            for &byte in body {
+                h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let mut last_power = 0.0;
+        for tick in &ticks {
+            let body = serde_json::to_vec(&json!({
+                "ticks": [{
+                    "t": tick.t,
+                    "machines": tick.machines.iter().map(|s| json!({
+                        "machine_id": s.machine_id,
+                        "counters": s.counters,
+                        "power_w": s.power_w,
+                    })).collect::<Vec<_>>(),
+                }],
+            }))
+            .expect("encode tick");
+            let resp = server.handle(&Request {
+                method: "POST".to_string(),
+                path: "/v1/ingest".to_string(),
+                body,
+                close: false,
+            });
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+            let v: Value = serde_json::from_slice(&resp.body).expect("ingest JSON");
+            last_power = v
+                .get("results")
+                .and_then(Value::as_array)
+                .and_then(|r| r.first())
+                .and_then(|r| r.get("cluster_power_w"))
+                .and_then(Value::as_f64)
+                .expect("cluster power");
+            hash_body(&resp.body);
+        }
+        for path in ["/v1/power", "/v1/machines", "/v1/stats", "/v1/healthz"] {
+            let resp = server.handle(&Request {
+                method: "GET".to_string(),
+                path: path.to_string(),
+                body: Vec::new(),
+                close: false,
+            });
+            assert_eq!(resp.status, 200);
+            hash_body(&resp.body);
+        }
+        (h, last_power, server.t_next())
+    };
+
+    let (serial_hash, serial_power, t_next) = drive(ExecPolicy::Serial);
+    let (sharded_hash, _, _) = drive(ExecPolicy::Parallel { threads: 4 });
+    assert_eq!(
+        serial_hash, sharded_hash,
+        "serve responses diverged between serial and 4-thread sharding"
+    );
+
+    json!({
+        "schema": "chaos-golden-serve/1",
+        "platform": "Core2",
+        "machines": 3,
+        "seconds": seconds,
+        "t_next": t_next,
+        "response_hash": format!("{serial_hash:016x}"),
+        "last_cluster_power_w": serial_power,
+    })
+}
+
+#[test]
+fn serve_matches_golden_trace() {
+    let first = serve_fingerprint();
+    let second = serve_fingerprint();
+    assert_eq!(first, second, "serve fingerprint is nondeterministic");
+    check_golden("serve_core2_quick", &first);
+}
