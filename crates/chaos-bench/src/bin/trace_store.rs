@@ -1,0 +1,234 @@
+//! Benchmark: CHAOSCOL trace-store write/read throughput, seek latency,
+//! and bytes-per-sample versus a CSV baseline.
+//!
+//! One simulated base run is tiled out to each fleet size with
+//! [`RunTrace::tiled_to`] (same scaling scheme as `serve_loadgen`), then
+//! per fleet:
+//!
+//! - **write**: export the run to a CHAOSCOL file and report
+//!   machine-samples/sec plus the on-disk footprint;
+//! - **read**: stream every second back through [`TraceReader::stream`]
+//!   and report replay throughput;
+//! - **seek**: time 256 deterministic random `(machine, second)` point
+//!   lookups through the footer index;
+//! - **size**: compare bytes/sample against a plain-text CSV rendering
+//!   of the same rows (`t,machine_id,c0..ck,measured_w,true_w`).
+//!
+//! Before any timing, the file is imported back and checked
+//! bit-identical (`PartialEq` over every `f64`) to the exported run —
+//! the round-trip contract the chaos-trace property suite pins, here
+//! enforced on real simulator output at every fleet size. Results land
+//! in `results/BENCH_trace.json`, uploaded as a CI artifact by the
+//! trace-store job.
+//!
+//! Defaults cover fleets of 5/50/500; `--fleets 5,500,5000` scales to
+//! the five-thousand-machine point from the issue brief.
+
+use chaos_bench::{format_table, results_dir};
+use chaos_counters::{collect_run, export_trace_path, import_trace_path, CounterCatalog, RunTrace};
+use chaos_sim::{FleetSpec, Platform};
+use chaos_trace::TraceReader;
+use serde_json::json;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BASE_MACHINES: usize = 5;
+const SEED: u64 = 4300;
+const DEFAULT_FLEETS: [usize; 3] = [5, 50, 500];
+const SEEKS: usize = 256;
+const BLOCK_SECONDS: usize = 64;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Bytes a naive one-row-per-machine-second CSV export would occupy.
+/// Rows are formatted into a reused buffer; only the length is kept, so
+/// the 5000-machine point never materializes the multi-megabyte text.
+fn csv_bytes(run: &RunTrace) -> u64 {
+    let header = "t,machine_id,counters...,measured_power_w,true_power_w\n";
+    let mut total = header.len() as u64;
+    let mut row = String::new();
+    for m in &run.machines {
+        for t in 0..m.seconds() {
+            row.clear();
+            let _ = write!(row, "{t},{}", m.machine_id);
+            for c in &m.counters[t] {
+                let _ = write!(row, ",{c}");
+            }
+            let _ = writeln!(row, ",{},{}", m.measured_power_w[t], m.true_power_w[t]);
+            total += row.len() as u64;
+        }
+    }
+    total
+}
+
+/// Deterministic index stream for the seek benchmark (splitmix64).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn parse_args() -> Vec<usize> {
+    let mut fleets: Vec<usize> = DEFAULT_FLEETS.to_vec();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--fleets" => {
+                let spec = it.next().expect("--fleets needs a value");
+                fleets = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("fleet size"))
+                    .collect();
+            }
+            other => panic!("unknown flag {other:?} (supported: --fleets)"),
+        }
+    }
+    fleets
+}
+
+fn main() {
+    chaos_bench::obs_init("trace_store");
+    let fleets = parse_args();
+    println!("CHAOSCOL trace-store benchmark: fleets {fleets:?}\n");
+
+    let base_spec = FleetSpec::new(Platform::Core2, BASE_MACHINES, 42);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let base_run = collect_run(
+        &base_spec.cluster(),
+        &catalog,
+        chaos_workloads::Workload::Prime,
+        &chaos_workloads::SimConfig::quick(),
+        SEED,
+    )
+    .expect("collect base run");
+    let seconds = base_run.seconds();
+
+    let dir = results_dir();
+    let mut rows = Vec::new();
+    let mut report = Vec::new();
+    for &fleet in &fleets {
+        let run = base_run.tiled_to(fleet).expect("tile base run");
+        let samples = (fleet * seconds) as f64;
+        let path = dir.join(format!("trace_store_{fleet}.chaoscol"));
+
+        let t0 = Instant::now();
+        let summary = export_trace_path(&run, &path, BLOCK_SECONDS).expect("export CHAOSCOL trace");
+        let write_s = t0.elapsed().as_secs_f64();
+        let file_bytes = summary.bytes;
+
+        // Round-trip gate before any read timing: the file must decode
+        // to the exact run that was exported.
+        let back = import_trace_path(&path).expect("import CHAOSCOL trace");
+        assert_eq!(back, run, "fleet {fleet}: round-trip is not bit-identical");
+
+        let t0 = Instant::now();
+        let reader = TraceReader::open_path(&path).expect("open trace");
+        let mut stream = reader.stream();
+        let mut streamed: u64 = 0;
+        while stream.advance().expect("stream trace") {
+            let second = stream.second().expect("current second");
+            streamed += second.machines() as u64;
+        }
+        let read_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            streamed,
+            (fleet * seconds) as u64,
+            "fleet {fleet}: stream coverage"
+        );
+
+        let mut reader = TraceReader::open_path(&path).expect("reopen trace");
+        let mut mix = Mix(SEED ^ fleet as u64);
+        let mut seek_us = Vec::with_capacity(SEEKS);
+        for _ in 0..SEEKS {
+            let m = (mix.next() % fleet as u64) as usize;
+            let t = mix.next() % seconds as u64;
+            let t0 = Instant::now();
+            let own = reader.machine_second(m, t).expect("seek machine-second");
+            seek_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(own.t, t);
+        }
+        seek_us.sort_by(|a, b| a.total_cmp(b));
+        let seek_p50 = percentile(&seek_us, 50.0);
+        let seek_p99 = percentile(&seek_us, 99.0);
+
+        let csv = csv_bytes(&run);
+        let col_bps = file_bytes as f64 / samples;
+        let csv_bps = csv as f64 / samples;
+        let ratio = csv_bps / col_bps;
+
+        std::fs::remove_file(&path).expect("remove scratch trace");
+
+        rows.push(vec![
+            fleet.to_string(),
+            format!("{:.0}", samples / write_s),
+            format!("{:.0}", samples / read_s),
+            format!("{seek_p50:.0}"),
+            format!("{seek_p99:.0}"),
+            format!("{col_bps:.1}"),
+            format!("{csv_bps:.1}"),
+            format!("{ratio:.1}x"),
+        ]);
+        report.push(json!({
+            "fleet": fleet,
+            "seconds": seconds,
+            "write_samples_per_sec": samples / write_s,
+            "read_samples_per_sec": samples / read_s,
+            "seek_latency_us": { "p50": seek_p50, "p99": seek_p99 },
+            "file_bytes": file_bytes,
+            "csv_bytes": csv,
+            "bytes_per_sample": col_bps,
+            "csv_bytes_per_sample": csv_bps,
+            "csv_ratio": ratio,
+            "round_trip_bit_identical": true,
+        }));
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &[
+                "fleet",
+                "write samp/s",
+                "read samp/s",
+                "seek p50 us",
+                "seek p99 us",
+                "B/sample",
+                "CSV B/sample",
+                "vs CSV",
+            ],
+            &rows,
+        )
+    );
+
+    let out = json!({
+        "bench": "trace_store",
+        "platform": "Core2",
+        "workload": "prime",
+        "base_machines": BASE_MACHINES,
+        "block_seconds": BLOCK_SECONDS,
+        "seeks_per_fleet": SEEKS,
+        "fleets": report,
+    });
+    let path = results_dir().join("BENCH_trace.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&out).expect("serialize results"),
+    )
+    .expect("write results");
+    println!("\nJSON written to {}", path.display());
+
+    chaos_bench::obs_finish("trace_store", Some(SEED), None);
+}

@@ -29,6 +29,7 @@
 use crate::dataset::{pooled_dataset_valid, Dataset};
 use crate::features::FeatureSpec;
 use crate::models::{FitOptions, FittedModel, ModelTechnique};
+use chaos_counters::store::{SampleSource, StoreError};
 use chaos_counters::{MachineRunTrace, RunTrace};
 use chaos_stats::exec::ExecPolicy;
 use chaos_stats::{Matrix, StatsError};
@@ -586,6 +587,96 @@ impl RobustEstimator {
             worst_tier: worst,
             tier_counts,
         }
+    }
+
+    /// Estimates cluster power from any [`SampleSource`] — an in-memory
+    /// run ([`chaos_counters::MemorySource`]) or a CHAOSCOL trace file
+    /// streamed block by block ([`chaos_counters::DiskSource`]) —
+    /// bit-identical to
+    /// [`estimate_cluster`](RobustEstimator::estimate_cluster) on the
+    /// materialized trace.
+    ///
+    /// Per-machine imputer state persists across chunks, each machine
+    /// stream is a pure sequential computation, and per-second sums
+    /// accumulate in machine order within every chunk — so the result
+    /// is independent of the chunk boundaries, of `config.exec`, and of
+    /// whether the samples ever touched a disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from the source, and returns
+    /// [`StoreError::Shape`] when the source's chunks do not partition
+    /// its advertised seconds or machine count.
+    pub fn estimate_source<S: SampleSource>(
+        &self,
+        src: &mut S,
+    ) -> Result<ClusterEstimate, StoreError> {
+        let _span = chaos_obs::span("robust.estimate_source");
+        let n = src.seconds();
+        let machines = src.machines();
+        let mut imputers: Vec<ImputerState> = (0..machines).map(|_| self.new_imputer()).collect();
+        let mut total = vec![0.0_f64; n];
+        let mut worst = vec![EstimateTier::Full; n];
+        let mut tier_counts: BTreeMap<EstimateTier, usize> = BTreeMap::new();
+        let mut covered = 0usize;
+        while let Some(chunk) = src.next_chunk()? {
+            if chunk.machines.len() != machines {
+                return Err(StoreError::Shape {
+                    context: format!(
+                        "chunk at {} carries {} machines, source advertised {machines}",
+                        chunk.start,
+                        chunk.machines.len()
+                    ),
+                });
+            }
+            let len = chunk.len();
+            if chunk.start != covered || covered + len > n {
+                return Err(StoreError::Shape {
+                    context: format!(
+                        "chunk [{}, {}) does not continue coverage at {covered}/{n}",
+                        chunk.start,
+                        chunk.start + len
+                    ),
+                });
+            }
+            // Machine streams fan out under `config.exec`; each is pure
+            // given its carried-in imputer, so the merge below is
+            // deterministic at any thread count.
+            let per_machine = self.config.exec.par_map_indices(machines, |i| {
+                let mut imp = imputers[i].clone();
+                let m = &chunk.machines[i];
+                let ests: Vec<SampleEstimate> = (0..len)
+                    .map(|k| self.estimate_second(m, chunk.lag + k, &mut imp))
+                    .collect();
+                (imp, ests)
+            });
+            for (i, (imp, ests)) in per_machine.into_iter().enumerate() {
+                imputers[i] = imp;
+                for (k, e) in ests.iter().enumerate() {
+                    let t = chunk.start + k;
+                    total[t] += e.power_w;
+                    worst[t] = worst[t].max(e.tier);
+                    *tier_counts.entry(e.tier).or_insert(0) += 1;
+                }
+            }
+            covered += len;
+        }
+        if covered != n {
+            return Err(StoreError::Shape {
+                context: format!("source chunks covered {covered} of {n} seconds"),
+            });
+        }
+        if chaos_obs::enabled() {
+            chaos_obs::add("robust.source_estimates", 1);
+            for (tier, count) in &tier_counts {
+                chaos_obs::add(&format!("robust.tier.{}", tier.label()), *count as u64);
+            }
+        }
+        Ok(ClusterEstimate {
+            power_w: total,
+            worst_tier: worst,
+            tier_counts,
+        })
     }
 }
 

@@ -45,6 +45,7 @@
 pub mod catalog;
 pub mod collect;
 pub mod faults;
+pub mod store;
 pub mod synth;
 
 pub use catalog::{CounterCatalog, CounterCategory, CounterDef, CounterKind, SignalSource};
@@ -54,4 +55,8 @@ pub use collect::{
     RunTrace, ValidityMask,
 };
 pub use faults::{DropoutMode, FaultPlan};
+pub use store::{
+    export_trace, export_trace_path, import_trace, import_trace_path, DiskSource, MemorySource,
+    SampleSource, StoreError, TraceChunk,
+};
 pub use synth::CounterSynth;

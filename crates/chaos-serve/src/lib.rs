@@ -39,6 +39,7 @@ pub mod bootstrap;
 pub mod fleet;
 pub mod http;
 pub mod protocol;
+pub mod replay;
 pub mod server;
 pub mod snapshot;
 
@@ -46,6 +47,7 @@ pub use bootstrap::{ServeOptions, BASELINE_DRE};
 pub use fleet::Fleet;
 pub use http::{Request, Response};
 pub use protocol::{ServeError, TickResult, WireSample, WireTick, PROTOCOL};
+pub use replay::{replay_file, ReplayError, ReplayStats};
 pub use server::Server;
 
 // Re-exported so binaries and tests configure the server without

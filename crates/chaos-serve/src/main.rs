@@ -33,6 +33,10 @@ FLAGS:
     --max-body-bytes <n>           request body cap [default: 4194304]
     --checkpoint <path>            enable snapshots at <path> (restored on boot)
     --checkpoint-every-ticks <n>   snapshot cadence [default: 60; 0 = manual only]
+    --replay <path>                replay a CHAOSCOL trace file through ingest
+                                   before serving (machine count and width must
+                                   match the fleet; seconds already covered by
+                                   a restored checkpoint are skipped)
     --help                         print this text
 
 ENVIRONMENT:
@@ -47,6 +51,7 @@ struct Cli {
     max_body_bytes: usize,
     checkpoint: Option<String>,
     checkpoint_every_ticks: u64,
+    replay: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -58,6 +63,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         max_body_bytes: DEFAULT_MAX_BODY_BYTES,
         checkpoint: None,
         checkpoint_every_ticks: 60,
+        replay: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -100,6 +106,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("--max-body-bytes: {e}"))?;
             }
             "--checkpoint" => cli.checkpoint = Some(value("--checkpoint")?),
+            "--replay" => cli.replay = Some(value("--replay")?),
             "--checkpoint-every-ticks" => {
                 cli.checkpoint_every_ticks = value("--checkpoint-every-ticks")?
                     .parse()
@@ -194,6 +201,21 @@ fn run() -> Result<(), String> {
         _ => Server::new(opts, exec, checkpointer.clone(), cli.checkpoint_every_ticks)
             .map_err(|e| format!("boot: {e}"))?,
     };
+    let mut server = server;
+    if let Some(path) = &cli.replay {
+        eprintln!("chaos-serve: replaying trace {path}...");
+        let stats = chaos_serve::replay::replay_file(&mut server, path)
+            .map_err(|e| format!("replay {path}: {e}"))?;
+        eprintln!(
+            "chaos-serve: replayed {} ticks, skipped {} already-applied ({} samples, \
+             {} counters sanitized, {} unmetered machine-seconds)",
+            stats.ticks,
+            stats.skipped_ticks,
+            stats.samples,
+            stats.sanitized_counters,
+            stats.unmetered_seconds
+        );
+    }
     let t_next = server.t_next();
     let server = Arc::new(Mutex::new(server));
 

@@ -16,7 +16,7 @@ use crate::http::{Request, Response};
 use crate::protocol::{
     CheckpointInfo, ConfigResponse, ErrorResponse, HealthzResponse, IngestRequest, IngestResponse,
     MachineResponse, MachinesResponse, PowerResponse, ServeError, SnapshotResponse, StatsResponse,
-    TickResult, PROTOCOL,
+    TickResult, WireTick, PROTOCOL,
 };
 use crate::snapshot;
 use chaos_stats::ExecPolicy;
@@ -253,6 +253,48 @@ impl Server {
         render(200, &body)
     }
 
+    /// Fleet size this server models.
+    pub fn machine_count(&self) -> usize {
+        self.fleet.machines()
+    }
+
+    /// Counter-row width every ingested sample must carry.
+    pub fn width(&self) -> usize {
+        self.fleet.width()
+    }
+
+    /// Applies one tick through the full ingest bookkeeping — fleet
+    /// advance, serve counters, the power-history ring — without the
+    /// HTTP framing. The `/v1/ingest` handler and the `--replay`
+    /// bootstrap both route through here, so a replayed trace leaves
+    /// the server in exactly the state live ingestion of the same
+    /// ticks would have.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`] from [`Fleet::ingest_tick`]; the tick
+    /// is not applied and the serve counters record a rejection.
+    pub fn apply_tick(&mut self, tick: &WireTick) -> Result<TickResult, ServeError> {
+        match self.fleet.ingest_tick(tick) {
+            Ok(result) => {
+                self.bump("serve.ticks", 1);
+                self.bump("serve.samples", tick.machines.len() as u64);
+                if result.refits > 0 {
+                    self.bump("serve.refits", result.refits);
+                }
+                self.history.push_back(result.clone());
+                while self.history.len() > self.opts.history_cap {
+                    self.history.pop_front();
+                }
+                Ok(result)
+            }
+            Err(err) => {
+                self.bump("serve.ticks.rejected", 1);
+                Err(err)
+            }
+        }
+    }
+
     fn ingest(&mut self, body: &[u8]) -> Result<Response, ServeError> {
         let _span = chaos_obs::span("serve.ingest");
         let request: IngestRequest =
@@ -264,21 +306,9 @@ impl Server {
             // Apply in order until the first failure; the error detail
             // reports how many ticks landed so the client can resync
             // from t_next.
-            match self.fleet.ingest_tick(tick) {
-                Ok(result) => {
-                    self.bump("serve.ticks", 1);
-                    self.bump("serve.samples", tick.machines.len() as u64);
-                    if result.refits > 0 {
-                        self.bump("serve.refits", result.refits);
-                    }
-                    self.history.push_back(result.clone());
-                    while self.history.len() > self.opts.history_cap {
-                        self.history.pop_front();
-                    }
-                    results.push(result);
-                }
+            match self.apply_tick(tick) {
+                Ok(result) => results.push(result),
                 Err(err) => {
-                    self.bump("serve.ticks.rejected", 1);
                     if results.is_empty() {
                         return Err(err);
                     }

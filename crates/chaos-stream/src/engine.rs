@@ -42,6 +42,7 @@ use crate::supervise::{self, MachineHealth, RetryState, StreamError, SupervisorC
 use crate::window::SlidingWindow;
 use chaos_core::robust::{EstimateTier, ImputerState};
 use chaos_core::RobustEstimator;
+use chaos_counters::store::SampleSource;
 use chaos_counters::{MachineRunTrace, RunTrace};
 use chaos_obs::Value;
 use chaos_stats::ols::WindowedOls;
@@ -383,6 +384,31 @@ impl StreamEngine {
         }
         self.t = n;
         Ok(outputs)
+    }
+
+    /// Replays a whole run drawn from any [`SampleSource`] — an
+    /// in-memory trace or a CHAOSCOL file — bit-identical to
+    /// [`replay`](StreamEngine::replay) on the equivalent in-memory
+    /// [`RunTrace`], at any `CHAOS_THREADS` setting.
+    ///
+    /// Streaming replay needs global access the chunk interface cannot
+    /// provide — donor warm-starts at membership boundaries read *other*
+    /// machines' state, and window-adapted models reach back across
+    /// arbitrary spans — so this path materializes the source once and
+    /// hands it to [`replay`](StreamEngine::replay). Chunk-at-a-time
+    /// consumption with bounded memory lives in the offline path
+    /// (`RobustEstimator::estimate_source`).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Source`] if the source cannot be drained, plus
+    /// every condition of [`replay`](StreamEngine::replay).
+    pub fn replay_source<S: SampleSource>(
+        &mut self,
+        src: &mut S,
+    ) -> Result<Vec<StreamOutput>, StreamError> {
+        let run = src.materialize()?;
+        self.replay(&run)
     }
 
     /// Processes every not-yet-consumed second of `run` in order —

@@ -16,6 +16,7 @@
 
 use crate::checkpoint::SnapshotError;
 use crate::refit::RefitTier;
+use chaos_counters::store::StoreError;
 use chaos_stats::StatsError;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,9 @@ pub enum StreamError {
     Stats(StatsError),
     /// A snapshot could not be decoded or persisted.
     Snapshot(SnapshotError),
+    /// The sample source backing a replay failed (corrupt trace file,
+    /// shape mismatch, unknown platform).
+    Source(StoreError),
 }
 
 impl std::fmt::Display for StreamError {
@@ -97,6 +101,7 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::Stats(e) => write!(f, "stream engine: {e}"),
             StreamError::Snapshot(e) => write!(f, "stream engine: {e}"),
+            StreamError::Source(e) => write!(f, "stream engine: {e}"),
         }
     }
 }
@@ -106,6 +111,7 @@ impl std::error::Error for StreamError {
         match self {
             StreamError::Stats(e) => Some(e),
             StreamError::Snapshot(e) => Some(e),
+            StreamError::Source(e) => Some(e),
             _ => None,
         }
     }
@@ -120,6 +126,12 @@ impl From<StatsError> for StreamError {
 impl From<SnapshotError> for StreamError {
     fn from(e: SnapshotError) -> Self {
         StreamError::Snapshot(e)
+    }
+}
+
+impl From<StoreError> for StreamError {
+    fn from(e: StoreError) -> Self {
+        StreamError::Source(e)
     }
 }
 

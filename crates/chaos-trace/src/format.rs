@@ -1,0 +1,497 @@
+//! Byte-level codec primitives shared by the writer and reader.
+//!
+//! Everything here is pure bytes-in/bytes-out: the little-endian
+//! encoder/decoder pair, LEB128 varints, bit-packed bool strips, the
+//! raw-vs-XOR-delta column strip codec, and the footer index payload.
+//! Frame framing (length prefix + checksum envelope) lives with the
+//! I/O sides in `writer`/`reader`; this module never touches a file.
+
+use crate::TraceError;
+
+/// Frame kind: trace metadata (workload, machines, membership).
+pub(crate) const FRAME_META: u8 = 1;
+/// Frame kind: one machine's column strips for one block.
+pub(crate) const FRAME_BLOCK: u8 = 2;
+/// Frame kind: the footer seek index.
+pub(crate) const FRAME_INDEX: u8 = 3;
+
+/// Bytes before the first frame: magic (8) + version (4).
+pub(crate) const HEADER_LEN: u64 = 12;
+/// Bytes after the last frame: index offset (8) + tail magic (8).
+pub(crate) const TRAILER_LEN: u64 = 16;
+/// Per-frame envelope: kind (1) + payload length (8) + checksum (8).
+pub(crate) const FRAME_OVERHEAD: u64 = 17;
+
+/// One block's row of the seek index: where each machine's strip frame
+/// lives. Machines sharing byte-identical payloads share an offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BlockIx {
+    /// First second covered by the block.
+    pub(crate) start: u64,
+    /// Seconds covered (equals the trace block span except for the
+    /// final block, which may be shorter).
+    pub(crate) rows: u64,
+    /// Frame offset per machine, in meta machine order.
+    pub(crate) offsets: Vec<u64>,
+}
+
+/// Little-endian payload encoder.
+#[derive(Debug, Default)]
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Little-endian payload decoder with allocation-capped length reads.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    ctx: &'a str,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8], ctx: &'a str) -> Self {
+        Self { buf, pos: 0, ctx }
+    }
+
+    fn malformed(&self, what: &str) -> TraceError {
+        TraceError::Malformed {
+            context: format!("{}: {what}", self.ctx),
+        }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless every payload byte was consumed — trailing garbage
+    /// in a checksummed frame means the encoder and decoder disagree.
+    pub(crate) fn expect_end(&self) -> Result<(), TraceError> {
+        if self.finished() {
+            Ok(())
+        } else {
+            Err(self.malformed("trailing bytes after payload"))
+        }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.remaining() < n {
+            return Err(self.malformed("payload ends early"));
+        }
+        let out = self.buf.get(self.pos..self.pos + n);
+        self.pos += n;
+        out.ok_or_else(|| self.malformed("payload ends early"))
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, TraceError> {
+        let b = self.take(1)?;
+        b.first()
+            .copied()
+            .ok_or_else(|| self.malformed("payload ends early"))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, TraceError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a length word and sanity-caps it: each of the `len` items
+    /// still to come occupies at least `min_item_bytes`, so a length
+    /// exceeding `remaining / min_item_bytes` is corrupt — reject it
+    /// *before* allocating, so a flipped length word cannot become an
+    /// allocation bomb.
+    pub(crate) fn len(&mut self, min_item_bytes: usize) -> Result<usize, TraceError> {
+        let v = self.u64()?;
+        let cap = self.remaining() / min_item_bytes.max(1);
+        if v > cap as u64 {
+            return Err(self.malformed("length word exceeds payload"));
+        }
+        Ok(v as usize)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, TraceError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.malformed("invalid utf-8 string"))
+    }
+
+    /// LEB128 varint.
+    pub(crate) fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v: u64 = 0;
+        let mut shift: u32 = 0;
+        loop {
+            let b = self.u8()?;
+            let low = u64::from(b & 0x7f);
+            if shift >= 64 || (shift == 63 && low > 1) {
+                return Err(self.malformed("varint overflows u64"));
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Appends `v` as a LEB128 varint.
+pub(crate) fn varint_put(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Byte length of `v` as a LEB128 varint.
+pub(crate) fn varint_len(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros().max(0);
+    ((bits.max(1) + 6) / 7) as usize
+}
+
+/// Packs bools LSB-first, 8 per byte.
+pub(crate) fn pack_bits(bits: &[bool], enc: &mut Enc) {
+    let mut byte = 0u8;
+    let mut used = 0u32;
+    for &b in bits {
+        if b {
+            byte |= 1 << used;
+        }
+        used += 1;
+        if used == 8 {
+            enc.u8(byte);
+            byte = 0;
+            used = 0;
+        }
+    }
+    if used > 0 {
+        enc.u8(byte);
+    }
+}
+
+/// Unpacks `n` LSB-first bools.
+pub(crate) fn unpack_bits(dec: &mut Dec<'_>, n: usize) -> Result<Vec<bool>, TraceError> {
+    let bytes = dec.take(n.div_ceil(8))?;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = bytes.get(i / 8).copied().unwrap_or(0);
+        out.push(byte & (1 << (i % 8)) != 0);
+    }
+    Ok(out)
+}
+
+/// Strip tag: raw little-endian u64 words.
+const STRIP_RAW: u8 = 0;
+/// Strip tag: first word raw, then XOR-with-predecessor varints.
+/// Compact when successive values differ in their *low* mantissa bits
+/// (noisy continuous signals: high bits cancel, the XOR is small).
+const STRIP_XOR: u8 = 1;
+/// Strip tag: like [`STRIP_XOR`] but each XOR is bit-reversed before
+/// the varint. Compact when successive values differ in their *high*
+/// bits with zero low mantissas (integer-valued ramps and counts:
+/// reversal moves the difference into varint-friendly low positions).
+const STRIP_XOR_REV: u8 = 2;
+
+/// Encodes one column strip of `words.len()` bit-pattern words,
+/// choosing whichever of the three encodings is smallest. The element
+/// count is *not* stored — both sides know the block's row count.
+pub(crate) fn encode_strip(words: &[u64], enc: &mut Enc) {
+    if let Some((&first, rest)) = words.split_first() {
+        let mut xor_bytes = 8usize;
+        let mut rev_bytes = 8usize;
+        let mut prev = first;
+        for &w in rest {
+            let x = prev ^ w;
+            xor_bytes += varint_len(x);
+            rev_bytes += varint_len(x.reverse_bits());
+            prev = w;
+        }
+        let raw_bytes = 8 * words.len();
+        if xor_bytes.min(rev_bytes) < raw_bytes {
+            let reverse = rev_bytes < xor_bytes;
+            enc.u8(if reverse { STRIP_XOR_REV } else { STRIP_XOR });
+            enc.u64(first);
+            let mut prev = first;
+            for &w in rest {
+                let x = prev ^ w;
+                varint_put(&mut enc.buf, if reverse { x.reverse_bits() } else { x });
+                prev = w;
+            }
+            return;
+        }
+    }
+    enc.u8(STRIP_RAW);
+    for &w in words {
+        enc.u64(w);
+    }
+}
+
+/// Decodes one `n`-element column strip into bit-pattern words.
+pub(crate) fn decode_strip(dec: &mut Dec<'_>, n: usize) -> Result<Vec<u64>, TraceError> {
+    let tag = dec.u8()?;
+    let mut out = Vec::with_capacity(n);
+    match tag {
+        STRIP_RAW => {
+            for _ in 0..n {
+                out.push(dec.u64()?);
+            }
+        }
+        STRIP_XOR | STRIP_XOR_REV => {
+            if n > 0 {
+                let mut prev = dec.u64()?;
+                out.push(prev);
+                for _ in 1..n {
+                    let raw = dec.varint()?;
+                    prev ^= if tag == STRIP_XOR_REV {
+                        raw.reverse_bits()
+                    } else {
+                        raw
+                    };
+                    out.push(prev);
+                }
+            }
+        }
+        _ => {
+            return Err(TraceError::Malformed {
+                context: "unknown strip tag".to_string(),
+            })
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes the footer index payload.
+pub(crate) fn encode_index(seconds: u64, blocks: &[BlockIx]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(seconds);
+    enc.u64(blocks.len() as u64);
+    for b in blocks {
+        enc.u64(b.start);
+        enc.u64(b.rows);
+        enc.u64(b.offsets.len() as u64);
+        for &off in &b.offsets {
+            enc.u64(off);
+        }
+    }
+    enc.buf
+}
+
+/// Decodes the footer index payload. Structural consistency against
+/// the meta (machine counts, uniform spans) is the reader's job.
+pub(crate) fn decode_index(payload: &[u8]) -> Result<(u64, Vec<BlockIx>), TraceError> {
+    let mut dec = Dec::new(payload, "index");
+    let seconds = dec.u64()?;
+    let n_blocks = dec.len(24)?;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let start = dec.u64()?;
+        let rows = dec.u64()?;
+        let n_machines = dec.len(8)?;
+        let mut offsets = Vec::with_capacity(n_machines);
+        for _ in 0..n_machines {
+            offsets.push(dec.u64()?);
+        }
+        blocks.push(BlockIx {
+            start,
+            rows,
+            offsets,
+        });
+    }
+    dec.expect_end()?;
+    Ok((seconds, blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            varint_put(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len mismatch for {v}");
+            let mut dec = Dec::new(&buf, "test");
+            assert_eq!(dec.varint().unwrap(), v);
+            assert!(dec.finished());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 11 continuation bytes can never fit in a u64.
+        let buf = [0xffu8; 11];
+        let mut dec = Dec::new(&buf, "test");
+        assert!(matches!(dec.varint(), Err(TraceError::Malformed { .. })));
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let buf = [0x80u8];
+        let mut dec = Dec::new(&buf, "test");
+        assert!(matches!(dec.varint(), Err(TraceError::Malformed { .. })));
+    }
+
+    #[test]
+    fn bitset_round_trips_all_lengths() {
+        for n in 0..=19usize {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut enc = Enc::new();
+            pack_bits(&bits, &mut enc);
+            assert_eq!(enc.buf.len(), n.div_ceil(8));
+            let mut dec = Dec::new(&enc.buf, "test");
+            assert_eq!(unpack_bits(&mut dec, n).unwrap(), bits);
+            assert!(dec.finished());
+        }
+    }
+
+    #[test]
+    fn strip_round_trips_and_compresses_smooth_columns() {
+        // A smooth ramp: XOR deltas are small, varints short.
+        let words: Vec<u64> = (0..256u64).map(|t| (1000.0 + t as f64).to_bits()).collect();
+        let mut enc = Enc::new();
+        encode_strip(&words, &mut enc);
+        assert!(
+            enc.buf.len() < 8 * words.len() / 2,
+            "smooth column should compress >2x, got {} of {}",
+            enc.buf.len(),
+            8 * words.len()
+        );
+        let mut dec = Dec::new(&enc.buf, "test");
+        assert_eq!(decode_strip(&mut dec, words.len()).unwrap(), words);
+        assert!(dec.finished());
+    }
+
+    #[test]
+    fn strip_compresses_noisy_continuous_columns() {
+        // Deterministic "noise": low mantissa bits churn, high bits
+        // stable — the plain-XOR encoding's home turf.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let words: Vec<u64> = (0..256)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (1000.0 + (state % 1024) as f64 / 1024.0).to_bits()
+            })
+            .collect();
+        let mut enc = Enc::new();
+        encode_strip(&words, &mut enc);
+        assert!(
+            enc.buf.len() < 8 * words.len(),
+            "noisy column should still beat raw, got {}",
+            enc.buf.len()
+        );
+        let mut dec = Dec::new(&enc.buf, "test");
+        assert_eq!(decode_strip(&mut dec, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn strip_never_expands_past_raw_plus_tag() {
+        // Adversarial column: alternating extreme bit patterns.
+        let words: Vec<u64> = (0..64u64)
+            .map(|t| if t % 2 == 0 { u64::MAX } else { 1 })
+            .collect();
+        let mut enc = Enc::new();
+        encode_strip(&words, &mut enc);
+        assert!(enc.buf.len() <= 1 + 8 * words.len());
+        let mut dec = Dec::new(&enc.buf, "test");
+        assert_eq!(decode_strip(&mut dec, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn strip_handles_empty_and_singleton() {
+        for words in [vec![], vec![42u64]] {
+            let mut enc = Enc::new();
+            encode_strip(&words, &mut enc);
+            let mut dec = Dec::new(&enc.buf, "test");
+            assert_eq!(decode_strip(&mut dec, words.len()).unwrap(), words);
+            assert!(dec.finished());
+        }
+    }
+
+    #[test]
+    fn strip_preserves_nan_payloads_and_signed_zero() {
+        let words = vec![
+            f64::NAN.to_bits() | 0xdead,
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+        ];
+        let mut enc = Enc::new();
+        encode_strip(&words, &mut enc);
+        let mut dec = Dec::new(&enc.buf, "test");
+        assert_eq!(decode_strip(&mut dec, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let blocks = vec![
+            BlockIx {
+                start: 0,
+                rows: 64,
+                offsets: vec![12, 12, 900],
+            },
+            BlockIx {
+                start: 64,
+                rows: 10,
+                offsets: vec![2000, 2100, 2100],
+            },
+        ];
+        let payload = encode_index(74, &blocks);
+        let (seconds, got) = decode_index(&payload).unwrap();
+        assert_eq!(seconds, 74);
+        assert_eq!(got, blocks);
+    }
+
+    #[test]
+    fn length_bomb_is_rejected_before_allocation() {
+        // A payload claiming 2^60 blocks must fail fast.
+        let mut enc = Enc::new();
+        enc.u64(10);
+        enc.u64(1 << 60);
+        assert!(matches!(
+            decode_index(&enc.buf),
+            Err(TraceError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,259 @@
+//! CHAOSCOL — the columnar on-disk trace store.
+//!
+//! Counter traces are naturally parallel per-counter time series (the
+//! fxprof counter-sample layout stores them the same way), and fleet
+//! traces will never all fit in RAM. This crate defines a compact,
+//! append-only binary format for cluster counter/power recordings plus
+//! a writer and a streaming reader, with three contracts:
+//!
+//! 1. **Bit identity.** Every `f64` round-trips through its IEEE-754
+//!    bit pattern (`to_bits`, little-endian). A trace written and read
+//!    back is bit-identical, including NaN payloads, `-0.0`, and
+//!    infinities — so replay-from-disk feeds estimators the exact bytes
+//!    replay-from-memory would.
+//! 2. **Typed failure.** Truncation, bit rot, version skew, oversized
+//!    length prefixes, and structural nonsense each decode to a
+//!    [`TraceError`]; no input bytes can panic the reader.
+//! 3. **Bounded memory.** Data is chunked into fixed-span blocks of
+//!    per-machine, per-counter column strips. The reader streams one
+//!    block at a time and hands out per-second *views* borrowed from
+//!    the decoded block — one decode per block, zero copies per second
+//!    — so replaying a trace never materializes it.
+//!
+//! # File layout (version 1)
+//!
+//! | offset | bytes | field |
+//! |--------|-------|-------|
+//! | 0      | 8     | magic `CHAOSCOL` |
+//! | 8      | 4     | format version (little-endian u32, currently 1) |
+//! | 12     | …     | meta frame (kind 1) |
+//! | …      | …     | machine-block frames (kind 2), append order |
+//! | …      | …     | index frame (kind 3) |
+//! | end−16 | 8     | index frame offset (little-endian u64) |
+//! | end−8  | 8     | tail magic `CHAOSEOF` |
+//!
+//! Every frame is length-prefixed and checksummed:
+//!
+//! | bytes | field |
+//! |-------|-------|
+//! | 1     | frame kind |
+//! | 8     | payload length (little-endian u64) |
+//! | n     | payload |
+//! | 8     | FNV-1a 64 checksum of the payload (little-endian u64) |
+//!
+//! # Blocks, strips, and the index
+//!
+//! The writer buffers `block_s` seconds, then emits one frame per
+//! machine holding that machine's column strips for the block: one
+//! strip per counter, one for metered power, one for ground-truth
+//! power, then bit-packed validity masks (only for machines whose
+//! [`MachineMeta`] flags them as present). Counter strips are
+//! delta-encoded: the first value's bit pattern is stored raw, then
+//! each successive value as the LEB128 varint of the XOR with its
+//! predecessor — close samples share sign/exponent/high-mantissa bits,
+//! so the XOR is small and the varint short. A bit-reversed variant
+//! covers integer-valued ramps (whose XORs land in the high mantissa,
+//! which low-bits-first varints cannot shrink), and a raw variant
+//! backstops adversarial columns. Each strip carries a one-byte tag;
+//! the writer picks whichever of the three is smallest, so no column
+//! ever expands past raw.
+//!
+//! Machine-block frames are content-addressed within a block: a
+//! machine whose strip payload is byte-identical to an earlier
+//! machine's (tiled fleets replicate a small base cluster thousands of
+//! times) is not rewritten — the index simply points both machines at
+//! the same frame. The footer index maps `(block, machine)` to a frame
+//! offset, and blocks span uniform `block_s` seconds, so seeking to
+//! any `(machine, second)` is an O(1) index lookup plus one
+//! single-machine frame decode, independent of trace length.
+//!
+//! # Example
+//!
+//! ```
+//! use chaos_trace::{MachineMeta, SecondRow, TraceMeta, TraceReader, TraceWriter};
+//!
+//! # fn main() -> Result<(), chaos_trace::TraceError> {
+//! let meta = TraceMeta {
+//!     workload: "doc".to_string(),
+//!     run_seed: 7,
+//!     machines: vec![MachineMeta::new(0, "Core2", 2)],
+//!     membership: Vec::new(),
+//! };
+//! let mut w = TraceWriter::new(Vec::new(), &meta, 4)?;
+//! for t in 0..10u32 {
+//!     let row = [f64::from(t), f64::from(t) * 0.5];
+//!     w.push_second(&[SecondRow::clean(&row, 100.0 + f64::from(t), 99.0)])?;
+//! }
+//! let (bytes, summary) = w.finish()?;
+//! assert_eq!(summary.seconds, 10);
+//!
+//! let mut r = TraceReader::new(std::io::Cursor::new(bytes))?;
+//! assert_eq!(r.seconds(), 10);
+//! let s = r.machine_second(0, 3)?;
+//! assert_eq!(s.counters, vec![3.0, 1.5]);
+//! assert_eq!(s.measured_power_w, 103.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod format;
+mod meta;
+mod reader;
+mod writer;
+
+pub use meta::{EventKind, MachineMeta, MemberEvent, SecondRow, TraceMeta};
+pub use reader::{
+    DecodedBlock, MachineBlock, MachineSecondView, OwnedSecond, SecondView, TraceReader,
+    TraceStream,
+};
+pub use writer::{TraceSummary, TraceWriter};
+
+use std::fmt;
+
+/// Magic bytes opening every CHAOSCOL file.
+pub const TRACE_MAGIC: [u8; 8] = *b"CHAOSCOL";
+
+/// Magic bytes closing every CHAOSCOL file.
+pub const TRACE_TAIL_MAGIC: [u8; 8] = *b"CHAOSEOF";
+
+/// Current CHAOSCOL format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Default block span in seconds for convenience constructors.
+///
+/// The block is the unit of buffering (writer) and decoding (reader):
+/// working memory is `machines × block_s × width` values, so wide
+/// fleets want modest blocks. 64 keeps a 5000-machine, 20-counter
+/// fleet around 50 MB per side while still amortizing frame overhead.
+pub const DEFAULT_BLOCK_SECONDS: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash — the frame checksum, also used for the golden
+/// whole-file format pins and the writer's strip dedup prefilter.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a CHAOSCOL file could not be written, decoded, or validated.
+///
+/// Corrupt and truncated inputs are data, not programming errors: every
+/// reader path returns one of these instead of panicking, and the
+/// corruption-fuzz suite pins that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Fewer bytes than the fixed header + trailer envelope.
+    TooShort {
+        /// Bytes present.
+        got: u64,
+    },
+    /// The opening magic is wrong — not a CHAOSCOL file.
+    BadMagic,
+    /// The tail magic is wrong — truncated or not a CHAOSCOL file.
+    BadTailMagic,
+    /// The format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        got: u32,
+    },
+    /// A frame's payload checksum does not match its bytes.
+    ChecksumMismatch {
+        /// Which frame failed (`"meta"`, `"index"`, or
+        /// `"block b machine m"`).
+        context: String,
+    },
+    /// A length prefix points past the end of the file — truncation or
+    /// a corrupted (oversized) length word.
+    OversizedLength {
+        /// What declared the length.
+        context: String,
+        /// The declared length.
+        declared: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The payload decoded but its structure is inconsistent.
+    Malformed {
+        /// What was wrong.
+        context: String,
+    },
+    /// The caller's request or data does not fit the trace shape
+    /// (writer-side ragged rows, out-of-range machine/second seeks,
+    /// mask presence disagreeing with the machine's meta flags).
+    Shape {
+        /// What did not fit.
+        context: String,
+    },
+    /// Filesystem failure while reading or writing.
+    Io {
+        /// The failed operation and the OS error.
+        context: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::TooShort { got } => {
+                write!(f, "chaoscol: {got} bytes is shorter than the envelope")
+            }
+            TraceError::BadMagic => write!(f, "chaoscol: bad magic (not a CHAOSCOL file)"),
+            TraceError::BadTailMagic => {
+                write!(f, "chaoscol: bad tail magic (truncated or not CHAOSCOL)")
+            }
+            TraceError::UnsupportedVersion { got } => {
+                write!(f, "chaoscol: unsupported format version {got}")
+            }
+            TraceError::ChecksumMismatch { context } => {
+                write!(f, "chaoscol: checksum mismatch in {context} frame")
+            }
+            TraceError::OversizedLength {
+                context,
+                declared,
+                available,
+            } => write!(
+                f,
+                "chaoscol: {context} declares {declared} bytes but only {available} are available"
+            ),
+            TraceError::Malformed { context } => write!(f, "chaoscol: malformed: {context}"),
+            TraceError::Shape { context } => write!(f, "chaoscol: shape: {context}"),
+            TraceError::Io { context } => write!(f, "chaoscol: io failure: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = TraceError::OversizedLength {
+            context: "block 3 machine 1 payload".to_string(),
+            declared: 1 << 40,
+            available: 64,
+        };
+        assert!(e.to_string().contains("block 3 machine 1"));
+        assert!(TraceError::BadMagic.to_string().contains("CHAOSCOL"));
+    }
+}

@@ -1,0 +1,372 @@
+//! Trace metadata: what a CHAOSCOL file describes, independent of the
+//! column data itself.
+//!
+//! `chaos-trace` sits below every other crate in the workspace, so the
+//! meta model is deliberately self-contained: platforms are carried as
+//! strings (mapped to/from `chaos_sim::Platform` by `chaos-counters`),
+//! and membership events mirror `chaos_sim::churn::MembershipEvent`
+//! field-for-field without depending on it.
+
+use crate::format::{Dec, Enc};
+use crate::TraceError;
+
+/// Per-machine metadata: identity, platform, counter width, and which
+/// validity masks the machine's blocks materialize.
+///
+/// The three `has_*_mask` flags preserve the upstream distinction
+/// between an *empty* validity mask (all samples valid by convention)
+/// and a *materialized* all-true mask — `RunTrace` equality compares
+/// the raw vectors, so the round trip must keep them distinct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineMeta {
+    /// Stable machine identity (the upstream `machine_id`).
+    pub machine_id: u64,
+    /// Platform name (e.g. `"Core2"`); opaque at this layer.
+    pub platform: String,
+    /// Counters per sample row.
+    pub width: usize,
+    /// Blocks carry a per-counter validity bitset for this machine.
+    pub has_counter_mask: bool,
+    /// Blocks carry a meter-validity bitset for this machine.
+    pub has_meter_mask: bool,
+    /// Blocks carry a liveness bitset for this machine.
+    pub has_alive_mask: bool,
+}
+
+impl MachineMeta {
+    /// Meta for a machine with no materialized validity masks.
+    pub fn new(machine_id: u64, platform: &str, width: usize) -> Self {
+        Self {
+            machine_id,
+            platform: platform.to_string(),
+            width,
+            has_counter_mask: false,
+            has_meter_mask: false,
+            has_alive_mask: false,
+        }
+    }
+
+    /// Meta for a machine with an explicit mask-presence profile.
+    pub fn with_masks(
+        machine_id: u64,
+        platform: &str,
+        width: usize,
+        counter: bool,
+        meter: bool,
+        alive: bool,
+    ) -> Self {
+        Self {
+            machine_id,
+            platform: platform.to_string(),
+            width,
+            has_counter_mask: counter,
+            has_meter_mask: meter,
+            has_alive_mask: alive,
+        }
+    }
+
+    pub(crate) fn flags_byte(&self) -> u8 {
+        u8::from(self.has_counter_mask)
+            | u8::from(self.has_meter_mask) << 1
+            | u8::from(self.has_alive_mask) << 2
+    }
+}
+
+/// What happened to fleet membership at one second. Mirrors
+/// `chaos_sim::churn::MembershipKind`, donors included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The machine joined, optionally warm-started from `donor`'s model.
+    Join {
+        /// Machine whose fitted model seeded the joiner, if any.
+        donor: Option<u64>,
+    },
+    /// The machine left the fleet.
+    Leave,
+    /// The machine was replaced in place, optionally re-seeded from
+    /// `donor`.
+    Replace {
+        /// Machine whose fitted model seeded the replacement, if any.
+        donor: Option<u64>,
+    },
+}
+
+/// One membership-churn event, mirroring the upstream schedule entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberEvent {
+    /// Second at which the event takes effect.
+    pub t: u64,
+    /// Machine the event concerns.
+    pub machine_id: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Whole-trace metadata, written once as the first frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Workload label the trace was recorded under.
+    pub workload: String,
+    /// Seed of the run that produced the trace.
+    pub run_seed: u64,
+    /// Machines, in column order; index position is the machine's
+    /// identity everywhere else in the file.
+    pub machines: Vec<MachineMeta>,
+    /// Membership-churn schedule, in upstream order.
+    pub membership: Vec<MemberEvent>,
+}
+
+const EVENT_JOIN: u8 = 0;
+const EVENT_LEAVE: u8 = 1;
+const EVENT_REPLACE: u8 = 2;
+
+pub(crate) fn encode_meta(meta: &TraceMeta, block_s: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.str(&meta.workload);
+    enc.u64(meta.run_seed);
+    enc.u64(block_s);
+    enc.u64(meta.machines.len() as u64);
+    for m in &meta.machines {
+        enc.u64(m.machine_id);
+        enc.str(&m.platform);
+        enc.u64(m.width as u64);
+        enc.u8(m.flags_byte());
+    }
+    enc.u64(meta.membership.len() as u64);
+    for e in &meta.membership {
+        enc.u64(e.t);
+        enc.u64(e.machine_id);
+        let (kind_byte, donor) = match &e.kind {
+            EventKind::Join { donor } => (EVENT_JOIN, Some(donor)),
+            EventKind::Leave => (EVENT_LEAVE, None),
+            EventKind::Replace { donor } => (EVENT_REPLACE, Some(donor)),
+        };
+        enc.u8(kind_byte);
+        if let Some(donor) = donor {
+            match donor {
+                Some(d) => {
+                    enc.u8(1);
+                    enc.u64(*d);
+                }
+                None => enc.u8(0),
+            }
+        }
+    }
+    enc.buf
+}
+
+pub(crate) fn decode_meta(payload: &[u8]) -> Result<(TraceMeta, u64), TraceError> {
+    let mut dec = Dec::new(payload, "meta");
+    let workload = dec.str()?;
+    let run_seed = dec.u64()?;
+    let block_s = dec.u64()?;
+    let n_machines = dec.len(18)?;
+    let mut machines = Vec::with_capacity(n_machines);
+    for _ in 0..n_machines {
+        let machine_id = dec.u64()?;
+        let platform = dec.str()?;
+        let width = dec.u64()? as usize;
+        let flags = dec.u8()?;
+        if flags > 0b111 {
+            return Err(TraceError::Malformed {
+                context: "meta: unknown machine mask flags".to_string(),
+            });
+        }
+        machines.push(MachineMeta {
+            machine_id,
+            platform,
+            width,
+            has_counter_mask: flags & 0b001 != 0,
+            has_meter_mask: flags & 0b010 != 0,
+            has_alive_mask: flags & 0b100 != 0,
+        });
+    }
+    let n_events = dec.len(17)?;
+    let mut membership = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let t = dec.u64()?;
+        let machine_id = dec.u64()?;
+        let kind_byte = dec.u8()?;
+        let kind = match kind_byte {
+            EVENT_JOIN | EVENT_REPLACE => {
+                let donor = match dec.u8()? {
+                    0 => None,
+                    1 => Some(dec.u64()?),
+                    _ => {
+                        return Err(TraceError::Malformed {
+                            context: "meta: bad donor presence byte".to_string(),
+                        })
+                    }
+                };
+                if kind_byte == EVENT_JOIN {
+                    EventKind::Join { donor }
+                } else {
+                    EventKind::Replace { donor }
+                }
+            }
+            EVENT_LEAVE => EventKind::Leave,
+            _ => {
+                return Err(TraceError::Malformed {
+                    context: "meta: unknown membership event kind".to_string(),
+                })
+            }
+        };
+        membership.push(MemberEvent {
+            t,
+            machine_id,
+            kind,
+        });
+    }
+    dec.expect_end()?;
+    Ok((
+        TraceMeta {
+            workload,
+            run_seed,
+            machines,
+            membership,
+        },
+        block_s,
+    ))
+}
+
+/// One machine's data for one second, as handed to the writer.
+///
+/// Borrowed so callers can feed rows straight out of their own storage
+/// without staging copies. Mask fields must be `Some` exactly when the
+/// machine's [`MachineMeta`] flags the corresponding mask as present —
+/// the writer rejects disagreement with [`TraceError::Shape`].
+#[derive(Debug, Clone, Copy)]
+pub struct SecondRow<'a> {
+    /// Counter values for this second, `width` long.
+    pub counters: &'a [f64],
+    /// Metered power draw (may carry fault NaNs — stored bit-exactly).
+    pub measured_power_w: f64,
+    /// Ground-truth power draw.
+    pub true_power_w: f64,
+    /// Per-counter validity, `width` long, when materialized.
+    pub counter_ok: Option<&'a [bool]>,
+    /// Meter validity, when materialized.
+    pub meter_ok: Option<bool>,
+    /// Machine liveness, when materialized.
+    pub alive: Option<bool>,
+}
+
+impl<'a> SecondRow<'a> {
+    /// A row for a machine with no materialized validity masks.
+    pub fn clean(counters: &'a [f64], measured_power_w: f64, true_power_w: f64) -> Self {
+        Self {
+            counters,
+            measured_power_w,
+            true_power_w,
+            counter_ok: None,
+            meter_ok: None,
+            alive: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> TraceMeta {
+        TraceMeta {
+            workload: "specpower-ish".to_string(),
+            run_seed: 0xdead_beef,
+            machines: vec![
+                MachineMeta::new(3, "Core2", 5),
+                MachineMeta::with_masks(9, "XeonSAS", 7, true, true, false),
+                MachineMeta::with_masks(11, "Atom", 0, false, false, true),
+            ],
+            membership: vec![
+                MemberEvent {
+                    t: 4,
+                    machine_id: 9,
+                    kind: EventKind::Join { donor: Some(3) },
+                },
+                MemberEvent {
+                    t: 7,
+                    machine_id: 11,
+                    kind: EventKind::Join { donor: None },
+                },
+                MemberEvent {
+                    t: 9,
+                    machine_id: 3,
+                    kind: EventKind::Leave,
+                },
+                MemberEvent {
+                    t: 12,
+                    machine_id: 11,
+                    kind: EventKind::Replace { donor: Some(9) },
+                },
+                MemberEvent {
+                    t: 14,
+                    machine_id: 9,
+                    kind: EventKind::Replace { donor: None },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let meta = sample_meta();
+        let payload = encode_meta(&meta, 64);
+        let (got, block_s) = decode_meta(&payload).unwrap();
+        assert_eq!(got, meta);
+        assert_eq!(block_s, 64);
+    }
+
+    #[test]
+    fn meta_rejects_unknown_event_kind() {
+        let meta = sample_meta();
+        let mut payload = encode_meta(&meta, 64);
+        // The final event is Replace{donor: None}: [t][id][kind][0],
+        // so its kind byte sits 2 bytes from the end.
+        let kind_at = payload.len() - 2;
+        if let Some(b) = payload.get_mut(kind_at) {
+            *b = 7;
+        }
+        assert!(matches!(
+            decode_meta(&payload),
+            Err(TraceError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn meta_rejects_bad_donor_presence_byte() {
+        let meta = sample_meta();
+        let mut payload = encode_meta(&meta, 64);
+        // The final event's donor presence byte is the last byte.
+        let at = payload.len() - 1;
+        if let Some(b) = payload.get_mut(at) {
+            *b = 9;
+        }
+        assert!(matches!(
+            decode_meta(&payload),
+            Err(TraceError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn meta_rejects_truncation_at_every_length() {
+        let payload = encode_meta(&sample_meta(), 64);
+        for cut in 0..payload.len() {
+            let truncated = payload.get(..cut).unwrap_or(&[]);
+            assert!(
+                decode_meta(truncated).is_err(),
+                "truncation at {cut} of {} decoded",
+                payload.len()
+            );
+        }
+    }
+
+    #[test]
+    fn flags_byte_round_trips_all_profiles() {
+        for bits in 0u8..8 {
+            let m =
+                MachineMeta::with_masks(1, "Core2", 2, bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            assert_eq!(m.flags_byte(), bits);
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! The CHAOSCOL reader: validated open, O(1) seek, block streaming.
+
+use crate::format::{
+    decode_index, decode_strip, unpack_bits, BlockIx, Dec, FRAME_BLOCK, FRAME_INDEX, FRAME_META,
+    FRAME_OVERHEAD, HEADER_LEN, TRAILER_LEN,
+};
+use crate::meta::{decode_meta, MachineMeta, TraceMeta};
+use crate::{fnv1a64, TraceError, TRACE_MAGIC, TRACE_TAIL_MAGIC, TRACE_VERSION};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// One machine's decoded columns for one block, transposed to
+/// row-major so per-second access is a contiguous borrow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineBlock {
+    /// Stable machine identity (from the meta, not the frame — shared
+    /// frames serve several machines).
+    pub machine_id: u64,
+    /// Counters per row.
+    pub width: usize,
+    /// Rows decoded.
+    pub rows: usize,
+    /// Row-major `rows × width` counter values.
+    counters: Vec<f64>,
+    measured: Vec<f64>,
+    truth: Vec<f64>,
+    /// Row-major `rows × width`, present iff the meta flags it.
+    counter_ok: Option<Vec<bool>>,
+    meter_ok: Option<Vec<bool>>,
+    alive: Option<Vec<bool>>,
+}
+
+impl MachineBlock {
+    /// Counter row for block-local second `local`.
+    pub fn counters_row(&self, local: usize) -> Option<&[f64]> {
+        if local < self.rows {
+            self.counters
+                .get(local * self.width..(local + 1) * self.width)
+        } else {
+            None
+        }
+    }
+
+    /// Metered power at block-local second `local`.
+    pub fn measured(&self, local: usize) -> Option<f64> {
+        self.measured.get(local).copied()
+    }
+
+    /// Ground-truth power at block-local second `local`.
+    pub fn truth(&self, local: usize) -> Option<f64> {
+        self.truth.get(local).copied()
+    }
+
+    /// Counter-validity row, `None` when the machine materializes no
+    /// counter mask (upstream convention: absent mask = all valid) or
+    /// when `local` is out of range.
+    pub fn counter_ok_row(&self, local: usize) -> Option<&[bool]> {
+        let mask = self.counter_ok.as_ref()?;
+        if local < self.rows {
+            mask.get(local * self.width..(local + 1) * self.width)
+        } else {
+            None
+        }
+    }
+
+    /// Meter validity, `None` when no meter mask is materialized.
+    pub fn meter_ok_at(&self, local: usize) -> Option<bool> {
+        self.meter_ok.as_ref().and_then(|m| m.get(local)).copied()
+    }
+
+    /// Liveness, `None` when no liveness mask is materialized.
+    pub fn alive_at(&self, local: usize) -> Option<bool> {
+        self.alive.as_ref().and_then(|m| m.get(local)).copied()
+    }
+}
+
+/// One block of the trace, fully decoded: every machine's rows for
+/// `start..start + rows`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedBlock {
+    /// First second covered.
+    pub start: u64,
+    /// Seconds covered.
+    pub rows: usize,
+    /// Machines in meta order.
+    pub machines: Vec<MachineBlock>,
+}
+
+impl DecodedBlock {
+    /// View of absolute second `t`, if this block covers it.
+    pub fn second(&self, t: u64) -> Option<SecondView<'_>> {
+        let local = t.checked_sub(self.start)? as usize;
+        if local < self.rows {
+            Some(SecondView {
+                t,
+                local,
+                block: self,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// A borrowed cluster-wide view of one second.
+#[derive(Debug, Clone, Copy)]
+pub struct SecondView<'a> {
+    /// Absolute second.
+    pub t: u64,
+    local: usize,
+    block: &'a DecodedBlock,
+}
+
+impl<'a> SecondView<'a> {
+    /// Machines in the cluster.
+    pub fn machines(&self) -> usize {
+        self.block.machines.len()
+    }
+
+    /// Machine `m`'s slice of this second. The counter slice borrows
+    /// the decoded block — no per-second copies.
+    pub fn machine(&self, m: usize) -> Option<MachineSecondView<'a>> {
+        let mb = self.block.machines.get(m)?;
+        Some(MachineSecondView {
+            machine_id: mb.machine_id,
+            counters: mb.counters_row(self.local)?,
+            measured_power_w: mb.measured(self.local)?,
+            true_power_w: mb.truth(self.local)?,
+            counter_ok: mb.counter_ok_row(self.local),
+            meter_ok: mb.meter_ok_at(self.local).unwrap_or(true),
+            alive: mb.alive_at(self.local).unwrap_or(true),
+        })
+    }
+}
+
+/// One machine's second, borrowed from a decoded block.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineSecondView<'a> {
+    /// Stable machine identity.
+    pub machine_id: u64,
+    /// Counter values for the second.
+    pub counters: &'a [f64],
+    /// Metered power (bit-exact, fault NaNs included).
+    pub measured_power_w: f64,
+    /// Ground-truth power.
+    pub true_power_w: f64,
+    /// Per-counter validity; `None` means all valid by convention.
+    pub counter_ok: Option<&'a [bool]>,
+    /// Meter validity (`true` when no mask is materialized).
+    pub meter_ok: bool,
+    /// Liveness (`true` when no mask is materialized).
+    pub alive: bool,
+}
+
+/// One machine's second as owned data, for random-access seeks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedSecond {
+    /// Absolute second.
+    pub t: u64,
+    /// Stable machine identity.
+    pub machine_id: u64,
+    /// Counter values.
+    pub counters: Vec<f64>,
+    /// Metered power.
+    pub measured_power_w: f64,
+    /// Ground-truth power.
+    pub true_power_w: f64,
+    /// Per-counter validity; `None` means no materialized mask.
+    pub counter_ok: Option<Vec<bool>>,
+    /// Meter validity; `None` means no materialized mask.
+    pub meter_ok: Option<bool>,
+    /// Liveness; `None` means no materialized mask.
+    pub alive: Option<bool>,
+}
+
+/// Validated random-access reader over a CHAOSCOL file.
+///
+/// Opening reads and checks the envelope (magics, version), the meta
+/// frame, and the footer index — O(index), not O(data). Column data is
+/// only read when asked for, one frame at a time.
+pub struct TraceReader<R: Read + Seek> {
+    r: R,
+    file_len: u64,
+    meta: TraceMeta,
+    block_s: u64,
+    seconds: u64,
+    blocks: Vec<BlockIx>,
+}
+
+// Manual impl: the inner byte source need not be `Debug`.
+impl<R: Read + Seek> std::fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("file_len", &self.file_len)
+            .field("machines", &self.meta.machines.len())
+            .field("block_s", &self.block_s)
+            .field("seconds", &self.seconds)
+            .field("blocks", &self.blocks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceReader<std::io::BufReader<std::fs::File>> {
+    /// Opens and validates the trace at `path`.
+    pub fn open_path(path: &Path) -> Result<Self, TraceError> {
+        let file = std::fs::File::open(path).map_err(|e| TraceError::Io {
+            context: format!("open {}: {e}", path.display()),
+        })?;
+        Self::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read + Seek> TraceReader<R> {
+    /// Opens and validates a trace over any seekable byte source.
+    pub fn new(mut r: R) -> Result<Self, TraceError> {
+        let file_len = r.seek(SeekFrom::End(0)).map_err(io_err)?;
+        if file_len < HEADER_LEN + TRAILER_LEN {
+            return Err(TraceError::TooShort { got: file_len });
+        }
+        let mut header = [0u8; 12];
+        read_exact_at(&mut r, 0, &mut header)?;
+        if header.get(..8) != Some(&TRACE_MAGIC[..]) {
+            return Err(TraceError::BadMagic);
+        }
+        let mut ver = [0u8; 4];
+        ver.copy_from_slice(header.get(8..12).unwrap_or(&[0; 4]));
+        let version = u32::from_le_bytes(ver);
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion { got: version });
+        }
+        let mut trailer = [0u8; 16];
+        read_exact_at(&mut r, file_len - TRAILER_LEN, &mut trailer)?;
+        if trailer.get(8..16) != Some(&TRACE_TAIL_MAGIC[..]) {
+            return Err(TraceError::BadTailMagic);
+        }
+        let mut off = [0u8; 8];
+        off.copy_from_slice(trailer.get(..8).unwrap_or(&[0; 8]));
+        let index_off = u64::from_le_bytes(off);
+
+        let meta_payload = read_frame_at(&mut r, file_len, HEADER_LEN, FRAME_META, "meta")?;
+        let (meta, block_s) = decode_meta(&meta_payload)?;
+        if block_s == 0 {
+            return Err(TraceError::Malformed {
+                context: "meta: zero block span".to_string(),
+            });
+        }
+        let index_payload = read_frame_at(&mut r, file_len, index_off, FRAME_INDEX, "index")?;
+        let (seconds, blocks) = decode_index(&index_payload)?;
+        validate_index(seconds, &blocks, meta.machines.len(), block_s, index_off)?;
+        Ok(Self {
+            r,
+            file_len,
+            meta,
+            block_s,
+            seconds,
+            blocks,
+        })
+    }
+
+    /// The trace metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Seconds recorded.
+    pub fn seconds(&self) -> u64 {
+        self.seconds
+    }
+
+    /// Machines per second.
+    pub fn machines(&self) -> usize {
+        self.meta.machines.len()
+    }
+
+    /// Block span in seconds.
+    pub fn block_seconds(&self) -> u64 {
+        self.block_s
+    }
+
+    /// Blocks in the trace.
+    pub fn blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Decodes block `b` in full: every machine, `rows` seconds.
+    /// Frames shared by several machines are decoded once and cloned.
+    pub fn read_block(&mut self, b: usize) -> Result<DecodedBlock, TraceError> {
+        let ix = self
+            .blocks
+            .get(b)
+            .ok_or_else(|| TraceError::Shape {
+                context: format!("block {b} out of range ({} blocks)", self.blocks.len()),
+            })?
+            .clone();
+        let rows = ix.rows as usize;
+        let mut machines: Vec<MachineBlock> = Vec::with_capacity(ix.offsets.len());
+        let mut decoded_at: BTreeMap<u64, usize> = BTreeMap::new();
+        for (m, &off) in ix.offsets.iter().enumerate() {
+            let mm = self
+                .meta
+                .machines
+                .get(m)
+                .ok_or_else(|| TraceError::Malformed {
+                    context: format!("index names machine {m} beyond meta"),
+                })?;
+            if let Some(&first) = decoded_at.get(&off) {
+                // Shared frame: same bytes, so same columns; only the
+                // identity differs.
+                let mut mb = machines
+                    .get(first)
+                    .cloned()
+                    .ok_or_else(|| TraceError::Malformed {
+                        context: format!("block {b}: dangling dedup reference"),
+                    })?;
+                mb.machine_id = mm.machine_id;
+                machines.push(mb);
+                continue;
+            }
+            let ctx = format!("block {b} machine {m}");
+            let payload = read_frame_at(&mut self.r, self.file_len, off, FRAME_BLOCK, &ctx)?;
+            let mb = decode_machine_block(&payload, rows, mm, &ctx)?;
+            decoded_at.insert(off, machines.len());
+            machines.push(mb);
+        }
+        Ok(DecodedBlock {
+            start: ix.start,
+            rows,
+            machines,
+        })
+    }
+
+    /// O(1) seek: machine `m` at absolute second `t`, decoding only
+    /// that machine's frame in the covering block.
+    pub fn machine_second(&mut self, m: usize, t: u64) -> Result<OwnedSecond, TraceError> {
+        if t >= self.seconds {
+            return Err(TraceError::Shape {
+                context: format!("second {t} out of range ({} seconds)", self.seconds),
+            });
+        }
+        let mm = self
+            .meta
+            .machines
+            .get(m)
+            .ok_or_else(|| TraceError::Shape {
+                context: format!("machine {m} out of range ({} machines)", self.machines()),
+            })?
+            .clone();
+        let b = (t / self.block_s) as usize;
+        let ix = self.blocks.get(b).ok_or_else(|| TraceError::Malformed {
+            context: format!("second {t} maps to missing block {b}"),
+        })?;
+        let off = ix
+            .offsets
+            .get(m)
+            .copied()
+            .ok_or_else(|| TraceError::Malformed {
+                context: format!("block {b} has no offset for machine {m}"),
+            })?;
+        let (rows, start) = (ix.rows as usize, ix.start);
+        let ctx = format!("block {b} machine {m}");
+        let payload = read_frame_at(&mut self.r, self.file_len, off, FRAME_BLOCK, &ctx)?;
+        let mb = decode_machine_block(&payload, rows, &mm, &ctx)?;
+        let local = (t - start) as usize;
+        let shape = |what: &str| TraceError::Malformed {
+            context: format!("{ctx}: {what} missing at local row {local}"),
+        };
+        Ok(OwnedSecond {
+            t,
+            machine_id: mm.machine_id,
+            counters: mb
+                .counters_row(local)
+                .ok_or_else(|| shape("counters"))?
+                .to_vec(),
+            measured_power_w: mb.measured(local).ok_or_else(|| shape("measured power"))?,
+            true_power_w: mb.truth(local).ok_or_else(|| shape("true power"))?,
+            counter_ok: mb.counter_ok_row(local).map(<[bool]>::to_vec),
+            meter_ok: mb.meter_ok_at(local),
+            alive: mb.alive_at(local),
+        })
+    }
+
+    /// Converts into a sequential block-at-a-time stream from t = 0.
+    pub fn stream(self) -> TraceStream<R> {
+        TraceStream {
+            reader: self,
+            block: None,
+            next_t: 0,
+        }
+    }
+}
+
+/// Sequential second-by-second replay over a trace.
+///
+/// Call [`advance`](Self::advance) to step to the next second (decoding
+/// each block exactly once, as it is entered), then
+/// [`second`](Self::second) for the borrowed cluster view. Working
+/// memory is one decoded block regardless of trace length.
+pub struct TraceStream<R: Read + Seek> {
+    reader: TraceReader<R>,
+    block: Option<DecodedBlock>,
+    next_t: u64,
+}
+
+impl<R: Read + Seek> TraceStream<R> {
+    /// Steps to the next second; `Ok(false)` at end of trace.
+    pub fn advance(&mut self) -> Result<bool, TraceError> {
+        if self.next_t >= self.reader.seconds() {
+            return Ok(false);
+        }
+        let covered = self
+            .block
+            .as_ref()
+            .is_some_and(|blk| blk.second(self.next_t).is_some());
+        if !covered {
+            let b = (self.next_t / self.reader.block_seconds()) as usize;
+            self.block = Some(self.reader.read_block(b)?);
+        }
+        self.next_t += 1;
+        Ok(true)
+    }
+
+    /// The current second (the one the last `advance` stepped onto).
+    pub fn second(&self) -> Option<SecondView<'_>> {
+        let t = self.next_t.checked_sub(1)?;
+        self.block.as_ref()?.second(t)
+    }
+
+    /// The underlying reader.
+    pub fn reader(&self) -> &TraceReader<R> {
+        &self.reader
+    }
+
+    /// Dissolves the stream back into its reader.
+    pub fn into_reader(self) -> TraceReader<R> {
+        self.reader
+    }
+}
+
+fn io_err(e: std::io::Error) -> TraceError {
+    TraceError::Io {
+        context: format!("read trace: {e}"),
+    }
+}
+
+fn read_exact_at<R: Read + Seek>(r: &mut R, off: u64, buf: &mut [u8]) -> Result<(), TraceError> {
+    r.seek(SeekFrom::Start(off)).map_err(io_err)?;
+    r.read_exact(buf).map_err(io_err)
+}
+
+/// Reads and checksums one frame, defending against corrupt offsets
+/// and oversized length prefixes *before* allocating.
+fn read_frame_at<R: Read + Seek>(
+    r: &mut R,
+    file_len: u64,
+    offset: u64,
+    expect_kind: u8,
+    ctx: &str,
+) -> Result<Vec<u8>, TraceError> {
+    let data_end = file_len.saturating_sub(TRAILER_LEN);
+    if offset < HEADER_LEN || offset.saturating_add(FRAME_OVERHEAD) > data_end {
+        return Err(TraceError::Malformed {
+            context: format!("{ctx}: frame offset {offset} out of range"),
+        });
+    }
+    let mut head = [0u8; 9];
+    read_exact_at(r, offset, &mut head)?;
+    let kind = head.first().copied().unwrap_or(0);
+    if kind != expect_kind {
+        return Err(TraceError::Malformed {
+            context: format!("{ctx}: expected frame kind {expect_kind}, found {kind}"),
+        });
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(head.get(1..9).unwrap_or(&[0; 8]));
+    let len = u64::from_le_bytes(len_bytes);
+    let available = data_end - offset - FRAME_OVERHEAD;
+    if len > available {
+        return Err(TraceError::OversizedLength {
+            context: format!("{ctx} frame"),
+            declared: len,
+            available,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(io_err)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum).map_err(io_err)?;
+    if u64::from_le_bytes(sum) != fnv1a64(&payload) {
+        return Err(TraceError::ChecksumMismatch {
+            context: ctx.to_string(),
+        });
+    }
+    Ok(payload)
+}
+
+/// Structural consistency between the index, the meta, and the file:
+/// uniform block spans, complete machine coverage, in-bounds offsets.
+fn validate_index(
+    seconds: u64,
+    blocks: &[BlockIx],
+    machines: usize,
+    block_s: u64,
+    index_off: u64,
+) -> Result<(), TraceError> {
+    let bad = |what: String| TraceError::Malformed { context: what };
+    let mut covered = 0u64;
+    for (i, b) in blocks.iter().enumerate() {
+        if b.start != (i as u64) * block_s {
+            return Err(bad(format!("index: block {i} starts at {}", b.start)));
+        }
+        if b.rows == 0 || b.rows > block_s {
+            return Err(bad(format!("index: block {i} spans {} rows", b.rows)));
+        }
+        if b.rows != block_s && i + 1 != blocks.len() {
+            return Err(bad(format!("index: non-final block {i} is short")));
+        }
+        if b.offsets.len() != machines {
+            return Err(bad(format!(
+                "index: block {i} covers {} machines, meta has {machines}",
+                b.offsets.len()
+            )));
+        }
+        for (m, &off) in b.offsets.iter().enumerate() {
+            if off < HEADER_LEN || off.saturating_add(FRAME_OVERHEAD) > index_off {
+                return Err(bad(format!(
+                    "index: block {i} machine {m} frame offset {off} out of range"
+                )));
+            }
+        }
+        covered += b.rows;
+    }
+    if covered != seconds {
+        return Err(bad(format!(
+            "index: blocks cover {covered} seconds, trace claims {seconds}"
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes one machine-block payload against the machine's meta shape.
+fn decode_machine_block(
+    payload: &[u8],
+    rows: usize,
+    mm: &MachineMeta,
+    ctx: &str,
+) -> Result<MachineBlock, TraceError> {
+    let mut dec = Dec::new(payload, ctx);
+    let got_rows = dec.u64()? as usize;
+    if got_rows != rows {
+        return Err(TraceError::Malformed {
+            context: format!("{ctx}: frame has {got_rows} rows, index says {rows}"),
+        });
+    }
+    let got_width = dec.u64()? as usize;
+    if got_width != mm.width {
+        return Err(TraceError::Malformed {
+            context: format!("{ctx}: frame has width {got_width}, meta says {}", mm.width),
+        });
+    }
+    let flags = dec.u8()?;
+    if flags != mm.flags_byte() {
+        return Err(TraceError::Malformed {
+            context: format!("{ctx}: frame mask flags disagree with meta"),
+        });
+    }
+    let width = mm.width;
+    let mut counters = vec![0.0f64; rows * width];
+    for c in 0..width {
+        let col = decode_strip(&mut dec, rows)?;
+        for (t, &bits) in col.iter().enumerate() {
+            if let Some(slot) = counters.get_mut(t * width + c) {
+                *slot = f64::from_bits(bits);
+            }
+        }
+    }
+    let measured: Vec<f64> = decode_strip(&mut dec, rows)?
+        .iter()
+        .map(|&b| f64::from_bits(b))
+        .collect();
+    let truth: Vec<f64> = decode_strip(&mut dec, rows)?
+        .iter()
+        .map(|&b| f64::from_bits(b))
+        .collect();
+    let counter_ok = if mm.has_counter_mask {
+        Some(unpack_bits(&mut dec, rows * width)?)
+    } else {
+        None
+    };
+    let meter_ok = if mm.has_meter_mask {
+        Some(unpack_bits(&mut dec, rows)?)
+    } else {
+        None
+    };
+    let alive = if mm.has_alive_mask {
+        Some(unpack_bits(&mut dec, rows)?)
+    } else {
+        None
+    };
+    dec.expect_end()?;
+    Ok(MachineBlock {
+        machine_id: mm.machine_id,
+        width,
+        rows,
+        counters,
+        measured,
+        truth,
+        counter_ok,
+        meter_ok,
+        alive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::SecondRow;
+    use crate::writer::TraceWriter;
+    use std::io::Cursor;
+
+    /// A deterministic trace with masks, NaNs, and a partial tail
+    /// block: 2 distinct machines + 1 tile of machine 0.
+    fn build_trace(seconds: u64, block_s: usize) -> (Vec<u8>, TraceMeta) {
+        let meta = TraceMeta {
+            workload: "reader-test".to_string(),
+            run_seed: 99,
+            machines: vec![
+                MachineMeta::new(0, "Core2", 3),
+                MachineMeta::with_masks(1, "Atom", 2, true, true, true),
+                MachineMeta::new(2, "Core2", 3),
+            ],
+            membership: Vec::new(),
+        };
+        let mut w = TraceWriter::new(Vec::new(), &meta, block_s).unwrap();
+        for t in 0..seconds {
+            let x = t as f64;
+            let a = [x, x * 0.25, 1e6 + x];
+            let b = [x * 2.0, if t % 7 == 3 { f64::NAN } else { -x }];
+            let b_ok = [t % 7 != 3, true];
+            let rows = [
+                SecondRow::clean(&a, 100.0 + x, 99.0 + x),
+                SecondRow {
+                    counters: &b,
+                    measured_power_w: if t % 5 == 0 { f64::NAN } else { 50.0 + x },
+                    true_power_w: 49.0 + x,
+                    counter_ok: Some(&b_ok),
+                    meter_ok: Some(t % 5 != 0),
+                    alive: Some(t % 11 != 10),
+                },
+                SecondRow::clean(&a, 100.0 + x, 99.0 + x),
+            ];
+            w.push_second(&rows).unwrap();
+        }
+        let (bytes, summary) = w.finish().unwrap();
+        assert_eq!(summary.seconds, seconds);
+        // Machine 2 tiles machine 0 → every block shares its frame.
+        assert_eq!(summary.frames_shared as usize, summary.blocks);
+        (bytes, meta)
+    }
+
+    #[test]
+    fn open_validates_and_reports_shape() {
+        let (bytes, meta) = build_trace(10, 4);
+        let r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.meta(), &meta);
+        assert_eq!(r.seconds(), 10);
+        assert_eq!(r.machines(), 3);
+        assert_eq!(r.block_seconds(), 4);
+        assert_eq!(r.blocks(), 3, "4 + 4 + 2");
+    }
+
+    #[test]
+    fn seek_matches_push_bit_for_bit() {
+        let (bytes, _) = build_trace(23, 5);
+        let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        for t in [0u64, 4, 5, 11, 19, 20, 22] {
+            let s = r.machine_second(1, t).unwrap();
+            assert_eq!(s.t, t);
+            assert_eq!(s.machine_id, 1);
+            let x = t as f64;
+            assert_eq!(
+                s.counters.first().copied().map(f64::to_bits),
+                Some((x * 2.0).to_bits())
+            );
+            let want_c1 = if t % 7 == 3 { f64::NAN } else { -x };
+            assert_eq!(
+                s.counters.last().copied().map(f64::to_bits),
+                Some(want_c1.to_bits())
+            );
+            let want_p = if t % 5 == 0 { f64::NAN } else { 50.0 + x };
+            assert_eq!(s.measured_power_w.to_bits(), want_p.to_bits());
+            assert_eq!(s.true_power_w.to_bits(), (49.0 + x).to_bits());
+            assert_eq!(s.counter_ok, Some(vec![t % 7 != 3, true]));
+            assert_eq!(s.meter_ok, Some(t % 5 != 0));
+            assert_eq!(s.alive, Some(t % 11 != 10));
+        }
+        // Maskless machine reports absent masks, not all-true ones.
+        let s = r.machine_second(0, 7).unwrap();
+        assert_eq!(s.counter_ok, None);
+        assert_eq!(s.meter_ok, None);
+        assert_eq!(s.alive, None);
+    }
+
+    #[test]
+    fn seek_out_of_range_is_shape_error() {
+        let (bytes, _) = build_trace(6, 4);
+        let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert!(matches!(
+            r.machine_second(0, 6),
+            Err(TraceError::Shape { .. })
+        ));
+        assert!(matches!(
+            r.machine_second(3, 0),
+            Err(TraceError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_frames_decode_with_their_own_identity() {
+        let (bytes, _) = build_trace(8, 4);
+        let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        let blk = r.read_block(1).unwrap();
+        let ids: Vec<u64> = blk.machines.iter().map(|m| m.machine_id).collect();
+        assert_eq!(ids, [0, 1, 2]);
+        let m0 = blk.machines.first().unwrap();
+        let m2 = blk.machines.last().unwrap();
+        assert_eq!(m0.counters_row(1), m2.counters_row(1));
+    }
+
+    #[test]
+    fn stream_visits_every_second_once_borrowing_rows() {
+        let (bytes, _) = build_trace(23, 5);
+        let r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        let mut stream = r.stream();
+        let mut seen = 0u64;
+        while stream.advance().unwrap() {
+            let s = stream.second().unwrap();
+            assert_eq!(s.t, seen);
+            assert_eq!(s.machines(), 3);
+            let mv = s.machine(0).unwrap();
+            assert_eq!(mv.counters.first().copied(), Some(seen as f64));
+            assert!(mv.meter_ok && mv.alive, "maskless defaults");
+            seen += 1;
+        }
+        assert_eq!(seen, 23);
+        assert!(stream.second().is_some(), "view persists after the loop");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let meta = TraceMeta {
+            workload: "empty".to_string(),
+            run_seed: 0,
+            machines: vec![MachineMeta::new(0, "Core2", 1)],
+            membership: Vec::new(),
+        };
+        let w = TraceWriter::new(Vec::new(), &meta, 8).unwrap();
+        let (bytes, summary) = w.finish().unwrap();
+        assert_eq!(summary.seconds, 0);
+        let r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.seconds(), 0);
+        assert_eq!(r.blocks(), 0);
+        let mut stream = r.stream();
+        assert!(!stream.advance().unwrap());
+    }
+
+    #[test]
+    fn zero_width_machine_round_trips() {
+        let meta = TraceMeta {
+            workload: "thin".to_string(),
+            run_seed: 0,
+            machines: vec![MachineMeta::new(7, "Atom", 0)],
+            membership: Vec::new(),
+        };
+        let mut w = TraceWriter::new(Vec::new(), &meta, 2).unwrap();
+        for t in 0..3u32 {
+            w.push_second(&[SecondRow::clean(&[], f64::from(t), 0.5)])
+                .unwrap();
+        }
+        let (bytes, _) = w.finish().unwrap();
+        let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        let s = r.machine_second(0, 2).unwrap();
+        assert!(s.counters.is_empty());
+        assert_eq!(s.measured_power_w, 2.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Shared test scaffolding: a deterministic PRNG and a random-trace
+//! generator.
+//!
+//! `chaos-trace` is deliberately dependency-free (dev-dependencies
+//! included), so the property suite hand-rolls its generator instead of
+//! pulling in `proptest`: SplitMix64 seeds enumerate the case space,
+//! and a failing case's seed is its reproduction recipe.
+
+use chaos_trace::{EventKind, MachineMeta, MemberEvent, SecondRow, TraceMeta, TraceWriter};
+
+/// SplitMix64 — tiny, seedable, and statistically fine for test-case
+/// generation.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n` must be positive; modulo bias is fine
+    /// for test generation).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A trace value drawn from a deliberately nasty distribution:
+    /// smooth signals, integer ramps, NaNs with payloads, signed
+    /// zeros, infinities, subnormals, and raw bit noise.
+    pub fn value(&mut self, t: u64) -> f64 {
+        match self.below(12) {
+            0 => f64::NAN,
+            1 => f64::from_bits(f64::NAN.to_bits() | self.below(0xfffff)),
+            2 => -0.0,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => f64::from_bits(self.below(1 << 40)), // subnormal
+            6 => f64::from_bits(self.next_u64()),     // raw noise
+            7 => (t as f64) * 1000.0,                 // integer ramp
+            _ => 40.0 + (t as f64) * 0.25 + self.unit(), // smooth signal
+        }
+    }
+}
+
+/// One machine-second as owned data — the generator's ground truth to
+/// compare replays against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedRow {
+    pub counters: Vec<f64>,
+    pub measured_power_w: f64,
+    pub true_power_w: f64,
+    pub counter_ok: Option<Vec<bool>>,
+    pub meter_ok: Option<bool>,
+    pub alive: Option<bool>,
+}
+
+impl OwnedRow {
+    pub fn as_second_row(&self) -> SecondRow<'_> {
+        SecondRow {
+            counters: &self.counters,
+            measured_power_w: self.measured_power_w,
+            true_power_w: self.true_power_w,
+            counter_ok: self.counter_ok.as_deref(),
+            meter_ok: self.meter_ok,
+            alive: self.alive,
+        }
+    }
+
+    /// Bitwise equality — NaN payloads and signed zeros included.
+    /// (Not every suite sharing this module uses it.)
+    #[allow(dead_code)]
+    pub fn bits_eq(
+        &self,
+        counters: &[f64],
+        measured: f64,
+        truth: f64,
+        counter_ok: Option<&[bool]>,
+        meter_ok: Option<bool>,
+        alive: Option<bool>,
+    ) -> bool {
+        self.counters.len() == counters.len()
+            && self
+                .counters
+                .iter()
+                .zip(counters)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.measured_power_w.to_bits() == measured.to_bits()
+            && self.true_power_w.to_bits() == truth.to_bits()
+            && self.counter_ok.as_deref() == counter_ok
+            && self.meter_ok == meter_ok
+            && self.alive == alive
+    }
+}
+
+/// A generated trace: metadata plus `[t][machine]` ground-truth rows.
+pub struct GeneratedTrace {
+    pub meta: TraceMeta,
+    pub rows: Vec<Vec<OwnedRow>>,
+    pub block_s: usize,
+}
+
+const PLATFORMS: [&str; 6] = ["Atom", "Core2", "Athlon", "Opteron", "XeonSATA", "XeonSAS"];
+
+/// Draws a random trace: machine shapes, mask profiles, membership
+/// churn, fault-y values, and a block span chosen to exercise single,
+/// partial, and multi-block layouts.
+pub fn generate(rng: &mut SplitMix64) -> GeneratedTrace {
+    let n_machines = 1 + rng.below(5) as usize;
+    let tiles = rng.chance(1, 3); // sometimes clone machine shapes+data
+    let machines: Vec<MachineMeta> = (0..n_machines)
+        .map(|_| {
+            let platform = PLATFORMS[rng.below(PLATFORMS.len() as u64) as usize];
+            let width = rng.below(5) as usize;
+            MachineMeta::with_masks(
+                rng.below(1000),
+                platform,
+                width,
+                rng.chance(1, 2),
+                rng.chance(1, 2),
+                rng.chance(1, 2),
+            )
+        })
+        .collect();
+    let seconds = rng.below(70);
+    let membership: Vec<MemberEvent> = (0..rng.below(5))
+        .map(|_| {
+            let donor = rng.chance(1, 2).then(|| rng.below(n_machines as u64));
+            let kind = match rng.below(3) {
+                0 => EventKind::Join { donor },
+                1 => EventKind::Leave,
+                _ => EventKind::Replace { donor },
+            };
+            MemberEvent {
+                t: rng.below(seconds.max(1)),
+                machine_id: machines[rng.below(n_machines as u64) as usize].machine_id,
+                kind,
+            }
+        })
+        .collect();
+    let meta = TraceMeta {
+        workload: format!("prop-{}", rng.below(1000)),
+        run_seed: rng.next_u64(),
+        machines,
+        membership,
+    };
+
+    let block_s = [1usize, 2, 5, 16, 64][rng.below(5) as usize];
+    let mut rows = Vec::with_capacity(seconds as usize);
+    for t in 0..seconds {
+        let mut second: Vec<OwnedRow> = Vec::with_capacity(n_machines);
+        for m in &meta.machines {
+            // Tiled mode: machines with identical shape reuse the
+            // first such machine's row, exercising the dedup path.
+            let clone_of = tiles
+                .then(|| {
+                    meta.machines.iter().take(second.len()).position(|prev| {
+                        prev.width == m.width
+                            && prev.flags_byte_for_test() == m.flags_byte_for_test()
+                    })
+                })
+                .flatten();
+            if let Some(i) = clone_of {
+                let prev: OwnedRow = second[i].clone();
+                second.push(prev);
+                continue;
+            }
+            let counters: Vec<f64> = (0..m.width).map(|_| rng.value(t)).collect();
+            let counter_ok = m
+                .has_counter_mask
+                .then(|| (0..m.width).map(|_| rng.chance(9, 10)).collect());
+            second.push(OwnedRow {
+                counters,
+                measured_power_w: rng.value(t),
+                true_power_w: rng.value(t),
+                counter_ok,
+                meter_ok: m.has_meter_mask.then(|| rng.chance(9, 10)),
+                alive: m.has_alive_mask.then(|| rng.chance(19, 20)),
+            });
+        }
+        rows.push(second);
+    }
+    GeneratedTrace {
+        meta,
+        rows,
+        block_s,
+    }
+}
+
+/// Writes a generated trace to bytes.
+pub fn write_trace(gen: &GeneratedTrace) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new(), &gen.meta, gen.block_s).expect("writer");
+    for second in &gen.rows {
+        let borrowed: Vec<SecondRow<'_>> = second.iter().map(OwnedRow::as_second_row).collect();
+        w.push_second(&borrowed).expect("push");
+    }
+    let (bytes, _) = w.finish().expect("finish");
+    bytes
+}
+
+/// Test-only mirror of the private flags byte, for shape matching.
+trait FlagsByteForTest {
+    fn flags_byte_for_test(&self) -> u8;
+}
+
+impl FlagsByteForTest for MachineMeta {
+    fn flags_byte_for_test(&self) -> u8 {
+        u8::from(self.has_counter_mask)
+            | u8::from(self.has_meter_mask) << 1
+            | u8::from(self.has_alive_mask) << 2
+    }
+}

@@ -1,0 +1,259 @@
+//! Corruption fuzz: no byte sequence may panic the reader.
+//!
+//! Mirrors the CHAOSNAP corruption suite. Every failure mode the
+//! on-call runbook cares about — torn writes (truncation), bit rot
+//! (flips), wrong files (bad magic), version skew, and corrupted
+//! length words (allocation bombs) — must surface as a typed
+//! [`TraceError`], never a panic and never silently wrong data.
+
+mod common;
+
+use chaos_trace::{
+    fnv1a64, MachineMeta, SecondRow, TraceError, TraceMeta, TraceReader, TraceWriter, TRACE_VERSION,
+};
+use common::{generate, write_trace, SplitMix64};
+use std::io::Cursor;
+
+/// A small canonical trace exercising masks, NaNs, dedup, and a
+/// partial tail block — every frame kind and strip encoding appears.
+fn canonical_bytes() -> Vec<u8> {
+    let meta = TraceMeta {
+        workload: "fuzz".to_string(),
+        run_seed: 5,
+        machines: vec![
+            MachineMeta::new(0, "Core2", 2),
+            MachineMeta::with_masks(1, "Atom", 1, true, true, true),
+            MachineMeta::new(2, "Core2", 2),
+        ],
+        membership: Vec::new(),
+    };
+    let mut w = TraceWriter::new(Vec::new(), &meta, 4).expect("writer");
+    for t in 0..10u64 {
+        let x = t as f64;
+        let a = [x, 1e9 + x];
+        let b = [if t == 3 { f64::NAN } else { -x }];
+        let b_ok = [t != 3];
+        let rows = [
+            SecondRow::clean(&a, 100.0 + x, 99.0),
+            SecondRow {
+                counters: &b,
+                measured_power_w: 50.0 + x,
+                true_power_w: 49.0,
+                counter_ok: Some(&b_ok),
+                meter_ok: Some(true),
+                alive: Some(t != 9),
+            },
+            SecondRow::clean(&a, 100.0 + x, 99.0),
+        ];
+        w.push_second(&rows).expect("push");
+    }
+    let (bytes, _) = w.finish().expect("finish");
+    bytes
+}
+
+/// Opens and fully exercises a candidate byte string: every block,
+/// every machine, every second, plus random seeks. Any corruption the
+/// open-time validation misses must still surface as `Err` here.
+fn exhaust(bytes: &[u8]) -> Result<(), TraceError> {
+    let mut r = TraceReader::new(Cursor::new(bytes))?;
+    for b in 0..r.blocks() {
+        let _ = r.read_block(b)?;
+    }
+    let seconds = r.seconds();
+    let machines = r.machines();
+    for t in 0..seconds {
+        for m in 0..machines {
+            let _ = r.machine_second(m, t)?;
+        }
+    }
+    let mut stream = r.stream();
+    while stream.advance()? {
+        let _ = stream.second();
+    }
+    Ok(())
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = canonical_bytes();
+    for cut in 0..bytes.len() {
+        let err = exhaust(&bytes[..cut]);
+        assert!(
+            err.is_err(),
+            "truncation to {cut} of {} bytes decoded cleanly",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_caught() {
+    // Every byte of the format is load-bearing (magics, version,
+    // checksummed payloads, frame kinds, length words, the index
+    // offset) — so *any* single-bit flip must be detected, either at
+    // open or during the full read.
+    let bytes = canonical_bytes();
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut dirty = bytes.clone();
+            dirty[pos] ^= 1 << bit;
+            assert!(
+                exhaust(&dirty).is_err(),
+                "flip of bit {bit} at byte {pos} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_magic_and_tail_magic_are_distinguished() {
+    let bytes = canonical_bytes();
+    let mut bad_head = bytes.clone();
+    bad_head[0] = b'X';
+    assert!(matches!(
+        TraceReader::new(Cursor::new(&bad_head)),
+        Err(TraceError::BadMagic)
+    ));
+    let mut bad_tail = bytes.clone();
+    let last = bad_tail.len() - 1;
+    bad_tail[last] = b'X';
+    assert!(matches!(
+        TraceReader::new(Cursor::new(&bad_tail)),
+        Err(TraceError::BadTailMagic)
+    ));
+}
+
+#[test]
+fn future_version_is_refused_with_the_version_it_saw() {
+    let mut bytes = canonical_bytes();
+    bytes[8..12].copy_from_slice(&(TRACE_VERSION + 1).to_le_bytes());
+    match TraceReader::new(Cursor::new(&bytes)).map(|_| ()) {
+        Err(TraceError::UnsupportedVersion { got }) => assert_eq!(got, TRACE_VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    // The meta frame starts at offset 12: [kind][len u64]. Declare an
+    // absurd payload length; the reader must refuse without trying to
+    // allocate it.
+    let mut bytes = canonical_bytes();
+    bytes[13..21].copy_from_slice(&u64::MAX.to_le_bytes());
+    match TraceReader::new(Cursor::new(&bytes)).map(|_| ()) {
+        Err(TraceError::OversizedLength { declared, .. }) => assert_eq!(declared, u64::MAX),
+        other => panic!("expected OversizedLength, got {other:?}"),
+    }
+}
+
+#[test]
+fn checksum_flip_names_the_frame() {
+    // Flip a byte inside the meta payload (offset 21 = first payload
+    // byte) and expect the checksum mismatch to identify the frame.
+    let mut bytes = canonical_bytes();
+    bytes[21] ^= 0xff;
+    match TraceReader::new(Cursor::new(&bytes)).map(|_| ()) {
+        Err(TraceError::ChecksumMismatch { context }) => {
+            assert!(context.contains("meta"), "context was {context:?}")
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn tiny_and_empty_inputs_are_too_short() {
+    for n in 0..28usize {
+        let bytes = vec![0u8; n];
+        assert!(
+            matches!(
+                TraceReader::new(Cursor::new(&bytes)),
+                Err(TraceError::TooShort { .. }) | Err(TraceError::BadMagic)
+            ),
+            "{n}-byte input not rejected as short/bad-magic"
+        );
+    }
+}
+
+#[test]
+fn index_offset_pointing_anywhere_stays_typed() {
+    // Rewriting the trailer's index offset to every byte of the file
+    // must always produce a typed error (wrong kind, bad checksum,
+    // out of range) — never a panic, never a successful open with a
+    // bogus index.
+    let bytes = canonical_bytes();
+    let off_at = bytes.len() - 16;
+    for target in 0..bytes.len() as u64 {
+        let mut dirty = bytes.clone();
+        dirty[off_at..off_at + 8].copy_from_slice(&target.to_le_bytes());
+        let r = TraceReader::new(Cursor::new(&dirty));
+        match r {
+            Ok(_) => {
+                // Only the true index offset may open cleanly.
+                let genuine = u64::from_le_bytes(bytes[off_at..off_at + 8].try_into().unwrap());
+                assert_eq!(target, genuine, "bogus index offset {target} opened");
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    // 200 random byte strings of random lengths: all must fail with a
+    // typed error. (A panic would abort the test binary.)
+    let mut rng = SplitMix64::new(0xf022);
+    for _ in 0..200 {
+        let n = rng.below(4096) as usize;
+        let bytes: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        assert!(exhaust(&bytes).is_err());
+    }
+}
+
+#[test]
+fn garbage_with_valid_envelope_never_panics() {
+    // Harder: correct magics and version, random interior.
+    let mut rng = SplitMix64::new(0xbeef);
+    for _ in 0..200 {
+        let n = 28 + rng.below(2048) as usize;
+        let mut bytes: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        bytes[..8].copy_from_slice(b"CHAOSCOL");
+        bytes[8..12].copy_from_slice(&TRACE_VERSION.to_le_bytes());
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(b"CHAOSEOF");
+        assert!(exhaust(&bytes).is_err());
+    }
+}
+
+#[test]
+fn fuzzed_mutations_of_real_traces_never_panic() {
+    // Random multi-byte mutations of real generated traces: decode
+    // either fails typed or succeeds; both are fine, panics are not.
+    let mut rng = SplitMix64::new(42);
+    for case in 0..40u64 {
+        let mut grng = SplitMix64::new(case);
+        let gen = generate(&mut grng);
+        let bytes = write_trace(&gen);
+        if bytes.is_empty() {
+            continue;
+        }
+        for _ in 0..10 {
+            let mut dirty = bytes.clone();
+            for _ in 0..1 + rng.below(8) {
+                let pos = rng.below(dirty.len() as u64) as usize;
+                dirty[pos] = rng.next_u64() as u8;
+            }
+            let _ = exhaust(&dirty);
+        }
+    }
+}
+
+#[test]
+fn frame_checksums_match_a_reference_fnv() {
+    // Cross-check the checksum primitive against the canonical file:
+    // the meta frame's trailing 8 bytes must equal fnv1a64(payload).
+    let bytes = canonical_bytes();
+    let len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+    let payload = &bytes[21..21 + len];
+    let sum = u64::from_le_bytes(bytes[21 + len..29 + len].try_into().unwrap());
+    assert_eq!(sum, fnv1a64(payload));
+}

@@ -1,0 +1,169 @@
+//! Golden-format pin: the CHAOSCOL v1 encoding may not drift.
+//!
+//! A canonical trace — fixed machines, fixed values, every format
+//! feature (masks, NaN payloads, signed zeros, membership churn, strip
+//! dedup, a partial tail block) — is rebuilt from source and compared
+//! byte-for-byte against the committed
+//! `tests/golden/trace_v1.chaoscol`, and its FNV-1a64 whole-file hash
+//! against a constant pinned below. Any encoder change that alters the
+//! wire bytes fails here first, on purpose: bump [`TRACE_VERSION`] and
+//! regenerate with `UPDATE_GOLDEN=1 cargo test -p chaos-trace` instead
+//! of silently re-encoding old traces differently.
+//!
+//! Per the repo's golden convention (`tests/golden/README.md`), a
+//! missing golden file is bootstrapped automatically on first run.
+
+use chaos_trace::{
+    fnv1a64, EventKind, MachineMeta, MemberEvent, SecondRow, TraceMeta, TraceReader, TraceWriter,
+};
+use std::io::Cursor;
+use std::path::PathBuf;
+
+/// Pinned FNV-1a64 of the canonical v1 file. If an intentional format
+/// change lands, bump `TRACE_VERSION`, regenerate with
+/// `UPDATE_GOLDEN=1`, and update this constant in the same commit.
+const GOLDEN_FNV: u64 = 0xe6f6_10ae_fa2a_705d;
+/// Pinned byte length of the canonical v1 file.
+const GOLDEN_LEN: usize = 1600;
+
+fn golden_path() -> PathBuf {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("crates/chaos-trace"));
+    base.join("tests/golden/trace_v1.chaoscol")
+}
+
+/// Builds the canonical trace. Every literal here is part of the
+/// format pin — do not "clean up" values.
+fn canonical_trace() -> Vec<u8> {
+    let meta = TraceMeta {
+        workload: "golden-v1".to_string(),
+        run_seed: 0x00c0_ffee,
+        machines: vec![
+            MachineMeta::new(0, "Core2", 3),
+            MachineMeta::with_masks(1, "XeonSAS", 2, true, true, true),
+            MachineMeta::new(2, "Core2", 3),
+            MachineMeta::with_masks(7, "Atom", 1, true, false, false),
+        ],
+        membership: vec![
+            MemberEvent {
+                t: 3,
+                machine_id: 7,
+                kind: EventKind::Join { donor: Some(0) },
+            },
+            MemberEvent {
+                t: 11,
+                machine_id: 1,
+                kind: EventKind::Leave,
+            },
+            MemberEvent {
+                t: 13,
+                machine_id: 2,
+                kind: EventKind::Replace { donor: None },
+            },
+        ],
+    };
+    let mut w = TraceWriter::new(Vec::new(), &meta, 6).expect("golden writer");
+    for t in 0..17u64 {
+        let x = t as f64;
+        // Machine 0/2 (tiled): a smooth signal, an integer ramp, and a
+        // constant with a signed-zero excursion.
+        let a = [40.0 + x * 0.25, x * 1000.0, if t == 5 { -0.0 } else { 1.5 }];
+        // Machine 1: NaN payloads and infinities under masks.
+        let b = [
+            if t == 4 {
+                f64::from_bits(f64::NAN.to_bits() | 0xbeef)
+            } else {
+                -x
+            },
+            if t == 9 {
+                f64::INFINITY
+            } else {
+                2e-308 * (x + 1.0)
+            },
+        ];
+        let b_ok = [t != 4, t != 9];
+        // Machine 7: a subnormal crawl.
+        let c = [f64::from_bits(t + 1)];
+        let c_ok = [t % 3 != 2];
+        let rows = [
+            SecondRow::clean(&a, 100.0 + x, 99.5 + x),
+            SecondRow {
+                counters: &b,
+                measured_power_w: if t == 6 { f64::NAN } else { 55.0 + x },
+                true_power_w: 54.0 + x,
+                counter_ok: Some(&b_ok),
+                meter_ok: Some(t != 6),
+                alive: Some(t < 11),
+            },
+            SecondRow::clean(&a, 100.0 + x, 99.5 + x),
+            SecondRow {
+                counters: &c,
+                measured_power_w: 7.25,
+                true_power_w: 7.0,
+                counter_ok: Some(&c_ok),
+                meter_ok: None,
+                alive: None,
+            },
+        ];
+        w.push_second(&rows).expect("golden push");
+    }
+    let (bytes, summary) = w.finish().expect("golden finish");
+    // Structural expectations baked into the pin: 3 blocks (6+6+5),
+    // machine 2 shares machine 0's frame in every block.
+    assert_eq!(summary.blocks, 3);
+    assert_eq!(summary.frames_shared, 3);
+    bytes
+}
+
+#[test]
+fn canonical_file_hash_is_pinned() {
+    let bytes = canonical_trace();
+    assert_eq!(
+        bytes.len(),
+        GOLDEN_LEN,
+        "canonical trace length drifted — the wire format changed"
+    );
+    assert_eq!(
+        fnv1a64(&bytes),
+        GOLDEN_FNV,
+        "canonical trace hash drifted — the wire format changed; bump \
+         TRACE_VERSION and regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn committed_golden_matches_and_decodes() {
+    let bytes = canonical_trace();
+    let path = golden_path();
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    if update || !path.exists() {
+        std::fs::write(&path, &bytes).expect("write golden");
+        eprintln!("golden_format: wrote {}", path.display());
+    }
+    let committed = std::fs::read(&path).expect("read golden");
+    assert_eq!(
+        committed, bytes,
+        "committed golden differs from the canonical encoding; if the \
+         format change is intentional, bump TRACE_VERSION and rerun \
+         with UPDATE_GOLDEN=1"
+    );
+
+    // The pinned file must decode — and bit-exactly.
+    let mut r = TraceReader::new(Cursor::new(committed)).expect("golden open");
+    assert_eq!(r.seconds(), 17);
+    assert_eq!(r.machines(), 4);
+    assert_eq!(r.meta().membership.len(), 3);
+    let s = r.machine_second(1, 4).expect("golden seek");
+    assert_eq!(
+        s.counters.first().map(|v| v.to_bits()),
+        Some(f64::NAN.to_bits() | 0xbeef),
+        "NaN payload lost"
+    );
+    let s5 = r.machine_second(2, 5).expect("golden seek");
+    assert_eq!(
+        s5.counters.last().map(|v| v.to_bits()),
+        Some((-0.0f64).to_bits()),
+        "signed zero lost"
+    );
+}

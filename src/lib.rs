@@ -11,4 +11,5 @@ pub use chaos_serve as serve;
 pub use chaos_sim as sim;
 pub use chaos_stats as stats;
 pub use chaos_stream as stream;
+pub use chaos_trace as trace;
 pub use chaos_workloads as workloads;

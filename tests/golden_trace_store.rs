@@ -1,0 +1,121 @@
+//! Golden pin for the CHAOSCOL on-disk trace format (ISSUE 8).
+//!
+//! The other golden traces pin pipeline *outputs*; this one pins the
+//! *byte layout* of the trace store itself. A fixed-seed faulted run —
+//! counter dropout, meter outages, glitches, crashes, and fleet churn,
+//! so every optional column and the membership log are exercised — is
+//! encoded to CHAOSCOL and compared byte-for-byte against the committed
+//! copy at `tests/golden/trace_core2_quick.chaoscol`.
+//!
+//! If this test fails, the file format changed. That is only legal
+//! alongside a version bump in `chaos_trace::TRACE_VERSION` and
+//! decode support for the old version; regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_trace_store` and commit
+//! the diff as the review artifact. Never regenerate to silence a
+//! mismatch you cannot explain — readers in the field hold files with
+//! the old bytes.
+
+use chaos::counters::{
+    collect_run, export_trace, import_trace, ChurnPlan, CounterCatalog, FaultPlan, RunTrace,
+};
+use chaos::sim::{Cluster, Platform};
+use chaos::workloads::{SimConfig, Workload};
+use std::io::Cursor;
+use std::path::PathBuf;
+
+/// Block length chosen below the run length so the golden file contains
+/// several blocks and a multi-entry footer index.
+const BLOCK_SECONDS: usize = 16;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("trace_core2_quick.chaoscol")
+}
+
+/// The canonical run: quick-scale Core2 cluster under the full fault
+/// vocabulary plus churn, so masks, non-finite values, and membership
+/// events (with and without donors) all reach the encoder.
+fn canonical_run() -> RunTrace {
+    let cluster = Cluster::homogeneous(Platform::Core2, 3, 96);
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let run = collect_run(
+        &cluster,
+        &catalog,
+        Workload::Prime,
+        &SimConfig::quick(),
+        2600,
+    )
+    .expect("collect canonical run");
+    FaultPlan::new(17)
+        .with_counter_dropout(0.1)
+        .with_meter_outages(0.05, 3)
+        .with_glitches(0.02, 4.0)
+        .with_crashes(0.02)
+        .with_churn(
+            ChurnPlan::new(5)
+                .with_leave_rejoin(1)
+                .with_late_joins(1)
+                .with_replaces(1),
+        )
+        .apply(&run)
+}
+
+fn encode(run: &RunTrace) -> Vec<u8> {
+    let (bytes, _) = export_trace(run, Vec::new(), BLOCK_SECONDS).expect("encode canonical run");
+    bytes
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn canonical_trace_file_is_pinned_and_decodes() {
+    let run = canonical_run();
+    let first = encode(&run);
+    let second = encode(&run);
+    assert_eq!(first, second, "trace encoding is nondeterministic");
+
+    let path = golden_path();
+    let update = std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1");
+    let golden = if update || !path.exists() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("golden dir");
+        std::fs::write(&path, &first).expect("write golden trace file");
+        eprintln!(
+            "{} golden trace file {}; commit the file",
+            if update { "updated" } else { "bootstrapped" },
+            path.display()
+        );
+        first.clone()
+    } else {
+        std::fs::read(&path).expect("read golden trace file")
+    };
+
+    assert_eq!(
+        (golden.len(), fnv1a64(&golden)),
+        (first.len(), fnv1a64(&first)),
+        "CHAOSCOL byte layout diverged from tests/golden/trace_core2_quick.chaoscol \
+         (len/fnv shown). A format change requires a TRACE_VERSION bump and decode \
+         support for the old version; if intentional, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test golden_trace_store` and commit the diff."
+    );
+    assert_eq!(golden, first, "same length and hash but bytes differ");
+
+    // The committed bytes must decode to the exact canonical run —
+    // every f64 bit, every mask, every membership event and donor.
+    let back = import_trace(Cursor::new(golden)).expect("golden file decodes");
+    assert_eq!(
+        back, run,
+        "golden file does not decode to the canonical run"
+    );
+    assert!(
+        !run.membership.is_empty(),
+        "canonical run exercises no membership events; the pin lost coverage"
+    );
+}

@@ -1,0 +1,228 @@
+//! ISSUE 8 end-to-end bit-identity: estimating or streaming from a
+//! CHAOSCOL trace file must be indistinguishable — to the bit — from
+//! working over the same run in memory.
+//!
+//! One fixed-seed faulted + churned run is exported to disk, then
+//! replayed through every consumption path:
+//!
+//! - `RobustEstimator::estimate_cluster` (in-memory baseline) versus
+//!   `estimate_source` over a [`MemorySource`] (default and deliberately
+//!   misaligned chunk sizes) and a [`DiskSource`];
+//! - the disk path under serial and 2/4/8-thread execution policies;
+//! - the disk path with observability off, at summary, and at full;
+//! - `StreamEngine::replay` versus `StreamEngine::replay_source` from
+//!   disk, refits and membership churn included.
+//!
+//! Every comparison is on `f64::to_bits`, not tolerances: the trace
+//! store's contract is that it stores *the* bits, and the estimator's
+//! contract is that chunking, threading, and observability never touch
+//! arithmetic order.
+
+use chaos::core::robust::{strawman_position, ClusterEstimate, RobustConfig, RobustEstimator};
+use chaos::core::FeatureSpec;
+use chaos::counters::{
+    collect_run, export_trace_path, ChurnPlan, CounterCatalog, DiskSource, FaultPlan, MemorySource,
+    RunTrace,
+};
+use chaos::obs::{set_level, ObsLevel};
+use chaos::sim::{Cluster, Platform};
+use chaos::stats::exec::ExecPolicy;
+use chaos::stream::{DriftConfig, StreamConfig, StreamEngine};
+use chaos::workloads::{SimConfig, Workload};
+use std::path::PathBuf;
+
+const BLOCK_SECONDS: usize = 16;
+
+fn cluster() -> Cluster {
+    Cluster::homogeneous(Platform::Core2, 3, 96)
+}
+
+/// The replayed run: full fault vocabulary plus churn, so imputation,
+/// tier demotion, and membership handling are all live in the replay.
+fn test_run() -> RunTrace {
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let run = collect_run(
+        &cluster(),
+        &catalog,
+        Workload::Prime,
+        &SimConfig::quick(),
+        995,
+    )
+    .expect("collect test run");
+    FaultPlan::new(23)
+        .with_counter_dropout(0.1)
+        .with_meter_outages(0.05, 3)
+        .with_glitches(0.02, 4.0)
+        .with_crashes(0.02)
+        .with_churn(
+            ChurnPlan::new(9)
+                .with_leave_rejoin(1)
+                .with_late_joins(1)
+                .with_replaces(1),
+        )
+        .apply(&run)
+}
+
+fn fit_estimator(exec: ExecPolicy) -> RobustEstimator {
+    let cluster = cluster();
+    let catalog = CounterCatalog::for_platform(&Platform::Core2.spec());
+    let sim = SimConfig::quick();
+    let train: Vec<RunTrace> = (0..2)
+        .map(|r| collect_run(&cluster, &catalog, Workload::Prime, &sim, 930 + r).unwrap())
+        .collect();
+    let spec = FeatureSpec::general(&catalog);
+    let cpu = strawman_position(&spec, &catalog);
+    let idle = cluster.idle_power() / cluster.machines().len() as f64;
+    let cfg = RobustConfig {
+        fit: RobustConfig::fast()
+            .fit
+            .with_freq_column(spec.freq_column(&catalog)),
+        exec,
+        ..RobustConfig::fast()
+    };
+    RobustEstimator::fit(&train, &spec, cpu, idle, cfg).expect("offline fit")
+}
+
+/// Writes the run to a scratch CHAOSCOL file unique to `tag`.
+fn export_scratch(run: &RunTrace, tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "chaos_replay_identity_{}_{tag}.chaoscol",
+        std::process::id()
+    ));
+    export_trace_path(run, &path, BLOCK_SECONDS).expect("export scratch trace");
+    path
+}
+
+/// Bit-level equality over every field of a [`ClusterEstimate`].
+fn assert_estimates_identical(label: &str, a: &ClusterEstimate, b: &ClusterEstimate) {
+    assert_eq!(a.power_w.len(), b.power_w.len(), "{label}: length");
+    for (t, (x, y)) in a.power_w.iter().zip(&b.power_w).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: power diverged at second {t} ({x} vs {y})"
+        );
+    }
+    assert_eq!(a.worst_tier, b.worst_tier, "{label}: worst tier");
+    assert_eq!(a.tier_counts, b.tier_counts, "{label}: tier counts");
+}
+
+#[test]
+fn memory_and_disk_sources_match_the_in_memory_estimate() {
+    let run = test_run();
+    let est = fit_estimator(ExecPolicy::Serial);
+    let base = est.estimate_cluster(&run);
+
+    let mem = est
+        .estimate_source(&mut MemorySource::new(&run))
+        .expect("memory source estimate");
+    assert_estimates_identical("memory source (default chunks)", &base, &mem);
+
+    // A chunk size that divides neither the run length nor the disk
+    // block length, so every boundary case of the lag-row contract runs.
+    let mem7 = est
+        .estimate_source(&mut MemorySource::with_chunk_seconds(&run, 7))
+        .expect("memory source estimate (7s chunks)");
+    assert_estimates_identical("memory source (7s chunks)", &base, &mem7);
+
+    let path = export_scratch(&run, "sources");
+    let disk = est
+        .estimate_source(&mut DiskSource::open_path(&path).expect("open trace"))
+        .expect("disk source estimate");
+    std::fs::remove_file(&path).expect("remove scratch trace");
+    assert_estimates_identical("disk source", &base, &disk);
+}
+
+#[test]
+fn thread_count_never_changes_the_disk_replay() {
+    let run = test_run();
+    let path = export_scratch(&run, "threads");
+    let estimate = |exec: ExecPolicy| {
+        fit_estimator(exec)
+            .estimate_source(&mut DiskSource::open_path(&path).expect("open trace"))
+            .expect("disk source estimate")
+    };
+    let serial = estimate(ExecPolicy::Serial);
+    for threads in [2, 4, 8] {
+        let parallel = estimate(ExecPolicy::Parallel { threads });
+        assert_estimates_identical(&format!("{threads} threads vs serial"), &serial, &parallel);
+    }
+    std::fs::remove_file(&path).expect("remove scratch trace");
+}
+
+#[test]
+fn observability_level_never_changes_the_disk_replay() {
+    let run = test_run();
+    let est = fit_estimator(ExecPolicy::Serial);
+    let path = export_scratch(&run, "obs");
+    let mut estimates = Vec::new();
+    // Levels are compared pairwise below; other tests in this binary may
+    // run concurrently, but their assertions are level-independent (that
+    // is exactly the property under test).
+    for level in [ObsLevel::Off, ObsLevel::Summary, ObsLevel::Full] {
+        set_level(level);
+        estimates.push(
+            est.estimate_source(&mut DiskSource::open_path(&path).expect("open trace"))
+                .expect("disk source estimate"),
+        );
+    }
+    set_level(ObsLevel::Off);
+    std::fs::remove_file(&path).expect("remove scratch trace");
+    assert_estimates_identical("summary vs off", &estimates[0], &estimates[1]);
+    assert_estimates_identical("full vs off", &estimates[0], &estimates[2]);
+}
+
+#[test]
+fn stream_engine_replays_identically_from_disk() {
+    let run = test_run();
+    let cluster = cluster();
+    let est = fit_estimator(ExecPolicy::Serial);
+    let config = StreamConfig {
+        window_s: 40,
+        drift: DriftConfig {
+            window_s: 15,
+            cooldown_s: 5,
+            ..DriftConfig::fast()
+        },
+        min_refit_samples: 12,
+        ..StreamConfig::fast()
+    }
+    .with_exec(ExecPolicy::Parallel { threads: 4 });
+    let n = cluster.machines().len() as f64;
+    let engine = || {
+        StreamEngine::new(
+            est.clone(),
+            cluster.machines().len(),
+            cluster.max_power() / n,
+            cluster.idle_power() / n,
+            0.05,
+            config.clone(),
+        )
+        .expect("engine")
+    };
+
+    let memory = engine().replay(&run).expect("in-memory replay");
+    let path = export_scratch(&run, "stream");
+    let disk = engine()
+        .replay_source(&mut DiskSource::open_path(&path).expect("open trace"))
+        .expect("disk replay");
+    std::fs::remove_file(&path).expect("remove scratch trace");
+
+    assert_eq!(memory.len(), disk.len(), "replay length");
+    for (a, b) in memory.iter().zip(&disk) {
+        assert_eq!(
+            a.cluster_power_w.to_bits(),
+            b.cluster_power_w.to_bits(),
+            "disk replay diverged from memory at second {} ({} vs {})",
+            a.t,
+            a.cluster_power_w,
+            b.cluster_power_w
+        );
+        assert_eq!(a.worst_tier, b.worst_tier, "worst tier at second {}", a.t);
+        assert_eq!(
+            a.active_machines, b.active_machines,
+            "active machines at second {}",
+            a.t
+        );
+    }
+}
