@@ -15,8 +15,12 @@ use chaos_core::pooling::{evaluate_pooling, PoolingStrategy};
 use chaos_core::{ExecPolicy, FeatureSpec, ModelTechnique};
 use chaos_counters::{collect_run, CounterCatalog, RunTrace};
 use chaos_sim::{Cluster, Platform};
+use chaos_stats::batch::CoefBlock;
+use chaos_stats::gram::GramCache;
+use chaos_stats::Matrix;
 use chaos_workloads::{SimConfig, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 const POLICIES: [(&str, ExecPolicy); 2] = [
     ("serial", ExecPolicy::Serial),
@@ -123,10 +127,76 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic pseudo-random double in [-0.5, 0.5) — the kernel
+/// benches measure pure numeric loops and need no simulator.
+fn det(i: usize) -> f64 {
+    ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+}
+
+/// Raw-speed kernels: the SoA fleet predictor against the per-machine
+/// scalar dot, and the blocked Gram builder against the row-at-a-time
+/// reference. Both pairs are bit-identical (pinned by
+/// `tests/kernel_identity.rs`); only wall-clock may differ.
+fn bench_kernel_suite(c: &mut Criterion) {
+    let (m, k) = (1024usize, 8usize);
+    let mut coefs = CoefBlock::new(k);
+    let mut rows = CoefBlock::new(k);
+    let mut coef_vecs = Vec::with_capacity(m);
+    let mut row_vecs = Vec::with_capacity(m);
+    for j in 0..m {
+        let cv: Vec<f64> = (0..k).map(|f| 10.0 * det(j * k + f)).collect();
+        let rv: Vec<f64> = (0..k).map(|f| 4.0 * det(7919 + j * k + f)).collect();
+        coefs.push(&cv).unwrap();
+        rows.push(&rv).unwrap();
+        coef_vecs.push(cv);
+        row_vecs.push(rv);
+    }
+    coefs.seal();
+    rows.seal();
+
+    let n = 1500usize;
+    let p = 16usize;
+    let xr: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..p).map(|j| 6.0 * det(i * p + j)).collect())
+        .collect();
+    let x = Matrix::from_rows(&xr).unwrap();
+    let y: Vec<f64> = (0..n).map(|i| 100.0 * det(31337 + i)).collect();
+
+    let mut group = c.benchmark_group("kernel_suite");
+    let mut out = vec![0.0; m];
+    group.bench_function("soa_batch_predict", |b| {
+        b.iter(|| {
+            coefs.predict_into(&rows, &mut out).unwrap();
+            black_box(out[m - 1])
+        })
+    });
+    group.bench_function("scalar_predict", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for (cv, rv) in coef_vecs.iter().zip(&row_vecs) {
+                let mut acc = 0.0;
+                for (c, x) in cv.iter().zip(rv) {
+                    acc += c * x;
+                }
+                last = acc;
+            }
+            black_box(last)
+        })
+    });
+    group.bench_function("gram_blocked", |b| {
+        b.iter(|| black_box(GramCache::new(&x, &y).unwrap()))
+    });
+    group.bench_function("gram_reference", |b| {
+        b.iter(|| black_box(GramCache::new_reference(&x, &y).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_per_machine_fit,
     bench_cv_folds,
-    bench_obs_overhead
+    bench_obs_overhead,
+    bench_kernel_suite
 );
 criterion_main!(benches);

@@ -192,12 +192,12 @@ impl SwitchingModel {
         })
     }
 
-    fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
+    fn predict_row_with(&self, row: &[f64], scratch: &mut Vec<f64>) -> Result<f64, StatsError> {
         let region = region_of(&self.bounds, row[self.freq_col]);
-        let mut design = Vec::with_capacity(row.len() + 1);
-        design.push(1.0);
-        design.extend_from_slice(row);
-        self.submodels[region].predict_row(&design)
+        scratch.clear();
+        scratch.push(1.0);
+        scratch.extend_from_slice(row);
+        self.submodels[region].predict_row(scratch)
     }
 
     /// Number of frequency regions.
@@ -389,6 +389,20 @@ impl FittedModel {
     /// rejected (or imputed by a fault-aware caller), never silently
     /// folded into a wattage.
     pub fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
+        let mut scratch = Vec::new();
+        self.predict_row_with(row, &mut scratch)
+    }
+
+    /// [`predict_row`](FittedModel::predict_row) with a caller-owned
+    /// scratch buffer for the intercept-augmented design row, so the
+    /// streaming hot path predicts without per-sample allocation. The
+    /// arithmetic is identical — `scratch` only replaces the transient
+    /// design vector — so results are bit-identical to `predict_row`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FittedModel::predict_row`].
+    pub fn predict_row_with(&self, row: &[f64], scratch: &mut Vec<f64>) -> Result<f64, StatsError> {
         if row.len() != self.width {
             return Err(StatsError::DimensionMismatch {
                 context: format!(
@@ -405,13 +419,13 @@ impl FittedModel {
         }
         let raw = match &self.inner {
             ModelImpl::Linear(f) => {
-                let mut design = Vec::with_capacity(row.len() + 1);
-                design.push(1.0);
-                design.extend_from_slice(row);
-                f.predict_row(&design)?
+                scratch.clear();
+                scratch.push(1.0);
+                scratch.extend_from_slice(row);
+                f.predict_row(scratch)?
             }
             ModelImpl::Mars(m) => m.predict_row(row)?,
-            ModelImpl::Switching(s) => s.predict_row(row)?,
+            ModelImpl::Switching(s) => s.predict_row_with(row, scratch)?,
         };
         Ok(raw.clamp(self.clamp.0, self.clamp.1))
     }

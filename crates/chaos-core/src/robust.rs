@@ -423,9 +423,34 @@ impl RobustEstimator {
         t: usize,
         imp: &mut ImputerState,
     ) -> AssembledRow {
+        let mut out = AssembledRow {
+            row: Vec::new(),
+            available: Vec::new(),
+            imputed: 0,
+        };
+        self.assemble_row_into(m, t, imp, &mut out);
+        out
+    }
+
+    /// [`assemble_row`](RobustEstimator::assemble_row) into a
+    /// caller-owned [`AssembledRow`], reusing its buffers so the
+    /// streaming hot path assembles without per-sample allocation.
+    /// State evolution and output are identical to `assemble_row`.
+    pub fn assemble_row_into(
+        &self,
+        m: &MachineRunTrace,
+        t: usize,
+        imp: &mut ImputerState,
+        out: &mut AssembledRow,
+    ) {
         let width = self.spec.width();
-        let mut row = vec![0.0_f64; width];
-        let mut available = vec![false; width];
+        out.row.clear();
+        out.row.resize(width, 0.0);
+        out.available.clear();
+        out.available.resize(width, false);
+        out.imputed = 0;
+        let row = &mut out.row;
+        let available = &mut out.available;
         let mut imputed = 0usize;
 
         if m.alive_at(t) {
@@ -461,17 +486,28 @@ impl RobustEstimator {
             }
         }
 
-        AssembledRow {
-            row,
-            available,
-            imputed,
-        }
+        out.imputed = imputed;
     }
 
     /// Walks the fallback chain over an assembled row — the second half
     /// of [`estimate_second`](RobustEstimator::estimate_second). Never
     /// panics, never returns NaN.
     pub fn estimate_from_row(&self, assembled: &AssembledRow) -> SampleEstimate {
+        let mut scratch = Vec::new();
+        self.estimate_from_row_with(assembled, &mut scratch)
+    }
+
+    /// [`estimate_from_row`](RobustEstimator::estimate_from_row) with a
+    /// caller-owned scratch buffer for the model's design row, so the
+    /// streaming hot path (complete rows answered by the Full tier)
+    /// runs allocation-free. Degraded tiers may still allocate — they
+    /// fire on faulted seconds, off the steady-state path. Results are
+    /// bit-identical to `estimate_from_row`.
+    pub fn estimate_from_row_with(
+        &self,
+        assembled: &AssembledRow,
+        scratch: &mut Vec<f64>,
+    ) -> SampleEstimate {
         let AssembledRow {
             row,
             available,
@@ -482,7 +518,7 @@ impl RobustEstimator {
 
         // Tier 1: full model on a complete row.
         if available.iter().all(|&a| a) {
-            if let Ok(p) = self.full.predict_row(row) {
+            if let Ok(p) = self.full.predict_row_with(row, scratch) {
                 if p.is_finite() {
                     return SampleEstimate {
                         power_w: p,
@@ -509,7 +545,7 @@ impl RobustEstimator {
         // Tier 3: CPU-utilization strawman.
         if let (Some(pos), Some(straw)) = (self.cpu_position, self.strawman.as_ref()) {
             if available[pos] {
-                if let Ok(p) = straw.predict_row(&row[pos..=pos]) {
+                if let Ok(p) = straw.predict_row_with(&row[pos..=pos], scratch) {
                     if p.is_finite() {
                         return SampleEstimate {
                             power_w: p,

@@ -55,21 +55,19 @@ impl HingeCache {
     }
 
     /// Materializes the hinge vector for a (variable, knot, direction)
-    /// triple unless the cache is full.
-    fn ensure(&mut self, rows: &[&[f64]], variable: usize, knot: f64, direction: Direction) {
+    /// triple unless the cache is full. `xcol` is the variable's
+    /// column-major slice, so the scan is one sequential pass.
+    fn ensure(&mut self, xcol: &[f64], variable: usize, knot: f64, direction: Direction) {
         if self.cols.len() >= MAX_HINGE_CACHE {
             return;
         }
         self.cols
             .entry((variable, knot.to_bits(), direction))
             .or_insert_with(|| {
-                rows.iter()
-                    .map(|r| {
-                        let x = r[variable];
-                        match direction {
-                            Direction::Positive => (x - knot).max(0.0),
-                            Direction::Negative => (knot - x).max(0.0),
-                        }
+                xcol.iter()
+                    .map(|&x| match direction {
+                        Direction::Positive => (x - knot).max(0.0),
+                        Direction::Negative => (knot - x).max(0.0),
                     })
                     .collect()
             });
@@ -91,6 +89,15 @@ pub(crate) struct ForwardResult {
 pub(crate) fn forward_pass(x: &Matrix, y: &[f64], config: &MarsConfig) -> ForwardResult {
     let n = x.rows();
     let rows: Vec<&[f64]> = (0..n).map(|i| x.row(i)).collect();
+    // Column-major copy of the design matrix. Knot enumeration, hinge
+    // materialization, and candidate scoring all read *one variable
+    // across every sample*; in the row-major matrix that access strides
+    // by the row width per element, so each is transposed here once and
+    // scanned sequentially ever after. Values are copied verbatim —
+    // every kernel below computes bit-identical results.
+    let xcols: Vec<Vec<f64>> = (0..x.cols())
+        .map(|v| rows.iter().map(|r| r[v]).collect())
+        .collect();
 
     let mut basis = vec![BasisFunction::intercept()];
     // Orthonormal columns spanning the basis so far.
@@ -124,14 +131,14 @@ pub(crate) fn forward_pass(x: &Matrix, y: &[f64], config: &MarsConfig) -> Forwar
                 if parent.uses_variable(v) {
                     continue;
                 }
-                for &knot in &knot_candidates(&rows, &active, v, config.max_knots_per_var) {
+                for &knot in &knot_candidates(&xcols[v], &active, config.max_knots_per_var) {
                     candidates.push((pi, v, knot));
                 }
             }
         }
         for &(_, v, knot) in &candidates {
-            hinges.ensure(&rows, v, knot, Direction::Positive);
-            hinges.ensure(&rows, v, knot, Direction::Negative);
+            hinges.ensure(&xcols[v], v, knot, Direction::Positive);
+            hinges.ensure(&xcols[v], v, knot, Direction::Negative);
         }
 
         chaos_obs::add("mars.forward_rounds", 1);
@@ -144,7 +151,7 @@ pub(crate) fn forward_pass(x: &Matrix, y: &[f64], config: &MarsConfig) -> Forwar
                 v,
                 knot,
                 &basis_vals[pi],
-                &rows,
+                &xcols[v],
                 &q_cols,
                 &resid,
                 &hinges,
@@ -201,19 +208,20 @@ struct Candidate {
 }
 
 /// Scores a (parent, variable, knot) candidate by the RSS reduction of
-/// adding both reflected hinge children.
+/// adding both reflected hinge children. `xcol` is the candidate
+/// variable's column-major slice.
 #[allow(clippy::too_many_arguments)]
 fn score_candidate(
     parent_idx: usize,
     variable: usize,
     knot: f64,
     parent_vals: &[f64],
-    rows: &[&[f64]],
+    xcol: &[f64],
     q_cols: &[Vec<f64>],
     resid: &[f64],
     hinges: &HingeCache,
 ) -> Option<Candidate> {
-    let n = rows.len();
+    let n = parent_vals.len();
     let mut gain = 0.0;
     // Evaluate both children; orthogonalize the second against the first.
     let mut first_q: Option<Vec<f64>> = None;
@@ -230,7 +238,7 @@ fn score_candidate(
         } else {
             for i in 0..n {
                 if parent_vals[i] > 0.0 {
-                    let x = rows[i][variable];
+                    let x = xcol[i];
                     let h = match dir {
                         Direction::Positive => (x - knot).max(0.0),
                         Direction::Negative => (knot - x).max(0.0),
@@ -298,10 +306,11 @@ fn orthogonalize(col: &[f64], q_cols: &[Vec<f64>]) -> Option<Vec<f64>> {
     Some(u)
 }
 
-/// Candidate knots for variable `v` over the active samples: up to
+/// Candidate knots for a variable over the active samples: up to
 /// `max_knots` evenly spaced interior quantiles of the distinct values.
-fn knot_candidates(rows: &[&[f64]], active: &[usize], v: usize, max_knots: usize) -> Vec<f64> {
-    let mut vals: Vec<f64> = active.iter().map(|&i| rows[i][v]).collect();
+/// `xcol` is the variable's column-major slice, indexed by sample.
+fn knot_candidates(xcol: &[f64], active: &[usize], max_knots: usize) -> Vec<f64> {
+    let mut vals: Vec<f64> = active.iter().map(|&i| xcol[i]).collect();
     // chaos-lint: allow(R4) — fit() rejects non-finite design values
     // before the forward pass, so feature values never compare NaN.
     vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
@@ -374,21 +383,16 @@ mod tests {
 
     #[test]
     fn knot_candidates_skip_extremes() {
-        let r1 = [1.0];
-        let r2 = [2.0];
-        let r3 = [3.0];
-        let r4 = [4.0];
-        let rows: Vec<&[f64]> = vec![&r1, &r2, &r3, &r4];
-        let ks = knot_candidates(&rows, &[0, 1, 2, 3], 0, 10);
+        let xcol = [1.0, 2.0, 3.0, 4.0];
+        let ks = knot_candidates(&xcol, &[0, 1, 2, 3], 10);
         assert_eq!(ks, vec![2.0, 3.0]);
     }
 
     #[test]
     fn knot_candidates_subsample_to_max() {
-        let storage: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
-        let rows: Vec<&[f64]> = storage.iter().map(|r| r.as_slice()).collect();
+        let xcol: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let active: Vec<usize> = (0..100).collect();
-        let ks = knot_candidates(&rows, &active, 0, 7);
+        let ks = knot_candidates(&xcol, &active, 7);
         assert_eq!(ks.len(), 7);
         for w in ks.windows(2) {
             assert!(w[1] > w[0]);

@@ -17,12 +17,12 @@
 use crate::fleet::{Fleet, MachineSlot};
 use crate::protocol::TickResult;
 use crate::snapshot::ServerState;
-use chaos_core::robust::{strawman_position, RobustConfig, RobustEstimator};
+use chaos_core::robust::{strawman_position, EstimateTier, RobustConfig, RobustEstimator};
 use chaos_core::FeatureSpec;
 use chaos_counters::{collect_run, CounterCatalog, MachineRunTrace, RunTrace, ValidityMask};
 use chaos_sim::FleetSpec;
 use chaos_stats::ExecPolicy;
-use chaos_stream::{SnapshotError, StreamConfig, StreamEngine};
+use chaos_stream::{SnapshotError, StreamConfig, StreamEngine, StreamOutput};
 use std::collections::BTreeMap;
 
 /// Held-out baseline DRE every slot's drift detector compares against.
@@ -199,6 +199,14 @@ pub fn restore_fleet(
             refit_counts: slot_state.refit_counts.clone(),
             last_refit_t: slot_state.last_refit_t,
             last: slot_state.last.clone(),
+            out: StreamOutput {
+                t: 0,
+                cluster_power_w: 0.0,
+                worst_tier: EstimateTier::Full,
+                active_machines: 0,
+                machines: Vec::new(),
+            },
+            spare_masks: Vec::new(),
         });
     }
     Ok(Fleet {

@@ -40,7 +40,7 @@ use chaos_core::RobustEstimator;
 use chaos_counters::{MachineRunTrace, RunTrace, ValidityMask};
 use chaos_sim::FleetSpec;
 use chaos_stats::ExecPolicy;
-use chaos_stream::{StreamConfig, StreamEngine, StreamSample};
+use chaos_stream::{StreamConfig, StreamEngine, StreamOutput, StreamSample};
 use std::collections::BTreeMap;
 
 /// One fleet member's serving state: a single-machine engine plus the
@@ -65,6 +65,13 @@ pub struct MachineSlot {
     pub(crate) last_refit_t: Option<u64>,
     /// Most recent emitted sample.
     pub(crate) last: Option<LastSample>,
+    /// Reused per-tick engine output — the sample vector's storage
+    /// survives across ticks so a steady-state advance allocates
+    /// nothing inside the engine call.
+    pub(crate) out: StreamOutput,
+    /// Recycled validity-mask rows reclaimed at compaction, reused for
+    /// samples that omit `counter_ok` (the common all-valid case).
+    pub(crate) spare_masks: Vec<Vec<bool>>,
 }
 
 /// What one slot's advance phase hands back to the composer.
@@ -106,6 +113,14 @@ impl MachineSlot {
             refit_counts: BTreeMap::new(),
             last_refit_t: None,
             last: None,
+            out: StreamOutput {
+                t: 0,
+                cluster_power_w: 0.0,
+                worst_tier: EstimateTier::Full,
+                active_machines: 0,
+                machines: Vec::new(),
+            },
+            spare_masks: Vec::new(),
         }
     }
 
@@ -126,43 +141,82 @@ impl MachineSlot {
         let meter_ok = sample.meter_ok && sample.power_w.is_some();
         m.measured_power_w.push(sample.power_w.unwrap_or(0.0));
         m.true_power_w.push(0.0);
-        m.validity
-            .counters
-            .push(sample.counter_ok.unwrap_or_else(|| vec![true; width]));
+        let mask = match sample.counter_ok {
+            Some(mask) => mask,
+            None => {
+                // All-valid default built in recycled storage instead of
+                // a fresh `vec![true; width]` every tick.
+                let mut mask = self.spare_masks.pop().unwrap_or_default();
+                mask.clear();
+                mask.resize(width, true);
+                mask
+            }
+        };
+        m.validity.counters.push(mask);
         m.validity.meter.push(meter_ok);
         m.validity.alive.push(sample.alive);
         let rel = m.seconds() - 1;
 
-        let out = self.engine.push_second(&self.buf, rel)?;
-        let stream_sample = out.machines.into_iter().next();
+        self.engine
+            .push_second_into(&self.buf, rel, &mut self.out)?;
+        let stream_sample = self.out.machines.pop();
 
         let drained = self.engine.drain_refit_outcomes();
         let refits = drained.len() as u64;
         for outcome in &drained {
             let label = outcome.applied.map_or("none", |tier| tier.label());
-            *self.refit_counts.entry(label.to_string()).or_insert(0) += 1;
+            match self.refit_counts.get_mut(label) {
+                Some(count) => *count += 1,
+                None => {
+                    self.refit_counts.insert(label.to_string(), 1);
+                }
+            }
             self.last_refit_t = Some(self.base_t + outcome.t as u64);
         }
 
         self.samples_total += 1;
         if let Some(s) = &stream_sample {
-            self.last = Some(LastSample {
-                t: self.base_t + rel as u64,
-                power_w: s.power_w,
-                tier: s.tier.label().to_string(),
-                adapted: s.adapted,
-                imputed: s.imputed,
-                rolling_dre: s.rolling_dre,
-            });
+            let t_abs = self.base_t + rel as u64;
+            let tier_label = s.tier.label();
+            match &mut self.last {
+                // Update the previous sample in place: the tier string's
+                // storage is reused unless the tier actually changed.
+                Some(l) => {
+                    l.t = t_abs;
+                    l.power_w = s.power_w;
+                    if l.tier != tier_label {
+                        l.tier.clear();
+                        l.tier.push_str(tier_label);
+                    }
+                    l.adapted = s.adapted;
+                    l.imputed = s.imputed;
+                    l.rolling_dre = s.rolling_dre;
+                }
+                None => {
+                    self.last = Some(LastSample {
+                        t: t_abs,
+                        power_w: s.power_w,
+                        tier: tier_label.to_string(),
+                        adapted: s.adapted,
+                        imputed: s.imputed,
+                        rolling_dre: s.rolling_dre,
+                    });
+                }
+            }
         }
 
         // Compact: keep only the just-consumed row as the next tick's
-        // lag row, and shift the engine cursor to match.
+        // lag row, and shift the engine cursor to match. Evicted mask
+        // rows are reclaimed for the next tick's all-valid default.
         if let Some(m) = self.buf.machines.first_mut() {
             m.counters.drain(..rel);
             m.measured_power_w.drain(..rel);
             m.true_power_w.drain(..rel);
-            m.validity.counters.drain(..rel);
+            for mask in m.validity.counters.drain(..rel) {
+                if self.spare_masks.len() < 2 {
+                    self.spare_masks.push(mask);
+                }
+            }
             m.validity.meter.drain(..rel);
             m.validity.alive.drain(..rel);
         }

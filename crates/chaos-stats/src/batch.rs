@@ -1,0 +1,369 @@
+//! Structure-of-arrays batch prediction across machines.
+//!
+//! The streaming engine's steady state scores every fleet machine with
+//! the same *shape* of model: a dot product between a per-machine
+//! coefficient vector and a per-machine feature row. Doing that one
+//! machine at a time walks `m` short, pointer-chased slices per tick.
+//! [`CoefBlock`] packs the same numbers column-major — entry `(f, j)`
+//! of machine `j`'s vector lives at `data[f * m + j]` — so one
+//! feature-outer / machine-inner loop streams through memory
+//! sequentially and scores the whole fleet per cache line.
+//!
+//! # Bit-identity contract
+//!
+//! [`CoefBlock::predict_into`] is *bit-identical* to the scalar
+//! per-machine idiom
+//! `row.iter().zip(coefs).map(|(a, b)| a * b).sum::<f64>()`
+//! (the kernel inside [`OlsFit::predict_row`](crate::ols::OlsFit) and
+//! the engine's linear adapted models): each output slot starts at
+//! `0.0` and accumulates its machine's products in feature order
+//! `0..k`, which is exactly the fold `std::iter::Sum<f64>` performs.
+//! Only the *machine* loop is interchanged — never the feature loop —
+//! so the floating-point operation sequence per machine is unchanged,
+//! including for NaN, infinite, and subnormal coefficients. For the
+//! same reason ragged fleets must not be zero-padded into a block:
+//! `0.0 × NaN = NaN` and `-0.0 + 0.0 = +0.0` would both change bits,
+//! so machines whose model does not span the full feature set take the
+//! scalar path instead (see `chaos-stream`'s engine).
+//!
+//! The parallel variant [`CoefBlock::predict_into_exec`] splits the
+//! machine range into contiguous chunks, one per worker; per-machine
+//! accumulation order is untouched, so results are bit-identical
+//! across 1, 2, 4, 8, … threads — the same ordered-merge discipline
+//! as [`ExecPolicy::par_map_indices`](crate::exec::ExecPolicy).
+
+use crate::exec::ExecPolicy;
+use crate::StatsError;
+
+/// A column-major `k × m` block of per-machine vectors (`k` entries
+/// per machine, `m` machines): entry `(f, j)` is stored at
+/// `data[f * m + j]`.
+///
+/// Rows are staged row-major via [`push`](CoefBlock::push) and
+/// transposed once by [`seal`](CoefBlock::seal); both buffers are
+/// retained across [`clear`](CoefBlock::clear), so a block that is
+/// rebuilt every tick allocates only until the fleet's high-water
+/// mark, then never again. The same type carries the coefficient
+/// block *and* the gathered feature-row block — the batched kernel is
+/// symmetric in the two operands.
+///
+/// Values are deliberately **not** validated for finiteness: the
+/// block must reproduce whatever the scalar path would have computed,
+/// NaNs included.
+///
+/// # Example
+///
+/// ```
+/// use chaos_stats::batch::CoefBlock;
+///
+/// # fn main() -> Result<(), chaos_stats::StatsError> {
+/// let mut coefs = CoefBlock::new(2);
+/// coefs.push(&[1.0, 2.0])?; // machine 0: y = 1·x0 + 2·x1
+/// coefs.push(&[3.0, 4.0])?; // machine 1: y = 3·x0 + 4·x1
+/// coefs.seal();
+/// let mut rows = CoefBlock::new(2);
+/// rows.push(&[10.0, 100.0])?;
+/// rows.push(&[10.0, 100.0])?;
+/// rows.seal();
+/// let mut out = [0.0; 2];
+/// coefs.predict_into(&rows, &mut out)?;
+/// assert_eq!(out, [210.0, 430.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoefBlock {
+    /// Entries per machine.
+    k: usize,
+    /// Machines staged so far.
+    m: usize,
+    /// Row-major staging area, `m * k`.
+    stage: Vec<f64>,
+    /// Column-major payload, `k * m`; valid only when `sealed`.
+    cols: Vec<f64>,
+    sealed: bool,
+}
+
+impl CoefBlock {
+    /// An empty block for vectors of `k` entries per machine.
+    pub fn new(k: usize) -> Self {
+        CoefBlock {
+            k,
+            m: 0,
+            stage: Vec::new(),
+            cols: Vec::new(),
+            sealed: false,
+        }
+    }
+
+    /// Entries per machine.
+    pub fn width(&self) -> usize {
+        self.k
+    }
+
+    /// Machines currently staged.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether no machines are staged.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Drops all staged machines but keeps both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.m = 0;
+        self.stage.clear();
+        self.sealed = false;
+    }
+
+    /// Stages one machine's vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `v.len()` differs
+    /// from the block width.
+    pub fn push(&mut self, v: &[f64]) -> Result<(), StatsError> {
+        if v.len() != self.k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "coef block: vector has {} entries, block width is {}",
+                    v.len(),
+                    self.k
+                ),
+            });
+        }
+        self.stage.extend_from_slice(v);
+        self.m += 1;
+        self.sealed = false;
+        Ok(())
+    }
+
+    /// Transposes the staged rows into the column-major payload.
+    /// Idempotent; cheap to call after every rebuild.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        let (k, m) = (self.k, self.m);
+        self.cols.clear();
+        self.cols.resize(k * m, 0.0);
+        for j in 0..m {
+            let row = &self.stage[j * k..(j + 1) * k];
+            for (f, &v) in row.iter().enumerate() {
+                self.cols[f * m + j] = v;
+            }
+        }
+        self.sealed = true;
+    }
+
+    /// Entry `(f, j)`: component `f` of machine `j`'s staged vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= width()` or `j >= len()`.
+    pub fn get(&self, f: usize, j: usize) -> f64 {
+        assert!(f < self.k && j < self.m, "coef block index out of range");
+        self.stage[j * self.k + f]
+    }
+
+    /// The sealed column-major payload (`k * m`, entry `(f, j)` at
+    /// `f * m + j`), or `None` before [`seal`](CoefBlock::seal).
+    pub fn columns(&self) -> Option<&[f64]> {
+        if self.sealed {
+            Some(&self.cols)
+        } else {
+            None
+        }
+    }
+
+    /// Scores every machine: `out[j] = Σ_f self(f, j) · rows(f, j)`,
+    /// accumulated in feature order from `0.0` — bit-identical to the
+    /// scalar zip-dot per machine (see the module docs).
+    ///
+    /// Both blocks must be sealed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the blocks differ
+    /// in width or machine count, if `out.len()` differs from the
+    /// machine count, or if either block is unsealed.
+    pub fn predict_into(&self, rows: &CoefBlock, out: &mut [f64]) -> Result<(), StatsError> {
+        self.check_operands(rows, out.len())?;
+        let m = self.m;
+        out.fill(0.0);
+        for f in 0..self.k {
+            let c = &self.cols[f * m..(f + 1) * m];
+            let x = &rows.cols[f * m..(f + 1) * m];
+            for j in 0..m {
+                out[j] += c[j] * x[j];
+            }
+        }
+        Ok(())
+    }
+
+    /// [`predict_into`](CoefBlock::predict_into) with the machine
+    /// range split into contiguous per-worker chunks under `policy`.
+    /// Per-machine accumulation order is unchanged, so the output is
+    /// bit-identical to the serial kernel at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`predict_into`](CoefBlock::predict_into).
+    pub fn predict_into_exec(
+        &self,
+        rows: &CoefBlock,
+        out: &mut [f64],
+        policy: &ExecPolicy,
+    ) -> Result<(), StatsError> {
+        self.check_operands(rows, out.len())?;
+        let m = self.m;
+        let workers = policy.threads().min(m);
+        if workers <= 1 {
+            return self.predict_into(rows, out);
+        }
+        let chunk = m.div_ceil(workers);
+        let k = self.k;
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let lo = ci * chunk;
+                let cols = &self.cols;
+                let xcols = &rows.cols;
+                scope.spawn(move || {
+                    out_chunk.fill(0.0);
+                    for f in 0..k {
+                        let c = &cols[f * m + lo..f * m + lo + out_chunk.len()];
+                        let x = &xcols[f * m + lo..f * m + lo + out_chunk.len()];
+                        for (o, (cv, xv)) in out_chunk.iter_mut().zip(c.iter().zip(x)) {
+                            *o += cv * xv;
+                        }
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    fn check_operands(&self, rows: &CoefBlock, out_len: usize) -> Result<(), StatsError> {
+        if rows.k != self.k || rows.m != self.m || out_len != self.m {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "coef block predict: coefs {}x{}, rows {}x{}, out {}",
+                    self.k, self.m, rows.k, rows.m, out_len
+                ),
+            });
+        }
+        if !self.sealed || !rows.sealed {
+            return Err(StatsError::DimensionMismatch {
+                context: "coef block predict: operand not sealed".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(i: usize) -> f64 {
+        ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+    }
+
+    fn filled(k: usize, m: usize, salt: usize) -> CoefBlock {
+        let mut b = CoefBlock::new(k);
+        for j in 0..m {
+            let v: Vec<f64> = (0..k).map(|f| det(salt + j * k + f) * 8.0).collect();
+            b.push(&v).unwrap();
+        }
+        b.seal();
+        b
+    }
+
+    fn scalar(coefs: &[f64], row: &[f64]) -> f64 {
+        row.iter().zip(coefs).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn matches_scalar_dot_bitwise() {
+        for &(k, m) in &[(1, 1), (3, 7), (6, 33)] {
+            let c = filled(k, m, 11);
+            let x = filled(k, m, 5000);
+            let mut out = vec![0.0; m];
+            c.predict_into(&x, &mut out).unwrap();
+            for j in 0..m {
+                let cj: Vec<f64> = (0..k).map(|f| c.get(f, j)).collect();
+                let xj: Vec<f64> = (0..k).map(|f| x.get(f, j)).collect();
+                assert_eq!(out[j].to_bits(), scalar(&cj, &xj).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let (k, m) = (5, 41);
+        let c = filled(k, m, 77);
+        let x = filled(k, m, 9000);
+        let mut serial = vec![0.0; m];
+        c.predict_into(&x, &mut serial).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let policy = ExecPolicy::Parallel { threads };
+            let mut out = vec![0.0; m];
+            c.predict_into_exec(&x, &mut out, &policy).unwrap();
+            for j in 0..m {
+                assert_eq!(
+                    out[j].to_bits(),
+                    serial[j].to_bits(),
+                    "thread count {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_coefficients_propagate_like_scalar() {
+        let mut c = CoefBlock::new(2);
+        c.push(&[f64::NAN, 1.0]).unwrap();
+        c.push(&[2.0, 3.0]).unwrap();
+        c.seal();
+        let mut x = CoefBlock::new(2);
+        x.push(&[1.0, 1.0]).unwrap();
+        x.push(&[1.0, 1.0]).unwrap();
+        x.seal();
+        let mut out = [0.0; 2];
+        c.predict_into(&x, &mut out).unwrap();
+        assert!(out[0].is_nan());
+        assert_eq!(out[1].to_bits(), 5.0f64.to_bits());
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_reuse_is_alloc_free_shape() {
+        let mut b = filled(4, 10, 3);
+        let cap = b.stage.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        for j in 0..10 {
+            b.push(&[j as f64; 4]).unwrap();
+        }
+        b.seal();
+        assert_eq!(b.stage.capacity(), cap);
+        assert_eq!(b.get(2, 3), 3.0);
+    }
+
+    #[test]
+    fn rejects_mismatches() {
+        let mut c = CoefBlock::new(2);
+        assert!(c.push(&[1.0]).is_err());
+        c.push(&[1.0, 2.0]).unwrap();
+        c.seal();
+        let x = filled(2, 2, 1);
+        let mut out = [0.0; 1];
+        assert!(c.predict_into(&x, &mut out).is_err());
+        let x1 = filled(2, 1, 1);
+        let mut unsealed = CoefBlock::new(2);
+        unsealed.push(&[1.0, 2.0]).unwrap();
+        assert!(unsealed.predict_into(&x1, &mut out).is_err());
+        assert!(c.predict_into(&x1, &mut out).is_ok());
+    }
+}

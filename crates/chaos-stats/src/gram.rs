@@ -33,6 +33,12 @@ use std::collections::HashMap;
 /// subset as rank-deficient.
 const CHOLESKY_REL_TOL: f64 = 1e-12;
 
+/// Default sample-block tile for the blocked Gram accumulation. A tile
+/// of rows (`GRAM_TILE × p` doubles) fits L1 for realistic counter
+/// widths, so each Gram entry is read and written once per tile instead
+/// of once per sample.
+pub const GRAM_TILE: usize = 64;
+
 /// Cached cross-products of one design matrix, serving memoized OLS fits
 /// for arbitrary column subsets.
 ///
@@ -88,6 +94,125 @@ impl GramCache {
     ///
     /// Returns [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
     pub fn new(x: &Matrix, y: &[f64]) -> Result<Self, StatsError> {
+        Self::new_with_tile(x, y, GRAM_TILE)
+    }
+
+    /// [`GramCache::new`] with an explicit sample-block tile size.
+    ///
+    /// The accumulation is *blocked*: samples are processed in tiles of
+    /// `tile` rows, and within a tile each Gram entry is accumulated in
+    /// a register starting from its current value, so the `d×d` Gram
+    /// matrix is streamed through cache once per tile instead of once
+    /// per sample. Every entry still receives its per-sample additions
+    /// in the exact global row order `0..n` — the same left-to-right
+    /// floating-point reduction the naive row-at-a-time loop performs —
+    /// so results are **bit-identical at every tile size** (pinned by
+    /// `tests/kernel_identity.rs`). This is the form of cache blocking
+    /// chaos-lint's ordered-reduction invariant permits; reassociating
+    /// into per-tile partial sums would not be.
+    ///
+    /// `tile` is clamped to at least 1. Exposed for the kernel-identity
+    /// suite and the kernel benchmarks; [`GramCache::new`] uses
+    /// [`GRAM_TILE`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
+    pub fn new_with_tile(x: &Matrix, y: &[f64], tile: usize) -> Result<Self, StatsError> {
+        let (n, p) = (x.rows(), x.cols());
+        if y.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("gram: y has {} entries, X has {n} rows", y.len()),
+            });
+        }
+        let d = p + 1;
+        let mut gram = vec![0.0; d * d];
+        let mut xty = vec![0.0; d];
+        let mut yty = 0.0;
+        let tile = tile.max(1);
+        // Scratch accumulators for one Gram row's upper-triangle slice;
+        // held out of `gram` across a whole tile so every add lands in
+        // registers / L1 instead of the full d×d matrix.
+        let mut acc = vec![0.0; p.max(1)];
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + tile).min(n);
+            // Intercept block: sample count, Σy, Σy².
+            {
+                // chaos-lint: allow(R4) — d = ncols + 1 >= 1 always, so
+                // the intercept slot exists.
+                let mut g0 = gram[0];
+                // chaos-lint: allow(R4) — same d >= 1 invariant.
+                let mut x0 = xty[0];
+                let mut s_yy = yty;
+                for &yi in &y[lo..hi] {
+                    g0 += 1.0;
+                    x0 += yi;
+                    s_yy += yi * yi;
+                }
+                // chaos-lint: allow(R4) — same d >= 1 invariant.
+                gram[0] = g0;
+                // chaos-lint: allow(R4) — same d >= 1 invariant.
+                xty[0] = x0;
+                yty = s_yy;
+            }
+            for a in 0..p {
+                // Intercept × feature column and X'y entry as register
+                // scalars; the Gram row's upper triangle `(a, a..p)` in
+                // the scratch accumulators. Each tile row is then read
+                // once, with a contiguous `row[a..p]` inner sweep whose
+                // accumulators are independent — the compiler may
+                // vectorize *across entries* freely, because no single
+                // entry's per-sample addition order changes: entry
+                // (a, b) still receives its additions in the exact
+                // global row order `0..n` the reference kernel uses.
+                let mut s_col = gram[a + 1];
+                let mut s_xty = xty[a + 1];
+                let e0 = (a + 1) * d + (a + 1);
+                let width = p - a;
+                let acc = &mut acc[..width];
+                acc.copy_from_slice(&gram[e0..e0 + width]);
+                for i in lo..hi {
+                    let row = x.row(i);
+                    let va = row[a];
+                    s_col += va;
+                    s_xty += va * y[i];
+                    for (dst, &vb) in acc.iter_mut().zip(&row[a..p]) {
+                        *dst += va * vb;
+                    }
+                }
+                gram[a + 1] = s_col;
+                xty[a + 1] = s_xty;
+                gram[e0..e0 + width].copy_from_slice(acc);
+            }
+            lo = hi;
+        }
+        // Mirror the upper triangle (intercept row was filled above).
+        for a in 0..d {
+            for b in (a + 1)..d {
+                gram[b * d + a] = gram[a * d + b];
+            }
+        }
+        Ok(GramCache {
+            gram,
+            xty,
+            yty,
+            n,
+            p,
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Reference row-at-a-time accumulation: the pre-blocking kernel,
+    /// kept verbatim so the kernel-identity suite and benches can pin
+    /// [`GramCache::new_with_tile`] against it bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `y.len() != x.rows()`.
+    pub fn new_reference(x: &Matrix, y: &[f64]) -> Result<Self, StatsError> {
         let (n, p) = (x.rows(), x.cols());
         if y.len() != n {
             return Err(StatsError::DimensionMismatch {
@@ -130,6 +255,13 @@ impl GramCache {
             hits: 0,
             misses: 0,
         })
+    }
+
+    /// Raw accumulated cross products `(gram, xty, yty)` — the
+    /// kernel-identity suite compares these bit-for-bit between the
+    /// blocked and reference accumulations.
+    pub fn products(&self) -> (&[f64], &[f64], f64) {
+        (&self.gram, &self.xty, self.yty)
     }
 
     /// Number of observations in the cached design.
@@ -331,6 +463,14 @@ pub struct CholeskyFactor {
     /// Lower-triangular factor, row-major `k×k` (upper entries zero).
     l: Vec<f64>,
     k: usize,
+    /// Scratch copy of the rank-1 vector, reused across sweeps so the
+    /// steady-state streaming path performs zero heap allocations per
+    /// sample. Never observable: cleared and refilled on every call.
+    w_scratch: Vec<f64>,
+    /// Scratch triangle for the downdate's commit-on-success semantics
+    /// (a failed downdate must leave the factor untouched). Swapped with
+    /// `l` on success instead of cloning per call.
+    l_scratch: Vec<f64>,
 }
 
 impl CholeskyFactor {
@@ -357,6 +497,8 @@ impl CholeskyFactor {
         Ok(CholeskyFactor {
             l: cholesky(a, k)?,
             k,
+            w_scratch: Vec::new(),
+            l_scratch: Vec::new(),
         })
     }
 
@@ -386,7 +528,12 @@ impl CholeskyFactor {
                 context: "cholesky from_lower: non-finite factor entry".to_string(),
             });
         }
-        Ok(CholeskyFactor { l, k })
+        Ok(CholeskyFactor {
+            l,
+            k,
+            w_scratch: Vec::new(),
+            l_scratch: Vec::new(),
+        })
     }
 
     /// Order `k` of the factored matrix.
@@ -446,7 +593,11 @@ impl CholeskyFactor {
     pub fn update(&mut self, v: &[f64]) -> Result<(), StatsError> {
         self.check_vector(v, "update")?;
         let k = self.k;
-        let mut w = v.to_vec();
+        // Reused scratch (taken out of self so `l` can be borrowed
+        // mutably alongside it): alloc-free after the first call.
+        let mut w = std::mem::take(&mut self.w_scratch);
+        w.clear();
+        w.extend_from_slice(v);
         for j in 0..k {
             let ljj = self.l[j * k + j];
             let r = ljj.hypot(w[j]);
@@ -459,6 +610,7 @@ impl CholeskyFactor {
                 self.l[i * k + j] = lij;
             }
         }
+        self.w_scratch = w;
         Ok(())
     }
 
@@ -476,13 +628,21 @@ impl CholeskyFactor {
     pub fn downdate(&mut self, v: &[f64]) -> Result<(), StatsError> {
         self.check_vector(v, "downdate")?;
         let k = self.k;
-        // Work on a copy so a failed downdate leaves `self` untouched.
-        let mut l = self.l.clone();
-        let mut w = v.to_vec();
+        // Work on the reused scratch triangle so a failed downdate
+        // leaves `self.l` untouched; commit by swapping on success.
+        // Alloc-free after the first call on a given factor.
+        let mut l = std::mem::take(&mut self.l_scratch);
+        l.clear();
+        l.extend_from_slice(&self.l);
+        let mut w = std::mem::take(&mut self.w_scratch);
+        w.clear();
+        w.extend_from_slice(v);
         for j in 0..k {
             let ljj = l[j * k + j];
             let d = ljj * ljj - w[j] * w[j];
             if !d.is_finite() || d <= CHOLESKY_REL_TOL * ljj * ljj {
+                self.l_scratch = l;
+                self.w_scratch = w;
                 return Err(StatsError::Singular);
             }
             let r = d.sqrt();
@@ -495,7 +655,9 @@ impl CholeskyFactor {
                 l[i * k + j] = lij;
             }
         }
-        self.l = l;
+        std::mem::swap(&mut self.l, &mut l);
+        self.l_scratch = l;
+        self.w_scratch = w;
         Ok(())
     }
 

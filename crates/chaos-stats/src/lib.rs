@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod corr;
 pub mod cv;
 pub mod describe;
@@ -61,6 +62,7 @@ pub mod metrics;
 pub mod ols;
 pub mod stepwise;
 
+pub use batch::CoefBlock;
 pub use exec::ExecPolicy;
 pub use matrix::Matrix;
 

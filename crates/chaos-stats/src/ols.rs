@@ -338,6 +338,14 @@ pub struct WindowedOls {
     /// the next fit rebuilds it.
     chol: Option<CholeskyFactor>,
     refactorizations: usize,
+    /// How many downdates lost positive definiteness and dropped the
+    /// factor. Diagnostic only — excluded from [`WindowedOlsState`] so
+    /// the checkpoint byte format is unchanged; restored solvers start
+    /// from zero.
+    downdate_fallbacks: usize,
+    /// Reused augmented-row buffer (`[1 | x]`) for push/pop; never
+    /// observable, so it is excluded from snapshots and equality.
+    aug_scratch: Vec<f64>,
 }
 
 impl WindowedOls {
@@ -352,6 +360,8 @@ impl WindowedOls {
             n: 0,
             chol: None,
             refactorizations: 0,
+            downdate_fallbacks: 0,
+            aug_scratch: Vec::new(),
         }
     }
 
@@ -376,6 +386,16 @@ impl WindowedOls {
         self.refactorizations
     }
 
+    /// How many downdates lost positive definiteness and dropped the
+    /// maintained factor. A window sliding down to exactly `k = p + 1`
+    /// rows (or fewer) sits on the rank boundary where this is
+    /// *structural*, not numerical — the counter makes that fallback
+    /// frequency observable instead of silent. Not persisted in
+    /// [`WindowedOlsState`]; a restored solver counts from zero.
+    pub fn downdate_fallbacks(&self) -> usize {
+        self.downdate_fallbacks
+    }
+
     /// Adds one observation to the window.
     ///
     /// # Errors
@@ -384,13 +404,16 @@ impl WindowedOls {
     /// * [`StatsError::NonFinite`] if `row` or `y` is non-finite (the
     ///   accumulated state is left unchanged).
     pub fn push(&mut self, row: &[f64], y: f64) -> Result<(), StatsError> {
-        let v = self.augmented(row, y, "push")?;
+        self.validate(row, y, "push")?;
+        let v = self.take_augmented(row);
         self.accumulate(&v, y, 1.0);
         self.n += 1;
-        if let Some(chol) = self.chol.as_mut() {
-            chol.update(&v)?;
-        }
-        Ok(())
+        let updated = match self.chol.as_mut() {
+            Some(chol) => chol.update(&v),
+            None => Ok(()),
+        };
+        self.aug_scratch = v;
+        updated
     }
 
     /// Removes one observation from the window. The row must be one that
@@ -412,15 +435,18 @@ impl WindowedOls {
                 context: "windowed ols: pop from an empty window".to_string(),
             });
         }
-        let v = self.augmented(row, y, "pop")?;
+        self.validate(row, y, "pop")?;
+        let v = self.take_augmented(row);
         self.accumulate(&v, y, -1.0);
         self.n -= 1;
         if let Some(chol) = self.chol.as_mut() {
             if chol.downdate(&v).is_err() {
                 self.chol = None;
+                self.downdate_fallbacks += 1;
                 chaos_obs::add("windowed_ols.downdate_fallbacks", 1);
             }
         }
+        self.aug_scratch = v;
         Ok(())
     }
 
@@ -536,11 +562,13 @@ impl WindowedOls {
             n: state.n,
             chol,
             refactorizations: state.refactorizations,
+            downdate_fallbacks: 0,
+            aug_scratch: Vec::new(),
         })
     }
 
-    /// Validates one observation and returns its augmented row `[1 | x]`.
-    fn augmented(&self, row: &[f64], y: f64, op: &str) -> Result<Vec<f64>, StatsError> {
+    /// Validates one observation's shape and finiteness.
+    fn validate(&self, row: &[f64], y: f64, op: &str) -> Result<(), StatsError> {
         if row.len() != self.p {
             return Err(StatsError::DimensionMismatch {
                 context: format!(
@@ -555,10 +583,18 @@ impl WindowedOls {
                 context: format!("windowed ols {op}: non-finite observation"),
             });
         }
-        let mut v = Vec::with_capacity(self.p + 1);
+        Ok(())
+    }
+
+    /// Fills and detaches the reused augmented-row buffer `[1 | x]`.
+    /// The caller must hand the buffer back via `self.aug_scratch = v`
+    /// on every path, keeping steady-state push/pop allocation-free.
+    fn take_augmented(&mut self, row: &[f64]) -> Vec<f64> {
+        let mut v = std::mem::take(&mut self.aug_scratch);
+        v.clear();
         v.push(1.0);
         v.extend_from_slice(row);
-        Ok(v)
+        v
     }
 
     /// Adds (`sign = 1`) or subtracts (`sign = −1`) one augmented row's
@@ -738,6 +774,68 @@ mod tests {
         let expected_y: Vec<f64> = y[6..10].iter().chain(&y[10..20]).copied().collect();
         let x = Matrix::from_rows(&expected_rows).unwrap().with_intercept();
         let batch = OlsFit::fit(&x, &expected_y).unwrap();
+        for (a, b) in windowed.coefficients().iter().zip(batch.coefficients()) {
+            assert!((a - b).abs() < 1e-7, "coef {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shrink_to_exactly_k_rows_pins_typed_outcome() {
+        // p = 2 features → k = 3 augmented columns. Sliding the window
+        // down to exactly k rows sits on the rank boundary: the pops
+        // themselves must stay Ok (a lost factor is a fallback, not an
+        // error), fit() must report the typed InsufficientData outcome,
+        // and the fallback count must be observable — not silent.
+        let p = 2;
+        let k = p + 1;
+        let (rows, y) = stream_rows(20, p);
+        let mut w = WindowedOls::new(p);
+        for i in 0..8 {
+            w.push(&rows[i], y[i]).unwrap();
+        }
+        let _ = w.fit().unwrap(); // builds the maintained factor
+        assert_eq!(w.refactorizations(), 1);
+        assert_eq!(w.downdate_fallbacks(), 0);
+        for i in 0..8 - k {
+            w.pop(&rows[i], y[i]).unwrap();
+        }
+        assert_eq!(w.len(), k);
+        // At n == k the normal equations are at best rank k: residual
+        // variance is undefined, so the outcome is typed, not numeric.
+        match w.fit() {
+            Err(StatsError::InsufficientData {
+                observations,
+                required,
+            }) => {
+                assert_eq!(observations, k);
+                assert_eq!(required, k + 1);
+            }
+            other => panic!("expected InsufficientData at n == k, got {other:?}"),
+        }
+        // Shrinking one step past the boundary makes the Gram singular,
+        // so the downdate *must* drop the factor and count the fallback.
+        w.pop(&rows[8 - k], y[8 - k]).unwrap();
+        assert_eq!(w.len(), k - 1);
+        assert!(
+            w.downdate_fallbacks() >= 1,
+            "structural rank loss must be counted, not silent"
+        );
+        // Growing back past k rows must recover via refactorization and
+        // agree with a batch fit of the surviving window.
+        for i in 8..16 {
+            w.push(&rows[i], y[i]).unwrap();
+        }
+        let refits_before = w.refactorizations();
+        let windowed = w.fit().unwrap();
+        assert!(w.refactorizations() > refits_before || w.downdate_fallbacks() == 0);
+        let kept: Vec<Vec<f64>> = rows[8 - k + 1..8]
+            .iter()
+            .chain(&rows[8..16])
+            .cloned()
+            .collect();
+        let kept_y: Vec<f64> = y[8 - k + 1..8].iter().chain(&y[8..16]).copied().collect();
+        let x = Matrix::from_rows(&kept).unwrap().with_intercept();
+        let batch = OlsFit::fit(&x, &kept_y).unwrap();
         for (a, b) in windowed.coefficients().iter().zip(batch.coefficients()) {
             assert!((a - b).abs() < 1e-7, "coef {a} vs {b}");
         }

@@ -31,7 +31,7 @@
 //! leaves the previous snapshot intact.
 
 use crate::drift::DriftState;
-use crate::engine::{MachineState, StreamConfig, StreamEngine};
+use crate::engine::{BatchScratch, MachineScratch, MachineState, StreamConfig, StreamEngine};
 use crate::refit::{AdaptedModel, RefitOutcome, RefitTier};
 use crate::supervise::{MachineHealth, RetryState, StreamError, SupervisorConfig};
 use crate::window::SlidingWindow;
@@ -772,11 +772,17 @@ pub(crate) fn decode_engine(
     }
 
     chaos_obs::add("stream.snapshot.restored", 1);
+    // Scratch buffers are pure working memory — never checkpointed; a
+    // restored engine warms them back up on its first ticks.
+    let scratch = (0..machines.len()).map(|_| MachineScratch::new()).collect();
+    let batch = BatchScratch::new(width + 1);
     Ok(StreamEngine {
         estimator,
         config,
         machines,
         t,
+        scratch,
+        batch,
     })
 }
 

@@ -40,11 +40,12 @@ use crate::membership;
 use crate::refit::{self, AdaptedModel, RefitOutcome, RefitTier};
 use crate::supervise::{self, MachineHealth, RetryState, StreamError, SupervisorConfig};
 use crate::window::SlidingWindow;
-use chaos_core::robust::{EstimateTier, ImputerState};
+use chaos_core::robust::{AssembledRow, EstimateTier, ImputerState};
 use chaos_core::RobustEstimator;
 use chaos_counters::store::SampleSource;
 use chaos_counters::{MachineRunTrace, RunTrace};
 use chaos_obs::Value;
+use chaos_stats::batch::CoefBlock;
 use chaos_stats::ols::WindowedOls;
 use chaos_stats::stepwise::StepwiseConfig;
 use chaos_stats::{ExecPolicy, StatsError};
@@ -194,6 +195,78 @@ pub(crate) struct MachineState {
     pub(crate) retries: usize,
 }
 
+/// Reusable per-machine scratch buffers for the streaming hot path.
+/// Carries no model state: a fresh instance behaves bit-identically to
+/// a warmed one, so scratch is never serialized and parallel replay
+/// just makes one per worker.
+#[derive(Debug, Clone)]
+pub(crate) struct MachineScratch {
+    /// Assembled model-input row, reused across seconds.
+    pub(crate) assembled: AssembledRow,
+    /// Gathered column subset / intercept-augmented row for adapted
+    /// predicts and the batched row block.
+    pub(crate) aug: Vec<f64>,
+    /// Inner design row for [`FittedModel`] predicts.
+    pub(crate) design: Vec<f64>,
+}
+
+impl MachineScratch {
+    pub(crate) fn new() -> Self {
+        MachineScratch {
+            assembled: AssembledRow {
+                row: Vec::new(),
+                available: Vec::new(),
+                imputed: 0,
+            },
+            aug: Vec::new(),
+            design: Vec::new(),
+        }
+    }
+}
+
+/// Engine-level scratch for the structure-of-arrays batched predict:
+/// per tick, every machine whose adapted model is a full-width linear
+/// fit on a complete row is gathered into one column-major coefficient
+/// block and scored with a single dot-product loop
+/// ([`CoefBlock::predict_into`]), instead of one strided `predict_row`
+/// call per machine. Machines outside that shape (no adapted model,
+/// pruned columns, technique models, incomplete rows) take the scalar
+/// path — never zero-padded into the block, which would change bits
+/// (`0.0 × NaN`, `-0.0 + 0.0`). All buffers are reused tick to tick.
+#[derive(Debug)]
+pub(crate) struct BatchScratch {
+    /// Per-machine: whether the machine emits a sample this second.
+    participates: Vec<bool>,
+    /// Column-major coefficient block (`[intercept | coefs]` rows).
+    coefs: CoefBlock,
+    /// Column-major feature block (`[1 | model-input row]` rows).
+    rows: CoefBlock,
+    /// Machine index of each block entry, ascending.
+    idx: Vec<usize>,
+    /// Batched predictions, aligned with `idx`.
+    out: Vec<f64>,
+}
+
+impl BatchScratch {
+    pub(crate) fn new(k: usize) -> Self {
+        BatchScratch {
+            participates: Vec::new(),
+            coefs: CoefBlock::new(k),
+            rows: CoefBlock::new(k),
+            idx: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.participates.clear();
+        self.coefs.clear();
+        self.rows.clear();
+        self.idx.clear();
+        self.out.clear();
+    }
+}
+
 /// The streaming online-inference engine. See the module docs.
 #[derive(Debug)]
 pub struct StreamEngine {
@@ -201,6 +274,10 @@ pub struct StreamEngine {
     pub(crate) config: StreamConfig,
     pub(crate) machines: Vec<MachineState>,
     pub(crate) t: usize,
+    /// Per-machine scratch, aligned with `machines`. Not serialized.
+    pub(crate) scratch: Vec<MachineScratch>,
+    /// Batched-predict scratch. Not serialized.
+    pub(crate) batch: BatchScratch,
 }
 
 impl StreamEngine {
@@ -258,6 +335,8 @@ impl StreamEngine {
             config,
             machines: states,
             t: 0,
+            scratch: (0..machines).map(|_| MachineScratch::new()).collect(),
+            batch: BatchScratch::new(width + 1),
         })
     }
 
@@ -275,6 +354,46 @@ impl StreamEngine {
     ///   count does not match the engine's.
     /// * [`StreamError::Membership`] for an invalid membership schedule.
     pub fn push_second(&mut self, run: &RunTrace, t: usize) -> Result<StreamOutput, StreamError> {
+        let mut out = StreamOutput {
+            t,
+            cluster_power_w: 0.0,
+            worst_tier: EstimateTier::Full,
+            active_machines: 0,
+            machines: Vec::new(),
+        };
+        self.push_second_into(run, t, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`push_second`](StreamEngine::push_second) into a caller-owned
+    /// [`StreamOutput`], reusing its sample vector so a steady-state
+    /// tick allocates nothing. The output is bit-identical to
+    /// `push_second`; on error `out` holds no samples for this second.
+    ///
+    /// Internally the tick runs in three phases so the fleet is scored
+    /// as a block: (1) every machine assembles its model-input row,
+    /// (2) machines whose adapted model is a full-width linear fit on a
+    /// complete row are gathered into a column-major [`CoefBlock`] and
+    /// scored with one dot-product loop, (3) each machine finishes its
+    /// second (training ingest, drift, refits) in machine order. Phase
+    /// interleaving is unobservable: machine states are independent
+    /// within a second, and the batched kernel is bit-identical to the
+    /// per-machine scalar predict (see [`chaos_stats::batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_second`](StreamEngine::push_second).
+    pub fn push_second_into(
+        &mut self,
+        run: &RunTrace,
+        t: usize,
+        out: &mut StreamOutput,
+    ) -> Result<(), StreamError> {
+        out.t = t;
+        out.cluster_power_w = 0.0;
+        out.worst_tier = EstimateTier::Full;
+        out.active_machines = 0;
+        out.machines.clear();
         if t != self.t {
             return Err(StreamError::OutOfOrder {
                 expected: self.t,
@@ -298,12 +417,96 @@ impl StreamEngine {
             membership::apply_initial_activity(&mut self.machines, run);
         }
         membership::apply_events_at(&self.estimator, &mut self.machines, run, t);
-        let mut samples = Vec::with_capacity(self.machines.len());
-        for (state, m) in self.machines.iter_mut().zip(&run.machines) {
-            samples.push(Self::advance(&self.estimator, &self.config, state, m, t));
+
+        let estimator = &self.estimator;
+        let config = &self.config;
+
+        // Phase 1: quarantine accounting + row assembly per machine.
+        self.batch.clear();
+        for ((state, scratch), m) in self
+            .machines
+            .iter_mut()
+            .zip(self.scratch.iter_mut())
+            .zip(&run.machines)
+        {
+            let participates = Self::pre_advance(estimator, state, scratch, m, t);
+            self.batch.participates.push(participates);
         }
+
+        // Phase 2: gather the SoA block. Eligible machines have an
+        // adapted linear fit spanning every spec column (the dominant
+        // steady state after a CoefficientRefresh) and a complete row.
+        // `columns.len() == width` implies the identity selection:
+        // selections are ascending unique indices into `0..width`.
+        let width = estimator.spec().width();
+        for (i, state) in self.machines.iter().enumerate() {
+            if !self.batch.participates[i] || !self.scratch[i].assembled.complete() {
+                continue;
+            }
+            let Some(AdaptedModel::Linear { columns, fit }) = state.adapted.as_ref() else {
+                continue;
+            };
+            if columns.len() != width || fit.coefficients().len() != width + 1 {
+                continue;
+            }
+            let s = &mut self.scratch[i];
+            s.aug.clear();
+            s.aug.push(1.0);
+            s.aug.extend_from_slice(&s.assembled.row);
+            if self.batch.coefs.push(fit.coefficients()).is_ok()
+                && self.batch.rows.push(&s.aug).is_ok()
+            {
+                self.batch.idx.push(i);
+            }
+        }
+        self.batch.coefs.seal();
+        self.batch.rows.seal();
+        self.batch.out.resize(self.batch.idx.len(), 0.0);
+        if !self.batch.idx.is_empty()
+            && self
+                .batch
+                .coefs
+                .predict_into(&self.batch.rows, &mut self.batch.out)
+                .is_err()
+        {
+            // Unreachable by construction (widths are validated at
+            // gather time); degrade to the scalar path, never drop a
+            // sample.
+            self.batch.idx.clear();
+        }
+
+        // Phase 3: finish every machine's second in machine order,
+        // composing as we go — the same accumulation order as
+        // `compose`, preserving bit-identity.
+        let mut bi = 0usize;
+        for (i, ((state, scratch), m)) in self
+            .machines
+            .iter_mut()
+            .zip(self.scratch.iter_mut())
+            .zip(&run.machines)
+            .enumerate()
+        {
+            if !self.batch.participates[i] {
+                continue;
+            }
+            let adapted_power = if bi < self.batch.idx.len() && self.batch.idx[bi] == i {
+                let p = self.batch.out[bi];
+                bi += 1;
+                Some(p).filter(|p| p.is_finite())
+            } else {
+                Self::scalar_adapted_power(state, scratch)
+            };
+            if let Some(sample) =
+                Self::finish_advance(estimator, config, state, scratch, m, t, adapted_power)
+            {
+                out.cluster_power_w += sample.power_w;
+                out.worst_tier = out.worst_tier.max(sample.tier);
+                out.machines.push(sample);
+            }
+        }
+        out.active_machines = out.machines.len();
         self.t += 1;
-        Ok(Self::compose(t, samples))
+        Ok(())
     }
 
     /// Replays a whole run through a fresh engine, fanning machine
@@ -359,9 +562,10 @@ impl StreamEngine {
             let segment: Vec<(MachineState, Vec<Option<StreamSample>>)> =
                 config.exec.par_map_indices(machines.len(), |i| {
                     let mut state = machines[i].clone();
+                    let mut scratch = MachineScratch::new();
                     let m = &run.machines[i];
                     let samples: Vec<Option<StreamSample>> = (lo..hi)
-                        .map(|t| Self::advance(estimator, &config, &mut state, m, t))
+                        .map(|t| Self::advance(estimator, &config, &mut state, &mut scratch, m, t))
                         .collect();
                     (state, samples)
                 });
@@ -507,25 +711,45 @@ impl StreamEngine {
         checkpoint::decode_engine(estimator, bytes)
     }
 
-    /// Advances one machine stream by one second. Associated function
+    /// Advances one machine stream by one second — the scalar
+    /// (non-batched) path used by replay workers. Associated function
     /// (no `&mut self`) so parallel replay can run it on cloned states.
     /// Returns `None` for machines outside the composition this second
-    /// (left, not yet joined, or quarantined).
+    /// (left, not yet joined, or quarantined). Bit-identical to the
+    /// batched phases of [`push_second_into`](StreamEngine::push_second_into).
     fn advance(
         estimator: &RobustEstimator,
         config: &StreamConfig,
         state: &mut MachineState,
+        scratch: &mut MachineScratch,
         m: &MachineRunTrace,
         t: usize,
     ) -> Option<StreamSample> {
-        if !state.active {
+        if !Self::pre_advance(estimator, state, scratch, m, t) {
             return None;
+        }
+        let adapted_power = Self::scalar_adapted_power(state, scratch);
+        Self::finish_advance(estimator, config, state, scratch, m, t, adapted_power)
+    }
+
+    /// First phase of one machine-second: quarantine accounting and row
+    /// assembly into `scratch.assembled`. Returns whether the machine
+    /// participates in the composition this second.
+    fn pre_advance(
+        estimator: &RobustEstimator,
+        state: &mut MachineState,
+        scratch: &mut MachineScratch,
+        m: &MachineRunTrace,
+        t: usize,
+    ) -> bool {
+        if !state.active {
+            return false;
         }
         if state.health == MachineHealth::Quarantined {
             if state.quarantine_left > 0 {
                 state.quarantine_left -= 1;
                 chaos_obs::add("stream.supervisor.quarantined_seconds", 1);
-                return None;
+                return false;
             }
             // Countdown expired: readmit through the ramp path with the
             // machine's own last adapted model (self-warm-start) and a
@@ -546,27 +770,55 @@ impl StreamEngine {
         }
 
         chaos_obs::add("stream.samples", 1);
-        let assembled = estimator.assemble_row(m, t, &mut state.imputer);
+        estimator.assemble_row_into(m, t, &mut state.imputer, &mut scratch.assembled);
+        true
+    }
+
+    /// Scalar adapted predict over the assembled row — the per-machine
+    /// counterpart of the batched [`CoefBlock`] kernel.
+    fn scalar_adapted_power(state: &MachineState, scratch: &mut MachineScratch) -> Option<f64> {
+        if !scratch.assembled.complete() {
+            return None;
+        }
+        let MachineScratch {
+            assembled,
+            aug,
+            design,
+        } = scratch;
+        state
+            .adapted
+            .as_ref()
+            .and_then(|model| model.predict_with(&assembled.row, aug, design))
+    }
+
+    /// Final phase of one machine-second: fallback-chain estimation when
+    /// no adapted model answered, training ingest, drift scoring, and
+    /// the refit ladder. `adapted_power` is the (already
+    /// finiteness-filtered) adapted prediction from the batched or
+    /// scalar kernel.
+    fn finish_advance(
+        estimator: &RobustEstimator,
+        config: &StreamConfig,
+        state: &mut MachineState,
+        scratch: &mut MachineScratch,
+        m: &MachineRunTrace,
+        t: usize,
+        adapted_power: Option<f64>,
+    ) -> Option<StreamSample> {
+        let assembled = &scratch.assembled;
 
         // Prediction: a window-adapted model answers on complete rows;
         // anything it cannot answer falls through to the offline
         // fallback chain, which reuses the estimator's tiers so faulted
         // counters degrade exactly as they do offline.
-        let adapted_power = if assembled.complete() {
-            state
-                .adapted
-                .as_ref()
-                .and_then(|model| model.predict(&assembled.row))
-        } else {
-            None
-        };
         let (power_w, tier, adapted) = match adapted_power {
             Some(p) => (p, EstimateTier::Full, true),
             None => {
-                let est = estimator.estimate_from_row(&assembled);
+                let est = estimator.estimate_from_row_with(assembled, &mut scratch.design);
                 (est.power_w, est.tier, false)
             }
         };
+        let assembled = &scratch.assembled;
 
         // The metered power for this second, kept typed: `None` means
         // the meter cannot be trusted (absent, faulted, machine dead, or
@@ -585,14 +837,26 @@ impl StreamEngine {
             if assembled.complete() && assembled.imputed == 0 {
                 if state.wols.push(&assembled.row, y).is_ok() {
                     ingested = true;
-                    if let Ok(Some((old_row, old_y))) = state.window.push(&assembled.row, y) {
-                        // A failed downdate inside pop falls back
-                        // internally; any other pop failure means the
-                        // solver and window desynchronized, so rebuild
-                        // the solver from the window deterministically.
-                        if state.wols.pop(&old_row, old_y).is_err() {
-                            Self::resync_wols(state);
+                    // A full window evicts its oldest row: hand it to
+                    // the solver's pop *before* the push recycles its
+                    // storage. A failed downdate inside pop falls back
+                    // internally; any other pop failure means the
+                    // solver and window desynchronized, so rebuild the
+                    // solver from the window deterministically.
+                    let mut desync = false;
+                    if state.window.is_full() {
+                        if let Some((old_row, old_y)) = state.window.peek_oldest() {
+                            desync = state.wols.pop(old_row, old_y).is_err();
                         }
+                    }
+                    if state.window.push_recycle(&assembled.row, y).is_err() {
+                        // The solver push above validated the same
+                        // width, so this cannot fail; count it if the
+                        // impossible happens rather than panic.
+                        chaos_obs::add("stream.window_push_failed", 1);
+                    }
+                    if desync {
+                        Self::resync_wols(state);
                     }
                 }
             }

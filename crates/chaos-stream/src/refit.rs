@@ -109,18 +109,39 @@ impl AdaptedModel {
     /// the model cannot produce a finite answer — the engine then falls
     /// through to the offline chain.
     pub fn predict(&self, row: &[f64]) -> Option<f64> {
+        let (mut aug, mut design) = (Vec::new(), Vec::new());
+        self.predict_with(row, &mut aug, &mut design)
+    }
+
+    /// [`predict`](AdaptedModel::predict) with caller-owned scratch
+    /// buffers (`aug` for the gathered column subset, `design` for the
+    /// inner model's intercept-augmented row), so the streaming hot
+    /// path predicts without per-sample allocation. Bit-identical to
+    /// `predict`.
+    pub fn predict_with(
+        &self,
+        row: &[f64],
+        aug: &mut Vec<f64>,
+        design: &mut Vec<f64>,
+    ) -> Option<f64> {
         match self {
             AdaptedModel::Linear { columns, fit } => {
-                let mut aug = Vec::with_capacity(columns.len() + 1);
+                aug.clear();
                 aug.push(1.0);
                 for &c in columns {
                     aug.push(*row.get(c)?);
                 }
-                fit.predict_row(&aug).ok().filter(|p| p.is_finite())
+                fit.predict_row(aug).ok().filter(|p| p.is_finite())
             }
             AdaptedModel::Technique { columns, model } => {
-                let sub: Option<Vec<f64>> = columns.iter().map(|&c| row.get(c).copied()).collect();
-                model.predict_row(&sub?).ok().filter(|p| p.is_finite())
+                aug.clear();
+                for &c in columns {
+                    aug.push(*row.get(c)?);
+                }
+                model
+                    .predict_row_with(aug, design)
+                    .ok()
+                    .filter(|p| p.is_finite())
             }
         }
     }

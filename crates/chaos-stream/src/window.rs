@@ -72,6 +72,49 @@ impl SlidingWindow {
         Ok(evicted)
     }
 
+    /// The oldest retained observation — the one
+    /// [`push_recycle`](SlidingWindow::push_recycle) will evict when the
+    /// window is full. Borrowed, so a caller can hand it to the
+    /// incremental solver's `pop` before overwriting its storage.
+    pub fn peek_oldest(&self) -> Option<(&[f64], f64)> {
+        self.rows.front().map(|(r, y)| (r.as_slice(), *y))
+    }
+
+    /// Appends one observation like [`push`](SlidingWindow::push), but
+    /// recycles the evicted row's heap storage into the new entry
+    /// instead of returning it — the steady-state (full-window) path
+    /// allocates nothing. Returns whether an eviction happened; callers
+    /// that need the evicted observation read it first via
+    /// [`peek_oldest`](SlidingWindow::peek_oldest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `row` has the wrong
+    /// width. The window is unchanged on error.
+    pub fn push_recycle(&mut self, row: &[f64], y: f64) -> Result<bool, StatsError> {
+        if row.len() != self.width {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "sliding window: row has {} entries, window width is {}",
+                    row.len(),
+                    self.width
+                ),
+            });
+        }
+        if self.rows.len() == self.capacity {
+            // chaos-lint: allow(R4) — capacity >= 1 is enforced at
+            // construction, so a window at capacity has a front row.
+            let (mut buf, _) = self.rows.pop_front().expect("full window has a front row");
+            buf.clear();
+            buf.extend_from_slice(row);
+            self.rows.push_back((buf, y));
+            Ok(true)
+        } else {
+            self.rows.push_back((row.to_vec(), y));
+            Ok(false)
+        }
+    }
+
     /// Rebuilds a window from previously exported rows (oldest first) —
     /// the checkpoint-restore path.
     ///

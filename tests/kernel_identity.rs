@@ -1,0 +1,192 @@
+//! Kernel-identity harness: the raw-speed kernels must be *bit-identical*
+//! to their scalar references, not merely close.
+//!
+//! Two families are pinned here:
+//!
+//! * **SoA batch prediction** — [`chaos_stats::batch::CoefBlock`] scoring a
+//!   whole fleet with one column-major dot-product loop must reproduce the
+//!   per-machine scalar zip-dot bit for bit, including NaN and subnormal
+//!   coefficients, and for every thread count the engine might run under.
+//! * **Blocked Gram accumulation** — the cache-tiled
+//!   [`chaos_stats::gram::GramCache`] must reproduce the naive row-at-a-time
+//!   reference at *every* tile size, because tiling is only legal here when
+//!   it preserves the exact left-to-right reduction order.
+//!
+//! Everything is deterministic (no `rand`): fleets come from a fixed
+//! sine-hash sequence, so a failure is a reproducible counterexample.
+
+use chaos_stats::batch::CoefBlock;
+use chaos_stats::gram::GramCache;
+use chaos_stats::{ExecPolicy, Matrix};
+
+/// Deterministic pseudo-random double in [-0.5, 0.5).
+fn det(i: usize) -> f64 {
+    ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+}
+
+/// The scalar reference the engine's per-machine path computes: start at
+/// 0.0, add `c[f] * x[f]` in feature order.
+fn scalar_dot(coefs: &[f64], row: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (c, x) in coefs.iter().zip(row) {
+        acc += c * x;
+    }
+    acc
+}
+
+/// Builds a (coefs, rows) fleet of `m` machines with `k` features from the
+/// deterministic stream, with an optional per-value mutator for injecting
+/// special values.
+fn build_fleet(
+    m: usize,
+    k: usize,
+    salt: usize,
+    mutate: impl Fn(usize, f64) -> f64,
+) -> (CoefBlock, CoefBlock, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut coefs = CoefBlock::new(k);
+    let mut rows = CoefBlock::new(k);
+    let mut coef_vecs = Vec::with_capacity(m);
+    let mut row_vecs = Vec::with_capacity(m);
+    for j in 0..m {
+        let c: Vec<f64> = (0..k)
+            .map(|f| mutate(j * k + f, 10.0 * det(salt + j * k + f)))
+            .collect();
+        let r: Vec<f64> = (0..k)
+            .map(|f| mutate(j * k + f + 1, 4.0 * det(salt + 7919 + j * k + f)))
+            .collect();
+        coefs.push(&c).unwrap();
+        rows.push(&r).unwrap();
+        coef_vecs.push(c);
+        row_vecs.push(r);
+    }
+    coefs.seal();
+    rows.seal();
+    (coefs, rows, coef_vecs, row_vecs)
+}
+
+fn assert_bitwise_eq(got: &[f64], want: &[f64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length mismatch");
+    for (j, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx}: machine {j}: batch {g:?} != scalar {w:?}"
+        );
+    }
+}
+
+#[test]
+fn batch_predict_matches_scalar_across_fleet_shapes() {
+    // Shapes cover degenerate (1 machine, 1 feature), odd, and
+    // larger-than-typical fleets.
+    for &(m, k) in &[(1usize, 1usize), (3, 5), (17, 4), (64, 9), (257, 13)] {
+        let (coefs, rows, coef_vecs, row_vecs) = build_fleet(m, k, m * 31 + k, |_, v| v);
+        let want: Vec<f64> = coef_vecs
+            .iter()
+            .zip(&row_vecs)
+            .map(|(c, r)| scalar_dot(c, r))
+            .collect();
+        let mut out = vec![f64::NAN; m];
+        coefs.predict_into(&rows, &mut out).unwrap();
+        assert_bitwise_eq(&out, &want, &format!("fleet {m}x{k}"));
+    }
+}
+
+#[test]
+fn batch_predict_matches_scalar_with_nan_and_subnormal_coefficients() {
+    // Sprinkle NaN, subnormals, infinities, and signed zeros through the
+    // coefficient stream; the batch kernel must propagate every one of
+    // them exactly as the scalar loop does (including NaN payload bits
+    // produced by the same operations in the same order).
+    let specials = [
+        f64::NAN,
+        f64::MIN_POSITIVE / 2.0, // subnormal
+        -f64::MIN_POSITIVE / 4.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        0.0,
+    ];
+    let mutate = |i: usize, v: f64| {
+        if i % 11 == 3 {
+            specials[i % specials.len()]
+        } else {
+            v
+        }
+    };
+    let (coefs, rows, coef_vecs, row_vecs) = build_fleet(41, 7, 1234, mutate);
+    let want: Vec<f64> = coef_vecs
+        .iter()
+        .zip(&row_vecs)
+        .map(|(c, r)| scalar_dot(c, r))
+        .collect();
+    let mut out = vec![0.0; 41];
+    coefs.predict_into(&rows, &mut out).unwrap();
+    assert_bitwise_eq(&out, &want, "special-value fleet");
+    // Sanity: the case actually exercised non-finite arithmetic.
+    assert!(
+        want.iter().any(|v| v.is_nan()),
+        "test data never produced a NaN — mutator broken"
+    );
+}
+
+#[test]
+fn batch_predict_is_bit_identical_across_thread_counts() {
+    let (coefs, rows, _, _) = build_fleet(129, 6, 777, |i, v| {
+        if i % 29 == 5 {
+            f64::NAN
+        } else if i % 23 == 7 {
+            f64::MIN_POSITIVE / 8.0
+        } else {
+            v
+        }
+    });
+    let mut serial = vec![0.0; 129];
+    coefs.predict_into(&rows, &mut serial).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let policy = ExecPolicy::Parallel { threads };
+        let mut out = vec![f64::NAN; 129];
+        coefs.predict_into_exec(&rows, &mut out, &policy).unwrap();
+        assert_bitwise_eq(&out, &serial, &format!("threads={threads}"));
+    }
+}
+
+/// Deterministic design matrix + response for the Gram tests.
+fn gram_inputs(n: usize, p: usize, salt: usize) -> (Matrix, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..p).map(|j| 6.0 * det(salt + i * p + j)).collect())
+        .collect();
+    let y: Vec<f64> = (0..n).map(|i| 100.0 * det(salt + 31337 + i)).collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+#[test]
+fn blocked_gram_matches_reference_at_every_tile_size() {
+    for &(n, p) in &[(5usize, 2usize), (63, 7), (200, 11)] {
+        let (x, y) = gram_inputs(n, p, n * 13 + p);
+        let reference = GramCache::new_reference(&x, &y).unwrap();
+        let (rg, rxty, ryty) = reference.products();
+        // Tile sizes: degenerate (1), odd, prime, the default, and one
+        // larger than any input (a single tile).
+        for &tile in &[1usize, 2, 3, 7, 64, 1000] {
+            let blocked = GramCache::new_with_tile(&x, &y, tile).unwrap();
+            let (bg, bxty, byty) = blocked.products();
+            let ctx = format!("n={n} p={p} tile={tile}");
+            assert_bitwise_eq(bg, rg, &format!("{ctx}: gram"));
+            assert_bitwise_eq(bxty, rxty, &format!("{ctx}: xty"));
+            assert_eq!(byty.to_bits(), ryty.to_bits(), "{ctx}: yty");
+        }
+    }
+}
+
+#[test]
+fn default_gram_constructor_is_the_blocked_kernel() {
+    let (x, y) = gram_inputs(97, 5, 4242);
+    let default = GramCache::new(&x, &y).unwrap();
+    let reference = GramCache::new_reference(&x, &y).unwrap();
+    let (dg, dxty, dyty) = default.products();
+    let (rg, rxty, ryty) = reference.products();
+    assert_bitwise_eq(dg, rg, "default vs reference: gram");
+    assert_bitwise_eq(dxty, rxty, "default vs reference: xty");
+    assert_eq!(dyty.to_bits(), ryty.to_bits(), "default vs reference: yty");
+}
