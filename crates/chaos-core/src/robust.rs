@@ -244,6 +244,7 @@ impl ImputerState {
         })
     }
 
+    // chaos-lint: cold — runs only when a counter sample is missing; the all-valid steady tick never imputes
     fn impute(&mut self, k: usize, policy: ImputePolicy) -> Option<f64> {
         if self.last_valid[k].is_empty() {
             return None;
@@ -445,8 +446,10 @@ impl RobustEstimator {
     ) {
         let width = self.spec.width();
         out.row.clear();
+        // chaos-lint: allow(R6) — resize to the fixed spec width on a cleared buffer; capacity persists after the first assembly
         out.row.resize(width, 0.0);
         out.available.clear();
+        // chaos-lint: allow(R6) — same recycled buffer as above, fixed width
         out.available.resize(width, false);
         out.imputed = 0;
         let row = &mut out.row;
@@ -530,8 +533,10 @@ impl RobustEstimator {
         }
 
         // Tier 2: linear refit on the surviving columns.
+        // chaos-lint: allow(R6) — tier-2 degraded branch; the all-valid steady tick returned at tier 1 above
         let keep: Vec<usize> = (0..width).filter(|&k| available[k]).collect();
         if keep.len() >= self.config.reduced_min_features.max(1) && keep.len() < width {
+            // chaos-lint: allow(R6) — same degraded branch as `keep` above
             let sub: Vec<f64> = keep.iter().map(|&k| row[k]).collect();
             if let Some(p) = self.reduced_predict(&keep, &sub) {
                 return SampleEstimate {
@@ -752,6 +757,7 @@ impl RobustEstimator {
     /// cache lock, so concurrent streams hitting the same mask wait for
     /// one fit instead of racing duplicates; the fit is deterministic, so
     /// whichever thread populates an entry stores the same model.
+    // chaos-lint: cold — degraded-tier fallback; fits once per unseen column mask, never on the all-counters-valid steady path
     fn reduced_predict(&self, keep: &[usize], sub: &[f64]) -> Option<f64> {
         let key = keep.iter().fold(0u64, |acc, &k| acc | (1 << (k % 64)));
         let mut cache = self.reduced_cache.lock();

@@ -1,0 +1,497 @@
+//! Content-hash incremental cache for pass-1 analyses.
+//!
+//! A [`crate::FileAnalysis`] is a pure function of a file's bytes, so
+//! the cache keys each entry on an FNV-1a hash of those bytes plus a
+//! run *fingerprint* covering the rule registry and [`Config`]. A warm
+//! run re-hashes every file (cheap) and replays unchanged analyses
+//! instead of re-lexing; pass 2 always runs over the full set, so the
+//! resulting report is byte-identical to a cold run — a property the
+//! `cache_identity` integration test pins.
+//!
+//! # Format
+//!
+//! Plain text, one record per line, tab-separated fields with
+//! `\t`/`\n`/`\\` escaped. The header names the format version and the
+//! fingerprint; any mismatch, short read, or malformed line discards
+//! the whole cache silently (the cost of a false miss is one cold run;
+//! the cost of a false hit would be a stale report).
+//!
+//! ```text
+//! chaos-lint-cache/2 <fingerprint-hex>
+//! H <content-hash-hex> <rel-path>        # starts one file's entry
+//! G <forbid> <denydocs> <role> <crate>   # file globals
+//! F <rule> <line> <message> <hint>       # raw finding
+//! D <scope> <line> <cover_end> <rules,> <reason|->
+//! P <line> <message>                     # directive problem
+//! M <line> <message>                     # marker problem
+//! N <name> <qual|-> <mods,|-> <line> <end> <flags> <index-lines,|->
+//! C <kind> <path::...> <line> <flags>    # call site of the last N
+//! ```
+
+use crate::directive::Scope;
+use crate::report::Finding;
+use crate::rules::{Config, RULES};
+use crate::scan::FileRole;
+use crate::symbols::{CallKind, CallSite, FnDef};
+use crate::{CachedDirective, FileAnalysis};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// FNV-1a 64-bit hash of a byte string — the content key. Dependency-
+/// free and stable across platforms; collision risk over a few hundred
+/// workspace files is negligible, and a collision only yields a stale
+/// lint report, never wrong program behavior.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of everything besides file bytes that shapes a
+/// [`FileAnalysis`]: the rule registry (IDs, summaries, hints — a
+/// reworded hint changes findings byte-for-byte) and the [`Config`].
+/// Editing rules.rs therefore invalidates the cache wholesale.
+pub fn fingerprint(cfg: &Config) -> u64 {
+    let mut acc = String::from("chaos-lint-cache/2\x1f");
+    for r in &RULES {
+        for part in [r.id, r.name, r.summary, r.hint] {
+            acc.push_str(part);
+            acc.push('\x1f');
+        }
+    }
+    for c in &cfg.r2_exempt_crates {
+        acc.push_str(c);
+        acc.push('\x1f');
+    }
+    for f in &cfg.r3_sanctioned_files {
+        acc.push_str(f);
+        acc.push('\x1f');
+    }
+    acc.push_str(&cfg.env_prefix);
+    content_hash(acc.as_bytes())
+}
+
+/// The on-disk analysis cache: `rel_path → (content hash, analysis)`.
+#[derive(Debug, Default)]
+pub struct Cache {
+    fingerprint: u64,
+    entries: BTreeMap<String, (u64, FileAnalysis)>,
+}
+
+impl Cache {
+    /// An empty cache bound to `fingerprint`.
+    pub fn new(fingerprint: u64) -> Cache {
+        Cache {
+            fingerprint,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The fingerprint this cache was built under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of cached file entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached analysis for `rel_path`, iff its bytes still hash to
+    /// `digest`.
+    pub fn get(&self, rel_path: &str, digest: u64) -> Option<&FileAnalysis> {
+        self.entries
+            .get(rel_path)
+            .filter(|(d, _)| *d == digest)
+            .map(|(_, a)| a)
+    }
+
+    /// Inserts or replaces the entry for `rel_path`.
+    pub fn store(&mut self, rel_path: String, digest: u64, analysis: FileAnalysis) {
+        self.entries.insert(rel_path, (digest, analysis));
+    }
+
+    /// Loads a cache from `path`. Any problem — missing file, version
+    /// or fingerprint mismatch, malformed record — yields an empty
+    /// cache: a false miss costs one cold run, a false hit would cost
+    /// correctness.
+    pub fn load(path: &Path, fingerprint: u64) -> Cache {
+        match std::fs::read_to_string(path) {
+            Ok(text) => parse(&text, fingerprint).unwrap_or_else(|| Cache::new(fingerprint)),
+            Err(_) => Cache::new(fingerprint),
+        }
+    }
+
+    /// Writes the cache to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+
+    /// Serializes the cache to its line format.
+    pub fn render(&self) -> String {
+        let mut out = format!("chaos-lint-cache/2 {:016x}\n", self.fingerprint);
+        for (rel, (digest, a)) in &self.entries {
+            out.push_str(&format!("H\t{digest:016x}\t{}\n", esc(rel)));
+            out.push_str(&format!(
+                "G\t{}\t{}\t{}\t{}\n",
+                u8::from(a.has_forbid_unsafe),
+                u8::from(a.has_deny_missing_docs),
+                a.role.label(),
+                esc(&a.crate_name)
+            ));
+            for f in &a.findings {
+                out.push_str(&format!(
+                    "F\t{}\t{}\t{}\t{}\n",
+                    esc(&f.rule),
+                    f.line,
+                    esc(&f.message),
+                    esc(&f.hint)
+                ));
+            }
+            for d in &a.directives {
+                out.push_str(&format!(
+                    "D\t{}\t{}\t{}\t{}\t{}\n",
+                    match d.scope {
+                        Scope::Line => "line",
+                        Scope::File => "file",
+                    },
+                    d.line,
+                    d.cover_end,
+                    d.rules.join(","),
+                    d.reason.as_deref().map_or("-".to_string(), esc)
+                ));
+            }
+            for (line, msg) in &a.problems {
+                out.push_str(&format!("P\t{line}\t{}\n", esc(msg)));
+            }
+            for (line, msg) in &a.marker_problems {
+                out.push_str(&format!("M\t{line}\t{}\n", esc(msg)));
+            }
+            for d in &a.fns {
+                out.push_str(&format!(
+                    "N\t{}\t{}\t{}\t{}\t{}\t{}{}{}{}{}\t{}\n",
+                    esc(&d.name),
+                    d.qualifier.as_deref().map_or("-".to_string(), esc),
+                    if d.modules.is_empty() {
+                        "-".to_string()
+                    } else {
+                        d.modules.join(",")
+                    },
+                    d.line,
+                    d.end_line,
+                    u8::from(d.is_test),
+                    u8::from(d.has_body),
+                    u8::from(d.hot),
+                    u8::from(d.no_panic),
+                    u8::from(d.cold),
+                    if d.index_lines.is_empty() {
+                        "-".to_string()
+                    } else {
+                        d.index_lines
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    }
+                ));
+                for c in &d.calls {
+                    out.push_str(&format!(
+                        "C\t{}\t{}\t{}\t{}{}{}\n",
+                        c.kind.label(),
+                        c.path.join("::"),
+                        c.line,
+                        u8::from(c.recv_self),
+                        u8::from(c.in_par_scope),
+                        u8::from(c.float_evidence)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses the cache text; `None` on any malformation.
+fn parse(text: &str, fingerprint: u64) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let fp_hex = header.strip_prefix("chaos-lint-cache/2 ")?;
+    if u64::from_str_radix(fp_hex, 16).ok()? != fingerprint {
+        return None;
+    }
+    let mut cache = Cache::new(fingerprint);
+    // (rel_path, digest, analysis) of the entry under construction.
+    let mut cur: Option<(String, u64, FileAnalysis)> = None;
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["H", digest, rel] => {
+                if let Some((rel, digest, a)) = cur.take() {
+                    cache.store(rel, digest, a);
+                }
+                let rel = unesc(rel)?;
+                cur = Some((
+                    rel.clone(),
+                    u64::from_str_radix(digest, 16).ok()?,
+                    FileAnalysis {
+                        rel_path: rel,
+                        crate_name: String::new(),
+                        role: FileRole::Lib,
+                        findings: Vec::new(),
+                        directives: Vec::new(),
+                        problems: Vec::new(),
+                        marker_problems: Vec::new(),
+                        has_forbid_unsafe: false,
+                        has_deny_missing_docs: false,
+                        fns: Vec::new(),
+                    },
+                ));
+            }
+            ["G", forbid, denydocs, role, crate_name] => {
+                let a = &mut cur.as_mut()?.2;
+                a.has_forbid_unsafe = flag(forbid)?;
+                a.has_deny_missing_docs = flag(denydocs)?;
+                a.role = FileRole::from_label(role)?;
+                a.crate_name = unesc(crate_name)?;
+            }
+            ["F", rule, line, message, hint] => {
+                let (rel, _, a) = cur.as_mut()?;
+                let file = rel.clone();
+                a.findings.push(Finding {
+                    rule: unesc(rule)?,
+                    file,
+                    line: line.parse().ok()?,
+                    message: unesc(message)?,
+                    hint: unesc(hint)?,
+                });
+            }
+            ["D", scope, line, cover_end, rules, reason] => {
+                cur.as_mut()?.2.directives.push(CachedDirective {
+                    scope: match *scope {
+                        "line" => Scope::Line,
+                        "file" => Scope::File,
+                        _ => return None,
+                    },
+                    rules: rules.split(',').map(str::to_string).collect(),
+                    reason: if *reason == "-" {
+                        None
+                    } else {
+                        Some(unesc(reason)?)
+                    },
+                    line: line.parse().ok()?,
+                    cover_end: cover_end.parse().ok()?,
+                });
+            }
+            ["P", line, message] => {
+                let problem = (line.parse().ok()?, unesc(message)?);
+                cur.as_mut()?.2.problems.push(problem);
+            }
+            ["M", line, message] => {
+                let problem = (line.parse().ok()?, unesc(message)?);
+                cur.as_mut()?.2.marker_problems.push(problem);
+            }
+            ["N", name, qual, mods, line, end, flags, index_lines] => {
+                let f = flags
+                    .chars()
+                    .map(flag_char)
+                    .collect::<Option<Vec<bool>>>()?;
+                let &[is_test, has_body, hot, no_panic, cold] = f.as_slice() else {
+                    return None;
+                };
+                cur.as_mut()?.2.fns.push(FnDef {
+                    name: unesc(name)?,
+                    qualifier: if *qual == "-" {
+                        None
+                    } else {
+                        Some(unesc(qual)?)
+                    },
+                    modules: if *mods == "-" {
+                        Vec::new()
+                    } else {
+                        mods.split(',').map(str::to_string).collect()
+                    },
+                    line: line.parse().ok()?,
+                    end_line: end.parse().ok()?,
+                    is_test,
+                    has_body,
+                    hot,
+                    no_panic,
+                    cold,
+                    calls: Vec::new(),
+                    index_lines: if *index_lines == "-" {
+                        Vec::new()
+                    } else {
+                        index_lines
+                            .split(',')
+                            .map(|n| n.parse().ok())
+                            .collect::<Option<Vec<usize>>>()?
+                    },
+                });
+            }
+            ["C", kind, path, line, flags] => {
+                let f = flags
+                    .chars()
+                    .map(flag_char)
+                    .collect::<Option<Vec<bool>>>()?;
+                let &[recv_self, in_par_scope, float_evidence] = f.as_slice() else {
+                    return None;
+                };
+                let call = CallSite {
+                    kind: CallKind::from_label(kind)?,
+                    path: path.split("::").map(str::to_string).collect(),
+                    line: line.parse().ok()?,
+                    recv_self,
+                    in_par_scope,
+                    float_evidence,
+                };
+                cur.as_mut()?.2.fns.last_mut()?.calls.push(call);
+            }
+            _ => return None,
+        }
+    }
+    if let Some((rel, digest, a)) = cur.take() {
+        cache.store(rel, digest, a);
+    }
+    Some(cache)
+}
+
+fn flag(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+fn flag_char(c: char) -> Option<bool> {
+    match c {
+        '0' => Some(false),
+        '1' => Some(true),
+        _ => None,
+    }
+}
+
+/// Escapes tabs, newlines, and backslashes so any string fits in one
+/// tab-separated field.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn analysis(path: &str, src: &str) -> FileAnalysis {
+        crate::analyze_file(&SourceFile::from_source(path, src), &Config::default())
+    }
+
+    fn roundtrip(cache: &Cache) -> Cache {
+        parse(&cache.render(), cache.fingerprint()).expect("roundtrip parse")
+    }
+
+    #[test]
+    fn roundtrip_preserves_a_rich_analysis_exactly() {
+        let src = "//! docs\n\
+                   // chaos-lint: allow(R4) — invariant \"quoted\"\tand tabbed\n\
+                   // chaos-lint: hot — tick\n\
+                   pub fn push(&mut self) -> f64 { self.gather(); v[0] }\n\
+                   fn gather(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        let a = analysis("crates/demo/src/x.rs", src);
+        assert!(!a.fns.is_empty());
+        let fp = fingerprint(&Config::default());
+        let mut cache = Cache::new(fp);
+        cache.store("crates/demo/src/x.rs".to_string(), 0xdead_beef, a.clone());
+        let back = roundtrip(&cache);
+        assert_eq!(
+            back.get("crates/demo/src/x.rs", 0xdead_beef),
+            Some(&a),
+            "replayed analysis must compare equal"
+        );
+        assert_eq!(back.get("crates/demo/src/x.rs", 0xdead_beee), None);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_and_corruption_discard_the_cache() {
+        let fp = fingerprint(&Config::default());
+        let mut cache = Cache::new(fp);
+        cache.store(
+            "crates/demo/src/x.rs".to_string(),
+            1,
+            analysis("crates/demo/src/x.rs", "fn f() {}\n"),
+        );
+        let text = cache.render();
+        assert!(parse(&text, fp.wrapping_add(1)).is_none(), "fingerprint");
+        assert!(parse(&text.replace("N\t", "Z\t"), fp).is_none(), "bad tag");
+        assert!(parse("", fp).is_none(), "empty file");
+        let truncated: String = text.lines().take(2).map(|l| format!("{l}x\n")).collect();
+        assert!(parse(&truncated, fp).is_none(), "mangled fields");
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_separates_inputs() {
+        // Pinned value: the cache format would silently invalidate on a
+        // hash change, but a pinned vector catches accidental edits.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(content_hash(b"fn f() {}"), content_hash(b"fn g() {}"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let fp = fingerprint(&Config::default());
+        let mut c1 = Cache::new(fp);
+        let mut c2 = Cache::new(fp);
+        for path in ["b.rs", "a.rs", "c.rs"] {
+            let a = analysis(path, "fn f() { g(); }\nfn g() {}\n");
+            c1.store(path.to_string(), 7, a.clone());
+            c2.store(path.to_string(), 7, a);
+        }
+        assert_eq!(c1.render(), c2.render());
+        assert!(c1.render().starts_with("chaos-lint-cache/2 "));
+    }
+}

@@ -1,4 +1,5 @@
-//! Suppression directives: `// chaos-lint: allow(R2) — reason`.
+//! Suppression directives (`// chaos-lint: allow(R2) — reason`) and
+//! call-graph markers (`// chaos-lint: hot`).
 //!
 //! A directive names one or more rules and **must** carry a written
 //! reason after an `—` / `-` / `:` separator; a reason-less directive
@@ -14,6 +15,17 @@
 //!   an allow above a loop never covers the loop body).
 //! * `allow-file(<rules>)` — suppresses matching findings anywhere in
 //!   the file; conventionally placed in the file header.
+//!
+//! Markers attach to the next `fn` definition and drive the cross-file
+//! reachability rules (R6/R7):
+//!
+//! * `hot` — the function is a steady-state hot root: everything it
+//!   reaches must be allocation-free (R6) and panic-free (R7).
+//! * `no-panic` — a panic-freedom root only (R7), for request handlers
+//!   that may allocate but must never abort.
+//! * `cold — reason` — a traversal barrier: the function is off the
+//!   steady-state path (refits, membership churn), so reachability
+//!   stops here. The reason is mandatory, like a suppression's.
 
 use crate::lexer::Comment;
 
@@ -45,7 +57,7 @@ pub struct Directive {
 }
 
 /// A malformed directive, reported as a lint warning.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseProblem {
     /// 1-based line of the offending comment.
     pub line: usize,
@@ -53,13 +65,56 @@ pub struct ParseProblem {
     pub message: String,
 }
 
+/// What a call-graph marker declares about the next function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// Allocation- and panic-freedom root (R6 + R7).
+    Hot,
+    /// Panic-freedom root only (R7).
+    NoPanic,
+    /// Reachability barrier: traversal stops at this function.
+    Cold,
+}
+
+impl MarkerKind {
+    /// The spelling used in source comments.
+    pub fn label(self) -> &'static str {
+        match self {
+            MarkerKind::Hot => "hot",
+            MarkerKind::NoPanic => "no-panic",
+            MarkerKind::Cold => "cold",
+        }
+    }
+}
+
+/// One parsed call-graph marker, not yet attached to a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// Which property the marker declares.
+    pub kind: MarkerKind,
+    /// Written justification (mandatory for `cold`).
+    pub reason: Option<String>,
+    /// 1-based line of the comment carrying the marker.
+    pub line: usize,
+}
+
 const MARKER: &str = "chaos-lint:";
 
-/// Extracts all directives (and malformed attempts) from a file's
-/// comment stream.
-pub fn parse(comments: &[Comment]) -> (Vec<Directive>, Vec<ParseProblem>) {
-    let mut directives = Vec::new();
-    let mut problems = Vec::new();
+/// Everything extracted from one file's comment stream.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Well-formed suppression directives.
+    pub directives: Vec<Directive>,
+    /// Call-graph markers awaiting attachment to a `fn`.
+    pub markers: Vec<Marker>,
+    /// Malformed directives/markers, surfaced as warnings.
+    pub problems: Vec<ParseProblem>,
+}
+
+/// Extracts all directives, markers, and malformed attempts from a
+/// file's comment stream.
+pub fn parse(comments: &[Comment]) -> Parsed {
+    let mut out = Parsed::default();
     for (i, comment) in comments.iter().enumerate() {
         if is_doc(comment) {
             continue;
@@ -68,6 +123,16 @@ pub fn parse(comments: &[Comment]) -> (Vec<Directive>, Vec<ParseProblem>) {
             continue;
         };
         let rest = comment.text[idx + MARKER.len()..].trim_start();
+        if let Some(result) = parse_marker(rest, comment.line) {
+            match result {
+                Ok(m) => out.markers.push(m),
+                Err(message) => out.problems.push(ParseProblem {
+                    line: comment.line,
+                    message,
+                }),
+            }
+            continue;
+        }
         match parse_one(rest, comment.line) {
             Ok(mut d) => {
                 d.end_line = block_end(comments, i);
@@ -80,15 +145,35 @@ pub fn parse(comments: &[Comment]) -> (Vec<Directive>, Vec<ParseProblem>) {
                         reason.push_str(c.text.trim());
                     }
                 }
-                directives.push(d);
+                out.directives.push(d);
             }
-            Err(message) => problems.push(ParseProblem {
+            Err(message) => out.problems.push(ParseProblem {
                 line: comment.line,
                 message,
             }),
         }
     }
-    (directives, problems)
+    out
+}
+
+/// Recognizes `hot`, `no-panic`, and `cold` markers. Returns `None`
+/// when `rest` is not a marker at all (an `allow…` follows instead).
+fn parse_marker(rest: &str, line: usize) -> Option<Result<Marker, String>> {
+    let kind = [MarkerKind::NoPanic, MarkerKind::Hot, MarkerKind::Cold]
+        .into_iter()
+        .find(|k| {
+            rest.strip_prefix(k.label())
+                .is_some_and(|r| r.is_empty() || !r.starts_with(|c: char| c.is_alphanumeric()))
+        })?;
+    let reason = strip_separator(rest[kind.label().len()..].trim());
+    if kind == MarkerKind::Cold && reason.is_none() {
+        return Some(Err(
+            "`cold` marker has no reason — a barrier must say why the function \
+             is off the steady-state path; it was not applied"
+                .to_string(),
+        ));
+    }
+    Some(Ok(Marker { kind, reason, line }))
 }
 
 /// Doc comments never carry live directives — they are where the
@@ -201,11 +286,12 @@ mod tests {
 
     #[test]
     fn parses_line_allow_with_em_dash_reason() {
-        let (ds, ps) = parse(&[comment(
+        let p = parse(&[comment(
             7,
             " chaos-lint: allow(R2) — span timing is a side channel",
         )]);
-        assert!(ps.is_empty());
+        assert!(p.problems.is_empty());
+        let ds = &p.directives;
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].scope, Scope::Line);
         assert_eq!(ds[0].rules, ["R2"]);
@@ -218,10 +304,11 @@ mod tests {
 
     #[test]
     fn parses_file_scope_and_multiple_rules() {
-        let (ds, _) = parse(&[comment(
+        let p = parse(&[comment(
             1,
             " chaos-lint: allow-file(r1, R4) - numeric kernel",
         )]);
+        let ds = &p.directives;
         assert_eq!(ds[0].scope, Scope::File);
         assert_eq!(ds[0].rules, ["R1", "R4"]);
         assert_eq!(ds[0].reason.as_deref(), Some("numeric kernel"));
@@ -229,42 +316,45 @@ mod tests {
 
     #[test]
     fn missing_reason_is_kept_but_reasonless() {
-        let (ds, ps) = parse(&[comment(3, " chaos-lint: allow(R4)")]);
-        assert!(ps.is_empty());
-        assert_eq!(ds[0].reason, None);
+        let p = parse(&[comment(3, " chaos-lint: allow(R4)")]);
+        assert!(p.problems.is_empty());
+        assert_eq!(p.directives[0].reason, None);
     }
 
     #[test]
     fn malformed_directives_are_problems_not_panics() {
-        let (ds, ps) = parse(&[
+        let p = parse(&[
             comment(1, " chaos-lint: disallow(R1) — nope"),
             comment(2, " chaos-lint: allow R1 — missing parens"),
             comment(3, " chaos-lint: allow() — empty"),
         ]);
-        assert!(ds.is_empty());
-        assert_eq!(ps.len(), 3);
+        assert!(p.directives.is_empty());
+        assert_eq!(p.problems.len(), 3);
     }
 
     #[test]
     fn doc_comments_never_carry_directives() {
         // A doc-comment syntax example reaches us with a leading `/`,
         // `!`, or `*` (the third marker char survives lexing).
-        let (ds, ps) = parse(&[
+        let p = parse(&[
             comment(1, "/ chaos-lint: allow(R4) — doc example"),
             comment(2, "! chaos-lint: allow(R2) — crate-doc example"),
             comment(3, "* chaos-lint: allow(R1) — block-doc example"),
+            comment(4, "/ chaos-lint: hot — doc example of a marker"),
         ]);
-        assert!(ds.is_empty());
-        assert!(ps.is_empty());
+        assert!(p.directives.is_empty());
+        assert!(p.markers.is_empty());
+        assert!(p.problems.is_empty());
     }
 
     #[test]
     fn wrapped_reason_extends_the_block() {
-        let (ds, _) = parse(&[
+        let p = parse(&[
             comment(10, " chaos-lint: allow(R2) — the reason is long and"),
             comment(11, " wraps onto a second comment line"),
             comment(14, " unrelated comment far below"),
         ]);
+        let ds = &p.directives;
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].line, 10);
         assert_eq!(ds[0].end_line, 11);
@@ -276,8 +366,49 @@ mod tests {
 
     #[test]
     fn unrelated_comments_are_ignored() {
-        let (ds, ps) = parse(&[comment(1, " plain comment about chaos lint generally")]);
-        assert!(ds.is_empty());
-        assert!(ps.is_empty());
+        let p = parse(&[comment(1, " plain comment about chaos lint generally")]);
+        assert!(p.directives.is_empty());
+        assert!(p.markers.is_empty());
+        assert!(p.problems.is_empty());
+    }
+
+    #[test]
+    fn markers_parse_with_optional_reasons() {
+        let p = parse(&[
+            comment(3, " chaos-lint: hot — steady-state per-second path"),
+            comment(9, " chaos-lint: hot"),
+            comment(12, " chaos-lint: no-panic — request handler"),
+        ]);
+        assert!(p.problems.is_empty());
+        assert_eq!(p.markers.len(), 3);
+        assert_eq!(p.markers[0].kind, MarkerKind::Hot);
+        assert_eq!(
+            p.markers[0].reason.as_deref(),
+            Some("steady-state per-second path")
+        );
+        assert_eq!(p.markers[1].reason, None);
+        assert_eq!(p.markers[2].kind, MarkerKind::NoPanic);
+        assert_eq!(p.markers[2].line, 12);
+    }
+
+    #[test]
+    fn cold_marker_requires_a_reason() {
+        let p = parse(&[
+            comment(5, " chaos-lint: cold — refit entry, off the tick path"),
+            comment(8, " chaos-lint: cold"),
+        ]);
+        assert_eq!(p.markers.len(), 1);
+        assert_eq!(p.markers[0].kind, MarkerKind::Cold);
+        assert_eq!(p.problems.len(), 1);
+        assert!(p.problems[0].message.contains("cold"));
+    }
+
+    #[test]
+    fn marker_prefixes_do_not_swallow_identifiers() {
+        // `hotter` / `colder` are not markers; they fall through to the
+        // malformed-directive path so typos stay visible.
+        let p = parse(&[comment(1, " chaos-lint: hotter — typo")]);
+        assert!(p.markers.is_empty());
+        assert_eq!(p.problems.len(), 1);
     }
 }

@@ -1,0 +1,1073 @@
+//! Pass 2 of the cross-file analysis: workspace call graph, name
+//! resolution, and the transitive reachability rules R6/R7.
+//!
+//! # Resolution heuristic
+//!
+//! Calls are resolved by name and written path only — no type
+//! inference. In priority order:
+//!
+//! * `self.m(…)` → a method `m` on the caller's own impl type;
+//! * `Type::f(…)` → a method on a workspace `impl Type`/`trait Type`;
+//! * `module::f(…)` → a free fn in a file named `module.rs` or an
+//!   inline `mod module`;
+//! * `chaos_x::…::f(…)` → a fn named `f` in crate `chaos-x`;
+//! * bare `f(…)` → same file, then same crate, then workspace-unique;
+//! * method `m(…)` on a non-`self` receiver → workspace methods named
+//!   `m` (bodyless trait declarations are ignored when exactly one
+//!   implementation exists).
+//!
+//! Anything that matches several candidates is **ambiguous** and
+//! anything that matches none and is not recognizably `std`/constructor
+//! syntax is **unknown**; both are reported as coverage gaps, never
+//! guessed. The resolution rate is tracked against a checked-in
+//! baseline so graph quality cannot silently rot.
+//!
+//! # Reachability
+//!
+//! R6/R7 walk resolved edges breadth-first from marked roots.
+//! `#[cfg(test)]` definitions are never traversed, and
+//! `// chaos-lint: cold` definitions are barriers: the steady-state
+//! contract (pinned dynamically by `alloc_regression`) excludes refit
+//! and membership-churn ladders, so traversal must stop where the
+//! steady state ends.
+
+use crate::report::Finding;
+use crate::rules;
+use crate::scan::FileRole;
+use crate::symbols::{CallKind, CallSite, FnDef};
+use crate::FileAnalysis;
+use std::collections::BTreeMap;
+
+/// How one call site resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Unique workspace definition (node index).
+    Resolved(usize),
+    /// Recognized `std`/external call — not a workspace fn.
+    External,
+    /// Uppercase-initial path/bare call: enum-variant or tuple-struct
+    /// constructor syntax, not a fn call.
+    Constructor,
+    /// Several workspace candidates; the count is kept for reporting.
+    Ambiguous(usize),
+    /// No candidate and no external classification.
+    Unknown,
+    /// Macros are not resolved (only hazard-matched).
+    Macro,
+}
+
+/// One unresolved call inside hot-reachable code — the actionable
+/// subset of coverage gaps.
+#[derive(Debug, Clone)]
+pub struct Gap {
+    /// File of the calling function.
+    pub file: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Rendered call (`recv.push(…)` style).
+    pub call: String,
+    /// `"ambiguous"` or `"unknown"`.
+    pub kind: &'static str,
+}
+
+/// Aggregate graph/coverage statistics for the report.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Live (non-test) fn definitions in the graph.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// `hot` roots found.
+    pub hot_roots: usize,
+    /// `no-panic` roots found.
+    pub no_panic_roots: usize,
+    /// `cold` barriers found.
+    pub cold_barriers: usize,
+    /// Non-macro call sites considered for resolution.
+    pub calls_total: usize,
+    /// Calls resolved to a unique workspace definition.
+    pub resolved: usize,
+    /// Calls classified as std/external or constructor syntax.
+    pub external: usize,
+    /// Calls with several workspace candidates.
+    pub ambiguous: usize,
+    /// Calls with no candidate and no classification.
+    pub unknown: usize,
+    /// Definitions reachable from `hot` roots (barriers excluded).
+    pub hot_reachable: usize,
+    /// Unresolved calls inside hot-reachable definitions.
+    pub gaps: Vec<Gap>,
+}
+
+impl GraphStats {
+    /// Resolution rate in per-mille: `(resolved + external) / total`.
+    /// Integer-scaled so the checked-in baseline never has float
+    /// formatting drift.
+    pub fn resolution_per_mille(&self) -> u64 {
+        if self.calls_total == 0 {
+            return 1000;
+        }
+        ((self.resolved + self.external) as u64 * 1000) / self.calls_total as u64
+    }
+}
+
+/// The workspace call graph over a set of analyzed files.
+pub struct Graph<'a> {
+    files: &'a [FileAnalysis],
+    /// `(file index, fn index)` per node, in deterministic order.
+    nodes: Vec<(usize, usize)>,
+    /// Per node: per call site, how it resolved.
+    resolutions: Vec<Vec<Resolution>>,
+    /// Per node: resolved out-edges (deduplicated, ordered).
+    edges: Vec<Vec<usize>>,
+}
+
+/// Marker state relevant to traversal, resolved per node.
+#[derive(Clone, Copy)]
+struct NodeFlags {
+    hot: bool,
+    no_panic: bool,
+    cold: bool,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph: indexes every live definition, resolves every
+    /// call. Test-role files, bench files, and `#[cfg(test)]` fns are
+    /// excluded — live code cannot call them.
+    pub fn build(files: &'a [FileAnalysis]) -> Graph<'a> {
+        let mut nodes = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            if !matches!(f.role, FileRole::Lib | FileRole::Bin | FileRole::Example) {
+                continue;
+            }
+            for (di, d) in f.fns.iter().enumerate() {
+                if !d.is_test {
+                    nodes.push((fi, di));
+                }
+            }
+        }
+        let mut g = Graph {
+            files,
+            nodes,
+            resolutions: Vec::new(),
+            edges: Vec::new(),
+        };
+        let index = Index::build(&g);
+        for n in 0..g.nodes.len() {
+            let def = g.def(n);
+            let mut res = Vec::with_capacity(def.calls.len());
+            let mut out = Vec::new();
+            for call in &def.calls {
+                let r = index.resolve(&g, n, call);
+                if let Resolution::Resolved(target) = r {
+                    if target != n && !out.contains(&target) {
+                        out.push(target);
+                    }
+                }
+                res.push(r);
+            }
+            g.resolutions.push(res);
+            g.edges.push(out);
+        }
+        g
+    }
+
+    /// The definition behind node `n`.
+    pub fn def(&self, n: usize) -> &FnDef {
+        let (fi, di) = self.nodes[n];
+        &self.files[fi].fns[di]
+    }
+
+    /// The file containing node `n`.
+    pub fn file(&self, n: usize) -> &FileAnalysis {
+        &self.files[self.nodes[n].0]
+    }
+
+    fn flags(&self, n: usize) -> NodeFlags {
+        let d = self.def(n);
+        NodeFlags {
+            hot: d.hot,
+            no_panic: d.no_panic,
+            cold: d.cold,
+        }
+    }
+
+    /// BFS from `roots`, stopping at cold barriers. Returns, for every
+    /// reached node, the node it was first reached from (roots map to
+    /// themselves).
+    fn reach(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if self.flags(r).cold {
+                continue;
+            }
+            parent.insert(r, r);
+            queue.push(r);
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let n = queue[head];
+            head += 1;
+            for &m in &self.edges[n] {
+                if self.flags(m).cold || parent.contains_key(&m) {
+                    continue;
+                }
+                parent.insert(m, n);
+                queue.push(m);
+            }
+        }
+        parent
+    }
+
+    /// Renders the call chain `root → … → n` using display names.
+    fn chain(&self, parent: &BTreeMap<usize, usize>, n: usize) -> String {
+        let mut names = vec![self.def(n).display()];
+        let mut cur = n;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            names.push(self.def(p).display());
+            cur = p;
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+
+    /// Runs R6 (hot-path allocation freedom) and R7 (transitive panic
+    /// reachability) and returns their raw findings.
+    pub fn check(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let hot_roots: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| self.flags(n).hot)
+            .collect();
+        let panic_roots: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| {
+                let f = self.flags(n);
+                f.hot || f.no_panic
+            })
+            .collect();
+        let hot_reach = self.reach(&hot_roots);
+        for (&n, _) in &hot_reach {
+            let def = self.def(n);
+            for (call, res) in def.calls.iter().zip(&self.resolutions[n]) {
+                if let Some(what) = alloc_hazard(call, res) {
+                    out.push(Finding {
+                        rule: "R6".to_string(),
+                        file: self.file(n).rel_path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "{what} on the hot path: `{}` is reached via {}",
+                            def.display(),
+                            self.chain(&hot_reach, n)
+                        ),
+                        hint: rules::R6_META.hint.to_string(),
+                    });
+                }
+            }
+        }
+        let panic_reach = self.reach(&panic_roots);
+        for (&n, _) in &panic_reach {
+            let def = self.def(n);
+            for (call, res) in def.calls.iter().zip(&self.resolutions[n]) {
+                if let Some(what) = panic_hazard(call, res) {
+                    out.push(Finding {
+                        rule: "R7".to_string(),
+                        file: self.file(n).rel_path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "{what} on a protected path: `{}` is reached via {}",
+                            def.display(),
+                            self.chain(&panic_reach, n)
+                        ),
+                        hint: rules::R7_META.hint.to_string(),
+                    });
+                }
+            }
+            for &line in &def.index_lines {
+                out.push(Finding {
+                    rule: "R7".to_string(),
+                    file: self.file(n).rel_path.clone(),
+                    line,
+                    message: format!(
+                        "literal indexing can panic on a protected path: `{}` is reached via {}",
+                        def.display(),
+                        self.chain(&panic_reach, n)
+                    ),
+                    hint: rules::R7_META.hint.to_string(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Aggregate statistics, including the hot-reachable gap list.
+    pub fn stats(&self) -> GraphStats {
+        let mut s = GraphStats {
+            fns: self.nodes.len(),
+            ..GraphStats::default()
+        };
+        let hot_roots: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| self.flags(n).hot)
+            .collect();
+        let hot_reach = self.reach(&hot_roots);
+        s.hot_reachable = hot_reach.len();
+        for n in 0..self.nodes.len() {
+            let f = self.flags(n);
+            s.hot_roots += usize::from(f.hot);
+            s.no_panic_roots += usize::from(f.no_panic);
+            s.cold_barriers += usize::from(f.cold);
+            s.edges += self.edges[n].len();
+            let def = self.def(n);
+            for (call, res) in def.calls.iter().zip(&self.resolutions[n]) {
+                match res {
+                    Resolution::Macro => continue,
+                    Resolution::Resolved(_) => s.resolved += 1,
+                    Resolution::External | Resolution::Constructor => s.external += 1,
+                    Resolution::Ambiguous(_) => s.ambiguous += 1,
+                    Resolution::Unknown => s.unknown += 1,
+                }
+                s.calls_total += 1;
+                let gap_kind = match res {
+                    Resolution::Ambiguous(_) => Some("ambiguous"),
+                    Resolution::Unknown => Some("unknown"),
+                    _ => None,
+                };
+                if let (Some(kind), true) = (gap_kind, hot_reach.contains_key(&n)) {
+                    s.gaps.push(Gap {
+                        file: self.file(n).rel_path.clone(),
+                        line: call.line,
+                        call: render_call(call),
+                        kind,
+                    });
+                }
+            }
+        }
+        s
+    }
+
+    /// Renders the graph as Graphviz DOT for debugging (`--graph`).
+    /// Hot roots are red, no-panic roots orange, barriers gray,
+    /// hot-reachable nodes filled.
+    pub fn to_dot(&self) -> String {
+        let hot_roots: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| self.flags(n).hot)
+            .collect();
+        let reach = self.reach(&hot_roots);
+        let mut out =
+            String::from("digraph chaos_lint {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        for n in 0..self.nodes.len() {
+            let f = self.flags(n);
+            let label = format!("{}\\n{}", self.def(n).display(), self.file(n).crate_name);
+            let mut attrs = vec![format!("label=\"{label}\"")];
+            if f.hot {
+                attrs.push("color=red".to_string());
+            } else if f.no_panic {
+                attrs.push("color=orange".to_string());
+            } else if f.cold {
+                attrs.push("color=gray".to_string());
+            }
+            if reach.contains_key(&n) {
+                attrs.push("style=filled, fillcolor=mistyrose".to_string());
+            }
+            out.push_str(&format!("  n{} [{}];\n", n, attrs.join(", ")));
+        }
+        for n in 0..self.nodes.len() {
+            for &m in &self.edges[n] {
+                out.push_str(&format!("  n{n} -> n{m};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn render_call(call: &CallSite) -> String {
+    match call.kind {
+        CallKind::Method => format!(".{}(…)", call.name()),
+        CallKind::Path => format!("{}(…)", call.path.join("::")),
+        CallKind::Macro => format!("{}!(…)", call.name()),
+        CallKind::Bare => format!("{}(…)", call.name()),
+    }
+}
+
+/// Name indexes over the graph's nodes.
+struct Index {
+    /// `(qualifier, name)` → nodes (methods and trait fns).
+    by_qual: BTreeMap<(String, String), Vec<usize>>,
+    /// method/trait-fn name → nodes.
+    methods: BTreeMap<String, Vec<usize>>,
+    /// free-fn name → nodes.
+    free: BTreeMap<String, Vec<usize>>,
+}
+
+impl Index {
+    fn build(g: &Graph<'_>) -> Index {
+        let mut ix = Index {
+            by_qual: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            free: BTreeMap::new(),
+        };
+        for n in 0..g.nodes.len() {
+            let d = g.def(n);
+            match &d.qualifier {
+                Some(q) => {
+                    ix.by_qual
+                        .entry((q.clone(), d.name.clone()))
+                        .or_default()
+                        .push(n);
+                    ix.methods.entry(d.name.clone()).or_default().push(n);
+                }
+                None => ix.free.entry(d.name.clone()).or_default().push(n),
+            }
+        }
+        ix
+    }
+
+    fn resolve(&self, g: &Graph<'_>, caller: usize, call: &CallSite) -> Resolution {
+        match call.kind {
+            CallKind::Macro => Resolution::Macro,
+            CallKind::Method => self.resolve_method(g, caller, call),
+            CallKind::Path => self.resolve_path(g, caller, call),
+            CallKind::Bare => self.resolve_bare(g, caller, call),
+        }
+    }
+
+    fn resolve_method(&self, g: &Graph<'_>, caller: usize, call: &CallSite) -> Resolution {
+        let name = call.name();
+        if call.recv_self {
+            if let Some(q) = &g.def(caller).qualifier {
+                if let Some(c) = self.by_qual.get(&(q.clone(), name.to_string())) {
+                    return unique(c);
+                }
+            }
+        }
+        // A name shared with a ubiquitous std container/iterator method
+        // (`.collect()`, `.push(…)`, `.get(…)`) is overwhelmingly the
+        // std one; resolving it to a coincidentally-named workspace
+        // method would wire unrelated code into the graph (an iterator
+        // `.collect()` must not resolve to `ClusterExperiment::collect`).
+        // Classified External instead — the hazard tables still fire on
+        // the allocating ones, erring toward a finding, and workspace
+        // methods with these names stay reachable via `self.` calls.
+        if STD_METHOD_NAMES.contains(&name) {
+            return Resolution::External;
+        }
+        match self.methods.get(name) {
+            None => Resolution::External,
+            Some(c) => {
+                // Ignore bodyless trait declarations when exactly one
+                // implementation exists — single-impl dispatch is exact.
+                let with_body: Vec<usize> =
+                    c.iter().copied().filter(|&n| g.def(n).has_body).collect();
+                match with_body.as_slice() {
+                    [one] => Resolution::Resolved(*one),
+                    [] => unique(c),
+                    many => Resolution::Ambiguous(many.len()),
+                }
+            }
+        }
+    }
+
+    fn resolve_path(&self, g: &Graph<'_>, caller: usize, call: &CallSite) -> Resolution {
+        let name = call.name().to_string();
+        let mut segs = call.path.clone();
+        // `Self::f` — substitute the caller's impl type.
+        if segs.first().map(String::as_str) == Some("Self") {
+            match (&g.def(caller).qualifier, segs.first_mut()) {
+                (Some(q), Some(first)) => *first = q.clone(),
+                _ => return Resolution::Unknown,
+            }
+        }
+        let qual = segs[segs.len() - 2].clone();
+        // 1. Workspace impl/trait type.
+        if let Some(c) = self.by_qual.get(&(qual.clone(), name.clone())) {
+            return unique(c);
+        }
+        // 2. File-stem or inline-module qualifier for free fns.
+        if let Some(c) = self.free.get(&name) {
+            let in_module: Vec<usize> = c
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    g.file(n).file_stem() == qual || g.def(n).modules.iter().any(|m| *m == qual)
+                })
+                .collect();
+            if !in_module.is_empty() {
+                return unique(&in_module);
+            }
+        }
+        // 3. Crate-qualified path (`chaos_stats::…::f`).
+        let head = segs.first().map(String::as_str).unwrap_or_default();
+        let crate_name = head.replace('_', "-");
+        if g.files.iter().any(|f| f.crate_name == crate_name) {
+            let in_crate: Vec<usize> = self
+                .free
+                .get(&name)
+                .into_iter()
+                .flatten()
+                .chain(self.methods.get(&name).into_iter().flatten())
+                .copied()
+                .filter(|&n| g.file(n).crate_name == crate_name)
+                .collect();
+            if !in_crate.is_empty() {
+                return unique(&in_crate);
+            }
+        }
+        // 4. Constructor syntax (`StreamError::Io(…)`, `Some(…)`).
+        if name.starts_with(char::is_uppercase) {
+            return Resolution::Constructor;
+        }
+        // 5. Recognized std/core paths.
+        if STD_QUALIFIERS.contains(&qual.as_str()) || STD_QUALIFIERS.contains(&head) {
+            return Resolution::External;
+        }
+        Resolution::Unknown
+    }
+
+    fn resolve_bare(&self, g: &Graph<'_>, caller: usize, call: &CallSite) -> Resolution {
+        let name = call.name();
+        if name.starts_with(char::is_uppercase) {
+            return Resolution::Constructor;
+        }
+        let Some(c) = self.free.get(name) else {
+            return if BARE_STD.contains(&name) {
+                Resolution::External
+            } else {
+                Resolution::Unknown
+            };
+        };
+        let caller_file = g.nodes[caller].0;
+        let same_file: Vec<usize> = c
+            .iter()
+            .copied()
+            .filter(|&n| g.nodes[n].0 == caller_file)
+            .collect();
+        if !same_file.is_empty() {
+            return unique(&same_file);
+        }
+        let caller_crate = &g.file(caller).crate_name;
+        let same_crate: Vec<usize> = c
+            .iter()
+            .copied()
+            .filter(|&n| &g.file(n).crate_name == caller_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            return unique(&same_crate);
+        }
+        unique(c)
+    }
+}
+
+fn unique(candidates: &[usize]) -> Resolution {
+    match candidates {
+        [one] => Resolution::Resolved(*one),
+        [] => Resolution::Unknown,
+        many => Resolution::Ambiguous(many.len()),
+    }
+}
+
+/// Path qualifiers recognized as `std`/`core`/`alloc` (not exhaustive;
+/// unknown qualifiers are reported as gaps, not guessed).
+const STD_QUALIFIERS: [&str; 74] = [
+    "std",
+    "core",
+    "alloc",
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Option",
+    "Result",
+    "Ordering",
+    "Duration",
+    "Instant",
+    "SystemTime",
+    "thread",
+    "mem",
+    "ptr",
+    "fmt",
+    "io",
+    "fs",
+    "env",
+    "process",
+    "cmp",
+    "iter",
+    "slice",
+    "str",
+    "char",
+    "f64",
+    "f32",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "bool",
+    "Path",
+    "PathBuf",
+    "OsStr",
+    "OsString",
+    "num",
+    "sync",
+    "atomic",
+    "mpsc",
+    "collections",
+    "time",
+    "net",
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "array",
+    "Iterator",
+    "Default",
+    "NonZeroUsize",
+    "Wrapping",
+    "Reverse",
+    "convert",
+    "ops",
+    "borrow",
+    "hint",
+    "panic",
+    "error",
+];
+
+/// Bare identifiers from the std prelude that are callable.
+const BARE_STD: [&str; 2] = ["drop", "stringify"];
+
+/// Method names owned by std containers/iterators/primitives for
+/// resolution purposes: a non-`self` call to one of these never
+/// resolves to a workspace method (see `resolve_method`).
+const STD_METHOD_NAMES: [&str; 68] = [
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "clear",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "extend",
+    "extend_from_slice",
+    "contains",
+    "contains_key",
+    "clone",
+    "take",
+    "replace",
+    "map",
+    "and_then",
+    "filter",
+    "fold",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "first",
+    "last",
+    "sort",
+    "sort_by",
+    "drain",
+    "append",
+    "truncate",
+    "resize",
+    "retain",
+    "split_off",
+    "entry",
+    "chain",
+    "zip",
+    "rev",
+    "enumerate",
+    "flatten",
+    "flat_map",
+    "filter_map",
+    "skip",
+    "take_while",
+    "skip_while",
+    "windows",
+    "chunks",
+    "copied",
+    "cloned",
+    "position",
+    "find",
+    "any",
+    "all",
+    "count",
+    "nth",
+    "step_by",
+    "peekable",
+    "display",
+    "join",
+    "split",
+    "parse",
+    "trim",
+    "write",
+];
+
+/// Method names that allocate (or enable allocation) when the call does
+/// not resolve to a workspace definition.
+const ALLOC_METHODS: [&str; 22] = [
+    "push",
+    "push_str",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "extend",
+    "extend_from_slice",
+    "insert",
+    "append",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "split_off",
+    "join",
+    "concat",
+    "repeat",
+    "into_vec",
+    "to_uppercase",
+    "to_lowercase",
+    "cloned",
+];
+
+/// Std container types whose constructors count as allocation sites.
+const ALLOC_TYPES: [&str; 13] = [
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "CString",
+    "PathBuf",
+];
+
+/// Constructor-ish names on allocating types.
+const ALLOC_CTORS: [&str; 5] = ["new", "with_capacity", "from", "from_iter", "default"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Macros that abort.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Whether `call` is an allocation hazard given how it resolved.
+/// Resolved workspace calls are never hazards here — their own bodies
+/// are analyzed instead.
+fn alloc_hazard(call: &CallSite, res: &Resolution) -> Option<String> {
+    if matches!(res, Resolution::Resolved(_)) {
+        return None;
+    }
+    let name = call.name();
+    match call.kind {
+        CallKind::Macro => ALLOC_MACROS
+            .contains(&name)
+            .then(|| format!("`{name}!` allocates")),
+        CallKind::Method => ALLOC_METHODS
+            .contains(&name)
+            .then(|| format!("`.{name}(…)` allocates (unresolved receiver)")),
+        CallKind::Path => {
+            let qual = call.path[call.path.len() - 2].as_str();
+            (ALLOC_TYPES.contains(&qual) && ALLOC_CTORS.contains(&name))
+                .then(|| format!("`{}::{name}` allocates", qual))
+        }
+        CallKind::Bare => None,
+    }
+}
+
+/// Whether `call` is a panic hazard given how it resolved.
+fn panic_hazard(call: &CallSite, res: &Resolution) -> Option<String> {
+    if matches!(res, Resolution::Resolved(_)) {
+        return None;
+    }
+    let name = call.name();
+    match call.kind {
+        CallKind::Macro => PANIC_MACROS
+            .contains(&name)
+            .then(|| format!("`{name}!` aborts")),
+        CallKind::Method => {
+            (name == "unwrap" || name == "expect").then(|| format!("`.{name}(…)` can panic"))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Config;
+    use crate::scan::SourceFile;
+
+    fn analyze(path: &str, src: &str) -> FileAnalysis {
+        crate::analyze_file(&SourceFile::from_source(path, src), &Config::default())
+    }
+
+    fn graph_findings(files: &[FileAnalysis]) -> Vec<Finding> {
+        Graph::build(files).check()
+    }
+
+    #[test]
+    fn r6_fires_through_a_call_chain_with_the_full_path() {
+        let f = analyze(
+            "crates/demo/src/engine.rs",
+            "// chaos-lint: hot — per-tick\n\
+             pub fn push_second() { gather(); }\n\
+             fn gather() { assemble(); }\n\
+             fn assemble() { let v: Vec<f64> = Vec::new(); drop(v); }\n",
+        );
+        let fs = graph_findings(&[f]);
+        let r6: Vec<&Finding> = fs.iter().filter(|f| f.rule == "R6").collect();
+        assert_eq!(r6.len(), 1, "{fs:?}");
+        assert!(r6[0].message.contains("Vec::new"), "{}", r6[0].message);
+        assert!(
+            r6[0].message.contains("push_second → gather → assemble"),
+            "full chain named: {}",
+            r6[0].message
+        );
+        assert_eq!(r6[0].line, 4);
+    }
+
+    #[test]
+    fn r6_is_quiet_without_hot_roots() {
+        let f = analyze(
+            "crates/demo/src/engine.rs",
+            "pub fn push_second() { let v: Vec<f64> = Vec::new(); drop(v); }\n",
+        );
+        assert!(graph_findings(&[f]).is_empty());
+    }
+
+    #[test]
+    fn cold_barrier_stops_traversal() {
+        let f = analyze(
+            "crates/demo/src/engine.rs",
+            "// chaos-lint: hot — per-tick\n\
+             pub fn tick() { maybe_refit(); }\n\
+             // chaos-lint: cold — refit ladder is off the steady-state path\n\
+             fn maybe_refit() { let mut v = Vec::new(); v.push(1.0); }\n",
+        );
+        let fs = graph_findings(&[f]);
+        assert!(fs.is_empty(), "barrier must stop R6: {fs:?}");
+    }
+
+    #[test]
+    fn cross_file_resolution_by_module_and_crate_path() {
+        let a = analyze(
+            "crates/chaos-stream/src/engine.rs",
+            "// chaos-lint: hot — per-tick\n\
+             pub fn tick() { membership::validate(); chaos_stats::kernel::dot(); }\n",
+        );
+        let b = analyze(
+            "crates/chaos-stream/src/membership.rs",
+            "pub fn validate() { let v = vec![1]; drop(v); }\n",
+        );
+        let c = analyze(
+            "crates/chaos-stats/src/kernel.rs",
+            "pub fn dot() { helper(); }\nfn helper() { x.to_vec(); }\n",
+        );
+        let fs = graph_findings(&[a, b, c]);
+        let files: Vec<&str> = fs.iter().map(|f| f.file.as_str()).collect();
+        assert!(
+            files.contains(&"crates/chaos-stream/src/membership.rs"),
+            "module-path call resolved: {fs:?}"
+        );
+        assert!(
+            files.contains(&"crates/chaos-stats/src/kernel.rs"),
+            "crate-path call resolved: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn self_method_calls_resolve_within_the_impl() {
+        let f = analyze(
+            "crates/demo/src/engine.rs",
+            "struct E;\n\
+             impl E {\n\
+             \t// chaos-lint: hot — per-tick\n\
+             \tpub fn push(&mut self) { self.gather(); }\n\
+             \tfn gather(&mut self) { format!(\"x\"); }\n\
+             }\n",
+        );
+        let fs = graph_findings(&[f]);
+        let r6: Vec<&Finding> = fs.iter().filter(|f| f.rule == "R6").collect();
+        assert_eq!(r6.len(), 1, "{fs:?}");
+        assert!(
+            r6[0].message.contains("E::push → E::gather"),
+            "{}",
+            r6[0].message
+        );
+    }
+
+    #[test]
+    fn cfg_test_callees_are_outside_the_graph() {
+        let f = analyze(
+            "crates/demo/src/engine.rs",
+            "// chaos-lint: hot — per-tick\n\
+             pub fn tick() { helper(); }\n\
+             #[cfg(test)]\n\
+             fn helper() { let v = Vec::new(); drop(v); }\n",
+        );
+        let fs = graph_findings(&[f]);
+        assert!(
+            fs.is_empty(),
+            "test-only defs must not be traversed: {fs:?}"
+        );
+        let files = [analyze(
+            "crates/demo/src/engine.rs",
+            "#[cfg(test)]\nfn helper() {}\nfn live() {}\n",
+        )];
+        let g = Graph::build(&files);
+        assert_eq!(g.nodes.len(), 1, "test def excluded from the graph");
+    }
+
+    #[test]
+    fn shadowed_names_across_crates_are_ambiguous_gaps() {
+        let a = analyze("crates/a/src/lib.rs", "pub fn helper() {}\n");
+        let b = analyze("crates/b/src/lib.rs", "pub fn helper() {}\n");
+        let c = analyze(
+            "crates/c/src/lib.rs",
+            "// chaos-lint: hot — root\npub fn go() { helper(); }\n",
+        );
+        let files = [a, b, c];
+        let g = Graph::build(&files);
+        let stats = g.stats();
+        assert_eq!(stats.ambiguous, 1, "{stats:?}");
+        assert_eq!(stats.gaps.len(), 1);
+        assert_eq!(stats.gaps[0].kind, "ambiguous");
+        // Same-crate shadowing resolves locally instead.
+        let a2 = analyze("crates/a/src/lib.rs", "pub fn helper() {}\n");
+        let b2 = analyze("crates/b/src/lib.rs", "pub fn helper() {}\n");
+        let c2 = analyze("crates/a/src/other.rs", "pub fn go() { helper(); }\n");
+        let files2 = [a2, b2, c2];
+        let g2 = Graph::build(&files2);
+        assert_eq!(g2.stats().ambiguous, 0, "same-crate candidate wins");
+    }
+
+    #[test]
+    fn single_impl_trait_dispatch_resolves_two_impls_do_not() {
+        let one = analyze(
+            "crates/demo/src/lib.rs",
+            "trait Est { fn fit(&self); }\n\
+             struct A;\n\
+             impl Est for A { fn fit(&self) { vec![1]; } }\n\
+             // chaos-lint: hot — root\n\
+             pub fn run(e: &A) { e.fit(); }\n",
+        );
+        let fs = graph_findings(&[one]);
+        assert!(
+            fs.iter().any(|f| f.rule == "R6"),
+            "single impl resolves, hazard surfaces: {fs:?}"
+        );
+        let two = analyze(
+            "crates/demo/src/lib.rs",
+            "trait Est { fn fit(&self); }\n\
+             struct A;\nstruct B;\n\
+             impl Est for A { fn fit(&self) { vec![1]; } }\n\
+             impl Est for B { fn fit(&self) {} }\n\
+             // chaos-lint: hot — root\n\
+             pub fn run(e: &A) { e.fit(); }\n",
+        );
+        let files = [two];
+        let g = Graph::build(&files);
+        assert!(
+            g.stats().gaps.iter().any(|gap| gap.kind == "ambiguous"),
+            "two impls are an ambiguous gap: {:?}",
+            g.stats().gaps
+        );
+    }
+
+    #[test]
+    fn r7_covers_no_panic_roots_and_index_sites() {
+        let f = analyze(
+            "crates/demo/src/server.rs",
+            "// chaos-lint: no-panic — request handler\n\
+             pub fn handle() { decode(); }\n\
+             fn decode() { let x = parse().unwrap(); let _ = x; v[0]; }\n",
+        );
+        let fs = graph_findings(&[f]);
+        let r7: Vec<&Finding> = fs.iter().filter(|f| f.rule == "R7").collect();
+        assert_eq!(r7.len(), 2, "unwrap + literal index: {fs:?}");
+        assert!(r7.iter().all(|f| f.message.contains("handle → decode")));
+        assert!(
+            !fs.iter().any(|f| f.rule == "R6"),
+            "no-panic roots do not imply allocation freedom: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn constructors_and_std_paths_are_not_gaps() {
+        let f = analyze(
+            "crates/demo/src/lib.rs",
+            "// chaos-lint: hot — root\n\
+             pub fn go() -> Option<u32> { let d = std::mem::take(&mut x); f64::max(1.0, 2.0); Some(d) }\n",
+        );
+        let files = [f];
+        let g = Graph::build(&files);
+        let s = g.stats();
+        assert_eq!(s.unknown, 0, "{:?}", s.gaps);
+        assert_eq!(s.ambiguous, 0, "{:?}", s.gaps);
+    }
+
+    #[test]
+    fn stats_count_roots_barriers_and_resolution() {
+        let f = analyze(
+            "crates/demo/src/lib.rs",
+            "// chaos-lint: hot — root\n\
+             pub fn a() { b(); mystery(); }\n\
+             fn b() {}\n\
+             // chaos-lint: cold — off path\n\
+             fn c() {}\n",
+        );
+        let s = Graph::build(&[f]).stats();
+        assert_eq!(s.fns, 3);
+        assert_eq!(s.hot_roots, 1);
+        assert_eq!(s.cold_barriers, 1);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.resolved, 1);
+        assert_eq!(s.unknown, 1);
+        assert_eq!(s.hot_reachable, 2);
+        assert!(
+            s.resolution_per_mille() == 500,
+            "{}",
+            s.resolution_per_mille()
+        );
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let f = analyze(
+            "crates/demo/src/lib.rs",
+            "// chaos-lint: hot — root\npub fn a() { b(); }\nfn b() {}\n",
+        );
+        let dot = Graph::build(&[f]).to_dot();
+        assert!(dot.starts_with("digraph chaos_lint {"));
+        assert!(dot.contains("n0 -> n1;"), "{dot}");
+        assert!(dot.contains("color=red"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

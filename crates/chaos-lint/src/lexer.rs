@@ -115,7 +115,7 @@ impl<'a> Lexer<'a> {
                 '/' if self.peek(1) == Some('/') => self.line_comment(line),
                 '/' if self.peek(1) == Some('*') => self.block_comment(line),
                 '"' => self.string_literal(line),
-                'r' | 'b' => {
+                'r' | 'b' | 'c' => {
                     self.raw_or_byte_prefix();
                 }
                 '\'' => self.char_or_lifetime(line),
@@ -171,9 +171,10 @@ impl<'a> Lexer<'a> {
         self.out.comments.push(Comment { line, text });
     }
 
-    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and raw identifiers
-    /// (`r#match`); falls back to a plain identifier. Always consumes at
-    /// least one character.
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, C-string literals
+    /// (`c"…"`, `cr#"…"#`, Rust 1.77+), and raw identifiers (`r#match`);
+    /// falls back to a plain identifier. Always consumes at least one
+    /// character.
     fn raw_or_byte_prefix(&mut self) {
         let line = self.line;
         let c0 = match self.peek(0) {
@@ -183,8 +184,11 @@ impl<'a> Lexer<'a> {
         // Determine the longest literal prefix at this position.
         let (skip, is_raw) = match (c0, self.peek(1), self.peek(2)) {
             ('r', Some('"'), _) | ('r', Some('#'), _) => (1, true),
-            ('b', Some('"'), _) => (1, false),
-            ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => (2, true),
+            ('b', Some('"'), _) | ('c', Some('"'), _) => (1, false),
+            ('b', Some('r'), Some('"'))
+            | ('b', Some('r'), Some('#'))
+            | ('c', Some('r'), Some('"'))
+            | ('c', Some('r'), Some('#')) => (2, true),
             ('b', Some('\''), _) => {
                 // byte char literal b'x'
                 self.bump(); // b
@@ -192,7 +196,7 @@ impl<'a> Lexer<'a> {
                 return;
             }
             _ => {
-                // Plain identifier starting with r/b.
+                // Plain identifier starting with r/b/c.
                 self.ident(line);
                 return;
             }
@@ -324,10 +328,20 @@ impl<'a> Lexer<'a> {
         let mut seen_dot = false;
         while let Some(c) = self.peek(0) {
             if c.is_ascii_alphanumeric() || c == '_' {
-                // Covers hex/oct/bin digits, exponents and type suffixes;
-                // `1e-9` loses its `-9` tail, which no rule needs.
+                // Covers hex/oct/bin digits, exponents and type suffixes.
                 text.push(c);
                 self.bump();
+                // A signed exponent (`1e-9`, `2.5E+10`) continues the
+                // number — but only for a true decimal exponent, so hex
+                // literals like `0xE-1` stay split at the `-`.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && !text.starts_with("0X")
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                {
+                    text.push(self.bump().unwrap_or_default());
+                }
             } else if c == '.' && !seen_dot && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
             {
                 // `0.5` continues the number; `0..n` does not.

@@ -4,20 +4,38 @@
 //! only because every engine in this workspace — the parallel selection
 //! pipeline, the robust estimator, the streaming replay — is pinned to
 //! *bit-identical* output across `CHAOS_THREADS` and `CHAOS_OBS`
-//! settings. Golden traces and serial-vs-threaded tests enforce those
-//! invariants dynamically, but they catch a violation long after it is
-//! written. This crate closes the gap with a static pass that rejects
-//! nondeterminism hazards at the source level, per PR instead of per
-//! regression.
+//! settings, and the steady-state hot path is pinned to *zero
+//! allocations* (the `alloc_regression` suite). Golden traces and
+//! counting allocators enforce those invariants dynamically, but they
+//! catch a violation long after it is written. This crate closes the
+//! gap with a static pass that rejects nondeterminism and hot-path
+//! hazards at the source level, per PR instead of per regression.
+//!
+//! # Architecture: two passes
+//!
+//! **Pass 1** ([`analyze_file`]) is per-file and independent: lex,
+//! parse directives/markers, extract a symbol table of `fn`
+//! definitions and call sites ([`symbols`]), and run the lexical rules
+//! R1–R5/R8. Its output, a [`FileAnalysis`], is a pure function of the
+//! file's bytes — which is what makes the incremental [`cache`] sound.
+//!
+//! **Pass 2** ([`lint_analyses`]) is workspace-wide: build the call
+//! [`graph`], resolve call sites by name and path (never by guessing —
+//! unresolved calls are reported as coverage gaps), and run the
+//! transitive rules R6/R7 from `// chaos-lint: hot` and
+//! `// chaos-lint: no-panic` roots.
 //!
 //! # Rules
 //!
 //! See [`rules::RULES`] for the registry: R1 (hash iteration order),
 //! R2 (wall-clock/entropy reads), R3 (`CHAOS_*` env reads outside the
 //! sanctioned config entry points), R4 (panic paths in library code),
-//! R5 (crate hygiene headers).
+//! R5 (crate hygiene headers), R6 (hot-path allocation freedom),
+//! R7 (transitive panic reachability), R8 (unordered float reductions
+//! in parallel spans). `cargo run -p chaos-lint -- --explain R6`
+//! prints the full rationale with bad/good examples.
 //!
-//! # Suppressions
+//! # Suppressions and markers
 //!
 //! Intentional sites are annotated in place:
 //!
@@ -30,6 +48,12 @@
 //! allows are themselves reported as warnings. Suppressed findings stay
 //! visible in `results/lint.json` under `"suppressed"`.
 //!
+//! Reachability roots and barriers are declared next to the code:
+//! `// chaos-lint: hot` / `// chaos-lint: no-panic` mark roots,
+//! `// chaos-lint: cold — reason` marks a traversal barrier (the
+//! reason is mandatory: a barrier is a claim that the steady-state
+//! contract excludes that subtree).
+//!
 //! # Running
 //!
 //! ```text
@@ -40,33 +64,144 @@
 //! The analysis is token-based (no type inference — the crate is
 //! dependency-free so it can gate CI before anything else builds), so
 //! each rule errs toward firing and documents its blind spots; the
-//! dynamic determinism suite remains the backstop.
+//! dynamic determinism and allocation suites remain the backstop.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod directive;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod symbols;
 
+pub use graph::{Gap, Graph, GraphStats};
 pub use report::{Finding, Report, Suppressed, Warning};
 pub use rules::{Config, RuleMeta, RULES};
 pub use scan::{FileRole, SourceFile};
 
+use directive::Scope;
 use std::io;
 use std::path::Path;
+use symbols::FnDef;
+
+/// A suppression directive reduced to what pass 2 and the report need.
+///
+/// The live-token form ([`directive::Directive`]) carries `end_line`
+/// (the last line of the comment block); matching a finding also needs
+/// the file's token stream to extend coverage through the following
+/// statement. `cover_end` precomputes that extension so a
+/// [`FileAnalysis`] is self-contained — the cache can replay it without
+/// re-lexing the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedDirective {
+    /// Line or file scope.
+    pub scope: Scope,
+    /// Rule IDs this directive names.
+    pub rules: Vec<String>,
+    /// Written justification, if any (reason-less allows never apply).
+    pub reason: Option<String>,
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// Last 1-based line covered by a line-scoped allow.
+    pub cover_end: usize,
+}
+
+/// The complete, cacheable result of pass 1 on one file.
+///
+/// Everything pass 2 ([`lint_analyses`]) and the [`report`] consume is
+/// here; the token stream is not retained. Two analyses of identical
+/// bytes compare equal, which is the property the warm-cache
+/// byte-identity test pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileAnalysis {
+    /// Workspace-relative path (`crates/x/src/lib.rs`).
+    pub rel_path: String,
+    /// Owning crate name (`chaos-stats`), from the path.
+    pub crate_name: String,
+    /// Lib / Bin / Test / Bench / Example, from the path.
+    pub role: FileRole,
+    /// Raw per-file findings (R1–R4, R8) before suppression matching.
+    pub findings: Vec<Finding>,
+    /// Suppression directives with precomputed coverage.
+    pub directives: Vec<CachedDirective>,
+    /// Malformed-directive problems as `(line, message)`.
+    pub problems: Vec<(usize, String)>,
+    /// Marker problems (dangling `hot`/`cold`) as `(line, message)`.
+    pub marker_problems: Vec<(usize, String)>,
+    /// Whether `#![forbid(unsafe_code)]` is present (R5 input).
+    pub has_forbid_unsafe: bool,
+    /// Whether `#![deny(missing_docs)]` is present (R5 input).
+    pub has_deny_missing_docs: bool,
+    /// The file's fn definitions with their call sites (pass 2 input).
+    pub fns: Vec<FnDef>,
+}
+
+impl FileAnalysis {
+    /// The path's file stem (`gram` for `crates/x/src/gram.rs`) — the
+    /// module name a `mod::fn` path call resolves against.
+    pub fn file_stem(&self) -> &str {
+        let base = self.rel_path.rsplit('/').next().unwrap_or(&self.rel_path);
+        base.strip_suffix(".rs").unwrap_or(base)
+    }
+}
+
+/// Pass 1: analyzes one loaded source file into its cacheable digest.
+pub fn analyze_file(file: &SourceFile, cfg: &Config) -> FileAnalysis {
+    let mut findings = rules::check_file(file, cfg);
+    let sym = symbols::extract(file);
+    findings.extend(rules::check_r8(&file.rel_path, file.role, &sym.fns));
+    let directives = file
+        .directives
+        .iter()
+        .map(|d| CachedDirective {
+            scope: d.scope,
+            rules: d.rules.clone(),
+            reason: d.reason.clone(),
+            line: d.line,
+            cover_end: file.statement_end_after(d.end_line),
+        })
+        .collect();
+    FileAnalysis {
+        rel_path: file.rel_path.clone(),
+        crate_name: file.crate_name.clone(),
+        role: file.role,
+        findings,
+        directives,
+        problems: file
+            .directive_problems
+            .iter()
+            .map(|p| (p.line, p.message.clone()))
+            .collect(),
+        marker_problems: sym.problems,
+        has_forbid_unsafe: rules::has_inner_attr(&file.lex.tokens, "forbid", "unsafe_code"),
+        has_deny_missing_docs: rules::has_inner_attr(&file.lex.tokens, "deny", "missing_docs"),
+        fns: sym.fns,
+    }
+}
+
+/// Pass 2 + assembly: runs the workspace rules over per-file analyses
+/// (fresh or cache-replayed) and produces the final report.
+pub fn lint_analyses(analyses: &[FileAnalysis]) -> Report {
+    let mut raw: Vec<Finding> = analyses.iter().flat_map(|a| a.findings.clone()).collect();
+    raw.extend(rules::check_hygiene(analyses));
+    let graph = Graph::build(analyses);
+    raw.extend(graph.check());
+    let stats = graph.stats();
+    let mut report = Report::assemble(analyses, raw);
+    report.graph = Some(stats);
+    report
+}
 
 /// Lints a set of already-loaded source files (fixture tests enter
 /// here).
 pub fn lint_files(files: &[SourceFile], cfg: &Config) -> Report {
-    let mut raw = Vec::new();
-    for file in files {
-        raw.extend(rules::check_file(file, cfg));
-    }
-    raw.extend(rules::check_hygiene(files));
-    Report::assemble(files, raw)
+    let analyses: Vec<FileAnalysis> = files.iter().map(|f| analyze_file(f, cfg)).collect();
+    lint_analyses(&analyses)
 }
 
 /// Lints every `.rs` file under `root` (the workspace checkout).
@@ -81,6 +216,73 @@ pub fn lint_root(root: &Path, cfg: &Config) -> io::Result<Report> {
         files.push(SourceFile::load(root, p)?);
     }
     Ok(lint_files(&files, cfg))
+}
+
+/// Cache effectiveness for one run (reported by `--deny` CI runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheOutcome {
+    /// Files whose analysis was replayed from the cache.
+    pub hits: usize,
+    /// Files analyzed from scratch (changed, new, or cold cache).
+    pub misses: usize,
+}
+
+/// Pass 1 over every `.rs` file under `root`, replaying unchanged
+/// files from `cache` and refreshing it in place (stale and deleted
+/// entries are dropped). The caller runs [`lint_analyses`] — and, if
+/// it wants a DOT dump, [`Graph::build`] — over the result.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn analyze_root_cached(
+    root: &Path,
+    cfg: &Config,
+    cache: &mut cache::Cache,
+) -> io::Result<(Vec<FileAnalysis>, CacheOutcome)> {
+    let paths = scan::collect_paths(root)?;
+    let mut analyses = Vec::with_capacity(paths.len());
+    let mut outcome = CacheOutcome::default();
+    let mut fresh = cache::Cache::new(cache.fingerprint());
+    for p in &paths {
+        let rel = scan::rel_path_of(root, p);
+        let bytes = std::fs::read(p)?;
+        let digest = cache::content_hash(&bytes);
+        let analysis = match cache.get(&rel, digest) {
+            Some(hit) => {
+                outcome.hits += 1;
+                hit.clone()
+            }
+            None => {
+                outcome.misses += 1;
+                let src = String::from_utf8_lossy(&bytes).into_owned();
+                analyze_file(&SourceFile::from_source(&rel, &src), cfg)
+            }
+        };
+        fresh.store(rel, digest, analysis.clone());
+        analyses.push(analysis);
+    }
+    *cache = fresh;
+    Ok((analyses, outcome))
+}
+
+/// Lints every `.rs` file under `root`, replaying unchanged files from
+/// `cache` (loaded from disk by the caller) and refreshing it in place.
+///
+/// The report is byte-identical to a cold [`lint_root`] run: pass 1 is
+/// a pure function of file bytes, and pass 2 always runs over the full
+/// analysis set.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn lint_root_cached(
+    root: &Path,
+    cfg: &Config,
+    cache: &mut cache::Cache,
+) -> io::Result<(Report, CacheOutcome)> {
+    let (analyses, outcome) = analyze_root_cached(root, cfg, cache)?;
+    Ok((lint_analyses(&analyses), outcome))
 }
 
 #[cfg(test)]
@@ -109,5 +311,22 @@ mod tests {
         assert!(report.findings.is_empty(), "{:?}", report.findings);
         assert!(report.warnings.is_empty());
         assert_eq!(report.files_scanned, 1);
+        let stats = report.graph.as_ref().expect("graph stats");
+        assert_eq!(stats.fns, 1);
+    }
+
+    #[test]
+    fn file_analyses_of_identical_bytes_compare_equal() {
+        let src = "// chaos-lint: hot — root\npub fn f() { g(); }\nfn g() { let _ = vec![1]; }\n";
+        let a = analyze_file(
+            &SourceFile::from_source("crates/d/src/x.rs", src),
+            &Config::default(),
+        );
+        let b = analyze_file(
+            &SourceFile::from_source("crates/d/src/x.rs", src),
+            &Config::default(),
+        );
+        assert_eq!(a, b);
+        assert!(a.fns[0].hot);
     }
 }

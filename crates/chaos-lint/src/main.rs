@@ -1,40 +1,74 @@
 //! CLI for the workspace determinism auditor.
 //!
 //! ```text
-//! chaos-lint [--root <dir>] [--json <path>] [--deny] [--list-rules]
+//! chaos-lint [--root <dir>] [--json <path>] [--sarif <path>]
+//!            [--graph <path>] [--cache <path> | --no-cache]
+//!            [--coverage-baseline <path>] [--deny]
+//!            [--list-rules] [--explain <rule>]
 //! ```
 //!
 //! * `--root` — workspace checkout to audit (default: walk up from the
 //!   current directory to the first `Cargo.toml` with `[workspace]`).
 //! * `--json` — where to write the machine-readable report (default
 //!   `<root>/results/lint.json`).
+//! * `--sarif` — also write a SARIF 2.1.0 log (code-scanning upload).
+//! * `--graph` — also dump the resolved call graph as Graphviz DOT.
+//! * `--cache` — incremental-cache location (default
+//!   `<root>/target/chaos-lint.cache`); `--no-cache` forces a cold run.
+//!   Warm runs re-lex only changed files and produce byte-identical
+//!   reports.
+//! * `--coverage-baseline` — resolution-coverage floor file (default
+//!   `<root>/crates/chaos-lint/coverage.baseline`); enforced under
+//!   `--deny` when the file exists, so graph quality cannot rot.
 //! * `--deny` — exit nonzero when any unsuppressed finding remains
 //!   (the CI gate).
 //! * `--list-rules` — print the rule registry and exit.
+//! * `--explain <rule>` — print one rule's rationale, a bad/good pair,
+//!   and the suppression form, straight from the same registry the
+//!   docs table is checked against.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: chaos-lint [--root <dir>] [--json <path>] [--sarif <path>] \
+[--graph <path>] [--cache <path> | --no-cache] [--coverage-baseline <path>] [--deny] \
+[--list-rules] [--explain <rule>]";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
+    let mut sarif: Option<PathBuf> = None;
+    let mut graph_dot: Option<PathBuf> = None;
+    let mut cache_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_cache = false;
     let mut deny = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--no-cache" => no_cache = true,
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json = args.next().map(PathBuf::from),
+            "--sarif" => sarif = args.next().map(PathBuf::from),
+            "--graph" => graph_dot = args.next().map(PathBuf::from),
+            "--cache" => cache_path = args.next().map(PathBuf::from),
+            "--coverage-baseline" => baseline_path = args.next().map(PathBuf::from),
             "--list-rules" => {
                 for r in chaos_lint::RULES {
                     println!("{} ({}): {}", r.id, r.name, r.summary);
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("chaos-lint: --explain needs a rule ID (R1…R8) or name");
+                    return ExitCode::FAILURE;
+                };
+                return explain(&id);
+            }
             "--help" | "-h" => {
-                println!(
-                    "usage: chaos-lint [--root <dir>] [--json <path>] [--deny] [--list-rules]"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -50,34 +84,190 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match chaos_lint::lint_root(&root, &chaos_lint::Config::default()) {
-        Ok(r) => r,
+    let cfg = chaos_lint::Config::default();
+    let fingerprint = chaos_lint::cache::fingerprint(&cfg);
+    let cache_path = cache_path.unwrap_or_else(|| root.join("target").join("chaos-lint.cache"));
+    let mut cache = if no_cache {
+        chaos_lint::cache::Cache::new(fingerprint)
+    } else {
+        chaos_lint::cache::Cache::load(&cache_path, fingerprint)
+    };
+    let (analyses, outcome) = match chaos_lint::analyze_root_cached(&root, &cfg, &mut cache) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("chaos-lint: scan failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let report = chaos_lint::lint_analyses(&analyses);
     print!("{}", report.render_human());
-    let json_path = json.unwrap_or_else(|| root.join("results").join("lint.json"));
-    if let Some(parent) = json_path.parent() {
-        if let Err(e) = std::fs::create_dir_all(parent) {
-            eprintln!("chaos-lint: cannot create {}: {e}", parent.display());
-            return ExitCode::FAILURE;
+    eprintln!(
+        "cache: {} hit(s), {} miss(es){}",
+        outcome.hits,
+        outcome.misses,
+        if no_cache { " (--no-cache)" } else { "" }
+    );
+    if !no_cache {
+        if let Err(e) = cache.save(&cache_path) {
+            eprintln!(
+                "chaos-lint: cannot write cache {}: {e}",
+                cache_path.display()
+            );
         }
     }
-    if let Err(e) = std::fs::write(&json_path, report.render_json()) {
+    let json_path = json.unwrap_or_else(|| root.join("results").join("lint.json"));
+    if let Err(e) = write_output(&json_path, &report.render_json()) {
         eprintln!("chaos-lint: cannot write {}: {e}", json_path.display());
         return ExitCode::FAILURE;
     }
     eprintln!("machine-readable report: {}", json_path.display());
-    if deny && !report.findings.is_empty() {
-        eprintln!(
-            "chaos-lint: --deny: {} unsuppressed finding(s)",
-            report.findings.len()
-        );
-        return ExitCode::FAILURE;
+    if let Some(path) = sarif {
+        if let Err(e) = write_output(&path, &chaos_lint::sarif::render(&report)) {
+            eprintln!("chaos-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("SARIF log: {}", path.display());
     }
+    if let Some(path) = graph_dot {
+        let dot = chaos_lint::Graph::build(&analyses).to_dot();
+        if let Err(e) = write_output(&path, &dot) {
+            eprintln!("chaos-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("call graph (DOT): {}", path.display());
+    }
+    let mut failed = false;
+    if deny {
+        let baseline =
+            baseline_path.unwrap_or_else(|| root.join("crates/chaos-lint/coverage.baseline"));
+        if let Some(stats) = &report.graph {
+            match check_baseline(&baseline, stats) {
+                Ok(Some(msg)) => {
+                    eprintln!("chaos-lint: --deny: {msg}");
+                    failed = true;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!(
+                        "chaos-lint: --deny: unreadable coverage baseline {}: {e}",
+                        baseline.display()
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if !report.findings.is_empty() {
+            eprintln!(
+                "chaos-lint: --deny: {} unsuppressed finding(s)",
+                report.findings.len()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints one rule's full card from the registry.
+fn explain(query: &str) -> ExitCode {
+    let id = query.to_uppercase();
+    let Some(r) = chaos_lint::RULES
+        .iter()
+        .find(|r| r.id == id || r.name == query)
+    else {
+        eprintln!("chaos-lint: no rule `{query}` (try --list-rules)");
+        return ExitCode::FAILURE;
+    };
+    println!("{} — {}", r.id, r.name);
+    println!("\n{}\n", r.summary);
+    println!("why: {}\n", r.rationale);
+    println!("bad:\n{}\n", indent(r.bad));
+    println!("good:\n{}\n", indent(r.good));
+    println!("suppress (reason mandatory):\n{}", indent(r.suppression));
     ExitCode::SUCCESS
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Enforces the checked-in coverage floor. The file holds
+/// `resolution_per_mille <n>` and `hot_gaps <n>` lines (`#` comments
+/// allowed). Returns a failure message when the current run is worse
+/// than the floor; a missing file skips the gate (local runs), an
+/// unreadable or malformed one is an error (CI commits it).
+fn check_baseline(
+    path: &Path,
+    stats: &chaos_lint::GraphStats,
+) -> Result<Option<String>, std::io::Error> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(path)?;
+    let mut floor_per_mille: Option<u64> = None;
+    let mut max_gaps: Option<usize> = None;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["resolution_per_mille", n] => match n.parse() {
+                Ok(v) => floor_per_mille = Some(v),
+                Err(_) => return Err(bad_baseline(line)),
+            },
+            ["hot_gaps", n] => match n.parse() {
+                Ok(v) => max_gaps = Some(v),
+                Err(_) => return Err(bad_baseline(line)),
+            },
+            _ => return Err(bad_baseline(line)),
+        }
+    }
+    if let Some(floor) = floor_per_mille {
+        let got = stats.resolution_per_mille();
+        if got < floor {
+            return Ok(Some(format!(
+                "call resolution regressed to {got}\u{2030} (baseline floor {floor}\u{2030}) — \
+                 fix the resolution heuristic or re-baseline with a justification"
+            )));
+        }
+    }
+    if let Some(max) = max_gaps {
+        let got = stats.gaps.len();
+        if got > max {
+            return Ok(Some(format!(
+                "{got} unresolved call(s) on hot paths (baseline allows {max}); first gaps: {}",
+                stats
+                    .gaps
+                    .iter()
+                    .take(3)
+                    .map(|g| format!("{}:{} {}", g.file, g.line, g.call))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+    }
+    Ok(None)
+}
+
+fn bad_baseline(line: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed baseline line `{line}`"),
+    )
+}
+
+fn write_output(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
 }
 
 /// Walks up from the current directory to the first `Cargo.toml`

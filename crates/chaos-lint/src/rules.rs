@@ -1,28 +1,37 @@
-//! The rule registry: five static checks tuned to this workspace's
-//! bit-identity invariants.
+//! The rule registry: eight static checks tuned to this workspace's
+//! bit-identity and hot-path invariants.
 //!
 //! | id | name | catches |
 //! |----|------|---------|
 //! | R1 | hash-iteration-order | iterating `HashMap`/`HashSet` (order is nondeterministic) |
 //! | R2 | wall-clock-entropy | `Instant::now`, `SystemTime::now`, unseeded RNGs outside bench code |
 //! | R3 | env-config-bypass | `env::var("CHAOS_*")` outside the sanctioned config entry points |
-//! | R4 | lib-panic-path | `unwrap`/`expect`/panic macros/literal indexing in library hot paths |
+//! | R4 | lib-panic-path | `unwrap`/`expect`/panic macros/literal indexing in library code |
 //! | R5 | crate-hygiene | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` headers |
+//! | R6 | hot-path-allocation | allocating constructs reachable from `// chaos-lint: hot` roots |
+//! | R7 | transitive-panic | panic sites reachable from hot / `no-panic` roots |
+//! | R8 | unordered-float-reduction | float `sum`/`fold` inside `par_map`/thread-spawn spans |
 //!
-//! Every check is a token-pattern matcher over [`SourceFile`]s — no
-//! type information — so each rule documents its known blind spots and
-//! errs toward firing; intentional sites are annotated with a reasoned
-//! suppression rather than silently skipped.
+//! R1–R5 are per-file token-pattern matchers; R6/R7 traverse the
+//! cross-file call graph built by [`crate::symbols`] and
+//! [`crate::graph`]; R8 is lexical (the reduction and the parallel span
+//! must share a function). None of them have type information, so each
+//! rule documents its known blind spots and errs toward firing;
+//! intentional sites are annotated with a reasoned suppression rather
+//! than silently skipped.
 
 use crate::lexer::{Tok, TokKind};
 use crate::report::Finding;
 use crate::scan::{FileRole, SourceFile};
+use crate::symbols::{FnDef, REDUCTIONS};
+use crate::FileAnalysis;
 use std::collections::BTreeSet;
 
-/// Static metadata for one rule, surfaced in reports and docs.
+/// Static metadata for one rule, surfaced in reports, docs, and
+/// `--explain`.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleMeta {
-    /// Stable rule ID (`R1`…`R5`).
+    /// Stable rule ID (`R1`…`R8`).
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -30,6 +39,14 @@ pub struct RuleMeta {
     pub summary: &'static str,
     /// Generic fix hint attached to findings.
     pub hint: &'static str,
+    /// Why the rule exists, for `--explain`.
+    pub rationale: &'static str,
+    /// A minimal violating snippet, for `--explain`.
+    pub bad: &'static str,
+    /// The corresponding clean snippet, for `--explain`.
+    pub good: &'static str,
+    /// How to suppress intentionally, for `--explain`.
+    pub suppression: &'static str,
 }
 
 /// R1's metadata (see [`RULES`]).
@@ -40,6 +57,12 @@ pub const R1_META: RuleMeta = RuleMeta {
               ordered merges, float reductions, serialized output, or returned collections",
     hint: "switch to BTreeMap/BTreeSet, or collect and sort before consuming; suppress with \
            a reason only if every consumer is provably order-insensitive",
+    rationale: "HashMap/HashSet iteration order changes between processes (SipHash keys are \
+                randomized), so any float reduction, serialization, or merge fed from it \
+                breaks the workspace's bit-identity contract across runs.",
+    bad: "let m: HashMap<u32, f64> = build();\nlet total: f64 = m.values().sum(); // order-dependent float sum",
+    good: "let m: BTreeMap<u32, f64> = build();\nlet total: f64 = m.values().sum(); // fixed order",
+    suppression: "// chaos-lint: allow(R1) — consumer is order-insensitive because <why>",
 };
 
 /// R2's metadata (see [`RULES`]).
@@ -51,6 +74,12 @@ pub const R2_META: RuleMeta = RuleMeta {
               read them freely",
     hint: "thread a seeded rand_chacha RNG or an injected clock through the call site; \
            suppress with a reason if the value is a pure side channel (e.g. span timing)",
+    rationale: "A model fit or replay that reads the clock or OS entropy produces different \
+                bits on every run, which makes the paper's accuracy numbers unverifiable \
+                and golden-trace tests flaky.",
+    bad: "let seed = SystemTime::now().duration_since(UNIX_EPOCH)?.as_nanos();",
+    good: "let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed); // seed flows from config",
+    suppression: "// chaos-lint: allow(R2) — value is a side channel only because <why>",
 };
 
 /// R3's metadata (see [`RULES`]).
@@ -61,6 +90,12 @@ pub const R3_META: RuleMeta = RuleMeta {
               points (chaos-stats exec policy, chaos-obs level), so one run has one config",
     hint: "accept the setting as a parameter threaded from ExecPolicy::from_env / \
            chaos_obs::init_from_env instead of re-reading the environment",
+    rationale: "If arbitrary code re-reads CHAOS_* variables, two parts of one run can see \
+                different configurations (tests mutate the environment); funneling reads \
+                through two entry points keeps one run on one config.",
+    bad: "let threads = std::env::var(\"CHAOS_THREADS\").unwrap_or_default();",
+    good: "fn fit(pol: &ExecPolicy) { /* thread count arrives as a value */ }",
+    suppression: "// chaos-lint: allow(R3) — sanctioned read because <why>",
 };
 
 /// R4's metadata (see [`RULES`]).
@@ -71,6 +106,12 @@ pub const R4_META: RuleMeta = RuleMeta {
               code can abort the estimation pipeline at runtime",
     hint: "return a typed error (StatsError, CollectError) or use checked access (.get, \
            .first, .last); suppress with the invariant that makes the panic unreachable",
+    rationale: "Library code runs inside long-lived fleet servers; a panic aborts the whole \
+                estimation pipeline. Errors must surface as typed values the caller can \
+                handle, not as process aborts.",
+    bad: "pub fn mean(xs: &[f64]) -> f64 { xs.first().copied().unwrap() }",
+    good: "pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {\n    xs.first().copied().ok_or(StatsError::Empty)\n}",
+    suppression: "// chaos-lint: allow(R4) — cannot panic because <invariant>",
 };
 
 /// R5's metadata (see [`RULES`]).
@@ -80,10 +121,77 @@ pub const R5_META: RuleMeta = RuleMeta {
     summary: "every workspace library crate root must carry #![forbid(unsafe_code)] and \
               #![deny(missing_docs)]",
     hint: "add the two inner attributes at the top of the crate's lib.rs",
+    rationale: "The workspace's determinism argument leans on safe Rust (no data races by \
+                construction) and on documented invariants; both headers make the compiler \
+                enforce that baseline per crate.",
+    bad: "//! My crate.\npub fn f() {}",
+    good: "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! My crate.\n\n/// Documented.\npub fn f() {}",
+    suppression: "// chaos-lint: allow(R5) — <why this crate is exempt>",
+};
+
+/// R6's metadata (see [`RULES`]).
+pub const R6_META: RuleMeta = RuleMeta {
+    id: "R6",
+    name: "hot-path-allocation",
+    summary: "functions reachable from a `// chaos-lint: hot` root must not reach \
+              allocating constructs (Vec::new, push, collect, to_vec, clone, format!, \
+              Box::new, String ops); the steady-state tick path is allocation-free",
+    hint: "reuse a scratch buffer owned by the engine (see BatchScratch), or mark the \
+           callee `// chaos-lint: cold — reason` if it is genuinely off the tick path; \
+           suppress with a reason only if the construct provably does not allocate",
+    rationale: "The per-second streaming path is pinned allocation-free by the \
+                alloc_regression harness; an allocation introduced three calls deep shows \
+                up as a latency spike at fleet scale long before a test catches it. R6 \
+                walks the call graph so the distance between the hot root and the \
+                allocation does not hide it.",
+    bad: "// chaos-lint: hot — per-tick\npub fn push_second(&mut self) { self.assemble() }\nfn assemble(&mut self) { let mut row = Vec::new(); /* … */ }",
+    good: "// chaos-lint: hot — per-tick\npub fn push_second(&mut self) { self.assemble() }\nfn assemble(&mut self) { self.scratch.row.clear(); /* reuse */ }",
+    suppression: "// chaos-lint: allow(R6) — does not allocate because <why> \
+                  (or mark the fn `// chaos-lint: cold — reason`)",
+};
+
+/// R7's metadata (see [`RULES`]).
+pub const R7_META: RuleMeta = RuleMeta {
+    id: "R7",
+    name: "transitive-panic",
+    summary: "functions reachable from `hot` or `no-panic` roots must not contain \
+              unwrap/expect/panic!/literal indexing — R4 extended across the call graph \
+              to everything a protected root can reach",
+    hint: "return a typed error through the chain, use checked access, or mark the callee \
+           `// chaos-lint: cold — reason`; suppress with the invariant that makes the \
+           panic unreachable",
+    rationale: "R4 audits library files one at a time; a request handler is only as \
+                panic-free as everything it calls. R7 walks the resolved call graph from \
+                the annotated roots so a new unwrap in a leaf utility cannot silently put \
+                an abort under a serve endpoint.",
+    bad: "// chaos-lint: no-panic — request handler\nfn handle(req: &str) -> Reply { decode(req) }\nfn decode(s: &str) -> Reply { s.parse().unwrap() }",
+    good: "// chaos-lint: no-panic — request handler\nfn handle(req: &str) -> Reply {\n    match decode(req) { Ok(r) => r, Err(e) => Reply::bad_request(e) }\n}",
+    suppression: "// chaos-lint: allow(R7) — cannot panic because <invariant> \
+                  (often alongside an existing allow(R4))",
+};
+
+/// R8's metadata (see [`RULES`]).
+pub const R8_META: RuleMeta = RuleMeta {
+    id: "R8",
+    name: "unordered-float-reduction",
+    summary: "float sum()/product()/fold()/reduce() inside par_map/par_map_mut/thread-spawn \
+              argument spans merges in scheduler order; float addition is not associative, \
+              so results drift across thread counts",
+    hint: "reduce per shard and combine in fixed shard order (the pattern chaos-stats \
+           kernels use), or move the reduction outside the parallel span",
+    rationale: "CHAOS pins bit-identical output across CHAOS_THREADS settings. A float \
+                reduction inside a parallel span commits to whatever order the scheduler \
+                delivers, so the same input can produce different low bits on different \
+                machines — exactly the drift the golden traces exist to catch.",
+    bad: "pol.par_map(&shards, |s| s.iter().sum::<f64>() + global.iter().sum::<f64>());",
+    good: "let per_shard: Vec<f64> = pol.par_map(&shards, shard_sum);\nlet total: f64 = per_shard.iter().sum(); // fixed shard order",
+    suppression: "// chaos-lint: allow(R8) — order-insensitive because <why>",
 };
 
 /// The registry, in rule-ID order.
-pub const RULES: [RuleMeta; 5] = [R1_META, R2_META, R3_META, R4_META, R5_META];
+pub const RULES: [RuleMeta; 8] = [
+    R1_META, R2_META, R3_META, R4_META, R5_META, R6_META, R7_META, R8_META,
+];
 
 /// Looks up a rule's metadata by ID.
 pub fn rule(id: &str) -> Option<&'static RuleMeta> {
@@ -134,8 +242,8 @@ pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     out
 }
 
-/// Runs the workspace-level hygiene rule (R5) over all scanned files.
-pub fn check_hygiene(files: &[SourceFile]) -> Vec<Finding> {
+/// Runs the workspace-level hygiene rule (R5) over all analyzed files.
+pub fn check_hygiene(files: &[FileAnalysis]) -> Vec<Finding> {
     let meta = &R5_META;
     let mut out = Vec::new();
     for file in files {
@@ -143,31 +251,65 @@ pub fn check_hygiene(files: &[SourceFile]) -> Vec<Finding> {
             continue;
         }
         let missing: Vec<&str> = [
-            ("forbid", "unsafe_code", "#![forbid(unsafe_code)]"),
-            ("deny", "missing_docs", "#![deny(missing_docs)]"),
+            (file.has_forbid_unsafe, "#![forbid(unsafe_code)]"),
+            (file.has_deny_missing_docs, "#![deny(missing_docs)]"),
         ]
         .iter()
-        .filter(|(lint, arg, _)| !has_inner_attr(&file.lex.tokens, lint, arg))
-        .map(|(_, _, text)| *text)
+        .filter(|(present, _)| !present)
+        .map(|(_, text)| *text)
         .collect();
         if !missing.is_empty() {
-            out.push(finding(
-                meta,
-                file,
-                1,
-                format!(
+            out.push(Finding {
+                rule: meta.id.to_string(),
+                file: file.rel_path.clone(),
+                line: 1,
+                message: format!(
                     "crate `{}` is missing the hygiene header(s): {}",
                     file.crate_name,
                     missing.join(", ")
                 ),
-            ));
+                hint: meta.hint.to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// R8: float reductions inside parallel spans. Lexical — the reduction
+/// and the `par_map`/`thread::scope`/`spawn` call must share a function
+/// body, and a float element type must be visible at the call (an
+/// `::<f64>` turbofish or a float `fold` seed). Reductions hidden
+/// behind helper calls or unannotated types are a documented blind
+/// spot; library roles only, like R4.
+pub fn check_r8(rel_path: &str, role: FileRole, fns: &[FnDef]) -> Vec<Finding> {
+    let meta = &R8_META;
+    let mut out = Vec::new();
+    if role != FileRole::Lib {
+        return out;
+    }
+    for def in fns.iter().filter(|d| !d.is_test) {
+        for call in &def.calls {
+            if REDUCTIONS.contains(&call.name()) && call.in_par_scope && call.float_evidence {
+                out.push(Finding {
+                    rule: meta.id.to_string(),
+                    file: rel_path.to_string(),
+                    line: call.line,
+                    message: format!(
+                        "`.{}(…)` reduces floats inside a parallel span in `{}`; the merge \
+                         order is scheduler-dependent",
+                        call.name(),
+                        def.display()
+                    ),
+                    hint: meta.hint.to_string(),
+                });
+            }
         }
     }
     out
 }
 
 /// Detects the inner attribute `#![<lint>(<arg>)]` in a token stream.
-fn has_inner_attr(toks: &[Tok], lint: &str, arg: &str) -> bool {
+pub(crate) fn has_inner_attr(toks: &[Tok], lint: &str, arg: &str) -> bool {
     toks.windows(7).any(|w| {
         matches!(w, [hash, bang, open, l, paren, a, close]
             if hash.text == "#"
@@ -619,14 +761,32 @@ mod tests {
 
     #[test]
     fn r5_detects_missing_headers() {
+        let analyze = |path: &str, src: &str| {
+            crate::analyze_file(&SourceFile::from_source(path, src), &Config::default())
+        };
         let good = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! docs\n";
         let bad = "//! docs only\npub fn f() {}\n";
-        let gf = SourceFile::from_source("crates/demo/src/lib.rs", good);
-        let bf = SourceFile::from_source("crates/demo2/src/lib.rs", bad);
-        let non_lib = SourceFile::from_source("crates/demo3/src/other.rs", bad);
+        let gf = analyze("crates/demo/src/lib.rs", good);
+        let bf = analyze("crates/demo2/src/lib.rs", bad);
+        let non_lib = analyze("crates/demo3/src/other.rs", bad);
         let fs = check_hygiene(&[gf, bf, non_lib]);
         assert_eq!(fs.len(), 1, "{fs:?}");
         assert_eq!(fs[0].rule, "R5");
         assert!(fs[0].message.contains("demo2"));
+    }
+
+    #[test]
+    fn r8_fires_only_on_par_scoped_float_reductions_in_libs() {
+        let src = "fn f(xs: &[f64], pool: &Pool) -> f64 {\n    let seq: f64 = xs.iter().sum::<f64>();\n    pool.par_map(xs, |x| {\n        let _ = x.windows(2).map(|w| w[0]).sum::<f64>();\n    });\n    let counts: usize = xs.iter().map(|_| 1usize).sum();\n    seq\n}\n";
+        let a = crate::analyze_file(
+            &SourceFile::from_source("crates/demo/src/x.rs", src),
+            &Config::default(),
+        );
+        let fs = check_r8("crates/demo/src/x.rs", FileRole::Lib, &a.fns);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "R8");
+        assert_eq!(fs[0].line, 4);
+        // Bin roles are exempt, mirroring R4.
+        assert!(check_r8("crates/demo/src/bin/m.rs", FileRole::Bin, &a.fns).is_empty());
     }
 }

@@ -1,0 +1,173 @@
+//! SARIF 2.1.0 emitter (`--sarif <path>`).
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the schema
+//! code hosts ingest for code-scanning annotations; emitting it lets CI
+//! surface chaos-lint findings on the PR diff instead of in a log.
+//!
+//! Mapping:
+//!
+//! * live findings → `results` with `level: "error"` (they fail
+//!   `--deny`), one location each;
+//! * suppressed findings → `results` carrying a `suppressions` entry
+//!   (`kind: "inSource"`, the directive's reason as `justification`) —
+//!   SARIF viewers hide them by default but keep the audit trail;
+//! * directive/marker warnings → `results` under a synthetic
+//!   `lint-warning` rule with `level: "warning"`;
+//! * the rule registry → `tool.driver.rules`, so `ruleIndex` links
+//!   every result to its rationale.
+//!
+//! The output is hand-rolled like the rest of the crate; the
+//! `sarif_golden` test pins the structural shape (schema URI, version,
+//! required members) so drift fails CI rather than the uploader.
+
+use crate::report::{json_escape, Report};
+use crate::rules::RULES;
+
+/// The synthetic rule ID carrying suppression-machinery warnings.
+pub const WARNING_RULE_ID: &str = "lint-warning";
+
+/// Renders `report` as a single-run SARIF 2.1.0 log.
+pub fn render(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"chaos-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/chaos/chaos\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str("          \"rules\": [\n");
+    let mut rules: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \"help\": {{\"text\": \"{}\"}}}}",
+                r.id,
+                json_escape(r.name),
+                json_escape(r.summary),
+                json_escape(r.hint)
+            )
+        })
+        .collect();
+    rules.push(format!(
+        "            {{\"id\": \"{WARNING_RULE_ID}\", \"name\": \"suppression-hygiene\", \"shortDescription\": {{\"text\": \"problems with chaos-lint suppressions or markers\"}}, \"help\": {{\"text\": \"fix or remove the directive the message points at\"}}}}"
+    ));
+    out.push_str(&rules.join(",\n"));
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let mut results: Vec<String> = Vec::new();
+    for f in &report.findings {
+        results.push(result(
+            &f.rule,
+            "error",
+            &format!("{} — hint: {}", f.message, f.hint),
+            &f.file,
+            f.line,
+            None,
+        ));
+    }
+    for s in &report.suppressed {
+        results.push(result(
+            &s.finding.rule,
+            "note",
+            &s.finding.message,
+            &s.finding.file,
+            s.finding.line,
+            Some(&s.reason),
+        ));
+    }
+    for w in &report.warnings {
+        results.push(result(
+            WARNING_RULE_ID,
+            "warning",
+            &w.message,
+            &w.file,
+            w.line,
+            None,
+        ));
+    }
+    out.push_str(&results.join(",\n"));
+    if !results.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+fn rule_index(id: &str) -> usize {
+    RULES.iter().position(|r| r.id == id).unwrap_or(RULES.len()) // the synthetic warning rule is last
+}
+
+fn result(
+    rule: &str,
+    level: &str,
+    message: &str,
+    file: &str,
+    line: usize,
+    suppression_reason: Option<&str>,
+) -> String {
+    let mut s = format!(
+        "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"{level}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {line}}}}}}}]",
+        json_escape(rule),
+        rule_index(rule),
+        json_escape(message),
+        json_escape(file),
+    );
+    if let Some(reason) = suppression_reason {
+        s.push_str(&format!(
+            ", \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": \"{}\"}}]",
+            json_escape(reason)
+        ));
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Config;
+    use crate::scan::SourceFile;
+
+    fn report_for(path: &str, src: &str) -> Report {
+        crate::lint_files(&[SourceFile::from_source(path, src)], &Config::default())
+    }
+
+    #[test]
+    fn sarif_has_required_members_and_balanced_braces() {
+        let sarif = render(&report_for(
+            "crates/demo/src/lib.rs",
+            "//! demo\nfn f(v: &[f64]) -> f64 { v.first().copied().unwrap() }\n",
+        ));
+        assert!(sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"R4\""));
+        assert!(sarif.contains("\"startLine\": 2"));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+        assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
+    }
+
+    #[test]
+    fn suppressed_findings_carry_in_source_suppressions() {
+        let sarif = render(&report_for(
+            "crates/demo/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! demo\n\n/// Doc.\n// chaos-lint: allow(R4) — slice is non-empty by construction\npub fn f(v: &[f64]) -> f64 { v.first().copied().unwrap() }\n",
+        ));
+        assert!(sarif.contains("\"kind\": \"inSource\""));
+        assert!(sarif.contains("\"justification\": \"slice is non-empty by construction\""));
+        assert!(sarif.contains("\"level\": \"note\""));
+    }
+
+    #[test]
+    fn warnings_map_to_the_synthetic_rule() {
+        let sarif = render(&report_for(
+            "crates/demo/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! demo\n// chaos-lint: allow(R1) — matches nothing here\n",
+        ));
+        assert!(sarif.contains(&format!("\"ruleId\": \"{WARNING_RULE_ID}\"")));
+        assert!(sarif.contains("\"level\": \"warning\""));
+    }
+}

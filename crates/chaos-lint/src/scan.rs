@@ -5,7 +5,7 @@
 //! library code, R2 (clocks) exempts benches — so every file is
 //! classified from its workspace-relative path before any rule runs.
 
-use crate::directive::{self, Directive, ParseProblem};
+use crate::directive::{self, Directive, Marker, ParseProblem};
 use crate::lexer::{self, LexOutput, TokKind};
 use std::fs;
 use std::io;
@@ -37,6 +37,19 @@ impl FileRole {
             FileRole::Example => "example",
         }
     }
+
+    /// Inverse of [`FileRole::label`] (cache deserialization).
+    pub fn from_label(s: &str) -> Option<FileRole> {
+        [
+            FileRole::Lib,
+            FileRole::Bin,
+            FileRole::Test,
+            FileRole::Bench,
+            FileRole::Example,
+        ]
+        .into_iter()
+        .find(|r| r.label() == s)
+    }
 }
 
 /// One lexed, classified source file ready for rule checking.
@@ -52,6 +65,8 @@ pub struct SourceFile {
     pub lex: LexOutput,
     /// Suppression directives parsed from the comments.
     pub directives: Vec<Directive>,
+    /// Call-graph markers (`hot` / `no-panic` / `cold`), unattached.
+    pub markers: Vec<Marker>,
     /// Malformed directives, surfaced as warnings.
     pub directive_problems: Vec<ParseProblem>,
     /// 1-based lines covered by `#[cfg(test)]` items or `#[test]` fns.
@@ -64,7 +79,7 @@ impl SourceFile {
     /// on this).
     pub fn from_source(rel_path: &str, src: &str) -> SourceFile {
         let lex = lexer::lex(src);
-        let (directives, directive_problems) = directive::parse(&lex.comments);
+        let parsed = directive::parse(&lex.comments);
         let line_count = src.lines().count() + 1;
         let test_lines = mark_test_lines(&lex, line_count);
         SourceFile {
@@ -72,8 +87,9 @@ impl SourceFile {
             crate_name: crate_of(rel_path),
             role: role_of(rel_path),
             lex,
-            directives,
-            directive_problems,
+            directives: parsed.directives,
+            markers: parsed.markers,
+            directive_problems: parsed.problems,
             test_lines,
         }
     }
@@ -85,12 +101,7 @@ impl SourceFile {
     /// Propagates the read error when the file is unreadable.
     pub fn load(root: &Path, abs: &Path) -> io::Result<SourceFile> {
         let src = fs::read_to_string(abs)?;
-        let rel = abs
-            .strip_prefix(root)
-            .unwrap_or(abs)
-            .to_string_lossy()
-            .replace('\\', "/");
-        Ok(SourceFile::from_source(&rel, &src))
+        Ok(SourceFile::from_source(&rel_path_of(root, abs), &src))
     }
 
     /// Whether `line` (1-based) sits inside a `#[cfg(test)]` item or a
@@ -269,6 +280,16 @@ fn mark_test_lines(lex: &LexOutput, line_count: usize) -> Vec<bool> {
         i = k + 1;
     }
     marked
+}
+
+/// Workspace-relative, `/`-separated form of `abs` under `root` — the
+/// path spelling used in findings, directive bookkeeping, and the
+/// incremental cache.
+pub fn rel_path_of(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/")
 }
 
 /// Recursively collects the `.rs` files the auditor scans, in sorted

@@ -1,0 +1,126 @@
+//! Incremental-cache contract, end to end through the CLI: a warm run
+//! must produce a byte-identical JSON report while re-lexing nothing,
+//! and editing one file must miss exactly that file.
+//!
+//! Byte identity is the load-bearing property — CI runs the linter
+//! twice (cold, then warm) and diffs the reports, so any
+//! cache-serialization drift in [`FileAnalysis`] shows up here first.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Builds a three-file fixture workspace and returns its root.
+fn fixture_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("chaos-lint-cache-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let src = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("fixture tree");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(
+        src.join("engine.rs"),
+        "// chaos-lint: hot — fixture tick\npub fn tick(xs: &[f64]) -> f64 {\n    helper(xs)\n}\n\nfn helper(xs: &[f64]) -> f64 {\n    let mut t = 0.0;\n    for &x in xs {\n        t += x;\n    }\n    t\n}\n",
+    )
+    .expect("engine");
+    std::fs::write(
+        src.join("util.rs"),
+        "pub fn double(x: f64) -> f64 {\n    x * 2.0\n}\n",
+    )
+    .expect("util");
+    std::fs::write(
+        src.join("dirty.rs"),
+        "pub fn risky(v: &[f64]) -> f64 {\n    v.first().copied().unwrap()\n}\n",
+    )
+    .expect("dirty");
+    root
+}
+
+/// Runs the CLI against `root`, returning (exit ok, stdout, stderr,
+/// report bytes).
+fn run(bin: &str, root: &Path) -> (bool, String, String, Vec<u8>) {
+    let out = Command::new(bin)
+        .args(["--root", root.to_str().expect("utf8 root")])
+        .output()
+        .expect("run chaos-lint");
+    let report = std::fs::read(root.join("results/lint.json")).expect("lint.json");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        report,
+    )
+}
+
+#[test]
+fn warm_run_is_byte_identical_and_relexes_nothing() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_chaos-lint") else {
+        return;
+    };
+    let root = fixture_root("warm");
+
+    let (_, cold_stdout, cold_stderr, cold_report) = run(bin, &root);
+    assert!(
+        cold_stderr.contains("cache: 0 hit(s), 3 miss(es)"),
+        "cold run must miss every file: {cold_stderr}"
+    );
+    // The fixture's unwrap is a real R4 finding — the cache must carry
+    // findings, not just clean files.
+    assert!(cold_stdout.contains("R4"), "{cold_stdout}");
+
+    let (_, warm_stdout, warm_stderr, warm_report) = run(bin, &root);
+    assert!(
+        warm_stderr.contains("cache: 3 hit(s), 0 miss(es)"),
+        "warm run must hit every file: {warm_stderr}"
+    );
+    assert_eq!(warm_stdout, cold_stdout, "human output must not drift");
+    assert_eq!(
+        warm_report, cold_report,
+        "JSON report must be byte-identical"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn editing_one_file_misses_exactly_that_file() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_chaos-lint") else {
+        return;
+    };
+    let root = fixture_root("edit");
+
+    let (_, _, _, _) = run(bin, &root);
+    // A pure append still changes the content hash, so the file must
+    // re-lex; the other two stay cached.
+    let util = root.join("crates/demo/src/util.rs");
+    let mut body = std::fs::read_to_string(&util).expect("read util");
+    body.push_str("\npub fn triple(x: f64) -> f64 {\n    x * 3.0\n}\n");
+    std::fs::write(&util, body).expect("rewrite util");
+
+    let (_, _, stderr, _) = run(bin, &root);
+    assert!(
+        stderr.contains("cache: 2 hit(s), 1 miss(es)"),
+        "exactly the edited file must miss: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn no_cache_flag_forces_a_cold_run() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_chaos-lint") else {
+        return;
+    };
+    let root = fixture_root("nocache");
+
+    let (_, _, _, _) = run(bin, &root);
+    let out = Command::new(bin)
+        .args(["--root", root.to_str().expect("utf8 root"), "--no-cache"])
+        .output()
+        .expect("run chaos-lint");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cache: 0 hit(s), 3 miss(es) (--no-cache)"),
+        "--no-cache must bypass the warm cache: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,70 @@
+//! Pins the ARCHITECTURE.md rule table to the registry the binary
+//! ships, so `--list-rules`, `--explain`, SARIF rule metadata, and the
+//! docs can never disagree about which rules exist.
+
+use chaos_lint::RULES;
+
+fn architecture_md() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../ARCHITECTURE.md");
+    std::fs::read_to_string(&path).expect("ARCHITECTURE.md at the workspace root")
+}
+
+/// Extracts `(id, name)` pairs from rows shaped
+/// `| R6 | `hot-path-allocation` | … |` in the static-analysis table.
+fn table_rows(doc: &str) -> Vec<(String, String)> {
+    doc.lines()
+        .filter_map(|line| {
+            let mut cells = line.split('|').map(str::trim);
+            cells.next()?; // leading empty cell
+            let id = cells.next()?;
+            let name = cells.next()?;
+            if !id.starts_with('R') || id.len() < 2 || !id[1..].chars().all(|c| c.is_ascii_digit())
+            {
+                return None;
+            }
+            Some((id.to_string(), name.trim_matches('`').to_string()))
+        })
+        .collect()
+}
+
+#[test]
+fn rule_table_matches_the_registry_exactly() {
+    let rows = table_rows(&architecture_md());
+    let registry: Vec<(String, String)> = RULES
+        .iter()
+        .map(|r| (r.id.to_string(), r.name.to_string()))
+        .collect();
+    assert_eq!(
+        rows, registry,
+        "ARCHITECTURE.md rule table and chaos_lint::RULES disagree — update whichever is stale"
+    );
+}
+
+#[test]
+fn every_documented_root_marker_exists_in_the_doc() {
+    let doc = architecture_md();
+    for marker in [
+        "chaos-lint: hot",
+        "chaos-lint: no-panic",
+        "chaos-lint: cold",
+    ] {
+        assert!(
+            doc.contains(marker),
+            "ARCHITECTURE.md must document the `{marker}` marker"
+        );
+    }
+}
+
+#[test]
+fn explain_cards_are_complete_for_every_rule() {
+    for r in RULES {
+        assert!(!r.rationale.is_empty(), "{} missing rationale", r.id);
+        assert!(!r.bad.is_empty(), "{} missing bad example", r.id);
+        assert!(!r.good.is_empty(), "{} missing good example", r.id);
+        assert!(
+            !r.suppression.is_empty(),
+            "{} missing suppression form",
+            r.id
+        );
+    }
+}

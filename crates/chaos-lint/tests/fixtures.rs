@@ -243,6 +243,82 @@ fn bad_fixtures_lint_together_without_cross_talk() {
     );
 }
 
+#[test]
+fn r6_names_the_full_call_chain_from_the_hot_root() {
+    let report = lint_one(
+        "crates/demo/src/engine.rs",
+        include_str!("fixtures/bad/r6_hot_alloc.rs"),
+    );
+    let r6: Vec<&chaos_lint::Finding> = report.findings.iter().filter(|f| f.rule == "R6").collect();
+    assert!(!r6.is_empty(), "{:?}", report.findings);
+    // The Vec::new two hops down must be blamed on the hot root with
+    // every intermediate call named, oldest first.
+    let msg = r6
+        .iter()
+        .find(|f| f.message.contains("Vec::new"))
+        .map(|f| f.message.as_str())
+        .unwrap_or("");
+    assert!(
+        msg.contains("Engine::push_second → Engine::advance → scratch_sum"),
+        "chain missing from message: {msg:?}"
+    );
+    let stats = report.graph.as_ref().expect("graph stats");
+    assert_eq!(stats.hot_roots, 1, "one hot root in the fixture");
+}
+
+#[test]
+fn recycled_scratch_keeps_the_hot_root_quiet() {
+    let report = lint_one(
+        "crates/demo/src/engine.rs",
+        include_str!("fixtures/good/hot_clean.rs"),
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    let stats = report.graph.as_ref().expect("graph stats");
+    assert_eq!(stats.hot_roots, 1);
+    assert!(stats.hot_reachable >= 2, "advance must stay reachable");
+}
+
+/// The acceptance-criterion canary, end to end: drop a `Vec::new()`
+/// into a clean `push_second`-style tick and `--deny` must flip from
+/// passing to failing with an R6 finding that names the chain.
+#[test]
+fn inserting_an_alloc_into_a_hot_tick_fails_deny() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_chaos-lint") else {
+        return;
+    };
+    let root = std::env::temp_dir().join(format!("chaos-lint-canary-{}", std::process::id()));
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("fixture tree");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    let engine = src_dir.join("engine.rs");
+
+    std::fs::write(&engine, include_str!("fixtures/good/hot_clean.rs")).expect("clean engine");
+    let clean = std::process::Command::new(bin)
+        .args(["--root", root.to_str().expect("utf8 root"), "--deny"])
+        .output()
+        .expect("run chaos-lint");
+    assert!(
+        clean.status.success(),
+        "clean hot tick must pass --deny: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    std::fs::write(&engine, include_str!("fixtures/bad/r6_hot_alloc.rs")).expect("dirty engine");
+    let dirty = std::process::Command::new(bin)
+        .args(["--root", root.to_str().expect("utf8 root"), "--deny"])
+        .output()
+        .expect("run chaos-lint");
+    assert!(!dirty.status.success(), "--deny must fail on the alloc");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(stdout.contains("R6"), "{stdout}");
+    assert!(
+        stdout.contains("Engine::push_second → Engine::advance → scratch_sum"),
+        "full chain must reach the console: {stdout}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// End-to-end CLI check: `--deny` exits nonzero on a dirty tree, zero on
 /// a clean one, and writes the JSON report either way. Skipped outside
 /// `cargo test` (the bin path env var is cargo-provided).
@@ -265,7 +341,7 @@ fn deny_flag_gates_exit_code() {
     assert!(!dirty.status.success(), "--deny must fail on findings");
     let json_path = root.join("results/lint.json");
     let json = std::fs::read_to_string(&json_path).expect("lint.json written");
-    assert!(json.contains("\"schema\": \"chaos-lint/1\""));
+    assert!(json.contains("\"schema\": \"chaos-lint/2\""));
 
     std::fs::write(&lib, include_str!("fixtures/good/clean_lib.rs")).expect("good lib");
     let clean = std::process::Command::new(bin)

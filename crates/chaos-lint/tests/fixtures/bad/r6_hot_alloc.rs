@@ -1,0 +1,31 @@
+//! Fixture: a `push_second`-style tick with an allocation buried two
+//! calls deep. R6 must walk the chain `push_second → advance →
+//! scratch_sum` and name every hop in the finding message.
+
+pub struct Engine {
+    acc: f64,
+}
+
+impl Engine {
+    // chaos-lint: hot — per-second tick fixture
+    pub fn push_second(&mut self, xs: &[f64]) -> f64 {
+        self.advance(xs)
+    }
+
+    fn advance(&mut self, xs: &[f64]) -> f64 {
+        self.acc += scratch_sum(xs);
+        self.acc
+    }
+}
+
+fn scratch_sum(xs: &[f64]) -> f64 {
+    let mut scratch = Vec::new();
+    for &x in xs {
+        scratch.push(x * x);
+    }
+    let mut total = 0.0;
+    for v in &scratch {
+        total += v;
+    }
+    total
+}

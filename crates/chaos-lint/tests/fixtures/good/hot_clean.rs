@@ -1,0 +1,30 @@
+//! Fixture: the same tick shape as `bad/r6_hot_alloc.rs`, but the
+//! scratch buffer lives on the engine and is recycled — the hot path
+//! reaches no allocating construct and R6 stays quiet.
+
+pub struct Engine {
+    acc: f64,
+    scratch: [f64; 16],
+}
+
+impl Engine {
+    // chaos-lint: hot — per-second tick fixture
+    pub fn push_second(&mut self, xs: &[f64]) -> f64 {
+        self.advance(xs)
+    }
+
+    fn advance(&mut self, xs: &[f64]) -> f64 {
+        let n = xs.len().min(self.scratch.len());
+        for i in 0..n {
+            if let (Some(slot), Some(&x)) = (self.scratch.get_mut(i), xs.get(i)) {
+                *slot = x * x;
+            }
+        }
+        let mut total = 0.0;
+        for v in self.scratch.iter().take(n) {
+            total += v;
+        }
+        self.acc += total;
+        self.acc
+    }
+}

@@ -1,0 +1,234 @@
+//! Lexer edge-case regression suite: raw strings (all prefix/hash
+//! forms), nested block comments, C-string literals, signed float
+//! exponents, and literal/comment interactions. These pins exist so the
+//! cross-file symbol pass can trust the token stream: a mis-tokenized
+//! raw string or comment would silently hide (or fabricate) call sites
+//! and findings.
+
+use chaos_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn probe_raw_string_multi_hash() {
+    // r##"…"## containing a "# sequence.
+    let out = lex(r###"let s = r##"a"#b"##; f();"###);
+    let strs: Vec<_> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1, "{:?}", out.tokens);
+    assert_eq!(strs[0].text, r##"a"#b"##);
+    assert!(idents(r###"let s = r##"a"#b"##; f();"###).contains(&"f".to_string()));
+}
+
+#[test]
+fn probe_raw_string_unwrap_inside() {
+    let src = r####"let s = r#"x.unwrap() // chaos-lint: allow(R4) — nope"#; g();"####;
+    let out = lex(src);
+    assert!(out.comments.is_empty(), "{:?}", out.comments);
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn probe_byte_raw_string() {
+    let src = r###"let b = br#"raw "bytes""#; h();"###;
+    let out = lex(src);
+    let strs: Vec<_> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1, "{:?}", out.tokens);
+    assert!(idents(src).contains(&"h".to_string()));
+}
+
+#[test]
+fn probe_nested_block_comment_deep() {
+    let src = "/* 1 /* 2 /* 3 */ 2 */ 1 */ fn live() {}";
+    let out = lex(src);
+    assert_eq!(out.comments.len(), 1);
+    assert!(idents(src).contains(&"live".to_string()));
+}
+
+#[test]
+fn probe_block_comment_with_slash_star_slash() {
+    // `/*/` inside: rustc treats `/* /*/ */ */` as fully nested.
+    let src = "/* a /*/ b */ c */ fn live() {}";
+    assert!(idents(src).contains(&"live".to_string()));
+    let src2 = "/*/ x */ fn live() {}";
+    assert!(idents(src2).contains(&"live".to_string()));
+}
+
+#[test]
+fn probe_line_numbers_across_raw_strings() {
+    let src = "let a = r#\"line1\nline2\nline3\"#;\nlet b = 1;";
+    let out = lex(src);
+    let b = out.tokens.iter().find(|t| t.text == "b").unwrap();
+    assert_eq!(b.line, 4, "{:?}", out.tokens);
+}
+
+#[test]
+fn probe_line_numbers_across_nested_comments() {
+    let src = "/* a\n/* b\n*/\n*/\nfn live() {}";
+    let out = lex(src);
+    let f = out.tokens.iter().find(|t| t.text == "live").unwrap();
+    assert_eq!(f.line, 5);
+}
+
+#[test]
+fn probe_raw_ident_and_hash() {
+    let src = "let r#type = 1; let x = r#fn; stringify!(#[attr])";
+    let out = lex(src);
+    assert!(out.tokens.iter().any(|t| t.text == "type"));
+    assert!(out.tokens.iter().any(|t| t.text == "fn"));
+}
+
+#[test]
+fn probe_char_lifetime_ambiguity_in_generics() {
+    let src = "fn f<'a, 'b>(x: &'a [u8], y: &'b str) { let c: char = 'x'; let _ = (x, y, c); }";
+    let out = lex(src);
+    let lifetimes: Vec<_> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .collect();
+    assert_eq!(lifetimes.len(), 4, "{:?}", out.tokens);
+}
+
+#[test]
+fn probe_string_with_escaped_backslash_then_quote() {
+    let src = r#"let s = "a\\"; let t = "b";"#;
+    let out = lex(src);
+    let strs: Vec<_> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 2, "{:?}", out.tokens);
+}
+
+#[test]
+fn probe_doc_comment_with_nested_block_markers() {
+    let src = "/** doc /* inner */ end */ fn live() {}";
+    let out = lex(src);
+    assert_eq!(out.comments.len(), 1);
+    assert!(out.tokens.iter().any(|t| t.text == "live"));
+}
+
+#[test]
+fn probe_comment_directly_after_raw_string() {
+    let src = "let s = r\"x\"; // chaos-lint: allow(R1) — why\nnext();";
+    let out = lex(src);
+    assert_eq!(out.comments.len(), 1);
+    assert!(out.comments[0].text.contains("chaos-lint"));
+}
+
+#[test]
+fn probe_shebangish_and_attrs() {
+    let src = "#![forbid(unsafe_code)]\n#[derive(Debug, Clone)]\nstruct S;";
+    let out = lex(src);
+    assert!(out.tokens.iter().any(|t| t.text == "forbid"));
+    assert!(out.tokens.iter().any(|t| t.text == "derive"));
+}
+
+#[test]
+fn probe_raw_string_zero_hash_with_hash_inside() {
+    let src = "let re = r\"^#\\d{4}\"; k();";
+    let out = lex(src);
+    let strs: Vec<_> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].text, "^#\\d{4}");
+    assert!(out.tokens.iter().any(|t| t.text == "k"));
+}
+
+#[test]
+fn probe_string_containing_block_comment_opener() {
+    let src = "let s = \"/*\"; fn live() {} // tail";
+    let out = lex(src);
+    assert!(
+        out.tokens.iter().any(|t| t.text == "live"),
+        "{:?}",
+        out.tokens
+    );
+    assert_eq!(out.comments.len(), 1);
+}
+
+#[test]
+fn probe_unterminated_block_comment_eof() {
+    let src = "fn a() {}\n/* dangling";
+    let out = lex(src);
+    assert!(out.tokens.iter().any(|t| t.text == "a"));
+    assert_eq!(out.comments.len(), 1);
+}
+
+#[test]
+fn probe_float_exponent_negative() {
+    let src = "let x = 1e-9; let y = 2.5E+10; let z = 3e7;";
+    let out = lex(src);
+    let nums: Vec<String> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(nums, vec!["1e-9", "2.5E+10", "3e7"], "{:?}", out.tokens);
+}
+
+#[test]
+fn probe_c_string_literals() {
+    // Rust 1.77 C-string literals; must not leak a stray ident.
+    let src = "let p = c\"bytes\"; let q = cr#\"raw\"#; live();";
+    let out = lex(src);
+    let strs: Vec<_> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 2, "{:?}", out.tokens);
+    assert!(!out
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "c"));
+    assert!(!out
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "cr"));
+    assert!(out.tokens.iter().any(|t| t.text == "live"));
+}
+
+#[test]
+fn probe_raw_string_inside_macro_multiline() {
+    let src = "writeln!(f, r#\"{{\n  \"k\": \"v\"\n}}\"#).ok();\nnext();";
+    let out = lex(src);
+    let next = out.tokens.iter().find(|t| t.text == "next").unwrap();
+    assert_eq!(next.line, 4, "{:?}", out.tokens);
+}
+
+#[test]
+fn probe_hash_rocket_attr_inside_fn() {
+    let src = "fn f() { #[cfg(test)] let x = 1; let _ = x; }";
+    let out = lex(src);
+    assert!(out.tokens.iter().any(|t| t.text == "cfg"));
+}
+
+#[test]
+fn probe_adjacent_idents_rb() {
+    let src = "fn rb() {} fn br() {} fn r2b(rx: u8, bx: u8) -> u8 { rx + bx }";
+    let ids = idents(src);
+    for want in ["rb", "br", "r2b", "rx", "bx"] {
+        assert!(ids.contains(&want.to_string()), "{ids:?}");
+    }
+}

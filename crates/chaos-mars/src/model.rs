@@ -193,9 +193,11 @@ impl MarsModel {
     ///
     /// Returns [`StatsError::DimensionMismatch`] if `row.len()` differs
     /// from the training feature count.
+    // chaos-lint: hot — per-sample MARS evaluation; the streaming Technique-adapted predict path
     pub fn predict_row(&self, row: &[f64]) -> Result<f64, StatsError> {
         if row.len() != self.n_features {
             return Err(StatsError::DimensionMismatch {
+                // chaos-lint: allow(R6) — constructs the width-mismatch error; the predict path is branch-free
                 context: format!(
                     "mars predict: row has {} features, model expects {}",
                     row.len(),

@@ -80,6 +80,7 @@ pub fn install_sink(path: &Path) -> std::io::Result<()> {
 
 /// Emits one structured event. Only recorded at [`ObsLevel::Full`] with
 /// a sink installed; dropped silently otherwise.
+// chaos-lint: cold — callers fire events on state transitions (drift, quarantine, membership, refit), never on the quiet steady tick; alloc_regression pins that
 pub fn event(kind: &str, fields: &[(&str, Value)]) {
     if level() != ObsLevel::Full {
         return;

@@ -314,10 +314,12 @@ impl Fleet {
                 got: tick.machines.len(),
             });
         }
+        // chaos-lint: allow(R6) — one bounded duplicate-detection bitmap per wire tick; serve ticks are network-paced, not sample-paced
         let mut seen = vec![false; self.slots.len()];
         for sample in &tick.machines {
             if sample.machine_id >= self.slots.len() {
                 return Err(ServeError::InvalidSample {
+                    // chaos-lint: allow(R6) — constructs a tick-rejection error; valid ticks never take these branches
                     detail: format!(
                         "machine_id {} outside fleet of {}",
                         sample.machine_id,
@@ -327,12 +329,14 @@ impl Fleet {
             }
             if seen[sample.machine_id] {
                 return Err(ServeError::InvalidSample {
+                    // chaos-lint: allow(R6) — constructs a tick-rejection error; valid ticks never take these branches
                     detail: format!("machine_id {} appears twice in tick", sample.machine_id),
                 });
             }
             seen[sample.machine_id] = true;
             if sample.counters.len() != self.width {
                 return Err(ServeError::InvalidSample {
+                    // chaos-lint: allow(R6) — constructs a tick-rejection error; valid ticks never take these branches
                     detail: format!(
                         "machine {}: counter row has {} values, catalog width is {}",
                         sample.machine_id,
@@ -343,6 +347,7 @@ impl Fleet {
             }
             if let Some(bad) = sample.counters.iter().find(|v| !v.is_finite()) {
                 return Err(ServeError::InvalidSample {
+                    // chaos-lint: allow(R6) — constructs a tick-rejection error; valid ticks never take these branches
                     detail: format!(
                         "machine {}: non-finite counter value {bad} (mark it with counter_ok instead)",
                         sample.machine_id
@@ -352,6 +357,7 @@ impl Fleet {
             if let Some(p) = sample.power_w {
                 if !p.is_finite() {
                     return Err(ServeError::InvalidSample {
+                        // chaos-lint: allow(R6) — constructs a tick-rejection error; valid ticks never take these branches
                         detail: format!(
                             "machine {}: non-finite power_w {p} (omit the field instead)",
                             sample.machine_id
@@ -362,6 +368,7 @@ impl Fleet {
             if let Some(mask) = &sample.counter_ok {
                 if mask.len() != self.width {
                     return Err(ServeError::InvalidSample {
+                        // chaos-lint: allow(R6) — constructs a tick-rejection error; valid ticks never take these branches
                         detail: format!(
                             "machine {}: counter_ok has {} entries, catalog width is {}",
                             sample.machine_id,
@@ -373,6 +380,7 @@ impl Fleet {
             }
         }
         for sample in &tick.machines {
+            // chaos-lint: allow(R6) — staging takes ownership of the wire sample; one copy per machine-tick is the ingest cost
             self.slots[sample.machine_id].pending = Some(sample.clone());
         }
         Ok(())
@@ -413,6 +421,7 @@ impl Fleet {
         let result = TickResult {
             t: tick.t,
             cluster_power_w,
+            // chaos-lint: allow(R6) — wire-facing result field; one small string per tick response
             worst_tier: worst_tier.label().to_string(),
             active_machines,
             refits,

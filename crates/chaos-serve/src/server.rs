@@ -117,7 +117,12 @@ impl Server {
     /// The server's copy is authoritative — `/v1/stats` reads it, so
     /// the response is identical at any `CHAOS_OBS` level.
     fn bump(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            // chaos-lint: allow(R6) — first sight of a counter name; steady-state bumps take the get_mut fast path above
+            self.counters.insert(name.to_string(), by);
+        }
         chaos_obs::add(name, by);
     }
 
@@ -139,6 +144,7 @@ impl Server {
 
     /// Routes one framed request. Never panics; every failure is a
     /// structured JSON error body.
+    // chaos-lint: no-panic — a panic here kills the connection thread; every failure must be a structured error response
     pub fn handle(&mut self, req: &Request) -> Response {
         self.bump("serve.http.requests", 1);
         let result = match (req.method.as_str(), req.path.as_str()) {
@@ -274,6 +280,7 @@ impl Server {
     ///
     /// Propagates [`ServeError`] from [`Fleet::ingest_tick`]; the tick
     /// is not applied and the serve counters record a rejection.
+    // chaos-lint: hot — per-tick ingestion kernel shared by live serving and checkpoint replay
     pub fn apply_tick(&mut self, tick: &WireTick) -> Result<TickResult, ServeError> {
         match self.fleet.ingest_tick(tick) {
             Ok(result) => {
@@ -282,6 +289,7 @@ impl Server {
                 if result.refits > 0 {
                     self.bump("serve.refits", result.refits);
                 }
+                // chaos-lint: allow(R6) — the bounded history ring keeps its own copy; the caller owns the returned result
                 self.history.push_back(result.clone());
                 while self.history.len() > self.opts.history_cap {
                     self.history.pop_front();

@@ -286,7 +286,7 @@ fn encode_slot(enc: &mut Enc, slot: &MachineSlot) {
     }
     enc.opt_u64(slot.last_refit_t);
     encode_last(enc, &slot.last);
-    // chaos-lint: allow(R4) — every slot buffer is built by
+    // chaos-lint: allow(R4, R7) — every slot buffer is built by
     // empty_buffer with exactly one machine and compaction never
     // removes it, so index 0 always exists.
     let m = &slot.buf.machines[0];

@@ -148,6 +148,7 @@ impl CoefBlock {
         }
         let (k, m) = (self.k, self.m);
         self.cols.clear();
+        // chaos-lint: allow(R6) — reached only on reseal after a staging rebuild; a sealed block returns at the guard above
         self.cols.resize(k * m, 0.0);
         for j in 0..m {
             let row = &self.stage[j * k..(j + 1) * k];
@@ -189,6 +190,7 @@ impl CoefBlock {
     /// Returns [`StatsError::DimensionMismatch`] if the blocks differ
     /// in width or machine count, if `out.len()` differs from the
     /// machine count, or if either block is unsealed.
+    // chaos-lint: hot — SoA batch prediction kernel; the per-tick fleet scoring path
     pub fn predict_into(&self, rows: &CoefBlock, out: &mut [f64]) -> Result<(), StatsError> {
         self.check_operands(rows, out.len())?;
         let m = self.m;
@@ -211,6 +213,7 @@ impl CoefBlock {
     /// # Errors
     ///
     /// Same conditions as [`predict_into`](CoefBlock::predict_into).
+    // chaos-lint: hot — parallel variant of the batch prediction kernel
     pub fn predict_into_exec(
         &self,
         rows: &CoefBlock,
@@ -248,6 +251,7 @@ impl CoefBlock {
     fn check_operands(&self, rows: &CoefBlock, out_len: usize) -> Result<(), StatsError> {
         if rows.k != self.k || rows.m != self.m || out_len != self.m {
             return Err(StatsError::DimensionMismatch {
+                // chaos-lint: allow(R6) — constructs the dimension-mismatch error; the success path is branch-free
                 context: format!(
                     "coef block predict: coefs {}x{}, rows {}x{}, out {}",
                     self.k, self.m, rows.k, rows.m, out_len
@@ -256,6 +260,7 @@ impl CoefBlock {
         }
         if !self.sealed || !rows.sealed {
             return Err(StatsError::DimensionMismatch {
+                // chaos-lint: allow(R6) — error-branch message only
                 context: "coef block predict: operand not sealed".to_string(),
             });
         }

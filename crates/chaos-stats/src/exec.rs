@@ -232,10 +232,13 @@ impl ExecPolicy {
         let n = items.len();
         let workers = self.threads().min(n);
         if workers <= 1 {
+            // chaos-lint: allow(R6) — the API returns an owned result vector; one output allocation per call, not per item
             return items.iter_mut().map(f).collect();
         }
         let chunk = n.div_ceil(workers);
         let f = &f;
+        // chaos-lint: allow(R6) — per-parallel-region scaffolding (chunk partitions, spawn handles, per-chunk result
+        // collection and joins), bounded by the worker count and amortized across the whole batch
         let chunked: Vec<Vec<R>> = thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks_mut(chunk)
@@ -253,8 +256,10 @@ impl ExecPolicy {
             chaos_obs::add("exec.parallel_batches", 1);
             chaos_obs::add("exec.items", n as u64);
         }
+        // chaos-lint: allow(R6) — single merge of per-chunk results into the owned output vector
         let mut out = Vec::with_capacity(n);
         for part in chunked {
+            // chaos-lint: allow(R6) — extends into the preallocated output above
             out.extend(part);
         }
         out

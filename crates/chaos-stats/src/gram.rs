@@ -590,6 +590,7 @@ impl CholeskyFactor {
     /// * [`StatsError::DimensionMismatch`] if `v.len() != k`.
     /// * [`StatsError::NonFinite`] if `v` contains a non-finite entry
     ///   (the factor is left unchanged).
+    // chaos-lint: hot — rank-1 Cholesky update on the per-sample solver ingest path
     pub fn update(&mut self, v: &[f64]) -> Result<(), StatsError> {
         self.check_vector(v, "update")?;
         let k = self.k;
@@ -597,6 +598,7 @@ impl CholeskyFactor {
         // mutably alongside it): alloc-free after the first call.
         let mut w = std::mem::take(&mut self.w_scratch);
         w.clear();
+        // chaos-lint: allow(R6) — reused scratch (comment above); capacity persists after the first update
         w.extend_from_slice(v);
         for j in 0..k {
             let ljj = self.l[j * k + j];
@@ -625,6 +627,7 @@ impl CholeskyFactor {
     ///   definite (a pivot falls below the relative tolerance).
     ///
     /// On any error the factor is left exactly as it was.
+    // chaos-lint: hot — rank-1 Cholesky downdate paired with update on window eviction
     pub fn downdate(&mut self, v: &[f64]) -> Result<(), StatsError> {
         self.check_vector(v, "downdate")?;
         let k = self.k;
@@ -633,9 +636,11 @@ impl CholeskyFactor {
         // Alloc-free after the first call on a given factor.
         let mut l = std::mem::take(&mut self.l_scratch);
         l.clear();
+        // chaos-lint: allow(R6) — reused scratch triangle (comment above); alloc-free after the first downdate
         l.extend_from_slice(&self.l);
         let mut w = std::mem::take(&mut self.w_scratch);
         w.clear();
+        // chaos-lint: allow(R6) — reused scratch vector, capacity kept across calls
         w.extend_from_slice(v);
         for j in 0..k {
             let ljj = l[j * k + j];
@@ -664,6 +669,7 @@ impl CholeskyFactor {
     fn check_vector(&self, v: &[f64], op: &str) -> Result<(), StatsError> {
         if v.len() != self.k {
             return Err(StatsError::DimensionMismatch {
+                // chaos-lint: allow(R6) — constructs the dimension-mismatch error; valid vectors never take this branch
                 context: format!(
                     "cholesky {op}: vector has {} entries, factor has order {}",
                     v.len(),
@@ -673,6 +679,7 @@ impl CholeskyFactor {
         }
         if v.iter().any(|x| !x.is_finite()) {
             return Err(StatsError::NonFinite {
+                // chaos-lint: allow(R6) — non-finite-input error branch only
                 context: format!("cholesky {op}: non-finite entry in rank-1 vector"),
             });
         }

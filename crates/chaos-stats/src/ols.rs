@@ -350,6 +350,7 @@ pub struct WindowedOls {
 
 impl WindowedOls {
     /// An empty window solver for `p` feature columns.
+    // chaos-lint: cold — solver construction happens at engine setup and machine readmission, never on the steady tick
     pub fn new(p: usize) -> Self {
         let d = p + 1;
         WindowedOls {

@@ -353,12 +353,14 @@ impl StreamEngine {
     /// * [`StreamError::MachineCountMismatch`] if the run's machine
     ///   count does not match the engine's.
     /// * [`StreamError::Membership`] for an invalid membership schedule.
+    // chaos-lint: hot — per-second fleet tick; alloc_regression pins it
     pub fn push_second(&mut self, run: &RunTrace, t: usize) -> Result<StreamOutput, StreamError> {
         let mut out = StreamOutput {
             t,
             cluster_power_w: 0.0,
             worst_tier: EstimateTier::Full,
             active_machines: 0,
+            // chaos-lint: allow(R6) — the convenience wrapper owns its output; the alloc-free contract is push_second_into with a caller-reused buffer
             machines: Vec::new(),
         };
         self.push_second_into(run, t, &mut out)?;
@@ -383,6 +385,7 @@ impl StreamEngine {
     /// # Errors
     ///
     /// Same conditions as [`push_second`](StreamEngine::push_second).
+    // chaos-lint: hot — alloc-free steady-state tick (alloc_regression)
     pub fn push_second_into(
         &mut self,
         run: &RunTrace,
@@ -430,6 +433,7 @@ impl StreamEngine {
             .zip(&run.machines)
         {
             let participates = Self::pre_advance(estimator, state, scratch, m, t);
+            // chaos-lint: allow(R6) — pushes into a per-engine buffer cleared each tick; clear() keeps capacity, so steady state never grows it
             self.batch.participates.push(participates);
         }
 
@@ -451,16 +455,21 @@ impl StreamEngine {
             }
             let s = &mut self.scratch[i];
             s.aug.clear();
+            // chaos-lint: allow(R6) — recycled per-machine scratch; cleared above with capacity kept
             s.aug.push(1.0);
+            // chaos-lint: allow(R6) — same recycled scratch, fixed row width
             s.aug.extend_from_slice(&s.assembled.row);
+            // chaos-lint: allow(R6) — CoefBlock::push stages into preallocated storage and rejects overflow instead of growing
             if self.batch.coefs.push(fit.coefficients()).is_ok()
                 && self.batch.rows.push(&s.aug).is_ok()
             {
+                // chaos-lint: allow(R6) — cleared-per-tick index buffer, capacity kept
                 self.batch.idx.push(i);
             }
         }
         self.batch.coefs.seal();
         self.batch.rows.seal();
+        // chaos-lint: allow(R6) — bounded by machine count; the output buffer's capacity is retained across ticks
         self.batch.out.resize(self.batch.idx.len(), 0.0);
         if !self.batch.idx.is_empty()
             && self
@@ -501,6 +510,7 @@ impl StreamEngine {
             {
                 out.cluster_power_w += sample.power_w;
                 out.worst_tier = out.worst_tier.max(sample.tier);
+                // chaos-lint: allow(R6) — out.machines is cleared (capacity kept) at tick start; bounded by machine count
                 out.machines.push(sample);
             }
         }
@@ -835,6 +845,7 @@ impl StreamEngine {
         let mut ingested = false;
         if let Some(y) = measured {
             if assembled.complete() && assembled.imputed == 0 {
+                // chaos-lint: allow(R6) — WindowedOls::push is a rank-1 update into preallocated Gram storage (aug_scratch is reused)
                 if state.wols.push(&assembled.row, y).is_ok() {
                     ingested = true;
                     // A full window evicts its oldest row: hand it to
@@ -890,6 +901,7 @@ impl StreamEngine {
                 let outcome = Self::run_refit(estimator, config, state, requested, t, m.machine_id);
                 let succeeded = outcome.applied.is_some();
                 applied_refit = outcome.applied;
+                // chaos-lint: allow(R6) — refit bookkeeping on the event-driven retry branch, not the quiet tick
                 state.refits.push(outcome);
                 state.drift.note_refit();
                 if succeeded {
@@ -930,6 +942,7 @@ impl StreamEngine {
                             ("machine", Value::U64(m.machine_id as u64)),
                             ("rolling_dre", dre_field),
                             ("ratio", ratio_field),
+                            // chaos-lint: allow(R6) — drift-event field; this branch fires only on drift detection
                             ("requested", Value::Str(requested.label().to_string())),
                         ],
                     );
@@ -938,6 +951,7 @@ impl StreamEngine {
                         Self::run_refit(estimator, config, state, capped, t, m.machine_id);
                     let succeeded = outcome.applied.is_some();
                     applied_refit = outcome.applied;
+                    // chaos-lint: allow(R6) — refit bookkeeping on the drift branch, not the quiet tick
                     state.refits.push(outcome);
                     state.drift.note_refit();
                     if succeeded {
@@ -1020,6 +1034,7 @@ impl StreamEngine {
     /// Rebuilds the incremental solver from the sliding window after a
     /// desynchronizing pop failure — a deterministic resync instead of a
     /// silently wrong solver.
+    // chaos-lint: cold — deterministic recovery from a desynchronizing pop failure; never runs on a healthy steady tick
     fn resync_wols(state: &mut MachineState) {
         chaos_obs::add("stream.wols_resync", 1);
         let mut solver = WindowedOls::new(state.window.width());
@@ -1036,6 +1051,7 @@ impl StreamEngine {
 
     /// Walks the refit ladder from `requested` downward until a tier
     /// succeeds, installing the adapted model on success.
+    // chaos-lint: cold — refits are rare, drift/retry-triggered, and explicitly excluded from the steady-state alloc contract
     fn run_refit(
         estimator: &RobustEstimator,
         config: &StreamConfig,

@@ -28,6 +28,7 @@ use chaos_obs::Value;
 use chaos_stats::ols::WindowedOls;
 
 /// Validates a run's membership schedule for streaming consumption.
+// chaos-lint: cold — runs once at t = 0, inside warmup; the alloc_regression contract starts counting after warmup
 pub(crate) fn validate(run: &RunTrace) -> Result<(), StreamError> {
     run.validate_membership()
         .map_err(|e| StreamError::Membership {
@@ -48,6 +49,7 @@ pub(crate) fn apply_initial_activity(states: &mut [MachineState], run: &RunTrace
 /// order. Donor reads happen here, serially, against post-`t − 1`
 /// state — which is why replay fans out between membership boundaries
 /// rather than across them.
+// chaos-lint: cold — membership churn (join/leave/warm-start) is event-driven and excluded from the steady-state alloc contract
 pub(crate) fn apply_events_at(
     estimator: &RobustEstimator,
     states: &mut [MachineState],

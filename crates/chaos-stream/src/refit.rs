@@ -127,8 +127,10 @@ impl AdaptedModel {
         match self {
             AdaptedModel::Linear { columns, fit } => {
                 aug.clear();
+                // chaos-lint: allow(R6) — pushes into the caller's recycled scratch; capacity persists after the first tick (doc contract above)
                 aug.push(1.0);
                 for &c in columns {
+                    // chaos-lint: allow(R6) — same recycled scratch, bounded by the column count
                     aug.push(*row.get(c)?);
                 }
                 fit.predict_row(aug).ok().filter(|p| p.is_finite())
@@ -136,6 +138,7 @@ impl AdaptedModel {
             AdaptedModel::Technique { columns, model } => {
                 aug.clear();
                 for &c in columns {
+                    // chaos-lint: allow(R6) — caller's recycled scratch, cleared above with capacity kept
                     aug.push(*row.get(c)?);
                 }
                 model

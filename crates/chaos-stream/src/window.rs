@@ -94,6 +94,7 @@ impl SlidingWindow {
     pub fn push_recycle(&mut self, row: &[f64], y: f64) -> Result<bool, StatsError> {
         if row.len() != self.width {
             return Err(StatsError::DimensionMismatch {
+                // chaos-lint: allow(R6) — constructs the width-mismatch error; the steady tick never takes this branch
                 context: format!(
                     "sliding window: row has {} entries, window width is {}",
                     row.len(),
@@ -102,14 +103,16 @@ impl SlidingWindow {
             });
         }
         if self.rows.len() == self.capacity {
-            // chaos-lint: allow(R4) — capacity >= 1 is enforced at
+            // chaos-lint: allow(R4, R7) — capacity >= 1 is enforced at
             // construction, so a window at capacity has a front row.
             let (mut buf, _) = self.rows.pop_front().expect("full window has a front row");
             buf.clear();
+            // chaos-lint: allow(R6) — the recycled front buffer already holds `width` capacity; clear() kept it
             buf.extend_from_slice(row);
             self.rows.push_back((buf, y));
             Ok(true)
         } else {
+            // chaos-lint: allow(R6) — fill phase only; a full window takes the recycle branch above
             self.rows.push_back((row.to_vec(), y));
             Ok(false)
         }
